@@ -1,0 +1,103 @@
+package octocache
+
+// testing.B wrappers: one benchmark per paper table/figure, delegating to
+// the experiment harness at a small scale so `go test -bench=.` finishes
+// in minutes. For paper-sized runs use cmd/octobench with -scale 1.0.
+
+import (
+	"math"
+	"testing"
+
+	"octocache/internal/bench"
+)
+
+const benchScale = 0.12
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := bench.Find(id)
+	if !ok {
+		b.Fatalf("experiment %s not registered", id)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(bench.Options{Scale: benchScale}); err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+	}
+}
+
+func BenchmarkFig6Breakdown(b *testing.B)       { runExperiment(b, "fig6") }
+func BenchmarkFig8Overlap(b *testing.B)         { runExperiment(b, "fig8") }
+func BenchmarkFig10Ordering(b *testing.B)       { runExperiment(b, "fig10") }
+func BenchmarkFig16UAVNav(b *testing.B)         { runExperiment(b, "fig16") }
+func BenchmarkFig17UAVNavRT(b *testing.B)       { runExperiment(b, "fig17") }
+func BenchmarkFig18Sweeps(b *testing.B)         { runExperiment(b, "fig18") }
+func BenchmarkFig19SweepsRT(b *testing.B)       { runExperiment(b, "fig19") }
+func BenchmarkFig20Construction(b *testing.B)   { runExperiment(b, "fig20") }
+func BenchmarkFig21ConstructionRT(b *testing.B) { runExperiment(b, "fig21") }
+func BenchmarkFig22Decomposition(b *testing.B)  { runExperiment(b, "fig22") }
+func BenchmarkFig23HitRatio(b *testing.B)       { runExperiment(b, "fig23") }
+func BenchmarkFig24Tau(b *testing.B)            { runExperiment(b, "fig24") }
+func BenchmarkTable1Baselines(b *testing.B)     { runExperiment(b, "tab1") }
+func BenchmarkTable2Datasets(b *testing.B)      { runExperiment(b, "tab2") }
+func BenchmarkTable3QueueOverhead(b *testing.B) { runExperiment(b, "tab3") }
+func BenchmarkFig1Overview(b *testing.B)        { runExperiment(b, "fig1") }
+func BenchmarkAblationOrdering(b *testing.B)    { runExperiment(b, "abl-order") }
+func BenchmarkAblationArena(b *testing.B)       { runExperiment(b, "abl-arena") }
+func BenchmarkAblationDownsample(b *testing.B)  { runExperiment(b, "abl-downsample") }
+
+// BenchmarkInsertPointCloud measures the public API's steady-state
+// per-scan insertion cost with a warm cache.
+func BenchmarkInsertPointCloud(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		mode Mode
+	}{
+		{"octomap", ModeOctoMap},
+		{"serial", ModeSerial},
+		{"parallel", ModeParallel},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			m := New(Options{Resolution: 0.1, Mode: mode.mode, MaxRange: 8, CacheBuckets: 1 << 14})
+			origin := V(0, 0, 1.2)
+			var pts []Vec3
+			for i := 0; i < 360; i++ {
+				ang := float64(i) * math.Pi / 180
+				pts = append(pts, V(4*math.Cos(ang), 4*math.Sin(ang), 1.2))
+			}
+			m.InsertPointCloud(origin, pts) // warm up
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.InsertPointCloud(origin, pts)
+			}
+			b.StopTimer()
+			m.Finalize()
+		})
+	}
+}
+
+// BenchmarkQuery measures point queries against a populated map.
+func BenchmarkQuery(b *testing.B) {
+	m := New(Options{Resolution: 0.1, MaxRange: 8, CacheBuckets: 1 << 14})
+	origin := V(0, 0, 1.2)
+	var pts []Vec3
+	for i := 0; i < 720; i++ {
+		ang := float64(i) * math.Pi / 360
+		pts = append(pts, V(4*math.Cos(ang), 4*math.Sin(ang), 1.2))
+	}
+	for s := 0; s < 5; s++ {
+		m.InsertPointCloud(origin, pts)
+	}
+	b.ResetTimer()
+	hits := 0
+	for i := 0; i < b.N; i++ {
+		p := V(4*math.Cos(float64(i)), 4*math.Sin(float64(i)), 1.2)
+		if m.Occupied(p) {
+			hits++
+		}
+	}
+	b.StopTimer()
+	m.Finalize()
+	_ = hits
+}

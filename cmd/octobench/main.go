@@ -1,0 +1,102 @@
+// Command octobench regenerates the paper's evaluation tables and
+// figures. Each experiment id corresponds to one artifact (see DESIGN.md
+// §4 for the index).
+//
+// Usage:
+//
+//	octobench -list
+//	octobench -run fig10,fig22 -scale 0.5
+//	octobench -run all -scale 1.0 -v
+//
+// Absolute times depend on the host; the paper's qualitative shape (who
+// wins, by what factor) is what the output is meant to reproduce.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"octocache/internal/bench"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list available experiments and exit")
+		run     = flag.String("run", "", "comma-separated experiment ids, or 'all'")
+		scale   = flag.Float64("scale", 0.25, "workload scale (1.0 = paper-sized, 0.1 = quick)")
+		verbose = flag.Bool("v", false, "progress output")
+		csvDir  = flag.String("csv", "", "also write each table as CSV into this directory")
+	)
+	flag.Parse()
+
+	if *list || *run == "" {
+		fmt.Println("Available experiments:")
+		for _, e := range bench.All() {
+			fmt.Printf("  %-10s %s\n", e.ID, e.Title)
+		}
+		if *run == "" && !*list {
+			fmt.Println("\nUse -run <ids|all> to execute.")
+		}
+		return
+	}
+
+	var ids []string
+	if *run == "all" {
+		for _, e := range bench.All() {
+			ids = append(ids, e.ID)
+		}
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			ids = append(ids, strings.TrimSpace(id))
+		}
+	}
+
+	opt := bench.Options{Scale: *scale, Verbose: *verbose, Out: os.Stderr}
+	exit := 0
+	for _, id := range ids {
+		e, ok := bench.Find(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "octobench: unknown experiment %q (use -list)\n", id)
+			exit = 1
+			continue
+		}
+		fmt.Printf("# %s — %s (scale %.2f)\n\n", e.ID, e.Title, *scale)
+		start := time.Now()
+		tables, err := e.Run(opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "octobench: %s failed: %v\n", id, err)
+			exit = 1
+			continue
+		}
+		for i, t := range tables {
+			t.Fprint(os.Stdout)
+			if *csvDir != "" {
+				if err := writeCSV(*csvDir, e.ID, i, t); err != nil {
+					fmt.Fprintf(os.Stderr, "octobench: csv: %v\n", err)
+					exit = 1
+				}
+			}
+		}
+		fmt.Printf("(%s completed in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+	}
+	os.Exit(exit)
+}
+
+// writeCSV stores one result table as <dir>/<id>_<n>.csv.
+func writeCSV(dir, id string, n int, t *bench.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(fmt.Sprintf("%s/%s_%d.csv", dir, id, n))
+	if err != nil {
+		return err
+	}
+	err = t.WriteCSV(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,0 +1,94 @@
+// Command octoviz inspects a serialized occupancy octree: it prints the
+// tree's statistics and renders a horizontal occupancy slice as ASCII art
+// or a PGM image. It reads both this repository's .ot container
+// (mapbuilder -out) and OctoMap's .bt binary format.
+//
+// Usage:
+//
+//	octoviz -in map.ot
+//	octoviz -in map.bt -bt -z 1.0 -pgm slice.pgm
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"octocache/internal/octree"
+	"octocache/internal/viz"
+)
+
+func main() {
+	var (
+		in    = flag.String("in", "", "input file (required)")
+		bt    = flag.Bool("bt", false, "input is OctoMap .bt format instead of the .ot container")
+		z     = flag.Float64("z", 1.0, "slice height in meters")
+		cell  = flag.Float64("cell", 0, "slice sampling pitch (0 = 2x map resolution)")
+		pgm   = flag.String("pgm", "", "write the slice as PGM to this file instead of ASCII")
+		ascii = flag.Bool("ascii", true, "print the slice as ASCII art")
+	)
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "octoviz: -in is required")
+		flag.Usage()
+		os.Exit(1)
+	}
+
+	f, err := os.Open(*in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "octoviz:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+
+	tree := octree.New(octree.DefaultParams(0.1))
+	if *bt {
+		err = tree.ReadBT(f)
+	} else {
+		_, err = tree.ReadFrom(f)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "octoviz:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%s: resolution %.3fm, %d nodes, %d leaves, ~%.2f MB\n",
+		*in, tree.Resolution(), tree.NumNodes(), tree.NumLeaves(),
+		float64(tree.MemoryBytes())/(1<<20))
+	box, ok := tree.BBox()
+	if !ok {
+		fmt.Println("tree is empty")
+		return
+	}
+	fmt.Printf("extent: %v .. %v\n", box.Min, box.Max)
+	occupied := len(tree.OccupiedLeaves())
+	fmt.Printf("occupied leaves: %d\n", occupied)
+
+	pitch := *cell
+	if pitch <= 0 {
+		pitch = tree.Resolution() * 2
+	}
+	s := viz.Sample(viz.FromTree(tree), box.Min, box.Max, *z, pitch,
+		tree.Params().OccupancyThreshold)
+	un, fr, oc := s.Counts()
+	fmt.Printf("slice z=%.2f: %d occupied / %d free / %d unknown cells\n", *z, oc, fr, un)
+
+	if *pgm != "" {
+		out, err := os.Create(*pgm)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "octoviz:", err)
+			os.Exit(1)
+		}
+		err = s.WritePGM(out)
+		if cerr := out.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "octoviz:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *pgm)
+	} else if *ascii {
+		fmt.Print(s.ASCII())
+	}
+}

@@ -1,0 +1,69 @@
+package octocache_test
+
+import (
+	"fmt"
+	"math"
+
+	"octocache"
+)
+
+// ExampleMap builds a small map from one scan and queries it.
+func ExampleMap() {
+	m := octocache.New(octocache.Options{
+		Resolution: 0.1,
+		Mode:       octocache.ModeSerial,
+		MaxRange:   10,
+	})
+	defer m.Finalize()
+
+	// One scan: a wall of points 3 m in front of the sensor.
+	origin := octocache.V(0, 0, 1)
+	var points []octocache.Vec3
+	for y := -1.0; y <= 1.0; y += 0.05 {
+		points = append(points, octocache.V(3, y, 1))
+	}
+	m.InsertPointCloud(origin, points)
+
+	fmt.Println("wall occupied:", m.Occupied(octocache.V(3, 0, 1)))
+	fmt.Println("path occupied:", m.Occupied(octocache.V(1.5, 0, 1)))
+	_, known := m.Occupancy(octocache.V(5, 0, 1))
+	fmt.Println("behind wall known:", known)
+	// Output:
+	// wall occupied: true
+	// path occupied: false
+	// behind wall known: false
+}
+
+// ExampleProbability converts a queried log-odds value to a probability.
+func ExampleProbability() {
+	m := octocache.New(octocache.Options{Resolution: 0.1})
+	defer m.Finalize()
+	m.InsertPointCloud(octocache.V(0, 0, 0), []octocache.Vec3{octocache.V(2, 0, 0)})
+
+	l, _ := m.Occupancy(octocache.V(2, 0, 0))
+	p := octocache.Probability(l)
+	fmt.Printf("P(occupied) = %.1f\n", math.Round(p*10)/10)
+	// Output:
+	// P(occupied) = 0.7
+}
+
+// ExampleMap_stats shows the cache absorbing repeated observations.
+func ExampleMap_stats() {
+	m := octocache.New(octocache.Options{
+		Resolution:   0.1,
+		Mode:         octocache.ModeSerial,
+		CacheBuckets: 1 << 12,
+	})
+	origin := octocache.V(0, 0, 1)
+	points := []octocache.Vec3{octocache.V(3, 0, 1), octocache.V(3, 0.5, 1)}
+	for i := 0; i < 100; i++ {
+		m.InsertPointCloud(origin, points)
+	}
+	m.Finalize()
+	st := m.Stats()
+	fmt.Println("hit rate above 90%:", st.CacheHitRate > 0.9)
+	fmt.Println("octree writes below traced:", st.VoxelsToOctree < st.VoxelsTraced)
+	// Output:
+	// hit rate above 90%: true
+	// octree writes below traced: true
+}

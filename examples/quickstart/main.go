@@ -1,0 +1,55 @@
+// Quickstart: build an occupancy map from a handful of synthetic scans
+// and query it — the smallest useful OctoCache program.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"octocache"
+)
+
+func main() {
+	// A 10 cm map with the full OctoCache pipeline (cache + Morton
+	// eviction + background octree updates).
+	m := octocache.New(octocache.Options{
+		Resolution: 0.10,
+		Mode:       octocache.ModeParallel,
+		MaxRange:   10,
+	})
+
+	// Simulate a sensor in the middle of a circular room of radius 4 m:
+	// each scan returns points on the wall.
+	sensor := octocache.V(0, 0, 1.2)
+	for scan := 0; scan < 10; scan++ {
+		var points []octocache.Vec3
+		for i := 0; i < 360; i++ {
+			ang := float64(i) * math.Pi / 180
+			points = append(points, octocache.V(4*math.Cos(ang), 4*math.Sin(ang), 1.2))
+		}
+		m.InsertPointCloud(sensor, points)
+	}
+
+	// Queries are OctoMap-consistent: the wall is occupied, the interior
+	// is known free, and space behind the wall is unknown.
+	wall := octocache.V(4, 0, 1.2)
+	inside := octocache.V(2, 0, 1.2)
+	behind := octocache.V(6, 0, 1.2)
+
+	fmt.Println("wall occupied:  ", m.Occupied(wall))
+	if l, known := m.Occupancy(inside); known {
+		fmt.Printf("inside occupied: %v (P=%.2f)\n", m.Occupied(inside), octocache.Probability(l))
+	}
+	_, known := m.Occupancy(behind)
+	fmt.Println("behind known:   ", known)
+
+	m.Finalize()
+	st := m.Stats()
+	fmt.Printf("\n%d scans -> %d voxel observations, %.1f%% absorbed by the cache\n",
+		st.Batches, st.VoxelsTraced,
+		100*(1-float64(st.VoxelsToOctree)/float64(st.VoxelsTraced)))
+	fmt.Printf("cache hit rate %.1f%%, octree %d nodes (~%.2f MB)\n",
+		100*st.CacheHitRate, st.TreeNodes, float64(st.TreeBytes)/(1<<20))
+}

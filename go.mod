@@ -1,0 +1,3 @@
+module octocache
+
+go 1.22

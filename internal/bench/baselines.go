@@ -1,0 +1,172 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"octocache/internal/core"
+	"octocache/internal/dataset"
+	"octocache/internal/pointcloud"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "tab1",
+		Title: "Table 1 (quantified): OctoCache vs software baselines — octree bottleneck, memory, speed",
+		Run:   runTable1,
+	})
+	register(Experiment{
+		ID:    "fig1",
+		Title: "Figure 1: OctoCache overview claims — >95% cache hits, ~0.125x memory visits vs the octree",
+		Run:   runFig1,
+	})
+}
+
+// runTable1 quantifies the paper's related-work matrix on a common
+// workload: vanilla OctoMap, VoxelCache-style indexing, naive
+// parallelization, and serial/parallel OctoCache.
+func runTable1(opt Options) ([]*Table, error) {
+	t := &Table{
+		Title: "Table 1 (quantified): software systems on the same construction workload",
+		Note: "VoxelCache speeds up voxel location but keeps the octree bottleneck and forfeits\n" +
+			"pruning (memory); naive parallelization serializes on the tree mutex. Only OctoCache\n" +
+			"attacks the bottleneck itself.",
+		Header: []string{"dataset", "system", "construction", "map-update time", "memory", "voxels→tree"},
+	}
+	kinds := []core.Kind{
+		core.KindOctoMap, core.KindVoxelCache, core.KindNaive,
+		core.KindSerial, core.KindParallel,
+	}
+	for _, name := range dataset.Names() {
+		ds, err := loadDataset(name, opt.scale())
+		if err != nil {
+			return nil, err
+		}
+		res := referenceResolution(name)
+		cfg := constructionConfig(ds, res, false)
+		for _, kind := range kinds {
+			opt.logf("tab1: %s/%v", name, kind)
+			m := core.MustNew(kind, cfg)
+			start := time.Now()
+			tm, _ := replay(m, ds)
+			wall := time.Since(start)
+
+			mem := m.Tree().MemoryBytes()
+			if vc, ok := m.(interface{ MemoryBytes() int64 }); ok {
+				mem = vc.MemoryBytes()
+			}
+			t.AddRow(
+				name,
+				m.Name(),
+				fmtDur(wall.Seconds()),
+				fmtDur((tm.CacheInsert + tm.OctreeUpdate).Seconds()),
+				fmtBytes(mem),
+				fmt.Sprint(tm.VoxelsToOctree),
+			)
+		}
+	}
+	return []*Table{t}, nil
+}
+
+// runFig1 checks the overview figure's headline numbers: the cache
+// absorbs >95% of voxel updates and cuts octree memory visits to a small
+// fraction.
+func runFig1(opt Options) ([]*Table, error) {
+	t := &Table{
+		Title: "Figure 1: cache hit rate and octree memory-visit reduction",
+		Note: "Node visits counts every octree node touched by updates and queries — the paper's\n" +
+			"\"memory visits\". Figure 1 sketches >95% hits and 0.125x visits for a well-sized cache.",
+		Header: []string{"dataset", "hit rate", "octomap node visits", "octocache node visits", "visit ratio"},
+	}
+	for _, name := range dataset.Names() {
+		ds, err := loadDataset(name, opt.scale())
+		if err != nil {
+			return nil, err
+		}
+		res := referenceResolution(name)
+		cfg := constructionConfig(ds, res, false)
+		// A generously sized cache realizes the figure's best case.
+		cfg.CacheBuckets *= 4
+		opt.logf("fig1: %s", name)
+
+		base := core.MustNew(core.KindOctoMap, cfg)
+		replay(base, ds)
+		baseVisits := base.Tree().NodeVisits()
+
+		oc := core.MustNew(core.KindSerial, cfg)
+		_, cs := replay(oc, ds)
+		ocVisits := oc.Tree().NodeVisits()
+
+		ratio := 0.0
+		if baseVisits > 0 {
+			ratio = float64(ocVisits) / float64(baseVisits)
+		}
+		t.AddRow(
+			name,
+			fmtPct(cs.HitRate()),
+			fmt.Sprint(baseVisits),
+			fmt.Sprint(ocVisits),
+			fmt.Sprintf("%.3fx", ratio),
+		)
+	}
+	return []*Table{t}, nil
+}
+
+func init() {
+	register(Experiment{
+		ID:    "abl-downsample",
+		Title: "Ablation: voxel-filtering the point cloud vs caching — why point thinning is not enough",
+		Run:   runAblDownsample,
+	})
+}
+
+// runAblDownsample compares OctoCache against the obvious alternative way
+// to fight duplication: voxel-grid downsampling of the point cloud before
+// tracing. Thinning removes duplicate surface *points* but cannot remove
+// the duplicated free-space voxels of overlapping ray cones, nor the
+// inter-batch duplication the cache absorbs.
+func runAblDownsample(opt Options) ([]*Table, error) {
+	t := &Table{
+		Title: "Ablation: point-cloud voxel filter vs OctoCache",
+		Note: "Downsampling thins cloud points to one per map voxel before tracing. It cuts occupied-\n" +
+			"voxel duplication but leaves free-space and inter-batch duplication untouched.",
+		Header: []string{"dataset", "system", "construction", "voxels traced", "voxels→tree"},
+	}
+	for _, name := range dataset.Names() {
+		ds, err := loadDataset(name, opt.scale())
+		if err != nil {
+			return nil, err
+		}
+		res := referenceResolution(name)
+		cfg := constructionConfig(ds, res, false)
+
+		type variant struct {
+			label      string
+			kind       core.Kind
+			downsample bool
+		}
+		for _, v := range []variant{
+			{"octomap", core.KindOctoMap, false},
+			{"octomap+filter", core.KindOctoMap, true},
+			{"octocache", core.KindSerial, false},
+			{"octocache+filter", core.KindSerial, true},
+		} {
+			opt.logf("abl-downsample: %s/%s", name, v.label)
+			m := core.MustNew(v.kind, cfg)
+			start := time.Now()
+			for _, s := range ds.Scans {
+				pts := s.Points
+				if v.downsample {
+					pts = pointcloud.Downsample(pts, res)
+				}
+				m.InsertPointCloud(s.Origin, pts)
+			}
+			m.Finalize()
+			wall := time.Since(start)
+			tm := m.Timings()
+			t.AddRow(name, v.label, fmtDur(wall.Seconds()),
+				fmt.Sprint(tm.VoxelsTraced), fmt.Sprint(tm.VoxelsToOctree))
+		}
+	}
+	return []*Table{t}, nil
+}

@@ -1,0 +1,262 @@
+// Package bench is the experiment harness: one registered experiment per
+// table and figure of the paper's evaluation (§6), each regenerating the
+// corresponding rows/series. Absolute numbers differ from the paper's
+// Jetson TX2 testbed; the harness exists to reproduce the *shape* of the
+// results — who wins, by what factor, and where the crossovers fall.
+//
+// Run experiments via cmd/octobench or the root-level testing.B wrappers.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+
+	"octocache/internal/cache"
+	"octocache/internal/core"
+	"octocache/internal/dataset"
+	"octocache/internal/raytrace"
+)
+
+// Options tunes experiment cost.
+type Options struct {
+	// Scale shrinks datasets and sweeps; 1.0 is the paper-sized setup,
+	// small values (0.1–0.3) give minute-scale runs. Default 0.25.
+	Scale float64
+	// Verbose enables progress notes on Out.
+	Verbose bool
+	// Out receives progress notes when Verbose is set.
+	Out io.Writer
+}
+
+func (o Options) scale() float64 {
+	if o.Scale <= 0 {
+		return 0.25
+	}
+	return o.Scale
+}
+
+func (o Options) logf(format string, args ...interface{}) {
+	if o.Verbose && o.Out != nil {
+		fmt.Fprintf(o.Out, format+"\n", args...)
+	}
+}
+
+// Table is a printable experiment result.
+type Table struct {
+	Title  string
+	Note   string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s ==\n", t.Title)
+	if t.Note != "" {
+		fmt.Fprintf(w, "%s\n", t.Note)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	fmt.Fprintln(w)
+}
+
+// WriteCSV emits the table in CSV form (header row first) for external
+// plotting. Cells containing commas or quotes are quoted.
+func (t *Table) WriteCSV(w io.Writer) error {
+	writeRow := func(cells []string) error {
+		for i, c := range cells {
+			if i > 0 {
+				if _, err := io.WriteString(w, ","); err != nil {
+					return err
+				}
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			if _, err := io.WriteString(w, c); err != nil {
+				return err
+			}
+		}
+		_, err := io.WriteString(w, "\n")
+		return err
+	}
+	if err := writeRow(t.Header); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if err := writeRow(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Experiment regenerates one paper artifact.
+type Experiment struct {
+	// ID is the octobench identifier (e.g. "fig10", "tab2").
+	ID string
+	// Title describes the artifact.
+	Title string
+	// Run executes the experiment and returns its tables.
+	Run func(Options) ([]*Table, error)
+}
+
+var (
+	regMu    sync.Mutex
+	registry []Experiment
+)
+
+func register(e Experiment) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	registry = append(registry, e)
+}
+
+// All returns the registered experiments sorted by ID.
+func All() []Experiment {
+	regMu.Lock()
+	defer regMu.Unlock()
+	out := append([]Experiment(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Find returns the experiment with the given ID.
+func Find(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// --- shared infrastructure ---
+
+var (
+	dsMu    sync.Mutex
+	dsCache = map[string]*dataset.Dataset{}
+)
+
+// loadDataset memoizes dataset generation across experiments in one
+// process (generation cost would otherwise dominate the harness).
+func loadDataset(name string, scale float64) (*dataset.Dataset, error) {
+	key := fmt.Sprintf("%s@%.3f", name, scale)
+	dsMu.Lock()
+	defer dsMu.Unlock()
+	if d, ok := dsCache[key]; ok {
+		return d, nil
+	}
+	d, err := dataset.Named(name, scale)
+	if err != nil {
+		return nil, err
+	}
+	dsCache[key] = d
+	return d, nil
+}
+
+// replay pushes every scan of a dataset through the mapper, finalizes it,
+// and returns the timing decomposition plus the cache statistics.
+func replay(m core.Mapper, ds *dataset.Dataset) (core.Timings, cache.Stats) {
+	for _, s := range ds.Scans {
+		m.InsertPointCloud(s.Origin, s.Points)
+	}
+	m.Finalize()
+	return m.Timings(), m.CacheStats()
+}
+
+// constructionConfig sizes a pipeline for a dataset replay following
+// §5.2: the cache holds 3–4x the average per-batch distinct voxels, τ=4,
+// Morton indexing.
+func constructionConfig(ds *dataset.Dataset, res float64, rt bool) core.Config {
+	cfg := core.DefaultConfig(res)
+	cfg.MaxRange = ds.Sensor.MaxRange
+	cfg.RT = rt
+	cfg.CacheTau = 4
+	cfg.CacheBuckets = bucketsFor(ds, res, cfg.CacheTau)
+	return cfg
+}
+
+// bucketsFor estimates the per-batch distinct voxel count from a few
+// sample scans and sizes w so that w*τ ≈ 3.5x that count.
+func bucketsFor(ds *dataset.Dataset, res float64, tau int) int {
+	st := sampleDistinct(ds, res)
+	w := int(3.5 * float64(st) / float64(tau))
+	if w < 64 {
+		w = 64
+	}
+	return w
+}
+
+// sampleDistinct traces up to 5 evenly spaced scans and returns the mean
+// distinct voxel count per batch.
+func sampleDistinct(ds *dataset.Dataset, res float64) int {
+	if len(ds.Scans) == 0 {
+		return 0
+	}
+	step := len(ds.Scans) / 5
+	if step < 1 {
+		step = 1
+	}
+	tr := raytrace.NewTracer(raytrace.Config{
+		Resolution: res,
+		Depth:      16,
+		MaxRange:   ds.Sensor.MaxRange,
+	})
+	total, n := 0, 0
+	for i := 0; i < len(ds.Scans); i += step {
+		total += raytrace.CountDistinct(tr.Trace(ds.Scans[i].Origin, ds.Scans[i].Points))
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return total / n
+}
+
+func fmtDur(sec float64) string {
+	return fmt.Sprintf("%.3fs", sec)
+}
+
+func fmtRatio(r float64) string {
+	return fmt.Sprintf("%.2fx", r)
+}
+
+func fmtPct(p float64) string {
+	return fmt.Sprintf("%.1f%%", p*100)
+}

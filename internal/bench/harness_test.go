@@ -1,0 +1,109 @@
+package bench
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsRegistered pins the experiment inventory to the
+// paper's artifact list.
+func TestAllExperimentsRegistered(t *testing.T) {
+	want := []string{
+		"abl-arena", "abl-downsample", "abl-order", "fig1", "fig10", "fig16", "fig17", "fig18", "fig19",
+		"fig20", "fig21", "fig22", "fig23", "fig24", "fig6", "fig8",
+		"tab1", "tab2", "tab3",
+	}
+	got := All()
+	if len(got) != len(want) {
+		t.Fatalf("registered %d experiments, want %d", len(got), len(want))
+	}
+	for i, e := range got {
+		if e.ID != want[i] {
+			t.Errorf("experiment %d = %s, want %s", i, e.ID, want[i])
+		}
+		if e.Title == "" || e.Run == nil {
+			t.Errorf("experiment %s incomplete", e.ID)
+		}
+	}
+	if _, ok := Find("fig10"); !ok {
+		t.Error("Find failed for fig10")
+	}
+	if _, ok := Find("nope"); ok {
+		t.Error("Find succeeded for unknown id")
+	}
+}
+
+// TestExperimentsRunAtTinyScale executes every experiment end-to-end at a
+// minimal scale and sanity-checks the emitted tables.
+func TestExperimentsRunAtTinyScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment replays are slow")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tables, err := e.Run(Options{Scale: 0.08})
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if len(tables) == 0 {
+				t.Fatalf("%s produced no tables", e.ID)
+			}
+			for _, tb := range tables {
+				if len(tb.Rows) == 0 {
+					t.Errorf("%s: table %q empty", e.ID, tb.Title)
+				}
+				var sb strings.Builder
+				tb.Fprint(&sb)
+				if !strings.Contains(sb.String(), tb.Header[0]) {
+					t.Errorf("%s: rendering lost the header", e.ID)
+				}
+			}
+		})
+	}
+}
+
+func TestTableFprint(t *testing.T) {
+	tb := &Table{
+		Title:  "demo",
+		Note:   "a note",
+		Header: []string{"col1", "c2"},
+	}
+	tb.AddRow("a", "bbbb")
+	tb.AddRow("cc", "d")
+	var sb strings.Builder
+	tb.Fprint(&sb)
+	out := sb.String()
+	for _, want := range []string{"== demo ==", "a note", "col1  c2", "cc    d"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	var o Options
+	if o.scale() != 0.25 {
+		t.Errorf("default scale = %v", o.scale())
+	}
+	o.logf("must not panic with nil Out")
+	o2 := Options{Verbose: true, Out: io.Discard}
+	o2.logf("discarded")
+}
+
+func TestTableWriteCSV(t *testing.T) {
+	tb := &Table{
+		Header: []string{"a", "b"},
+	}
+	tb.AddRow("1", "x,y")
+	tb.AddRow("2", `say "hi"`)
+	var sb strings.Builder
+	if err := tb.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n1,\"x,y\"\n2,\"say \"\"hi\"\"\"\n"
+	if sb.String() != want {
+		t.Errorf("CSV = %q, want %q", sb.String(), want)
+	}
+}

@@ -1,0 +1,257 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"octocache/internal/core"
+	"octocache/internal/nav"
+	"octocache/internal/sensor"
+	"octocache/internal/uav"
+	"octocache/internal/world"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig16",
+		Title: "Figure 16: UAV end-to-end runtime & task completion — OctoMap vs OctoCache, 4 environments, 2 UAVs",
+		Run:   func(o Options) ([]*Table, error) { return runUAVNav(o, false) },
+	})
+	register(Experiment{
+		ID:    "fig17",
+		Title: "Figure 17: UAV end-to-end runtime & task completion — OctoMap-RT vs OctoCache-RT",
+		Run:   func(o Options) ([]*Table, error) { return runUAVNav(o, true) },
+	})
+	register(Experiment{
+		ID:    "fig18",
+		Title: "Figure 18: OctoMap vs OctoCache across sensing ranges and resolutions (Room, AscTec Pelican)",
+		Run:   func(o Options) ([]*Table, error) { return runSweeps(o, false) },
+	})
+	register(Experiment{
+		ID:    "fig19",
+		Title: "Figure 19: OctoMap-RT vs OctoCache-RT across sensing ranges and resolutions",
+		Run:   func(o Options) ([]*Table, error) { return runSweeps(o, true) },
+	})
+}
+
+// envSetup is the paper's §5.1 baseline <sensing range, resolution> per
+// environment; RT variants run at the much finer RT resolutions.
+type envSetup struct {
+	env        world.Env
+	rangeM     float64
+	res, resRT float64
+}
+
+var uavEnvs = []envSetup{
+	{world.Openland, 8, 1.0, 0.16},
+	{world.Farm, 4.5, 0.3, 0.08},
+	{world.Room, 3, 0.15, 0.04},
+	{world.Factory, 6, 0.5, 0.12},
+}
+
+// missionRays sizes the simulated sensor's ray grid by scale.
+func missionRays(scale float64) (int, int) {
+	h := int(32 * (0.5 + scale))
+	v := int(14 * (0.5 + scale))
+	return h, v
+}
+
+// platformSlowdown emulates the TX2's relative speed so that compute
+// latency is mission-relevant at host speeds: the paper's TX2 mapping
+// updates run in the 100 ms–1 s range, which the velocity roofline turns
+// into flight-speed differences.
+const platformSlowdown = 200
+
+// quickScale is the workload scale below which the UAV experiments run
+// in quick mode: fewer environments, one airframe, one seed — sized for
+// the tiny-scale harness test and the root testing.B wrappers.
+const quickScale = 0.15
+
+// runMission flies the mission over several environment seeds and
+// averages the completed runs: single closed-loop missions are noisy
+// (the velocity roofline amplifies per-cycle timing variance), and the
+// paper's figures are averages over whole flights too.
+func runMission(env envSetup, kind core.Kind, rt bool, frame uav.Airframe, scale float64) nav.Result {
+	res := env.res
+	seeds := []int64{1, 2, 3}
+	if rt {
+		// The paper's RT resolutions (down to 0.01 m) explode voxel
+		// counts; use proportionally finer-than-baseline settings, and
+		// fewer seeds (RT missions are an order of magnitude slower).
+		res = env.resRT
+		seeds = seeds[:2]
+	}
+	if scale < quickScale {
+		seeds = seeds[:1]
+	}
+	h, v := missionRays(scale)
+	var agg nav.Result
+	completed := 0
+	for _, seed := range seeds {
+		cfg := core.DefaultConfig(res)
+		cfg.MaxRange = env.rangeM
+		cfg.RT = rt
+		cfg.CacheBuckets = 1 << 15
+		m := core.MustNew(kind, cfg)
+		r := nav.Run(nav.Config{
+			World:            world.Build(env.env, seed),
+			Sensor:           sensor.DefaultModel(env.rangeM, h, v),
+			Mapper:           m,
+			UAV:              frame,
+			PlatformSlowdown: platformSlowdown,
+			// Completed missions take tens of cycles under the TX2-scaled
+			// control period; a tight cap keeps pathological
+			// fine-resolution RT missions from stalling the harness.
+			MaxCycles: 300,
+		})
+		if !r.Completed {
+			continue
+		}
+		completed++
+		agg.Time += r.Time
+		agg.AvgCompute += r.AvgCompute
+		agg.AvgVelocity += r.AvgVelocity
+		agg.PathLength += r.PathLength
+		agg.Cycles += r.Cycles
+		agg.Collisions += r.Collisions
+	}
+	if completed == 0 {
+		return nav.Result{}
+	}
+	n := float64(completed)
+	agg.Completed = true
+	agg.Time /= n
+	agg.AvgCompute /= time.Duration(completed)
+	agg.AvgVelocity /= n
+	agg.PathLength /= n
+	agg.Cycles /= completed
+	return agg
+}
+
+func runUAVNav(opt Options, rt bool) ([]*Table, error) {
+	suffix := ""
+	if rt {
+		suffix = "-RT"
+	}
+	runtimeT := &Table{
+		Title: fmt.Sprintf("Figure %s(a): system end-to-end runtime per cycle (OctoMap%s vs OctoCache%s)", figUAV(rt), suffix, suffix),
+		Note: "Mean perception+planning compute latency per cycle, TX2-scaled. The paper reports\n" +
+			"1.78-3.02x (plain) and 1.33-1.53x (-RT) end-to-end speedups.",
+		Header: []string{"env", "uav", "octomap(ms)", "octocache(ms)", "speedup"},
+	}
+	missionT := &Table{
+		Title: fmt.Sprintf("Figure %s(b): task completion time (OctoMap%s vs OctoCache%s)", figUAV(rt), suffix, suffix),
+		Note: "The paper reports completion-time reductions of 13-28% (plain) and 12-15% (-RT) on the\n" +
+			"AscTec Pelican, and none for the DJI Spark where rotor power is the bottleneck.",
+		Header: []string{"env", "uav", "octomap(s)", "octocache(s)", "reduction", "v(octomap)", "v(octocache)"},
+	}
+	envs := uavEnvs
+	frames := []uav.Airframe{uav.AscTecPelican(), uav.DJISpark()}
+	if opt.scale() < quickScale {
+		// Quick mode: two environments (the cheap ends of the difficulty
+		// range), one airframe.
+		envs = []envSetup{uavEnvs[0], uavEnvs[3]}
+		frames = frames[:1]
+	}
+	for _, env := range envs {
+		for _, frame := range frames {
+			opt.logf("fig%s: %v/%s", figUAV(rt), env.env, frame.Name)
+			base := runMission(env, core.KindOctoMap, rt, frame, opt.scale())
+			oc := runMission(env, core.KindParallel, rt, frame, opt.scale())
+			if !base.Completed || !oc.Completed {
+				runtimeT.AddRow(env.env.String(), frame.Name, "incomplete", "incomplete", "-")
+				continue
+			}
+			runtimeT.AddRow(
+				env.env.String(),
+				frame.Name,
+				fmt.Sprintf("%.2f", base.AvgCompute.Seconds()*1e3),
+				fmt.Sprintf("%.2f", oc.AvgCompute.Seconds()*1e3),
+				fmtRatio(base.AvgCompute.Seconds()/oc.AvgCompute.Seconds()),
+			)
+			reduction := 1 - oc.Time/base.Time
+			missionT.AddRow(
+				env.env.String(),
+				frame.Name,
+				fmtDur(base.Time),
+				fmtDur(oc.Time),
+				fmtPct(reduction),
+				fmt.Sprintf("%.2fm/s", base.AvgVelocity),
+				fmt.Sprintf("%.2fm/s", oc.AvgVelocity),
+			)
+		}
+	}
+	return []*Table{runtimeT, missionT}, nil
+}
+
+func figUAV(rt bool) string {
+	if rt {
+		return "17"
+	}
+	return "16"
+}
+
+func runSweeps(opt Options, rt bool) ([]*Table, error) {
+	frame := uav.AscTecPelican()
+	resT := &Table{
+		Title:  fmt.Sprintf("Figure %s(a,b): fixed sensing range 3m, varying resolution (Room)", figSweep(rt)),
+		Header: []string{"res(m)", "octomap cycle(ms)", "octocache cycle(ms)", "speedup", "octomap mission(s)", "octocache mission(s)", "reduction"},
+	}
+	resolutions := []float64{0.1, 0.15, 0.2}
+	if rt {
+		resolutions = []float64{0.04, 0.05, 0.08}
+	}
+	if opt.scale() < quickScale {
+		resolutions = resolutions[1:2] // quick mode: single point
+	}
+	for _, res := range resolutions {
+		env := envSetup{world.Room, 3, res, res}
+		opt.logf("fig%s: res %.2f", figSweep(rt), res)
+		base := runMission(env, core.KindOctoMap, rt, frame, opt.scale())
+		oc := runMission(env, core.KindParallel, rt, frame, opt.scale())
+		addSweepRow(resT, fmt.Sprintf("%.2f", res), base, oc)
+	}
+	rangeT := &Table{
+		Title:  fmt.Sprintf("Figure %s(c,d): fixed resolution, varying sensing range (Room)", figSweep(rt)),
+		Header: []string{"range(m)", "octomap cycle(ms)", "octocache cycle(ms)", "speedup", "octomap mission(s)", "octocache mission(s)", "reduction"},
+	}
+	fixedRes := 0.15
+	if rt {
+		fixedRes = 0.05
+	}
+	ranges := []float64{2, 3, 4}
+	if opt.scale() < quickScale {
+		ranges = ranges[1:2]
+	}
+	for _, rng := range ranges {
+		env := envSetup{world.Room, rng, fixedRes, fixedRes}
+		opt.logf("fig%s: range %.1f", figSweep(rt), rng)
+		base := runMission(env, core.KindOctoMap, rt, frame, opt.scale())
+		oc := runMission(env, core.KindParallel, rt, frame, opt.scale())
+		addSweepRow(rangeT, fmt.Sprintf("%.1f", rng), base, oc)
+	}
+	return []*Table{resT, rangeT}, nil
+}
+
+func figSweep(rt bool) string {
+	if rt {
+		return "19"
+	}
+	return "18"
+}
+
+func addSweepRow(t *Table, param string, base, oc nav.Result) {
+	if !base.Completed || !oc.Completed {
+		t.AddRow(param, "incomplete", "incomplete", "-", "-", "-", "-")
+		return
+	}
+	t.AddRow(
+		param,
+		fmt.Sprintf("%.2f", base.AvgCompute.Seconds()*1e3),
+		fmt.Sprintf("%.2f", oc.AvgCompute.Seconds()*1e3),
+		fmtRatio(base.AvgCompute.Seconds()/oc.AvgCompute.Seconds()),
+		fmtDur(base.Time),
+		fmtDur(oc.Time),
+		fmtPct(1-oc.Time/base.Time),
+	)
+}

@@ -1,0 +1,369 @@
+// Package cache implements OctoCache's flat, bucketed voxel cache
+// (paper §4.2–§4.3): the layer that absorbs duplicate voxel updates
+// before they reach the octree.
+//
+// The cache is an array of w buckets (w a power of two); each bucket
+// holds a small vector of cells, a cell being a voxel key plus the
+// voxel's accumulated log-odds occupancy. Storing the accumulated value
+// (not the latest observation) is what makes cache hits answer queries
+// exactly as vanilla OctoMap would, and makes eviction a plain overwrite
+// of the octree's copy.
+//
+// Two bucket-index functions are provided. Hash indexing is the strawman
+// of §4.2; Morton indexing (§4.3) places voxels so that the sequential
+// bucket sweep used during eviction emits them in (near-)Morton order,
+// the ordering proved optimal for octree insertion locality.
+package cache
+
+import (
+	"fmt"
+	"sort"
+
+	"octocache/internal/octree"
+)
+
+// IndexMode selects the bucket-index function.
+type IndexMode int
+
+const (
+	// HashIndex buckets by a multiplicative hash of the key — the
+	// strawman serial OctoCache of §4.2.
+	HashIndex IndexMode = iota
+	// MortonIndex buckets by Morton code modulo w — §4.3's refinement,
+	// which makes sequential eviction approximate Morton order.
+	MortonIndex
+)
+
+func (m IndexMode) String() string {
+	switch m {
+	case HashIndex:
+		return "hash"
+	case MortonIndex:
+		return "morton"
+	default:
+		return fmt.Sprintf("IndexMode(%d)", int(m))
+	}
+}
+
+// EvictOrder selects how an eviction batch is ordered before it is
+// written to the octree.
+type EvictOrder int
+
+const (
+	// OrderBucketScan emits evicted cells in bucket-sweep order, oldest
+	// first within a bucket — the paper's implementation. Under
+	// MortonIndex this approximates ascending Morton order when the
+	// active voxel set is spatially compact.
+	OrderBucketScan EvictOrder = iota
+	// OrderMorton additionally sorts the evicted batch by full Morton
+	// code, guaranteeing the optimal insertion order at O(n log n) cost.
+	// Exposed for the eviction-order ablation.
+	OrderMorton
+)
+
+func (o EvictOrder) String() string {
+	switch o {
+	case OrderBucketScan:
+		return "bucket-scan"
+	case OrderMorton:
+		return "morton-sort"
+	default:
+		return fmt.Sprintf("EvictOrder(%d)", int(o))
+	}
+}
+
+// Config configures a Cache.
+type Config struct {
+	// Buckets is w, the bucket count; rounded up to a power of two.
+	// The paper's UAV setup uses 512K buckets.
+	Buckets int
+	// Tau is τ, the maximum number of cells a bucket retains after
+	// eviction (paper default 4).
+	Tau int
+	// Index selects the bucket-index function.
+	Index IndexMode
+	// Order selects the eviction batch ordering.
+	Order EvictOrder
+	// Occupancy supplies δ_occupied, δ_free, the clamps, and the
+	// threshold; it must match the backing octree's parameters for query
+	// consistency.
+	Occupancy octree.Params
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.Buckets < 1 {
+		return fmt.Errorf("cache: Buckets must be >= 1, got %d", c.Buckets)
+	}
+	if c.Tau < 1 {
+		return fmt.Errorf("cache: Tau must be >= 1, got %d", c.Tau)
+	}
+	return c.Occupancy.Validate()
+}
+
+// Cell is one cache record: a voxel and its accumulated occupancy.
+// NominalBytes is its size in the paper's packed C++ layout.
+type Cell struct {
+	Key     octree.Key
+	LogOdds float32
+}
+
+// NominalBytes is the paper's per-cell size: three coordinate bytes plus
+// a 4-byte occupancy value (§5.1). The Go layout is larger (12 bytes);
+// Stats reports both.
+const NominalBytes = 7
+
+// Stats accumulates cache behaviour counters.
+type Stats struct {
+	Inserts     int64 // total voxel insertions
+	Hits        int64 // insertions that found their voxel cached
+	Misses      int64 // insertions that did not
+	OctreeFills int64 // misses whose voxel existed in the octree
+	Evicted     int64 // cells evicted over the cache's lifetime
+	Queries     int64 // point queries served
+	QueryHits   int64 // point queries answered from the cache
+}
+
+// HitRate returns Hits/Inserts, the paper's cache-hit ratio metric.
+func (s Stats) HitRate() float64 {
+	if s.Inserts == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Inserts)
+}
+
+// Cache is the OctoCache voxel cache. It is not safe for concurrent use;
+// the pipelines serialize access per the paper's threading design.
+type Cache struct {
+	cfg     Config
+	mask    uint64
+	buckets [][]Cell
+	cells   int
+	stats   Stats
+}
+
+// New creates a cache. It panics on invalid configuration; use NewChecked
+// to receive the error.
+func New(cfg Config) *Cache {
+	c, err := NewChecked(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// NewChecked creates a cache, validating the configuration.
+func NewChecked(cfg Config) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	w := 1
+	for w < cfg.Buckets {
+		w <<= 1
+	}
+	cfg.Buckets = w
+	return &Cache{
+		cfg:     cfg,
+		mask:    uint64(w - 1),
+		buckets: make([][]Cell, w),
+	}, nil
+}
+
+// Config returns the cache's configuration (with Buckets rounded).
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns a snapshot of the behaviour counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the behaviour counters.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// Len returns the number of cells currently held.
+func (c *Cache) Len() int { return c.cells }
+
+// NominalMemoryBytes returns the cache occupancy in the paper's 7-byte
+// cell accounting.
+func (c *Cache) NominalMemoryBytes() int64 { return int64(c.cells) * NominalBytes }
+
+// MemoryBytes estimates the actual Go heap usage of the cell storage.
+func (c *Cache) MemoryBytes() int64 {
+	var capSum int64
+	for _, b := range c.buckets {
+		capSum += int64(cap(b))
+	}
+	return capSum * 12 // unsafe.Sizeof(Cell{}) with padding
+}
+
+// bucketIndex maps a key to its bucket.
+func (c *Cache) bucketIndex(k octree.Key) uint64 {
+	switch c.cfg.Index {
+	case MortonIndex:
+		return k.Morton() & c.mask
+	default:
+		// Fibonacci-style multiplicative hash over the packed key.
+		packed := uint64(k.X) | uint64(k.Y)<<16 | uint64(k.Z)<<32
+		return (packed * 0x9E3779B97F4A7C15) >> 16 & c.mask
+	}
+}
+
+// TreeLookup resolves a voxel's accumulated occupancy from the backing
+// octree on a cache miss. known must be false for never-observed voxels.
+type TreeLookup func(octree.Key) (logOdds float32, known bool)
+
+// Insert integrates one observation for key k (occupied or free) into the
+// cache and reports whether it was a cache hit. On a miss the voxel's
+// prior accumulated value is pulled from the octree via lookup — this is
+// the mechanism that preserves query consistency (§4.2.1). lookup may be
+// nil when the caller knows the octree cannot contain the key.
+func (c *Cache) Insert(k octree.Key, occupied bool, lookup TreeLookup) (hit bool) {
+	c.stats.Inserts++
+	delta := c.cfg.Occupancy.LogOddsMiss
+	if occupied {
+		delta = c.cfg.Occupancy.LogOddsHit
+	}
+	b := c.bucketIndex(k)
+	bucket := c.buckets[b]
+	for i := range bucket {
+		if bucket[i].Key == k {
+			bucket[i].LogOdds = c.clamp(bucket[i].LogOdds + delta)
+			c.stats.Hits++
+			return true
+		}
+	}
+	c.stats.Misses++
+	base := float32(0) // unknown voxels start from the prior (log-odds 0)
+	if lookup != nil {
+		if prior, known := lookup(k); known {
+			base = prior
+			c.stats.OctreeFills++
+		}
+	}
+	c.buckets[b] = append(bucket, Cell{Key: k, LogOdds: c.clamp(base + delta)})
+	c.cells++
+	return false
+}
+
+func (c *Cache) clamp(l float32) float32 {
+	if l < c.cfg.Occupancy.ClampMin {
+		return c.cfg.Occupancy.ClampMin
+	}
+	if l > c.cfg.Occupancy.ClampMax {
+		return c.cfg.Occupancy.ClampMax
+	}
+	return l
+}
+
+// Query returns the accumulated occupancy of k if cached. On (hit=false)
+// the caller must consult the backing octree.
+func (c *Cache) Query(k octree.Key) (logOdds float32, hit bool) {
+	c.stats.Queries++
+	bucket := c.buckets[c.bucketIndex(k)]
+	for i := range bucket {
+		if bucket[i].Key == k {
+			c.stats.QueryHits++
+			return bucket[i].LogOdds, true
+		}
+	}
+	return 0, false
+}
+
+// Occupied reports the thresholded occupancy of k if cached.
+func (c *Cache) Occupied(k octree.Key) (occupied, hit bool) {
+	l, hit := c.Query(k)
+	if !hit {
+		return false, false
+	}
+	return l >= c.cfg.Occupancy.OccupancyThreshold, true
+}
+
+// Evict removes the earliest-inserted cells from every bucket holding
+// more than τ, appending them to dst and returning it. Buckets are swept
+// in index order; with MortonIndex that emits the batch in ascending
+// (M mod w) order, and with Order == OrderMorton the batch is further
+// sorted by full Morton code. The returned cells carry accumulated
+// occupancies ready to overwrite their octree entries.
+func (c *Cache) Evict(dst []Cell) []Cell {
+	start := len(dst)
+	for i := range c.buckets {
+		bucket := c.buckets[i]
+		if len(bucket) <= c.cfg.Tau {
+			continue
+		}
+		n := len(bucket) - c.cfg.Tau
+		dst = append(dst, bucket[:n]...)
+		// Shift survivors down, preserving their insertion order.
+		copy(bucket, bucket[n:])
+		c.buckets[i] = bucket[:c.cfg.Tau]
+		c.cells -= n
+		c.stats.Evicted += int64(n)
+	}
+	if c.cfg.Order == OrderMorton {
+		batch := dst[start:]
+		sort.Slice(batch, func(i, j int) bool {
+			return batch[i].Key.Morton() < batch[j].Key.Morton()
+		})
+	}
+	return dst
+}
+
+// Flush evicts every cell in the cache (bucket sweep order, optionally
+// Morton-sorted), leaving it empty. Used to finalize a map so the octree
+// holds all accumulated state.
+func (c *Cache) Flush(dst []Cell) []Cell {
+	start := len(dst)
+	for i := range c.buckets {
+		dst = append(dst, c.buckets[i]...)
+		c.stats.Evicted += int64(len(c.buckets[i]))
+		c.buckets[i] = c.buckets[i][:0]
+	}
+	c.cells = 0
+	if c.cfg.Order == OrderMorton {
+		batch := dst[start:]
+		sort.Slice(batch, func(i, j int) bool {
+			return batch[i].Key.Morton() < batch[j].Key.Morton()
+		})
+	}
+	return dst
+}
+
+// MaxBucketLen returns the longest current bucket — a collision health
+// metric used by the τ-shape experiment (§6.2.4).
+func (c *Cache) MaxBucketLen() int {
+	max := 0
+	for _, b := range c.buckets {
+		if len(b) > max {
+			max = len(b)
+		}
+	}
+	return max
+}
+
+// BucketHistogram returns counts of buckets by occupancy: index i holds
+// the number of buckets with exactly i cells, and the final index
+// aggregates all buckets at or beyond maxLen cells.
+func (c *Cache) BucketHistogram(maxLen int) []int {
+	if maxLen < 1 {
+		maxLen = 1
+	}
+	hist := make([]int, maxLen+1)
+	for _, b := range c.buckets {
+		n := len(b)
+		if n >= maxLen {
+			n = maxLen
+		}
+		hist[n]++
+	}
+	return hist
+}
+
+// Walk visits every cached cell in bucket-sweep order (the eviction
+// order). The walk stops early if fn returns false.
+func (c *Cache) Walk(fn func(Cell) bool) {
+	for _, b := range c.buckets {
+		for _, cell := range b {
+			if !fn(cell) {
+				return
+			}
+		}
+	}
+}

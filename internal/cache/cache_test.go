@@ -1,0 +1,453 @@
+package cache
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"octocache/internal/octree"
+)
+
+func key(x, y, z uint16) octree.Key { return octree.Key{X: x, Y: y, Z: z} }
+
+func testConfig(buckets, tau int, mode IndexMode) Config {
+	return Config{
+		Buckets:   buckets,
+		Tau:       tau,
+		Index:     mode,
+		Occupancy: octree.DefaultParams(0.1),
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := testConfig(16, 2, HashIndex).Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := []Config{
+		{Tau: 1, Occupancy: octree.DefaultParams(0.1)},
+		{Buckets: 4, Occupancy: octree.DefaultParams(0.1)},
+		{Buckets: 4, Tau: 1}, // zero occupancy params
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestBucketsRoundedToPowerOfTwo(t *testing.T) {
+	c := New(testConfig(100, 2, HashIndex))
+	if got := c.Config().Buckets; got != 128 {
+		t.Errorf("Buckets = %d, want 128", got)
+	}
+}
+
+func TestInsertHitMiss(t *testing.T) {
+	c := New(testConfig(64, 4, MortonIndex))
+	k := key(10, 20, 30)
+	if hit := c.Insert(k, true, nil); hit {
+		t.Error("first insert reported hit")
+	}
+	if hit := c.Insert(k, true, nil); !hit {
+		t.Error("second insert reported miss")
+	}
+	s := c.Stats()
+	if s.Inserts != 2 || s.Hits != 1 || s.Misses != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d, want 1", c.Len())
+	}
+}
+
+func TestAccumulationMatchesOctoMapMath(t *testing.T) {
+	p := octree.DefaultParams(0.1)
+	c := New(testConfig(64, 4, MortonIndex))
+	k := key(1, 2, 3)
+	c.Insert(k, true, nil)
+	c.Insert(k, true, nil)
+	c.Insert(k, false, nil)
+	want := p.LogOddsHit + p.LogOddsHit + p.LogOddsMiss
+	if got, hit := c.Query(k); !hit || got != want {
+		t.Errorf("Query = %v,%v want %v", got, hit, want)
+	}
+}
+
+func TestInsertClamping(t *testing.T) {
+	p := octree.DefaultParams(0.1)
+	c := New(testConfig(64, 4, HashIndex))
+	k := key(7, 7, 7)
+	for i := 0; i < 50; i++ {
+		c.Insert(k, true, nil)
+	}
+	if got, _ := c.Query(k); got != p.ClampMax {
+		t.Errorf("log-odds %v, want clamp max", got)
+	}
+	for i := 0; i < 100; i++ {
+		c.Insert(k, false, nil)
+	}
+	if got, _ := c.Query(k); got != p.ClampMin {
+		t.Errorf("log-odds %v, want clamp min", got)
+	}
+}
+
+func TestMissPullsOctreeValue(t *testing.T) {
+	p := octree.DefaultParams(0.1)
+	c := New(testConfig(64, 4, MortonIndex))
+	k := key(100, 100, 100)
+	prior := float32(1.5)
+	lookup := func(q octree.Key) (float32, bool) {
+		if q == k {
+			return prior, true
+		}
+		return 0, false
+	}
+	c.Insert(k, true, lookup)
+	want := prior + p.LogOddsHit
+	if got, hit := c.Query(k); !hit || got != want {
+		t.Errorf("Query = %v,%v want %v (accumulated from octree prior)", got, hit, want)
+	}
+	if c.Stats().OctreeFills != 1 {
+		t.Errorf("OctreeFills = %d, want 1", c.Stats().OctreeFills)
+	}
+	// A different key gets the unknown-voxel prior t=0.
+	k2 := key(5, 5, 5)
+	c.Insert(k2, false, lookup)
+	if got, _ := c.Query(k2); got != p.LogOddsMiss {
+		t.Errorf("unknown-voxel insert = %v, want %v", got, p.LogOddsMiss)
+	}
+}
+
+func TestQueryMissAndOccupied(t *testing.T) {
+	p := octree.DefaultParams(0.1)
+	c := New(testConfig(64, 4, MortonIndex))
+	if _, hit := c.Query(key(9, 9, 9)); hit {
+		t.Error("query hit on empty cache")
+	}
+	k := key(3, 3, 3)
+	c.Insert(k, true, nil)
+	occ, hit := c.Occupied(k)
+	if !hit || !occ {
+		t.Errorf("Occupied = %v,%v", occ, hit)
+	}
+	kf := key(4, 4, 4)
+	c.Insert(kf, false, nil)
+	occ, hit = c.Occupied(kf)
+	if !hit || occ {
+		t.Errorf("free voxel Occupied = %v,%v", occ, hit)
+	}
+	_ = p
+}
+
+func TestEvictionOldestFirstDownToTau(t *testing.T) {
+	// One bucket (w=1) makes collision behaviour deterministic.
+	cfg := testConfig(1, 2, HashIndex)
+	c := New(cfg)
+	keys := []octree.Key{key(1, 0, 0), key(2, 0, 0), key(3, 0, 0), key(4, 0, 0), key(5, 0, 0)}
+	for _, k := range keys {
+		c.Insert(k, true, nil)
+	}
+	if c.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", c.Len())
+	}
+	evicted := c.Evict(nil)
+	if len(evicted) != 3 {
+		t.Fatalf("evicted %d cells, want 3", len(evicted))
+	}
+	// Earliest inserted go first.
+	for i, want := range keys[:3] {
+		if evicted[i].Key != want {
+			t.Errorf("evicted[%d] = %v, want %v", i, evicted[i].Key, want)
+		}
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len after evict = %d, want τ=2", c.Len())
+	}
+	// Survivors are the two newest and still queryable.
+	for _, k := range keys[3:] {
+		if _, hit := c.Query(k); !hit {
+			t.Errorf("survivor %v missing after eviction", k)
+		}
+	}
+	// Evicting again is a no-op.
+	if again := c.Evict(nil); len(again) != 0 {
+		t.Errorf("second evict returned %d cells", len(again))
+	}
+}
+
+func TestEvictedCellsCarryAccumulatedValues(t *testing.T) {
+	p := octree.DefaultParams(0.1)
+	cfg := testConfig(1, 1, HashIndex)
+	c := New(cfg)
+	k1, k2 := key(1, 1, 1), key(2, 2, 2)
+	c.Insert(k1, true, nil)
+	c.Insert(k1, true, nil)
+	c.Insert(k2, false, nil)
+	evicted := c.Evict(nil)
+	if len(evicted) != 1 || evicted[0].Key != k1 {
+		t.Fatalf("evicted = %+v, want k1 only", evicted)
+	}
+	if evicted[0].LogOdds != 2*p.LogOddsHit {
+		t.Errorf("evicted value %v, want accumulated %v", evicted[0].LogOdds, 2*p.LogOddsHit)
+	}
+}
+
+func TestEvictMortonOrderSweep(t *testing.T) {
+	// With MortonIndex and a bucket count exceeding the Morton range of
+	// the keys, the bucket sweep emits exact ascending Morton order.
+	cfg := testConfig(1<<12, 0+1, MortonIndex)
+	cfg.Tau = 1
+	c := New(cfg)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 300; i++ {
+		k := key(uint16(rng.Intn(16)), uint16(rng.Intn(16)), uint16(rng.Intn(16)))
+		c.Insert(k, true, nil)
+		c.Insert(k, true, nil) // duplicate hits must not create cells
+	}
+	// Force everything out.
+	evicted := c.Flush(nil)
+	for i := 1; i < len(evicted); i++ {
+		if evicted[i].Key.Morton() <= evicted[i-1].Key.Morton() {
+			t.Fatalf("flush not in Morton order at %d", i)
+		}
+	}
+}
+
+func TestEvictOrderMortonSorts(t *testing.T) {
+	cfg := testConfig(4, 1, HashIndex) // hash index scrambles buckets
+	cfg.Order = OrderMorton
+	c := New(cfg)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		k := key(uint16(rng.Intn(64)), uint16(rng.Intn(64)), uint16(rng.Intn(64)))
+		c.Insert(k, rng.Intn(2) == 0, nil)
+	}
+	evicted := c.Evict(nil)
+	if len(evicted) == 0 {
+		t.Fatal("expected evictions")
+	}
+	if !sort.SliceIsSorted(evicted, func(i, j int) bool {
+		return evicted[i].Key.Morton() < evicted[j].Key.Morton()
+	}) {
+		t.Error("OrderMorton eviction batch not sorted")
+	}
+}
+
+func TestFlushEmptiesCache(t *testing.T) {
+	c := New(testConfig(64, 4, MortonIndex))
+	rng := rand.New(rand.NewSource(4))
+	distinct := map[octree.Key]bool{}
+	for i := 0; i < 500; i++ {
+		k := key(uint16(rng.Intn(32)), uint16(rng.Intn(32)), uint16(rng.Intn(32)))
+		c.Insert(k, true, nil)
+		distinct[k] = true
+	}
+	flushed := c.Flush(nil)
+	if len(flushed) != len(distinct) {
+		t.Errorf("flushed %d cells, want %d distinct", len(flushed), len(distinct))
+	}
+	if c.Len() != 0 {
+		t.Errorf("Len after flush = %d", c.Len())
+	}
+	if _, hit := c.Query(flushed[0].Key); hit {
+		t.Error("query hit after flush")
+	}
+}
+
+// TestBoundedMemoryAfterEviction is the paper's resource-overhead
+// guarantee: after eviction, the cache never holds more than w*τ cells.
+func TestBoundedMemoryAfterEviction(t *testing.T) {
+	cfg := testConfig(64, 3, MortonIndex)
+	c := New(cfg)
+	rng := rand.New(rand.NewSource(5))
+	for batch := 0; batch < 20; batch++ {
+		for i := 0; i < 5000; i++ {
+			k := key(uint16(rng.Intn(256)), uint16(rng.Intn(256)), uint16(rng.Intn(256)))
+			c.Insert(k, rng.Intn(2) == 0, nil)
+		}
+		c.Evict(nil)
+		bound := c.Config().Buckets * cfg.Tau
+		if c.Len() > bound {
+			t.Fatalf("batch %d: %d cells exceed bound %d", batch, c.Len(), bound)
+		}
+		if c.MaxBucketLen() > cfg.Tau {
+			t.Fatalf("batch %d: bucket len %d exceeds τ", batch, c.MaxBucketLen())
+		}
+	}
+	if c.NominalMemoryBytes() != int64(c.Len())*NominalBytes {
+		t.Error("nominal memory accounting wrong")
+	}
+	if c.MemoryBytes() <= 0 {
+		t.Error("MemoryBytes should be positive")
+	}
+}
+
+// TestConsistencyAgainstFlatModel drives random insert/evict cycles and
+// checks that cache+octree together always agree with a flat reference
+// accumulator — the query-consistency property of §4.2.
+func TestConsistencyAgainstFlatModel(t *testing.T) {
+	p := octree.DefaultParams(0.1)
+	p.Depth = 6
+	tree := octree.New(p)
+	cfg := Config{Buckets: 32, Tau: 2, Index: MortonIndex, Occupancy: p}
+	c := New(cfg)
+	ref := map[octree.Key]float32{}
+	clamp := func(l float32) float32 {
+		if l < p.ClampMin {
+			return p.ClampMin
+		}
+		if l > p.ClampMax {
+			return p.ClampMax
+		}
+		return l
+	}
+	rng := rand.New(rand.NewSource(6))
+	lookup := func(k octree.Key) (float32, bool) { return tree.Search(k) }
+	for step := 0; step < 8000; step++ {
+		k := key(uint16(rng.Intn(64)), uint16(rng.Intn(64)), uint16(rng.Intn(64)))
+		occ := rng.Intn(2) == 0
+		c.Insert(k, occ, lookup)
+		delta := p.LogOddsMiss
+		if occ {
+			delta = p.LogOddsHit
+		}
+		ref[k] = clamp(ref[k] + delta)
+
+		// Combined query must match the reference at all times.
+		got, hit := c.Query(k)
+		if !hit {
+			got, _ = tree.Search(k)
+		}
+		if got != ref[k] {
+			t.Fatalf("step %d: combined value %v, reference %v", step, got, ref[k])
+		}
+
+		if step%500 == 499 {
+			for _, cell := range c.Evict(nil) {
+				tree.SetNodeValue(cell.Key, cell.LogOdds)
+			}
+		}
+	}
+	// Final flush: octree alone must now match the reference exactly.
+	for _, cell := range c.Flush(nil) {
+		tree.SetNodeValue(cell.Key, cell.LogOdds)
+	}
+	for k, want := range ref {
+		got, known := tree.Search(k)
+		if !known || got != want {
+			t.Fatalf("after flush, key %v: octree %v,%v want %v", k, got, known, want)
+		}
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	c := New(testConfig(16, 2, HashIndex))
+	c.Insert(key(1, 1, 1), true, nil)
+	c.ResetStats()
+	if s := c.Stats(); s.Inserts != 0 || s.Misses != 0 {
+		t.Errorf("stats not reset: %+v", s)
+	}
+}
+
+func TestHitRate(t *testing.T) {
+	var s Stats
+	if s.HitRate() != 0 {
+		t.Error("empty stats hit rate should be 0")
+	}
+	s = Stats{Inserts: 10, Hits: 9}
+	if s.HitRate() != 0.9 {
+		t.Errorf("HitRate = %v", s.HitRate())
+	}
+}
+
+func TestIndexAndOrderStrings(t *testing.T) {
+	if HashIndex.String() != "hash" || MortonIndex.String() != "morton" {
+		t.Error("IndexMode strings wrong")
+	}
+	if OrderBucketScan.String() != "bucket-scan" || OrderMorton.String() != "morton-sort" {
+		t.Error("EvictOrder strings wrong")
+	}
+	if IndexMode(9).String() == "" || EvictOrder(9).String() == "" {
+		t.Error("unknown enum strings empty")
+	}
+}
+
+func BenchmarkInsertHit(b *testing.B) {
+	c := New(testConfig(1<<16, 4, MortonIndex))
+	k := key(100, 100, 100)
+	c.Insert(k, true, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Insert(k, true, nil)
+	}
+}
+
+func BenchmarkInsertMixed(b *testing.B) {
+	c := New(testConfig(1<<16, 4, MortonIndex))
+	rng := rand.New(rand.NewSource(1))
+	keys := make([]octree.Key, 4096)
+	for i := range keys {
+		keys[i] = key(uint16(rng.Intn(128)), uint16(rng.Intn(128)), uint16(rng.Intn(128)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Insert(keys[i&4095], true, nil)
+		if i%100000 == 99999 {
+			c.Evict(nil)
+		}
+	}
+}
+
+func TestBucketHistogram(t *testing.T) {
+	cfg := testConfig(4, 8, HashIndex)
+	c := New(cfg)
+	// Empty cache: all buckets at occupancy 0.
+	h := c.BucketHistogram(4)
+	if h[0] != c.Config().Buckets {
+		t.Errorf("empty cache histogram = %v", h)
+	}
+	for i := 0; i < 10; i++ {
+		c.Insert(key(uint16(i), 0, 0), true, nil)
+	}
+	h = c.BucketHistogram(4)
+	total := 0
+	cells := 0
+	for i, n := range h {
+		total += n
+		cells += i * n // over-counts the aggregated tail, checked below
+	}
+	if total != c.Config().Buckets {
+		t.Errorf("histogram buckets %d != %d", total, c.Config().Buckets)
+	}
+	if cells < 1 {
+		t.Error("histogram lost all cells")
+	}
+	// Degenerate maxLen clamps.
+	if h := c.BucketHistogram(0); len(h) != 2 {
+		t.Errorf("clamped histogram has %d entries", len(h))
+	}
+}
+
+func TestCacheWalk(t *testing.T) {
+	c := New(testConfig(16, 4, MortonIndex))
+	want := map[octree.Key]bool{}
+	for i := 0; i < 50; i++ {
+		k := key(uint16(i), uint16(i%7), 3)
+		c.Insert(k, true, nil)
+		want[k] = true
+	}
+	got := map[octree.Key]bool{}
+	c.Walk(func(cell Cell) bool {
+		got[cell.Key] = true
+		return true
+	})
+	if len(got) != len(want) {
+		t.Errorf("walked %d cells, want %d", len(got), len(want))
+	}
+	// Early stop.
+	n := 0
+	c.Walk(func(Cell) bool { n++; return n < 5 })
+	if n != 5 {
+		t.Errorf("early stop visited %d", n)
+	}
+}

@@ -1,0 +1,244 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"octocache/internal/cache"
+	"octocache/internal/geom"
+	"octocache/internal/octree"
+	"octocache/internal/raytrace"
+)
+
+// This file implements the two software baselines from the paper's
+// related-work matrix (Table 1) that OctoCache is compared against
+// conceptually:
+//
+//   - voxelCacheMapper ("VoxelCache [29]"): an index removes the
+//     downward octree search, but updates still maintain ancestors and
+//     queries still wait for the whole batch — the bottleneck survives.
+//   - naiveMapper ("naive software parallelization"): voxel updates are
+//     fanned out over worker goroutines with the octree behind a global
+//     mutex (the only safe naive scheme, since concurrent updates race on
+//     shared ancestors — §2.2/Figure 5); parallelism buys nothing.
+
+// voxelCacheMapper is the VoxelCache-style baseline built on
+// octree.IndexedTree.
+type voxelCacheMapper struct {
+	cfg     Config
+	tree    *octree.IndexedTree
+	shadow  *octree.Tree // kept pruned for Tree() consumers
+	tracer  *raytrace.Tracer
+	timings Timings
+	done    bool
+}
+
+func newVoxelCache(cfg Config) (*voxelCacheMapper, error) {
+	it, err := octree.NewIndexed(cfg.Octree)
+	if err != nil {
+		return nil, err
+	}
+	return &voxelCacheMapper{
+		cfg:    cfg,
+		tree:   it,
+		shadow: octree.New(cfg.Octree),
+		tracer: raytrace.NewTracer(raytrace.Config{
+			Resolution: cfg.Octree.Resolution,
+			Depth:      cfg.Octree.Depth,
+			MaxRange:   cfg.MaxRange,
+		}),
+	}, nil
+}
+
+func (m *voxelCacheMapper) Name() string {
+	if m.cfg.RT {
+		return "voxelcache-rt"
+	}
+	return "voxelcache"
+}
+
+func (m *voxelCacheMapper) InsertPointCloud(origin geom.Vec3, points []geom.Vec3) {
+	if m.done {
+		panic("core: InsertPointCloud after Finalize")
+	}
+	start := time.Now()
+	t0 := time.Now()
+	var batch []raytrace.Voxel
+	if m.cfg.RT {
+		batch = m.tracer.TraceRT(origin, points)
+	} else {
+		batch = m.tracer.Trace(origin, points)
+	}
+	m.timings.RayTracing += time.Since(t0)
+
+	t0 = time.Now()
+	for _, v := range batch {
+		m.tree.Update(v.Key, v.Occupied)
+	}
+	m.timings.OctreeUpdate += time.Since(t0)
+
+	m.timings.Batches++
+	m.timings.VoxelsTraced += int64(len(batch))
+	m.timings.VoxelsToOctree += int64(len(batch))
+	m.timings.Critical += time.Since(start)
+}
+
+func (m *voxelCacheMapper) Occupancy(p geom.Vec3) (float32, bool) {
+	k, ok := octree.CoordToKey(p, m.cfg.Octree.Resolution, m.cfg.Octree.Depth)
+	if !ok {
+		return 0, false
+	}
+	return m.tree.Search(k)
+}
+
+func (m *voxelCacheMapper) Occupied(p geom.Vec3) bool {
+	l, known := m.Occupancy(p)
+	return known && l >= m.cfg.Octree.OccupancyThreshold
+}
+
+func (m *voxelCacheMapper) OccupiedKey(k octree.Key) bool { return m.tree.Occupied(k) }
+
+// Finalize mirrors the indexed tree's content into a standard pruned
+// octree so Tree() consumers (serialization, box queries) work.
+func (m *voxelCacheMapper) Finalize() {
+	if m.done {
+		return
+	}
+	m.done = true
+	// The index holds every known leaf; replay the accumulated values.
+	for k := range m.indexKeys() {
+		if l, known := m.tree.Search(k); known {
+			m.shadow.SetNodeValue(k, l)
+		}
+	}
+}
+
+// indexKeys iterates the known voxel set (via tree search on batch keys
+// is unavailable; IndexedTree exposes no iterator, so walk the key space
+// through its index by reconstructing from shadow needs). To keep the
+// baseline honest and simple, IndexedTree records are mirrored lazily:
+// this helper exists as a seam for Finalize.
+func (m *voxelCacheMapper) indexKeys() map[octree.Key]struct{} {
+	return m.tree.Keys()
+}
+
+func (m *voxelCacheMapper) Tree() *octree.Tree {
+	return m.shadow
+}
+
+func (m *voxelCacheMapper) Timings() Timings        { return m.timings }
+func (m *voxelCacheMapper) CacheStats() cache.Stats { return cache.Stats{} }
+
+// MemoryBytes exposes the indexed structure's footprint for the Table 1
+// experiment.
+func (m *voxelCacheMapper) MemoryBytes() int64 { return m.tree.MemoryBytes() }
+
+// naiveMapper fans voxel updates out over GOMAXPROCS workers that share
+// the octree behind one mutex.
+type naiveMapper struct {
+	cfg     Config
+	tree    *octree.Tree
+	mu      sync.Mutex
+	tracer  *raytrace.Tracer
+	workers int
+	timings Timings
+	done    bool
+}
+
+func newNaive(cfg Config) *naiveMapper {
+	return &naiveMapper{
+		cfg:  cfg,
+		tree: cfg.newTree(),
+		tracer: raytrace.NewTracer(raytrace.Config{
+			Resolution: cfg.Octree.Resolution,
+			Depth:      cfg.Octree.Depth,
+			MaxRange:   cfg.MaxRange,
+		}),
+		workers: runtime.GOMAXPROCS(0),
+	}
+}
+
+func (m *naiveMapper) Name() string {
+	if m.cfg.RT {
+		return "naive-parallel-rt"
+	}
+	return "naive-parallel"
+}
+
+func (m *naiveMapper) InsertPointCloud(origin geom.Vec3, points []geom.Vec3) {
+	if m.done {
+		panic("core: InsertPointCloud after Finalize")
+	}
+	start := time.Now()
+	t0 := time.Now()
+	var batch []raytrace.Voxel
+	if m.cfg.RT {
+		batch = m.tracer.TraceRT(origin, points)
+	} else {
+		batch = m.tracer.Trace(origin, points)
+	}
+	m.timings.RayTracing += time.Since(t0)
+
+	t0 = time.Now()
+	var wg sync.WaitGroup
+	chunk := (len(batch) + m.workers - 1) / m.workers
+	for w := 0; w < m.workers; w++ {
+		lo := w * chunk
+		if lo >= len(batch) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(batch) {
+			hi = len(batch)
+		}
+		wg.Add(1)
+		go func(part []raytrace.Voxel) {
+			defer wg.Done()
+			for _, v := range part {
+				// The whole tree must be locked per update: concurrent
+				// updates race on shared ancestor nodes (Figure 5).
+				m.mu.Lock()
+				m.tree.Update(v.Key, v.Occupied)
+				m.mu.Unlock()
+			}
+		}(batch[lo:hi])
+	}
+	wg.Wait()
+	m.timings.OctreeUpdate += time.Since(t0)
+
+	m.timings.Batches++
+	m.timings.VoxelsTraced += int64(len(batch))
+	m.timings.VoxelsToOctree += int64(len(batch))
+	m.timings.Critical += time.Since(start)
+}
+
+// Note: interleaving across workers reorders same-voxel updates within a
+// batch. With symmetric clamped increments the accumulated value is
+// order-independent unless clamping engages mid-batch, so naiveMapper is
+// *approximately* consistent — one more reason the paper dismisses naive
+// parallelization (the consistency test for it tolerates clamp-boundary
+// divergence; the primary pipelines are exactly consistent).
+
+func (m *naiveMapper) Occupancy(p geom.Vec3) (float32, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.tree.OccupancyAt(p)
+}
+
+func (m *naiveMapper) Occupied(p geom.Vec3) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.tree.OccupiedAt(p)
+}
+
+func (m *naiveMapper) OccupiedKey(k octree.Key) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.tree.Occupied(k)
+}
+
+func (m *naiveMapper) Finalize()               { m.done = true }
+func (m *naiveMapper) Tree() *octree.Tree      { return m.tree }
+func (m *naiveMapper) Timings() Timings        { return m.timings }
+func (m *naiveMapper) CacheStats() cache.Stats { return cache.Stats{} }

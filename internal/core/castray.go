@@ -1,0 +1,123 @@
+package core
+
+import (
+	"math"
+
+	"octocache/internal/geom"
+	"octocache/internal/octree"
+)
+
+// castRayKeys walks the voxel grid from origin along dir, querying each
+// visited voxel through the supplied occupancy function until a
+// known-occupied voxel is found or maxRange is exceeded. It is the
+// pipeline-level equivalent of octree.CastRay, but consults the combined
+// cache+octree state so visibility answers are as fresh as point queries.
+func castRayKeys(params octree.Params, occ func(octree.Key) (float32, bool),
+	origin, dir geom.Vec3, maxRange float64, ignoreUnknown bool) (geom.Vec3, bool) {
+
+	n := dir.Norm()
+	if n == 0 {
+		return geom.Vec3{}, false
+	}
+	dir = dir.Scale(1 / n)
+	cur, ok := octree.CoordToKey(origin, params.Resolution, params.Depth)
+	if !ok {
+		return geom.Vec3{}, false
+	}
+	if maxRange <= 0 {
+		maxRange = params.MapSize()
+	}
+
+	res := params.Resolution
+	half := 1 << (params.Depth - 1)
+	c := [3]int{int(cur.X), int(cur.Y), int(cur.Z)}
+	o := [3]float64{origin.X, origin.Y, origin.Z}
+	d := [3]float64{dir.X, dir.Y, dir.Z}
+	var step [3]int
+	var tMax, tDelta [3]float64
+	for i := 0; i < 3; i++ {
+		switch {
+		case d[i] > 0:
+			step[i] = 1
+			boundary := float64(c[i]-half+1) * res
+			tMax[i] = (boundary - o[i]) / d[i]
+			tDelta[i] = res / d[i]
+		case d[i] < 0:
+			step[i] = -1
+			boundary := float64(c[i]-half) * res
+			tMax[i] = (boundary - o[i]) / d[i]
+			tDelta[i] = -res / d[i]
+		default:
+			step[i] = 0
+			tMax[i] = math.Inf(1)
+			tDelta[i] = math.Inf(1)
+		}
+	}
+	limit := 1 << params.Depth
+	for dist := 0.0; dist <= maxRange; {
+		k := octree.Key{X: uint16(c[0]), Y: uint16(c[1]), Z: uint16(c[2])}
+		l, known := occ(k)
+		switch {
+		case known && l >= params.OccupancyThreshold:
+			return octree.KeyToCoord(k, params.Resolution, params.Depth), true
+		case !known && !ignoreUnknown:
+			return geom.Vec3{}, false
+		}
+		axis := 0
+		if tMax[1] < tMax[axis] {
+			axis = 1
+		}
+		if tMax[2] < tMax[axis] {
+			axis = 2
+		}
+		dist = tMax[axis]
+		c[axis] += step[axis]
+		tMax[axis] += tDelta[axis]
+		if c[axis] < 0 || c[axis] >= limit {
+			return geom.Vec3{}, false
+		}
+	}
+	return geom.Vec3{}, false
+}
+
+// CastRay on each pipeline: walk toward dir until a known-occupied voxel,
+// consulting the freshest state the pipeline has (cache first, octree on
+// miss). ignoreUnknown selects whether unknown space is traversable.
+
+func (m *octoMap) CastRay(origin, dir geom.Vec3, maxRange float64, ignoreUnknown bool) (geom.Vec3, bool) {
+	return castRayKeys(m.cfg.Octree, m.tree.Search, origin, dir, maxRange, ignoreUnknown)
+}
+
+func (m *serialMapper) CastRay(origin, dir geom.Vec3, maxRange float64, ignoreUnknown bool) (geom.Vec3, bool) {
+	occ := func(k octree.Key) (float32, bool) {
+		if l, hit := m.cache.Query(k); hit {
+			return l, true
+		}
+		return m.tree.Search(k)
+	}
+	return castRayKeys(m.cfg.Octree, occ, origin, dir, maxRange, ignoreUnknown)
+}
+
+func (m *parallelMapper) CastRay(origin, dir geom.Vec3, maxRange float64, ignoreUnknown bool) (geom.Vec3, bool) {
+	// Drain pending octree writes once, then hold the mutex for the walk.
+	m.quiesce()
+	m.treeMu.Lock()
+	defer m.treeMu.Unlock()
+	occ := func(k octree.Key) (float32, bool) {
+		if l, hit := m.cache.Query(k); hit {
+			return l, true
+		}
+		return m.tree.Search(k)
+	}
+	return castRayKeys(m.cfg.Octree, occ, origin, dir, maxRange, ignoreUnknown)
+}
+
+func (m *voxelCacheMapper) CastRay(origin, dir geom.Vec3, maxRange float64, ignoreUnknown bool) (geom.Vec3, bool) {
+	return castRayKeys(m.cfg.Octree, m.tree.Search, origin, dir, maxRange, ignoreUnknown)
+}
+
+func (m *naiveMapper) CastRay(origin, dir geom.Vec3, maxRange float64, ignoreUnknown bool) (geom.Vec3, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return castRayKeys(m.cfg.Octree, m.tree.Search, origin, dir, maxRange, ignoreUnknown)
+}

@@ -1,0 +1,95 @@
+// Package core assembles the substrates into the paper's mapping
+// pipelines — the primary contribution of OctoCache:
+//
+//   - OctoMap: the vanilla baseline (Figure 4). Ray tracing feeds every
+//     traced voxel straight into the octree; queries wait for the whole
+//     octree update.
+//   - Serial OctoCache (Figure 11/13a): ray tracing feeds the flat cache;
+//     queries are served right after the fast cache insertion; evicted
+//     voxels then update the octree in (near-)Morton order.
+//   - Parallel OctoCache (Figure 13b/14): the octree update moves to a
+//     second goroutine behind a shared SPSC buffer, overlapping it with
+//     the next batch's ray tracing and cache eviction. A single mutex
+//     keeps octree readers and the octree writer mutually exclusive.
+//
+// Every pipeline has an -RT variant that uses deduplicating ray tracing
+// (the OctoMap-RT substitute). All pipelines expose the same query API
+// and — by the cache's accumulated-occupancy discipline — return
+// bit-identical occupancy answers, verified by the consistency tests.
+package core
+
+import (
+	"fmt"
+
+	"octocache/internal/cache"
+	"octocache/internal/octree"
+)
+
+// Config configures any of the mapping pipelines.
+type Config struct {
+	// Octree holds the map resolution and the occupancy sensor model.
+	Octree octree.Params
+	// MaxRange truncates sensor rays (meters); 0 disables truncation.
+	MaxRange float64
+	// CacheBuckets is w. The paper's UAV experiments use 512K buckets;
+	// construction experiments size the cache at 3–4x the per-batch
+	// distinct-voxel count.
+	CacheBuckets int
+	// CacheTau is τ, the post-eviction bucket depth (paper default 4).
+	CacheTau int
+	// CacheIndex selects hash (strawman §4.2) or Morton (§4.3) bucket
+	// indexing.
+	CacheIndex cache.IndexMode
+	// EvictOrder selects the eviction batch ordering.
+	EvictOrder cache.EvictOrder
+	// RT enables deduplicating ray tracing (the OctoMap-RT method).
+	RT bool
+	// Arena allocates octree nodes from chunked slabs with
+	// prune-recycling instead of the general heap — a locality/GC
+	// optimization (see octree.NewArena and the abl-arena experiment).
+	Arena bool
+}
+
+// newTree builds the backing octree per the Arena setting.
+func (c Config) newTree() *octree.Tree {
+	if c.Arena {
+		return octree.NewArena(c.Octree)
+	}
+	return octree.New(c.Octree)
+}
+
+// DefaultConfig returns a configuration with OctoMap's default sensor
+// model at the given resolution and the paper's cache defaults.
+func DefaultConfig(resolution float64) Config {
+	return Config{
+		Octree:       octree.DefaultParams(resolution),
+		CacheBuckets: 512 << 10,
+		CacheTau:     4,
+		CacheIndex:   cache.MortonIndex,
+		EvictOrder:   cache.OrderBucketScan,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if err := c.Octree.Validate(); err != nil {
+		return err
+	}
+	if c.CacheBuckets < 1 {
+		return fmt.Errorf("core: CacheBuckets must be >= 1, got %d", c.CacheBuckets)
+	}
+	if c.CacheTau < 1 {
+		return fmt.Errorf("core: CacheTau must be >= 1, got %d", c.CacheTau)
+	}
+	return nil
+}
+
+func (c Config) cacheConfig() cache.Config {
+	return cache.Config{
+		Buckets:   c.CacheBuckets,
+		Tau:       c.CacheTau,
+		Index:     c.CacheIndex,
+		Order:     c.EvictOrder,
+		Occupancy: c.Octree,
+	}
+}

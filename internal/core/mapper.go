@@ -1,0 +1,126 @@
+package core
+
+import (
+	"octocache/internal/cache"
+	"octocache/internal/geom"
+	"octocache/internal/octree"
+)
+
+// Mapper is the query-consistent interface every pipeline implements —
+// the paper's requirement that OctoCache expose the same voxel query API
+// and results as vanilla OctoMap (§4.1).
+//
+// The contract: after InsertPointCloud returns, queries reflect every
+// observation inserted so far, exactly as OctoMap would report them.
+type Mapper interface {
+	// InsertPointCloud integrates one sensor scan: points in world
+	// coordinates observed from origin.
+	InsertPointCloud(origin geom.Vec3, points []geom.Vec3)
+
+	// Occupancy returns the accumulated log-odds of the voxel containing
+	// p; known is false for never-observed voxels.
+	Occupancy(p geom.Vec3) (logOdds float32, known bool)
+
+	// Occupied reports whether the voxel containing p is known-occupied.
+	Occupied(p geom.Vec3) bool
+
+	// OccupiedKey is the key-space variant of Occupied.
+	OccupiedKey(k octree.Key) bool
+
+	// CastRay walks from origin along dir until it enters a known-
+	// occupied voxel or exceeds maxRange, returning the hit voxel's
+	// center. Unknown space is traversed when ignoreUnknown is true and
+	// terminates the ray otherwise. Results reflect the freshest combined
+	// cache+octree state, like point queries.
+	CastRay(origin, dir geom.Vec3, maxRange float64, ignoreUnknown bool) (hit geom.Vec3, ok bool)
+
+	// Finalize flushes all cached state into the octree and stops any
+	// background work. The Mapper remains queryable afterwards; further
+	// insertions are not allowed.
+	Finalize()
+
+	// Tree exposes the backing octree. Callers must not use it while a
+	// parallel pipeline is active; it is always safe after Finalize.
+	Tree() *octree.Tree
+
+	// Timings returns the cumulative stage decomposition.
+	Timings() Timings
+
+	// CacheStats returns cache behaviour counters; zero for pipelines
+	// without a cache.
+	CacheStats() cache.Stats
+
+	// Name identifies the pipeline variant for reports.
+	Name() string
+}
+
+// Kind enumerates the pipeline variants.
+type Kind int
+
+const (
+	// KindOctoMap is the vanilla baseline.
+	KindOctoMap Kind = iota
+	// KindSerial is the single-threaded OctoCache (Figure 11).
+	KindSerial
+	// KindParallel is the two-threaded OctoCache (Figure 14).
+	KindParallel
+	// KindVoxelCache is the VoxelCache-style indexed baseline (Table 1):
+	// O(1) voxel location, but the octree bottleneck survives.
+	KindVoxelCache
+	// KindNaive is naive software parallelization (Table 1): updates
+	// fanned over goroutines behind a global octree mutex.
+	KindNaive
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindOctoMap:
+		return "octomap"
+	case KindSerial:
+		return "octocache-serial"
+	case KindParallel:
+		return "octocache-parallel"
+	case KindVoxelCache:
+		return "voxelcache"
+	case KindNaive:
+		return "naive-parallel"
+	default:
+		return "unknown"
+	}
+}
+
+// New constructs the pipeline variant selected by kind. The cfg.RT flag
+// independently selects deduplicating ray tracing, yielding the paper's
+// six evaluated systems.
+func New(kind Kind, cfg Config) (Mapper, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	switch kind {
+	case KindOctoMap:
+		return newOctoMap(cfg), nil
+	case KindSerial:
+		return newSerial(cfg), nil
+	case KindParallel:
+		return newParallel(cfg), nil
+	case KindVoxelCache:
+		return newVoxelCache(cfg)
+	case KindNaive:
+		return newNaive(cfg), nil
+	default:
+		return nil, errUnknownKind(kind)
+	}
+}
+
+type errUnknownKind Kind
+
+func (e errUnknownKind) Error() string { return "core: unknown pipeline kind" }
+
+// MustNew is New for static configurations known to be valid.
+func MustNew(kind Kind, cfg Config) Mapper {
+	m, err := New(kind, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}

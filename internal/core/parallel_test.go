@@ -1,0 +1,79 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"octocache/internal/geom"
+)
+
+// TestParallelBatchLargerThanQueue is the regression test for the
+// announce-before-enqueue protocol: an eviction batch larger than the
+// SPSC buffer must flow through because thread 2 drains concurrently.
+// With the announcement after the enqueue loop this livelocks.
+func TestParallelBatchLargerThanQueue(t *testing.T) {
+	old := parallelQueueCap
+	parallelQueueCap = 64 // far smaller than any real batch
+	defer func() { parallelQueueCap = old }()
+
+	cfg := testConfig()
+	cfg.CacheTau = 1
+	cfg.CacheBuckets = 8 // tiny cache: almost everything evicts
+	m := MustNew(KindParallel, cfg)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 5; i++ {
+		origin := geom.V(float64(i)*0.3, 0, 1)
+		m.InsertPointCloud(origin, synthScan(rng, origin, 200))
+	}
+	m.Finalize()
+	tm := m.Timings()
+	if tm.VoxelsToOctree == 0 {
+		t.Fatal("no voxels reached the octree")
+	}
+	// Cross-check against the serial pipeline for identical final maps.
+	cfgRef := cfg
+	ref := MustNew(KindSerial, cfgRef)
+	rng = rand.New(rand.NewSource(2))
+	for i := 0; i < 5; i++ {
+		origin := geom.V(float64(i)*0.3, 0, 1)
+		ref.InsertPointCloud(origin, synthScan(rng, origin, 200))
+	}
+	ref.Finalize()
+	if !m.Tree().Equal(ref.Tree()) {
+		t.Fatal("parallel pipeline with tiny queue diverged from serial")
+	}
+}
+
+// TestParallelManySmallBatches stresses the ack/pending protocol.
+func TestParallelManySmallBatches(t *testing.T) {
+	cfg := testConfig()
+	m := MustNew(KindParallel, cfg)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		origin := geom.V(float64(i%10)*0.2, 0, 1)
+		m.InsertPointCloud(origin, synthScan(rng, origin, 10))
+		if i%7 == 0 {
+			// Interleave queries to force quiesce cycles.
+			m.Occupied(geom.V(1, 0, 1))
+		}
+	}
+	m.Finalize()
+	if got := m.Timings().Batches; got != 200 {
+		t.Errorf("Batches = %d, want 200", got)
+	}
+}
+
+// TestParallelQueryAfterFinalize ensures the map stays queryable once the
+// background worker has exited.
+func TestParallelQueryAfterFinalize(t *testing.T) {
+	m := MustNew(KindParallel, testConfig())
+	target := geom.V(2, 0, 1)
+	m.InsertPointCloud(geom.V(0, 0, 1), []geom.Vec3{target})
+	m.Finalize()
+	if !m.Occupied(target) {
+		t.Error("occupied voxel lost after finalize")
+	}
+	if _, known := m.Occupancy(geom.V(-3, -3, -3)); known {
+		t.Error("unknown voxel reported known after finalize")
+	}
+}

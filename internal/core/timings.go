@@ -1,0 +1,51 @@
+package core
+
+import "time"
+
+// Timings is the per-stage runtime decomposition the paper reports in
+// Figures 6 and 22 and Table 3. All durations are cumulative across
+// batches. For the parallel pipeline, OctreeUpdate and Dequeue accrue on
+// thread 2 and the remaining stages on thread 1; Wait is the thread-1
+// stall spent waiting for thread 2 to finish the previous batch's octree
+// update (the "gap" of Figure 13b).
+type Timings struct {
+	RayTracing   time.Duration
+	CacheInsert  time.Duration
+	CacheEvict   time.Duration
+	OctreeUpdate time.Duration
+	Enqueue      time.Duration
+	Dequeue      time.Duration
+	Wait         time.Duration
+	// Critical is the cumulative wall-clock time of InsertPointCloud
+	// calls: the critical-path latency queries experience.
+	Critical time.Duration
+
+	// Batches counts processed point clouds; VoxelsTraced counts voxel
+	// observations out of ray tracing; VoxelsToOctree counts the voxel
+	// writes the octree actually received (after cache absorption).
+	Batches        int64
+	VoxelsTraced   int64
+	VoxelsToOctree int64
+}
+
+// Total returns the sum of all stage busy times (not wall clock).
+func (t Timings) Total() time.Duration {
+	return t.RayTracing + t.CacheInsert + t.CacheEvict + t.OctreeUpdate + t.Enqueue + t.Dequeue
+}
+
+// Add returns the field-wise sum of two timing decompositions.
+func (t Timings) Add(o Timings) Timings {
+	return Timings{
+		RayTracing:     t.RayTracing + o.RayTracing,
+		CacheInsert:    t.CacheInsert + o.CacheInsert,
+		CacheEvict:     t.CacheEvict + o.CacheEvict,
+		OctreeUpdate:   t.OctreeUpdate + o.OctreeUpdate,
+		Enqueue:        t.Enqueue + o.Enqueue,
+		Dequeue:        t.Dequeue + o.Dequeue,
+		Wait:           t.Wait + o.Wait,
+		Critical:       t.Critical + o.Critical,
+		Batches:        t.Batches + o.Batches,
+		VoxelsTraced:   t.VoxelsTraced + o.VoxelsTraced,
+		VoxelsToOctree: t.VoxelsToOctree + o.VoxelsToOctree,
+	}
+}

@@ -1,0 +1,338 @@
+// Package dataset generates the scan sequences that stand in for the
+// paper's three public 3D-scan datasets (FR-079 corridor, Freiburg
+// campus, New College — Table 2) and computes the workload statistics
+// the bottleneck analysis relies on: intra-batch duplication (§3.1) and
+// inter-batch overlap (Figure 8).
+//
+// A dataset is a deterministic replay: a procedural world, a sensor
+// model, and a trajectory of scan poses. The same seed always produces
+// the same point-cloud stream, so experiments are reproducible. New
+// College's 92,361 scans are scaled down by default (the Scale knob); the
+// substitution is documented in EXPERIMENTS.md.
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"octocache/internal/geom"
+	"octocache/internal/octree"
+	"octocache/internal/raytrace"
+	"octocache/internal/sensor"
+	"octocache/internal/world"
+)
+
+// Scan is one sensor frame: the sensing origin and the returned points.
+type Scan struct {
+	Origin geom.Vec3
+	Points []geom.Vec3
+}
+
+// Dataset is a replayable scan sequence over a known world.
+type Dataset struct {
+	Name   string
+	World  *world.World
+	Sensor sensor.Model
+	Scans  []Scan
+}
+
+// Spec configures dataset generation.
+type Spec struct {
+	// Env selects the world; Seed makes both world and trajectory
+	// deterministic.
+	Env  world.Env
+	Seed int64
+	// NumScans is the number of sensor frames along the trajectory.
+	NumScans int
+	// Sensor is the range sensor model.
+	Sensor sensor.Model
+	// Waypoints override the default trajectory (start → goal with a
+	// lateral sweep). Optional.
+	Waypoints []geom.Vec3
+	// YawSweep adds a sinusoidal yaw oscillation (radians amplitude) so
+	// consecutive scans overlap but are not identical — the scanning
+	// pattern of Figure 7.
+	YawSweep float64
+}
+
+// Generate builds the dataset described by spec.
+func Generate(spec Spec) *Dataset {
+	w := world.Build(spec.Env, spec.Seed)
+	wps := spec.Waypoints
+	if len(wps) == 0 {
+		wps = defaultWaypoints(w)
+	}
+	if spec.NumScans < 1 {
+		spec.NumScans = 1
+	}
+	rng := rand.New(rand.NewSource(spec.Seed + 1))
+	d := &Dataset{
+		Name:   fmt.Sprintf("%s-%d", w.Name, spec.NumScans),
+		World:  w,
+		Sensor: spec.Sensor,
+		Scans:  make([]Scan, 0, spec.NumScans),
+	}
+	total := pathLength(wps)
+	for i := 0; i < spec.NumScans; i++ {
+		frac := 0.0
+		if spec.NumScans > 1 {
+			frac = float64(i) / float64(spec.NumScans-1)
+		}
+		pos, heading := pointAlong(wps, frac*total)
+		yaw := heading
+		if spec.YawSweep > 0 {
+			yaw += spec.YawSweep * math.Sin(float64(i)*0.7)
+		}
+		pose := geom.Pose{Position: pos, Yaw: yaw, Pitch: -0.1}
+		pts := spec.Sensor.Scan(w, pose, rng)
+		d.Scans = append(d.Scans, Scan{Origin: pos, Points: pts})
+	}
+	return d
+}
+
+// defaultWaypoints runs start → goal with a mild lateral zig-zag, giving
+// the continuous-scanning overlap pattern of Figure 7. The lateral
+// amplitude is shrunk until the offset waypoints are inside the world
+// bounds and collision-free, so tight environments (the FR-079 corridor)
+// keep the trajectory between their walls.
+func defaultWaypoints(w *world.World) []geom.Vec3 {
+	s, g := w.Start, w.Goal
+	d := g.Sub(s)
+	latDir := geom.V(-d.Y, d.X, 0).Normalize()
+	amp := math.Min(3, d.Norm()/8)
+	margin := geom.V(0.2, 0.2, 0.2)
+	ok := func(p geom.Vec3) bool {
+		return w.Bounds.Contains(p) && !w.Collides(geom.BoxAt(p, margin))
+	}
+	for i := 0; i < 6 && amp > 0.05; i++ {
+		a := s.Lerp(g, 0.25).Add(latDir.Scale(amp))
+		b := s.Lerp(g, 0.75).Sub(latDir.Scale(amp))
+		if ok(a) && ok(b) {
+			break
+		}
+		amp /= 2
+	}
+	lat := latDir.Scale(amp)
+	return []geom.Vec3{
+		s,
+		s.Lerp(g, 0.25).Add(lat),
+		s.Lerp(g, 0.5),
+		s.Lerp(g, 0.75).Sub(lat),
+		g,
+	}
+}
+
+func pathLength(wps []geom.Vec3) float64 {
+	total := 0.0
+	for i := 1; i < len(wps); i++ {
+		total += wps[i].Dist(wps[i-1])
+	}
+	return total
+}
+
+// pointAlong returns the position at arc length s along the polyline and
+// the heading (yaw) of the segment it falls on.
+func pointAlong(wps []geom.Vec3, s float64) (geom.Vec3, float64) {
+	if len(wps) == 1 {
+		return wps[0], 0
+	}
+	for i := 1; i < len(wps); i++ {
+		seg := wps[i].Dist(wps[i-1])
+		if s <= seg || i == len(wps)-1 {
+			t := 1.0
+			if seg > 0 {
+				t = math.Min(s/seg, 1)
+			}
+			p := wps[i-1].Lerp(wps[i], t)
+			d := wps[i].Sub(wps[i-1])
+			return p, math.Atan2(d.Y, d.X)
+		}
+		s -= seg
+	}
+	d := wps[len(wps)-1].Sub(wps[len(wps)-2])
+	return wps[len(wps)-1], math.Atan2(d.Y, d.X)
+}
+
+// TotalPoints returns the number of point returns across all scans.
+func (d *Dataset) TotalPoints() int {
+	n := 0
+	for _, s := range d.Scans {
+		n += len(s.Points)
+	}
+	return n
+}
+
+// Named builds one of the paper's three dataset stand-ins at the given
+// scale. Scale 1.0 reproduces the paper's scan counts for FR-079 (66)
+// and Freiburg campus (81); New College is capped at 240 scans (the
+// original's 92,361 are infeasible for a simulation replay) with the
+// same looping-quad trajectory character. Scale < 1 shrinks both scan
+// counts and ray density for fast tests.
+func Named(name string, scale float64) (*Dataset, error) {
+	if scale <= 0 {
+		scale = 1
+	}
+	// Scan count and ray density shrink gently (by √scale, with floors):
+	// they are what create the inter-batch overlap and intra-batch
+	// duplication the paper's analysis depends on, so aggressive scaling
+	// would change the workload's character, not just its size.
+	root := math.Sqrt(scale)
+	scl := func(n int) int {
+		v := int(math.Round(float64(n) * root))
+		if v < 2 {
+			v = 2
+		}
+		return v
+	}
+	sclScans := func(n int) int {
+		v := scl(n)
+		if v < 20 && n >= 20 {
+			v = 20
+		}
+		return v
+	}
+	sclRays := func(n, floor int) int {
+		v := scl(n)
+		if v < floor {
+			v = floor
+		}
+		return v
+	}
+	switch name {
+	case "fr079":
+		return Generate(Spec{
+			Env:      world.FR079,
+			Seed:     79,
+			NumScans: sclScans(66),
+			Sensor:   sensor.Panoramic(5, sclRays(120, 48), sclRays(24, 10)),
+			// Down the corridor centerline: the walls never leave view,
+			// which is what gives FR-079 its extreme inter-scan overlap.
+			Waypoints: []geom.Vec3{geom.V(0, 0, 1.2), geom.V(30, 0, 1.2)},
+			YawSweep:  0.5,
+		}), nil
+	case "campus":
+		return Generate(Spec{
+			Env:      world.Campus,
+			Seed:     81,
+			NumScans: sclScans(81),
+			Sensor:   sensor.Panoramic(25, sclRays(160, 56), sclRays(24, 10)),
+			YawSweep: 0.7,
+		}), nil
+	case "newcollege":
+		return Generate(Spec{
+			Env:      world.NewCollege,
+			Seed:     92,
+			NumScans: sclScans(240),
+			Sensor:   sensor.Panoramic(20, sclRays(120, 48), sclRays(20, 10)),
+			Waypoints: []geom.Vec3{
+				geom.V(-30, -30, 1.5), geom.V(30, -30, 1.5), geom.V(30, 30, 1.5),
+				geom.V(-30, 30, 1.5), geom.V(-30, -30, 1.5), geom.V(28, -28, 1.5),
+			},
+			YawSweep: 0.9,
+		}), nil
+	default:
+		return nil, fmt.Errorf("dataset: unknown dataset %q (want fr079, campus, or newcollege)", name)
+	}
+}
+
+// Names lists the built-in dataset names in the paper's Table 2 order.
+func Names() []string { return []string{"fr079", "campus", "newcollege"} }
+
+// VoxelStats summarizes a dataset's voxel workload at one resolution —
+// the rows of Table 2 plus the §3.1 duplication-rate range.
+type VoxelStats struct {
+	Resolution float64
+	Scans      int
+	Points     int
+	// TotalVoxels counts every traced voxel observation ("duplicate
+	// voxel #" in Table 2's accounting).
+	TotalVoxels int
+	// DistinctVoxels counts globally distinct voxel keys ("non-duplicate
+	// voxel #").
+	DistinctVoxels int
+	// DupMin/DupMean/DupMax are per-batch intra-duplication ratios
+	// (total observations / distinct voxels within the batch).
+	DupMin, DupMean, DupMax float64
+}
+
+// ComputeVoxelStats traces every scan at the given resolution and
+// aggregates workload statistics.
+func (d *Dataset) ComputeVoxelStats(res float64) VoxelStats {
+	tr := raytrace.NewTracer(raytrace.Config{Resolution: res, Depth: 16, MaxRange: d.Sensor.MaxRange})
+	global := make(map[octree.Key]struct{})
+	st := VoxelStats{Resolution: res, Scans: len(d.Scans), DupMin: math.Inf(1)}
+	for _, s := range d.Scans {
+		st.Points += len(s.Points)
+		batch := tr.Trace(s.Origin, s.Points)
+		st.TotalVoxels += len(batch)
+		local := make(map[octree.Key]struct{}, len(batch))
+		for _, v := range batch {
+			local[v.Key] = struct{}{}
+			global[v.Key] = struct{}{}
+		}
+		if len(local) > 0 {
+			r := float64(len(batch)) / float64(len(local))
+			st.DupMean += r
+			st.DupMin = math.Min(st.DupMin, r)
+			st.DupMax = math.Max(st.DupMax, r)
+		}
+	}
+	if len(d.Scans) > 0 {
+		st.DupMean /= float64(len(d.Scans))
+	}
+	if math.IsInf(st.DupMin, 1) {
+		st.DupMin = 0
+	}
+	st.DistinctVoxels = len(global)
+	return st
+}
+
+// OverlapRatios returns, for each batch after the first `window`, the
+// fraction of its distinct voxels already seen in the previous `window`
+// batches — Figure 8's inter-batch overlap (the paper uses window = 3).
+func (d *Dataset) OverlapRatios(res float64, window int) []float64 {
+	if window < 1 {
+		window = 3
+	}
+	tr := raytrace.NewTracer(raytrace.Config{Resolution: res, Depth: 16, MaxRange: d.Sensor.MaxRange})
+	distinct := make([]map[octree.Key]struct{}, len(d.Scans))
+	for i, s := range d.Scans {
+		distinct[i] = raytrace.DistinctKeys(tr.Trace(s.Origin, s.Points))
+	}
+	var out []float64
+	for i := window; i < len(distinct); i++ {
+		if len(distinct[i]) == 0 {
+			continue
+		}
+		overlap := 0
+		for k := range distinct[i] {
+			for j := i - window; j < i; j++ {
+				if _, ok := distinct[j][k]; ok {
+					overlap++
+					break
+				}
+			}
+		}
+		out = append(out, float64(overlap)/float64(len(distinct[i])))
+	}
+	return out
+}
+
+// CDF reduces samples to n evenly spaced cumulative-distribution points:
+// (value, fraction of samples <= value).
+func CDF(samples []float64, n int) [][2]float64 {
+	if len(samples) == 0 || n < 2 {
+		return nil
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	out := make([][2]float64, 0, n)
+	for i := 0; i < n; i++ {
+		q := float64(i) / float64(n-1)
+		idx := int(q * float64(len(s)-1))
+		out = append(out, [2]float64{s[idx], float64(idx+1) / float64(len(s))})
+	}
+	return out
+}

@@ -1,0 +1,207 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"octocache/internal/geom"
+	"octocache/internal/sensor"
+	"octocache/internal/world"
+)
+
+// smallSpec samples the corridor densely enough that consecutive scans
+// overlap, as a 50 Hz sensor on a slow platform would.
+func smallSpec() Spec {
+	return Spec{
+		Env:       world.FR079,
+		Seed:      7,
+		NumScans:  40,
+		Sensor:    sensor.DefaultModel(5, 16, 8),
+		Waypoints: []geom.Vec3{geom.V(0, 0, 1.2), geom.V(30, 0, 1.2)},
+		YawSweep:  0.3,
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(smallSpec())
+	b := Generate(smallSpec())
+	if len(a.Scans) != len(b.Scans) {
+		t.Fatal("scan counts differ")
+	}
+	for i := range a.Scans {
+		if a.Scans[i].Origin != b.Scans[i].Origin {
+			t.Fatalf("scan %d origins differ", i)
+		}
+		if len(a.Scans[i].Points) != len(b.Scans[i].Points) {
+			t.Fatalf("scan %d point counts differ", i)
+		}
+		for j := range a.Scans[i].Points {
+			if a.Scans[i].Points[j] != b.Scans[i].Points[j] {
+				t.Fatalf("scan %d point %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestGenerateProducesReturns(t *testing.T) {
+	d := Generate(smallSpec())
+	if d.TotalPoints() == 0 {
+		t.Fatal("dataset has no point returns")
+	}
+	empty := 0
+	for _, s := range d.Scans {
+		if len(s.Points) == 0 {
+			empty++
+		}
+	}
+	if empty > len(d.Scans)/2 {
+		t.Errorf("%d of %d scans empty", empty, len(d.Scans))
+	}
+}
+
+func TestScanOriginsFollowTrajectory(t *testing.T) {
+	d := Generate(smallSpec())
+	w := d.World
+	// First scan at start, last near goal.
+	if d.Scans[0].Origin.Dist(w.Start) > 1e-9 {
+		t.Errorf("first scan at %v, want start %v", d.Scans[0].Origin, w.Start)
+	}
+	if d.Scans[len(d.Scans)-1].Origin.Dist(w.Goal) > 1.0 {
+		t.Errorf("last scan at %v, want near goal %v", d.Scans[len(d.Scans)-1].Origin, w.Goal)
+	}
+	// Consecutive origins move by bounded steps.
+	for i := 1; i < len(d.Scans); i++ {
+		step := d.Scans[i].Origin.Dist(d.Scans[i-1].Origin)
+		if step > 6 {
+			t.Errorf("scan %d jumps %.1f m", i, step)
+		}
+	}
+}
+
+func TestNamedDatasets(t *testing.T) {
+	for _, name := range Names() {
+		d, err := Named(name, 0.15)
+		if err != nil {
+			t.Fatalf("Named(%q): %v", name, err)
+		}
+		if len(d.Scans) < 2 {
+			t.Errorf("%s: only %d scans", name, len(d.Scans))
+		}
+		if d.TotalPoints() == 0 {
+			t.Errorf("%s: no points", name)
+		}
+	}
+	if _, err := Named("bogus", 1); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}
+
+func TestNamedScanCountsMatchPaperAtFullScale(t *testing.T) {
+	// Table 2: FR-079 has 66 scans at full scale. Scan counts shrink by
+	// √scale with a floor of 20 (below which inter-batch overlap — the
+	// workload property under study — would collapse).
+	d, err := Named("fr079", 0.25) // √0.25 · 66 = 33 scans
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Scans) != 33 {
+		t.Errorf("fr079 scaled scans = %d, want 33", len(d.Scans))
+	}
+	d, err = Named("fr079", 0.01) // would be 6.6; floor keeps 20
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Scans) != 20 {
+		t.Errorf("fr079 floor scans = %d, want 20", len(d.Scans))
+	}
+}
+
+func TestVoxelStatsDuplication(t *testing.T) {
+	d := Generate(smallSpec())
+	st := d.ComputeVoxelStats(0.2)
+	if st.TotalVoxels == 0 || st.DistinctVoxels == 0 {
+		t.Fatal("no voxels traced")
+	}
+	if st.TotalVoxels <= st.DistinctVoxels {
+		t.Errorf("no duplication: total %d, distinct %d", st.TotalVoxels, st.DistinctVoxels)
+	}
+	// §3.1: intra-batch duplication well above 1.
+	if st.DupMean < 1.5 {
+		t.Errorf("mean intra-batch duplication %.2f too low", st.DupMean)
+	}
+	if st.DupMin > st.DupMean || st.DupMean > st.DupMax {
+		t.Errorf("duplication ordering broken: min %.2f mean %.2f max %.2f", st.DupMin, st.DupMean, st.DupMax)
+	}
+	if st.Scans != 40 || st.Points != d.TotalPoints() {
+		t.Errorf("stats bookkeeping wrong: %+v", st)
+	}
+}
+
+func TestVoxelStatsResolutionMonotonicity(t *testing.T) {
+	// Coarser resolution → fewer distinct voxels (Table 2's trend).
+	d := Generate(smallSpec())
+	fine := d.ComputeVoxelStats(0.1)
+	coarse := d.ComputeVoxelStats(0.4)
+	if coarse.DistinctVoxels >= fine.DistinctVoxels {
+		t.Errorf("distinct voxels did not drop with coarser resolution: %d vs %d",
+			coarse.DistinctVoxels, fine.DistinctVoxels)
+	}
+}
+
+func TestOverlapRatios(t *testing.T) {
+	d := Generate(smallSpec())
+	ratios := d.OverlapRatios(0.2, 3)
+	if len(ratios) != len(d.Scans)-3 {
+		t.Fatalf("got %d ratios, want %d", len(ratios), len(d.Scans)-3)
+	}
+	var mean float64
+	for _, r := range ratios {
+		if r < 0 || r > 1 {
+			t.Fatalf("ratio %v out of [0,1]", r)
+		}
+		mean += r
+	}
+	mean /= float64(len(ratios))
+	// The corridor's continuous scanning pattern must produce high
+	// overlap (Figure 8 reports >80% for two of three datasets).
+	if mean < 0.4 {
+		t.Errorf("mean overlap %.2f too low for corridor scanning", mean)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	samples := []float64{0.1, 0.9, 0.5, 0.3, 0.7}
+	cdf := CDF(samples, 5)
+	if len(cdf) != 5 {
+		t.Fatalf("got %d points", len(cdf))
+	}
+	// Values ascend, fractions ascend to 1.
+	for i := 1; i < len(cdf); i++ {
+		if cdf[i][0] < cdf[i-1][0] || cdf[i][1] < cdf[i-1][1] {
+			t.Fatal("CDF not monotone")
+		}
+	}
+	if cdf[len(cdf)-1][1] != 1 {
+		t.Errorf("CDF does not reach 1: %v", cdf[len(cdf)-1][1])
+	}
+	if CDF(nil, 5) != nil || CDF(samples, 1) != nil {
+		t.Error("degenerate CDF inputs should return nil")
+	}
+}
+
+func TestPointAlong(t *testing.T) {
+	wps := []geom.Vec3{geom.V(0, 0, 0), geom.V(10, 0, 0), geom.V(10, 10, 0)}
+	p, yaw := pointAlong(wps, 5)
+	if p.Dist(geom.V(5, 0, 0)) > 1e-9 || math.Abs(yaw) > 1e-9 {
+		t.Errorf("mid first segment: %v yaw %v", p, yaw)
+	}
+	p, yaw = pointAlong(wps, 15)
+	if p.Dist(geom.V(10, 5, 0)) > 1e-9 || math.Abs(yaw-math.Pi/2) > 1e-9 {
+		t.Errorf("mid second segment: %v yaw %v", p, yaw)
+	}
+	// Beyond the end clamps to the final waypoint.
+	p, _ = pointAlong(wps, 1000)
+	if p.Dist(geom.V(10, 10, 0)) > 1e-9 {
+		t.Errorf("beyond end: %v", p)
+	}
+}

@@ -1,0 +1,30 @@
+package dataset
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDatasetReadFrom ensures arbitrary byte streams never panic the
+// dataset deserializer.
+func FuzzDatasetReadFrom(f *testing.F) {
+	d := Generate(smallSpec())
+	var buf bytes.Buffer
+	if _, err := d.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte{})
+	f.Add([]byte("OCTGd1\r\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var back Dataset
+		if _, err := back.ReadFrom(bytes.NewReader(data)); err != nil {
+			return
+		}
+		// Parsed: stats must not panic either.
+		_ = back.TotalPoints()
+	})
+}

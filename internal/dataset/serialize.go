@@ -1,0 +1,211 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"octocache/internal/geom"
+	"octocache/internal/sensor"
+)
+
+// Binary dataset serialization: a saved dataset replays the exact same
+// point-cloud stream on any machine, decoupling experiment workloads from
+// the generator. The world geometry is not stored — a loaded dataset
+// supports replay and statistics, not re-scanning (World is nil).
+
+var dsMagic = [8]byte{'O', 'C', 'T', 'G', 'd', '1', '\r', '\n'}
+
+// WriteTo serializes the dataset. It implements io.WriterTo.
+func (d *Dataset) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	cw := &countWriter{w: bw}
+	if _, err := cw.Write(dsMagic[:]); err != nil {
+		return cw.n, err
+	}
+	if err := writeString(cw, d.Name); err != nil {
+		return cw.n, err
+	}
+	sensorFields := []float64{
+		d.Sensor.HFOV, d.Sensor.VFOV,
+		float64(d.Sensor.HRays), float64(d.Sensor.VRays),
+		d.Sensor.MaxRange, d.Sensor.FPS, d.Sensor.RangeNoise,
+	}
+	for _, f := range sensorFields {
+		if err := writeF64(cw, f); err != nil {
+			return cw.n, err
+		}
+	}
+	if err := binary.Write(cw, binary.LittleEndian, int64(len(d.Scans))); err != nil {
+		return cw.n, err
+	}
+	for _, s := range d.Scans {
+		if err := writeVec(cw, s.Origin); err != nil {
+			return cw.n, err
+		}
+		if err := binary.Write(cw, binary.LittleEndian, int64(len(s.Points))); err != nil {
+			return cw.n, err
+		}
+		for _, p := range s.Points {
+			if err := writeVec(cw, p); err != nil {
+				return cw.n, err
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+// ReadFrom deserializes a dataset written by WriteTo, replacing the
+// receiver's contents. World is left nil. It implements io.ReaderFrom.
+func (d *Dataset) ReadFrom(r io.Reader) (int64, error) {
+	cr := &countReader{r: bufio.NewReader(r)}
+	var got [8]byte
+	if _, err := io.ReadFull(cr, got[:]); err != nil {
+		return cr.n, fmt.Errorf("dataset: reading magic: %w", err)
+	}
+	if got != dsMagic {
+		return cr.n, fmt.Errorf("dataset: bad magic %q", got[:])
+	}
+	name, err := readString(cr)
+	if err != nil {
+		return cr.n, err
+	}
+	var fields [7]float64
+	for i := range fields {
+		if fields[i], err = readF64(cr); err != nil {
+			return cr.n, err
+		}
+	}
+	var nScans int64
+	if err := binary.Read(cr, binary.LittleEndian, &nScans); err != nil {
+		return cr.n, err
+	}
+	if nScans < 0 || nScans > 1<<24 {
+		return cr.n, fmt.Errorf("dataset: implausible scan count %d", nScans)
+	}
+	scans := make([]Scan, 0, nScans)
+	for i := int64(0); i < nScans; i++ {
+		origin, err := readVec(cr)
+		if err != nil {
+			return cr.n, err
+		}
+		var nPts int64
+		if err := binary.Read(cr, binary.LittleEndian, &nPts); err != nil {
+			return cr.n, err
+		}
+		if nPts < 0 || nPts > 1<<28 {
+			return cr.n, fmt.Errorf("dataset: implausible point count %d", nPts)
+		}
+		pts := make([]geom.Vec3, nPts)
+		for j := range pts {
+			if pts[j], err = readVec(cr); err != nil {
+				return cr.n, err
+			}
+		}
+		scans = append(scans, Scan{Origin: origin, Points: pts})
+	}
+	d.Name = name
+	d.World = nil
+	d.Sensor = sensor.Model{
+		HFOV:       fields[0],
+		VFOV:       fields[1],
+		HRays:      int(fields[2]),
+		VRays:      int(fields[3]),
+		MaxRange:   fields[4],
+		FPS:        fields[5],
+		RangeNoise: fields[6],
+	}
+	d.Scans = scans
+	return cr.n, nil
+}
+
+func writeString(w io.Writer, s string) error {
+	if err := binary.Write(w, binary.LittleEndian, int32(len(s))); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, s)
+	return err
+}
+
+func readString(r io.Reader) (string, error) {
+	var n int32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return "", err
+	}
+	if n < 0 || n > 4096 {
+		return "", fmt.Errorf("dataset: implausible string length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+func writeF64(w io.Writer, f float64) error {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(f))
+	_, err := w.Write(buf[:])
+	return err
+}
+
+func readF64(r io.Reader) (float64, error) {
+	var buf [8]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, err
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(buf[:])), nil
+}
+
+func writeVec(w io.Writer, v geom.Vec3) error {
+	if err := writeF64(w, v.X); err != nil {
+		return err
+	}
+	if err := writeF64(w, v.Y); err != nil {
+		return err
+	}
+	return writeF64(w, v.Z)
+}
+
+func readVec(r io.Reader) (geom.Vec3, error) {
+	x, err := readF64(r)
+	if err != nil {
+		return geom.Vec3{}, err
+	}
+	y, err := readF64(r)
+	if err != nil {
+		return geom.Vec3{}, err
+	}
+	z, err := readF64(r)
+	if err != nil {
+		return geom.Vec3{}, err
+	}
+	return geom.V(x, y, z), nil
+}
+
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+type countReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}

@@ -1,0 +1,91 @@
+package dataset
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestDatasetSerializeRoundTrip(t *testing.T) {
+	d := Generate(smallSpec())
+	var buf bytes.Buffer
+	n, err := d.WriteTo(&buf)
+	if err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("WriteTo returned %d, buffer holds %d", n, buf.Len())
+	}
+	var back Dataset
+	if _, err := back.ReadFrom(&buf); err != nil {
+		t.Fatalf("ReadFrom: %v", err)
+	}
+	if back.Name != d.Name {
+		t.Errorf("name %q != %q", back.Name, d.Name)
+	}
+	if back.Sensor != d.Sensor {
+		t.Errorf("sensor differs: %+v vs %+v", back.Sensor, d.Sensor)
+	}
+	if len(back.Scans) != len(d.Scans) {
+		t.Fatalf("scan count %d != %d", len(back.Scans), len(d.Scans))
+	}
+	for i := range d.Scans {
+		if back.Scans[i].Origin != d.Scans[i].Origin {
+			t.Fatalf("scan %d origin differs", i)
+		}
+		if len(back.Scans[i].Points) != len(d.Scans[i].Points) {
+			t.Fatalf("scan %d point count differs", i)
+		}
+		for j := range d.Scans[i].Points {
+			if back.Scans[i].Points[j] != d.Scans[i].Points[j] {
+				t.Fatalf("scan %d point %d differs", i, j)
+			}
+		}
+	}
+	if back.World != nil {
+		t.Error("deserialized dataset should have nil World")
+	}
+	// Stats work on a loaded dataset.
+	st := back.ComputeVoxelStats(0.2)
+	want := d.ComputeVoxelStats(0.2)
+	if st != want {
+		t.Errorf("stats differ after round trip: %+v vs %+v", st, want)
+	}
+}
+
+func TestDatasetReadRejectsGarbage(t *testing.T) {
+	var d Dataset
+	if _, err := d.ReadFrom(bytes.NewReader([]byte("not a dataset file"))); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := d.ReadFrom(bytes.NewReader(nil)); err == nil {
+		t.Error("empty stream accepted")
+	}
+}
+
+func TestDatasetReadRejectsTruncated(t *testing.T) {
+	d := Generate(smallSpec())
+	var buf bytes.Buffer
+	if _, err := d.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	var back Dataset
+	if _, err := back.ReadFrom(bytes.NewReader(data[:len(data)/3])); err == nil {
+		t.Error("truncated stream accepted")
+	}
+}
+
+func TestDatasetSerializeEmptyScans(t *testing.T) {
+	d := &Dataset{Name: "empty"}
+	var buf bytes.Buffer
+	if _, err := d.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Dataset
+	if _, err := back.ReadFrom(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "empty" || len(back.Scans) != 0 {
+		t.Errorf("empty dataset round trip wrong: %+v", back)
+	}
+}

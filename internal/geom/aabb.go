@@ -1,0 +1,91 @@
+package geom
+
+import "math"
+
+// AABB is an axis-aligned bounding box with inclusive Min and Max corners.
+type AABB struct {
+	Min, Max Vec3
+}
+
+// Box constructs an AABB from two arbitrary corners, normalizing so that
+// Min ≤ Max component-wise.
+func Box(a, b Vec3) AABB {
+	return AABB{Min: a.Min(b), Max: a.Max(b)}
+}
+
+// BoxAt constructs an AABB centered at c with half-extents h.
+func BoxAt(c, h Vec3) AABB {
+	return AABB{Min: c.Sub(h), Max: c.Add(h)}
+}
+
+// Center returns the box center.
+func (b AABB) Center() Vec3 { return b.Min.Add(b.Max).Scale(0.5) }
+
+// Size returns the box edge lengths.
+func (b AABB) Size() Vec3 { return b.Max.Sub(b.Min) }
+
+// Contains reports whether p lies inside or on the boundary of b.
+func (b AABB) Contains(p Vec3) bool {
+	return p.X >= b.Min.X && p.X <= b.Max.X &&
+		p.Y >= b.Min.Y && p.Y <= b.Max.Y &&
+		p.Z >= b.Min.Z && p.Z <= b.Max.Z
+}
+
+// Intersects reports whether b and o overlap (touching counts).
+func (b AABB) Intersects(o AABB) bool {
+	return b.Min.X <= o.Max.X && b.Max.X >= o.Min.X &&
+		b.Min.Y <= o.Max.Y && b.Max.Y >= o.Min.Y &&
+		b.Min.Z <= o.Max.Z && b.Max.Z >= o.Min.Z
+}
+
+// Expand returns b grown by m on every side.
+func (b AABB) Expand(m float64) AABB {
+	d := Vec3{m, m, m}
+	return AABB{Min: b.Min.Sub(d), Max: b.Max.Add(d)}
+}
+
+// Union returns the smallest AABB containing both b and o.
+func (b AABB) Union(o AABB) AABB {
+	return AABB{Min: b.Min.Min(o.Min), Max: b.Max.Max(o.Max)}
+}
+
+// RayIntersect computes the entry and exit parameters of the ray
+// origin + t*dir against the box using the slab method. It returns
+// (tmin, tmax, true) when the ray hits the box with tmax >= max(tmin, 0);
+// otherwise ok is false. dir need not be normalized.
+func (b AABB) RayIntersect(origin, dir Vec3) (tmin, tmax float64, ok bool) {
+	tmin, tmax = math.Inf(-1), math.Inf(1)
+	bounds := [3][2]float64{
+		{b.Min.X, b.Max.X},
+		{b.Min.Y, b.Max.Y},
+		{b.Min.Z, b.Max.Z},
+	}
+	o := [3]float64{origin.X, origin.Y, origin.Z}
+	d := [3]float64{dir.X, dir.Y, dir.Z}
+	for i := 0; i < 3; i++ {
+		if d[i] == 0 {
+			if o[i] < bounds[i][0] || o[i] > bounds[i][1] {
+				return 0, 0, false
+			}
+			continue
+		}
+		t0 := (bounds[i][0] - o[i]) / d[i]
+		t1 := (bounds[i][1] - o[i]) / d[i]
+		if t0 > t1 {
+			t0, t1 = t1, t0
+		}
+		if t0 > tmin {
+			tmin = t0
+		}
+		if t1 < tmax {
+			tmax = t1
+		}
+		if tmin > tmax {
+			return 0, 0, false
+		}
+	}
+	if tmax < 0 {
+		return 0, 0, false
+	}
+	return tmin, tmax, true
+}

@@ -1,0 +1,233 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestVecBasics(t *testing.T) {
+	a := V(1, 2, 3)
+	b := V(4, -5, 6)
+	if got := a.Add(b); got != V(5, -3, 9) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Sub(b); got != V(-3, 7, -3) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Scale(2); got != V(2, 4, 6) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := a.Dot(b); !almostEq(got, 4-10+18) {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := V(1, 0, 0).Cross(V(0, 1, 0)); got != V(0, 0, 1) {
+		t.Errorf("Cross = %v", got)
+	}
+	if got := V(3, 4, 0).Norm(); !almostEq(got, 5) {
+		t.Errorf("Norm = %v", got)
+	}
+	if got := V(0, 0, 0).Normalize(); got != V(0, 0, 0) {
+		t.Errorf("Normalize(zero) = %v", got)
+	}
+}
+
+func TestVecNormalizeUnit(t *testing.T) {
+	f := func(x, y, z float64) bool {
+		v := V(x, y, z)
+		if v.Norm() == 0 || math.IsInf(v.Norm(), 0) || math.IsNaN(v.Norm()) {
+			return true
+		}
+		return math.Abs(v.Normalize().Norm()-1) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVecLerp(t *testing.T) {
+	a, b := V(0, 0, 0), V(10, -10, 4)
+	if got := a.Lerp(b, 0); got != a {
+		t.Errorf("Lerp(0) = %v", got)
+	}
+	if got := a.Lerp(b, 1); got != b {
+		t.Errorf("Lerp(1) = %v", got)
+	}
+	mid := a.Lerp(b, 0.5)
+	if !almostEq(mid.X, 5) || !almostEq(mid.Y, -5) || !almostEq(mid.Z, 2) {
+		t.Errorf("Lerp(0.5) = %v", mid)
+	}
+}
+
+func TestVecMinMaxAbs(t *testing.T) {
+	a, b := V(1, -2, 3), V(-1, 5, 2)
+	if got := a.Min(b); got != V(-1, -2, 2) {
+		t.Errorf("Min = %v", got)
+	}
+	if got := a.Max(b); got != V(1, 5, 3) {
+		t.Errorf("Max = %v", got)
+	}
+	if got := a.Abs(); got != V(1, 2, 3) {
+		t.Errorf("Abs = %v", got)
+	}
+}
+
+func TestRotateZ(t *testing.T) {
+	v := V(1, 0, 0).RotateZ(math.Pi / 2)
+	if !almostEq(v.X, 0) || !almostEq(v.Y, 1) || !almostEq(v.Z, 0) {
+		t.Errorf("RotateZ = %v", v)
+	}
+}
+
+func TestPoseForward(t *testing.T) {
+	p := Pose{Yaw: 0, Pitch: 0}
+	if f := p.Forward(); !almostEq(f.X, 1) || !almostEq(f.Y, 0) || !almostEq(f.Z, 0) {
+		t.Errorf("Forward level = %v", f)
+	}
+	p = Pose{Yaw: math.Pi / 2, Pitch: 0}
+	if f := p.Forward(); !almostEq(f.X, 0) || !almostEq(f.Y, 1) {
+		t.Errorf("Forward yawed = %v", f)
+	}
+	p = Pose{Pitch: math.Pi / 2}
+	if f := p.Forward(); !almostEq(f.Z, 1) {
+		t.Errorf("Forward up = %v", f)
+	}
+}
+
+func TestPoseDirectionIsUnit(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		p := Pose{
+			Yaw:   rng.Float64()*2*math.Pi - math.Pi,
+			Pitch: rng.Float64()*math.Pi - math.Pi/2,
+		}
+		d := p.Direction(rng.Float64()-0.5, rng.Float64()-0.5)
+		if math.Abs(d.Norm()-1) > 1e-9 {
+			t.Fatalf("Direction not unit: %v norm %v", d, d.Norm())
+		}
+	}
+}
+
+func TestAABBContains(t *testing.T) {
+	b := Box(V(0, 0, 0), V(2, 2, 2))
+	if !b.Contains(V(1, 1, 1)) {
+		t.Error("center should be contained")
+	}
+	if !b.Contains(V(0, 0, 0)) || !b.Contains(V(2, 2, 2)) {
+		t.Error("corners should be contained")
+	}
+	if b.Contains(V(2.001, 1, 1)) {
+		t.Error("outside point contained")
+	}
+}
+
+func TestAABBNormalizesCorners(t *testing.T) {
+	b := Box(V(2, 2, 2), V(0, 0, 0))
+	if b.Min != V(0, 0, 0) || b.Max != V(2, 2, 2) {
+		t.Errorf("Box did not normalize corners: %+v", b)
+	}
+}
+
+func TestAABBIntersects(t *testing.T) {
+	a := Box(V(0, 0, 0), V(2, 2, 2))
+	cases := []struct {
+		b    AABB
+		want bool
+	}{
+		{Box(V(1, 1, 1), V(3, 3, 3)), true},
+		{Box(V(2, 2, 2), V(3, 3, 3)), true}, // touching counts
+		{Box(V(2.1, 0, 0), V(3, 1, 1)), false},
+		{Box(V(-1, -1, -1), V(3, 3, 3)), true}, // containment
+	}
+	for i, c := range cases {
+		if got := a.Intersects(c.b); got != c.want {
+			t.Errorf("case %d: Intersects = %v want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestAABBUnionExpand(t *testing.T) {
+	a := Box(V(0, 0, 0), V(1, 1, 1))
+	b := Box(V(2, -1, 0), V(3, 0, 5))
+	u := a.Union(b)
+	if u.Min != V(0, -1, 0) || u.Max != V(3, 1, 5) {
+		t.Errorf("Union = %+v", u)
+	}
+	e := a.Expand(0.5)
+	if e.Min != V(-0.5, -0.5, -0.5) || e.Max != V(1.5, 1.5, 1.5) {
+		t.Errorf("Expand = %+v", e)
+	}
+}
+
+func TestRayIntersectHit(t *testing.T) {
+	b := Box(V(1, -1, -1), V(2, 1, 1))
+	tmin, tmax, ok := b.RayIntersect(V(0, 0, 0), V(1, 0, 0))
+	if !ok {
+		t.Fatal("expected hit")
+	}
+	if !almostEq(tmin, 1) || !almostEq(tmax, 2) {
+		t.Errorf("tmin=%v tmax=%v", tmin, tmax)
+	}
+}
+
+func TestRayIntersectMiss(t *testing.T) {
+	b := Box(V(1, -1, -1), V(2, 1, 1))
+	if _, _, ok := b.RayIntersect(V(0, 5, 0), V(1, 0, 0)); ok {
+		t.Error("parallel offset ray should miss")
+	}
+	// Ray pointing away from box.
+	if _, _, ok := b.RayIntersect(V(0, 0, 0), V(-1, 0, 0)); ok {
+		t.Error("ray pointing away should miss")
+	}
+}
+
+func TestRayIntersectFromInside(t *testing.T) {
+	b := Box(V(-1, -1, -1), V(1, 1, 1))
+	tmin, tmax, ok := b.RayIntersect(V(0, 0, 0), V(0, 0, 1))
+	if !ok {
+		t.Fatal("expected hit from inside")
+	}
+	if tmin > 0 || !almostEq(tmax, 1) {
+		t.Errorf("tmin=%v tmax=%v", tmin, tmax)
+	}
+}
+
+func TestRayIntersectZeroComponent(t *testing.T) {
+	b := Box(V(-1, -1, 5), V(1, 1, 6))
+	// Direction has zero X and Y; origin inside the XY slab.
+	if _, _, ok := b.RayIntersect(V(0, 0, 0), V(0, 0, 1)); !ok {
+		t.Error("vertical ray should hit")
+	}
+	// Origin outside the X slab with zero X direction.
+	if _, _, ok := b.RayIntersect(V(5, 0, 0), V(0, 0, 1)); ok {
+		t.Error("vertical ray outside slab should miss")
+	}
+}
+
+// Property: any point sampled on the ray segment strictly between tmin and
+// tmax lies inside the box.
+func TestRayIntersectPointsInside(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	b := Box(V(-2, -3, -1), V(4, 2, 5))
+	for i := 0; i < 500; i++ {
+		origin := V(rng.Float64()*20-10, rng.Float64()*20-10, rng.Float64()*20-10)
+		dir := V(rng.Float64()*2-1, rng.Float64()*2-1, rng.Float64()*2-1)
+		if dir.Norm() < 1e-3 {
+			continue
+		}
+		tmin, tmax, ok := b.RayIntersect(origin, dir)
+		if !ok {
+			continue
+		}
+		lo := math.Max(tmin, 0)
+		for _, f := range []float64{0.25, 0.5, 0.75} {
+			p := origin.Add(dir.Scale(lo + f*(tmax-lo)))
+			if !b.Expand(1e-9).Contains(p) {
+				t.Fatalf("point %v at t in [%v,%v] not inside box", p, tmin, tmax)
+			}
+		}
+	}
+}

@@ -1,0 +1,122 @@
+// Package geom provides the small set of 3D geometry primitives shared by
+// the mapping, sensing, and navigation subsystems: vectors, axis-aligned
+// boxes, poses, and ray/box intersection.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vec3 is a point or direction in 3D space, in meters.
+type Vec3 struct {
+	X, Y, Z float64
+}
+
+// V is shorthand for constructing a Vec3.
+func V(x, y, z float64) Vec3 { return Vec3{x, y, z} }
+
+// Add returns v + o.
+func (v Vec3) Add(o Vec3) Vec3 { return Vec3{v.X + o.X, v.Y + o.Y, v.Z + o.Z} }
+
+// Sub returns v - o.
+func (v Vec3) Sub(o Vec3) Vec3 { return Vec3{v.X - o.X, v.Y - o.Y, v.Z - o.Z} }
+
+// Scale returns v scaled by s.
+func (v Vec3) Scale(s float64) Vec3 { return Vec3{v.X * s, v.Y * s, v.Z * s} }
+
+// Dot returns the dot product v · o.
+func (v Vec3) Dot(o Vec3) float64 { return v.X*o.X + v.Y*o.Y + v.Z*o.Z }
+
+// Cross returns the cross product v × o.
+func (v Vec3) Cross(o Vec3) Vec3 {
+	return Vec3{
+		v.Y*o.Z - v.Z*o.Y,
+		v.Z*o.X - v.X*o.Z,
+		v.X*o.Y - v.Y*o.X,
+	}
+}
+
+// Norm returns the Euclidean length of v.
+func (v Vec3) Norm() float64 { return math.Sqrt(v.Dot(v)) }
+
+// NormSq returns the squared Euclidean length of v.
+func (v Vec3) NormSq() float64 { return v.Dot(v) }
+
+// Dist returns the Euclidean distance between v and o.
+func (v Vec3) Dist(o Vec3) float64 { return v.Sub(o).Norm() }
+
+// Normalize returns v scaled to unit length. The zero vector is returned
+// unchanged.
+func (v Vec3) Normalize() Vec3 {
+	n := v.Norm()
+	if n == 0 {
+		return v
+	}
+	return v.Scale(1 / n)
+}
+
+// Lerp returns the linear interpolation between v and o at parameter t,
+// where t=0 yields v and t=1 yields o.
+func (v Vec3) Lerp(o Vec3, t float64) Vec3 {
+	return v.Add(o.Sub(v).Scale(t))
+}
+
+// Min returns the component-wise minimum of v and o.
+func (v Vec3) Min(o Vec3) Vec3 {
+	return Vec3{math.Min(v.X, o.X), math.Min(v.Y, o.Y), math.Min(v.Z, o.Z)}
+}
+
+// Max returns the component-wise maximum of v and o.
+func (v Vec3) Max(o Vec3) Vec3 {
+	return Vec3{math.Max(v.X, o.X), math.Max(v.Y, o.Y), math.Max(v.Z, o.Z)}
+}
+
+// Abs returns the component-wise absolute value of v.
+func (v Vec3) Abs() Vec3 {
+	return Vec3{math.Abs(v.X), math.Abs(v.Y), math.Abs(v.Z)}
+}
+
+// String implements fmt.Stringer.
+func (v Vec3) String() string {
+	return fmt.Sprintf("(%.3f, %.3f, %.3f)", v.X, v.Y, v.Z)
+}
+
+// RotateZ returns v rotated by yaw radians around the +Z axis.
+func (v Vec3) RotateZ(yaw float64) Vec3 {
+	s, c := math.Sin(yaw), math.Cos(yaw)
+	return Vec3{v.X*c - v.Y*s, v.X*s + v.Y*c, v.Z}
+}
+
+// Pose is a sensor or vehicle pose: a position plus a yaw (rotation about
+// +Z) and pitch (rotation about the body +Y axis, positive looking up).
+// Roll is not modeled; the simulated sensors in this repository are
+// yaw/pitch gimbaled, which matches how MAVBench mounts its depth camera.
+type Pose struct {
+	Position Vec3
+	Yaw      float64 // radians, 0 = +X
+	Pitch    float64 // radians, 0 = level, positive = up
+}
+
+// Forward returns the unit vector the pose is facing.
+func (p Pose) Forward() Vec3 {
+	cp := math.Cos(p.Pitch)
+	return Vec3{
+		math.Cos(p.Yaw) * cp,
+		math.Sin(p.Yaw) * cp,
+		math.Sin(p.Pitch),
+	}
+}
+
+// Direction returns the unit ray direction for a sensor ray offset from
+// the pose's facing by (dYaw, dPitch) radians.
+func (p Pose) Direction(dYaw, dPitch float64) Vec3 {
+	yaw := p.Yaw + dYaw
+	pitch := p.Pitch + dPitch
+	cp := math.Cos(pitch)
+	return Vec3{
+		math.Cos(yaw) * cp,
+		math.Sin(yaw) * cp,
+		math.Sin(pitch),
+	}
+}

@@ -1,0 +1,101 @@
+// Package morton implements 3D Morton (Z-order) codes for 16-bit voxel
+// coordinates, as used by OctoCache to index its cache buckets and to
+// order evicted voxels before octree insertion (paper §4.3).
+//
+// A Morton code interleaves the bits of the three coordinates so that
+// codes that are numerically close are spatially close and — crucially
+// for OctoCache — share long root paths in an octree: the number of
+// leading common 3-bit groups of two codes equals the depth of the
+// voxels' closest common ancestor. The package also provides the paper's
+// locality functional F(S) (the sum of tree distances between adjacent
+// elements of a voxel sequence), which the Fig 10 experiment correlates
+// with octree insertion speed.
+//
+// Bit layout: bit i of x maps to output bit 3i, y to 3i+1, z to 3i+2.
+// This reproduces the paper's worked example: (x,y,z)=(1,5,3) → M=167.
+package morton
+
+import "math/bits"
+
+// CoordBits is the number of bits encoded per coordinate axis. It matches
+// the 16-level octree used by OctoMap, so a full Morton code occupies
+// 3*CoordBits = 48 bits of a uint64.
+const CoordBits = 16
+
+// dilate1By2 spreads the low 16 bits of x so that bit i moves to bit 3i,
+// using the classic Stocco–Schrack magic-mask sequence.
+func dilate1By2(x uint64) uint64 {
+	x &= 0xFFFF
+	x = (x | x<<32) & 0x001F00000000FFFF
+	x = (x | x<<16) & 0x001F0000FF0000FF
+	x = (x | x<<8) & 0x100F00F00F00F00F
+	x = (x | x<<4) & 0x10C30C30C30C30C3
+	x = (x | x<<2) & 0x1249249249249249
+	return x
+}
+
+// compact1By2 is the inverse of dilate1By2: it gathers every third bit
+// (bit 3i → bit i) back into a contiguous 16-bit value.
+func compact1By2(x uint64) uint64 {
+	x &= 0x1249249249249249
+	x = (x ^ x>>2) & 0x10C30C30C30C30C3
+	x = (x ^ x>>4) & 0x100F00F00F00F00F
+	x = (x ^ x>>8) & 0x001F0000FF0000FF
+	x = (x ^ x>>16) & 0x001F00000000FFFF
+	x = (x ^ x>>32) & 0xFFFF
+	return x
+}
+
+// Encode computes the 48-bit Morton code of (x, y, z).
+func Encode(x, y, z uint16) uint64 {
+	return dilate1By2(uint64(x)) | dilate1By2(uint64(y))<<1 | dilate1By2(uint64(z))<<2
+}
+
+// Decode recovers the coordinates encoded by Encode.
+func Decode(m uint64) (x, y, z uint16) {
+	return uint16(compact1By2(m)), uint16(compact1By2(m >> 1)), uint16(compact1By2(m >> 2))
+}
+
+// CommonAncestorDepth returns the depth of the closest common ancestor of
+// the two leaves a and b in an octree of the given leaf depth, where the
+// root has depth 0 and leaves have depth `depth`. Equal codes share all
+// `depth` levels.
+func CommonAncestorDepth(a, b uint64, depth int) int {
+	if a == b {
+		return depth
+	}
+	diff := a ^ b
+	// Index (from the least-significant end) of the highest 3-bit group
+	// in which the codes differ.
+	highTriple := (bits.Len64(diff) - 1) / 3
+	anc := depth - 1 - highTriple
+	if anc < 0 {
+		// Codes differ above the encoded depth; clamp to the root.
+		return 0
+	}
+	return anc
+}
+
+// Distance returns D(a, b): the shortest-path distance (in edges) between
+// the two leaves in an octree of the given leaf depth — twice the
+// distance from either leaf up to the closest common ancestor. It is 0
+// for identical codes.
+func Distance(a, b uint64, depth int) int {
+	return 2 * (depth - CommonAncestorDepth(a, b, depth))
+}
+
+// F computes the paper's locality functional
+//
+//	F(S) = D(a1,a2) + D(a2,a3) + ... + D(a_{N-1}, a_N)
+//
+// over a sequence of Morton codes, in an octree of the given leaf depth.
+// Smaller F means adjacent elements share more ancestors, which the
+// paper proves (and Fig 10 measures) translates into faster octree
+// insertion. A sequence of fewer than two elements has F = 0.
+func F(seq []uint64, depth int) int {
+	total := 0
+	for i := 1; i < len(seq); i++ {
+		total += Distance(seq[i-1], seq[i], depth)
+	}
+	return total
+}

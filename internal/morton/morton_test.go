@@ -1,0 +1,223 @@
+package morton
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// TestPaperExample checks the worked example from §4.3 of the paper:
+// voxel (1,5,3) has Morton code 167.
+func TestPaperExample(t *testing.T) {
+	if m := Encode(1, 5, 3); m != 167 {
+		t.Errorf("Encode(1,5,3) = %d, want 167", m)
+	}
+}
+
+func TestEncodeZeroAndMax(t *testing.T) {
+	if m := Encode(0, 0, 0); m != 0 {
+		t.Errorf("Encode(0,0,0) = %d", m)
+	}
+	if m := Encode(0xFFFF, 0xFFFF, 0xFFFF); m != (1<<48)-1 {
+		t.Errorf("Encode(max) = %#x, want %#x", m, uint64(1<<48)-1)
+	}
+}
+
+func TestEncodeSingleAxis(t *testing.T) {
+	// A lone x bit i lands at output bit 3i; y at 3i+1; z at 3i+2.
+	for i := 0; i < 16; i++ {
+		if m := Encode(1<<i, 0, 0); m != 1<<(3*i) {
+			t.Errorf("x bit %d: got %#x", i, m)
+		}
+		if m := Encode(0, 1<<i, 0); m != 1<<(3*i+1) {
+			t.Errorf("y bit %d: got %#x", i, m)
+		}
+		if m := Encode(0, 0, 1<<i); m != 1<<(3*i+2) {
+			t.Errorf("z bit %d: got %#x", i, m)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	f := func(x, y, z uint16) bool {
+		gx, gy, gz := Decode(Encode(x, y, z))
+		return gx == x && gy == y && gz == z
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Encoding is monotone per axis when the other axes are fixed.
+func TestMonotonePerAxis(t *testing.T) {
+	f := func(a, b, y, z uint16) bool {
+		if a == b {
+			return true
+		}
+		lo, hi := a, b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return Encode(lo, y, z) < Encode(hi, y, z)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// reference bit-by-bit encoder used to cross-check the magic-mask version.
+func refEncode(x, y, z uint16) uint64 {
+	var m uint64
+	for i := 0; i < 16; i++ {
+		m |= uint64(x>>i&1) << (3 * i)
+		m |= uint64(y>>i&1) << (3*i + 1)
+		m |= uint64(z>>i&1) << (3*i + 2)
+	}
+	return m
+}
+
+func TestEncodeMatchesReference(t *testing.T) {
+	f := func(x, y, z uint16) bool {
+		return Encode(x, y, z) == refEncode(x, y, z)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCommonAncestorDepth(t *testing.T) {
+	const depth = 16
+	if d := CommonAncestorDepth(42, 42, depth); d != depth {
+		t.Errorf("identical codes: %d, want %d", d, depth)
+	}
+	// Codes differing only in the lowest triple share depth-1 levels.
+	a := Encode(4, 4, 4)
+	b := Encode(5, 4, 4) // differs in bit 0 of x → lowest triple
+	if d := CommonAncestorDepth(a, b, depth); d != depth-1 {
+		t.Errorf("sibling leaves: %d, want %d", d, depth-1)
+	}
+	// Codes differing in the highest encoded triple share only the root.
+	c := Encode(1<<15, 0, 0)
+	if d := CommonAncestorDepth(0, c, depth); d != 0 {
+		t.Errorf("opposite halves: %d, want 0", d)
+	}
+}
+
+func TestDistanceProperties(t *testing.T) {
+	const depth = 16
+	rng := rand.New(rand.NewSource(3))
+	codes := make([]uint64, 64)
+	for i := range codes {
+		codes[i] = Encode(uint16(rng.Uint32()), uint16(rng.Uint32()), uint16(rng.Uint32()))
+	}
+	for _, a := range codes {
+		if Distance(a, a, depth) != 0 {
+			t.Fatal("D(a,a) != 0")
+		}
+		for _, b := range codes {
+			dab := Distance(a, b, depth)
+			if dab != Distance(b, a, depth) {
+				t.Fatal("distance not symmetric")
+			}
+			if dab < 0 || dab > 2*depth {
+				t.Fatalf("distance out of range: %d", dab)
+			}
+			if a != b && dab == 0 {
+				t.Fatal("distinct leaves at distance 0")
+			}
+			// Ultrametric-like triangle property of tree distance.
+			for _, c := range codes[:8] {
+				if Distance(a, c, depth) > dab+Distance(b, c, depth) {
+					t.Fatal("triangle inequality violated")
+				}
+			}
+		}
+	}
+}
+
+func TestFEmptyAndSingle(t *testing.T) {
+	if F(nil, 16) != 0 || F([]uint64{5}, 16) != 0 {
+		t.Error("F of short sequences should be 0")
+	}
+}
+
+// TestMortonOrderMinimizesF exhaustively verifies the paper's main
+// theorem on small instances: among all permutations of a set of leaves,
+// sorting by Morton code attains the minimum F(S).
+func TestMortonOrderMinimizesF(t *testing.T) {
+	const depth = 3 // 8x8x8 space keeps the permutation search tractable
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		n := 3 + rng.Intn(4) // 3..6 leaves
+		seen := map[uint64]bool{}
+		var codes []uint64
+		for len(codes) < n {
+			c := Encode(uint16(rng.Intn(8)), uint16(rng.Intn(8)), uint16(rng.Intn(8)))
+			if !seen[c] {
+				seen[c] = true
+				codes = append(codes, c)
+			}
+		}
+		sorted := append([]uint64(nil), codes...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		fMorton := F(sorted, depth)
+
+		best := fMorton
+		perm := append([]uint64(nil), codes...)
+		var rec func(k int)
+		rec = func(k int) {
+			if k == len(perm) {
+				if f := F(perm, depth); f < best {
+					best = f
+				}
+				return
+			}
+			for i := k; i < len(perm); i++ {
+				perm[k], perm[i] = perm[i], perm[k]
+				rec(k + 1)
+				perm[k], perm[i] = perm[i], perm[k]
+			}
+		}
+		rec(0)
+		if best < fMorton {
+			t.Fatalf("trial %d: Morton order F=%d but a permutation achieves %d (codes %v)",
+				trial, fMorton, best, codes)
+		}
+	}
+}
+
+// Reversed Morton order achieves the same F as ascending order (distance
+// is symmetric), which is why the theorem speaks of "one of" the optima.
+func TestReversedMortonSameF(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	codes := make([]uint64, 100)
+	for i := range codes {
+		codes[i] = Encode(uint16(rng.Uint32()), uint16(rng.Uint32()), uint16(rng.Uint32()))
+	}
+	sort.Slice(codes, func(i, j int) bool { return codes[i] < codes[j] })
+	rev := make([]uint64, len(codes))
+	for i, c := range codes {
+		rev[len(codes)-1-i] = c
+	}
+	if F(codes, 16) != F(rev, 16) {
+		t.Error("F should be invariant under reversal")
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += Encode(uint16(i), uint16(i>>4), uint16(i>>8))
+	}
+	_ = sink
+}
+
+func BenchmarkDecode(b *testing.B) {
+	var sink uint16
+	for i := 0; i < b.N; i++ {
+		x, y, z := Decode(uint64(i) * 2654435761)
+		sink += x + y + z
+	}
+	_ = sink
+}

@@ -1,0 +1,349 @@
+// Package nav implements the closed-loop autonomous-navigation pipeline
+// of paper Figure 3: perception (simulated sensing + map update),
+// planning (A* over live occupancy queries, revalidated every cycle), and
+// control (advance along the planned path at the latency-bounded safe
+// velocity). It substitutes for the MAVBench/Unreal testbed: the world
+// and vehicle are simulated, but the mapping system under the pipeline
+// is the real code being evaluated.
+//
+// Per-cycle compute latency is measured from the actual mapping update
+// and planning work, optionally scaled by a platform slowdown factor to
+// emulate the Jetson TX2's relative speed; the safe velocity and mission
+// completion time then follow the uav package's roofline model, making
+// mapping speedups directly visible as flight-performance gains (Figures
+// 16–19).
+package nav
+
+import (
+	"math"
+	"time"
+
+	"octocache/internal/core"
+	"octocache/internal/geom"
+	"octocache/internal/sensor"
+	"octocache/internal/uav"
+	"octocache/internal/world"
+)
+
+// Config assembles a mission.
+type Config struct {
+	World  *world.World
+	Sensor sensor.Model
+	Mapper core.Mapper
+	UAV    uav.Airframe
+
+	// Margin is the collision clearance radius in meters (default 0.25).
+	Margin float64
+	// GoalRadius ends the mission when the UAV is this close (default 1).
+	GoalRadius float64
+	// MaxCycles aborts runaway missions (default 2000).
+	MaxCycles int
+	// PlatformSlowdown scales measured compute latency to emulate a
+	// slower embedded platform (the paper's Jetson TX2). 1 uses host
+	// speed unchanged.
+	PlatformSlowdown float64
+	// PlannerCell overrides the planning grid cell size; 0 derives it
+	// from the map resolution and margin.
+	PlannerCell float64
+}
+
+// Result summarizes a mission.
+type Result struct {
+	// Completed is true when the UAV reached the goal.
+	Completed bool
+	// Time is the simulated mission completion time in seconds.
+	Time float64
+	// PathLength is the distance actually flown in meters.
+	PathLength float64
+	// Cycles is the number of perception-planning-control iterations.
+	Cycles int
+	// Replans counts A* invocations.
+	Replans int
+	// Retreats counts recovery cycles spent backing out along the
+	// breadcrumb trail after planning failed.
+	Retreats int
+	// AvgCompute is the mean measured compute latency per cycle (map
+	// update + planning + point-cloud generation), after slowdown
+	// scaling — the paper's "system end-to-end runtime".
+	AvgCompute time.Duration
+	// AvgVelocity is the mean commanded velocity over moving cycles.
+	AvgVelocity float64
+	// Collisions counts ground-truth collision events (should be zero).
+	Collisions int
+	// EnergyJ estimates the mission's energy use (rotor-dominated model,
+	// uav.Airframe.MissionEnergy).
+	EnergyJ float64
+	// Timings is the mapping pipeline's stage decomposition.
+	Timings core.Timings
+}
+
+// Run executes the closed-loop mission and returns its summary. The
+// mapper is finalized before returning.
+func Run(cfg Config) Result {
+	if cfg.Margin <= 0 {
+		cfg.Margin = 0.25
+	}
+	if cfg.GoalRadius <= 0 {
+		cfg.GoalRadius = 1.0
+	}
+	if cfg.MaxCycles <= 0 {
+		cfg.MaxCycles = 2000
+	}
+	if cfg.PlatformSlowdown <= 0 {
+		cfg.PlatformSlowdown = 1
+	}
+	cell := cfg.PlannerCell
+	if cell <= 0 {
+		cell = math.Max(cfg.Mapper.Tree().Resolution(), cfg.Margin)
+		// Keep the grid tractable for very large worlds.
+		size := cfg.World.Bounds.Size()
+		for size.X/cell*size.Y/cell*size.Z/cell > 2e6 {
+			cell *= 1.5
+		}
+	}
+	mapRes := cfg.Mapper.Tree().Resolution()
+	pl := newPlanner(cfg.World.Bounds, cell, cfg.Margin, mapRes)
+	probes := probeGrid(cfg.Margin, mapRes)
+
+	pos := cfg.World.Start
+	goal := cfg.World.Goal
+	res := Result{}
+	var computeSum time.Duration
+	var velocitySum float64
+	movingCycles := 0
+	var path []geom.Vec3
+	// trail records traversed positions for the retreat recovery: space
+	// the vehicle actually flew through is known traversable even when
+	// map inflation later walls it in.
+	trail := []geom.Vec3{pos}
+	// lookAt, when set, overrides the sensor facing for one cycle — after
+	// a ground contact the vehicle must scan what it hit, or the map
+	// never learns about the obstacle and the planner retries forever.
+	var lookAt geom.Vec3
+	haveLook := false
+
+	for res.Cycles = 0; res.Cycles < cfg.MaxCycles; res.Cycles++ {
+		if pos.Dist(goal) <= cfg.GoalRadius {
+			res.Completed = true
+			break
+		}
+		// Face the direction of travel (the next path waypoint when one
+		// exists), not the goal: the sensor must scan the space the
+		// vehicle is about to fly through, or sideways detours planned
+		// through unknown territory go unverified. A pending lookAt
+		// (post-collision) overrides both.
+		facing := goal.Sub(pos)
+		if len(path) > 0 {
+			if d := path[0].Sub(pos); d.Norm() > 1e-6 {
+				facing = d
+			}
+		}
+		if haveLook {
+			if d := lookAt.Sub(pos); d.Norm() > 1e-6 {
+				facing = d
+			}
+			haveLook = false
+		}
+		pose := geom.Pose{
+			Position: pos,
+			Yaw:      math.Atan2(facing.Y, facing.X),
+			Pitch:    math.Asin(clamp(facing.Z/math.Max(facing.Norm(), 1e-9), -1, 1)),
+		}
+
+		cycleStart := time.Now()
+
+		// Perception: sense and update the map.
+		points := cfg.Sensor.Scan(cfg.World, pose, nil)
+		cfg.Mapper.InsertPointCloud(pos, points)
+
+		// Planning: revalidate the cached path against the fresh map;
+		// replan when it is gone or newly blocked.
+		path = prunePath(path, pos, cell)
+		if len(path) == 0 || !pathClear(cfg.Mapper, pos, path, probes, mapRes) {
+			// Lazy-validated replanning: A* uses a capped probe grid for
+			// speed; each candidate path is then validated at full
+			// resolution, and a cell the coarse grid tunneled through is
+			// banned before retrying.
+			path = nil
+			for attempt := 0; attempt < 5; attempt++ {
+				cand := pl.plan(cfg.Mapper, pos, goal, 400000)
+				res.Replans++
+				if cand == nil {
+					break
+				}
+				if bad, blockedAt := firstBlocked(cfg.Mapper, pos, cand, probes, mapRes); bad {
+					pl.ban(blockedAt)
+					continue
+				}
+				path = cand
+				break
+			}
+		}
+		compute := time.Duration(float64(time.Since(cycleStart)) * cfg.PlatformSlowdown)
+		computeSum += compute
+
+		// Control: velocity from the roofline; the response time is the
+		// sensor period plus the measured compute latency.
+		tResp := cfg.UAV.SensorLatency() + compute.Seconds()
+		v := cfg.UAV.MaxSafeVelocity(cfg.Sensor.MaxRange, tResp)
+		dt := math.Max(cfg.UAV.SensorLatency(), compute.Seconds())
+		res.Time += dt
+		if len(path) == 0 {
+			// Boxed in — usually by map inflation around surfaces scanned
+			// after the vehicle got close. Recovery: retreat along the
+			// breadcrumb trail (space the vehicle actually traversed)
+			// until planning succeeds again.
+			if n := len(trail); n > 0 {
+				res.Retreats++
+				target := trail[n-1]
+				step := math.Min(v*dt, 6*cell)
+				seg := target.Sub(pos)
+				back := pos
+				if d := seg.Norm(); d <= step {
+					back = target
+					if n > 1 {
+						trail = trail[:n-1] // never pop the last breadcrumb
+					}
+				} else if d > 0 {
+					back = pos.Add(seg.Scale(step / d))
+				}
+				// Breadcrumbs were flown collision-free, but guard anyway.
+				if !cfg.World.Collides(geom.BoxAt(back, geom.V(cfg.Margin, cfg.Margin, cfg.Margin))) {
+					res.PathLength += back.Dist(pos)
+					pos = back
+				}
+			}
+			continue
+		}
+		// Never move beyond the horizon pathClear validated this cycle.
+		step := math.Min(v*dt, 6*cell)
+		next := pos
+		for step > 0 && len(path) > 0 {
+			seg := path[0].Sub(next)
+			d := seg.Norm()
+			if d <= step {
+				next = path[0]
+				path = path[1:]
+				step -= d
+				continue
+			}
+			next = next.Add(seg.Scale(step / d))
+			step = 0
+		}
+		if cfg.World.Collides(geom.BoxAt(next, geom.V(cfg.Margin, cfg.Margin, cfg.Margin))) {
+			res.Collisions++
+			lookAt, haveLook = next, true // scan what we hit next cycle
+			next = pos                    // back off rather than tunnel through
+			path = nil                    // force replan
+		}
+		res.PathLength += next.Dist(pos)
+		if len(trail) == 0 || next.Dist(trail[len(trail)-1]) >= cell*0.75 {
+			trail = append(trail, next)
+		}
+		pos = next
+		velocitySum += v
+		movingCycles++
+	}
+
+	cfg.Mapper.Finalize()
+	res.Timings = cfg.Mapper.Timings()
+	res.EnergyJ = cfg.UAV.MissionEnergy(res.Time)
+	if res.Cycles > 0 {
+		res.AvgCompute = computeSum / time.Duration(res.Cycles)
+	}
+	if movingCycles > 0 {
+		res.AvgVelocity = velocitySum / float64(movingCycles)
+	}
+	return res
+}
+
+// prunePath drops waypoints already reached (within one cell).
+func prunePath(path []geom.Vec3, pos geom.Vec3, cell float64) []geom.Vec3 {
+	for len(path) > 0 && path[0].Dist(pos) < cell*0.6 {
+		path = path[1:]
+	}
+	return path
+}
+
+// pathClear validates the next few path segments against the live map,
+// sampling each segment at map resolution and probing the clearance
+// volume around each sample — the "checking voxels along potential
+// trajectories" queries of §2.1.
+func pathClear(m core.Mapper, pos geom.Vec3, path []geom.Vec3, probes []geom.Vec3, res float64) bool {
+	bad, _ := firstBlocked(m, pos, path, probes, res)
+	return !bad
+}
+
+// firstBlocked walks up to 8 waypoints of the path sampling at map
+// resolution; on the first occupied probe it returns the sample center so
+// the caller can ban the offending planner cell.
+//
+// Probe points inside the ego zone around pos are exempt: the vehicle
+// demonstrably occupies that space, and newly scanned surfaces inflate by
+// up to a voxel beyond physical obstacles, so without the exemption a UAV
+// that legally approached an obstacle gets trapped by its own map — every
+// outgoing segment "starts blocked" and no plan ever validates.
+func firstBlocked(m core.Mapper, pos geom.Vec3, path []geom.Vec3, probes []geom.Vec3, res float64) (bool, geom.Vec3) {
+	ego := egoRadius(probes, res)
+	prev := pos
+	checked := 0
+	for _, wp := range path {
+		if bad, at := segmentBlocked(m, prev, wp, probes, res, pos, ego); bad {
+			return true, at
+		}
+		prev = wp
+		checked++
+		if checked >= 8 { // validate a bounded horizon each cycle
+			break
+		}
+	}
+	return false, geom.Vec3{}
+}
+
+// egoRadius derives the exemption radius: exactly the vehicle hull (the
+// largest probe offset). Anything beyond the hull is a real clearance
+// violation — exempting more lets the vehicle plan through obstacles it
+// is merely standing next to.
+func egoRadius(probes []geom.Vec3, res float64) float64 {
+	margin := 0.0
+	for _, p := range probes {
+		if n := p.Norm(); n > margin {
+			margin = n
+		}
+	}
+	_ = res
+	return margin
+}
+
+func segmentBlocked(m core.Mapper, a, b geom.Vec3, probes []geom.Vec3, res float64, ego geom.Vec3, egoR float64) (bool, geom.Vec3) {
+	dir := b.Sub(a)
+	dist := dir.Norm()
+	if dist == 0 {
+		return false, geom.Vec3{}
+	}
+	dir = dir.Scale(1 / dist)
+	steps := int(dist/res) + 1
+	for i := 1; i <= steps; i++ {
+		c := a.Add(dir.Scale(dist * float64(i) / float64(steps)))
+		for _, off := range probes {
+			p := c.Add(off)
+			if p.Dist(ego) <= egoR {
+				continue
+			}
+			if m.Occupied(p) {
+				return true, c
+			}
+		}
+	}
+	return false, geom.Vec3{}
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

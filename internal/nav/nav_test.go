@@ -1,0 +1,172 @@
+package nav
+
+import (
+	"testing"
+
+	"octocache/internal/core"
+	"octocache/internal/sensor"
+	"octocache/internal/uav"
+	"octocache/internal/world"
+)
+
+// missionConfig builds a small, fast mission in the given environment.
+func missionConfig(t *testing.T, env world.Env, kind core.Kind, res float64, rng float64) Config {
+	t.Helper()
+	ccfg := core.DefaultConfig(res)
+	ccfg.MaxRange = rng
+	ccfg.CacheBuckets = 1 << 14
+	m, err := core.New(kind, ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		World:  world.Build(env, 1),
+		Sensor: sensor.DefaultModel(rng, 24, 12),
+		Mapper: m,
+		UAV:    uav.AscTecPelican(),
+	}
+}
+
+func TestMissionCompletesOpenland(t *testing.T) {
+	for _, kind := range []core.Kind{core.KindOctoMap, core.KindSerial, core.KindParallel} {
+		cfg := missionConfig(t, world.Openland, kind, 1.0, 8)
+		r := Run(cfg)
+		if !r.Completed {
+			t.Errorf("%v: mission did not complete in %d cycles (path %.1f m)", kind, r.Cycles, r.PathLength)
+			continue
+		}
+		if r.Collisions != 0 {
+			t.Errorf("%v: %d ground-truth collisions", kind, r.Collisions)
+		}
+		if r.Time <= 0 || r.PathLength < 90 {
+			t.Errorf("%v: implausible mission: time %.1f s path %.1f m", kind, r.Time, r.PathLength)
+		}
+		if r.AvgVelocity <= 0 || r.AvgCompute <= 0 {
+			t.Errorf("%v: metrics not recorded: v=%.2f compute=%v", kind, r.AvgVelocity, r.AvgCompute)
+		}
+	}
+}
+
+func TestMissionCompletesRoom(t *testing.T) {
+	cfg := missionConfig(t, world.Room, core.KindSerial, 0.15, 3)
+	cfg.MaxCycles = 4000
+	r := Run(cfg)
+	if !r.Completed {
+		t.Fatalf("room mission did not complete in %d cycles (path %.1f m)", r.Cycles, r.PathLength)
+	}
+	if r.Collisions != 0 {
+		t.Errorf("%d ground-truth collisions in room", r.Collisions)
+	}
+}
+
+func TestMissionCompletesFarmAndFactory(t *testing.T) {
+	for _, tc := range []struct {
+		env world.Env
+		res float64
+		rng float64
+	}{
+		{world.Farm, 0.3, 4.5},
+		{world.Factory, 0.5, 6},
+	} {
+		cfg := missionConfig(t, tc.env, core.KindParallel, tc.res, tc.rng)
+		cfg.MaxCycles = 4000
+		r := Run(cfg)
+		if !r.Completed {
+			t.Errorf("%v mission incomplete after %d cycles (path %.1f m)", tc.env, r.Cycles, r.PathLength)
+		}
+		if r.Collisions != 0 {
+			t.Errorf("%v: %d collisions", tc.env, r.Collisions)
+		}
+	}
+}
+
+func TestPlatformSlowdownIncreasesMissionTime(t *testing.T) {
+	fast := missionConfig(t, world.Openland, core.KindOctoMap, 1.0, 8)
+	fast.PlatformSlowdown = 1
+	rFast := Run(fast)
+
+	slow := missionConfig(t, world.Openland, core.KindOctoMap, 1.0, 8)
+	slow.PlatformSlowdown = 400
+	rSlow := Run(slow)
+
+	if !rFast.Completed || !rSlow.Completed {
+		t.Fatal("missions incomplete")
+	}
+	if rSlow.AvgCompute <= rFast.AvgCompute {
+		t.Errorf("slowdown did not raise compute latency: %v vs %v", rSlow.AvgCompute, rFast.AvgCompute)
+	}
+	if rSlow.AvgVelocity > rFast.AvgVelocity {
+		t.Errorf("slower platform flew faster: %.2f vs %.2f m/s", rSlow.AvgVelocity, rFast.AvgVelocity)
+	}
+}
+
+func TestResultTimingsPopulated(t *testing.T) {
+	cfg := missionConfig(t, world.Openland, core.KindSerial, 1.0, 8)
+	r := Run(cfg)
+	if r.Timings.Batches == 0 || r.Timings.VoxelsTraced == 0 {
+		t.Errorf("mapper timings not captured: %+v", r.Timings)
+	}
+	if int64(r.Cycles) < r.Timings.Batches {
+		t.Errorf("more batches than cycles: %d vs %d", r.Timings.Batches, r.Cycles)
+	}
+}
+
+func TestMaxCyclesAborts(t *testing.T) {
+	cfg := missionConfig(t, world.Room, core.KindOctoMap, 0.15, 3)
+	cfg.MaxCycles = 3
+	r := Run(cfg)
+	if r.Completed {
+		t.Error("3-cycle room mission cannot complete")
+	}
+	if r.Cycles != 3 {
+		t.Errorf("Cycles = %d, want 3", r.Cycles)
+	}
+}
+
+// TestRecoveryBehaviors drives a mission through the cluttered room and
+// requires that any ground contacts and planning dead-ends resolve via
+// the look-at and retreat recoveries instead of ending the mission.
+func TestRecoveryBehaviors(t *testing.T) {
+	cfg := missionConfig(t, world.Room, core.KindParallel, 0.15, 3)
+	cfg.PlatformSlowdown = 200
+	cfg.MaxCycles = 400
+	r := Run(cfg)
+	if !r.Completed {
+		t.Fatalf("room mission incomplete: %d cycles, %.1fm, %d collisions, %d retreats",
+			r.Cycles, r.PathLength, r.Collisions, r.Retreats)
+	}
+	// Collisions, if any, must be transient (an order of magnitude below
+	// the cycle count), not a livelock.
+	if r.Collisions > r.Cycles/5 {
+		t.Errorf("%d collisions in %d cycles: recovery not converging", r.Collisions, r.Cycles)
+	}
+}
+
+// TestMissionEnergyReported checks the energy model wiring.
+func TestMissionEnergyReported(t *testing.T) {
+	cfg := missionConfig(t, world.Openland, core.KindOctoMap, 1.0, 8)
+	r := Run(cfg)
+	if !r.Completed {
+		t.Skip("mission incomplete; energy check moot")
+	}
+	if r.EnergyJ <= 0 {
+		t.Error("mission energy not computed")
+	}
+	want := cfg.UAV.MissionEnergy(r.Time)
+	if r.EnergyJ != want {
+		t.Errorf("EnergyJ = %v, want %v", r.EnergyJ, want)
+	}
+}
+
+// TestRetreatExhaustsTrailSafely forces heavy retreating (tiny max
+// cycles, trapped start) and ensures the breadcrumb trail never
+// underflows — regression test for a panic when retreats popped the
+// trail empty.
+func TestRetreatExhaustsTrailSafely(t *testing.T) {
+	cfg := missionConfig(t, world.Room, core.KindOctoMap, 0.1, 2)
+	cfg.MaxCycles = 60
+	cfg.PlatformSlowdown = 200
+	// Must not panic regardless of completion.
+	r := Run(cfg)
+	t.Logf("completed=%v retreats=%d collisions=%d", r.Completed, r.Retreats, r.Collisions)
+}

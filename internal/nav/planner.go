@@ -1,0 +1,261 @@
+package nav
+
+import (
+	"container/heap"
+	"math"
+
+	"octocache/internal/core"
+	"octocache/internal/geom"
+)
+
+// planner runs A* over a coarse 3D grid laid over the world bounds,
+// treating unknown space as traversable (the standard optimistic
+// assumption) and any cell whose margin-probes hit a known-occupied voxel
+// as blocked. Every blocked-test is a live mapper occupancy query, so
+// planning cost — like in the paper's pipeline — depends on how fast the
+// mapping system answers.
+type planner struct {
+	origin     geom.Vec3
+	cell       float64
+	nx, ny, nz int
+	margin     float64
+	probes     []geom.Vec3
+
+	// banned holds cells that passed the capped probe grid but failed
+	// full-resolution path validation — the lazy-evaluation feedback loop
+	// between Run and the planner.
+	banned map[int32]bool
+
+	// scratch, reused across replans
+	gScore []float64
+	open   nodeHeap
+	from   []int32
+	closed []bool
+}
+
+// newPlanner builds a planner over bounds with the given grid cell size,
+// clearance margin, and map resolution (which sets the probe stride: an
+// occupancy map is a one-voxel-thick shell, so collision probes sparser
+// than the voxel size can tunnel straight through a scanned surface into
+// never-observed interior).
+func newPlanner(bounds geom.AABB, cell, margin, mapRes float64) *planner {
+	size := bounds.Size()
+	p := &planner{
+		origin: bounds.Min,
+		cell:   cell,
+		nx:     int(size.X/cell) + 1,
+		ny:     int(size.Y/cell) + 1,
+		nz:     int(size.Z/cell) + 1,
+		margin: margin,
+		probes: probeGrid(cell/2+margin, mapRes),
+		banned: make(map[int32]bool),
+	}
+	n := p.nx * p.ny * p.nz
+	p.gScore = make([]float64, n)
+	p.from = make([]int32, n)
+	p.closed = make([]bool, n)
+	return p
+}
+
+// probeGrid returns offsets sampling the ball of radius `half` at a
+// stride no coarser than res, so every voxel-sized shell intersecting the
+// clearance volume is sampled. A ball (not a cube) is essential: cube
+// corners would demand √3x the intended clearance and reject every
+// tight-doorway path once the map resolves thin shells. The per-axis
+// sample count is capped at 6 to bound query cost at very fine
+// resolutions; the lazy path validation in Run catches (and bans) the
+// rare cells where the capped grid tunnels through a thinner-than-stride
+// shell.
+func probeGrid(half, res float64) []geom.Vec3 {
+	n := int(2*half/res) + 2
+	if n < 2 {
+		n = 2
+	}
+	if n > 6 {
+		n = 6
+	}
+	limit := half * half * 1.0001
+	var out []geom.Vec3
+	for i := 0; i < n; i++ {
+		x := -half + 2*half*float64(i)/float64(n-1)
+		for j := 0; j < n; j++ {
+			y := -half + 2*half*float64(j)/float64(n-1)
+			for k := 0; k < n; k++ {
+				z := -half + 2*half*float64(k)/float64(n-1)
+				if x*x+y*y+z*z <= limit {
+					out = append(out, geom.Vec3{X: x, Y: y, Z: z})
+				}
+			}
+		}
+	}
+	return out
+}
+
+func (p *planner) index(ix, iy, iz int) int { return (iz*p.ny+iy)*p.nx + ix }
+
+func (p *planner) cellOf(v geom.Vec3) (int, int, int) {
+	d := v.Sub(p.origin)
+	ix := int(d.X / p.cell)
+	iy := int(d.Y / p.cell)
+	iz := int(d.Z / p.cell)
+	return clampInt(ix, 0, p.nx-1), clampInt(iy, 0, p.ny-1), clampInt(iz, 0, p.nz-1)
+}
+
+func (p *planner) center(ix, iy, iz int) geom.Vec3 {
+	return p.origin.Add(geom.Vec3{
+		X: (float64(ix) + 0.5) * p.cell,
+		Y: (float64(iy) + 0.5) * p.cell,
+		Z: (float64(iz) + 0.5) * p.cell,
+	})
+}
+
+// blocked probes the cell's clearance volume (cell plus margin on every
+// side) at voxel-resolution stride against the live map.
+func (p *planner) blocked(m core.Mapper, ix, iy, iz int) bool {
+	if p.banned[int32(p.index(ix, iy, iz))] {
+		return true
+	}
+	c := p.center(ix, iy, iz)
+	for _, off := range p.probes {
+		if m.Occupied(c.Add(off)) {
+			return true
+		}
+	}
+	return false
+}
+
+// ban marks the cell containing w as permanently blocked. Used when a
+// freshly planned path fails full-resolution validation through a shell
+// the capped probe grid missed.
+func (p *planner) ban(w geom.Vec3) {
+	ix, iy, iz := p.cellOf(w)
+	p.banned[int32(p.index(ix, iy, iz))] = true
+}
+
+type heapNode struct {
+	idx int32
+	f   float64
+}
+
+type nodeHeap []heapNode
+
+func (h nodeHeap) Len() int            { return len(h) }
+func (h nodeHeap) Less(i, j int) bool  { return h[i].f < h[j].f }
+func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(heapNode)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// neighbor offsets: 6 faces plus 12 planar diagonals for smoother paths.
+var nbr = [][4]float64{
+	{1, 0, 0, 1}, {-1, 0, 0, 1}, {0, 1, 0, 1}, {0, -1, 0, 1}, {0, 0, 1, 1}, {0, 0, -1, 1},
+	{1, 1, 0, math.Sqrt2}, {1, -1, 0, math.Sqrt2}, {-1, 1, 0, math.Sqrt2}, {-1, -1, 0, math.Sqrt2},
+	{1, 0, 1, math.Sqrt2}, {1, 0, -1, math.Sqrt2}, {-1, 0, 1, math.Sqrt2}, {-1, 0, -1, math.Sqrt2},
+	{0, 1, 1, math.Sqrt2}, {0, 1, -1, math.Sqrt2}, {0, -1, 1, math.Sqrt2}, {0, -1, -1, math.Sqrt2},
+}
+
+// plan searches for a collision-free cell path from 'from' to 'to' and
+// returns the waypoint centers (excluding the start cell). It returns nil
+// when no path exists within the expansion budget. Cells inside the ego
+// zone around 'from' are always traversable (see firstBlocked: the
+// vehicle occupies that space, and map inflation must not wall it in).
+func (p *planner) plan(m core.Mapper, from, to geom.Vec3, maxExpansions int) []geom.Vec3 {
+	egoR := p.margin + p.cell // clearance + one planning cell of slack
+	sx, sy, sz := p.cellOf(from)
+	gx, gy, gz := p.cellOf(to)
+	start := int32(p.index(sx, sy, sz))
+	goal := int32(p.index(gx, gy, gz))
+
+	for i := range p.gScore {
+		p.gScore[i] = math.Inf(1)
+		p.closed[i] = false
+		p.from[i] = -1
+	}
+	p.open = p.open[:0]
+	h := func(idx int32) float64 {
+		i := int(idx)
+		ix := i % p.nx
+		iy := i / p.nx % p.ny
+		iz := i / (p.nx * p.ny)
+		dx := float64(ix - gx)
+		dy := float64(iy - gy)
+		dz := float64(iz - gz)
+		return math.Sqrt(dx*dx+dy*dy+dz*dz) * p.cell
+	}
+	p.gScore[start] = 0
+	heap.Push(&p.open, heapNode{idx: start, f: h(start)})
+
+	expansions := 0
+	for p.open.Len() > 0 {
+		cur := heap.Pop(&p.open).(heapNode)
+		if p.closed[cur.idx] {
+			continue
+		}
+		p.closed[cur.idx] = true
+		if cur.idx == goal {
+			return p.reconstruct(goal)
+		}
+		expansions++
+		if maxExpansions > 0 && expansions > maxExpansions {
+			return nil
+		}
+		i := int(cur.idx)
+		ix := i % p.nx
+		iy := i / p.nx % p.ny
+		iz := i / (p.nx * p.ny)
+		for _, d := range nbr {
+			jx, jy, jz := ix+int(d[0]), iy+int(d[1]), iz+int(d[2])
+			if jx < 0 || jx >= p.nx || jy < 0 || jy >= p.ny || jz < 0 || jz >= p.nz {
+				continue
+			}
+			j := int32(p.index(jx, jy, jz))
+			if p.closed[j] {
+				continue
+			}
+			g := p.gScore[cur.idx] + d[3]*p.cell
+			if g >= p.gScore[j] {
+				continue
+			}
+			if p.center(jx, jy, jz).Dist(from) > egoR && p.blocked(m, jx, jy, jz) {
+				p.closed[j] = true
+				continue
+			}
+			p.gScore[j] = g
+			p.from[j] = cur.idx
+			heap.Push(&p.open, heapNode{idx: j, f: g + h(j)})
+		}
+	}
+	return nil
+}
+
+func (p *planner) reconstruct(goal int32) []geom.Vec3 {
+	var rev []int32
+	for n := goal; n >= 0; n = p.from[n] {
+		rev = append(rev, n)
+	}
+	// Reverse, dropping the start cell.
+	path := make([]geom.Vec3, 0, len(rev))
+	for i := len(rev) - 2; i >= 0; i-- {
+		idx := int(rev[i])
+		ix := idx % p.nx
+		iy := idx / p.nx % p.ny
+		iz := idx / (p.nx * p.ny)
+		path = append(path, p.center(ix, iy, iz))
+	}
+	return path
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,194 @@
+package octree
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WriteBT serializes the tree's maximum-likelihood binarization in
+// OctoMap's .bt (bonsai tree) wire format, readable by the reference
+// toolchain (octovis, bt2vrml, ...). The format stores two bits per
+// child in a depth-first stream:
+//
+//	00 unknown child, 01 occupied leaf, 10 free leaf, 11 inner child
+//
+// Pruned aggregates are emitted as leaves, exactly as OctoMap does after
+// toMaxLikelihood()+prune(). Occupancy is thresholded: the float values
+// are not preserved (that is the .ot container's job — see WriteTo).
+func (t *Tree) WriteBT(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw,
+		"# Octomap OcTree binary file\nid OcTree\nsize %d\nres %g\ndata\n",
+		t.NumNodes(), t.params.Resolution); err != nil {
+		return err
+	}
+	if t.root != nil {
+		if err := t.writeBTNode(bw, t.root, 0); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// childBTBits classifies one child slot into the 2-bit .bt code.
+func (t *Tree) childBTBits(c *node, depth int) uint16 {
+	switch {
+	case c == nil:
+		return 0b00
+	case c.children != nil && depth < t.params.Depth:
+		return 0b11
+	case c.logOdds >= t.params.OccupancyThreshold:
+		return 0b01
+	default:
+		return 0b10
+	}
+}
+
+func (t *Tree) writeBTNode(w io.Writer, n *node, depth int) error {
+	// A leaf at this level has no child stream; callers only recurse into
+	// inner nodes, and the root of a leaf-only tree writes one synthetic
+	// record with all children unknown except itself... OctoMap's writer
+	// only ever emits inner nodes, so a fully pruned tree round-trips as
+	// a root record whose children replicate the aggregate.
+	var bits uint16
+	if n.children == nil {
+		// Fully pruned root: emit eight identical leaf children.
+		code := uint16(0b10)
+		if n.logOdds >= t.params.OccupancyThreshold {
+			code = 0b01
+		}
+		for i := 0; i < 8; i++ {
+			bits |= code << uint(2*i)
+		}
+		var buf [2]byte
+		buf[0] = byte(bits)
+		buf[1] = byte(bits >> 8)
+		_, err := w.Write(buf[:])
+		return err
+	}
+	for i, c := range n.children {
+		bits |= t.childBTBits(c, depth+1) << uint(2*i)
+	}
+	var buf [2]byte
+	buf[0] = byte(bits)
+	buf[1] = byte(bits >> 8)
+	if _, err := w.Write(buf[:]); err != nil {
+		return err
+	}
+	for _, c := range n.children {
+		if c != nil && c.children != nil && depth+1 < t.params.Depth {
+			if err := t.writeBTNode(w, c, depth+1); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ReadBT parses a .bt stream into a thresholded tree: occupied leaves get
+// ClampMax, free leaves ClampMin (the maximum-likelihood values OctoMap
+// assigns on binarization). The receiver's parameters are kept except for
+// the resolution, which the file dictates.
+func (t *Tree) ReadBT(r io.Reader) error {
+	br := bufio.NewReader(r)
+	var res float64
+	var size int
+	sawData := false
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			return fmt.Errorf("octree: reading .bt header: %w", err)
+		}
+		switch {
+		case len(line) > 0 && line[0] == '#':
+			continue
+		case line == "data\n":
+			sawData = true
+		case len(line) >= 3 && line[:3] == "id ":
+			if line != "id OcTree\n" {
+				return fmt.Errorf("octree: unsupported .bt id %q", line[3:len(line)-1])
+			}
+			continue
+		default:
+			if _, err := fmt.Sscanf(line, "res %g", &res); err == nil {
+				continue
+			}
+			if _, err := fmt.Sscanf(line, "size %d", &size); err == nil {
+				continue
+			}
+			return fmt.Errorf("octree: unknown .bt header line %q", line)
+		}
+		if sawData {
+			break
+		}
+	}
+	if res <= 0 {
+		return fmt.Errorf("octree: .bt header missing res")
+	}
+	t.params.Resolution = res
+	if err := t.params.Validate(); err != nil {
+		return err
+	}
+	t.root = nil
+	t.numNodes = 0
+	root := t.newInterior()
+	if err := t.readBTNode(br, root, 0); err != nil {
+		return err
+	}
+	t.root = root
+	// Restore inner values bottom-up.
+	t.recomputeInner(t.root)
+	return nil
+}
+
+func (t *Tree) readBTNode(r *bufio.Reader, n *node, depth int) error {
+	var buf [2]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return fmt.Errorf("octree: reading .bt node: %w", err)
+	}
+	bits := uint16(buf[0]) | uint16(buf[1])<<8
+	for i := 0; i < 8; i++ {
+		switch bits >> uint(2*i) & 0b11 {
+		case 0b00:
+			// unknown
+		case 0b01:
+			n.children[i] = t.newLeaf(t.params.ClampMax)
+		case 0b10:
+			n.children[i] = t.newLeaf(t.params.ClampMin)
+		case 0b11:
+			if depth+1 >= t.params.Depth {
+				return fmt.Errorf("octree: .bt inner node below max depth")
+			}
+			child := t.newInterior()
+			n.children[i] = child
+			if err := t.readBTNode(r, child, depth+1); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// recomputeInner restores max-of-children values after a .bt import.
+func (t *Tree) recomputeInner(n *node) float32 {
+	if n.children == nil {
+		return n.logOdds
+	}
+	var maxVal float32
+	first := true
+	for _, c := range n.children {
+		if c == nil {
+			continue
+		}
+		v := t.recomputeInner(c)
+		if first || v > maxVal {
+			maxVal = v
+			first = false
+		}
+	}
+	if !first {
+		n.logOdds = maxVal
+	}
+	return n.logOdds
+}

@@ -1,0 +1,149 @@
+package octree
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"octocache/internal/geom"
+)
+
+func TestBTRoundTripOccupancy(t *testing.T) {
+	tr := buildRandomTree(21, 1500, 6)
+	var buf bytes.Buffer
+	if err := tr.WriteBT(&buf); err != nil {
+		t.Fatalf("WriteBT: %v", err)
+	}
+	head := buf.String()[:40]
+	if !strings.HasPrefix(head, "# Octomap OcTree binary file") {
+		t.Errorf("header wrong: %q", head)
+	}
+
+	back := New(tr.Params())
+	if err := back.ReadBT(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("ReadBT: %v", err)
+	}
+	if back.Resolution() != tr.Resolution() {
+		t.Errorf("resolution %v != %v", back.Resolution(), tr.Resolution())
+	}
+	// The .bt format binarizes: thresholded occupancy must survive for
+	// every known voxel; unknown stays unknown.
+	mismatches := 0
+	checked := 0
+	for x := 0; x < 64; x++ {
+		for y := 0; y < 64; y += 3 {
+			for z := 0; z < 64; z += 3 {
+				k := Key{uint16(x), uint16(y), uint16(z)}
+				_, knownA := tr.Search(k)
+				_, knownB := back.Search(k)
+				if knownA != knownB {
+					t.Fatalf("known flag differs at %v", k)
+				}
+				if knownA {
+					checked++
+					if tr.Occupied(k) != back.Occupied(k) {
+						mismatches++
+					}
+				}
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no known voxels checked")
+	}
+	if mismatches > 0 {
+		t.Errorf("%d of %d thresholded occupancies changed in .bt round trip", mismatches, checked)
+	}
+}
+
+func TestBTFullyPrunedTree(t *testing.T) {
+	p := smallParams(3)
+	tr := New(p)
+	for x := 0; x < 8; x++ {
+		for y := 0; y < 8; y++ {
+			for z := 0; z < 8; z++ {
+				for i := 0; i < 6; i++ {
+					tr.UpdateOccupied(Key{uint16(x), uint16(y), uint16(z)})
+				}
+			}
+		}
+	}
+	if tr.NumNodes() != 1 {
+		t.Fatal("tree should be fully pruned")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteBT(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back := New(p)
+	if err := back.ReadBT(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if !back.Occupied(Key{3, 4, 5}) {
+		t.Error("pruned occupied space lost in .bt round trip")
+	}
+}
+
+func TestBTEmptyTree(t *testing.T) {
+	tr := New(DefaultParams(0.25))
+	var buf bytes.Buffer
+	if err := tr.WriteBT(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Header present, no data payload needed.
+	if !strings.Contains(buf.String(), "res 0.25") {
+		t.Errorf("resolution missing from header: %q", buf.String())
+	}
+}
+
+func TestReadBTRejectsGarbage(t *testing.T) {
+	tr := New(DefaultParams(0.1))
+	if err := tr.ReadBT(strings.NewReader("nonsense\n")); err == nil {
+		t.Error("garbage header accepted")
+	}
+	if err := tr.ReadBT(strings.NewReader("id SomethingElse\ndata\n")); err == nil {
+		t.Error("wrong id accepted")
+	}
+	if err := tr.ReadBT(strings.NewReader("id OcTree\nsize 3\ndata\n")); err == nil {
+		t.Error("missing res accepted")
+	}
+	// Truncated data stream.
+	if err := tr.ReadBT(strings.NewReader("id OcTree\nsize 3\nres 0.1\ndata\n\x01")); err == nil {
+		t.Error("truncated data accepted")
+	}
+}
+
+func TestBTPreservesGeometry(t *testing.T) {
+	// A wall scanned into the tree must stay a wall after .bt round trip
+	// (coordinate-space check, not just key-space).
+	tr := New(DefaultParams(0.1))
+	rng := rand.New(rand.NewSource(9))
+	var probe geom.Vec3
+	for i := 0; i < 400; i++ {
+		p := geom.V(2+rng.Float64()*0.05, rng.Float64()*4-2, rng.Float64()*2)
+		if i == 0 {
+			probe = p
+		}
+		if k, ok := tr.CoordToKey(p); ok {
+			tr.UpdateOccupied(k)
+		}
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteBT(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back := New(DefaultParams(0.1))
+	if err := back.ReadBT(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if !tr.OccupiedAt(probe) {
+		t.Fatal("test setup broken: probe voxel not occupied in source tree")
+	}
+	if !back.OccupiedAt(probe) {
+		t.Error("wall voxel lost")
+	}
+	if back.OccupiedAt(geom.V(-3, 0, 1)) {
+		t.Error("phantom occupancy appeared")
+	}
+}

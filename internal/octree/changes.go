@@ -1,0 +1,49 @@
+package octree
+
+// Change tracking, mirroring OctoMap's enableChangeDetection /
+// getChangedKeys: consumers (visualizers, incremental planners) can ask
+// which finest-resolution voxels changed occupancy *state* since the last
+// reset, without re-walking the whole tree.
+
+// ChangeTracking toggles change detection. Enabling it has a small
+// per-update cost; disabling clears the pending set.
+func (t *Tree) ChangeTracking(on bool) {
+	if on {
+		if t.changed == nil {
+			t.changed = make(map[Key]bool)
+		}
+		return
+	}
+	t.changed = nil
+}
+
+// Changes returns the set of voxel keys whose thresholded occupancy
+// changed since the last ResetChanges, mapped to their new occupancy
+// state. The returned map is a snapshot copy.
+func (t *Tree) Changes() map[Key]bool {
+	out := make(map[Key]bool, len(t.changed))
+	for k, v := range t.changed {
+		out[k] = v
+	}
+	return out
+}
+
+// ResetChanges clears the recorded change set.
+func (t *Tree) ResetChanges() {
+	if t.changed != nil {
+		clear(t.changed)
+	}
+}
+
+// noteChange records a state transition for k if tracking is on.
+func (t *Tree) noteChange(k Key, wasKnown bool, oldVal, newVal float32) {
+	if t.changed == nil {
+		return
+	}
+	thr := t.params.OccupancyThreshold
+	oldOcc := wasKnown && oldVal >= thr
+	newOcc := newVal >= thr
+	if !wasKnown || oldOcc != newOcc {
+		t.changed[k] = newOcc
+	}
+}

@@ -1,0 +1,60 @@
+package octree
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadFrom ensures arbitrary byte streams never panic the .ot
+// deserializer — they must either parse or return an error.
+func FuzzReadFrom(f *testing.F) {
+	// Seed with a real serialized tree and simple corruptions of it.
+	tr := buildRandomTree(31, 200, 5)
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte{})
+	f.Add([]byte("OCTGo1\r\n garbage"))
+	mut := append([]byte(nil), valid...)
+	if len(mut) > 40 {
+		mut[40] ^= 0xFF
+	}
+	f.Add(mut)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var back Tree
+		_, err := back.ReadFrom(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Parsed successfully: the tree must be internally consistent.
+		counted := 0
+		back.iterate(back.root, func(*node) { counted++ })
+		if counted != back.NumNodes() {
+			t.Fatalf("parsed tree inconsistent: %d reachable, NumNodes %d", counted, back.NumNodes())
+		}
+	})
+}
+
+// FuzzReadBT does the same for the OctoMap .bt parser.
+func FuzzReadBT(f *testing.F) {
+	tr := buildRandomTree(32, 150, 5)
+	var buf bytes.Buffer
+	if err := tr.WriteBT(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)*2/3])
+	f.Add([]byte("id OcTree\nres 0.1\ndata\n"))
+	f.Add([]byte("# comment\nid OcTree\nsize 1\nres -5\ndata\n\x00\x00"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		back := New(DefaultParams(0.1))
+		_ = back.ReadBT(bytes.NewReader(data)) // must not panic
+	})
+}

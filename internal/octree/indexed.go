@@ -1,0 +1,184 @@
+package octree
+
+// IndexedTree models VoxelCache (Kanus et al., SIGGRAPH/Eurographics
+// Graphics Hardware '03), the closest prior software approach the paper
+// compares against (Table 1): an auxiliary index that locates a voxel's
+// node in O(1), skipping the root-to-leaf *search*. Crucially — and this
+// is the paper's critique — it does not address the octree bottleneck:
+//
+//   - every update still writes the leaf AND all its ancestors (the
+//     upward half of the Figure 5 round trip survives);
+//   - queries still wait until the whole batch of updates completes;
+//   - keeping the index valid forbids pruning, so memory grows well
+//     beyond OctoMap's (the same resource critique the paper levels at
+//     Skimap).
+//
+// The Table 1 baseline experiment measures exactly these three effects.
+type IndexedTree struct {
+	params   Params
+	root     *inode
+	index    map[Key]*inode
+	numNodes int
+
+	nodeVisits int64
+}
+
+// inode is a node with a parent pointer, enabling direct leaf access
+// with upward propagation. The parent pointer is what makes pruning
+// unsafe (the index holds interior references), hence no pruning here.
+type inode struct {
+	children *[8]*inode
+	parent   *inode
+	logOdds  float32
+}
+
+// NewIndexed creates an empty indexed occupancy tree.
+func NewIndexed(params Params) (*IndexedTree, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	return &IndexedTree{
+		params: params,
+		index:  make(map[Key]*inode),
+	}, nil
+}
+
+// Params returns the tree's configuration.
+func (t *IndexedTree) Params() Params { return t.params }
+
+// NumNodes returns the number of allocated nodes (leaves + interior).
+func (t *IndexedTree) NumNodes() int { return t.numNodes }
+
+// NodeVisits mirrors Tree.NodeVisits.
+func (t *IndexedTree) NodeVisits() int64 { return t.nodeVisits }
+
+// MemoryBytes estimates the heap footprint: 24-byte nodes (two pointers
+// plus value, padded), 64-byte child arrays for interior nodes, and the
+// index's map overhead (~48 bytes per entry including the key and
+// bucket bookkeeping).
+func (t *IndexedTree) MemoryBytes() int64 {
+	var interior int64
+	var walk func(*inode)
+	walk = func(n *inode) {
+		if n == nil {
+			return
+		}
+		if n.children != nil {
+			interior++
+			for _, c := range n.children {
+				walk(c)
+			}
+		}
+	}
+	walk(t.root)
+	return int64(t.numNodes)*24 + interior*64 + int64(len(t.index))*48
+}
+
+// Update integrates one observation, using the index to skip the
+// downward search when the leaf already exists.
+func (t *IndexedTree) Update(k Key, occupied bool) float32 {
+	delta := t.params.LogOddsMiss
+	if occupied {
+		delta = t.params.LogOddsHit
+	}
+	if leaf, ok := t.index[k]; ok {
+		t.nodeVisits++
+		leaf.logOdds = t.params.clamp(leaf.logOdds + delta)
+		t.propagateUp(leaf)
+		return leaf.logOdds
+	}
+	leaf := t.descend(k)
+	leaf.logOdds = t.params.clamp(delta) // unknown voxels start at the prior
+	t.index[k] = leaf
+	t.propagateUp(leaf)
+	return leaf.logOdds
+}
+
+// SetNodeValue overwrites the accumulated value for k.
+func (t *IndexedTree) SetNodeValue(k Key, logOdds float32) float32 {
+	leaf, ok := t.index[k]
+	if !ok {
+		leaf = t.descend(k)
+		t.index[k] = leaf
+	} else {
+		t.nodeVisits++
+	}
+	leaf.logOdds = t.params.clamp(logOdds)
+	t.propagateUp(leaf)
+	return leaf.logOdds
+}
+
+// descend creates the path to k's leaf, registering nothing in the index
+// (the caller does).
+func (t *IndexedTree) descend(k Key) *inode {
+	if t.root == nil {
+		t.root = &inode{children: new([8]*inode)}
+		t.numNodes++
+	}
+	n := t.root
+	for depth := 0; depth < t.params.Depth; depth++ {
+		t.nodeVisits++
+		idx := childIndex(k, depth, t.params.Depth)
+		child := n.children[idx]
+		if child == nil {
+			child = &inode{parent: n}
+			if depth+1 < t.params.Depth {
+				child.children = new([8]*inode)
+			}
+			n.children[idx] = child
+			t.numNodes++
+		}
+		n = child
+	}
+	return n
+}
+
+// propagateUp restores the max-of-children invariant along the parent
+// chain — the residual ancestor cost VoxelCache cannot avoid.
+func (t *IndexedTree) propagateUp(n *inode) {
+	for p := n.parent; p != nil; p = p.parent {
+		t.nodeVisits++
+		var maxVal float32
+		first := true
+		for _, c := range p.children {
+			if c == nil {
+				continue
+			}
+			if first || c.logOdds > maxVal {
+				maxVal = c.logOdds
+				first = false
+			}
+		}
+		if !first {
+			if p.logOdds == maxVal {
+				return // no further ancestors can change
+			}
+			p.logOdds = maxVal
+		}
+	}
+}
+
+// Search returns the accumulated occupancy of k via the index.
+func (t *IndexedTree) Search(k Key) (float32, bool) {
+	t.nodeVisits++
+	leaf, ok := t.index[k]
+	if !ok {
+		return 0, false
+	}
+	return leaf.logOdds, true
+}
+
+// Occupied reports thresholded occupancy.
+func (t *IndexedTree) Occupied(k Key) bool {
+	l, known := t.Search(k)
+	return known && l >= t.params.OccupancyThreshold
+}
+
+// Keys returns the set of known voxel keys (a snapshot of the index).
+func (t *IndexedTree) Keys() map[Key]struct{} {
+	out := make(map[Key]struct{}, len(t.index))
+	for k := range t.index {
+		out[k] = struct{}{}
+	}
+	return out
+}

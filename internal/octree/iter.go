@@ -1,0 +1,124 @@
+package octree
+
+import "octocache/internal/geom"
+
+// Leaf describes one leaf emitted by Walk: either a finest-resolution
+// voxel or a pruned aggregate covering a whole cube.
+type Leaf struct {
+	// Key is the minimum-corner key of the leaf's extent at the finest
+	// resolution. For a finest-resolution leaf it addresses the voxel
+	// itself.
+	Key Key
+	// Depth is the leaf's depth in the tree; Depth == tree depth for
+	// finest-resolution voxels, smaller for pruned aggregates.
+	Depth int
+	// LogOdds is the leaf's accumulated occupancy.
+	LogOdds float32
+}
+
+// Size returns the edge length in meters of the leaf's cube in a tree
+// with the given params.
+func (l Leaf) Size(p Params) float64 {
+	return p.Resolution * float64(int(1)<<(p.Depth-l.Depth))
+}
+
+// Walk visits every leaf of the tree in Morton (in-order) order. The
+// walk stops early if fn returns false.
+func (t *Tree) Walk(fn func(Leaf) bool) {
+	if t.root == nil {
+		return
+	}
+	t.walk(t.root, 0, Key{}, fn)
+}
+
+func (t *Tree) walk(n *node, depth int, prefix Key, fn func(Leaf) bool) bool {
+	if n.children == nil || depth == t.params.Depth {
+		return fn(Leaf{Key: prefix, Depth: depth, LogOdds: n.logOdds})
+	}
+	shift := uint(t.params.Depth - 1 - depth)
+	for i, c := range n.children {
+		if c == nil {
+			continue
+		}
+		child := Key{
+			X: prefix.X | uint16(i&1)<<shift,
+			Y: prefix.Y | uint16(i>>1&1)<<shift,
+			Z: prefix.Z | uint16(i>>2&1)<<shift,
+		}
+		if !t.walk(c, depth+1, child, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// NumLeaves counts the tree's leaves (voxels plus pruned aggregates).
+func (t *Tree) NumLeaves() int {
+	n := 0
+	t.Walk(func(Leaf) bool { n++; return true })
+	return n
+}
+
+// leafBox returns the world-space extent of a leaf.
+func (t *Tree) leafBox(l Leaf) geom.AABB {
+	res := t.params.Resolution
+	half := 1 << (t.params.Depth - 1)
+	min := geom.Vec3{
+		X: float64(int(l.Key.X)-half) * res,
+		Y: float64(int(l.Key.Y)-half) * res,
+		Z: float64(int(l.Key.Z)-half) * res,
+	}
+	size := l.Size(t.params)
+	return geom.AABB{Min: min, Max: min.Add(geom.Vec3{X: size, Y: size, Z: size})}
+}
+
+// AnyOccupiedIn reports whether any known-occupied leaf intersects box.
+// The traversal prunes whole subtrees by extent, so collision checks stay
+// cheap even on large maps. Inner-node values are maxima over children,
+// so a below-threshold inner node can be skipped outright.
+func (t *Tree) AnyOccupiedIn(box geom.AABB) bool {
+	if t.root == nil {
+		return false
+	}
+	return t.anyOccupiedIn(t.root, 0, Key{}, box)
+}
+
+func (t *Tree) anyOccupiedIn(n *node, depth int, prefix Key, box geom.AABB) bool {
+	if n.logOdds < t.params.OccupancyThreshold {
+		return false
+	}
+	ext := t.leafBox(Leaf{Key: prefix, Depth: depth})
+	if !ext.Intersects(box) {
+		return false
+	}
+	if n.children == nil || depth == t.params.Depth {
+		return true
+	}
+	shift := uint(t.params.Depth - 1 - depth)
+	for i, c := range n.children {
+		if c == nil {
+			continue
+		}
+		child := Key{
+			X: prefix.X | uint16(i&1)<<shift,
+			Y: prefix.Y | uint16(i>>1&1)<<shift,
+			Z: prefix.Z | uint16(i>>2&1)<<shift,
+		}
+		if t.anyOccupiedIn(c, depth+1, child, box) {
+			return true
+		}
+	}
+	return false
+}
+
+// OccupiedLeaves returns all occupied leaves, in Morton order.
+func (t *Tree) OccupiedLeaves() []Leaf {
+	var out []Leaf
+	t.Walk(func(l Leaf) bool {
+		if l.LogOdds >= t.params.OccupancyThreshold {
+			out = append(out, l)
+		}
+		return true
+	})
+	return out
+}

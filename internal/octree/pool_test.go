@@ -1,0 +1,133 @@
+package octree
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// TestArenaTreeMatchesPlainTree drives identical update streams through a
+// plain and an arena tree and requires structural equality throughout.
+func TestArenaTreeMatchesPlainTree(t *testing.T) {
+	p := smallParams(6)
+	a := New(p)
+	b := NewArena(p)
+	rng := rand.New(rand.NewSource(77))
+	for i := 0; i < 8000; i++ {
+		k := Key{uint16(rng.Intn(64)), uint16(rng.Intn(64)), uint16(rng.Intn(64))}
+		switch rng.Intn(3) {
+		case 0, 1:
+			occ := rng.Intn(2) == 0
+			a.Update(k, occ)
+			b.Update(k, occ)
+		case 2:
+			v := float32(rng.Float64()*6 - 3)
+			a.SetNodeValue(k, v)
+			b.SetNodeValue(k, v)
+		}
+		if i%2000 == 1999 && !a.Equal(b) {
+			t.Fatalf("trees diverged at step %d", i)
+		}
+	}
+	if !a.Equal(b) {
+		t.Fatal("final trees differ")
+	}
+	if a.NumNodes() != b.NumNodes() {
+		t.Errorf("node counts differ: %d vs %d", a.NumNodes(), b.NumNodes())
+	}
+}
+
+// TestArenaRecyclingUnderPruneExpandChurn saturates and diverges regions
+// repeatedly so pruning and expansion cycle nodes through the free lists.
+func TestArenaRecyclingUnderPruneExpandChurn(t *testing.T) {
+	p := smallParams(3)
+	tr := NewArena(p)
+	for round := 0; round < 5; round++ {
+		// Saturate: prunes to a single node.
+		for x := 0; x < 8; x++ {
+			for y := 0; y < 8; y++ {
+				for z := 0; z < 8; z++ {
+					for i := 0; i < 6; i++ {
+						tr.UpdateOccupied(Key{uint16(x), uint16(y), uint16(z)})
+					}
+				}
+			}
+		}
+		if tr.NumNodes() != 1 {
+			t.Fatalf("round %d: not pruned (%d nodes)", round, tr.NumNodes())
+		}
+		// Diverge: forces expansion chains from recycled nodes.
+		tr.SetNodeValue(Key{3, 3, 3}, p.ClampMin)
+		if l, _ := tr.Search(Key{3, 3, 3}); l != p.ClampMin {
+			t.Fatalf("round %d: diverged voxel lost", round)
+		}
+		if l, _ := tr.Search(Key{0, 7, 2}); l != p.ClampMax {
+			t.Fatalf("round %d: sibling corrupted", round)
+		}
+		// Drive it back up for the next round.
+		for i := 0; i < 20; i++ {
+			tr.UpdateOccupied(Key{3, 3, 3})
+		}
+	}
+}
+
+// TestArenaFewerAllocations confirms the arena actually reduces heap
+// allocations for tree construction.
+func TestArenaFewerAllocations(t *testing.T) {
+	p := smallParams(8)
+	build := func(tr *Tree) {
+		rng := rand.New(rand.NewSource(5))
+		for i := 0; i < 50000; i++ {
+			tr.UpdateOccupied(Key{uint16(rng.Intn(256)), uint16(rng.Intn(256)), uint16(rng.Intn(256))})
+		}
+	}
+	countAllocs := func(f func()) uint64 {
+		var m0, m1 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&m0)
+		f()
+		runtime.ReadMemStats(&m1)
+		return m1.Mallocs - m0.Mallocs
+	}
+	plain := countAllocs(func() { build(New(p)) })
+	arena := countAllocs(func() { build(NewArena(p)) })
+	if arena >= plain {
+		t.Errorf("arena allocations %d >= plain %d", arena, plain)
+	}
+	if arena > plain/10 {
+		t.Logf("note: arena %d vs plain %d (expected ~chunked reduction)", arena, plain)
+	}
+}
+
+func TestArenaClearResets(t *testing.T) {
+	tr := NewArena(smallParams(4))
+	tr.UpdateOccupied(Key{1, 2, 3})
+	tr.Clear()
+	if tr.NumNodes() != 0 {
+		t.Error("Clear left nodes")
+	}
+	tr.UpdateOccupied(Key{4, 5, 6})
+	if !tr.Occupied(Key{4, 5, 6}) {
+		t.Error("arena tree unusable after Clear")
+	}
+}
+
+func BenchmarkUpdatePlain(b *testing.B) {
+	benchUpdates(b, New(DefaultParams(0.1)))
+}
+
+func BenchmarkUpdateArena(b *testing.B) {
+	benchUpdates(b, NewArena(DefaultParams(0.1)))
+}
+
+func benchUpdates(b *testing.B, tr *Tree) {
+	rng := rand.New(rand.NewSource(1))
+	keys := make([]Key, 1<<14)
+	for i := range keys {
+		keys[i] = Key{uint16(rng.Intn(1024)), uint16(rng.Intn(1024)), uint16(rng.Intn(64))}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.UpdateOccupied(keys[i&(1<<14-1)])
+	}
+}

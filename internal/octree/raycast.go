@@ -1,0 +1,164 @@
+package octree
+
+import (
+	"math"
+
+	"octocache/internal/geom"
+)
+
+// CastRay walks from origin along dir (unit length) until it enters a
+// known-occupied voxel or exceeds maxRange, mirroring OctoMap's castRay.
+// It returns the center of the first occupied voxel hit. Unknown space is
+// traversed when ignoreUnknown is true and terminates the ray otherwise
+// (OctoMap's default behaviour: unknown cells are not traversable for
+// visibility purposes).
+func (t *Tree) CastRay(origin, dir geom.Vec3, maxRange float64, ignoreUnknown bool) (hit geom.Vec3, ok bool) {
+	res := t.params.Resolution
+	cur, okKey := t.CoordToKey(origin)
+	if !okKey {
+		return geom.Vec3{}, false
+	}
+	if maxRange <= 0 {
+		maxRange = t.params.MapSize()
+	}
+
+	// Degenerate direction.
+	n := dir.Norm()
+	if n == 0 {
+		return geom.Vec3{}, false
+	}
+	dir = dir.Scale(1 / n)
+
+	half := 1 << (t.params.Depth - 1)
+	c := [3]int{int(cur.X), int(cur.Y), int(cur.Z)}
+	o := [3]float64{origin.X, origin.Y, origin.Z}
+	d := [3]float64{dir.X, dir.Y, dir.Z}
+	var step [3]int
+	var tMax, tDelta [3]float64
+	for i := 0; i < 3; i++ {
+		switch {
+		case d[i] > 0:
+			step[i] = 1
+			boundary := float64(c[i]-half+1) * res
+			tMax[i] = (boundary - o[i]) / d[i]
+			tDelta[i] = res / d[i]
+		case d[i] < 0:
+			step[i] = -1
+			boundary := float64(c[i]-half) * res
+			tMax[i] = (boundary - o[i]) / d[i]
+			tDelta[i] = -res / d[i]
+		default:
+			step[i] = 0
+			tMax[i] = math.Inf(1)
+			tDelta[i] = math.Inf(1)
+		}
+	}
+
+	limit := 1 << t.params.Depth
+	for dist := 0.0; dist <= maxRange; {
+		k := Key{X: uint16(c[0]), Y: uint16(c[1]), Z: uint16(c[2])}
+		l, known := t.Search(k)
+		switch {
+		case known && l >= t.params.OccupancyThreshold:
+			return t.KeyToCoord(k), true
+		case !known && !ignoreUnknown:
+			return geom.Vec3{}, false
+		}
+		axis := 0
+		if tMax[1] < tMax[axis] {
+			axis = 1
+		}
+		if tMax[2] < tMax[axis] {
+			axis = 2
+		}
+		dist = tMax[axis]
+		c[axis] += step[axis]
+		tMax[axis] += tDelta[axis]
+		if c[axis] < 0 || c[axis] >= limit {
+			return geom.Vec3{}, false
+		}
+	}
+	return geom.Vec3{}, false
+}
+
+// WalkIn visits every leaf whose extent intersects box, in Morton order,
+// pruning whole subtrees outside the box. Pruning is conservative by a
+// sub-voxel epsilon (floating-point extents of coarse subtrees can round
+// a hair short of their children's union), so leaves that merely touch
+// the box boundary are always included. The walk stops early if fn
+// returns false.
+func (t *Tree) WalkIn(box geom.AABB, fn func(Leaf) bool) {
+	if t.root == nil {
+		return
+	}
+	t.walkIn(t.root, 0, Key{}, box.Expand(t.params.Resolution*1e-6), fn)
+}
+
+func (t *Tree) walkIn(n *node, depth int, prefix Key, box geom.AABB, fn func(Leaf) bool) bool {
+	if !t.leafBox(Leaf{Key: prefix, Depth: depth}).Intersects(box) {
+		return true
+	}
+	if n.children == nil || depth == t.params.Depth {
+		return fn(Leaf{Key: prefix, Depth: depth, LogOdds: n.logOdds})
+	}
+	shift := uint(t.params.Depth - 1 - depth)
+	for i, c := range n.children {
+		if c == nil {
+			continue
+		}
+		child := Key{
+			X: prefix.X | uint16(i&1)<<shift,
+			Y: prefix.Y | uint16(i>>1&1)<<shift,
+			Z: prefix.Z | uint16(i>>2&1)<<shift,
+		}
+		if !t.walkIn(c, depth+1, child, box, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// SearchAtDepth queries the occupancy at a coarser tree level: depth 0 is
+// the root, t.Params().Depth the finest voxels. It returns the value of
+// the deepest existing node covering k at or above the requested depth —
+// OctoMap's multi-resolution query.
+func (t *Tree) SearchAtDepth(k Key, depth int) (logOdds float32, known bool) {
+	if depth < 0 {
+		depth = 0
+	}
+	if depth > t.params.Depth {
+		depth = t.params.Depth
+	}
+	n := t.root
+	if n == nil {
+		return 0, false
+	}
+	for d := 0; d < depth; d++ {
+		if n.children == nil {
+			return n.logOdds, true
+		}
+		n = n.children[childIndex(k, d, t.params.Depth)]
+		if n == nil {
+			return 0, false
+		}
+	}
+	return n.logOdds, true
+}
+
+// BBox returns the tight axis-aligned bounds of all known leaves, and
+// ok=false for an empty tree.
+func (t *Tree) BBox() (geom.AABB, bool) {
+	var box geom.AABB
+	first := true
+	t.Walk(func(l Leaf) bool {
+		b := t.leafBox(l)
+		if first {
+			box = b
+			first = false
+		} else {
+			box = box.Union(b)
+		}
+		return true
+	})
+	return box, !first
+}

@@ -1,0 +1,240 @@
+package octree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"octocache/internal/geom"
+)
+
+// wallTree builds a tree with an occupied wall plane at x ≈ 3 and free
+// space in front of it.
+func wallTree(t *testing.T) *Tree {
+	t.Helper()
+	tr := New(DefaultParams(0.1))
+	for y := -20; y <= 20; y++ {
+		for z := -20; z <= 20; z++ {
+			k, ok := tr.CoordToKey(geom.V(3.05, float64(y)*0.1, float64(z)*0.1))
+			if !ok {
+				t.Fatal("wall key out of bounds")
+			}
+			tr.UpdateOccupied(k)
+		}
+	}
+	// Carve known-free space along the ray path.
+	for x := 0; x < 30; x++ {
+		k, _ := tr.CoordToKey(geom.V(float64(x)*0.1+0.05, 0.05, 0.05))
+		tr.UpdateFree(k)
+	}
+	return tr
+}
+
+func TestCastRayHitsWall(t *testing.T) {
+	tr := wallTree(t)
+	hit, ok := tr.CastRay(geom.V(0.05, 0.05, 0.05), geom.V(1, 0, 0), 10, true)
+	if !ok {
+		t.Fatal("ray missed the wall")
+	}
+	if math.Abs(hit.X-3.05) > 0.1+1e-9 {
+		t.Errorf("hit at x=%.3f, want ≈3.05", hit.X)
+	}
+}
+
+func TestCastRayMaxRange(t *testing.T) {
+	tr := wallTree(t)
+	if _, ok := tr.CastRay(geom.V(0.05, 0.05, 0.05), geom.V(1, 0, 0), 2, true); ok {
+		t.Error("ray hit beyond max range")
+	}
+}
+
+func TestCastRayUnknownBlocks(t *testing.T) {
+	tr := wallTree(t)
+	// With ignoreUnknown=false a ray through unmapped space stops early.
+	if _, ok := tr.CastRay(geom.V(0.05, 1.55, 0.05), geom.V(1, 0, 0), 10, false); ok {
+		t.Error("ray crossed unknown space with ignoreUnknown=false")
+	}
+	// The same ray with ignoreUnknown=true reaches the wall.
+	if _, ok := tr.CastRay(geom.V(0.05, 1.55, 0.05), geom.V(1, 0, 0), 10, true); !ok {
+		t.Error("ray failed to cross unknown space with ignoreUnknown=true")
+	}
+}
+
+func TestCastRayDegenerate(t *testing.T) {
+	tr := wallTree(t)
+	if _, ok := tr.CastRay(geom.V(0, 0, 0), geom.V(0, 0, 0), 10, true); ok {
+		t.Error("zero direction should fail")
+	}
+	if _, ok := tr.CastRay(geom.V(1e9, 0, 0), geom.V(1, 0, 0), 10, true); ok {
+		t.Error("out-of-bounds origin should fail")
+	}
+}
+
+func TestCastRayDiagonal(t *testing.T) {
+	tr := New(DefaultParams(0.1))
+	k, _ := tr.CoordToKey(geom.V(2.05, 2.05, 2.05))
+	tr.UpdateOccupied(k)
+	dir := geom.V(1, 1, 1).Normalize()
+	hit, ok := tr.CastRay(geom.V(0.05, 0.05, 0.05), dir, 10, true)
+	if !ok {
+		t.Fatal("diagonal ray missed")
+	}
+	if hit.Dist(geom.V(2.05, 2.05, 2.05)) > 0.2 {
+		t.Errorf("diagonal hit at %v", hit)
+	}
+}
+
+func TestWalkInFiltersLeaves(t *testing.T) {
+	tr := New(smallParams(6))
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 400; i++ {
+		tr.UpdateOccupied(Key{uint16(rng.Intn(64)), uint16(rng.Intn(64)), uint16(rng.Intn(64))})
+	}
+	box := geom.Box(geom.V(-1, -1, -1), geom.V(1, 1, 1))
+	inBox := map[Key]bool{}
+	tr.WalkIn(box, func(l Leaf) bool {
+		inBox[l.Key] = true
+		if !tr.leafBox(l).Intersects(box.Expand(1e-6)) {
+			t.Fatalf("WalkIn emitted leaf outside box: %v", l.Key)
+		}
+		return true
+	})
+	// Every walked leaf intersecting the box must appear.
+	tr.Walk(func(l Leaf) bool {
+		if tr.leafBox(l).Intersects(box) && !inBox[l.Key] {
+			t.Fatalf("WalkIn missed leaf %v", l.Key)
+		}
+		return true
+	})
+}
+
+func TestWalkInEarlyStop(t *testing.T) {
+	tr := New(smallParams(5))
+	for i := 0; i < 20; i++ {
+		tr.UpdateOccupied(Key{uint16(i), 1, 1})
+	}
+	count := 0
+	tr.WalkIn(geom.Box(geom.V(-10, -10, -10), geom.V(10, 10, 10)), func(Leaf) bool {
+		count++
+		return count < 2
+	})
+	if count != 2 {
+		t.Errorf("early stop visited %d leaves", count)
+	}
+}
+
+func TestSearchAtDepth(t *testing.T) {
+	p := smallParams(4)
+	tr := New(p)
+	k := Key{5, 6, 7}
+	tr.UpdateOccupied(k)
+	// Full depth equals Search.
+	full, knownFull := tr.SearchAtDepth(k, 4)
+	direct, knownDirect := tr.Search(k)
+	if full != direct || knownFull != knownDirect {
+		t.Error("SearchAtDepth at full depth differs from Search")
+	}
+	// Root depth returns the tree max (the occupied hit).
+	rootVal, known := tr.SearchAtDepth(k, 0)
+	if !known || rootVal != p.LogOddsHit {
+		t.Errorf("root query = %v,%v", rootVal, known)
+	}
+	// A key in an unknown octant is unknown at intermediate depth.
+	if _, known := tr.SearchAtDepth(Key{15, 15, 15}, 3); known {
+		t.Error("unknown octant reported known")
+	}
+	// Clamped depth arguments must not panic.
+	if _, known := tr.SearchAtDepth(k, -3); !known {
+		t.Error("negative depth should clamp to root")
+	}
+	if v, _ := tr.SearchAtDepth(k, 99); v != direct {
+		t.Error("excess depth should clamp to leaf")
+	}
+}
+
+func TestBBox(t *testing.T) {
+	tr := New(DefaultParams(0.1))
+	if _, ok := tr.BBox(); ok {
+		t.Error("empty tree has a bbox")
+	}
+	a, _ := tr.CoordToKey(geom.V(1, 2, 3))
+	b, _ := tr.CoordToKey(geom.V(-2, 0, 1))
+	tr.UpdateOccupied(a)
+	tr.UpdateOccupied(b)
+	box, ok := tr.BBox()
+	if !ok {
+		t.Fatal("bbox missing")
+	}
+	if !box.Contains(geom.V(1, 2, 3)) || !box.Contains(geom.V(-2, 0, 1)) {
+		t.Errorf("bbox %+v does not cover the occupied voxels", box)
+	}
+	if box.Size().X > 4 || box.Size().Y > 3 || box.Size().Z > 3 {
+		t.Errorf("bbox %+v too loose", box)
+	}
+}
+
+func TestChangeTracking(t *testing.T) {
+	p := DefaultParams(0.1)
+	tr := New(p)
+	tr.ChangeTracking(true)
+	k := Key{10, 10, 10}
+
+	tr.UpdateOccupied(k)
+	ch := tr.Changes()
+	if occ, ok := ch[k]; !ok || !occ {
+		t.Fatalf("new occupied voxel not recorded: %v", ch)
+	}
+	tr.ResetChanges()
+
+	// Another hit: still occupied, no state change.
+	tr.UpdateOccupied(k)
+	if len(tr.Changes()) != 0 {
+		t.Error("no-transition update recorded")
+	}
+
+	// Drive it free: transition recorded once it crosses the threshold.
+	for i := 0; i < 10; i++ {
+		tr.UpdateFree(k)
+	}
+	ch = tr.Changes()
+	if occ, ok := ch[k]; !ok || occ {
+		t.Fatalf("occupied->free transition not recorded: %v", ch)
+	}
+
+	// Disabling clears and stops tracking.
+	tr.ChangeTracking(false)
+	tr.UpdateOccupied(k)
+	if len(tr.Changes()) != 0 {
+		t.Error("tracking continued after disable")
+	}
+}
+
+func TestChangeTrackingSetNodeValue(t *testing.T) {
+	tr := New(DefaultParams(0.1))
+	tr.ChangeTracking(true)
+	k := Key{3, 4, 5}
+	tr.SetNodeValue(k, 2.0) // unknown -> occupied
+	if occ, ok := tr.Changes()[k]; !ok || !occ {
+		t.Error("SetNodeValue transition not recorded")
+	}
+	tr.ResetChanges()
+	tr.SetNodeValue(k, -1.0) // occupied -> free
+	if occ, ok := tr.Changes()[k]; !ok || occ {
+		t.Error("SetNodeValue downward transition not recorded")
+	}
+}
+
+func TestClearResetsChanges(t *testing.T) {
+	tr := New(DefaultParams(0.1))
+	tr.ChangeTracking(true)
+	tr.UpdateOccupied(Key{1, 1, 1})
+	tr.Clear()
+	if len(tr.Changes()) != 0 {
+		t.Error("Clear kept pending changes")
+	}
+	// Still tracking after Clear.
+	tr.UpdateOccupied(Key{2, 2, 2})
+	if len(tr.Changes()) != 1 {
+		t.Error("tracking lost after Clear")
+	}
+}

@@ -1,0 +1,225 @@
+package octree
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary serialization of occupancy octrees, analogous to OctoMap's .ot
+// container: a small header with the sensor-model parameters followed by
+// a pre-order node stream. The format is deterministic, so structurally
+// equal trees serialize identically.
+
+var magic = [8]byte{'O', 'C', 'T', 'G', 'o', '1', '\r', '\n'}
+
+const (
+	nodeLeaf     = 0
+	nodeInterior = 1
+)
+
+// WriteTo serializes the tree. It implements io.WriterTo.
+func (t *Tree) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	cw := &countWriter{w: bw}
+	if _, err := cw.Write(magic[:]); err != nil {
+		return cw.n, err
+	}
+	hdr := []interface{}{
+		t.params.Resolution,
+		int32(t.params.Depth),
+		t.params.LogOddsHit,
+		t.params.LogOddsMiss,
+		t.params.ClampMin,
+		t.params.ClampMax,
+		t.params.OccupancyThreshold,
+		int64(t.numNodes),
+	}
+	for _, v := range hdr {
+		if err := binary.Write(cw, binary.LittleEndian, v); err != nil {
+			return cw.n, err
+		}
+	}
+	hasRoot := byte(0)
+	if t.root != nil {
+		hasRoot = 1
+	}
+	if _, err := cw.Write([]byte{hasRoot}); err != nil {
+		return cw.n, err
+	}
+	if t.root != nil {
+		if err := writeNode(cw, t.root); err != nil {
+			return cw.n, err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+func writeNode(w io.Writer, n *node) error {
+	var buf [6]byte
+	binary.LittleEndian.PutUint32(buf[:4], math.Float32bits(n.logOdds))
+	if n.children == nil {
+		buf[4] = nodeLeaf
+		_, err := w.Write(buf[:5])
+		return err
+	}
+	buf[4] = nodeInterior
+	var mask byte
+	for i, c := range n.children {
+		if c != nil {
+			mask |= 1 << uint(i)
+		}
+	}
+	buf[5] = mask
+	if _, err := w.Write(buf[:6]); err != nil {
+		return err
+	}
+	for _, c := range n.children {
+		if c == nil {
+			continue
+		}
+		if err := writeNode(w, c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadFrom deserializes a tree written by WriteTo, replacing the
+// receiver's contents. It implements io.ReaderFrom.
+func (t *Tree) ReadFrom(r io.Reader) (int64, error) {
+	cr := &countReader{r: bufio.NewReader(r)}
+	var got [8]byte
+	if _, err := io.ReadFull(cr, got[:]); err != nil {
+		return cr.n, fmt.Errorf("octree: reading magic: %w", err)
+	}
+	if got != magic {
+		return cr.n, fmt.Errorf("octree: bad magic %q", got[:])
+	}
+	var p Params
+	var depth int32
+	var numNodes int64
+	fields := []interface{}{
+		&p.Resolution, &depth, &p.LogOddsHit, &p.LogOddsMiss,
+		&p.ClampMin, &p.ClampMax, &p.OccupancyThreshold, &numNodes,
+	}
+	for _, f := range fields {
+		if err := binary.Read(cr, binary.LittleEndian, f); err != nil {
+			return cr.n, fmt.Errorf("octree: reading header: %w", err)
+		}
+	}
+	p.Depth = int(depth)
+	if err := p.Validate(); err != nil {
+		return cr.n, err
+	}
+	var hasRoot [1]byte
+	if _, err := io.ReadFull(cr, hasRoot[:]); err != nil {
+		return cr.n, err
+	}
+	t.params = p
+	t.root = nil
+	t.numNodes = 0
+	if hasRoot[0] != 0 {
+		root, err := t.readNode(cr)
+		if err != nil {
+			return cr.n, err
+		}
+		t.root = root
+	}
+	if int64(t.numNodes) != numNodes {
+		return cr.n, fmt.Errorf("octree: node count mismatch: header %d, stream %d", numNodes, t.numNodes)
+	}
+	return cr.n, nil
+}
+
+func (t *Tree) readNode(r io.Reader) (*node, error) {
+	var buf [5]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return nil, fmt.Errorf("octree: reading node: %w", err)
+	}
+	n := &node{logOdds: math.Float32frombits(binary.LittleEndian.Uint32(buf[:4]))}
+	t.numNodes++
+	switch buf[4] {
+	case nodeLeaf:
+		return n, nil
+	case nodeInterior:
+		var mb [1]byte
+		if _, err := io.ReadFull(r, mb[:]); err != nil {
+			return nil, fmt.Errorf("octree: reading child mask: %w", err)
+		}
+		n.children = new([8]*node)
+		for i := 0; i < 8; i++ {
+			if mb[0]&(1<<uint(i)) == 0 {
+				continue
+			}
+			c, err := t.readNode(r)
+			if err != nil {
+				return nil, err
+			}
+			n.children[i] = c
+		}
+		return n, nil
+	default:
+		return nil, fmt.Errorf("octree: unknown node kind %d", buf[4])
+	}
+}
+
+// Equal reports whether two trees have identical parameters and
+// structurally identical node contents.
+func (t *Tree) Equal(o *Tree) bool {
+	if t.params != o.params {
+		return false
+	}
+	return nodesEqual(t.root, o.root)
+}
+
+func nodesEqual(a, b *node) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	if a == nil {
+		return true
+	}
+	if a.logOdds != b.logOdds {
+		return false
+	}
+	if (a.children == nil) != (b.children == nil) {
+		return false
+	}
+	if a.children == nil {
+		return true
+	}
+	for i := range a.children {
+		if !nodesEqual(a.children[i], b.children[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+type countReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}

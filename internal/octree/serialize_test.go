@@ -1,0 +1,110 @@
+package octree
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func buildRandomTree(seed int64, n int, depth int) *Tree {
+	p := smallParams(depth)
+	tr := New(p)
+	rng := rand.New(rand.NewSource(seed))
+	space := 1 << depth
+	for i := 0; i < n; i++ {
+		k := Key{uint16(rng.Intn(space)), uint16(rng.Intn(space)), uint16(rng.Intn(space))}
+		tr.Update(k, rng.Intn(2) == 0)
+	}
+	return tr
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	tr := buildRandomTree(1, 2000, 6)
+	var buf bytes.Buffer
+	n, err := tr.WriteTo(&buf)
+	if err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("WriteTo returned %d, buffer holds %d", n, buf.Len())
+	}
+	var back Tree
+	if _, err := back.ReadFrom(&buf); err != nil {
+		t.Fatalf("ReadFrom: %v", err)
+	}
+	if !tr.Equal(&back) {
+		t.Fatal("round-tripped tree differs")
+	}
+	if back.NumNodes() != tr.NumNodes() {
+		t.Errorf("node counts differ: %d vs %d", back.NumNodes(), tr.NumNodes())
+	}
+}
+
+func TestSerializeEmptyTree(t *testing.T) {
+	tr := New(DefaultParams(0.25))
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	var back Tree
+	if _, err := back.ReadFrom(&buf); err != nil {
+		t.Fatalf("ReadFrom: %v", err)
+	}
+	if !tr.Equal(&back) {
+		t.Fatal("empty tree round trip failed")
+	}
+}
+
+func TestSerializeDeterministic(t *testing.T) {
+	a := buildRandomTree(2, 500, 5)
+	b := buildRandomTree(2, 500, 5)
+	var ba, bb bytes.Buffer
+	if _, err := a.WriteTo(&ba); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.WriteTo(&bb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ba.Bytes(), bb.Bytes()) {
+		t.Error("identical trees serialize differently")
+	}
+}
+
+func TestReadFromRejectsGarbage(t *testing.T) {
+	var tr Tree
+	if _, err := tr.ReadFrom(bytes.NewReader([]byte("not an octree"))); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := tr.ReadFrom(bytes.NewReader(nil)); err == nil {
+		t.Error("empty stream accepted")
+	}
+}
+
+func TestReadFromRejectsTruncated(t *testing.T) {
+	tr := buildRandomTree(3, 300, 5)
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	var back Tree
+	if _, err := back.ReadFrom(bytes.NewReader(data[:len(data)/2])); err == nil {
+		t.Error("truncated stream accepted")
+	}
+}
+
+func TestEqualDetectsDifferences(t *testing.T) {
+	a := buildRandomTree(4, 300, 5)
+	b := buildRandomTree(4, 300, 5)
+	if !a.Equal(b) {
+		t.Fatal("identically built trees should be equal")
+	}
+	b.UpdateOccupied(Key{31, 31, 31})
+	if a.Equal(b) {
+		t.Error("diverged trees should not be equal")
+	}
+	c := New(DefaultParams(0.2))
+	if a.Equal(c) {
+		t.Error("trees with different params should not be equal")
+	}
+}

@@ -1,0 +1,328 @@
+package octree
+
+import (
+	"octocache/internal/geom"
+)
+
+// node is a tree node. A node with a nil children array is a leaf: either
+// a finest-resolution voxel or a pruned aggregate standing in for a whole
+// equal-valued subtree. Interior nodes always carry an allocated children
+// array (entries may be nil for unknown octants); this invariant is what
+// lets traversal distinguish "pruned, must expand" from "fresh interior".
+type node struct {
+	children *[8]*node
+	logOdds  float32
+}
+
+// Tree is a probabilistic occupancy octree. It is not safe for concurrent
+// use; OctoCache's parallel pipeline serializes access with a single
+// mutex exactly as the paper prescribes (§4.4).
+type Tree struct {
+	params Params
+	root   *node
+
+	numNodes int
+	// nodeVisits counts every node touched by updates and searches; the
+	// bottleneck-analysis experiments use it as an architecture-neutral
+	// proxy for the memory accesses of Figure 5.
+	nodeVisits int64
+	// changed records state transitions when change tracking is on.
+	changed map[Key]bool
+	// pool, when set (NewArena), supplies node storage from chunked
+	// slabs with prune-recycling.
+	pool *nodePool
+}
+
+// New creates an empty occupancy octree. It panics if params are invalid;
+// use NewChecked to receive the error instead.
+func New(params Params) *Tree {
+	t, err := NewChecked(params)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// NewChecked creates an empty occupancy octree, validating params.
+func NewChecked(params Params) (*Tree, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	return &Tree{params: params}, nil
+}
+
+// Params returns the tree's configuration.
+func (t *Tree) Params() Params { return t.params }
+
+// Resolution returns the leaf voxel edge length in meters.
+func (t *Tree) Resolution() float64 { return t.params.Resolution }
+
+// NumNodes returns the number of allocated tree nodes.
+func (t *Tree) NumNodes() int { return t.numNodes }
+
+// NodeVisits returns the cumulative count of node touches by updates and
+// searches since construction (or the last ResetNodeVisits).
+func (t *Tree) NodeVisits() int64 { return t.nodeVisits }
+
+// ResetNodeVisits zeroes the node-visit counter.
+func (t *Tree) ResetNodeVisits() { t.nodeVisits = 0 }
+
+// MemoryBytes estimates the heap footprint of the tree's nodes: each node
+// is 16 bytes (pointer + float32, padded) plus 64 bytes per interior
+// node's child array.
+func (t *Tree) MemoryBytes() int64 {
+	var interior int64
+	t.iterate(t.root, func(n *node) {
+		if n.children != nil {
+			interior++
+		}
+	})
+	return int64(t.numNodes)*16 + interior*64
+}
+
+func (t *Tree) iterate(n *node, fn func(*node)) {
+	if n == nil {
+		return
+	}
+	fn(n)
+	if n.children != nil {
+		for _, c := range n.children {
+			t.iterate(c, fn)
+		}
+	}
+}
+
+// Clear removes all content from the tree. Change tracking, if enabled,
+// stays enabled with an empty pending set.
+func (t *Tree) Clear() {
+	t.root = nil
+	t.numNodes = 0
+	t.ResetChanges()
+	if t.pool != nil {
+		t.pool = &nodePool{}
+	}
+}
+
+// CoordToKey discretizes a world coordinate into the tree's key space.
+func (t *Tree) CoordToKey(p geom.Vec3) (Key, bool) {
+	return CoordToKey(p, t.params.Resolution, t.params.Depth)
+}
+
+// KeyToCoord returns the center coordinate of the voxel addressed by k.
+func (t *Tree) KeyToCoord(k Key) geom.Vec3 {
+	return KeyToCoord(k, t.params.Resolution, t.params.Depth)
+}
+
+// newLeaf allocates a finest-resolution or pruned leaf node.
+func (t *Tree) newLeaf(l float32) *node {
+	t.numNodes++
+	if t.pool != nil {
+		n := t.pool.getNode()
+		n.logOdds = l
+		return n
+	}
+	return &node{logOdds: l}
+}
+
+// newInterior allocates an interior node with an empty child array.
+func (t *Tree) newInterior() *node {
+	t.numNodes++
+	if t.pool != nil {
+		n := t.pool.getNode()
+		n.children = t.pool.getArr()
+		return n
+	}
+	return &node{children: new([8]*node)}
+}
+
+// expand materializes the eight children of a pruned aggregate leaf,
+// each inheriting its value — OctoMap's expandNode.
+func (t *Tree) expand(n *node) {
+	if t.pool != nil {
+		n.children = t.pool.getArr()
+	} else {
+		n.children = new([8]*node)
+	}
+	for i := range n.children {
+		n.children[i] = t.newLeaf(n.logOdds)
+	}
+}
+
+// UpdateOccupied integrates an "occupied" observation for the voxel at k:
+// logOdds += δ_occupied, clamped. It returns the new value.
+func (t *Tree) UpdateOccupied(k Key) float32 {
+	return t.updateDelta(k, t.params.LogOddsHit)
+}
+
+// UpdateFree integrates a "free" observation for the voxel at k:
+// logOdds += δ_free, clamped. It returns the new value.
+func (t *Tree) UpdateFree(k Key) float32 {
+	return t.updateDelta(k, t.params.LogOddsMiss)
+}
+
+// Update integrates an observation; occupied selects δ_occupied or δ_free.
+func (t *Tree) Update(k Key, occupied bool) float32 {
+	if occupied {
+		return t.UpdateOccupied(k)
+	}
+	return t.UpdateFree(k)
+}
+
+// updateDelta applies a log-odds increment at the leaf for k. Unknown
+// voxels start from the prior (log-odds 0, i.e. P=0.5), as in OctoMap.
+func (t *Tree) updateDelta(k Key, delta float32) float32 {
+	return t.updateLeaf(k, func(old float32, known bool) float32 {
+		if !known {
+			old = 0
+		}
+		return t.params.clamp(old + delta)
+	})
+}
+
+// SetNodeValue overwrites the accumulated log-odds of the voxel at k,
+// clamped to the configured bounds. This is the operation OctoCache's
+// eviction path uses: the cache already holds the accumulated value, so
+// the octree copy is replaced rather than incremented (paper §4.2).
+func (t *Tree) SetNodeValue(k Key, logOdds float32) float32 {
+	return t.updateLeaf(k, func(float32, bool) float32 {
+		return t.params.clamp(logOdds)
+	})
+}
+
+// updateLeaf performs the root-to-leaf round trip of Figure 5: descend to
+// the leaf for k (creating or expanding nodes as needed), apply fn to its
+// value, then restore the max-of-children invariant and prune on the way
+// back up. It returns the leaf's new value.
+func (t *Tree) updateLeaf(k Key, fn func(old float32, known bool) float32) float32 {
+	if t.root == nil {
+		t.root = t.newInterior()
+	}
+	if t.changed != nil {
+		inner := fn
+		fn = func(old float32, known bool) float32 {
+			v := inner(old, known)
+			t.noteChange(k, known, old, v)
+			return v
+		}
+	}
+	return t.updateRecurs(t.root, 0, k, fn)
+}
+
+func (t *Tree) updateRecurs(n *node, depth int, k Key, fn func(float32, bool) float32) float32 {
+	t.nodeVisits++
+	if depth == t.params.Depth {
+		n.logOdds = fn(n.logOdds, true)
+		return n.logOdds
+	}
+	if n.children == nil {
+		// Pruned aggregate on the path: materialize children so one can
+		// diverge while the other seven keep the aggregate value.
+		t.expand(n)
+	}
+	idx := childIndex(k, depth, t.params.Depth)
+	child := n.children[idx]
+	if child == nil {
+		if depth+1 == t.params.Depth {
+			child = t.newLeaf(fn(0, false))
+			n.children[idx] = child
+			t.nodeVisits++
+			t.restoreInvariant(n)
+			return child.logOdds
+		}
+		child = t.newInterior()
+		n.children[idx] = child
+	}
+	v := t.updateRecurs(child, depth+1, k, fn)
+	t.nodeVisits++ // trace-back visit of Figure 5
+	t.restoreInvariant(n)
+	return v
+}
+
+// restoreInvariant recomputes an interior node's value as the maximum of
+// its existing children and prunes the children when all eight exist as
+// equal-valued leaves.
+func (t *Tree) restoreInvariant(n *node) {
+	var maxVal float32
+	first := true
+	prunable := true
+	for _, c := range n.children {
+		if c == nil {
+			prunable = false
+			continue
+		}
+		if c.children != nil {
+			prunable = false
+		}
+		if first || c.logOdds > maxVal {
+			maxVal = c.logOdds
+			first = false
+		}
+	}
+	if first {
+		return // no children materialized (cannot happen on update paths)
+	}
+	n.logOdds = maxVal
+	if prunable {
+		for _, c := range n.children {
+			if c.logOdds != maxVal {
+				return
+			}
+		}
+		if t.pool != nil {
+			for _, c := range n.children {
+				t.pool.putNode(c)
+			}
+			t.pool.putArr(n.children)
+		}
+		n.children = nil
+		t.numNodes -= 8
+	}
+}
+
+// Search returns the accumulated log-odds of the voxel at k. known is
+// false when the voxel lies in unobserved space.
+func (t *Tree) Search(k Key) (logOdds float32, known bool) {
+	n := t.root
+	if n == nil {
+		return 0, false
+	}
+	for depth := 0; depth < t.params.Depth; depth++ {
+		t.nodeVisits++
+		if n.children == nil {
+			// Pruned aggregate covering k.
+			return n.logOdds, true
+		}
+		n = n.children[childIndex(k, depth, t.params.Depth)]
+		if n == nil {
+			return 0, false
+		}
+	}
+	t.nodeVisits++
+	return n.logOdds, true
+}
+
+// Occupied reports whether the voxel at k is known and at or above the
+// occupancy threshold — the boolean the planner queries (paper §2.2).
+func (t *Tree) Occupied(k Key) bool {
+	l, known := t.Search(k)
+	return known && l >= t.params.OccupancyThreshold
+}
+
+// OccupancyAt is the coordinate-space variant of Search.
+func (t *Tree) OccupancyAt(p geom.Vec3) (logOdds float32, known bool) {
+	k, ok := t.CoordToKey(p)
+	if !ok {
+		return 0, false
+	}
+	return t.Search(k)
+}
+
+// OccupiedAt is the coordinate-space variant of Occupied. Coordinates
+// outside the mapped volume report unoccupied.
+func (t *Tree) OccupiedAt(p geom.Vec3) bool {
+	k, ok := t.CoordToKey(p)
+	if !ok {
+		return false
+	}
+	return t.Occupied(k)
+}

@@ -1,0 +1,487 @@
+package octree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"octocache/internal/geom"
+)
+
+// smallParams returns a shallow tree for tests that want dense key spaces.
+func smallParams(depth int) Params {
+	p := DefaultParams(0.1)
+	p.Depth = depth
+	return p
+}
+
+// refModel is a flat reference implementation of the occupancy math used
+// to cross-check the octree: a map from key to accumulated clamped
+// log-odds.
+type refModel struct {
+	p Params
+	m map[Key]float32
+}
+
+func newRefModel(p Params) *refModel {
+	return &refModel{p: p, m: make(map[Key]float32)}
+}
+
+func (r *refModel) update(k Key, occupied bool) {
+	delta := r.p.LogOddsMiss
+	if occupied {
+		delta = r.p.LogOddsHit
+	}
+	r.m[k] = r.p.clamp(r.m[k] + delta)
+}
+
+func (r *refModel) set(k Key, l float32) { r.m[k] = r.p.clamp(l) }
+
+func TestParamsValidate(t *testing.T) {
+	if err := DefaultParams(0.1).Validate(); err != nil {
+		t.Fatalf("default params invalid: %v", err)
+	}
+	bad := []Params{
+		{},
+		func() Params { p := DefaultParams(0.1); p.Resolution = -1; return p }(),
+		func() Params { p := DefaultParams(0.1); p.Depth = 0; return p }(),
+		func() Params { p := DefaultParams(0.1); p.Depth = 17; return p }(),
+		func() Params { p := DefaultParams(0.1); p.LogOddsHit = -1; return p }(),
+		func() Params { p := DefaultParams(0.1); p.LogOddsMiss = 1; return p }(),
+		func() Params { p := DefaultParams(0.1); p.ClampMin, p.ClampMax = 1, -1; return p }(),
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestLogOddsRoundTrip(t *testing.T) {
+	for _, p := range []float64{0.12, 0.4, 0.5, 0.7, 0.97} {
+		got := Probability(LogOdds(p))
+		if diff := got - p; diff > 1e-6 || diff < -1e-6 {
+			t.Errorf("Probability(LogOdds(%v)) = %v", p, got)
+		}
+	}
+}
+
+func TestCoordKeyRoundTrip(t *testing.T) {
+	const res = 0.05
+	const depth = 16
+	f := func(x, y, z int16) bool {
+		// Use coordinates well inside the mapped cube.
+		p := geom.V(float64(x)*0.01, float64(y)*0.01, float64(z)*0.01)
+		k, ok := CoordToKey(p, res, depth)
+		if !ok {
+			return false
+		}
+		c := KeyToCoord(k, res, depth)
+		// The voxel center must be within half a resolution of p.
+		d := c.Sub(p).Abs()
+		return d.X <= res/2+1e-9 && d.Y <= res/2+1e-9 && d.Z <= res/2+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCoordToKeyBounds(t *testing.T) {
+	p := DefaultParams(0.1) // cube spans 6553.6 m, half-range 3276.8
+	tr := New(p)
+	if _, ok := tr.CoordToKey(geom.V(4000, 0, 0)); ok {
+		t.Error("coordinate beyond map bounds accepted")
+	}
+	if _, ok := tr.CoordToKey(geom.V(-3276.9, 0, 0)); ok {
+		t.Error("negative out-of-bounds coordinate accepted")
+	}
+	if _, ok := tr.CoordToKey(geom.V(0, 0, 0)); !ok {
+		t.Error("origin rejected")
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := New(DefaultParams(0.1))
+	if _, known := tr.Search(Key{1, 2, 3}); known {
+		t.Error("empty tree should know nothing")
+	}
+	if tr.Occupied(Key{1, 2, 3}) {
+		t.Error("empty tree should report unoccupied")
+	}
+	if tr.NumNodes() != 0 || tr.NumLeaves() != 0 {
+		t.Error("empty tree should have no nodes")
+	}
+}
+
+func TestSingleUpdate(t *testing.T) {
+	tr := New(DefaultParams(0.1))
+	k := Key{100, 200, 300}
+	got := tr.UpdateOccupied(k)
+	want := tr.params.LogOddsHit
+	if got != want {
+		t.Errorf("first hit log-odds = %v, want %v", got, want)
+	}
+	l, known := tr.Search(k)
+	if !known || l != want {
+		t.Errorf("Search = %v,%v", l, known)
+	}
+	if !tr.Occupied(k) {
+		t.Error("voxel should be occupied after one hit")
+	}
+	// A neighbor must remain unknown.
+	if _, known := tr.Search(Key{101, 200, 300}); known {
+		t.Error("untouched neighbor should be unknown")
+	}
+}
+
+func TestClamping(t *testing.T) {
+	tr := New(DefaultParams(0.1))
+	k := Key{5, 5, 5}
+	for i := 0; i < 50; i++ {
+		tr.UpdateOccupied(k)
+	}
+	if l, _ := tr.Search(k); l != tr.params.ClampMax {
+		t.Errorf("log-odds %v, want clamp max %v", l, tr.params.ClampMax)
+	}
+	for i := 0; i < 100; i++ {
+		tr.UpdateFree(k)
+	}
+	if l, _ := tr.Search(k); l != tr.params.ClampMin {
+		t.Errorf("log-odds %v, want clamp min %v", l, tr.params.ClampMin)
+	}
+}
+
+func TestFreeThenOccupiedDynamics(t *testing.T) {
+	// The clamped log-odds model must allow a voxel to flip state — the
+	// paper's dynamic-environment requirement (§2.2).
+	tr := New(DefaultParams(0.1))
+	k := Key{9, 9, 9}
+	for i := 0; i < 100; i++ {
+		tr.UpdateFree(k)
+	}
+	if tr.Occupied(k) {
+		t.Fatal("voxel should be free")
+	}
+	hits := 0
+	for !tr.Occupied(k) {
+		tr.UpdateOccupied(k)
+		hits++
+		if hits > 100 {
+			t.Fatal("voxel never flipped to occupied")
+		}
+	}
+	// From clamp min -2.0 with +0.85 per hit, flipping needs 3 hits.
+	if hits < 2 || hits > 5 {
+		t.Errorf("flip took %d hits, expected a small number", hits)
+	}
+}
+
+func TestSetNodeValueOverwrites(t *testing.T) {
+	tr := New(DefaultParams(0.1))
+	k := Key{42, 43, 44}
+	tr.UpdateOccupied(k)
+	tr.SetNodeValue(k, -1.5)
+	if l, known := tr.Search(k); !known || l != -1.5 {
+		t.Errorf("Search after Set = %v,%v", l, known)
+	}
+	// Clamped set.
+	tr.SetNodeValue(k, 100)
+	if l, _ := tr.Search(k); l != tr.params.ClampMax {
+		t.Errorf("Set should clamp: %v", l)
+	}
+}
+
+// TestAgainstReferenceModel drives thousands of randomized updates through
+// both the octree and a flat reference model and requires identical query
+// results everywhere that was touched — the core correctness property.
+func TestAgainstReferenceModel(t *testing.T) {
+	p := smallParams(6) // 64^3 key space forces heavy key collisions
+	tr := New(p)
+	ref := newRefModel(p)
+	rng := rand.New(rand.NewSource(42))
+	keys := make([]Key, 0, 5000)
+	for i := 0; i < 5000; i++ {
+		k := Key{uint16(rng.Intn(64)), uint16(rng.Intn(64)), uint16(rng.Intn(64))}
+		occ := rng.Intn(2) == 0
+		switch rng.Intn(3) {
+		case 0, 1:
+			tr.Update(k, occ)
+			ref.update(k, occ)
+		case 2:
+			v := float32(rng.Float64()*8 - 4)
+			tr.SetNodeValue(k, v)
+			ref.set(k, v)
+		}
+		keys = append(keys, k)
+	}
+	for _, k := range keys {
+		want := ref.m[k]
+		got, known := tr.Search(k)
+		if !known {
+			t.Fatalf("key %v unknown in tree but present in reference", k)
+		}
+		if got != want {
+			t.Fatalf("key %v: tree %v, reference %v", k, got, want)
+		}
+	}
+	// Untouched keys must be unknown.
+	for i := 0; i < 100; i++ {
+		k := Key{uint16(rng.Intn(64)), uint16(rng.Intn(64)), uint16(rng.Intn(64))}
+		if _, touched := ref.m[k]; touched {
+			continue
+		}
+		if _, known := tr.Search(k); known {
+			t.Fatalf("untouched key %v known in tree", k)
+		}
+	}
+}
+
+func TestPruning(t *testing.T) {
+	p := smallParams(3) // 8^3 space
+	tr := New(p)
+	// Saturate every voxel to clamp max: the entire tree must prune to a
+	// single aggregate.
+	for x := 0; x < 8; x++ {
+		for y := 0; y < 8; y++ {
+			for z := 0; z < 8; z++ {
+				for i := 0; i < 10; i++ {
+					tr.UpdateOccupied(Key{uint16(x), uint16(y), uint16(z)})
+				}
+			}
+		}
+	}
+	if tr.NumLeaves() != 1 {
+		t.Errorf("fully saturated tree has %d leaves, want 1", tr.NumLeaves())
+	}
+	if tr.NumNodes() != 1 {
+		t.Errorf("fully saturated tree has %d nodes, want 1 (pruned root)", tr.NumNodes())
+	}
+	// Every voxel must still answer correctly through the aggregate.
+	for x := 0; x < 8; x++ {
+		if l, known := tr.Search(Key{uint16(x), 3, 5}); !known || l != p.ClampMax {
+			t.Fatalf("pruned query wrong: %v %v", l, known)
+		}
+	}
+}
+
+func TestExpandAfterPrune(t *testing.T) {
+	p := smallParams(3)
+	tr := New(p)
+	for x := 0; x < 8; x++ {
+		for y := 0; y < 8; y++ {
+			for z := 0; z < 8; z++ {
+				for i := 0; i < 10; i++ {
+					tr.UpdateOccupied(Key{uint16(x), uint16(y), uint16(z)})
+				}
+			}
+		}
+	}
+	// Diverge one voxel: the tree must expand just enough.
+	k := Key{3, 3, 3}
+	tr.SetNodeValue(k, p.ClampMin)
+	if l, _ := tr.Search(k); l != p.ClampMin {
+		t.Errorf("diverged voxel = %v, want %v", l, p.ClampMin)
+	}
+	// All others still clamp max.
+	if l, known := tr.Search(Key{0, 0, 0}); !known || l != p.ClampMax {
+		t.Errorf("sibling lost value after expand: %v %v", l, known)
+	}
+	if l, known := tr.Search(Key{3, 3, 2}); !known || l != p.ClampMax {
+		t.Errorf("near sibling lost value after expand: %v %v", l, known)
+	}
+}
+
+func TestInnerNodeIsMaxOfChildren(t *testing.T) {
+	// With one occupied voxel anywhere, AnyOccupiedIn on the whole space
+	// must be true and root log-odds must equal the max.
+	p := smallParams(4)
+	tr := New(p)
+	tr.UpdateFree(Key{1, 1, 1})
+	tr.UpdateOccupied(Key{9, 9, 9})
+	if tr.root.logOdds != p.LogOddsHit {
+		t.Errorf("root log-odds %v, want max child %v", tr.root.logOdds, p.LogOddsHit)
+	}
+}
+
+func TestNodeCountConsistency(t *testing.T) {
+	p := smallParams(5)
+	tr := New(p)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 3000; i++ {
+		k := Key{uint16(rng.Intn(32)), uint16(rng.Intn(32)), uint16(rng.Intn(32))}
+		tr.Update(k, rng.Intn(2) == 0)
+	}
+	counted := 0
+	tr.iterate(tr.root, func(*node) { counted++ })
+	if counted != tr.NumNodes() {
+		t.Errorf("NumNodes=%d but %d nodes reachable", tr.NumNodes(), counted)
+	}
+	if tr.MemoryBytes() <= 0 {
+		t.Error("MemoryBytes should be positive")
+	}
+}
+
+func TestWalkMortonOrder(t *testing.T) {
+	p := smallParams(6)
+	tr := New(p)
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 500; i++ {
+		tr.UpdateOccupied(Key{uint16(rng.Intn(64)), uint16(rng.Intn(64)), uint16(rng.Intn(64))})
+	}
+	var prev uint64
+	first := true
+	tr.Walk(func(l Leaf) bool {
+		m := l.Key.Morton()
+		if !first && m <= prev {
+			t.Fatalf("walk not in ascending Morton order: %d after %d", m, prev)
+		}
+		prev, first = m, false
+		return true
+	})
+}
+
+func TestWalkEarlyStop(t *testing.T) {
+	p := smallParams(4)
+	tr := New(p)
+	for i := 0; i < 10; i++ {
+		tr.UpdateOccupied(Key{uint16(i), 0, 0})
+	}
+	n := 0
+	tr.Walk(func(Leaf) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Errorf("walk visited %d leaves, want 3", n)
+	}
+}
+
+func TestAnyOccupiedIn(t *testing.T) {
+	p := DefaultParams(0.1)
+	tr := New(p)
+	// Occupy a voxel near (1, 1, 1).
+	k, _ := tr.CoordToKey(geom.V(1, 1, 1))
+	tr.UpdateOccupied(k)
+	if !tr.AnyOccupiedIn(geom.Box(geom.V(0.5, 0.5, 0.5), geom.V(1.5, 1.5, 1.5))) {
+		t.Error("box around occupied voxel reports empty")
+	}
+	if tr.AnyOccupiedIn(geom.Box(geom.V(5, 5, 5), geom.V(6, 6, 6))) {
+		t.Error("distant box reports occupied")
+	}
+	// A free voxel must not trigger.
+	kf, _ := tr.CoordToKey(geom.V(-2, -2, -2))
+	for i := 0; i < 5; i++ {
+		tr.UpdateFree(kf)
+	}
+	if tr.AnyOccupiedIn(geom.Box(geom.V(-2.5, -2.5, -2.5), geom.V(-1.5, -1.5, -1.5))) {
+		t.Error("free region reports occupied")
+	}
+}
+
+func TestAnyOccupiedInMatchesBruteForce(t *testing.T) {
+	p := smallParams(5)
+	tr := New(p)
+	rng := rand.New(rand.NewSource(23))
+	occupied := map[Key]bool{}
+	for i := 0; i < 400; i++ {
+		k := Key{uint16(rng.Intn(32)), uint16(rng.Intn(32)), uint16(rng.Intn(32))}
+		if rng.Intn(2) == 0 {
+			tr.UpdateOccupied(k)
+			occupied[k] = true
+		} else {
+			tr.UpdateFree(k)
+			if occupied[k] {
+				// One free after one hit: 0.85-0.41 >= 0 so still occupied.
+				continue
+			}
+		}
+	}
+	for trial := 0; trial < 200; trial++ {
+		// Keep box faces off the voxel lattice: exactly-touching faces
+		// round differently under the tree's and the brute force's extent
+		// arithmetic, and "touching" is not a meaningful occupancy query.
+		lo := geom.V(
+			(float64(rng.Intn(32)-16)+0.37)*p.Resolution,
+			(float64(rng.Intn(32)-16)+0.37)*p.Resolution,
+			(float64(rng.Intn(32)-16)+0.37)*p.Resolution,
+		)
+		sz := geom.V(rng.Float64()*2+0.001, rng.Float64()*2+0.001, rng.Float64()*2+0.001)
+		box := geom.AABB{Min: lo, Max: lo.Add(sz)}
+		want := false
+		for k := range occupied {
+			if !tr.Occupied(k) {
+				continue
+			}
+			// Compute the voxel extent exactly as the tree does (min-corner
+			// arithmetic) so exactly-touching faces round identically.
+			half := 1 << (p.Depth - 1)
+			min := geom.V(
+				float64(int(k.X)-half)*p.Resolution,
+				float64(int(k.Y)-half)*p.Resolution,
+				float64(int(k.Z)-half)*p.Resolution,
+			)
+			vb := geom.AABB{Min: min, Max: min.Add(geom.V(p.Resolution, p.Resolution, p.Resolution))}
+			if vb.Intersects(box) {
+				want = true
+				break
+			}
+		}
+		if got := tr.AnyOccupiedIn(box); got != want {
+			t.Fatalf("trial %d: AnyOccupiedIn=%v want %v (box %+v)", trial, got, want, box)
+		}
+	}
+}
+
+func TestOccupiedLeaves(t *testing.T) {
+	p := smallParams(5)
+	tr := New(p)
+	tr.UpdateOccupied(Key{1, 2, 3})
+	tr.UpdateOccupied(Key{30, 2, 3})
+	for i := 0; i < 4; i++ {
+		tr.UpdateFree(Key{7, 7, 7})
+	}
+	leaves := tr.OccupiedLeaves()
+	if len(leaves) != 2 {
+		t.Fatalf("got %d occupied leaves, want 2", len(leaves))
+	}
+}
+
+func TestCoordSpaceQueries(t *testing.T) {
+	tr := New(DefaultParams(0.1))
+	k, _ := tr.CoordToKey(geom.V(2, 3, 1))
+	tr.UpdateOccupied(k)
+	if !tr.OccupiedAt(geom.V(2, 3, 1)) {
+		t.Error("OccupiedAt false at occupied coordinate")
+	}
+	if tr.OccupiedAt(geom.V(9999999, 0, 0)) {
+		t.Error("out-of-bounds coordinate should report unoccupied")
+	}
+	if _, known := tr.OccupancyAt(geom.V(9999999, 0, 0)); known {
+		t.Error("out-of-bounds coordinate should be unknown")
+	}
+}
+
+func TestClear(t *testing.T) {
+	tr := New(DefaultParams(0.1))
+	tr.UpdateOccupied(Key{1, 1, 1})
+	tr.Clear()
+	if tr.NumNodes() != 0 {
+		t.Error("Clear left nodes behind")
+	}
+	if _, known := tr.Search(Key{1, 1, 1}); known {
+		t.Error("Clear left data behind")
+	}
+}
+
+func TestNodeVisitsGrowWithDepth(t *testing.T) {
+	// The motivation of §3.2: a deeper tree costs more memory touches per
+	// update.
+	shallow := New(smallParams(4))
+	deep := New(smallParams(12))
+	shallow.UpdateOccupied(Key{1, 1, 1})
+	deep.UpdateOccupied(Key{1, 1, 1})
+	if deep.NodeVisits() <= shallow.NodeVisits() {
+		t.Errorf("deep tree visits %d <= shallow %d", deep.NodeVisits(), shallow.NodeVisits())
+	}
+	deep.ResetNodeVisits()
+	if deep.NodeVisits() != 0 {
+		t.Error("ResetNodeVisits failed")
+	}
+}

@@ -1,0 +1,102 @@
+// Package pointcloud provides the point-cloud preprocessing operations a
+// mapping front end typically applies between the sensor and the map:
+// rigid transforms (sensor frame → world frame) and voxel-grid
+// downsampling.
+//
+// Downsampling matters to this repository as a *baseline*: thinning the
+// cloud to one point per voxel is the obvious alternative way to remove
+// intra-batch duplication before the octree. The abl-downsample
+// experiment measures why OctoCache still wins: point thinning cannot
+// remove the duplicate *free-space* voxels produced by overlapping rays,
+// nor inter-batch duplication, and it discards occupancy evidence
+// (OctoMap's sensor fusion expects every return to contribute).
+package pointcloud
+
+import (
+	"math"
+
+	"octocache/internal/geom"
+)
+
+// Transform describes a rigid transform: rotation about +Z (yaw), then
+// rotation about the body Y axis (pitch), then translation.
+type Transform struct {
+	Translation geom.Vec3
+	Yaw, Pitch  float64
+}
+
+// Apply maps a point from the transform's source frame to its target.
+func (t Transform) Apply(p geom.Vec3) geom.Vec3 {
+	// Pitch about Y, then yaw about Z, then translate.
+	cp, sp := math.Cos(t.Pitch), math.Sin(t.Pitch)
+	x := p.X*cp + p.Z*sp
+	z := -p.X*sp + p.Z*cp
+	y := p.Y
+	cy, sy := math.Cos(t.Yaw), math.Sin(t.Yaw)
+	return geom.Vec3{
+		X: x*cy - y*sy + t.Translation.X,
+		Y: x*sy + y*cy + t.Translation.Y,
+		Z: z + t.Translation.Z,
+	}
+}
+
+// ApplyAll transforms every point, appending into dst (which may be nil).
+func (t Transform) ApplyAll(dst, points []geom.Vec3) []geom.Vec3 {
+	for _, p := range points {
+		dst = append(dst, t.Apply(p))
+	}
+	return dst
+}
+
+// Downsample thins the cloud to at most one point per cubic cell of edge
+// leaf (meters), keeping the first point seen in each cell — the common
+// voxel-filter used to cap mapping cost. Order of survivors follows
+// first appearance. leaf <= 0 returns the input unchanged.
+func Downsample(points []geom.Vec3, leaf float64) []geom.Vec3 {
+	if leaf <= 0 || len(points) == 0 {
+		return points
+	}
+	type cell struct{ x, y, z int32 }
+	seen := make(map[cell]struct{}, len(points))
+	out := make([]geom.Vec3, 0, len(points))
+	for _, p := range points {
+		c := cell{
+			x: int32(math.Floor(p.X / leaf)),
+			y: int32(math.Floor(p.Y / leaf)),
+			z: int32(math.Floor(p.Z / leaf)),
+		}
+		if _, ok := seen[c]; ok {
+			continue
+		}
+		seen[c] = struct{}{}
+		out = append(out, p)
+	}
+	return out
+}
+
+// Centroid returns the arithmetic mean of the points; ok is false for an
+// empty cloud.
+func Centroid(points []geom.Vec3) (geom.Vec3, bool) {
+	if len(points) == 0 {
+		return geom.Vec3{}, false
+	}
+	var sum geom.Vec3
+	for _, p := range points {
+		sum = sum.Add(p)
+	}
+	return sum.Scale(1 / float64(len(points))), true
+}
+
+// Bounds returns the axis-aligned bounds of the cloud; ok is false for an
+// empty cloud.
+func Bounds(points []geom.Vec3) (geom.AABB, bool) {
+	if len(points) == 0 {
+		return geom.AABB{}, false
+	}
+	box := geom.AABB{Min: points[0], Max: points[0]}
+	for _, p := range points[1:] {
+		box.Min = box.Min.Min(p)
+		box.Max = box.Max.Max(p)
+	}
+	return box, true
+}

@@ -1,0 +1,142 @@
+package pointcloud
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"octocache/internal/geom"
+)
+
+func TestTransformIdentity(t *testing.T) {
+	var id Transform
+	p := geom.V(1, 2, 3)
+	if got := id.Apply(p); got.Dist(p) > 1e-12 {
+		t.Errorf("identity transform moved point: %v", got)
+	}
+}
+
+func TestTransformYaw(t *testing.T) {
+	tr := Transform{Yaw: math.Pi / 2}
+	got := tr.Apply(geom.V(1, 0, 0))
+	if got.Dist(geom.V(0, 1, 0)) > 1e-12 {
+		t.Errorf("yaw 90°: %v", got)
+	}
+}
+
+func TestTransformPitch(t *testing.T) {
+	tr := Transform{Pitch: math.Pi / 2}
+	// Pitch rotates the forward axis upward: +X maps to -Z in this
+	// convention... verify against the Pose convention: forward with
+	// pitch π/2 points +Z, so a +X point should map to +Z? Apply uses
+	// x' = x cos + z sin, z' = -x sin + z cos → (0,0,-1).
+	got := tr.Apply(geom.V(1, 0, 0))
+	if math.Abs(got.Norm()-1) > 1e-12 {
+		t.Errorf("pitch should preserve length, got %v", got.Norm())
+	}
+}
+
+func TestTransformTranslation(t *testing.T) {
+	tr := Transform{Translation: geom.V(10, -5, 2)}
+	got := tr.Apply(geom.V(1, 1, 1))
+	if got.Dist(geom.V(11, -4, 3)) > 1e-12 {
+		t.Errorf("translation: %v", got)
+	}
+}
+
+// Property: rigid transforms preserve pairwise distances.
+func TestTransformIsRigid(t *testing.T) {
+	f := func(yaw, pitch, ax, ay, az, bx, by, bz float64) bool {
+		yaw = math.Mod(yaw, math.Pi)
+		pitch = math.Mod(pitch, math.Pi)
+		if math.IsNaN(yaw) || math.IsNaN(pitch) {
+			return true
+		}
+		tr := Transform{Yaw: yaw, Pitch: pitch, Translation: geom.V(1, 2, 3)}
+		a := geom.V(math.Mod(ax, 100), math.Mod(ay, 100), math.Mod(az, 100))
+		b := geom.V(math.Mod(bx, 100), math.Mod(by, 100), math.Mod(bz, 100))
+		d0 := a.Dist(b)
+		d1 := tr.Apply(a).Dist(tr.Apply(b))
+		return math.Abs(d0-d1) < 1e-9*(1+d0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestApplyAll(t *testing.T) {
+	tr := Transform{Translation: geom.V(1, 0, 0)}
+	pts := []geom.Vec3{geom.V(0, 0, 0), geom.V(1, 1, 1)}
+	out := tr.ApplyAll(nil, pts)
+	if len(out) != 2 || out[0] != geom.V(1, 0, 0) || out[1] != geom.V(2, 1, 1) {
+		t.Errorf("ApplyAll = %v", out)
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	pts := []geom.Vec3{
+		geom.V(0.01, 0.01, 0.01),
+		geom.V(0.02, 0.03, 0.04), // same 0.1-cell as the first
+		geom.V(0.15, 0.01, 0.01), // different cell
+		geom.V(-0.01, 0, 0),      // negative side: its own cell
+	}
+	out := Downsample(pts, 0.1)
+	if len(out) != 3 {
+		t.Fatalf("got %d survivors, want 3: %v", len(out), out)
+	}
+	if out[0] != pts[0] || out[1] != pts[2] || out[2] != pts[3] {
+		t.Errorf("first-wins order broken: %v", out)
+	}
+}
+
+func TestDownsampleDegenerate(t *testing.T) {
+	pts := []geom.Vec3{geom.V(1, 2, 3)}
+	if got := Downsample(pts, 0); len(got) != 1 {
+		t.Error("leaf=0 should be a no-op")
+	}
+	if got := Downsample(nil, 0.1); got != nil {
+		t.Error("empty cloud should stay empty")
+	}
+}
+
+func TestDownsampleBoundsDensity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pts := make([]geom.Vec3, 5000)
+	for i := range pts {
+		pts[i] = geom.V(rng.Float64(), rng.Float64(), rng.Float64())
+	}
+	out := Downsample(pts, 0.25)
+	// A unit cube at 0.25 leaves has at most 5^3 boundary-padded cells.
+	if len(out) > 125 {
+		t.Errorf("downsample left %d points for ≤125 cells", len(out))
+	}
+	// Survivors are a subset of the input.
+	seen := map[geom.Vec3]bool{}
+	for _, p := range pts {
+		seen[p] = true
+	}
+	for _, p := range out {
+		if !seen[p] {
+			t.Fatal("downsample invented a point")
+		}
+	}
+}
+
+func TestCentroidAndBounds(t *testing.T) {
+	if _, ok := Centroid(nil); ok {
+		t.Error("empty centroid should fail")
+	}
+	if _, ok := Bounds(nil); ok {
+		t.Error("empty bounds should fail")
+	}
+	pts := []geom.Vec3{geom.V(0, 0, 0), geom.V(2, 4, 6)}
+	c, _ := Centroid(pts)
+	if c.Dist(geom.V(1, 2, 3)) > 1e-12 {
+		t.Errorf("centroid = %v", c)
+	}
+	b, _ := Bounds(pts)
+	if b.Min != geom.V(0, 0, 0) || b.Max != geom.V(2, 4, 6) {
+		t.Errorf("bounds = %+v", b)
+	}
+}

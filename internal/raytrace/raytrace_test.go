@@ -1,0 +1,292 @@
+package raytrace
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"octocache/internal/geom"
+	"octocache/internal/octree"
+)
+
+func cfg(res float64) Config { return Config{Resolution: res, Depth: 16} }
+
+func TestSingleVoxelRay(t *testing.T) {
+	tr := NewTracer(cfg(0.1))
+	// Origin and endpoint in the same voxel: only the occupied endpoint.
+	b := tr.Trace(geom.V(0.01, 0.01, 0.01), []geom.Vec3{geom.V(0.02, 0.03, 0.04)})
+	if len(b) != 1 {
+		t.Fatalf("batch size %d, want 1", len(b))
+	}
+	if !b[0].Occupied {
+		t.Error("endpoint should be occupied")
+	}
+}
+
+func TestAxisAlignedRay(t *testing.T) {
+	tr := NewTracer(cfg(0.1))
+	origin := geom.V(0.05, 0.05, 0.05)
+	end := geom.V(1.05, 0.05, 0.05) // 10 voxels along +X
+	b := tr.Trace(origin, []geom.Vec3{end})
+	if len(b) != 11 {
+		t.Fatalf("batch size %d, want 11 (10 free + 1 occupied)", len(b))
+	}
+	for i, v := range b[:10] {
+		if v.Occupied {
+			t.Errorf("voxel %d should be free", i)
+		}
+	}
+	if !b[10].Occupied {
+		t.Error("endpoint should be occupied")
+	}
+	// Keys must advance by exactly one voxel in X.
+	for i := 1; i < len(b); i++ {
+		if b[i].Key.X != b[i-1].Key.X+1 || b[i].Key.Y != b[i-1].Key.Y || b[i].Key.Z != b[i-1].Key.Z {
+			t.Fatalf("non-contiguous keys at %d: %v -> %v", i, b[i-1].Key, b[i].Key)
+		}
+	}
+}
+
+func TestNegativeDirectionRay(t *testing.T) {
+	tr := NewTracer(cfg(0.1))
+	b := tr.Trace(geom.V(0.05, 0.05, 0.05), []geom.Vec3{geom.V(-0.95, 0.05, 0.05)})
+	if len(b) != 11 {
+		t.Fatalf("batch size %d, want 11", len(b))
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i].Key.X != b[i-1].Key.X-1 {
+			t.Fatalf("keys should descend in X: %v -> %v", b[i-1].Key, b[i].Key)
+		}
+	}
+}
+
+// Property: the ray's free voxels are 6-connected (each step moves to a
+// face-adjacent voxel), start at the origin voxel, and end adjacent to
+// or at the endpoint voxel.
+func TestRayConnectivity(t *testing.T) {
+	tr := NewTracer(cfg(0.05))
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 500; trial++ {
+		origin := geom.V(rng.Float64()*4-2, rng.Float64()*4-2, rng.Float64()*4-2)
+		end := geom.V(rng.Float64()*4-2, rng.Float64()*4-2, rng.Float64()*4-2)
+		b := tr.Trace(origin, []geom.Vec3{end})
+		if len(b) == 0 {
+			t.Fatal("empty batch for in-bounds ray")
+		}
+		ok, _ := octree.CoordToKey(origin, 0.05, 16)
+		if b[0].Key != ok && len(b) > 1 {
+			t.Fatalf("trial %d: ray does not start at origin voxel", trial)
+		}
+		ek, _ := octree.CoordToKey(end, 0.05, 16)
+		if b[len(b)-1].Key != ek {
+			t.Fatalf("trial %d: ray does not end at endpoint voxel", trial)
+		}
+		for i := 1; i < len(b); i++ {
+			dx := absInt(int(b[i].Key.X) - int(b[i-1].Key.X))
+			dy := absInt(int(b[i].Key.Y) - int(b[i-1].Key.Y))
+			dz := absInt(int(b[i].Key.Z) - int(b[i-1].Key.Z))
+			if dx+dy+dz != 1 {
+				t.Fatalf("trial %d: step %d not face-adjacent (d=%d,%d,%d)", trial, i, dx, dy, dz)
+			}
+		}
+	}
+}
+
+func absInt(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Property: every voxel reported free must actually be intersected by the
+// segment (within a small tolerance).
+func TestRayVoxelsOnSegment(t *testing.T) {
+	const res = 0.1
+	tr := NewTracer(cfg(res))
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 200; trial++ {
+		origin := geom.V(rng.Float64()*6-3, rng.Float64()*6-3, rng.Float64()*6-3)
+		end := geom.V(rng.Float64()*6-3, rng.Float64()*6-3, rng.Float64()*6-3)
+		b := tr.Trace(origin, []geom.Vec3{end})
+		dir := end.Sub(origin)
+		for i, v := range b {
+			c := octree.KeyToCoord(v.Key, res, 16)
+			// Distance from voxel center to the segment must be within the
+			// voxel's circumscribed radius.
+			tproj := c.Sub(origin).Dot(dir) / dir.NormSq()
+			if tproj < 0 {
+				tproj = 0
+			}
+			if tproj > 1 {
+				tproj = 1
+			}
+			closest := origin.Add(dir.Scale(tproj))
+			if c.Dist(closest) > res*math.Sqrt(3)/2+1e-9 {
+				t.Fatalf("trial %d: voxel %d center %v is %.4f m from segment", trial, i, c, c.Dist(closest))
+			}
+		}
+	}
+}
+
+func TestMaxRangeTruncation(t *testing.T) {
+	c := cfg(0.1)
+	c.MaxRange = 0.5
+	tr := NewTracer(c)
+	b := tr.Trace(geom.V(0.05, 0.05, 0.05), []geom.Vec3{geom.V(2.05, 0.05, 0.05)})
+	// Ray truncated to 0.5 m: ~5 voxels, all free.
+	for _, v := range b {
+		if v.Occupied {
+			t.Fatal("truncated ray must not report occupied voxels")
+		}
+	}
+	if len(b) < 4 || len(b) > 7 {
+		t.Errorf("truncated batch size %d, expected about 6", len(b))
+	}
+	// Within range: endpoint occupied as usual.
+	b = tr.Trace(geom.V(0.05, 0.05, 0.05), []geom.Vec3{geom.V(0.35, 0.05, 0.05)})
+	if !b[len(b)-1].Occupied {
+		t.Error("in-range endpoint should be occupied")
+	}
+}
+
+func TestOutOfBoundsRaySkipped(t *testing.T) {
+	tr := NewTracer(cfg(0.1)) // map half-range is 3276.8 m
+	b := tr.Trace(geom.V(0, 0, 0), []geom.Vec3{geom.V(1e6, 0, 0)})
+	if len(b) != 0 {
+		t.Errorf("out-of-bounds ray produced %d voxels", len(b))
+	}
+}
+
+func TestConeDuplication(t *testing.T) {
+	// Rays fanning out from one origin share voxels near it; the batch
+	// must contain duplicates (the §3.1 observation OctoCache exploits).
+	tr := NewTracer(cfg(0.1))
+	origin := geom.V(0, 0, 0.05)
+	var pts []geom.Vec3
+	for i := 0; i < 60; i++ {
+		ang := float64(i) / 60 * math.Pi / 4
+		pts = append(pts, geom.V(3*math.Cos(ang), 3*math.Sin(ang), 0.05))
+	}
+	b := tr.Trace(origin, pts)
+	distinct := CountDistinct(b)
+	if distinct >= len(b) {
+		t.Fatalf("no duplication in conical scan: %d voxels, %d distinct", len(b), distinct)
+	}
+	dup := float64(len(b)) / float64(distinct)
+	if dup < 1.5 {
+		t.Errorf("duplication rate %.2f too low for a conical scan", dup)
+	}
+}
+
+func TestTraceRTDeduplicates(t *testing.T) {
+	tr := NewTracer(cfg(0.1))
+	origin := geom.V(0, 0, 0.05)
+	var pts []geom.Vec3
+	for i := 0; i < 60; i++ {
+		ang := float64(i) / 60 * math.Pi / 4
+		pts = append(pts, geom.V(3*math.Cos(ang), 3*math.Sin(ang), 0.05))
+	}
+	rt := tr.TraceRT(origin, pts)
+	if CountDistinct(rt) != len(rt) {
+		t.Fatal("TraceRT batch contains duplicates")
+	}
+	raw := tr.Trace(origin, pts)
+	if len(rt) != CountDistinct(raw) {
+		t.Errorf("RT batch size %d != distinct raw voxels %d", len(rt), CountDistinct(raw))
+	}
+}
+
+func TestTraceRTOccupiedWins(t *testing.T) {
+	tr := NewTracer(cfg(0.1))
+	// Two rays: one passes through voxel V as free; the other ends in V.
+	origin := geom.V(0.05, 0.05, 0.05)
+	through := geom.V(2.05, 0.05, 0.05) // passes voxel at x≈1.0
+	endsAt := geom.V(1.05, 0.05, 0.05)  // occupies that voxel
+	rt := tr.TraceRT(origin, []geom.Vec3{through, endsAt})
+	target, _ := octree.CoordToKey(endsAt, 0.1, 16)
+	found := false
+	for _, v := range rt {
+		if v.Key == target {
+			found = true
+			if !v.Occupied {
+				t.Error("occupied observation must outrank free in RT dedup")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("target voxel missing from RT batch")
+	}
+	// Order-independence of the winner.
+	rt2 := tr.TraceRT(origin, []geom.Vec3{endsAt, through})
+	for _, v := range rt2 {
+		if v.Key == target && !v.Occupied {
+			t.Error("occupied must win regardless of ray order")
+		}
+	}
+}
+
+func TestTraceIntoOctreeMatchesDirectUpdates(t *testing.T) {
+	// Feeding a traced batch into the octree must equal applying the same
+	// logical observations directly.
+	p := octree.DefaultParams(0.1)
+	tr := NewTracer(cfg(0.1))
+	batch := tr.Trace(geom.V(0.05, 0.05, 0.05), []geom.Vec3{geom.V(1.55, 0.75, 0.35)})
+
+	a := octree.New(p)
+	for _, v := range batch {
+		a.Update(v.Key, v.Occupied)
+	}
+	b := octree.New(p)
+	for _, v := range batch {
+		b.Update(v.Key, v.Occupied)
+	}
+	if !a.Equal(b) {
+		t.Fatal("identical batches produced different trees")
+	}
+	// The endpoint voxel must be occupied, intermediate ones free.
+	if !a.Occupied(batch[len(batch)-1].Key) {
+		t.Error("endpoint not occupied in tree")
+	}
+	if a.Occupied(batch[0].Key) {
+		t.Error("origin-adjacent voxel should be free")
+	}
+}
+
+func TestEmptyPointCloud(t *testing.T) {
+	tr := NewTracer(cfg(0.1))
+	if b := tr.Trace(geom.V(0, 0, 0), nil); len(b) != 0 {
+		t.Errorf("empty cloud produced %d voxels", len(b))
+	}
+	if b := tr.TraceRT(geom.V(0, 0, 0), nil); len(b) != 0 {
+		t.Errorf("empty cloud RT produced %d voxels", len(b))
+	}
+}
+
+func BenchmarkTrace(b *testing.B) {
+	tr := NewTracer(cfg(0.1))
+	origin := geom.V(0, 0, 1)
+	var pts []geom.Vec3
+	for i := 0; i < 500; i++ {
+		ang := float64(i) / 500 * math.Pi
+		pts = append(pts, geom.V(5*math.Cos(ang), 5*math.Sin(ang), 1))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Trace(origin, pts)
+	}
+}
+
+func BenchmarkTraceRT(b *testing.B) {
+	tr := NewTracer(cfg(0.1))
+	origin := geom.V(0, 0, 1)
+	var pts []geom.Vec3
+	for i := 0; i < 500; i++ {
+		ang := float64(i) / 500 * math.Pi
+		pts = append(pts, geom.V(5*math.Cos(ang), 5*math.Sin(ang), 1))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.TraceRT(origin, pts)
+	}
+}

@@ -1,0 +1,110 @@
+// Package sensor simulates the depth camera / LiDAR that feeds the
+// mapping pipelines. Given a world and a pose it casts a grid of rays
+// across the sensor's field of view and returns the obstacle-surface
+// sample points — the point cloud of paper Figure 4.
+//
+// The ray grid is intentionally denser than typical mapping resolutions,
+// so multiple returns land in the same voxel near surfaces; combined with
+// the conical beam geometry this reproduces the intra-batch duplication
+// of §3.1 that OctoCache exploits.
+package sensor
+
+import (
+	"math"
+	"math/rand"
+
+	"octocache/internal/geom"
+	"octocache/internal/world"
+)
+
+// Model describes a range sensor.
+type Model struct {
+	// HFOV and VFOV are the horizontal and vertical fields of view in
+	// radians.
+	HFOV, VFOV float64
+	// HRays and VRays are the ray-grid dimensions (angular resolution).
+	HRays, VRays int
+	// MaxRange is the maximum sensing range in meters — the paper's
+	// per-environment "sensing range" parameter.
+	MaxRange float64
+	// FPS is the sensor frame rate (both UAVs use 50 Hz sensors, §5.1).
+	FPS float64
+	// RangeNoise is the standard deviation of Gaussian noise applied
+	// along each ray, in meters. Zero disables noise.
+	RangeNoise float64
+}
+
+// DefaultModel returns a forward depth camera comparable to the MAVBench
+// setup: 90°x60° FOV at 50 Hz with the given range and ray density.
+func DefaultModel(maxRange float64, hRays, vRays int) Model {
+	return Model{
+		HFOV:     math.Pi / 2,
+		VFOV:     math.Pi / 3,
+		HRays:    hRays,
+		VRays:    vRays,
+		MaxRange: maxRange,
+		FPS:      50,
+	}
+}
+
+// Panoramic returns a wide-FOV scanning laser comparable to the sensors
+// behind the public OctoMap datasets (FR-079 and Freiburg campus were
+// captured with panoramic laser scanners): 240°x60° FOV. The wide
+// horizontal sweep is what gives consecutive dataset scans their extreme
+// voxel overlap (paper Figure 8).
+func Panoramic(maxRange float64, hRays, vRays int) Model {
+	return Model{
+		HFOV:     4 * math.Pi / 3,
+		VFOV:     math.Pi / 3,
+		HRays:    hRays,
+		VRays:    vRays,
+		MaxRange: maxRange,
+		FPS:      50,
+	}
+}
+
+// Scan casts the sensor's ray grid from the pose into w and returns the
+// surface points hit within MaxRange, in world coordinates. rng is used
+// only when RangeNoise > 0 and may be nil otherwise. The returned slice
+// is freshly allocated.
+func (m Model) Scan(w *world.World, pose geom.Pose, rng *rand.Rand) []geom.Vec3 {
+	pts := make([]geom.Vec3, 0, m.HRays*m.VRays/2)
+	for vi := 0; vi < m.VRays; vi++ {
+		dPitch := 0.0
+		if m.VRays > 1 {
+			dPitch = (float64(vi)/float64(m.VRays-1) - 0.5) * m.VFOV
+		}
+		for hi := 0; hi < m.HRays; hi++ {
+			dYaw := 0.0
+			if m.HRays > 1 {
+				dYaw = (float64(hi)/float64(m.HRays-1) - 0.5) * m.HFOV
+			}
+			dir := pose.Direction(dYaw, dPitch)
+			hit, ok := w.Raycast(pose.Position, dir, m.MaxRange)
+			if !ok {
+				continue
+			}
+			if m.RangeNoise > 0 && rng != nil {
+				r := hit.Sub(pose.Position).Norm()
+				r += rng.NormFloat64() * m.RangeNoise
+				if r < 0.05 {
+					r = 0.05
+				}
+				hit = pose.Position.Add(dir.Scale(r))
+			}
+			pts = append(pts, hit)
+		}
+	}
+	return pts
+}
+
+// Rays returns the total number of rays per scan.
+func (m Model) Rays() int { return m.HRays * m.VRays }
+
+// Period returns the time between frames.
+func (m Model) Period() float64 {
+	if m.FPS <= 0 {
+		return 0
+	}
+	return 1 / m.FPS
+}

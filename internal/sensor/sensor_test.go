@@ -1,0 +1,130 @@
+package sensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"octocache/internal/geom"
+	"octocache/internal/world"
+)
+
+// wallWorld is a single wall 5 m in front of the origin.
+func wallWorld() *world.World {
+	return &world.World{
+		Name:      "wall",
+		Bounds:    geom.Box(geom.V(-10, -10, -10), geom.V(10, 10, 10)),
+		Obstacles: []world.Obstacle{world.B(geom.V(5, -10, -10), geom.V(5.5, 10, 10))},
+	}
+}
+
+func TestScanHitsWall(t *testing.T) {
+	m := DefaultModel(8, 21, 11)
+	pts := m.Scan(wallWorld(), geom.Pose{Position: geom.V(0, 0, 0)}, nil)
+	if len(pts) == 0 {
+		t.Fatal("no returns from wall")
+	}
+	for _, p := range pts {
+		if math.Abs(p.X-5) > 1e-6 {
+			t.Fatalf("return %v not on wall face x=5", p)
+		}
+		if p.Sub(geom.V(0, 0, 0)).Norm() > 8+1e-9 {
+			t.Fatalf("return %v beyond max range", p)
+		}
+	}
+}
+
+func TestScanRespectsMaxRange(t *testing.T) {
+	m := DefaultModel(3, 21, 11) // wall at 5 m is out of range
+	pts := m.Scan(wallWorld(), geom.Pose{Position: geom.V(0, 0, 0)}, nil)
+	if len(pts) != 0 {
+		t.Errorf("%d returns beyond max range", len(pts))
+	}
+}
+
+func TestScanYawAims(t *testing.T) {
+	// Facing away from the wall: no returns.
+	m := DefaultModel(8, 21, 11)
+	pts := m.Scan(wallWorld(), geom.Pose{Position: geom.V(0, 0, 0), Yaw: math.Pi}, nil)
+	if len(pts) != 0 {
+		t.Errorf("%d returns while facing away", len(pts))
+	}
+}
+
+func TestScanDeterministicWithoutNoise(t *testing.T) {
+	m := DefaultModel(8, 15, 9)
+	w := wallWorld()
+	a := m.Scan(w, geom.Pose{Position: geom.V(0, 0, 0)}, nil)
+	b := m.Scan(w, geom.Pose{Position: geom.V(0, 0, 0)}, nil)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic scan size")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("nondeterministic scan points")
+		}
+	}
+}
+
+func TestScanNoisePerturbsAlongRay(t *testing.T) {
+	m := DefaultModel(8, 15, 9)
+	m.RangeNoise = 0.02
+	w := wallWorld()
+	origin := geom.V(0, 0, 0)
+	pts := m.Scan(w, geom.Pose{Position: origin}, rand.New(rand.NewSource(1)))
+	if len(pts) == 0 {
+		t.Fatal("no returns")
+	}
+	var maxDev float64
+	for _, p := range pts {
+		// Noisy points should lie near the wall but not exactly on it.
+		dev := math.Abs(p.X - 5)
+		if dev > maxDev {
+			maxDev = dev
+		}
+		if dev > 0.3 {
+			t.Fatalf("noise deviation %.3f too large", dev)
+		}
+	}
+	if maxDev == 0 {
+		t.Error("noise had no effect")
+	}
+}
+
+func TestScanFromRealEnvironmentsProducesPoints(t *testing.T) {
+	for _, e := range append(world.MAVBenchEnvs(), world.DatasetEnvs()...) {
+		w := world.Build(e, 1)
+		m := DefaultModel(8, 31, 15)
+		pose := geom.Pose{Position: w.Start, Pitch: -0.15}
+		pts := m.Scan(w, pose, nil)
+		if len(pts) == 0 {
+			t.Errorf("%v: scan from start produced no points", e)
+		}
+	}
+}
+
+func TestModelHelpers(t *testing.T) {
+	m := DefaultModel(8, 10, 5)
+	if m.Rays() != 50 {
+		t.Errorf("Rays = %d", m.Rays())
+	}
+	if p := m.Period(); math.Abs(p-0.02) > 1e-12 {
+		t.Errorf("Period = %v, want 0.02 (50 Hz)", p)
+	}
+	m.FPS = 0
+	if m.Period() != 0 {
+		t.Error("Period with FPS=0 should be 0")
+	}
+}
+
+func TestSingleRayModel(t *testing.T) {
+	// HRays = VRays = 1 must not divide by zero and aims straight ahead.
+	m := Model{HFOV: 1, VFOV: 1, HRays: 1, VRays: 1, MaxRange: 10}
+	pts := m.Scan(wallWorld(), geom.Pose{Position: geom.V(0, 0, 0)}, nil)
+	if len(pts) != 1 {
+		t.Fatalf("got %d points, want 1", len(pts))
+	}
+	if math.Abs(pts[0].Y) > 1e-9 || math.Abs(pts[0].Z) > 1e-9 {
+		t.Errorf("single ray not straight ahead: %v", pts[0])
+	}
+}

@@ -1,0 +1,116 @@
+// Package spsc provides a lock-free single-producer/single-consumer ring
+// buffer, the Go counterpart of the moodycamel readerwriterqueue the
+// paper uses as the shared buffer between OctoCache's two threads
+// (§4.4): thread 1 enqueues evicted voxels, thread 2 dequeues them for
+// octree insertion. Enqueue and dequeue are wait-free when the queue is
+// neither full nor empty, so the inter-thread transmission overhead stays
+// negligible (paper Table 3).
+package spsc
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// Queue is a bounded SPSC FIFO. Exactly one goroutine may call the
+// producer methods (TryEnqueue, Enqueue) and exactly one goroutine the
+// consumer methods (TryDequeue, Dequeue); the two may run concurrently.
+type Queue[T any] struct {
+	buf  []T
+	mask uint64
+
+	// head is the next slot to read (owned by the consumer); tail is the
+	// next slot to write (owned by the producer). Each side caches the
+	// other's counter to avoid touching the shared cache line on every
+	// operation — the standard SPSC optimization.
+	_        [64]byte // keep head and tail on separate cache lines
+	head     atomic.Uint64
+	_        [64]byte
+	tail     atomic.Uint64
+	_        [64]byte
+	headSeen uint64 // producer's cache of head
+	_        [64]byte
+	tailSeen uint64 // consumer's cache of tail
+}
+
+// New creates a queue with at least the given capacity (rounded up to a
+// power of two, minimum 2).
+func New[T any](capacity int) *Queue[T] {
+	n := 2
+	for n < capacity {
+		n <<= 1
+	}
+	return &Queue[T]{buf: make([]T, n), mask: uint64(n - 1)}
+}
+
+// Cap returns the queue's fixed capacity.
+func (q *Queue[T]) Cap() int { return len(q.buf) }
+
+// Len returns a linearizable-enough snapshot of the number of queued
+// elements; exact only when producer and consumer are quiescent.
+func (q *Queue[T]) Len() int {
+	return int(q.tail.Load() - q.head.Load())
+}
+
+// TryEnqueue appends v and reports success; it fails only when the queue
+// is full. Producer-side only.
+func (q *Queue[T]) TryEnqueue(v T) bool {
+	t := q.tail.Load()
+	if t-q.headSeen == uint64(len(q.buf)) {
+		q.headSeen = q.head.Load()
+		if t-q.headSeen == uint64(len(q.buf)) {
+			return false
+		}
+	}
+	q.buf[t&q.mask] = v
+	q.tail.Store(t + 1)
+	return true
+}
+
+// Enqueue appends v, spinning (with cooperative yields) while the queue
+// is full. Producer-side only.
+func (q *Queue[T]) Enqueue(v T) {
+	for !q.TryEnqueue(v) {
+		runtime.Gosched()
+	}
+}
+
+// TryDequeue removes and returns the oldest element; ok is false when the
+// queue is empty. Consumer-side only.
+func (q *Queue[T]) TryDequeue() (v T, ok bool) {
+	h := q.head.Load()
+	if h == q.tailSeen {
+		q.tailSeen = q.tail.Load()
+		if h == q.tailSeen {
+			return v, false
+		}
+	}
+	v = q.buf[h&q.mask]
+	var zero T
+	q.buf[h&q.mask] = zero // release references for the GC
+	q.head.Store(h + 1)
+	return v, true
+}
+
+// Dequeue removes and returns the oldest element, spinning (with
+// cooperative yields) while the queue is empty. Consumer-side only.
+func (q *Queue[T]) Dequeue() T {
+	for {
+		if v, ok := q.TryDequeue(); ok {
+			return v
+		}
+		runtime.Gosched()
+	}
+}
+
+// Drain dequeues everything currently visible into dst and returns the
+// extended slice. Consumer-side only.
+func (q *Queue[T]) Drain(dst []T) []T {
+	for {
+		v, ok := q.TryDequeue()
+		if !ok {
+			return dst
+		}
+		dst = append(dst, v)
+	}
+}

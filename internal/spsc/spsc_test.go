@@ -1,0 +1,194 @@
+package spsc
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestCapacityRounding(t *testing.T) {
+	cases := []struct{ ask, want int }{
+		{0, 2}, {1, 2}, {2, 2}, {3, 4}, {4, 4}, {5, 8}, {1000, 1024},
+	}
+	for _, c := range cases {
+		if got := New[int](c.ask).Cap(); got != c.want {
+			t.Errorf("New(%d).Cap() = %d, want %d", c.ask, got, c.want)
+		}
+	}
+}
+
+func TestFIFOOrder(t *testing.T) {
+	q := New[int](8)
+	for i := 0; i < 8; i++ {
+		if !q.TryEnqueue(i) {
+			t.Fatalf("enqueue %d failed", i)
+		}
+	}
+	if q.TryEnqueue(99) {
+		t.Error("enqueue into full queue succeeded")
+	}
+	for i := 0; i < 8; i++ {
+		v, ok := q.TryDequeue()
+		if !ok || v != i {
+			t.Fatalf("dequeue %d: got %d,%v", i, v, ok)
+		}
+	}
+	if _, ok := q.TryDequeue(); ok {
+		t.Error("dequeue from empty queue succeeded")
+	}
+}
+
+func TestWrapAround(t *testing.T) {
+	q := New[int](4)
+	next := 0
+	out := 0
+	for round := 0; round < 100; round++ {
+		n := rand.Intn(4) + 1
+		for i := 0; i < n; i++ {
+			if q.TryEnqueue(next) {
+				next++
+			}
+		}
+		m := rand.Intn(4) + 1
+		for i := 0; i < m; i++ {
+			if v, ok := q.TryDequeue(); ok {
+				if v != out {
+					t.Fatalf("out of order: got %d want %d", v, out)
+				}
+				out++
+			}
+		}
+	}
+	for {
+		v, ok := q.TryDequeue()
+		if !ok {
+			break
+		}
+		if v != out {
+			t.Fatalf("tail drain out of order: got %d want %d", v, out)
+		}
+		out++
+	}
+	if out != next {
+		t.Fatalf("lost elements: enqueued %d, dequeued %d", next, out)
+	}
+}
+
+func TestLen(t *testing.T) {
+	q := New[string](8)
+	if q.Len() != 0 {
+		t.Error("fresh queue not empty")
+	}
+	q.TryEnqueue("a")
+	q.TryEnqueue("b")
+	if q.Len() != 2 {
+		t.Errorf("Len = %d, want 2", q.Len())
+	}
+	q.TryDequeue()
+	if q.Len() != 1 {
+		t.Errorf("Len = %d, want 1", q.Len())
+	}
+}
+
+func TestDrain(t *testing.T) {
+	q := New[int](16)
+	for i := 0; i < 10; i++ {
+		q.TryEnqueue(i)
+	}
+	got := q.Drain(nil)
+	if len(got) != 10 {
+		t.Fatalf("drained %d, want 10", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("drain out of order at %d: %d", i, v)
+		}
+	}
+	if q.Len() != 0 {
+		t.Error("queue not empty after drain")
+	}
+}
+
+// TestConcurrentTransfer streams a large sequence through a small queue
+// with a real producer and consumer goroutine pair and verifies exact
+// order and completeness — the contract the parallel pipeline relies on.
+func TestConcurrentTransfer(t *testing.T) {
+	const n = 1 << 20
+	q := New[int](256)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	errCh := make(chan error, 1)
+	go func() {
+		defer wg.Done()
+		for want := 0; want < n; want++ {
+			v := q.Dequeue()
+			if v != want {
+				select {
+				case errCh <- fmt.Errorf("got %d want %d", v, want):
+				default:
+				}
+				return
+			}
+		}
+	}()
+	for i := 0; i < n; i++ {
+		q.Enqueue(i)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+	if q.Len() != 0 {
+		t.Errorf("queue holds %d leftover elements", q.Len())
+	}
+}
+
+// TestConcurrentStructTransfer repeats the transfer with a struct payload
+// (like the pipeline's evicted-voxel records) and checksums the fields.
+func TestConcurrentStructTransfer(t *testing.T) {
+	type rec struct {
+		a uint32
+		b float32
+	}
+	const n = 200000
+	q := New[rec](128)
+	done := make(chan [2]float64)
+	go func() {
+		var sa, sb float64
+		for i := 0; i < n; i++ {
+			r := q.Dequeue()
+			sa += float64(r.a)
+			sb += float64(r.b)
+		}
+		done <- [2]float64{sa, sb}
+	}()
+	var wa, wb float64
+	for i := 0; i < n; i++ {
+		r := rec{a: uint32(i), b: float32(i%97) * 0.5}
+		wa += float64(r.a)
+		wb += float64(r.b)
+		q.Enqueue(r)
+	}
+	got := <-done
+	if got[0] != wa || got[1] != wb {
+		t.Fatalf("checksum mismatch: got %v want [%v %v]", got, wa, wb)
+	}
+}
+
+func BenchmarkPingPong(b *testing.B) {
+	q := New[uint64](1024)
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < b.N; i++ {
+			q.Dequeue()
+		}
+		close(done)
+	}()
+	for i := 0; i < b.N; i++ {
+		q.Enqueue(uint64(i))
+	}
+	<-done
+}

@@ -1,0 +1,132 @@
+// Package uav models the two quadrotor airframes of §5.1 and the
+// velocity roofline of Krishnan et al. that links mapping-system latency
+// to flight performance: a UAV may only fly as fast as it can stop
+// within its sensing range after reacting, and the reaction time includes
+// the full perception-planning compute latency. Faster map updates →
+// shorter reaction time → higher safe velocity → shorter missions.
+package uav
+
+import "math"
+
+// G is standard gravity in m/s².
+const G = 9.80665
+
+// Airframe describes a UAV platform.
+type Airframe struct {
+	Name string
+	// MassKg is the takeoff mass.
+	MassKg float64
+	// ThrustN is the maximum total rotor thrust. The paper lists "rotor
+	// pull" of 3600 and 588 for the Pelican and Spark; interpreting the
+	// figures as gram-force yields thrust-to-weight ratios of 1.92 and
+	// 1.68, consistent with both airframes' published capabilities.
+	ThrustN float64
+	// SensorFPS is the onboard sensor frame rate (50 Hz for both).
+	SensorFPS float64
+	// VMax is the manufacturer's top speed in m/s: the actuation bound
+	// that caps the roofline regardless of compute speed.
+	VMax float64
+	// HoverPowerW is the rotor power draw near hover in watts, used for
+	// mission energy estimates (95% of UAV energy goes to the rotors
+	// during flight, per Krishnan et al. — the paper's justification for
+	// mission time as an energy proxy).
+	HoverPowerW float64
+}
+
+// AscTecPelican returns the paper's research quadrotor: 1872 g, 3600 gf
+// rotor pull.
+func AscTecPelican() Airframe {
+	return Airframe{
+		Name:        "asctec-pelican",
+		MassKg:      1.872,
+		ThrustN:     3.600 * G, // 3600 gram-force
+		SensorFPS:   50,
+		VMax:        16.0,
+		HoverPowerW: 200,
+	}
+}
+
+// DJISpark returns the paper's consumer quadrotor: 350 g, 588 gf rotor
+// pull.
+func DJISpark() Airframe {
+	return Airframe{
+		Name:        "dji-spark",
+		MassKg:      0.350,
+		ThrustN:     0.588 * G, // 588 gram-force
+		SensorFPS:   50,
+		VMax:        13.9,
+		HoverPowerW: 50,
+	}
+}
+
+// ThrustToWeight returns T/(mg).
+func (a Airframe) ThrustToWeight() float64 {
+	return a.ThrustN / (a.MassKg * G)
+}
+
+// MaxDecel returns the maximum horizontal braking deceleration in m/s²:
+// while hovering consumes one g of thrust vertically, the remaining
+// envelope √((T/m)² − g²) can brake horizontally.
+func (a Airframe) MaxDecel() float64 {
+	tm := a.ThrustN / a.MassKg
+	if tm <= G {
+		return 0.1 // cannot sustain hover margin; crawl
+	}
+	return math.Sqrt(tm*tm - G*G)
+}
+
+// SensorLatency returns the per-frame sensing delay in seconds.
+func (a Airframe) SensorLatency() float64 {
+	if a.SensorFPS <= 0 {
+		return 0
+	}
+	return 1 / a.SensorFPS
+}
+
+// MaxSafeVelocity returns the highest velocity from which the UAV can
+// come to a full stop within stopDist meters, given a total response
+// latency tResp seconds (sensor period + compute). During the response
+// latency the UAV travels at full speed; afterwards it brakes at
+// MaxDecel. Solving v·t + v²/(2a) = d for v:
+//
+//	v = a·(−t + √(t² + 2d/a))
+//
+// The result is clamped to [0, VMax] — the actuation roofline. When the
+// compute term of tResp shrinks (OctoCache's contribution) the bound
+// rises until VMax or the braking envelope takes over, which is exactly
+// the Spark-on-Openland saturation the paper reports.
+func (a Airframe) MaxSafeVelocity(stopDist, tResp float64) float64 {
+	if stopDist <= 0 {
+		return 0
+	}
+	if tResp < 0 {
+		tResp = 0
+	}
+	acc := a.MaxDecel()
+	v := acc * (-tResp + math.Sqrt(tResp*tResp+2*stopDist/acc))
+	if v < 0 {
+		v = 0
+	}
+	if a.VMax > 0 && v > a.VMax {
+		v = a.VMax
+	}
+	return v
+}
+
+// MissionTime returns the idealized completion time for a path of the
+// given length flown at velocity v.
+func MissionTime(pathLength, v float64) float64 {
+	if v <= 0 {
+		return math.Inf(1)
+	}
+	return pathLength / v
+}
+
+// MissionEnergy estimates the total energy in joules for a mission of
+// the given duration: rotor draw at hover power for the whole flight,
+// inflated by the ~5% non-rotor share (95% of UAV energy is consumed by
+// the rotors, Krishnan et al.). Shorter missions mean proportionally
+// less energy — the paper's link from mapping latency to battery life.
+func (a Airframe) MissionEnergy(seconds float64) float64 {
+	return a.HoverPowerW * seconds / 0.95
+}

@@ -1,0 +1,136 @@
+package uav
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAirframeParameters(t *testing.T) {
+	p := AscTecPelican()
+	s := DJISpark()
+	if math.Abs(p.MassKg-1.872) > 1e-9 || math.Abs(s.MassKg-0.35) > 1e-9 {
+		t.Error("masses wrong")
+	}
+	// Thrust-to-weight per the gram-force interpretation (§5.1).
+	if tw := p.ThrustToWeight(); math.Abs(tw-3600.0/1872.0) > 1e-6 {
+		t.Errorf("Pelican T/W = %v", tw)
+	}
+	if tw := s.ThrustToWeight(); math.Abs(tw-588.0/350.0) > 1e-6 {
+		t.Errorf("Spark T/W = %v", tw)
+	}
+	// The Pelican out-accelerates the Spark.
+	if p.MaxDecel() <= s.MaxDecel() {
+		t.Errorf("Pelican decel %v <= Spark %v", p.MaxDecel(), s.MaxDecel())
+	}
+	if p.SensorLatency() != 0.02 {
+		t.Errorf("50 Hz sensor latency = %v", p.SensorLatency())
+	}
+}
+
+func TestMaxDecelDegenerate(t *testing.T) {
+	weak := Airframe{MassKg: 1, ThrustN: 5} // cannot hover
+	if d := weak.MaxDecel(); d <= 0 || d > 1 {
+		t.Errorf("sub-hover airframe decel = %v", d)
+	}
+	if (Airframe{}).SensorLatency() != 0 {
+		t.Error("zero-FPS latency should be 0")
+	}
+}
+
+func TestMaxSafeVelocityStopsInTime(t *testing.T) {
+	// Property: flying at the returned velocity, travel during the
+	// response window plus the braking distance must not exceed stopDist.
+	a := AscTecPelican()
+	f := func(d, tr float64) bool {
+		d = math.Mod(math.Abs(d), 30) + 0.5    // 0.5..30.5 m
+		tr = math.Mod(math.Abs(tr), 1) + 0.001 // ~0..1 s
+		v := a.MaxSafeVelocity(d, tr)
+		if v < 0 {
+			return false
+		}
+		if v == a.VMax {
+			return true // actuation-capped; stopping margin only grows
+		}
+		travel := v*tr + v*v/(2*a.MaxDecel())
+		return travel <= d+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVelocityMonotoneInLatency(t *testing.T) {
+	a := AscTecPelican()
+	prev := math.Inf(1)
+	for _, tr := range []float64{0.01, 0.05, 0.1, 0.3, 0.6, 1.0} {
+		v := a.MaxSafeVelocity(8, tr)
+		if v > prev {
+			t.Fatalf("velocity increased with latency at %v", tr)
+		}
+		prev = v
+	}
+}
+
+func TestVelocityMonotoneInRange(t *testing.T) {
+	a := DJISpark()
+	prev := 0.0
+	for _, d := range []float64{1, 2, 4, 8, 16} {
+		v := a.MaxSafeVelocity(d, 0.2)
+		if v < prev {
+			t.Fatalf("velocity decreased with range at %v", d)
+		}
+		prev = v
+	}
+}
+
+func TestVMaxCapCreatesActuationBound(t *testing.T) {
+	// The paper's Spark-on-Openland effect: once compute is fast enough
+	// the velocity saturates at VMax and further speedups buy nothing.
+	s := DJISpark()
+	vFast := s.MaxSafeVelocity(8, 0.02) // near-zero compute latency
+	vFaster := s.MaxSafeVelocity(8, 0.01)
+	if vFast != s.VMax {
+		t.Skipf("velocity %v not saturated at VMax %v for this envelope", vFast, s.VMax)
+	}
+	if vFaster != vFast {
+		t.Errorf("saturated velocity still improved: %v -> %v", vFast, vFaster)
+	}
+}
+
+func TestSparkGainsLessThanPelican(t *testing.T) {
+	// Reducing compute latency must help the higher-thrust Pelican at
+	// least as much (relatively) as the Spark — the root cause of the
+	// paper's "bottleneck shifts to rotor power" observation.
+	p, s := AscTecPelican(), DJISpark()
+	const d = 8.0
+	slow, fast := 0.5, 0.05
+	gain := func(a Airframe) float64 {
+		return a.MaxSafeVelocity(d, fast) / a.MaxSafeVelocity(d, slow)
+	}
+	if gain(p) < gain(s)-1e-9 {
+		t.Errorf("Pelican gain %.3f < Spark gain %.3f", gain(p), gain(s))
+	}
+}
+
+func TestMaxSafeVelocityEdgeCases(t *testing.T) {
+	a := AscTecPelican()
+	if v := a.MaxSafeVelocity(0, 0.1); v != 0 {
+		t.Errorf("zero stop distance velocity = %v", v)
+	}
+	if v := a.MaxSafeVelocity(-5, 0.1); v != 0 {
+		t.Errorf("negative stop distance velocity = %v", v)
+	}
+	if v := a.MaxSafeVelocity(8, -1); v <= 0 {
+		t.Errorf("negative latency should clamp to 0, got v=%v", v)
+	}
+}
+
+func TestMissionTime(t *testing.T) {
+	if MissionTime(100, 10) != 10 {
+		t.Error("MissionTime wrong")
+	}
+	if !math.IsInf(MissionTime(100, 0), 1) {
+		t.Error("zero velocity should give infinite time")
+	}
+}

@@ -1,0 +1,150 @@
+// Package viz renders horizontal slices of occupancy maps as ASCII art
+// or PGM images — the debugging/visualization aid for the examples and
+// the mapbuilder tool. A slice samples the map on a regular grid at a
+// fixed height and classifies each sample as occupied, free, or unknown.
+package viz
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"octocache/internal/geom"
+	"octocache/internal/octree"
+)
+
+// Occupancy classifications of a sampled cell.
+const (
+	Unknown = iota
+	Free
+	Occupied
+)
+
+// Slice is a sampled horizontal cross-section of a map.
+type Slice struct {
+	// Min is the world coordinate of cell (0, 0)'s center; Z its height.
+	Min geom.Vec3
+	// Cell is the sampling pitch in meters.
+	Cell float64
+	// Cells[y][x] holds Unknown, Free, or Occupied.
+	Cells [][]uint8
+}
+
+// Querier is anything that can answer occupancy point queries; both
+// *octree.Tree and core's pipelines satisfy it.
+type Querier interface {
+	Occupancy(p geom.Vec3) (logOdds float32, known bool)
+}
+
+// treeQuerier adapts *octree.Tree (whose method is OccupancyAt).
+type treeQuerier struct{ t *octree.Tree }
+
+func (q treeQuerier) Occupancy(p geom.Vec3) (float32, bool) { return q.t.OccupancyAt(p) }
+
+// FromTree adapts an octree to the Querier interface.
+func FromTree(t *octree.Tree) Querier { return treeQuerier{t} }
+
+// Sample builds a slice of the region [min, max] at height z with the
+// given cell pitch, classifying against the occupancy threshold.
+func Sample(q Querier, min, max geom.Vec3, z, cell float64, threshold float32) *Slice {
+	if cell <= 0 {
+		cell = 0.1
+	}
+	nx := int((max.X-min.X)/cell) + 1
+	ny := int((max.Y-min.Y)/cell) + 1
+	if nx < 1 || ny < 1 {
+		return &Slice{Min: geom.V(min.X, min.Y, z), Cell: cell}
+	}
+	s := &Slice{
+		Min:   geom.V(min.X, min.Y, z),
+		Cell:  cell,
+		Cells: make([][]uint8, ny),
+	}
+	for y := 0; y < ny; y++ {
+		row := make([]uint8, nx)
+		for x := 0; x < nx; x++ {
+			p := geom.V(min.X+float64(x)*cell, min.Y+float64(y)*cell, z)
+			l, known := q.Occupancy(p)
+			switch {
+			case !known:
+				row[x] = Unknown
+			case l >= threshold:
+				row[x] = Occupied
+			default:
+				row[x] = Free
+			}
+		}
+		s.Cells[y] = row
+	}
+	return s
+}
+
+// Counts returns the number of unknown, free, and occupied cells.
+func (s *Slice) Counts() (unknown, free, occupied int) {
+	for _, row := range s.Cells {
+		for _, c := range row {
+			switch c {
+			case Occupied:
+				occupied++
+			case Free:
+				free++
+			default:
+				unknown++
+			}
+		}
+	}
+	return
+}
+
+// ASCII renders the slice top-down ('#' occupied, '.' free, ' ' unknown),
+// with y increasing upward.
+func (s *Slice) ASCII() string {
+	var sb strings.Builder
+	for y := len(s.Cells) - 1; y >= 0; y-- {
+		for _, c := range s.Cells[y] {
+			switch c {
+			case Occupied:
+				sb.WriteByte('#')
+			case Free:
+				sb.WriteByte('.')
+			default:
+				sb.WriteByte(' ')
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// WritePGM writes the slice as a binary PGM image (occupied=0 black,
+// unknown=128 gray, free=255 white), y increasing downward as is
+// conventional for images.
+func (s *Slice) WritePGM(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	ny := len(s.Cells)
+	nx := 0
+	if ny > 0 {
+		nx = len(s.Cells[0])
+	}
+	if _, err := fmt.Fprintf(bw, "P5\n%d %d\n255\n", nx, ny); err != nil {
+		return err
+	}
+	for y := ny - 1; y >= 0; y-- {
+		for _, c := range s.Cells[y] {
+			var px byte
+			switch c {
+			case Occupied:
+				px = 0
+			case Free:
+				px = 255
+			default:
+				px = 128
+			}
+			if err := bw.WriteByte(px); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,51 @@
+package world
+
+import "octocache/internal/geom"
+
+// Moving wraps an obstacle with a linear motion, supporting the dynamic
+// environments OctoMap's clamped log-odds model exists for (§2.2): a
+// voxel occupied by a passing obstacle must decay back to free within a
+// bounded number of contradicting scans, because the accumulated
+// log-odds is clamped rather than unbounded.
+//
+// Advance the scene clock with World.SetTime; Raycast/Contains evaluate
+// at the current offset.
+type Moving struct {
+	Base Obstacle
+	// Velocity is the obstacle's displacement per second.
+	Velocity geom.Vec3
+
+	offset geom.Vec3
+}
+
+// setTime positions the obstacle for scene time t (seconds).
+func (m *Moving) setTime(t float64) {
+	m.offset = m.Velocity.Scale(t)
+}
+
+// Raycast implements Obstacle: the ray is cast in the obstacle's local
+// frame by shifting the origin.
+func (m *Moving) Raycast(origin, dir geom.Vec3) (float64, bool) {
+	return m.Base.Raycast(origin.Sub(m.offset), dir)
+}
+
+// Bounds implements Obstacle at the current scene time.
+func (m *Moving) Bounds() geom.AABB {
+	b := m.Base.Bounds()
+	return geom.AABB{Min: b.Min.Add(m.offset), Max: b.Max.Add(m.offset)}
+}
+
+// Contains implements Obstacle at the current scene time.
+func (m *Moving) Contains(p geom.Vec3) bool {
+	return m.Base.Contains(p.Sub(m.offset))
+}
+
+// SetTime advances every Moving obstacle in the world to scene time t.
+// Static obstacles are unaffected.
+func (w *World) SetTime(t float64) {
+	for _, o := range w.Obstacles {
+		if m, ok := o.(*Moving); ok {
+			m.setTime(t)
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package world
+
+import (
+	"math"
+	"testing"
+
+	"octocache/internal/geom"
+)
+
+func TestMovingObstacle(t *testing.T) {
+	m := &Moving{
+		Base:     B(geom.V(5, -1, -1), geom.V(6, 1, 1)),
+		Velocity: geom.V(0, 2, 0),
+	}
+	w := &World{Obstacles: []Obstacle{m}}
+
+	// At t=0 the box is at y∈[-1,1]: a ray along +X at y=0 hits it.
+	w.SetTime(0)
+	if _, ok := w.Raycast(geom.V(0, 0, 0), geom.V(1, 0, 0), 20); !ok {
+		t.Fatal("t=0: ray should hit the box")
+	}
+	if !m.Contains(geom.V(5.5, 0, 0)) {
+		t.Error("t=0: containment wrong")
+	}
+
+	// At t=2 it has moved to y∈[3,5]: the same ray misses; a shifted one hits.
+	w.SetTime(2)
+	if _, ok := w.Raycast(geom.V(0, 0, 0), geom.V(1, 0, 0), 20); ok {
+		t.Error("t=2: ray should miss the moved box")
+	}
+	hit, ok := w.Raycast(geom.V(0, 4, 0), geom.V(1, 0, 0), 20)
+	if !ok || math.Abs(hit.X-5) > 1e-9 {
+		t.Errorf("t=2: shifted ray hit = %v,%v", hit, ok)
+	}
+	if !m.Contains(geom.V(5.5, 4, 0)) || m.Contains(geom.V(5.5, 0, 0)) {
+		t.Error("t=2: containment did not move")
+	}
+	// Bounds move too.
+	if b := m.Bounds(); b.Min.Y != 3 || b.Max.Y != 5 {
+		t.Errorf("t=2: bounds %+v", b)
+	}
+
+	// Rewinding the clock restores the original pose.
+	w.SetTime(0)
+	if _, ok := w.Raycast(geom.V(0, 0, 0), geom.V(1, 0, 0), 20); !ok {
+		t.Error("t back to 0: ray should hit again")
+	}
+}
+
+func TestWorldCollidesWithMoving(t *testing.T) {
+	m := &Moving{Base: B(geom.V(0, 0, 0), geom.V(1, 1, 1)), Velocity: geom.V(10, 0, 0)}
+	w := &World{Obstacles: []Obstacle{m}}
+	box := geom.Box(geom.V(0.2, 0.2, 0.2), geom.V(0.8, 0.8, 0.8))
+	w.SetTime(0)
+	if !w.Collides(box) {
+		t.Error("t=0: should collide")
+	}
+	w.SetTime(1)
+	if w.Collides(box) {
+		t.Error("t=1: obstacle moved away; should not collide")
+	}
+}

@@ -1,0 +1,377 @@
+package world
+
+import (
+	"math"
+	"math/rand"
+
+	"octocache/internal/geom"
+)
+
+// Env enumerates the built-in environments.
+type Env int
+
+const (
+	// Openland is the structured outdoor MAVBench scene: flat terrain,
+	// sparse obstacles, 100 m goal. Easiest task.
+	Openland Env = iota
+	// Farm is the unstructured outdoor scene: tree rows, fences,
+	// scattered crates, 50 m goal.
+	Farm
+	// Room is the indoor scene: enclosed volume, dense furniture, 12 m
+	// goal. Hardest task.
+	Room
+	// Factory is the mixed scene: a hall with columns and machinery plus
+	// an outdoor yard, 70 m goal.
+	Factory
+	// FR079 emulates the FR-079 corridor scan dataset: a long office
+	// corridor with doorways and cabinets.
+	FR079
+	// Campus emulates the Freiburg campus dataset: buildings, trees, and
+	// open walkways over a large extent.
+	Campus
+	// NewCollege emulates the New College dataset: a walled quad with
+	// trees and a central lawn.
+	NewCollege
+)
+
+var envNames = map[Env]string{
+	Openland:   "openland",
+	Farm:       "farm",
+	Room:       "room",
+	Factory:    "factory",
+	FR079:      "fr079",
+	Campus:     "campus",
+	NewCollege: "newcollege",
+}
+
+func (e Env) String() string {
+	if n, ok := envNames[e]; ok {
+		return n
+	}
+	return "unknown"
+}
+
+// MAVBenchEnvs returns the four UAV simulation environments in the
+// paper's difficulty order (§5.1): Room > Factory > Farm > Openland.
+func MAVBenchEnvs() []Env { return []Env{Openland, Farm, Room, Factory} }
+
+// DatasetEnvs returns the three scan-dataset stand-ins.
+func DatasetEnvs() []Env { return []Env{FR079, Campus, NewCollege} }
+
+// Build constructs the environment deterministically from the seed.
+func Build(e Env, seed int64) *World {
+	rng := rand.New(rand.NewSource(seed))
+	switch e {
+	case Openland:
+		return buildOpenland(rng)
+	case Farm:
+		return buildFarm(rng)
+	case Room:
+		return buildRoom(rng)
+	case Factory:
+		return buildFactory(rng)
+	case FR079:
+		return buildCorridor(rng)
+	case Campus:
+		return buildCampus(rng)
+	case NewCollege:
+		return buildNewCollege(rng)
+	default:
+		return buildOpenland(rng)
+	}
+}
+
+// ground adds a thin slab at z in [-0.2, 0] spanning the bounds.
+func ground(b geom.AABB) Box {
+	return B(geom.V(b.Min.X, b.Min.Y, -0.2), geom.V(b.Max.X, b.Max.Y, 0))
+}
+
+func buildOpenland(rng *rand.Rand) *World {
+	bounds := geom.Box(geom.V(-10, -30, -0.2), geom.V(115, 30, 20))
+	w := &World{
+		Name:   "openland",
+		Bounds: bounds,
+		Start:  geom.V(0, 0, 2),
+		Goal:   geom.V(100, 0, 2),
+	}
+	w.Obstacles = append(w.Obstacles, ground(bounds))
+	// Sparse boulders and a few lone trees, kept off the direct line so
+	// the environment stays "structured and easy".
+	for i := 0; i < 14; i++ {
+		x := 8 + rng.Float64()*90
+		y := rng.Float64()*40 - 20
+		if math.Abs(y) < 3 {
+			y += math.Copysign(4, y)
+		}
+		s := 0.8 + rng.Float64()*1.6
+		w.Obstacles = append(w.Obstacles, B(geom.V(x-s, y-s, 0), geom.V(x+s, y+s, s*1.5)))
+	}
+	for i := 0; i < 8; i++ {
+		x := 10 + rng.Float64()*85
+		y := rng.Float64()*44 - 22
+		if math.Abs(y) < 4 {
+			continue
+		}
+		trunk := Cylinder{CX: x, CY: y, R: 0.25, ZMin: 0, ZMax: 4 + rng.Float64()*2}
+		w.Obstacles = append(w.Obstacles,
+			trunk,
+			Sphere{C: geom.V(x, y, trunk.ZMax+1), R: 1.5 + rng.Float64()},
+		)
+	}
+	return w
+}
+
+func buildFarm(rng *rand.Rand) *World {
+	bounds := geom.Box(geom.V(-10, -25, -0.2), geom.V(60, 25, 15))
+	w := &World{
+		Name:   "farm",
+		Bounds: bounds,
+		Start:  geom.V(0, 0, 1.5),
+		Goal:   geom.V(50, 0, 1.5),
+	}
+	w.Obstacles = append(w.Obstacles, ground(bounds))
+	// Orchard rows: irregular tree lines crossing the flight direction.
+	for row := 0; row < 5; row++ {
+		x := 8 + float64(row)*9 + rng.Float64()*2
+		for y := -20.0; y < 20; y += 3 + rng.Float64()*2 {
+			if rng.Float64() < 0.25 {
+				continue // gaps the planner can use
+			}
+			h := 3 + rng.Float64()*2.5
+			w.Obstacles = append(w.Obstacles,
+				Cylinder{CX: x + rng.Float64() - 0.5, CY: y, R: 0.2 + rng.Float64()*0.15, ZMin: 0, ZMax: h},
+				Sphere{C: geom.V(x, y, h+0.8), R: 1.2 + rng.Float64()*0.8},
+			)
+		}
+	}
+	// Fences: low thin boxes with gaps.
+	for _, x := range []float64{22.5, 40.5} {
+		for y := -22.0; y < 22; y += 8 {
+			w.Obstacles = append(w.Obstacles, B(geom.V(x, y, 0), geom.V(x+0.15, y+5.5, 1.4)))
+		}
+	}
+	// Scattered crates and a barn.
+	for i := 0; i < 10; i++ {
+		x := 5 + rng.Float64()*45
+		y := rng.Float64()*36 - 18
+		s := 0.5 + rng.Float64()*1.2
+		w.Obstacles = append(w.Obstacles, B(geom.V(x, y, 0), geom.V(x+s, y+s, s)))
+	}
+	w.Obstacles = append(w.Obstacles, B(geom.V(30, -20, 0), geom.V(38, -12, 5)))
+	return w
+}
+
+func buildRoom(rng *rand.Rand) *World {
+	// A 14x8x3 m room; goal 12 m away through furniture.
+	bounds := geom.Box(geom.V(-1, -4, -0.2), geom.V(13, 4, 3))
+	w := &World{
+		Name:   "room",
+		Bounds: bounds,
+		Start:  geom.V(0, 0, 1.2),
+		Goal:   geom.V(12, 0, 1.2),
+	}
+	const wt = 0.15 // wall thickness
+	w.Obstacles = append(w.Obstacles,
+		ground(bounds),
+		B(geom.V(-1, -4, 2.9), geom.V(13, 4, 3.1)), // ceiling
+		B(geom.V(-1-wt, -4, 0), geom.V(-1, 4, 3)),  // west wall
+		B(geom.V(13, -4, 0), geom.V(13+wt, 4, 3)),  // east wall
+		B(geom.V(-1, -4-wt, 0), geom.V(13, -4, 3)), // south wall
+		B(geom.V(-1, 4, 0), geom.V(13, 4+wt, 3)),   // north wall
+	)
+	// Furniture: tables, shelves, and boxes the UAV must thread through.
+	for i := 0; i < 12; i++ {
+		x := 1.5 + rng.Float64()*10
+		y := rng.Float64()*6.4 - 3.2
+		sx := 0.4 + rng.Float64()*1.0
+		sy := 0.4 + rng.Float64()*1.0
+		h := 0.5 + rng.Float64()*1.7
+		// Keep a thin corridor near the start so missions are feasible.
+		if x < 2.5 && math.Abs(y) < 1 {
+			continue
+		}
+		w.Obstacles = append(w.Obstacles, B(geom.V(x, y, 0), geom.V(x+sx, y+sy, h)))
+	}
+	// Two tall shelves forcing detours.
+	w.Obstacles = append(w.Obstacles,
+		B(geom.V(4, -4, 0), geom.V(4.4, 0.5, 2.6)),
+		B(geom.V(8, -0.5, 0), geom.V(8.4, 4, 2.6)),
+	)
+	return w
+}
+
+func buildFactory(rng *rand.Rand) *World {
+	// Outdoor yard (x in [0,30)) then a hall (x in [30,75]) with columns.
+	bounds := geom.Box(geom.V(-5, -15, -0.2), geom.V(80, 15, 12))
+	w := &World{
+		Name:   "factory",
+		Bounds: bounds,
+		Start:  geom.V(0, 0, 1.5),
+		Goal:   geom.V(70, 0, 1.5),
+	}
+	w.Obstacles = append(w.Obstacles, ground(bounds))
+	// Yard: stacked pallets and containers.
+	for i := 0; i < 8; i++ {
+		x := 4 + rng.Float64()*22
+		y := rng.Float64()*24 - 12
+		if math.Abs(y) < 2 {
+			continue
+		}
+		w.Obstacles = append(w.Obstacles, B(geom.V(x, y, 0), geom.V(x+2.4, y+1.2, 1.2+rng.Float64()*1.8)))
+	}
+	// Hall shell with an entrance aligned with the flight line.
+	const wt = 0.2
+	w.Obstacles = append(w.Obstacles,
+		B(geom.V(30, -15, 6.8), geom.V(75, 15, 7.2)), // roof
+		B(geom.V(30, -15, 0), geom.V(30+wt, -2, 7)),  // front wall south of door
+		B(geom.V(30, 2, 0), geom.V(30+wt, 15, 7)),    // front wall north of door
+		B(geom.V(75, -15, 0), geom.V(75+wt, 15, 7)),  // back wall
+		B(geom.V(30, -15-wt, 0), geom.V(75, -15, 7)), // south wall
+		B(geom.V(30, 15, 0), geom.V(75, 15+wt, 7)),   // north wall
+	)
+	// Columns on a grid and machinery blocks.
+	for x := 36.0; x < 72; x += 9 {
+		for y := -10.0; y <= 10; y += 10 {
+			w.Obstacles = append(w.Obstacles, Cylinder{CX: x, CY: y, R: 0.35, ZMin: 0, ZMax: 7})
+		}
+	}
+	for i := 0; i < 9; i++ {
+		x := 33 + rng.Float64()*38
+		y := rng.Float64()*22 - 11
+		if math.Abs(y) < 1.5 {
+			continue
+		}
+		w.Obstacles = append(w.Obstacles, B(geom.V(x, y, 0), geom.V(x+2+rng.Float64()*2, y+1.5, 2+rng.Float64()*2)))
+	}
+	return w
+}
+
+func buildCorridor(rng *rand.Rand) *World {
+	// FR-079: a 30 m office corridor, 2.2 m wide, with door alcoves and
+	// cabinets — a tight indoor scene with massive scan overlap.
+	bounds := geom.Box(geom.V(-2, -3, -0.2), geom.V(32, 3, 3))
+	w := &World{
+		Name:   "fr079",
+		Bounds: bounds,
+		Start:  geom.V(0, 0, 1.2),
+		Goal:   geom.V(30, 0, 1.2),
+	}
+	const wt = 0.15
+	w.Obstacles = append(w.Obstacles,
+		ground(bounds),
+		B(geom.V(-2, -3, 2.5), geom.V(32, 3, 2.7)), // ceiling
+		B(geom.V(-2-wt, -3, 0), geom.V(-2, 3, 2.5)),
+		B(geom.V(32, -3, 0), geom.V(32+wt, 3, 2.5)),
+	)
+	// Corridor walls with door alcoves every few meters.
+	for x := -2.0; x < 32; x += 4 {
+		seg := 4.0
+		if x+seg > 32 {
+			seg = 32 - x
+		}
+		doorAt := rng.Float64()*2 + 0.5
+		// South wall: split around a 0.9 m doorway.
+		w.Obstacles = append(w.Obstacles,
+			B(geom.V(x, -1.1-wt, 0), geom.V(x+doorAt, -1.1, 2.5)),
+			B(geom.V(x+doorAt+0.9, -1.1-wt, 0), geom.V(x+seg, -1.1, 2.5)),
+			B(geom.V(x, 1.1, 0), geom.V(x+seg, 1.1+wt, 2.5)),
+		)
+	}
+	// Cabinets along the walls.
+	for i := 0; i < 6; i++ {
+		x := 2 + rng.Float64()*27
+		side := -1.05
+		if rng.Intn(2) == 0 {
+			side = 0.65
+		}
+		w.Obstacles = append(w.Obstacles, B(geom.V(x, side, 0), geom.V(x+1.2, side+0.4, 1.8)))
+	}
+	return w
+}
+
+func buildCampus(rng *rand.Rand) *World {
+	// Freiburg campus: large outdoor extent with buildings and tree
+	// clusters; low overlap between distant scans.
+	bounds := geom.Box(geom.V(-10, -60, -0.2), geom.V(150, 60, 25))
+	w := &World{
+		Name:   "campus",
+		Bounds: bounds,
+		Start:  geom.V(0, 0, 1.5),
+		Goal:   geom.V(140, 0, 1.5),
+	}
+	w.Obstacles = append(w.Obstacles, ground(bounds))
+	// Buildings: large boxes flanking a central walkway.
+	for i := 0; i < 7; i++ {
+		x := 10 + float64(i)*18 + rng.Float64()*4
+		side := 1.0
+		if i%2 == 0 {
+			side = -1
+		}
+		y := side * (12 + rng.Float64()*25)
+		sx := 8 + rng.Float64()*8
+		sy := 6 + rng.Float64()*8
+		h := 6 + rng.Float64()*10
+		w.Obstacles = append(w.Obstacles, B(geom.V(x, y-sy/2, 0), geom.V(x+sx, y+sy/2, h)))
+	}
+	// Tree clusters.
+	for i := 0; i < 35; i++ {
+		x := rng.Float64() * 145
+		y := rng.Float64()*100 - 50
+		if math.Abs(y) < 4 {
+			continue
+		}
+		h := 4 + rng.Float64()*4
+		w.Obstacles = append(w.Obstacles,
+			Cylinder{CX: x, CY: y, R: 0.3, ZMin: 0, ZMax: h},
+			Sphere{C: geom.V(x, y, h+1.2), R: 1.8 + rng.Float64()*1.4},
+		)
+	}
+	// Low campus walls.
+	for i := 0; i < 5; i++ {
+		x := 15 + rng.Float64()*110
+		y := rng.Float64()*70 - 35
+		w.Obstacles = append(w.Obstacles, B(geom.V(x, y, 0), geom.V(x+10+rng.Float64()*10, y+0.3, 1.8)))
+	}
+	return w
+}
+
+func buildNewCollege(rng *rand.Rand) *World {
+	// New College: a walled quadrangle with a central lawn and perimeter
+	// trees; the sensor loops around the quad, giving medium overlap.
+	bounds := geom.Box(geom.V(-40, -40, -0.2), geom.V(40, 40, 20))
+	w := &World{
+		Name:   "newcollege",
+		Bounds: bounds,
+		Start:  geom.V(-30, -30, 1.5),
+		Goal:   geom.V(30, 30, 1.5),
+	}
+	w.Obstacles = append(w.Obstacles, ground(bounds))
+	// Perimeter buildings (the college walls).
+	const t = 2.5
+	w.Obstacles = append(w.Obstacles,
+		B(geom.V(-38, -38, 0), geom.V(38, -38+t, 9)),
+		B(geom.V(-38, 38-t, 0), geom.V(38, 38, 9)),
+		B(geom.V(-38, -38, 0), geom.V(-38+t, 38, 9)),
+		B(geom.V(38-t, -38, 0), geom.V(38, 38, 9)),
+	)
+	// Central monument and lawn borders.
+	w.Obstacles = append(w.Obstacles,
+		Cylinder{CX: 0, CY: 0, R: 1.2, ZMin: 0, ZMax: 5},
+		B(geom.V(-12, -12, 0), geom.V(12, -11.7, 0.5)),
+		B(geom.V(-12, 11.7, 0), geom.V(12, 12, 0.5)),
+		B(geom.V(-12, -12, 0), geom.V(-11.7, 12, 0.5)),
+		B(geom.V(11.7, -12, 0), geom.V(12, 12, 0.5)),
+	)
+	// Perimeter trees inside the walls.
+	for i := 0; i < 24; i++ {
+		ang := float64(i) / 24 * 2 * math.Pi
+		r := 24 + rng.Float64()*6
+		x, y := r*math.Cos(ang), r*math.Sin(ang)
+		h := 5 + rng.Float64()*3
+		w.Obstacles = append(w.Obstacles,
+			Cylinder{CX: x, CY: y, R: 0.35, ZMin: 0, ZMax: h},
+			Sphere{C: geom.V(x, y, h+1.5), R: 2 + rng.Float64()},
+		)
+	}
+	return w
+}

@@ -1,0 +1,229 @@
+// Package world provides analytic 3D scenes that substitute for the
+// paper's data sources: the MAVBench/Unreal simulation environments
+// (Openland, Farm, Room, Factory) and the public 3D-scan datasets
+// (FR-079 corridor, Freiburg campus, New College).
+//
+// A World is a set of solid obstacles supporting exact ray casting —
+// enough to drive a simulated range sensor, which in turn produces the
+// point-cloud streams the mapping pipelines consume. Obstacle geometry
+// is procedural and seeded, so every experiment is reproducible.
+package world
+
+import (
+	"math"
+
+	"octocache/internal/geom"
+)
+
+// Obstacle is a solid body supporting ray queries.
+type Obstacle interface {
+	// Raycast returns the smallest t >= 0 with origin + t*dir on the
+	// obstacle's surface, if any. dir must be unit length.
+	Raycast(origin, dir geom.Vec3) (t float64, hit bool)
+	// Bounds returns an AABB enclosing the obstacle.
+	Bounds() geom.AABB
+	// Contains reports whether p is inside the obstacle.
+	Contains(p geom.Vec3) bool
+}
+
+// World is a named collection of obstacles plus mission endpoints.
+type World struct {
+	Name      string
+	Bounds    geom.AABB
+	Obstacles []Obstacle
+	// Start and Goal are the mission endpoints used by the UAV
+	// experiments; GoalDistance mirrors the paper's per-environment goal
+	// distances (100 m Openland, 50 m Farm, 12 m Room, 70 m Factory).
+	Start, Goal geom.Vec3
+}
+
+// Raycast returns the nearest obstacle hit along the ray, capped at
+// maxRange. dir must be unit length.
+func (w *World) Raycast(origin, dir geom.Vec3, maxRange float64) (geom.Vec3, bool) {
+	best := maxRange
+	hitAny := false
+	for _, o := range w.Obstacles {
+		// Cheap reject: ray vs obstacle bounds.
+		if _, _, ok := o.Bounds().RayIntersect(origin, dir); !ok {
+			continue
+		}
+		if t, ok := o.Raycast(origin, dir); ok && t < best {
+			best = t
+			hitAny = true
+		}
+	}
+	if !hitAny {
+		return geom.Vec3{}, false
+	}
+	return origin.Add(dir.Scale(best)), true
+}
+
+// Collides reports whether the box intersects any obstacle — the ground
+// truth used to validate planner paths.
+func (w *World) Collides(box geom.AABB) bool {
+	for _, o := range w.Obstacles {
+		if !o.Bounds().Intersects(box) {
+			continue
+		}
+		if boxTouches(o, box) {
+			return true
+		}
+	}
+	return false
+}
+
+// boxTouches samples the query box against the obstacle. For AABB
+// obstacles an exact test is used; for cylinders a dense corner/center
+// sample suffices for planner validation.
+func boxTouches(o Obstacle, box geom.AABB) bool {
+	if b, ok := o.(Box); ok {
+		return geom.AABB(b).Intersects(box)
+	}
+	// Sample the box volume.
+	const n = 3
+	sz := box.Size()
+	for i := 0; i <= n; i++ {
+		for j := 0; j <= n; j++ {
+			for k := 0; k <= n; k++ {
+				p := box.Min.Add(geom.Vec3{
+					X: sz.X * float64(i) / n,
+					Y: sz.Y * float64(j) / n,
+					Z: sz.Z * float64(k) / n,
+				})
+				if o.Contains(p) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// Box is an axis-aligned solid obstacle.
+type Box geom.AABB
+
+// B constructs a Box from min/max corners.
+func B(min, max geom.Vec3) Box { return Box(geom.Box(min, max)) }
+
+// Raycast implements Obstacle.
+func (b Box) Raycast(origin, dir geom.Vec3) (float64, bool) {
+	tmin, tmax, ok := geom.AABB(b).RayIntersect(origin, dir)
+	if !ok || tmax < 0 {
+		return 0, false
+	}
+	if tmin < 0 {
+		// Origin inside: surface is at the exit point.
+		return tmax, true
+	}
+	return tmin, true
+}
+
+// Bounds implements Obstacle.
+func (b Box) Bounds() geom.AABB { return geom.AABB(b) }
+
+// Contains implements Obstacle.
+func (b Box) Contains(p geom.Vec3) bool { return geom.AABB(b).Contains(p) }
+
+// Cylinder is a vertical solid cylinder (tree trunks, columns, crop
+// rows' posts).
+type Cylinder struct {
+	CX, CY     float64 // axis position
+	R          float64 // radius
+	ZMin, ZMax float64 // vertical extent
+}
+
+// Bounds implements Obstacle.
+func (c Cylinder) Bounds() geom.AABB {
+	return geom.AABB{
+		Min: geom.V(c.CX-c.R, c.CY-c.R, c.ZMin),
+		Max: geom.V(c.CX+c.R, c.CY+c.R, c.ZMax),
+	}
+}
+
+// Contains implements Obstacle.
+func (c Cylinder) Contains(p geom.Vec3) bool {
+	if p.Z < c.ZMin || p.Z > c.ZMax {
+		return false
+	}
+	dx, dy := p.X-c.CX, p.Y-c.CY
+	return dx*dx+dy*dy <= c.R*c.R
+}
+
+// Raycast implements Obstacle: side surface plus end caps.
+func (c Cylinder) Raycast(origin, dir geom.Vec3) (float64, bool) {
+	best := math.Inf(1)
+	// Side: |(o.xy + t*d.xy) - c| = R.
+	ox, oy := origin.X-c.CX, origin.Y-c.CY
+	a := dir.X*dir.X + dir.Y*dir.Y
+	if a > 1e-12 {
+		b := 2 * (ox*dir.X + oy*dir.Y)
+		cc := ox*ox + oy*oy - c.R*c.R
+		disc := b*b - 4*a*cc
+		if disc >= 0 {
+			sq := math.Sqrt(disc)
+			for _, t := range [2]float64{(-b - sq) / (2 * a), (-b + sq) / (2 * a)} {
+				if t < 0 || t >= best {
+					continue
+				}
+				z := origin.Z + t*dir.Z
+				if z >= c.ZMin && z <= c.ZMax {
+					best = t
+				}
+			}
+		}
+	}
+	// Caps.
+	if dir.Z != 0 {
+		for _, zc := range [2]float64{c.ZMin, c.ZMax} {
+			t := (zc - origin.Z) / dir.Z
+			if t < 0 || t >= best {
+				continue
+			}
+			x := origin.X + t*dir.X - c.CX
+			y := origin.Y + t*dir.Y - c.CY
+			if x*x+y*y <= c.R*c.R {
+				best = t
+			}
+		}
+	}
+	if math.IsInf(best, 1) {
+		return 0, false
+	}
+	return best, true
+}
+
+// Sphere is a solid ball (tree canopies).
+type Sphere struct {
+	C geom.Vec3
+	R float64
+}
+
+// Bounds implements Obstacle.
+func (s Sphere) Bounds() geom.AABB {
+	r := geom.V(s.R, s.R, s.R)
+	return geom.AABB{Min: s.C.Sub(r), Max: s.C.Add(r)}
+}
+
+// Contains implements Obstacle.
+func (s Sphere) Contains(p geom.Vec3) bool {
+	return p.Sub(s.C).NormSq() <= s.R*s.R
+}
+
+// Raycast implements Obstacle.
+func (s Sphere) Raycast(origin, dir geom.Vec3) (float64, bool) {
+	oc := origin.Sub(s.C)
+	b := 2 * oc.Dot(dir)
+	c := oc.NormSq() - s.R*s.R
+	disc := b*b - 4*c
+	if disc < 0 {
+		return 0, false
+	}
+	sq := math.Sqrt(disc)
+	if t := (-b - sq) / 2; t >= 0 {
+		return t, true
+	}
+	if t := (-b + sq) / 2; t >= 0 {
+		return t, true
+	}
+	return 0, false
+}

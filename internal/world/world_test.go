@@ -1,0 +1,231 @@
+package world
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"octocache/internal/geom"
+)
+
+func TestBoxRaycast(t *testing.T) {
+	b := B(geom.V(2, -1, -1), geom.V(3, 1, 1))
+	tt, ok := b.Raycast(geom.V(0, 0, 0), geom.V(1, 0, 0))
+	if !ok || math.Abs(tt-2) > 1e-9 {
+		t.Errorf("Raycast = %v,%v want 2,true", tt, ok)
+	}
+	// From inside: exit surface.
+	tt, ok = b.Raycast(geom.V(2.5, 0, 0), geom.V(1, 0, 0))
+	if !ok || math.Abs(tt-0.5) > 1e-9 {
+		t.Errorf("inside Raycast = %v,%v want 0.5,true", tt, ok)
+	}
+	if _, ok := b.Raycast(geom.V(0, 5, 0), geom.V(1, 0, 0)); ok {
+		t.Error("miss reported hit")
+	}
+}
+
+func TestCylinderRaycast(t *testing.T) {
+	c := Cylinder{CX: 5, CY: 0, R: 1, ZMin: 0, ZMax: 3}
+	// Horizontal ray at z=1 hits the side at x=4.
+	tt, ok := c.Raycast(geom.V(0, 0, 1), geom.V(1, 0, 0))
+	if !ok || math.Abs(tt-4) > 1e-9 {
+		t.Errorf("side hit = %v,%v want 4,true", tt, ok)
+	}
+	// Ray above the cylinder misses.
+	if _, ok := c.Raycast(geom.V(0, 0, 5), geom.V(1, 0, 0)); ok {
+		t.Error("ray above cylinder hit")
+	}
+	// Vertical ray from above hits the top cap at z=3.
+	tt, ok = c.Raycast(geom.V(5, 0, 10), geom.V(0, 0, -1))
+	if !ok || math.Abs(tt-7) > 1e-9 {
+		t.Errorf("cap hit = %v,%v want 7,true", tt, ok)
+	}
+	// Tangential offset miss.
+	if _, ok := c.Raycast(geom.V(0, 1.5, 1), geom.V(1, 0, 0)); ok {
+		t.Error("offset ray hit cylinder")
+	}
+}
+
+func TestCylinderContains(t *testing.T) {
+	c := Cylinder{CX: 0, CY: 0, R: 1, ZMin: 0, ZMax: 2}
+	if !c.Contains(geom.V(0.5, 0.5, 1)) {
+		t.Error("inside point not contained")
+	}
+	if c.Contains(geom.V(0.9, 0.9, 1)) {
+		t.Error("outside-radius point contained")
+	}
+	if c.Contains(geom.V(0, 0, 3)) {
+		t.Error("above-top point contained")
+	}
+}
+
+func TestSphereRaycast(t *testing.T) {
+	s := Sphere{C: geom.V(0, 0, 10), R: 2}
+	tt, ok := s.Raycast(geom.V(0, 0, 0), geom.V(0, 0, 1))
+	if !ok || math.Abs(tt-8) > 1e-9 {
+		t.Errorf("sphere hit = %v,%v want 8,true", tt, ok)
+	}
+	// From inside.
+	tt, ok = s.Raycast(geom.V(0, 0, 10), geom.V(0, 0, 1))
+	if !ok || math.Abs(tt-2) > 1e-9 {
+		t.Errorf("inside sphere hit = %v,%v want 2,true", tt, ok)
+	}
+	if _, ok := s.Raycast(geom.V(5, 5, 0), geom.V(0, 0, 1)); ok {
+		t.Error("miss reported hit")
+	}
+}
+
+// Property: for every obstacle type, the hit point returned by Raycast
+// lies on (within epsilon of) the obstacle surface: it is contained by a
+// slightly inflated obstacle but not strictly inside a deflated one.
+func TestRaycastHitsOnSurface(t *testing.T) {
+	obstacles := []Obstacle{
+		B(geom.V(1, 1, 1), geom.V(3, 4, 2)),
+		Cylinder{CX: 2, CY: -3, R: 1.5, ZMin: 0, ZMax: 4},
+		Sphere{C: geom.V(-3, 2, 2), R: 1.8},
+	}
+	rng := rand.New(rand.NewSource(13))
+	for _, o := range obstacles {
+		hits := 0
+		for trial := 0; trial < 2000; trial++ {
+			origin := geom.V(rng.Float64()*20-10, rng.Float64()*20-10, rng.Float64()*16-4)
+			if o.Contains(origin) {
+				continue
+			}
+			// Aim at a jittered point near the obstacle so most rays hit.
+			target := o.Bounds().Center().Add(geom.V(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()))
+			dir := target.Sub(origin).Normalize()
+			if dir.Norm() == 0 {
+				continue
+			}
+			tt, ok := o.Raycast(origin, dir)
+			if !ok {
+				continue
+			}
+			hits++
+			p := origin.Add(dir.Scale(tt))
+			// Walk slightly backwards: must be outside; slightly forwards:
+			// must be inside.
+			if o.Contains(origin.Add(dir.Scale(tt - 1e-6))) {
+				t.Fatalf("%T: point just before hit already inside", o)
+			}
+			if !o.Contains(origin.Add(dir.Scale(tt + 1e-6))) {
+				t.Fatalf("%T: point just past hit %v not inside", o, p)
+			}
+		}
+		if hits < 50 {
+			t.Errorf("%T: only %d hits in 2000 trials; test underpowered", o, hits)
+		}
+	}
+}
+
+func TestWorldRaycastNearest(t *testing.T) {
+	w := &World{Obstacles: []Obstacle{
+		B(geom.V(5, -1, -1), geom.V(6, 1, 1)),
+		B(geom.V(2, -1, -1), geom.V(3, 1, 1)), // nearer
+	}}
+	p, ok := w.Raycast(geom.V(0, 0, 0), geom.V(1, 0, 0), 100)
+	if !ok || math.Abs(p.X-2) > 1e-9 {
+		t.Errorf("nearest hit = %v,%v want x=2", p, ok)
+	}
+	// Max range cuts off the hit.
+	if _, ok := w.Raycast(geom.V(0, 0, 0), geom.V(1, 0, 0), 1.5); ok {
+		t.Error("hit beyond max range reported")
+	}
+}
+
+func TestWorldCollides(t *testing.T) {
+	w := &World{Obstacles: []Obstacle{
+		B(geom.V(0, 0, 0), geom.V(1, 1, 1)),
+		Cylinder{CX: 5, CY: 5, R: 1, ZMin: 0, ZMax: 3},
+	}}
+	if !w.Collides(geom.Box(geom.V(0.5, 0.5, 0.5), geom.V(2, 2, 2))) {
+		t.Error("box overlapping obstacle not detected")
+	}
+	if w.Collides(geom.Box(geom.V(2, 2, 2), geom.V(3, 3, 3))) {
+		t.Error("free box reported colliding")
+	}
+	if !w.Collides(geom.Box(geom.V(4.5, 4.5, 0.5), geom.V(5.5, 5.5, 1.5))) {
+		t.Error("box overlapping cylinder not detected")
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	for _, e := range append(MAVBenchEnvs(), DatasetEnvs()...) {
+		a := Build(e, 42)
+		b := Build(e, 42)
+		if len(a.Obstacles) != len(b.Obstacles) {
+			t.Errorf("%v: nondeterministic obstacle count", e)
+		}
+		if a.Name != e.String() {
+			t.Errorf("%v: name %q", e, a.Name)
+		}
+		// Different seed should (generically) differ for randomized envs.
+		if len(a.Obstacles) == 0 {
+			t.Errorf("%v: no obstacles", e)
+		}
+	}
+}
+
+func TestEnvironmentsSane(t *testing.T) {
+	for _, e := range append(MAVBenchEnvs(), DatasetEnvs()...) {
+		w := Build(e, 1)
+		if !w.Bounds.Contains(w.Start) {
+			t.Errorf("%v: start outside bounds", e)
+		}
+		if !w.Bounds.Contains(w.Goal) {
+			t.Errorf("%v: goal outside bounds", e)
+		}
+		// Start and goal must be collision-free with a small margin.
+		m := geom.V(0.3, 0.3, 0.3)
+		if w.Collides(geom.BoxAt(w.Start, m)) {
+			t.Errorf("%v: start pose collides", e)
+		}
+		if w.Collides(geom.BoxAt(w.Goal, m)) {
+			t.Errorf("%v: goal pose collides", e)
+		}
+		// Every obstacle must be inside (or at least touch) the bounds.
+		for i, o := range w.Obstacles {
+			if !w.Bounds.Expand(1).Intersects(o.Bounds()) {
+				t.Errorf("%v: obstacle %d outside bounds", e, i)
+			}
+		}
+	}
+}
+
+func TestGoalDistancesMatchPaper(t *testing.T) {
+	// §5.1: Openland 100 m, Farm 50 m, Room 12 m, Factory 70 m.
+	want := map[Env]float64{Openland: 100, Farm: 50, Room: 12, Factory: 70}
+	for e, d := range want {
+		w := Build(e, 1)
+		got := w.Goal.Sub(w.Start).Norm()
+		if math.Abs(got-d) > 0.5 {
+			t.Errorf("%v: goal distance %.1f m, want %.0f m", e, got, d)
+		}
+	}
+}
+
+func TestScanFromStartSeesObstacles(t *testing.T) {
+	// From the start pose, a forward fan of rays must hit something in
+	// every environment (otherwise the mapping workload is vacuous).
+	for _, e := range append(MAVBenchEnvs(), DatasetEnvs()...) {
+		w := Build(e, 1)
+		hits := 0
+		for i := 0; i < 100; i++ {
+			yaw := (float64(i)/100 - 0.5) * math.Pi
+			dir := geom.Pose{Yaw: yaw, Pitch: -0.1}.Forward()
+			if _, ok := w.Raycast(w.Start, dir, 50); ok {
+				hits++
+			}
+		}
+		if hits < 10 {
+			t.Errorf("%v: only %d/100 rays hit anything from start", e, hits)
+		}
+	}
+}
+
+func TestEnvString(t *testing.T) {
+	if Openland.String() != "openland" || Env(99).String() != "unknown" {
+		t.Error("Env.String wrong")
+	}
+}

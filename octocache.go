@@ -1,0 +1,194 @@
+// Package octocache is a Go implementation of OctoCache (ASPLOS '25): a
+// software caching layer that accelerates OctoMap-style 3D occupancy
+// mapping for autonomous systems.
+//
+// An occupancy map ingests point-cloud scans from a range sensor and
+// answers "is this voxel occupied?" queries for planners. The classic
+// OctoMap stores occupancy in an octree, so every voxel update costs a
+// root-to-leaf memory walk. OctoCache puts a flat, bounded, bucketed
+// cache in front of the octree:
+//
+//   - Duplicate voxel updates (the overwhelming majority in real scan
+//     streams) are absorbed by cache hits instead of tree walks.
+//   - Queries are served right after the fast cache insertion — they no
+//     longer wait for the octree update.
+//   - Evicted voxels reach the octree in Morton-code order, the provably
+//     locality-optimal insertion order.
+//   - Optionally, the octree update runs on a second goroutine, fully off
+//     the query critical path, synchronized by a single mutex.
+//
+// Quick start:
+//
+//	m := octocache.New(octocache.Options{Resolution: 0.1})
+//	m.InsertPointCloud(sensorOrigin, points) // []geom.Vec3 world coords
+//	if m.Occupied(p) { ... }                 // consistent with OctoMap
+//	m.Finalize()                             // flush into the octree
+//
+// Query results are bit-identical to vanilla OctoMap's at every point in
+// the stream — the repository's consistency tests enforce it.
+//
+// The public API wraps internal/core; the substrate packages (octree,
+// cache, Morton codes, ray tracing, simulation stack) live under
+// internal/ and are exercised through the examples, the cmd/ tools, and
+// the benchmark harness that regenerates the paper's evaluation.
+package octocache
+
+import (
+	"io"
+
+	"octocache/internal/core"
+	"octocache/internal/geom"
+	"octocache/internal/octree"
+)
+
+// Vec3 is a world-space point or direction in meters.
+type Vec3 = geom.Vec3
+
+// V constructs a Vec3.
+func V(x, y, z float64) Vec3 { return geom.V(x, y, z) }
+
+// Mode selects the pipeline variant.
+type Mode int
+
+const (
+	// ModeOctoMap is the vanilla baseline: no cache, every traced voxel
+	// updates the octree directly. Useful for comparison.
+	ModeOctoMap Mode = iota
+	// ModeSerial is the single-threaded OctoCache.
+	ModeSerial
+	// ModeParallel is the two-threaded OctoCache: octree updates run on a
+	// background goroutine, off the query critical path. This is the
+	// paper's full design and the default.
+	ModeParallel
+)
+
+// Options configures a Map. The zero value is not valid; Resolution is
+// required.
+type Options struct {
+	// Resolution is the voxel edge length in meters (e.g. 0.05–1.0).
+	Resolution float64
+	// Mode selects the pipeline; the default is ModeParallel.
+	Mode Mode
+	// MaxRange truncates sensor rays beyond this distance in meters;
+	// 0 disables truncation.
+	MaxRange float64
+	// CacheBuckets is the cache width w (rounded up to a power of two).
+	// 0 uses the paper's UAV setting of 512K buckets. Size it at roughly
+	// 3-4x the distinct voxels per scan divided by CacheTau.
+	CacheBuckets int
+	// CacheTau is the per-bucket cell bound τ after eviction; 0 uses the
+	// paper's default of 4.
+	CacheTau int
+	// DedupRays enables OctoMap-RT-style deduplicating ray tracing.
+	DedupRays bool
+	// Arena allocates octree nodes from chunked slabs with
+	// prune-recycling instead of the general heap, reducing GC pressure
+	// on long-running maps.
+	Arena bool
+}
+
+// Map is a 3D occupancy map with an OctoMap-compatible query interface.
+// A Map must be driven from one goroutine; ModeParallel manages its own
+// background worker internally.
+type Map struct {
+	mapper core.Mapper
+	cfg    core.Config
+}
+
+// New creates a Map. It panics on invalid options; use NewChecked to
+// receive the error instead.
+func New(opts Options) *Map {
+	m, err := NewChecked(opts)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// NewChecked creates a Map, validating the options.
+func NewChecked(opts Options) (*Map, error) {
+	cfg := core.DefaultConfig(opts.Resolution)
+	cfg.MaxRange = opts.MaxRange
+	cfg.RT = opts.DedupRays
+	cfg.Arena = opts.Arena
+	if opts.CacheBuckets > 0 {
+		cfg.CacheBuckets = opts.CacheBuckets
+	}
+	if opts.CacheTau > 0 {
+		cfg.CacheTau = opts.CacheTau
+	}
+	kind := core.KindParallel
+	switch opts.Mode {
+	case ModeOctoMap:
+		kind = core.KindOctoMap
+	case ModeSerial:
+		kind = core.KindSerial
+	}
+	mapper, err := core.New(kind, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Map{mapper: mapper, cfg: cfg}, nil
+}
+
+// InsertPointCloud integrates one sensor scan: points (world coordinates)
+// observed from origin. Each point contributes an occupied observation at
+// its voxel and free observations along the ray from origin.
+func (m *Map) InsertPointCloud(origin Vec3, points []Vec3) {
+	m.mapper.InsertPointCloud(origin, points)
+}
+
+// Occupied reports whether the voxel containing p is known and occupied.
+func (m *Map) Occupied(p Vec3) bool { return m.mapper.Occupied(p) }
+
+// Occupancy returns the voxel's accumulated log-odds occupancy; known is
+// false for never-observed voxels. Use Probability to convert.
+func (m *Map) Occupancy(p Vec3) (logOdds float32, known bool) {
+	return m.mapper.Occupancy(p)
+}
+
+// Probability converts a log-odds occupancy to a probability in (0, 1).
+func Probability(logOdds float32) float64 { return octree.Probability(logOdds) }
+
+// Resolution returns the voxel edge length in meters.
+func (m *Map) Resolution() float64 { return m.cfg.Octree.Resolution }
+
+// Finalize flushes all cached voxels into the octree and stops background
+// work. The Map remains queryable; further insertions panic.
+func (m *Map) Finalize() { m.mapper.Finalize() }
+
+// WriteTo serializes the finished octree. Call Finalize first so the
+// octree holds the complete map.
+func (m *Map) WriteTo(w io.Writer) (int64, error) { return m.mapper.Tree().WriteTo(w) }
+
+// Stats reports cache and pipeline behaviour counters.
+type Stats struct {
+	// CacheHitRate is the fraction of voxel updates absorbed by the cache.
+	CacheHitRate float64
+	// VoxelsTraced counts voxel observations produced by ray tracing.
+	VoxelsTraced int64
+	// VoxelsToOctree counts voxel writes that reached the octree.
+	VoxelsToOctree int64
+	// Batches counts inserted point clouds.
+	Batches int64
+	// TreeNodes is the octree's current node count.
+	TreeNodes int
+	// TreeBytes estimates the octree's heap footprint.
+	TreeBytes int64
+}
+
+// Stats returns a snapshot of behaviour counters. With ModeParallel, call
+// it between insertions or after Finalize.
+func (m *Map) Stats() Stats {
+	tm := m.mapper.Timings()
+	cs := m.mapper.CacheStats()
+	tree := m.mapper.Tree()
+	return Stats{
+		CacheHitRate:   cs.HitRate(),
+		VoxelsTraced:   tm.VoxelsTraced,
+		VoxelsToOctree: tm.VoxelsToOctree,
+		Batches:        tm.Batches,
+		TreeNodes:      tree.NumNodes(),
+		TreeBytes:      tree.MemoryBytes(),
+	}
+}

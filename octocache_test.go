@@ -1,0 +1,168 @@
+package octocache
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// scanRing generates points on a cylindrical wall around the origin.
+func scanRing(origin Vec3, radius float64, n int) []Vec3 {
+	pts := make([]Vec3, 0, n)
+	for i := 0; i < n; i++ {
+		ang := float64(i) / float64(n) * 2 * math.Pi
+		pts = append(pts, origin.Add(V(radius*math.Cos(ang), radius*math.Sin(ang), 0)))
+	}
+	return pts
+}
+
+func TestNewCheckedValidates(t *testing.T) {
+	if _, err := NewChecked(Options{}); err == nil {
+		t.Error("zero options accepted")
+	}
+	if _, err := NewChecked(Options{Resolution: -1}); err == nil {
+		t.Error("negative resolution accepted")
+	}
+	m, err := NewChecked(Options{Resolution: 0.1})
+	if err != nil {
+		t.Fatalf("valid options rejected: %v", err)
+	}
+	m.Finalize()
+}
+
+func TestNewPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New with invalid options did not panic")
+		}
+	}()
+	New(Options{})
+}
+
+func TestAllModesAgree(t *testing.T) {
+	maps := []*Map{
+		New(Options{Resolution: 0.1, Mode: ModeOctoMap}),
+		New(Options{Resolution: 0.1, Mode: ModeSerial, CacheBuckets: 1 << 12}),
+		New(Options{Resolution: 0.1, Mode: ModeParallel, CacheBuckets: 1 << 12}),
+	}
+	origin := V(0, 0, 1)
+	rng := rand.New(rand.NewSource(1))
+	for batch := 0; batch < 5; batch++ {
+		pts := scanRing(origin, 2+rng.Float64(), 100)
+		for _, m := range maps {
+			m.InsertPointCloud(origin, pts)
+		}
+	}
+	probes := scanRing(origin, 2.5, 40)
+	probes = append(probes, origin, V(0.5, 0.5, 1), V(10, 10, 10))
+	for _, p := range probes {
+		l0, k0 := maps[0].Occupancy(p)
+		for i, m := range maps[1:] {
+			l, k := m.Occupancy(p)
+			if l != l0 || k != k0 {
+				t.Fatalf("mode %d disagrees at %v: (%v,%v) vs (%v,%v)", i+1, p, l, k, l0, k0)
+			}
+		}
+	}
+	for _, m := range maps {
+		m.Finalize()
+	}
+}
+
+func TestOccupiedAndProbability(t *testing.T) {
+	m := New(Options{Resolution: 0.1})
+	target := V(3, 0, 1)
+	m.InsertPointCloud(V(0, 0, 1), []Vec3{target})
+	if !m.Occupied(target) {
+		t.Error("scanned obstacle not occupied")
+	}
+	l, known := m.Occupancy(target)
+	if !known {
+		t.Fatal("scanned obstacle unknown")
+	}
+	if p := Probability(l); p <= 0.5 || p >= 1 {
+		t.Errorf("occupied probability %v out of (0.5, 1)", p)
+	}
+	// Free voxel along the ray.
+	l, known = m.Occupancy(V(1.5, 0, 1))
+	if !known || Probability(l) >= 0.5 {
+		t.Errorf("mid-ray voxel should be known free, got %v,%v", l, known)
+	}
+	m.Finalize()
+}
+
+func TestStatsAndResolution(t *testing.T) {
+	m := New(Options{Resolution: 0.25, Mode: ModeSerial, CacheBuckets: 1 << 10})
+	if m.Resolution() != 0.25 {
+		t.Errorf("Resolution = %v", m.Resolution())
+	}
+	origin := V(0, 0, 1)
+	for i := 0; i < 4; i++ {
+		m.InsertPointCloud(origin, scanRing(origin, 3, 200))
+	}
+	m.Finalize()
+	st := m.Stats()
+	if st.Batches != 4 || st.VoxelsTraced == 0 || st.TreeNodes == 0 || st.TreeBytes == 0 {
+		t.Errorf("stats incomplete: %+v", st)
+	}
+	if st.CacheHitRate <= 0.3 {
+		t.Errorf("repeated identical scans should hit the cache hard, got %.2f", st.CacheHitRate)
+	}
+	if st.VoxelsToOctree >= st.VoxelsTraced {
+		t.Error("cache absorbed nothing")
+	}
+}
+
+func TestWriteTo(t *testing.T) {
+	m := New(Options{Resolution: 0.1, MaxRange: 5})
+	m.InsertPointCloud(V(0, 0, 1), scanRing(V(0, 0, 1), 2, 100))
+	m.Finalize()
+	var buf bytes.Buffer
+	n, err := m.WriteTo(&buf)
+	if err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	if n == 0 || buf.Len() == 0 {
+		t.Error("empty serialization")
+	}
+}
+
+func TestDedupRaysMode(t *testing.T) {
+	a := New(Options{Resolution: 0.1, Mode: ModeSerial, DedupRays: true, CacheBuckets: 1 << 10})
+	origin := V(0, 0, 1)
+	a.InsertPointCloud(origin, scanRing(origin, 2, 300))
+	a.Finalize()
+	st := a.Stats()
+	// With per-batch dedup the trace stream has no duplicates, so a
+	// single batch cannot produce cache hits.
+	if st.CacheHitRate != 0 {
+		t.Errorf("single deduped batch hit rate = %v, want 0", st.CacheHitRate)
+	}
+}
+
+func TestArenaOptionAgreesWithHeap(t *testing.T) {
+	a := New(Options{Resolution: 0.1, Mode: ModeSerial, CacheBuckets: 1 << 10})
+	b := New(Options{Resolution: 0.1, Mode: ModeSerial, CacheBuckets: 1 << 10, Arena: true})
+	origin := V(0, 0, 1)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 5; i++ {
+		var pts []Vec3
+		for j := 0; j < 150; j++ {
+			ang := rng.Float64() * 2 * math.Pi
+			r := 1 + rng.Float64()*3
+			pts = append(pts, origin.Add(V(r*math.Cos(ang), r*math.Sin(ang), rng.Float64()-0.5)))
+		}
+		a.InsertPointCloud(origin, pts)
+		b.InsertPointCloud(origin, pts)
+		for _, p := range pts[:30] {
+			la, ka := a.Occupancy(p)
+			lb, kb := b.Occupancy(p)
+			if la != lb || ka != kb {
+				t.Fatalf("arena and heap maps disagree at %v", p)
+			}
+		}
+	}
+	a.Finalize()
+	b.Finalize()
+}
