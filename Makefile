@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: build test vet race bench verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The concurrency gate: the sharded map service and the core pipelines
+# under the race detector (the shard tests drive >= 4 producers).
+race:
+	$(GO) test -race ./internal/shard/... ./internal/core/...
+
+bench:
+	$(GO) test -bench . -benchtime 1x ./...
+
+verify: vet race
+	$(GO) build ./... && $(GO) test ./...

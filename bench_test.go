@@ -101,3 +101,4 @@ func BenchmarkQuery(b *testing.B) {
 	m.Finalize()
 	_ = hits
 }
+func BenchmarkExtShardScaling(b *testing.B) { runExperiment(b, "ext-shard") }

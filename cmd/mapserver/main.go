@@ -1,0 +1,157 @@
+// Command mapserver demonstrates the sharded concurrent map service: a
+// single octocache.Map shared by several producer goroutines feeding
+// scan streams and several querier goroutines probing occupancy and
+// casting rays — the multi-client deployment the redesigned public API
+// (Options.Shards, Insert, Close) exists for. It prints aggregate and
+// per-shard statistics and optionally serializes the merged octree.
+//
+// Usage:
+//
+//	mapserver -dataset fr079 -shards 8 -producers 4 -queriers 2
+//	mapserver -dataset campus -shards 4 -res 0.4 -out campus.ot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"octocache"
+	"octocache/internal/dataset"
+)
+
+func main() {
+	var (
+		dsName    = flag.String("dataset", "fr079", "dataset: fr079, campus, or newcollege")
+		shards    = flag.Int("shards", 8, "shard count (rounded up to a power of two)")
+		producers = flag.Int("producers", 4, "concurrent scan-inserting goroutines")
+		queriers  = flag.Int("queriers", 2, "concurrent query goroutines")
+		res       = flag.Float64("res", 0.1, "mapping resolution in meters")
+		scale     = flag.Float64("scale", 0.5, "dataset scale (1.0 = paper-sized)")
+		out       = flag.String("out", "", "write the merged octree to this file")
+	)
+	flag.Parse()
+	if *producers < 1 || *queriers < 0 {
+		fmt.Fprintln(os.Stderr, "mapserver: need producers >= 1 and queriers >= 0")
+		os.Exit(1)
+	}
+
+	fmt.Printf("generating dataset %s (scale %.2f)...\n", *dsName, *scale)
+	ds, err := dataset.Named(*dsName, *scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mapserver:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("  %d scans, %d points\n", len(ds.Scans), ds.TotalPoints())
+
+	m, err := octocache.NewChecked(octocache.Options{
+		Resolution: *res,
+		Shards:     *shards,
+		MaxRange:   ds.Sensor.MaxRange,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mapserver:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("serving %d shards to %d producers and %d queriers...\n",
+		m.Shards(), *producers, *queriers)
+
+	// Queriers probe scan endpoints (mix of occupied surfaces and not-yet
+	// -mapped space) and cast rays from scan origins until producers stop.
+	var queries, rays atomic.Int64
+	stop := make(chan struct{})
+	var qwg sync.WaitGroup
+	for q := 0; q < *queriers; q++ {
+		qwg.Add(1)
+		go func(q int) {
+			defer qwg.Done()
+			i := q
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := ds.Scans[i%len(ds.Scans)]
+				for _, p := range s.Points[:min(32, len(s.Points))] {
+					m.Occupied(p)
+					queries.Add(1)
+				}
+				if len(s.Points) > 0 {
+					m.CastRay(s.Origin, s.Points[0].Sub(s.Origin), 0, true)
+					rays.Add(1)
+				}
+				i++
+			}
+		}(q)
+	}
+
+	start := time.Now()
+	var pwg sync.WaitGroup
+	for w := 0; w < *producers; w++ {
+		pwg.Add(1)
+		go func(w int) {
+			defer pwg.Done()
+			for i := w; i < len(ds.Scans); i += *producers {
+				s := ds.Scans[i]
+				if err := m.Insert(s.Origin, s.Points); err != nil {
+					fmt.Fprintln(os.Stderr, "mapserver: insert:", err)
+					return
+				}
+			}
+		}(w)
+	}
+	pwg.Wait()
+	ingestWall := time.Since(start)
+	close(stop)
+	qwg.Wait()
+
+	if err := m.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "mapserver:", err)
+		os.Exit(1)
+	}
+
+	st := m.Stats()
+	fmt.Printf("\ningest wall time: %.3fs over %d batches (%.1f Mvox/s traced)\n",
+		ingestWall.Seconds(), st.Batches,
+		float64(st.VoxelsTraced)/ingestWall.Seconds()/1e6)
+	fmt.Printf("served %d point queries and %d ray casts concurrently\n",
+		queries.Load(), rays.Load())
+	fmt.Printf("cache: %.1f%% hit rate; %d voxels traced, %d reached the octrees\n",
+		100*st.CacheHitRate, st.VoxelsTraced, st.VoxelsToOctree)
+	fmt.Printf("octrees: %d nodes total, ~%.1f MB across %d shards\n",
+		st.TreeNodes, float64(st.TreeBytes)/(1<<20), st.Shards)
+	fmt.Println("\nper-shard breakdown:")
+	fmt.Printf("  %5s  %9s  %9s  %6s  %8s\n", "shard", "nodes", "bytes", "queue", "hit rate")
+	for _, s := range m.ShardStats() {
+		fmt.Printf("  %5d  %9d  %9d  %6d  %7.1f%%\n",
+			s.Shard, s.TreeNodes, s.TreeBytes, s.QueueDepth, 100*s.CacheHitRate)
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mapserver:", err)
+			os.Exit(1)
+		}
+		n, err := m.WriteTo(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mapserver:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote merged octree %s (%d bytes)\n", *out, n)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,85 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"octocache/internal/core"
+	"octocache/internal/shard"
+)
+
+// The shard-scaling experiment goes beyond the paper's evaluation: it
+// measures how ingest throughput responds to partitioning one map across
+// independent OctoCache pipelines (internal/shard) when one or several
+// producer goroutines feed scans concurrently. The serial pipeline is
+// the 1-producer baseline; perfect scaling would multiply its throughput
+// by min(shards, producers).
+
+func init() {
+	register(Experiment{
+		ID:    "ext-shard",
+		Title: "Extension: sharded-map ingest throughput vs shard count and producer count",
+		Run:   runShardScale,
+	})
+}
+
+func runShardScale(opt Options) ([]*Table, error) {
+	const name = "fr079"
+	ds, err := loadDataset(name, opt.scale())
+	if err != nil {
+		return nil, err
+	}
+	res := referenceResolution(name)
+	cfg := constructionConfig(ds, res, false)
+
+	t := &Table{
+		Title: "Sharded-map ingest scaling",
+		Note: fmt.Sprintf("%s @ %.2fm, %d scans; scans distributed round-robin across producers.\n"+
+			"Speedup is wall-clock vs the unsharded serial pipeline driven by one goroutine.", name, res, len(ds.Scans)),
+		Header: []string{"mapper", "shards", "producers", "wall", "Mvox/s", "speedup"},
+	}
+
+	// Baseline: the unsharded serial pipeline, single driver.
+	opt.logf("ext-shard: serial baseline")
+	base := core.MustNew(core.KindSerial, cfg)
+	baseStart := time.Now()
+	baseTm, _ := replay(base, ds)
+	baseWall := time.Since(baseStart).Seconds()
+	t.AddRow("octocache-serial", "-", "1", fmtDur(baseWall),
+		fmt.Sprintf("%.1f", float64(baseTm.VoxelsTraced)/baseWall/1e6), fmtRatio(1))
+
+	for _, shards := range []int{1, 2, 4, 8} {
+		for _, producers := range []int{1, 4} {
+			opt.logf("ext-shard: shards=%d producers=%d", shards, producers)
+			sm, err := shard.New(shard.Config{Core: cfg, Shards: shards})
+			if err != nil {
+				return nil, err
+			}
+			start := time.Now()
+			var wg sync.WaitGroup
+			for w := 0; w < producers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := w; i < len(ds.Scans); i += producers {
+						s := ds.Scans[i]
+						if err := sm.Insert(s.Origin, s.Points); err != nil {
+							panic(err) // closed mid-run: harness bug
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			if err := sm.Close(); err != nil {
+				return nil, err
+			}
+			wall := time.Since(start).Seconds()
+			tm := sm.Timings()
+			t.AddRow(sm.Name(), fmt.Sprintf("%d", sm.NumShards()), fmt.Sprintf("%d", producers),
+				fmtDur(wall), fmt.Sprintf("%.1f", float64(tm.VoxelsTraced)/wall/1e6),
+				fmtRatio(baseWall/wall))
+		}
+	}
+	return []*Table{t}, nil
+}

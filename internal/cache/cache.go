@@ -124,6 +124,20 @@ type Stats struct {
 	QueryHits   int64 // point queries answered from the cache
 }
 
+// Add returns the field-wise sum of two stats snapshots. The sharded map
+// service uses it to aggregate per-shard caches into one map-level view.
+func (s Stats) Add(o Stats) Stats {
+	return Stats{
+		Inserts:     s.Inserts + o.Inserts,
+		Hits:        s.Hits + o.Hits,
+		Misses:      s.Misses + o.Misses,
+		OctreeFills: s.OctreeFills + o.OctreeFills,
+		Evicted:     s.Evicted + o.Evicted,
+		Queries:     s.Queries + o.Queries,
+		QueryHits:   s.QueryHits + o.QueryHits,
+	}
+}
+
 // HitRate returns Hits/Inserts, the paper's cache-hit ratio metric.
 func (s Stats) HitRate() float64 {
 	if s.Inserts == 0 {

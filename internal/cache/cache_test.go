@@ -451,3 +451,16 @@ func TestCacheWalk(t *testing.T) {
 		t.Errorf("early stop visited %d", n)
 	}
 }
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{Inserts: 10, Hits: 6, Misses: 4, OctreeFills: 2, Evicted: 3, Queries: 5, QueryHits: 1}
+	b := Stats{Inserts: 1, Hits: 1, Misses: 0, OctreeFills: 0, Evicted: 7, Queries: 2, QueryHits: 2}
+	got := a.Add(b)
+	want := Stats{Inserts: 11, Hits: 7, Misses: 4, OctreeFills: 2, Evicted: 10, Queries: 7, QueryHits: 3}
+	if got != want {
+		t.Errorf("Add = %+v, want %+v", got, want)
+	}
+	if got.HitRate() != 7.0/11.0 {
+		t.Errorf("merged hit rate = %v", got.HitRate())
+	}
+}

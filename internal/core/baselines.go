@@ -127,6 +127,7 @@ func (m *voxelCacheMapper) Tree() *octree.Tree {
 	return m.shadow
 }
 
+func (m *voxelCacheMapper) Resolution() float64     { return m.cfg.Octree.Resolution }
 func (m *voxelCacheMapper) Timings() Timings        { return m.timings }
 func (m *voxelCacheMapper) CacheStats() cache.Stats { return cache.Stats{} }
 
@@ -238,6 +239,7 @@ func (m *naiveMapper) OccupiedKey(k octree.Key) bool {
 	return m.tree.Occupied(k)
 }
 
+func (m *naiveMapper) Resolution() float64     { return m.cfg.Octree.Resolution }
 func (m *naiveMapper) Finalize()               { m.done = true }
 func (m *naiveMapper) Tree() *octree.Tree      { return m.tree }
 func (m *naiveMapper) Timings() Timings        { return m.timings }

@@ -7,12 +7,14 @@ import (
 	"octocache/internal/octree"
 )
 
-// castRayKeys walks the voxel grid from origin along dir, querying each
+// CastRayKeys walks the voxel grid from origin along dir, querying each
 // visited voxel through the supplied occupancy function until a
 // known-occupied voxel is found or maxRange is exceeded. It is the
 // pipeline-level equivalent of octree.CastRay, but consults the combined
 // cache+octree state so visibility answers are as fresh as point queries.
-func castRayKeys(params octree.Params, occ func(octree.Key) (float32, bool),
+// Exported so layered map services (internal/shard) can reuse the walk
+// with their own per-voxel occupancy resolution.
+func CastRayKeys(params octree.Params, occ func(octree.Key) (float32, bool),
 	origin, dir geom.Vec3, maxRange float64, ignoreUnknown bool) (geom.Vec3, bool) {
 
 	n := dir.Norm()
@@ -85,7 +87,7 @@ func castRayKeys(params octree.Params, occ func(octree.Key) (float32, bool),
 // miss). ignoreUnknown selects whether unknown space is traversable.
 
 func (m *octoMap) CastRay(origin, dir geom.Vec3, maxRange float64, ignoreUnknown bool) (geom.Vec3, bool) {
-	return castRayKeys(m.cfg.Octree, m.tree.Search, origin, dir, maxRange, ignoreUnknown)
+	return CastRayKeys(m.cfg.Octree, m.tree.Search, origin, dir, maxRange, ignoreUnknown)
 }
 
 func (m *serialMapper) CastRay(origin, dir geom.Vec3, maxRange float64, ignoreUnknown bool) (geom.Vec3, bool) {
@@ -95,7 +97,7 @@ func (m *serialMapper) CastRay(origin, dir geom.Vec3, maxRange float64, ignoreUn
 		}
 		return m.tree.Search(k)
 	}
-	return castRayKeys(m.cfg.Octree, occ, origin, dir, maxRange, ignoreUnknown)
+	return CastRayKeys(m.cfg.Octree, occ, origin, dir, maxRange, ignoreUnknown)
 }
 
 func (m *parallelMapper) CastRay(origin, dir geom.Vec3, maxRange float64, ignoreUnknown bool) (geom.Vec3, bool) {
@@ -109,15 +111,15 @@ func (m *parallelMapper) CastRay(origin, dir geom.Vec3, maxRange float64, ignore
 		}
 		return m.tree.Search(k)
 	}
-	return castRayKeys(m.cfg.Octree, occ, origin, dir, maxRange, ignoreUnknown)
+	return CastRayKeys(m.cfg.Octree, occ, origin, dir, maxRange, ignoreUnknown)
 }
 
 func (m *voxelCacheMapper) CastRay(origin, dir geom.Vec3, maxRange float64, ignoreUnknown bool) (geom.Vec3, bool) {
-	return castRayKeys(m.cfg.Octree, m.tree.Search, origin, dir, maxRange, ignoreUnknown)
+	return CastRayKeys(m.cfg.Octree, m.tree.Search, origin, dir, maxRange, ignoreUnknown)
 }
 
 func (m *naiveMapper) CastRay(origin, dir geom.Vec3, maxRange float64, ignoreUnknown bool) (geom.Vec3, bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return castRayKeys(m.cfg.Octree, m.tree.Search, origin, dir, maxRange, ignoreUnknown)
+	return CastRayKeys(m.cfg.Octree, m.tree.Search, origin, dir, maxRange, ignoreUnknown)
 }

@@ -4,6 +4,7 @@ import (
 	"octocache/internal/cache"
 	"octocache/internal/geom"
 	"octocache/internal/octree"
+	"octocache/internal/raytrace"
 )
 
 // Mapper is the query-consistent interface every pipeline implements —
@@ -39,6 +40,11 @@ type Mapper interface {
 	// insertions are not allowed.
 	Finalize()
 
+	// Resolution returns the voxel edge length in meters. It lets
+	// map consumers (planners, renderers) discretize without reaching
+	// for the backing tree.
+	Resolution() float64
+
 	// Tree exposes the backing octree. Callers must not use it while a
 	// parallel pipeline is active; it is always safe after Finalize.
 	Tree() *octree.Tree
@@ -52,6 +58,38 @@ type Mapper interface {
 
 	// Name identifies the pipeline variant for reports.
 	Name() string
+}
+
+// BatchMapper extends Mapper with the routable entry points the sharded
+// map service (internal/shard) drives: the router traces each scan once,
+// partitions the traced cells by shard, and applies each shard's slice
+// through ApplyTraced — so ray tracing runs outside any shard lock.
+type BatchMapper interface {
+	Mapper
+
+	// ApplyTraced integrates pre-traced voxel observations exactly as
+	// InsertPointCloud would after its ray-tracing stage (cache insert,
+	// τ-bounded eviction, octree update). It does not count a batch;
+	// routers account for scans themselves.
+	ApplyTraced(batch []raytrace.Voxel)
+
+	// OccupancyKey is the key-space variant of Occupancy.
+	OccupancyKey(k octree.Key) (logOdds float32, known bool)
+
+	// CacheLen reports the number of cells currently parked in the
+	// pipeline's cache awaiting eviction — the shard's queue depth.
+	CacheLen() int
+}
+
+// NewShardPipeline builds the pipeline that backs one spatial shard of a
+// sharded map: a serial OctoCache exposing the batch interface. The shard
+// layer provides all cross-goroutine synchronization; the pipeline itself
+// remains single-threaded, per the paper's design.
+func NewShardPipeline(cfg Config) (BatchMapper, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return newSerial(cfg), nil
 }
 
 // Kind enumerates the pipeline variants.

@@ -70,6 +70,7 @@ func (m *octoMap) InsertPointCloud(origin geom.Vec3, points []geom.Vec3) {
 func (m *octoMap) Occupancy(p geom.Vec3) (float32, bool) { return m.tree.OccupancyAt(p) }
 func (m *octoMap) Occupied(p geom.Vec3) bool             { return m.tree.OccupiedAt(p) }
 func (m *octoMap) OccupiedKey(k octree.Key) bool         { return m.tree.Occupied(k) }
+func (m *octoMap) Resolution() float64                   { return m.cfg.Octree.Resolution }
 func (m *octoMap) Finalize()                             { m.done = true }
 func (m *octoMap) Tree() *octree.Tree                    { return m.tree }
 func (m *octoMap) Timings() Timings                      { return m.timings }

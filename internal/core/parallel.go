@@ -242,6 +242,8 @@ func (m *parallelMapper) Finalize() {
 	m.wg.Wait()
 }
 
+func (m *parallelMapper) Resolution() float64 { return m.cfg.Octree.Resolution }
+
 func (m *parallelMapper) Tree() *octree.Tree { return m.tree }
 
 func (m *parallelMapper) Timings() Timings {

@@ -59,8 +59,23 @@ func (m *serialMapper) InsertPointCloud(origin geom.Vec3, points []geom.Vec3) {
 	}
 	m.timings.RayTracing += time.Since(t0)
 
-	// Cache insertion: the only work queries must wait for.
-	t0 = time.Now()
+	m.ApplyTraced(batch)
+
+	m.timings.Batches++
+	m.timings.Critical += time.Since(start)
+}
+
+// ApplyTraced integrates a pre-traced observation batch: cache insertion
+// (the only work queries must wait for), then τ-bounded eviction into the
+// octree. It is InsertPointCloud minus the ray-tracing stage, split out
+// so a sharded router can trace a scan once and apply each shard's slice
+// of the traced cells independently. It does not count a batch; callers
+// driving ApplyTraced directly account for batches themselves.
+func (m *serialMapper) ApplyTraced(batch []raytrace.Voxel) {
+	if m.done {
+		panic("core: ApplyTraced after Finalize")
+	}
+	t0 := time.Now()
 	lookup := func(k octree.Key) (float32, bool) { return m.tree.Search(k) }
 	for _, v := range batch {
 		m.cache.Insert(v.Key, v.Occupied, lookup)
@@ -79,10 +94,8 @@ func (m *serialMapper) InsertPointCloud(origin geom.Vec3, points []geom.Vec3) {
 	}
 	m.timings.OctreeUpdate += time.Since(t0)
 
-	m.timings.Batches++
 	m.timings.VoxelsTraced += int64(len(batch))
 	m.timings.VoxelsToOctree += int64(len(m.evictBuf))
-	m.timings.Critical += time.Since(start)
 }
 
 // Occupancy checks the cache first; on a miss the backend octree answers
@@ -92,6 +105,11 @@ func (m *serialMapper) Occupancy(p geom.Vec3) (float32, bool) {
 	if !ok {
 		return 0, false
 	}
+	return m.OccupancyKey(k)
+}
+
+// OccupancyKey is the key-space variant of Occupancy.
+func (m *serialMapper) OccupancyKey(k octree.Key) (float32, bool) {
 	if l, hit := m.cache.Query(k); hit {
 		return l, true
 	}
@@ -104,10 +122,8 @@ func (m *serialMapper) Occupied(p geom.Vec3) bool {
 }
 
 func (m *serialMapper) OccupiedKey(k octree.Key) bool {
-	if l, hit := m.cache.Query(k); hit {
-		return l >= m.cfg.Octree.OccupancyThreshold
-	}
-	return m.tree.Occupied(k)
+	l, known := m.OccupancyKey(k)
+	return known && l >= m.cfg.Octree.OccupancyThreshold
 }
 
 // Finalize writes every remaining cache cell into the octree so the tree
@@ -128,6 +144,8 @@ func (m *serialMapper) Finalize() {
 	m.timings.VoxelsToOctree += int64(len(flushed))
 }
 
+func (m *serialMapper) Resolution() float64     { return m.cfg.Octree.Resolution }
 func (m *serialMapper) Tree() *octree.Tree      { return m.tree }
+func (m *serialMapper) CacheLen() int           { return m.cache.Len() }
 func (m *serialMapper) Timings() Timings        { return m.timings }
 func (m *serialMapper) CacheStats() cache.Stats { return m.cache.Stats() }

@@ -56,6 +56,22 @@ func Decode(m uint64) (x, y, z uint16) {
 	return uint16(compact1By2(m)), uint16(compact1By2(m >> 1)), uint16(compact1By2(m >> 2))
 }
 
+// ShardMaxBits bounds the shard-index width: 12 bits of Morton prefix
+// address the coarsest four octree levels, i.e. up to 4096 spatial
+// shards — far beyond any useful host parallelism.
+const ShardMaxBits = 12
+
+// ShardIndex extracts the top `bits` bits of the 48-bit Morton code m:
+// the shard selector used to partition space across independent mapping
+// pipelines. The high bits of a Morton code address the coarsest octree
+// subdivisions, so every shard owns a union of whole subtrees — a
+// locality-preserving partition (voxels that share a shard share long
+// root paths). bits must be in [0, ShardMaxBits]; the result is in
+// [0, 1<<bits). bits = 0 maps everything to shard 0.
+func ShardIndex(m uint64, bits int) int {
+	return int(m >> uint(3*CoordBits-bits))
+}
+
 // CommonAncestorDepth returns the depth of the closest common ancestor of
 // the two leaves a and b in an octree of the given leaf depth, where the
 // root has depth 0 and leaves have depth `depth`. Equal codes share all

@@ -221,3 +221,49 @@ func BenchmarkDecode(b *testing.B) {
 	}
 	_ = sink
 }
+
+func TestShardIndexTopBits(t *testing.T) {
+	// The top 3 Morton bits are (z15, y15, x15): the depth-1 octant.
+	cases := []struct {
+		x, y, z uint16
+		bits    int
+		want    int
+	}{
+		{0, 0, 0, 3, 0},
+		{1 << 15, 0, 0, 3, 1},          // x high bit -> Morton bit 45
+		{0, 1 << 15, 0, 3, 2},          // y high bit -> Morton bit 46
+		{0, 0, 1 << 15, 3, 4},          // z high bit -> Morton bit 47
+		{1 << 15, 1 << 15, 1 << 15, 3, 7},
+		{0, 0, 1 << 15, 1, 1},          // one bit: split on z15 alone
+		{1 << 15, 1 << 15, 0, 1, 0},
+		{0xFFFF, 0xFFFF, 0xFFFF, 0, 0}, // zero bits: everything is shard 0
+	}
+	for _, c := range cases {
+		got := ShardIndex(Encode(c.x, c.y, c.z), c.bits)
+		if got != c.want {
+			t.Errorf("ShardIndex(Encode(%d,%d,%d), %d) = %d, want %d",
+				c.x, c.y, c.z, c.bits, got, c.want)
+		}
+	}
+}
+
+func TestShardIndexRangeAndLocality(t *testing.T) {
+	for bits := 0; bits <= ShardMaxBits; bits += 3 {
+		for i := 0; i < 500; i++ {
+			x, y, z := uint16(i*31), uint16(i*57), uint16(i*91)
+			s := ShardIndex(Encode(x, y, z), bits)
+			if s < 0 || s >= 1<<bits {
+				t.Fatalf("bits=%d: shard %d out of range", bits, s)
+			}
+			// Keys in the same depth-(bits/3) subtree share a shard.
+			mask := uint16(0xFFFF << (16 - bits/3))
+			if bits == 0 {
+				mask = 0
+			}
+			s2 := ShardIndex(Encode(x&mask, y&mask, z&mask), bits)
+			if s != s2 {
+				t.Fatalf("bits=%d: subtree siblings landed in shards %d and %d", bits, s, s2)
+			}
+		}
+	}
+}

@@ -25,11 +25,26 @@ import (
 	"octocache/internal/world"
 )
 
+// Mapper is the minimal occupancy-map surface the navigation loop
+// drives. It is satisfied both by the internal pipelines (core.Mapper)
+// and by the public octocache.Map, so missions can run against exactly
+// the API real applications use.
+type Mapper interface {
+	// InsertPointCloud integrates one sensor scan observed from origin.
+	InsertPointCloud(origin geom.Vec3, points []geom.Vec3)
+	// Occupied reports whether the voxel containing p is known-occupied.
+	Occupied(p geom.Vec3) bool
+	// Resolution returns the voxel edge length in meters.
+	Resolution() float64
+	// Finalize flushes the map; called once when the mission ends.
+	Finalize()
+}
+
 // Config assembles a mission.
 type Config struct {
 	World  *world.World
 	Sensor sensor.Model
-	Mapper core.Mapper
+	Mapper Mapper
 	UAV    uav.Airframe
 
 	// Margin is the collision clearance radius in meters (default 0.25).
@@ -73,7 +88,9 @@ type Result struct {
 	// EnergyJ estimates the mission's energy use (rotor-dominated model,
 	// uav.Airframe.MissionEnergy).
 	EnergyJ float64
-	// Timings is the mapping pipeline's stage decomposition.
+	// Timings is the mapping pipeline's stage decomposition, populated
+	// when the mapper exposes one (core pipelines do; mappers driven
+	// through the public API report stats their own way).
 	Timings core.Timings
 }
 
@@ -94,14 +111,14 @@ func Run(cfg Config) Result {
 	}
 	cell := cfg.PlannerCell
 	if cell <= 0 {
-		cell = math.Max(cfg.Mapper.Tree().Resolution(), cfg.Margin)
+		cell = math.Max(cfg.Mapper.Resolution(), cfg.Margin)
 		// Keep the grid tractable for very large worlds.
 		size := cfg.World.Bounds.Size()
 		for size.X/cell*size.Y/cell*size.Z/cell > 2e6 {
 			cell *= 1.5
 		}
 	}
-	mapRes := cfg.Mapper.Tree().Resolution()
+	mapRes := cfg.Mapper.Resolution()
 	pl := newPlanner(cfg.World.Bounds, cell, cfg.Margin, mapRes)
 	probes := probeGrid(cfg.Margin, mapRes)
 
@@ -246,7 +263,9 @@ func Run(cfg Config) Result {
 	}
 
 	cfg.Mapper.Finalize()
-	res.Timings = cfg.Mapper.Timings()
+	if tp, ok := cfg.Mapper.(interface{ Timings() core.Timings }); ok {
+		res.Timings = tp.Timings()
+	}
 	res.EnergyJ = cfg.UAV.MissionEnergy(res.Time)
 	if res.Cycles > 0 {
 		res.AvgCompute = computeSum / time.Duration(res.Cycles)
@@ -269,7 +288,7 @@ func prunePath(path []geom.Vec3, pos geom.Vec3, cell float64) []geom.Vec3 {
 // sampling each segment at map resolution and probing the clearance
 // volume around each sample — the "checking voxels along potential
 // trajectories" queries of §2.1.
-func pathClear(m core.Mapper, pos geom.Vec3, path []geom.Vec3, probes []geom.Vec3, res float64) bool {
+func pathClear(m Mapper, pos geom.Vec3, path []geom.Vec3, probes []geom.Vec3, res float64) bool {
 	bad, _ := firstBlocked(m, pos, path, probes, res)
 	return !bad
 }
@@ -283,7 +302,7 @@ func pathClear(m core.Mapper, pos geom.Vec3, path []geom.Vec3, probes []geom.Vec
 // up to a voxel beyond physical obstacles, so without the exemption a UAV
 // that legally approached an obstacle gets trapped by its own map — every
 // outgoing segment "starts blocked" and no plan ever validates.
-func firstBlocked(m core.Mapper, pos geom.Vec3, path []geom.Vec3, probes []geom.Vec3, res float64) (bool, geom.Vec3) {
+func firstBlocked(m Mapper, pos geom.Vec3, path []geom.Vec3, probes []geom.Vec3, res float64) (bool, geom.Vec3) {
 	ego := egoRadius(probes, res)
 	prev := pos
 	checked := 0
@@ -315,7 +334,7 @@ func egoRadius(probes []geom.Vec3, res float64) float64 {
 	return margin
 }
 
-func segmentBlocked(m core.Mapper, a, b geom.Vec3, probes []geom.Vec3, res float64, ego geom.Vec3, egoR float64) (bool, geom.Vec3) {
+func segmentBlocked(m Mapper, a, b geom.Vec3, probes []geom.Vec3, res float64, ego geom.Vec3, egoR float64) (bool, geom.Vec3) {
 	dir := b.Sub(a)
 	dist := dir.Norm()
 	if dist == 0 {

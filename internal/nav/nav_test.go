@@ -3,6 +3,7 @@ package nav
 import (
 	"testing"
 
+	"octocache"
 	"octocache/internal/core"
 	"octocache/internal/sensor"
 	"octocache/internal/uav"
@@ -169,4 +170,35 @@ func TestRetreatExhaustsTrailSafely(t *testing.T) {
 	// Must not panic regardless of completion.
 	r := Run(cfg)
 	t.Logf("completed=%v retreats=%d collisions=%d", r.Completed, r.Retreats, r.Collisions)
+}
+
+// TestMissionAgainstPublicAPI runs the closed loop against the public
+// octocache.Map — the exact surface real applications use — including a
+// sharded concurrent map, which nav drives through the same deprecated
+// panic-wrapper entry point as any single-driver mapper.
+func TestMissionAgainstPublicAPI(t *testing.T) {
+	for _, opts := range []octocache.Options{
+		{Resolution: 1.0, MaxRange: 8, CacheBuckets: 1 << 14},
+		{Resolution: 1.0, MaxRange: 8, CacheBuckets: 1 << 14, Shards: 4},
+	} {
+		m := octocache.New(opts)
+		cfg := Config{
+			World:  world.Build(world.Openland, 1),
+			Sensor: sensor.DefaultModel(8, 24, 12),
+			Mapper: m,
+			UAV:    uav.AscTecPelican(),
+		}
+		r := Run(cfg)
+		if !r.Completed {
+			t.Errorf("shards=%d: mission did not complete in %d cycles", m.Shards(), r.Cycles)
+			continue
+		}
+		if r.Collisions != 0 {
+			t.Errorf("shards=%d: %d collisions", m.Shards(), r.Collisions)
+		}
+		// Run finalizes the mapper; the public map is now closed.
+		if err := m.Insert(octocache.V(0, 0, 1), nil); err != octocache.ErrClosed {
+			t.Errorf("shards=%d: Insert after mission = %v, want ErrClosed", m.Shards(), err)
+		}
+	}
 }

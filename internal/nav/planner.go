@@ -4,7 +4,6 @@ import (
 	"container/heap"
 	"math"
 
-	"octocache/internal/core"
 	"octocache/internal/geom"
 )
 
@@ -111,7 +110,7 @@ func (p *planner) center(ix, iy, iz int) geom.Vec3 {
 
 // blocked probes the cell's clearance volume (cell plus margin on every
 // side) at voxel-resolution stride against the live map.
-func (p *planner) blocked(m core.Mapper, ix, iy, iz int) bool {
+func (p *planner) blocked(m Mapper, ix, iy, iz int) bool {
 	if p.banned[int32(p.index(ix, iy, iz))] {
 		return true
 	}
@@ -164,7 +163,7 @@ var nbr = [][4]float64{
 // when no path exists within the expansion budget. Cells inside the ego
 // zone around 'from' are always traversable (see firstBlocked: the
 // vehicle occupies that space, and map inflation must not wall it in).
-func (p *planner) plan(m core.Mapper, from, to geom.Vec3, maxExpansions int) []geom.Vec3 {
+func (p *planner) plan(m Mapper, from, to geom.Vec3, maxExpansions int) []geom.Vec3 {
 	egoR := p.margin + p.cell // clearance + one planning cell of slack
 	sx, sy, sz := p.cellOf(from)
 	gx, gy, gz := p.cellOf(to)

@@ -189,6 +189,68 @@ func (t *Tree) SetNodeValue(k Key, logOdds float32) float32 {
 	})
 }
 
+// SetLeafAt writes a (possibly aggregate) leaf with the given clamped
+// log-odds at an arbitrary depth: the cube whose minimum-corner key is k,
+// as emitted by Walk. depth == Params().Depth sets a single voxel (like
+// SetNodeValue); smaller depths write a pruned aggregate directly,
+// replacing any subtree currently occupying that cube. It is the inverse
+// of Walk, letting one tree be rebuilt — or several spatially disjoint
+// trees be merged — leaf-by-leaf without expanding aggregates into their
+// constituent voxels.
+func (t *Tree) SetLeafAt(k Key, depth int, logOdds float32) {
+	if depth < 0 || depth > t.params.Depth {
+		panic("octree: SetLeafAt depth out of range")
+	}
+	v := t.params.clamp(logOdds)
+	if depth == 0 {
+		if t.root != nil {
+			t.numNodes -= t.countNodes(t.root)
+		}
+		t.root = t.newLeaf(v)
+		return
+	}
+	if t.root == nil {
+		t.root = t.newInterior()
+	}
+	t.setLeafRecurs(t.root, 0, k, depth, v)
+}
+
+func (t *Tree) setLeafRecurs(n *node, depth int, k Key, target int, v float32) {
+	if n.children == nil {
+		// Pruned aggregate on the path: materialize children so the target
+		// cube can diverge from its siblings.
+		t.expand(n)
+	}
+	idx := childIndex(k, depth, t.params.Depth)
+	child := n.children[idx]
+	if depth+1 == target {
+		if child != nil {
+			t.numNodes -= t.countNodes(child)
+		}
+		n.children[idx] = t.newLeaf(v)
+	} else {
+		if child == nil {
+			child = t.newInterior()
+			n.children[idx] = child
+		}
+		t.setLeafRecurs(child, depth+1, k, target, v)
+	}
+	t.restoreInvariant(n)
+}
+
+// countNodes sizes the subtree rooted at n.
+func (t *Tree) countNodes(n *node) int {
+	c := 1
+	if n.children != nil {
+		for _, ch := range n.children {
+			if ch != nil {
+				c += t.countNodes(ch)
+			}
+		}
+	}
+	return c
+}
+
 // updateLeaf performs the root-to-leaf round trip of Figure 5: descend to
 // the leaf for k (creating or expanding nodes as needed), apply fn to its
 // value, then restore the max-of-children invariant and prune on the way

@@ -485,3 +485,71 @@ func TestNodeVisitsGrowWithDepth(t *testing.T) {
 		t.Error("ResetNodeVisits failed")
 	}
 }
+
+// TestSetLeafAtRebuildsTree checks that SetLeafAt is the inverse of Walk:
+// replaying every leaf (including pruned aggregates) into a fresh tree
+// reproduces the original structure and answers node-for-node.
+func TestSetLeafAtRebuildsTree(t *testing.T) {
+	p := smallParams(6)
+	src := New(p)
+	rng := rand.New(rand.NewSource(21))
+	limit := 1 << p.Depth
+	// Dense free region (prunes into aggregates) plus scattered obstacles.
+	for x := 0; x < 8; x++ {
+		for y := 0; y < 8; y++ {
+			for z := 0; z < 8; z++ {
+				src.SetNodeValue(Key{uint16(x), uint16(y), uint16(z)}, p.ClampMin)
+			}
+		}
+	}
+	for i := 0; i < 400; i++ {
+		k := Key{uint16(rng.Intn(limit)), uint16(rng.Intn(limit)), uint16(rng.Intn(limit))}
+		src.Update(k, rng.Intn(2) == 0)
+	}
+
+	dst := New(p)
+	src.Walk(func(l Leaf) bool {
+		dst.SetLeafAt(l.Key, l.Depth, l.LogOdds)
+		return true
+	})
+
+	if src.NumNodes() != dst.NumNodes() {
+		t.Errorf("rebuilt tree has %d nodes, want %d", dst.NumNodes(), src.NumNodes())
+	}
+	if src.NumLeaves() != dst.NumLeaves() {
+		t.Errorf("rebuilt tree has %d leaves, want %d", dst.NumLeaves(), src.NumLeaves())
+	}
+	for i := 0; i < 2000; i++ {
+		k := Key{uint16(rng.Intn(limit)), uint16(rng.Intn(limit)), uint16(rng.Intn(limit))}
+		lw, kw := src.Search(k)
+		lg, kg := dst.Search(k)
+		if lw != lg || kw != kg {
+			t.Fatalf("rebuilt tree disagrees at %v: (%v,%v) vs (%v,%v)", k, lg, kg, lw, kw)
+		}
+	}
+}
+
+// TestSetLeafAtReplacesSubtree checks node accounting when an aggregate
+// overwrites an existing subtree.
+func TestSetLeafAtReplacesSubtree(t *testing.T) {
+	p := smallParams(4)
+	tr := New(p)
+	for i := 0; i < 8; i++ {
+		tr.Update(Key{uint16(i), uint16(i), uint16(i)}, true)
+	}
+	// Overwrite the whole first octant with one aggregate leaf at depth 1.
+	tr.SetLeafAt(Key{0, 0, 0}, 1, p.ClampMin)
+	l, known := tr.Search(Key{1, 1, 1})
+	if !known || l != p.ClampMin {
+		t.Errorf("aggregate not visible: (%v, %v)", l, known)
+	}
+	// Node count must stay consistent with an independent walk.
+	count := 0
+	tr.Walk(func(Leaf) bool { count++; return true })
+	if tr.NumLeaves() != count {
+		t.Errorf("NumLeaves %d disagrees with walk %d", tr.NumLeaves(), count)
+	}
+	if tr.NumNodes() <= 0 {
+		t.Errorf("NumNodes = %d after subtree replacement", tr.NumNodes())
+	}
+}

@@ -1,0 +1,357 @@
+// Package shard implements the sharded concurrent map service: space is
+// partitioned across N independent OctoCache pipelines keyed by the top
+// bits of the voxel Morton code, so many producer goroutines can ingest
+// point clouds concurrently and a query only contends on the single
+// shard that owns the queried voxel — instead of every caller serializing
+// behind one pipeline and one global octree mutex.
+//
+// Why Morton-prefix sharding: the high bits of a Morton code address the
+// coarsest octree subdivisions, so each shard owns a union of whole
+// subtrees. The partition is therefore locality-preserving (a shard's
+// eviction sweep still emits near-Morton runs into its own octree) and
+// exact (every voxel has exactly one owner, so the per-voxel update
+// stream stays ordered under the shard's lock and answers remain
+// bit-identical to the serial pipeline — see the consistency tests).
+//
+// Ingest path per producer: the scan is ray-traced once outside any
+// lock, the traced cells are partitioned by shard index, and each
+// shard's slice is applied under that shard's mutex through the
+// pipeline's ApplyTraced entry point. Distinct producers mostly touch
+// distinct shards (scans are spatially compact), so ingest scales with
+// the shard count until producers collide on hot regions.
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"octocache/internal/cache"
+	"octocache/internal/core"
+	"octocache/internal/geom"
+	"octocache/internal/morton"
+	"octocache/internal/octree"
+	"octocache/internal/raytrace"
+)
+
+// ErrClosed is returned by Insert once the map has been closed (or
+// finalized): the map remains queryable forever, but accepts no further
+// observations.
+var ErrClosed = errors.New("octocache: map is closed")
+
+// MaxShards bounds the shard count.
+const MaxShards = 1 << morton.ShardMaxBits
+
+// MinShardBuckets floors the per-shard cache width when the configured
+// bucket budget is divided across shards.
+const MinShardBuckets = 64
+
+// Config configures a sharded map.
+type Config struct {
+	// Core configures the per-shard pipelines (resolution, sensor model,
+	// cache shape, RT tracing, arena allocation). The cache bucket budget
+	// Core.CacheBuckets is divided evenly across shards (floored at
+	// MinShardBuckets), so total cache memory is shard-count independent.
+	Core core.Config
+	// Shards is the number of spatial partitions, rounded up to a power
+	// of two. Values below 1 mean 1; values above MaxShards are an error.
+	Shards int
+}
+
+// shardState is one spatial partition: a single-threaded serial OctoCache
+// pipeline guarded by its own mutex.
+type shardState struct {
+	mu   sync.Mutex
+	pipe core.BatchMapper
+}
+
+// Map is a sharded occupancy map. All exported methods are safe for
+// concurrent use by any number of goroutines; consistency is per-voxel
+// sequential (each voxel's update stream is serialized by its owning
+// shard's mutex). Cross-shard snapshots (Timings, ShardStats, CastRay)
+// are composed shard-by-shard and so reflect a slightly time-smeared view
+// while producers are active — exact once quiescent.
+type Map struct {
+	cfg  core.Config
+	bits int
+
+	shards []*shardState
+
+	// tracers and routes recycle the per-producer scratch (a ray tracer
+	// and one pending-cells slice per shard) so concurrent Insert calls
+	// don't allocate per scan.
+	tracers sync.Pool
+	routes  sync.Pool
+
+	// closeMu lets Insert run shared while Close runs exclusive, so the
+	// final flush never overlaps an in-flight insertion.
+	closeMu sync.RWMutex
+	closed  bool
+
+	batches atomic.Int64
+	rayNS   atomic.Int64
+	critNS  atomic.Int64
+}
+
+// New creates a sharded map. The shard count is rounded up to a power of
+// two so the shard index is a Morton-prefix extraction.
+func New(cfg Config) (*Map, error) {
+	n := cfg.Shards
+	if n < 1 {
+		n = 1
+	}
+	if n > MaxShards {
+		return nil, fmt.Errorf("shard: Shards must be <= %d, got %d", MaxShards, cfg.Shards)
+	}
+	bits := 0
+	for 1<<bits < n {
+		bits++
+	}
+	n = 1 << bits
+
+	shardCfg := cfg.Core
+	if per := shardCfg.CacheBuckets / n; per >= MinShardBuckets {
+		shardCfg.CacheBuckets = per
+	} else if shardCfg.CacheBuckets > 0 {
+		shardCfg.CacheBuckets = MinShardBuckets
+	}
+
+	m := &Map{cfg: shardCfg, bits: bits, shards: make([]*shardState, n)}
+	for i := range m.shards {
+		pipe, err := core.NewShardPipeline(shardCfg)
+		if err != nil {
+			return nil, err
+		}
+		m.shards[i] = &shardState{pipe: pipe}
+	}
+	tracerCfg := raytrace.Config{
+		Resolution: shardCfg.Octree.Resolution,
+		Depth:      shardCfg.Octree.Depth,
+		MaxRange:   shardCfg.MaxRange,
+	}
+	m.tracers.New = func() any { return raytrace.NewTracer(tracerCfg) }
+	m.routes.New = func() any {
+		r := make([][]raytrace.Voxel, n)
+		return &r
+	}
+	return m, nil
+}
+
+// NumShards returns the shard count (a power of two).
+func (m *Map) NumShards() int { return len(m.shards) }
+
+// Name identifies the service for reports.
+func (m *Map) Name() string {
+	return fmt.Sprintf("octocache-sharded-%d", len(m.shards))
+}
+
+// Resolution returns the voxel edge length in meters.
+func (m *Map) Resolution() float64 { return m.cfg.Octree.Resolution }
+
+func (m *Map) shardFor(k octree.Key) *shardState {
+	return m.shards[morton.ShardIndex(k.Morton(), m.bits)]
+}
+
+// Insert integrates one sensor scan. It is safe to call from many
+// goroutines concurrently: the scan is traced once with a pooled tracer,
+// the traced cells are routed by Morton prefix, and each shard's slice is
+// applied under that shard's lock. Returns ErrClosed after Close.
+func (m *Map) Insert(origin geom.Vec3, points []geom.Vec3) error {
+	m.closeMu.RLock()
+	defer m.closeMu.RUnlock()
+	if m.closed {
+		return ErrClosed
+	}
+	start := time.Now()
+
+	tracer := m.tracers.Get().(*raytrace.Tracer)
+	t0 := time.Now()
+	var batch []raytrace.Voxel
+	if m.cfg.RT {
+		batch = tracer.TraceRT(origin, points)
+	} else {
+		batch = tracer.Trace(origin, points)
+	}
+	m.rayNS.Add(int64(time.Since(t0)))
+
+	rp := m.routes.Get().(*[][]raytrace.Voxel)
+	route := *rp
+	for _, v := range batch {
+		s := morton.ShardIndex(v.Key.Morton(), m.bits)
+		route[s] = append(route[s], v)
+	}
+	m.tracers.Put(tracer)
+
+	for i, cells := range route {
+		if len(cells) == 0 {
+			continue
+		}
+		sh := m.shards[i]
+		sh.mu.Lock()
+		sh.pipe.ApplyTraced(cells)
+		sh.mu.Unlock()
+		route[i] = cells[:0]
+	}
+	m.routes.Put(rp)
+
+	m.batches.Add(1)
+	m.critNS.Add(int64(time.Since(start)))
+	return nil
+}
+
+// InsertPointCloud is Insert with the seed API's panic-on-misuse
+// behaviour, so a sharded map slots in wherever a core pipeline is
+// driven.
+//
+// Deprecated: use Insert, which reports ErrClosed instead of panicking.
+func (m *Map) InsertPointCloud(origin geom.Vec3, points []geom.Vec3) {
+	if err := m.Insert(origin, points); err != nil {
+		panic(err)
+	}
+}
+
+// OccupancyKey returns the accumulated log-odds of the voxel at k,
+// resolved by its owning shard (cache first, shard octree on miss).
+func (m *Map) OccupancyKey(k octree.Key) (logOdds float32, known bool) {
+	sh := m.shardFor(k)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.pipe.OccupancyKey(k)
+}
+
+// Occupancy is the coordinate-space variant of OccupancyKey.
+func (m *Map) Occupancy(p geom.Vec3) (logOdds float32, known bool) {
+	k, ok := octree.CoordToKey(p, m.cfg.Octree.Resolution, m.cfg.Octree.Depth)
+	if !ok {
+		return 0, false
+	}
+	return m.OccupancyKey(k)
+}
+
+// OccupiedKey reports whether the voxel at k is known-occupied.
+func (m *Map) OccupiedKey(k octree.Key) bool {
+	l, known := m.OccupancyKey(k)
+	return known && l >= m.cfg.Octree.OccupancyThreshold
+}
+
+// Occupied reports whether the voxel containing p is known-occupied.
+func (m *Map) Occupied(p geom.Vec3) bool {
+	l, known := m.Occupancy(p)
+	return known && l >= m.cfg.Octree.OccupancyThreshold
+}
+
+// CastRay walks from origin along dir until it enters a known-occupied
+// voxel or exceeds maxRange. Each step queries the voxel's owning shard,
+// so the walk crosses shard boundaries transparently; voxels are sampled
+// one at a time, so a ray racing concurrent producers sees each voxel's
+// freshest state rather than one atomic snapshot of all shards.
+func (m *Map) CastRay(origin, dir geom.Vec3, maxRange float64, ignoreUnknown bool) (hit geom.Vec3, ok bool) {
+	return core.CastRayKeys(m.cfg.Octree, m.OccupancyKey, origin, dir, maxRange, ignoreUnknown)
+}
+
+// Close flushes every shard's cache into its octree and rejects further
+// insertions with ErrClosed. The map remains queryable. Close is
+// idempotent and safe to call concurrently with Insert: it waits for
+// in-flight insertions to drain before flushing.
+func (m *Map) Close() error {
+	m.closeMu.Lock()
+	defer m.closeMu.Unlock()
+	if m.closed {
+		return nil
+	}
+	m.closed = true
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		sh.pipe.Finalize()
+		sh.mu.Unlock()
+	}
+	return nil
+}
+
+// Finalize is Close for call sites written against the core.Mapper
+// lifecycle; Close never fails, so the error is discarded.
+func (m *Map) Finalize() { _ = m.Close() }
+
+// Timings aggregates the per-shard stage decompositions. RayTracing,
+// Critical and Batches accrue at the router (tracing happens outside
+// shard locks); the remaining stages sum over shards, so with concurrent
+// producers the stage times represent total work, not wall clock.
+func (m *Map) Timings() core.Timings {
+	var t core.Timings
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		t = t.Add(sh.pipe.Timings())
+		sh.mu.Unlock()
+	}
+	t.Batches = m.batches.Load()
+	t.RayTracing = time.Duration(m.rayNS.Load())
+	t.Critical = time.Duration(m.critNS.Load())
+	return t
+}
+
+// CacheStats merges the per-shard cache counters.
+func (m *Map) CacheStats() cache.Stats {
+	var s cache.Stats
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		s = s.Add(sh.pipe.CacheStats())
+		sh.mu.Unlock()
+	}
+	return s
+}
+
+// ShardStat describes one shard's live state.
+type ShardStat struct {
+	// Shard is the shard index (its Morton prefix).
+	Shard int
+	// TreeNodes is the shard octree's node count.
+	TreeNodes int
+	// TreeBytes estimates the shard octree's heap footprint.
+	TreeBytes int64
+	// QueueDepth is the number of cells parked in the shard's cache
+	// awaiting eviction or the Close flush — the shard's pending-write
+	// backlog.
+	QueueDepth int
+	// Cache holds the shard's cache behaviour counters.
+	Cache cache.Stats
+}
+
+// ShardStats snapshots every shard. Shards are locked one at a time, so
+// the slice is exact per-shard but time-smeared across shards while
+// producers are active.
+func (m *Map) ShardStats() []ShardStat {
+	out := make([]ShardStat, len(m.shards))
+	for i, sh := range m.shards {
+		sh.mu.Lock()
+		tree := sh.pipe.Tree()
+		out[i] = ShardStat{
+			Shard:      i,
+			TreeNodes:  tree.NumNodes(),
+			TreeBytes:  tree.MemoryBytes(),
+			QueueDepth: sh.pipe.CacheLen(),
+			Cache:      sh.pipe.CacheStats(),
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// MergedTree builds a single octree holding every shard's flushed state,
+// for serialization and whole-map consumers. Shards own disjoint unions
+// of subtrees, so the merge is a lossless leaf-by-leaf replay. Call after
+// Close for a complete map — before that, cells still parked in shard
+// caches are not yet in any octree and are absent from the merge.
+func (m *Map) MergedTree() *octree.Tree {
+	dst := octree.New(m.cfg.Octree)
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		sh.pipe.Tree().Walk(func(l octree.Leaf) bool {
+			dst.SetLeafAt(l.Key, l.Depth, l.LogOdds)
+			return true
+		})
+		sh.mu.Unlock()
+	}
+	return dst
+}

@@ -20,25 +20,46 @@
 // Quick start:
 //
 //	m := octocache.New(octocache.Options{Resolution: 0.1})
-//	m.InsertPointCloud(sensorOrigin, points) // []geom.Vec3 world coords
-//	if m.Occupied(p) { ... }                 // consistent with OctoMap
-//	m.Finalize()                             // flush into the octree
+//	m.Insert(sensorOrigin, points) // []octocache.Vec3 world coords
+//	if m.Occupied(p) { ... }       // consistent with OctoMap
+//	m.Close()                      // flush into the octree
 //
 // Query results are bit-identical to vanilla OctoMap's at every point in
 // the stream — the repository's consistency tests enforce it.
 //
-// The public API wraps internal/core; the substrate packages (octree,
-// cache, Morton codes, ray tracing, simulation stack) live under
-// internal/ and are exercised through the examples, the cmd/ tools, and
-// the benchmark harness that regenerates the paper's evaluation.
+// # Concurrent use
+//
+// By default a Map must be driven from one goroutine (ModeParallel
+// manages its own background worker internally). Setting Options.Shards
+// to 1 or more turns the Map into a sharded concurrent service: space is
+// partitioned across that many independent OctoCache pipelines keyed by
+// the top bits of each voxel's Morton code, every method becomes safe
+// for concurrent use by any number of goroutines, and Insert calls from
+// distinct producers contend only when their scans land on the same
+// shard. Queries contend only on the shard that owns the queried voxel.
+//
+// Sharded maps answer queries bit-identical to ModeSerial when driven
+// sequentially; under concurrent producers each voxel's update stream is
+// serialized by its owning shard, so per-voxel results remain exact
+// while cross-voxel snapshots are only as atomic as the caller's own
+// synchronization. When Shards >= 1 the Mode option is ignored.
+//
+// The public API wraps internal/core and internal/shard; the substrate
+// packages (octree, cache, Morton codes, ray tracing, simulation stack)
+// live under internal/ and are exercised through the examples, the cmd/
+// tools, and the benchmark harness that regenerates the paper's
+// evaluation.
 package octocache
 
 import (
+	"fmt"
 	"io"
+	"sync/atomic"
 
 	"octocache/internal/core"
 	"octocache/internal/geom"
 	"octocache/internal/octree"
+	"octocache/internal/shard"
 )
 
 // Vec3 is a world-space point or direction in meters.
@@ -46,6 +67,16 @@ type Vec3 = geom.Vec3
 
 // V constructs a Vec3.
 func V(x, y, z float64) Vec3 { return geom.V(x, y, z) }
+
+// Key addresses a single voxel: the discretized (X, Y, Z) coordinate in
+// the map's key space. Obtain one with Map.CoordToKey; key-space queries
+// (Map.OccupiedKey) skip the coordinate discretization on hot paths that
+// already work in voxel units.
+type Key = octree.Key
+
+// ErrClosed is returned by Insert once the map has been closed: the map
+// remains queryable forever, but accepts no further observations.
+var ErrClosed = shard.ErrClosed
 
 // Mode selects the pipeline variant.
 type Mode int
@@ -67,14 +98,23 @@ const (
 type Options struct {
 	// Resolution is the voxel edge length in meters (e.g. 0.05–1.0).
 	Resolution float64
-	// Mode selects the pipeline; the default is ModeParallel.
+	// Mode selects the pipeline; the default is ModeParallel. Ignored
+	// when Shards >= 1.
 	Mode Mode
+	// Shards, when 1 or more, partitions space across that many
+	// independent pipelines (rounded up to a power of two, at most
+	// MaxShards) and makes the Map safe for concurrent use — see the
+	// package documentation's "Concurrent use" section. A 1-shard map
+	// is still concurrency-safe; 0 selects the classic single-driver
+	// pipelines.
+	Shards int
 	// MaxRange truncates sensor rays beyond this distance in meters;
 	// 0 disables truncation.
 	MaxRange float64
 	// CacheBuckets is the cache width w (rounded up to a power of two).
 	// 0 uses the paper's UAV setting of 512K buckets. Size it at roughly
-	// 3-4x the distinct voxels per scan divided by CacheTau.
+	// 3-4x the distinct voxels per scan divided by CacheTau. Sharded maps
+	// divide the budget evenly across shards.
 	CacheBuckets int
 	// CacheTau is the per-bucket cell bound τ after eviction; 0 uses the
 	// paper's default of 4.
@@ -87,12 +127,19 @@ type Options struct {
 	Arena bool
 }
 
+// MaxShards bounds Options.Shards.
+const MaxShards = shard.MaxShards
+
 // Map is a 3D occupancy map with an OctoMap-compatible query interface.
-// A Map must be driven from one goroutine; ModeParallel manages its own
-// background worker internally.
+// With Options.Shards == 0 a Map must be driven from one goroutine
+// (ModeParallel manages its own background worker internally); with
+// Shards >= 1 all methods are safe for concurrent use.
 type Map struct {
-	mapper core.Mapper
-	cfg    core.Config
+	// Exactly one of mapper/sharded is non-nil.
+	mapper  core.Mapper
+	sharded *shard.Map
+	cfg     core.Config
+	closed  atomic.Bool // single-driver lifecycle; sharded tracks its own
 }
 
 // New creates a Map. It panics on invalid options; use NewChecked to
@@ -107,6 +154,15 @@ func New(opts Options) *Map {
 
 // NewChecked creates a Map, validating the options.
 func NewChecked(opts Options) (*Map, error) {
+	if opts.CacheBuckets < 0 {
+		return nil, fmt.Errorf("octocache: CacheBuckets must be >= 0, got %d", opts.CacheBuckets)
+	}
+	if opts.CacheTau < 0 {
+		return nil, fmt.Errorf("octocache: CacheTau must be >= 0, got %d", opts.CacheTau)
+	}
+	if opts.Shards < 0 {
+		return nil, fmt.Errorf("octocache: Shards must be >= 0, got %d", opts.Shards)
+	}
 	cfg := core.DefaultConfig(opts.Resolution)
 	cfg.MaxRange = opts.MaxRange
 	cfg.RT = opts.DedupRays
@@ -117,6 +173,15 @@ func NewChecked(opts Options) (*Map, error) {
 	if opts.CacheTau > 0 {
 		cfg.CacheTau = opts.CacheTau
 	}
+
+	if opts.Shards >= 1 {
+		sm, err := shard.New(shard.Config{Core: cfg, Shards: opts.Shards})
+		if err != nil {
+			return nil, err
+		}
+		return &Map{sharded: sm, cfg: cfg}, nil
+	}
+
 	kind := core.KindParallel
 	switch opts.Mode {
 	case ModeOctoMap:
@@ -131,20 +196,79 @@ func NewChecked(opts Options) (*Map, error) {
 	return &Map{mapper: mapper, cfg: cfg}, nil
 }
 
-// InsertPointCloud integrates one sensor scan: points (world coordinates)
-// observed from origin. Each point contributes an occupied observation at
-// its voxel and free observations along the ray from origin.
-func (m *Map) InsertPointCloud(origin Vec3, points []Vec3) {
+// Insert integrates one sensor scan: points (world coordinates) observed
+// from origin. Each point contributes an occupied observation at its
+// voxel and free observations along the ray from origin. It returns
+// ErrClosed after Close; sharded maps accept concurrent Insert calls
+// from any number of goroutines.
+func (m *Map) Insert(origin Vec3, points []Vec3) error {
+	if m.sharded != nil {
+		return m.sharded.Insert(origin, points)
+	}
+	if m.closed.Load() {
+		return ErrClosed
+	}
 	m.mapper.InsertPointCloud(origin, points)
+	return nil
+}
+
+// InsertPointCloud is Insert with the legacy panic-on-misuse behaviour.
+//
+// Deprecated: use Insert, which reports ErrClosed instead of panicking
+// when the map has been closed.
+func (m *Map) InsertPointCloud(origin Vec3, points []Vec3) {
+	if err := m.Insert(origin, points); err != nil {
+		panic(err)
+	}
 }
 
 // Occupied reports whether the voxel containing p is known and occupied.
-func (m *Map) Occupied(p Vec3) bool { return m.mapper.Occupied(p) }
+func (m *Map) Occupied(p Vec3) bool {
+	if m.sharded != nil {
+		return m.sharded.Occupied(p)
+	}
+	return m.mapper.Occupied(p)
+}
 
 // Occupancy returns the voxel's accumulated log-odds occupancy; known is
 // false for never-observed voxels. Use Probability to convert.
 func (m *Map) Occupancy(p Vec3) (logOdds float32, known bool) {
+	if m.sharded != nil {
+		return m.sharded.Occupancy(p)
+	}
 	return m.mapper.Occupancy(p)
+}
+
+// OccupiedKey is the key-space variant of Occupied, for planners that
+// discretize once and probe many voxels.
+func (m *Map) OccupiedKey(k Key) bool {
+	if m.sharded != nil {
+		return m.sharded.OccupiedKey(k)
+	}
+	return m.mapper.OccupiedKey(k)
+}
+
+// CoordToKey discretizes a world coordinate into the map's key space; ok
+// is false when p lies outside the mapped volume.
+func (m *Map) CoordToKey(p Vec3) (k Key, ok bool) {
+	return octree.CoordToKey(p, m.cfg.Octree.Resolution, m.cfg.Octree.Depth)
+}
+
+// KeyToCoord returns the center of the voxel addressed by k.
+func (m *Map) KeyToCoord(k Key) Vec3 {
+	return octree.KeyToCoord(k, m.cfg.Octree.Resolution, m.cfg.Octree.Depth)
+}
+
+// CastRay walks from origin along dir until it enters a known-occupied
+// voxel or exceeds maxRange (0 means the map diameter), returning the
+// hit voxel's center. Unknown space is traversed when ignoreUnknown is
+// true and terminates the ray otherwise. Results reflect the freshest
+// combined cache+octree state, like point queries.
+func (m *Map) CastRay(origin, dir Vec3, maxRange float64, ignoreUnknown bool) (hit Vec3, ok bool) {
+	if m.sharded != nil {
+		return m.sharded.CastRay(origin, dir, maxRange, ignoreUnknown)
+	}
+	return m.mapper.CastRay(origin, dir, maxRange, ignoreUnknown)
 }
 
 // Probability converts a log-odds occupancy to a probability in (0, 1).
@@ -153,13 +277,44 @@ func Probability(logOdds float32) float64 { return octree.Probability(logOdds) }
 // Resolution returns the voxel edge length in meters.
 func (m *Map) Resolution() float64 { return m.cfg.Octree.Resolution }
 
-// Finalize flushes all cached voxels into the octree and stops background
-// work. The Map remains queryable; further insertions panic.
-func (m *Map) Finalize() { m.mapper.Finalize() }
+// Shards returns the effective shard count: 1 for single-driver maps,
+// the rounded-up power of two otherwise.
+func (m *Map) Shards() int {
+	if m.sharded != nil {
+		return m.sharded.NumShards()
+	}
+	return 1
+}
 
-// WriteTo serializes the finished octree. Call Finalize first so the
-// octree holds the complete map.
-func (m *Map) WriteTo(w io.Writer) (int64, error) { return m.mapper.Tree().WriteTo(w) }
+// Close flushes all cached voxels into the octree and stops background
+// work. The Map remains queryable; further Insert calls return
+// ErrClosed. Close is idempotent and never fails; it returns an error
+// only to satisfy io.Closer-style call sites.
+func (m *Map) Close() error {
+	if m.sharded != nil {
+		return m.sharded.Close()
+	}
+	if !m.closed.Swap(true) {
+		m.mapper.Finalize()
+	}
+	return nil
+}
+
+// Finalize is Close for call sites written against the seed API.
+//
+// Deprecated: use Close.
+func (m *Map) Finalize() { _ = m.Close() }
+
+// WriteTo serializes the finished octree. Call Close first so the octree
+// holds the complete map; sharded maps are merged into one octree
+// (shards own disjoint subtrees, so the merge is lossless and matches
+// the serialization an unsharded map of the same stream would produce).
+func (m *Map) WriteTo(w io.Writer) (int64, error) {
+	if m.sharded != nil {
+		return m.sharded.MergedTree().WriteTo(w)
+	}
+	return m.mapper.Tree().WriteTo(w)
+}
 
 // Stats reports cache and pipeline behaviour counters.
 type Stats struct {
@@ -171,15 +326,34 @@ type Stats struct {
 	VoxelsToOctree int64
 	// Batches counts inserted point clouds.
 	Batches int64
-	// TreeNodes is the octree's current node count.
+	// TreeNodes is the octree's current node count (summed over shards).
 	TreeNodes int
-	// TreeBytes estimates the octree's heap footprint.
+	// TreeBytes estimates the octree's heap footprint (summed over shards).
 	TreeBytes int64
+	// Shards is the effective shard count (1 for single-driver maps).
+	Shards int
 }
 
-// Stats returns a snapshot of behaviour counters. With ModeParallel, call
-// it between insertions or after Finalize.
+// Stats returns a snapshot of behaviour counters. With ModeParallel,
+// call it between insertions or after Close; sharded maps may call it
+// at any time from any goroutine.
 func (m *Map) Stats() Stats {
+	if m.sharded != nil {
+		tm := m.sharded.Timings()
+		cs := m.sharded.CacheStats()
+		st := Stats{
+			CacheHitRate:   cs.HitRate(),
+			VoxelsTraced:   tm.VoxelsTraced,
+			VoxelsToOctree: tm.VoxelsToOctree,
+			Batches:        tm.Batches,
+			Shards:         m.sharded.NumShards(),
+		}
+		for _, s := range m.sharded.ShardStats() {
+			st.TreeNodes += s.TreeNodes
+			st.TreeBytes += s.TreeBytes
+		}
+		return st
+	}
 	tm := m.mapper.Timings()
 	cs := m.mapper.CacheStats()
 	tree := m.mapper.Tree()
@@ -190,5 +364,42 @@ func (m *Map) Stats() Stats {
 		Batches:        tm.Batches,
 		TreeNodes:      tree.NumNodes(),
 		TreeBytes:      tree.MemoryBytes(),
+		Shards:         1,
 	}
+}
+
+// ShardStat describes one shard of a sharded map.
+type ShardStat struct {
+	// Shard is the shard index (its Morton prefix).
+	Shard int
+	// TreeNodes is the shard octree's node count.
+	TreeNodes int
+	// TreeBytes estimates the shard octree's heap footprint.
+	TreeBytes int64
+	// QueueDepth is the number of cells parked in the shard's cache
+	// awaiting eviction or the Close flush.
+	QueueDepth int
+	// CacheHitRate is the fraction of the shard's voxel updates absorbed
+	// by its cache.
+	CacheHitRate float64
+}
+
+// ShardStats snapshots every shard of a sharded map; it returns nil for
+// single-driver maps.
+func (m *Map) ShardStats() []ShardStat {
+	if m.sharded == nil {
+		return nil
+	}
+	raw := m.sharded.ShardStats()
+	out := make([]ShardStat, len(raw))
+	for i, s := range raw {
+		out[i] = ShardStat{
+			Shard:        s.Shard,
+			TreeNodes:    s.TreeNodes,
+			TreeBytes:    s.TreeBytes,
+			QueueDepth:   s.QueueDepth,
+			CacheHitRate: s.Cache.HitRate(),
+		}
+	}
+	return out
 }

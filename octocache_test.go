@@ -166,3 +166,153 @@ func TestArenaOptionAgreesWithHeap(t *testing.T) {
 	a.Finalize()
 	b.Finalize()
 }
+
+func TestNewCheckedRejectsNegativeOptions(t *testing.T) {
+	cases := []Options{
+		{Resolution: 0.1, CacheBuckets: -1},
+		{Resolution: 0.1, CacheTau: -3},
+		{Resolution: 0.1, Shards: -2},
+		{Resolution: 0.1, Shards: MaxShards * 2},
+	}
+	for i, opts := range cases {
+		if _, err := NewChecked(opts); err == nil {
+			t.Errorf("case %d: invalid options %+v accepted", i, opts)
+		}
+	}
+}
+
+func TestShardedAgreesWithSerial(t *testing.T) {
+	ref := New(Options{Resolution: 0.1, Mode: ModeSerial, CacheBuckets: 1 << 12})
+	sh := New(Options{Resolution: 0.1, Shards: 4, CacheBuckets: 1 << 12})
+	if sh.Shards() != 4 || ref.Shards() != 1 {
+		t.Fatalf("Shards() = %d / %d", sh.Shards(), ref.Shards())
+	}
+	rng := rand.New(rand.NewSource(7))
+	origins := []Vec3{V(0, 0, 1), V(-2, 1, 0.5)}
+	var probes []Vec3
+	for batch := 0; batch < 6; batch++ {
+		origin := origins[batch%2]
+		pts := scanRing(origin, 1.5+rng.Float64()*2, 120)
+		ref.InsertPointCloud(origin, pts)
+		if err := sh.Insert(origin, pts); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+		probes = append(probes, pts[:15]...)
+		for _, p := range probes {
+			l0, k0 := ref.Occupancy(p)
+			l1, k1 := sh.Occupancy(p)
+			if l0 != l1 || k0 != k1 {
+				t.Fatalf("batch %d: disagree at %v: (%v,%v) vs (%v,%v)", batch, p, l1, k1, l0, k0)
+			}
+		}
+	}
+
+	// Key-space and ray queries agree through the public API.
+	k, ok := sh.CoordToKey(probes[0])
+	if !ok {
+		t.Fatal("probe outside map")
+	}
+	if sh.OccupiedKey(k) != ref.OccupiedKey(k) {
+		t.Error("OccupiedKey disagrees")
+	}
+	if c := sh.KeyToCoord(k); c.Sub(probes[0]).Norm() > 0.1*math.Sqrt(3) {
+		t.Errorf("KeyToCoord(%v) = %v, too far from %v", k, c, probes[0])
+	}
+	h0, ok0 := ref.CastRay(V(0, 0, 1), V(1, 0.2, 0), 8, true)
+	h1, ok1 := sh.CastRay(V(0, 0, 1), V(1, 0.2, 0), 8, true)
+	if ok0 != ok1 || h0 != h1 {
+		t.Errorf("CastRay disagrees: (%v,%v) vs (%v,%v)", h1, ok1, h0, ok0)
+	}
+
+	// Closed maps still agree, and serialize to identical bytes.
+	if err := ref.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if _, err := ref.WriteTo(&a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sh.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("sharded serialization differs from serial")
+	}
+}
+
+func TestInsertAfterCloseReturnsErrClosed(t *testing.T) {
+	for _, opts := range []Options{
+		{Resolution: 0.1, Mode: ModeSerial, CacheBuckets: 1 << 10},
+		{Resolution: 0.1, Shards: 2, CacheBuckets: 1 << 10},
+	} {
+		m := New(opts)
+		origin := V(0, 0, 1)
+		pts := scanRing(origin, 2, 50)
+		if err := m.Insert(origin, pts); err != nil {
+			t.Fatalf("%+v: Insert: %v", opts, err)
+		}
+		if err := m.Close(); err != nil {
+			t.Fatalf("%+v: Close: %v", opts, err)
+		}
+		if err := m.Close(); err != nil {
+			t.Fatalf("%+v: second Close: %v", opts, err)
+		}
+		if err := m.Insert(origin, pts); err != ErrClosed {
+			t.Errorf("%+v: Insert after Close = %v, want ErrClosed", opts, err)
+		}
+		if !m.Occupied(pts[0]) {
+			t.Errorf("%+v: closed map lost its content", opts)
+		}
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%+v: InsertPointCloud after Close did not panic", opts)
+				}
+			}()
+			m.InsertPointCloud(origin, pts)
+		}()
+	}
+}
+
+func TestShardedStats(t *testing.T) {
+	m := New(Options{Resolution: 0.1, Shards: 3, CacheBuckets: 1 << 10})
+	if m.Shards() != 4 {
+		t.Errorf("Shards() = %d, want 4 (rounded up)", m.Shards())
+	}
+	origin := V(0, 0, 1)
+	for i := 0; i < 3; i++ {
+		if err := m.Insert(origin, scanRing(origin, 2.5, 150)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Stats()
+	if st.Shards != 4 || st.Batches != 3 || st.VoxelsTraced == 0 || st.TreeNodes == 0 {
+		t.Errorf("stats incomplete: %+v", st)
+	}
+	per := m.ShardStats()
+	if len(per) != 4 {
+		t.Fatalf("ShardStats len = %d", len(per))
+	}
+	sum := 0
+	for _, s := range per {
+		if s.QueueDepth != 0 {
+			t.Errorf("shard %d queue depth %d after Close", s.Shard, s.QueueDepth)
+		}
+		sum += s.TreeNodes
+	}
+	if sum != st.TreeNodes {
+		t.Errorf("per-shard nodes %d != aggregate %d", sum, st.TreeNodes)
+	}
+	// Single-driver maps report no per-shard breakdown.
+	u := New(Options{Resolution: 0.1, Mode: ModeSerial, CacheBuckets: 1 << 10})
+	if u.ShardStats() != nil {
+		t.Error("unsharded ShardStats not nil")
+	}
+	u.Close()
+}
