@@ -27,6 +27,7 @@ func main() {
 	var (
 		dsName    = flag.String("dataset", "fr079", "dataset: fr079, campus, or newcollege")
 		shards    = flag.Int("shards", 8, "shard count (rounded up to a power of two)")
+		mode      = flag.String("mode", "parallel", "per-shard pipeline: parallel (background octree applier), serial, or octomap")
 		producers = flag.Int("producers", 4, "concurrent scan-inserting goroutines")
 		queriers  = flag.Int("queriers", 2, "concurrent query goroutines")
 		res       = flag.Float64("res", 0.1, "mapping resolution in meters")
@@ -47,8 +48,22 @@ func main() {
 	}
 	fmt.Printf("  %d scans, %d points\n", len(ds.Scans), ds.TotalPoints())
 
+	var md octocache.Mode
+	switch *mode {
+	case "parallel":
+		md = octocache.ModeParallel
+	case "serial":
+		md = octocache.ModeSerial
+	case "octomap":
+		md = octocache.ModeOctoMap
+	default:
+		fmt.Fprintf(os.Stderr, "mapserver: unknown -mode %q (want parallel, serial, or octomap)\n", *mode)
+		os.Exit(1)
+	}
+
 	m, err := octocache.NewChecked(octocache.Options{
 		Resolution: *res,
+		Mode:       md,
 		Shards:     *shards,
 		MaxRange:   ds.Sensor.MaxRange,
 	})
@@ -56,8 +71,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mapserver:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("serving %d shards to %d producers and %d queriers...\n",
-		m.Shards(), *producers, *queriers)
+	fmt.Printf("serving %d %s-pipeline shards to %d producers and %d queriers...\n",
+		m.Shards(), *mode, *producers, *queriers)
 
 	// Queriers probe scan endpoints (mix of occupied surfaces and not-yet
 	// -mapped space) and cast rays from scan origins until producers stop.

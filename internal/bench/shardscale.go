@@ -49,36 +49,42 @@ func runShardScale(opt Options) ([]*Table, error) {
 	t.AddRow("octocache-serial", "-", "1", fmtDur(baseWall),
 		fmt.Sprintf("%.1f", float64(baseTm.VoxelsTraced)/baseWall/1e6), fmtRatio(1))
 
+	// Each point runs serial-per-shard (octree application inline, inside
+	// the shard lock) against async-per-shard (application on the shard's
+	// background applier — the paper's two-thread schedule, per shard).
+	pipelines := []shard.Pipeline{shard.PipelineSerial, shard.PipelineAsync}
 	for _, shards := range []int{1, 2, 4, 8} {
 		for _, producers := range []int{1, 4} {
-			opt.logf("ext-shard: shards=%d producers=%d", shards, producers)
-			sm, err := shard.New(shard.Config{Core: cfg, Shards: shards})
-			if err != nil {
-				return nil, err
-			}
-			start := time.Now()
-			var wg sync.WaitGroup
-			for w := 0; w < producers; w++ {
-				wg.Add(1)
-				go func(w int) {
-					defer wg.Done()
-					for i := w; i < len(ds.Scans); i += producers {
-						s := ds.Scans[i]
-						if err := sm.Insert(s.Origin, s.Points); err != nil {
-							panic(err) // closed mid-run: harness bug
+			for _, pl := range pipelines {
+				opt.logf("ext-shard: shards=%d producers=%d pipeline=%d", shards, producers, int(pl))
+				sm, err := shard.New(shard.Config{Core: cfg, Shards: shards, Pipeline: pl})
+				if err != nil {
+					return nil, err
+				}
+				start := time.Now()
+				var wg sync.WaitGroup
+				for w := 0; w < producers; w++ {
+					wg.Add(1)
+					go func(w int) {
+						defer wg.Done()
+						for i := w; i < len(ds.Scans); i += producers {
+							s := ds.Scans[i]
+							if err := sm.Insert(s.Origin, s.Points); err != nil {
+								panic(err) // closed mid-run: harness bug
+							}
 						}
-					}
-				}(w)
+					}(w)
+				}
+				wg.Wait()
+				if err := sm.Close(); err != nil {
+					return nil, err
+				}
+				wall := time.Since(start).Seconds()
+				tm := sm.Timings()
+				t.AddRow(sm.Name(), fmt.Sprintf("%d", sm.NumShards()), fmt.Sprintf("%d", producers),
+					fmtDur(wall), fmt.Sprintf("%.1f", float64(tm.VoxelsTraced)/wall/1e6),
+					fmtRatio(baseWall/wall))
 			}
-			wg.Wait()
-			if err := sm.Close(); err != nil {
-				return nil, err
-			}
-			wall := time.Since(start).Seconds()
-			tm := sm.Timings()
-			t.AddRow(sm.Name(), fmt.Sprintf("%d", sm.NumShards()), fmt.Sprintf("%d", producers),
-				fmtDur(wall), fmt.Sprintf("%.1f", float64(tm.VoxelsTraced)/wall/1e6),
-				fmtRatio(baseWall/wall))
 		}
 	}
 	return []*Table{t}, nil

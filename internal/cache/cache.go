@@ -18,6 +18,7 @@ package cache
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"octocache/internal/octree"
 )
@@ -146,14 +147,23 @@ func (s Stats) HitRate() float64 {
 	return float64(s.Hits) / float64(s.Inserts)
 }
 
-// Cache is the OctoCache voxel cache. It is not safe for concurrent use;
-// the pipelines serialize access per the paper's threading design.
+// Cache is the OctoCache voxel cache. Mutators (Insert, Evict, Flush,
+// ResetStats) must be serialized by the caller, per the paper's
+// threading design. The read-only paths (Query, Occupied, Walk, Len and
+// the shape metrics) are safe for any number of concurrent readers as
+// long as no mutator is active — the sharded map service relies on this
+// to answer cache-hit queries under a shared lock. Query counters
+// therefore live in atomic side counters.
 type Cache struct {
 	cfg     Config
 	mask    uint64
 	buckets [][]Cell
 	cells   int
-	stats   Stats
+	// stats holds the mutator-side counters; queries/queryHits are kept
+	// atomically so concurrent readers can count themselves.
+	stats     Stats
+	queries   atomic.Int64
+	queryHits atomic.Int64
 }
 
 // New creates a cache. It panics on invalid configuration; use NewChecked
@@ -187,10 +197,20 @@ func NewChecked(cfg Config) (*Cache, error) {
 func (c *Cache) Config() Config { return c.cfg }
 
 // Stats returns a snapshot of the behaviour counters.
-func (c *Cache) Stats() Stats { return c.stats }
+func (c *Cache) Stats() Stats {
+	s := c.stats
+	s.Queries = c.queries.Load()
+	s.QueryHits = c.queryHits.Load()
+	return s
+}
 
-// ResetStats zeroes the behaviour counters.
-func (c *Cache) ResetStats() { c.stats = Stats{} }
+// ResetStats zeroes the behaviour counters. Call it only while no
+// concurrent readers are active.
+func (c *Cache) ResetStats() {
+	c.stats = Stats{}
+	c.queries.Store(0)
+	c.queryHits.Store(0)
+}
 
 // Len returns the number of cells currently held.
 func (c *Cache) Len() int { return c.cells }
@@ -268,13 +288,14 @@ func (c *Cache) clamp(l float32) float32 {
 }
 
 // Query returns the accumulated occupancy of k if cached. On (hit=false)
-// the caller must consult the backing octree.
+// the caller must consult the backing octree. Query is safe for
+// concurrent readers while no mutator is active.
 func (c *Cache) Query(k octree.Key) (logOdds float32, hit bool) {
-	c.stats.Queries++
+	c.queries.Add(1)
 	bucket := c.buckets[c.bucketIndex(k)]
 	for i := range bucket {
 		if bucket[i].Key == k {
-			c.stats.QueryHits++
+			c.queryHits.Add(1)
 			return bucket[i].LogOdds, true
 		}
 	}

@@ -58,21 +58,24 @@ func (m *voxelCacheMapper) Name() string {
 	return "voxelcache"
 }
 
+// InsertPointCloud is Insert with the seed API's panic-on-misuse
+// behaviour.
+//
+// Deprecated: use Insert, which reports ErrClosed instead of panicking.
 func (m *voxelCacheMapper) InsertPointCloud(origin geom.Vec3, points []geom.Vec3) {
+	if err := m.Insert(origin, points); err != nil {
+		panic("core: InsertPointCloud after Finalize: " + err.Error())
+	}
+}
+
+func (m *voxelCacheMapper) Insert(origin geom.Vec3, points []geom.Vec3) error {
 	if m.done {
-		panic("core: InsertPointCloud after Finalize")
+		return ErrClosed
 	}
 	start := time.Now()
-	t0 := time.Now()
-	var batch []raytrace.Voxel
-	if m.cfg.RT {
-		batch = m.tracer.TraceRT(origin, points)
-	} else {
-		batch = m.tracer.Trace(origin, points)
-	}
-	m.timings.RayTracing += time.Since(t0)
+	batch := traceScan(m.tracer, m.cfg.RT, origin, points, &m.timings)
 
-	t0 = time.Now()
+	t0 := time.Now()
 	for _, v := range batch {
 		m.tree.Update(v.Key, v.Occupied)
 	}
@@ -82,6 +85,7 @@ func (m *voxelCacheMapper) InsertPointCloud(origin geom.Vec3, points []geom.Vec3
 	m.timings.VoxelsTraced += int64(len(batch))
 	m.timings.VoxelsToOctree += int64(len(batch))
 	m.timings.Critical += time.Since(start)
+	return nil
 }
 
 func (m *voxelCacheMapper) Occupancy(p geom.Vec3) (float32, bool) {
@@ -167,21 +171,24 @@ func (m *naiveMapper) Name() string {
 	return "naive-parallel"
 }
 
+// InsertPointCloud is Insert with the seed API's panic-on-misuse
+// behaviour.
+//
+// Deprecated: use Insert, which reports ErrClosed instead of panicking.
 func (m *naiveMapper) InsertPointCloud(origin geom.Vec3, points []geom.Vec3) {
+	if err := m.Insert(origin, points); err != nil {
+		panic("core: InsertPointCloud after Finalize: " + err.Error())
+	}
+}
+
+func (m *naiveMapper) Insert(origin geom.Vec3, points []geom.Vec3) error {
 	if m.done {
-		panic("core: InsertPointCloud after Finalize")
+		return ErrClosed
 	}
 	start := time.Now()
-	t0 := time.Now()
-	var batch []raytrace.Voxel
-	if m.cfg.RT {
-		batch = m.tracer.TraceRT(origin, points)
-	} else {
-		batch = m.tracer.Trace(origin, points)
-	}
-	m.timings.RayTracing += time.Since(t0)
+	batch := traceScan(m.tracer, m.cfg.RT, origin, points, &m.timings)
 
-	t0 = time.Now()
+	t0 := time.Now()
 	var wg sync.WaitGroup
 	chunk := (len(batch) + m.workers - 1) / m.workers
 	for w := 0; w < m.workers; w++ {
@@ -212,6 +219,7 @@ func (m *naiveMapper) InsertPointCloud(origin geom.Vec3, points []geom.Vec3) {
 	m.timings.VoxelsTraced += int64(len(batch))
 	m.timings.VoxelsToOctree += int64(len(batch))
 	m.timings.Critical += time.Since(start)
+	return nil
 }
 
 // Note: interleaving across workers reorders same-voxel updates within a

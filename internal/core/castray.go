@@ -82,37 +82,10 @@ func CastRayKeys(params octree.Params, occ func(octree.Key) (float32, bool),
 	return geom.Vec3{}, false
 }
 
-// CastRay on each pipeline: walk toward dir until a known-occupied voxel,
-// consulting the freshest state the pipeline has (cache first, octree on
-// miss). ignoreUnknown selects whether unknown space is traversable.
-
-func (m *octoMap) CastRay(origin, dir geom.Vec3, maxRange float64, ignoreUnknown bool) (geom.Vec3, bool) {
-	return CastRayKeys(m.cfg.Octree, m.tree.Search, origin, dir, maxRange, ignoreUnknown)
-}
-
-func (m *serialMapper) CastRay(origin, dir geom.Vec3, maxRange float64, ignoreUnknown bool) (geom.Vec3, bool) {
-	occ := func(k octree.Key) (float32, bool) {
-		if l, hit := m.cache.Query(k); hit {
-			return l, true
-		}
-		return m.tree.Search(k)
-	}
-	return CastRayKeys(m.cfg.Octree, occ, origin, dir, maxRange, ignoreUnknown)
-}
-
-func (m *parallelMapper) CastRay(origin, dir geom.Vec3, maxRange float64, ignoreUnknown bool) (geom.Vec3, bool) {
-	// Drain pending octree writes once, then hold the mutex for the walk.
-	m.quiesce()
-	m.treeMu.Lock()
-	defer m.treeMu.Unlock()
-	occ := func(k octree.Key) (float32, bool) {
-		if l, hit := m.cache.Query(k); hit {
-			return l, true
-		}
-		return m.tree.Search(k)
-	}
-	return CastRayKeys(m.cfg.Octree, occ, origin, dir, maxRange, ignoreUnknown)
-}
+// CastRay on the baseline pipelines outside the engine: walk toward dir
+// until a known-occupied voxel, consulting the freshest state the
+// pipeline has. (The engine compositions implement CastRay themselves;
+// see engine.go.)
 
 func (m *voxelCacheMapper) CastRay(origin, dir geom.Vec3, maxRange float64, ignoreUnknown bool) (geom.Vec3, bool) {
 	return CastRayKeys(m.cfg.Octree, m.tree.Search, origin, dir, maxRange, ignoreUnknown)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -260,6 +261,38 @@ func TestFinalizeIdempotentAndTerminal(t *testing.T) {
 			}()
 			m.InsertPointCloud(geom.V(0, 0, 1), []geom.Vec3{geom.V(2, 0, 1)})
 		}()
+	}
+}
+
+func TestInsertAfterFinalizeReturnsErrClosed(t *testing.T) {
+	// The error-based lifecycle: every pipeline reports ErrClosed from
+	// Insert (and the batch entry points) after Finalize, while staying
+	// queryable; only the deprecated InsertPointCloud wrapper panics.
+	for _, kind := range allKinds() {
+		m := MustNew(kind, testConfig())
+		if err := m.Insert(geom.V(0, 0, 1), []geom.Vec3{geom.V(2, 0, 1)}); err != nil {
+			t.Fatalf("%v: Insert before Finalize: %v", kind, err)
+		}
+		m.Finalize()
+		if err := m.Insert(geom.V(0, 0, 1), []geom.Vec3{geom.V(2, 0, 1)}); !errors.Is(err, ErrClosed) {
+			t.Errorf("%v: Insert after Finalize = %v, want ErrClosed", kind, err)
+		}
+		if _, known := m.Occupancy(geom.V(2, 0, 1)); !known {
+			t.Errorf("%v: finalized pipeline lost its content", kind)
+		}
+	}
+	for _, kind := range []Kind{KindSerial, KindParallel, KindOctoMap} {
+		bm, err := NewShardPipeline(kind, testConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		bm.Finalize()
+		if err := bm.ApplyTraced(nil); !errors.Is(err, ErrClosed) {
+			t.Errorf("%v: ApplyTraced after Finalize = %v, want ErrClosed", kind, err)
+		}
+		if err := bm.LoadLeaf(octree.Leaf{}); !errors.Is(err, ErrClosed) {
+			t.Errorf("%v: LoadLeaf after Finalize = %v, want ErrClosed", kind, err)
+		}
 	}
 }
 

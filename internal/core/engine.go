@@ -1,0 +1,512 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"octocache/internal/cache"
+	"octocache/internal/geom"
+	"octocache/internal/octree"
+	"octocache/internal/raytrace"
+	"octocache/internal/spsc"
+)
+
+// ErrClosed is returned by Insert, ApplyTraced, and LoadLeaf once a
+// pipeline has been finalized: the map remains queryable forever, but
+// accepts no further observations. The shard service and the public API
+// re-export this value, so errors.Is works across layers.
+var ErrClosed = errors.New("octocache: map is closed")
+
+// engine is the one implementation of the paper's mapping loop:
+//
+//	ray trace → cache admit → τ-bounded evict → octree apply
+//
+// Every pipeline variant in this package is a composition of it along
+// two axes:
+//
+//   - cached or direct: with a cache, traced voxels are admitted to the
+//     flat cache (queries are served right after the fast insertion) and
+//     only evicted cells reach the octree; without one (the OctoMap
+//     baseline), the traced batch goes straight to the octree and
+//     queries wait for the whole update.
+//   - inline or async applier: the octree-apply stage either runs on the
+//     caller's goroutine, or on a background goroutine fed through the
+//     SPSC buffer with the paper's batch-gap handshake (Figure 14).
+//
+// Concurrency contract: mutators (Insert, ApplyTraced, Finalize,
+// LoadLeaf, the deprecated InsertPointCloud) must be serialized by the
+// caller — one driver goroutine, or the shard service's per-shard write
+// lock. The query methods (Occupancy, Occupied, CastRay and their key
+// variants) may run concurrently with each other and with the async
+// applier's background work, but not with a mutator; the shard service
+// provides exactly that exclusion with a per-shard RWMutex.
+type engine struct {
+	cfg      Config
+	baseName string
+	tree     *octree.Tree
+	cache    *cache.Cache // nil for the direct (OctoMap baseline) composition
+	tracer   *raytrace.Tracer
+
+	// treeRW makes the async applier's octree writes and query-side
+	// octree reads mutually exclusive: the applier goroutine takes the
+	// write side per batch, queries take the read side after the gap
+	// handshake. With the inline applier it is uncontended by
+	// construction (writes only ever run inside a mutator).
+	treeRW sync.RWMutex
+	app    applier
+
+	evictBuf  []cache.Cell
+	directBuf []cache.Cell // direct-mode conversion scratch
+	timings   Timings
+	closed    bool
+}
+
+func newEngine(cfg Config, baseName string, direct, async bool) *engine {
+	e := &engine{
+		cfg:      cfg,
+		baseName: baseName,
+		tree:     cfg.newTree(),
+		tracer: raytrace.NewTracer(raytrace.Config{
+			Resolution: cfg.Octree.Resolution,
+			Depth:      cfg.Octree.Depth,
+			MaxRange:   cfg.MaxRange,
+		}),
+	}
+	if !direct {
+		e.cache = cache.New(cfg.cacheConfig())
+	}
+	if async {
+		e.app = newAsyncApplier(e)
+	} else {
+		e.app = &inlineApplier{e: e}
+	}
+	return e
+}
+
+func (e *engine) Name() string {
+	if e.cfg.RT {
+		return e.baseName + "-rt"
+	}
+	return e.baseName
+}
+
+// traceScan is the shared ray-tracing stage: it turns one scan into the
+// per-voxel observation batch and charges the time to tm.RayTracing.
+// The baseline pipelines reuse it so the stage exists exactly once.
+func traceScan(tr *raytrace.Tracer, rt bool, origin geom.Vec3, points []geom.Vec3, tm *Timings) []raytrace.Voxel {
+	t0 := time.Now()
+	var batch []raytrace.Voxel
+	if rt {
+		batch = tr.TraceRT(origin, points)
+	} else {
+		batch = tr.Trace(origin, points)
+	}
+	tm.RayTracing += time.Since(t0)
+	return batch
+}
+
+// writeCells is the one octree-apply stage. Cached compositions receive
+// evicted cells carrying accumulated occupancies, which overwrite the
+// octree's copies; the direct composition receives observation markers
+// (LogOdds > 0 means an occupied observation) and applies the octree's
+// own incremental update, exactly like vanilla OctoMap.
+func (e *engine) writeCells(cells []cache.Cell) {
+	if e.cache == nil {
+		for _, c := range cells {
+			e.tree.Update(c.Key, c.LogOdds > 0)
+		}
+		return
+	}
+	for _, c := range cells {
+		e.tree.SetNodeValue(c.Key, c.LogOdds)
+	}
+}
+
+// evictAndHandOff runs the eviction stage and hands the batch to the
+// applier. With the inline applier the octree update completes before it
+// returns; with the async applier it returns as soon as the batch is in
+// the SPSC buffer and the octree update proceeds in the background.
+func (e *engine) evictAndHandOff() {
+	if e.cache == nil {
+		return
+	}
+	t0 := time.Now()
+	e.evictBuf = e.cache.Evict(e.evictBuf[:0])
+	e.timings.CacheEvict += time.Since(t0)
+	if len(e.evictBuf) == 0 {
+		return
+	}
+	e.app.apply(e.evictBuf)
+	e.timings.VoxelsToOctree += int64(len(e.evictBuf))
+}
+
+// admit integrates a traced batch so queries can see it: through the
+// cache when present, else straight into the octree.
+func (e *engine) admit(batch []raytrace.Voxel) {
+	if e.cache == nil {
+		e.directBuf = e.directBuf[:0]
+		for _, v := range batch {
+			lo := float32(-1)
+			if v.Occupied {
+				lo = 1
+			}
+			e.directBuf = append(e.directBuf, cache.Cell{Key: v.Key, LogOdds: lo})
+		}
+		e.app.apply(e.directBuf)
+		// Direct-mode queries go straight to the octree, so the batch
+		// must be fully applied before the insert returns — the baseline
+		// property the paper's Figure 4 describes.
+		e.app.quiesce()
+		e.timings.VoxelsToOctree += int64(len(batch))
+		return
+	}
+
+	// The cache insertion reads the octree on misses, so it must wait for
+	// the applier to finish every announced batch — the paper's "gap"
+	// (Figure 13b). After quiesce the applier is idle and stays idle until
+	// this mutator hands off again, so the lookups need no tree lock.
+	t0 := time.Now()
+	e.app.quiesce()
+	e.timings.Wait += time.Since(t0)
+
+	t0 = time.Now()
+	lookup := func(k octree.Key) (float32, bool) { return e.tree.Search(k) }
+	for _, v := range batch {
+		e.cache.Insert(v.Key, v.Occupied, lookup)
+	}
+	e.timings.CacheInsert += time.Since(t0)
+}
+
+// Insert integrates one sensor scan on the Figure 14 schedule: the
+// previous batch's eviction is handed off first so an async applier's
+// octree update overlaps this batch's ray tracing, and the gap handshake
+// before cache insertion guarantees queries never observe a voxel stuck
+// in the buffer. It returns ErrClosed after Finalize.
+func (e *engine) Insert(origin geom.Vec3, points []geom.Vec3) error {
+	if e.closed {
+		return ErrClosed
+	}
+	start := time.Now()
+
+	e.evictAndHandOff()
+	batch := traceScan(e.tracer, e.cfg.RT, origin, points, &e.timings)
+	e.admit(batch)
+
+	e.timings.Batches++
+	e.timings.VoxelsTraced += int64(len(batch))
+	e.timings.Critical += time.Since(start)
+	return nil
+}
+
+// InsertPointCloud is Insert with the seed API's panic-on-misuse
+// behaviour.
+//
+// Deprecated: use Insert, which reports ErrClosed instead of panicking.
+func (e *engine) InsertPointCloud(origin geom.Vec3, points []geom.Vec3) {
+	if err := e.Insert(origin, points); err != nil {
+		panic("core: InsertPointCloud after Finalize: " + err.Error())
+	}
+}
+
+// ApplyTraced integrates pre-traced voxel observations exactly as Insert
+// would after its ray-tracing stage. Unlike Insert it evicts at the tail
+// rather than the head: a sharded router calls it under the shard's
+// write lock with no tracing inside, so handing the eviction off on the
+// way out is what lets an async applier's octree update overlap the
+// router's out-of-lock work. It does not count a batch; routers account
+// for scans themselves.
+func (e *engine) ApplyTraced(batch []raytrace.Voxel) error {
+	if e.closed {
+		return ErrClosed
+	}
+	e.admit(batch)
+	e.evictAndHandOff()
+	e.timings.VoxelsTraced += int64(len(batch))
+	return nil
+}
+
+// OccupancyKey answers from the cache first; on a miss it waits out any
+// in-flight octree writes (the gap guarantee) and reads the tree under
+// the read lock — so cache hits never touch a lock shared with the
+// applier.
+func (e *engine) OccupancyKey(k octree.Key) (float32, bool) {
+	if e.cache != nil {
+		if l, hit := e.cache.Query(k); hit {
+			return l, true
+		}
+	}
+	e.app.quiesce()
+	e.treeRW.RLock()
+	l, known := e.tree.Search(k)
+	e.treeRW.RUnlock()
+	return l, known
+}
+
+// Occupancy is the coordinate-space variant of OccupancyKey.
+func (e *engine) Occupancy(p geom.Vec3) (float32, bool) {
+	k, ok := octree.CoordToKey(p, e.cfg.Octree.Resolution, e.cfg.Octree.Depth)
+	if !ok {
+		return 0, false
+	}
+	return e.OccupancyKey(k)
+}
+
+func (e *engine) Occupied(p geom.Vec3) bool {
+	l, known := e.Occupancy(p)
+	return known && l >= e.cfg.Octree.OccupancyThreshold
+}
+
+func (e *engine) OccupiedKey(k octree.Key) bool {
+	l, known := e.OccupancyKey(k)
+	return known && l >= e.cfg.Octree.OccupancyThreshold
+}
+
+// CastRay drains pending octree writes once, then holds the read lock
+// for the whole walk, consulting the freshest combined cache+octree
+// state per visited voxel.
+func (e *engine) CastRay(origin, dir geom.Vec3, maxRange float64, ignoreUnknown bool) (geom.Vec3, bool) {
+	e.app.quiesce()
+	e.treeRW.RLock()
+	defer e.treeRW.RUnlock()
+	occ := func(k octree.Key) (float32, bool) {
+		if e.cache != nil {
+			if l, hit := e.cache.Query(k); hit {
+				return l, true
+			}
+		}
+		return e.tree.Search(k)
+	}
+	return CastRayKeys(e.cfg.Octree, occ, origin, dir, maxRange, ignoreUnknown)
+}
+
+// Finalize flushes all cached state through the applier, waits for the
+// octree to hold everything, and stops background work. Idempotent; the
+// engine remains queryable afterwards.
+func (e *engine) Finalize() {
+	if e.closed {
+		return
+	}
+	e.closed = true
+	if e.cache != nil {
+		t0 := time.Now()
+		flushed := e.cache.Flush(nil)
+		e.timings.CacheEvict += time.Since(t0)
+		if len(flushed) > 0 {
+			e.app.apply(flushed)
+			e.timings.VoxelsToOctree += int64(len(flushed))
+		}
+	}
+	e.app.stop()
+}
+
+// Quiesce blocks until every handed-off batch has been applied to the
+// octree. Layered services call it before touching Tree() directly.
+func (e *engine) Quiesce() { e.app.quiesce() }
+
+// LoadLeaf writes one (possibly aggregate) leaf into the engine's
+// octree, as emitted by octree.Walk — the seam map loading is built on.
+// Intended for freshly constructed engines; cells already cached for the
+// leaf's voxels keep shadowing the loaded value until evicted.
+func (e *engine) LoadLeaf(l octree.Leaf) error {
+	if e.closed {
+		return ErrClosed
+	}
+	e.app.quiesce()
+	e.treeRW.Lock()
+	e.tree.SetLeafAt(l.Key, l.Depth, l.LogOdds)
+	e.treeRW.Unlock()
+	return nil
+}
+
+// LoadTree replays every leaf of src into the engine's octree. The
+// source tree's parameters must match the engine's so key spaces and the
+// occupancy model agree.
+func (e *engine) LoadTree(src *octree.Tree) error {
+	if p := src.Params(); p != e.cfg.Octree {
+		return fmt.Errorf("core: loaded tree params %+v differ from pipeline params %+v", p, e.cfg.Octree)
+	}
+	var err error
+	src.Walk(func(l octree.Leaf) bool {
+		err = e.LoadLeaf(l)
+		return err == nil
+	})
+	return err
+}
+
+func (e *engine) Resolution() float64 { return e.cfg.Octree.Resolution }
+
+// Tree exposes the backing octree. Callers must Quiesce first (or hold
+// the mutator role) while an async applier is live; it is always safe
+// after Finalize.
+func (e *engine) Tree() *octree.Tree { return e.tree }
+
+func (e *engine) CacheLen() int {
+	if e.cache == nil {
+		return 0
+	}
+	return e.cache.Len()
+}
+
+func (e *engine) CacheStats() cache.Stats {
+	if e.cache == nil {
+		return cache.Stats{}
+	}
+	return e.cache.Stats()
+}
+
+// Timings merges the mutator-side stage decomposition with the stages
+// accrued inside the applier (octree update, queue transfer) — the
+// per-thread busy-time split the benchmark harness reports.
+func (e *engine) Timings() Timings {
+	t := e.timings
+	oct, enq, deq := e.app.timings()
+	t.OctreeUpdate += oct
+	t.Enqueue += enq
+	t.Dequeue += deq
+	return t
+}
+
+// applier is the pluggable octree-apply stage: it receives eviction (or
+// direct-update) batches and guarantees, after quiesce, that every batch
+// handed off so far is in the octree.
+type applier interface {
+	// apply hands one batch over. The slice is only borrowed until apply
+	// returns; implementations must copy (or fully consume) it.
+	apply(cells []cache.Cell)
+	// quiesce blocks until every handed-off batch has been applied.
+	// Safe for concurrent callers.
+	quiesce()
+	// stop quiesces and shuts down background work. The applier must not
+	// be used for apply afterwards; quiesce remains callable.
+	stop()
+	// timings reports the stage durations accrued inside the applier.
+	timings() (octreeUpdate, enqueue, dequeue time.Duration)
+}
+
+// inlineApplier applies batches on the caller's goroutine: the serial
+// compositions, where the octree update stays on the critical path
+// (cached: Figure 11/13a; direct: Figure 4).
+type inlineApplier struct {
+	e        *engine
+	octreeNS time.Duration
+}
+
+func (a *inlineApplier) apply(cells []cache.Cell) {
+	t0 := time.Now()
+	a.e.writeCells(cells)
+	a.octreeNS += time.Since(t0)
+}
+
+func (a *inlineApplier) quiesce() {}
+func (a *inlineApplier) stop()    {}
+
+func (a *inlineApplier) timings() (time.Duration, time.Duration, time.Duration) {
+	return a.octreeNS, 0, 0
+}
+
+// asyncApplier is the paper's thread 2 (Figure 14): a dedicated
+// goroutine dequeues batches from the SPSC buffer and writes them into
+// the octree under the engine's tree write lock. The handshake follows
+// the paper exactly — batches are announced before they are enqueued so
+// the worker drains the buffer concurrently (batches larger than the
+// buffer capacity flow instead of livelocking), and quiesce implements
+// the batch gap: it returns only once applied catches up with announced.
+//
+// Unlike the seed's channel-ack scheme, completion is tracked with an
+// atomic counter plus a condition variable so any number of concurrent
+// query goroutines can wait for the gap at once — which is what lets the
+// shard service run queries under a shared lock.
+type asyncApplier struct {
+	e       *engine
+	queue   *spsc.Queue[cache.Cell]
+	batchCh chan int // announced batch sizes, mutator -> worker
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	announced atomic.Int64 // batches handed off (mutator-side)
+	applied   atomic.Int64 // batches fully in the octree (worker-side)
+
+	wg        sync.WaitGroup
+	enqueueNS time.Duration // mutator-side
+	t2Octree  atomic.Int64  // ns spent in octree updates on the worker
+	t2Dequeue atomic.Int64  // ns spent dequeuing on the worker
+}
+
+func newAsyncApplier(e *engine) *asyncApplier {
+	a := &asyncApplier{
+		e:       e,
+		queue:   spsc.New[cache.Cell](parallelQueueCap),
+		batchCh: make(chan int, 64),
+	}
+	a.cond = sync.NewCond(&a.mu)
+	a.wg.Add(1)
+	go a.run()
+	return a
+}
+
+// run is the worker: one batch at a time, dequeue then apply under the
+// tree write lock.
+func (a *asyncApplier) run() {
+	defer a.wg.Done()
+	var buf []cache.Cell
+	for n := range a.batchCh {
+		t0 := time.Now()
+		buf = buf[:0]
+		for len(buf) < n {
+			buf = append(buf, a.queue.Dequeue())
+		}
+		a.t2Dequeue.Add(int64(time.Since(t0)))
+
+		a.e.treeRW.Lock()
+		t0 = time.Now()
+		a.e.writeCells(buf)
+		a.t2Octree.Add(int64(time.Since(t0)))
+		a.e.treeRW.Unlock()
+
+		a.mu.Lock()
+		a.applied.Add(1)
+		a.cond.Broadcast()
+		a.mu.Unlock()
+	}
+}
+
+func (a *asyncApplier) apply(cells []cache.Cell) {
+	if len(cells) == 0 {
+		return
+	}
+	// Announce before enqueueing: the worker drains concurrently, so the
+	// buffer bounds in-flight cells, not batch size. Enqueueing first
+	// would livelock on batches larger than the capacity.
+	a.announced.Add(1)
+	a.batchCh <- len(cells)
+	t0 := time.Now()
+	for _, c := range cells {
+		a.queue.Enqueue(c)
+	}
+	a.enqueueNS += time.Since(t0)
+}
+
+func (a *asyncApplier) quiesce() {
+	target := a.announced.Load()
+	if a.applied.Load() >= target {
+		return
+	}
+	a.mu.Lock()
+	for a.applied.Load() < target {
+		a.cond.Wait()
+	}
+	a.mu.Unlock()
+}
+
+func (a *asyncApplier) stop() {
+	a.quiesce()
+	close(a.batchCh)
+	a.wg.Wait()
+}
+
+func (a *asyncApplier) timings() (time.Duration, time.Duration, time.Duration) {
+	return time.Duration(a.t2Octree.Load()), a.enqueueNS, time.Duration(a.t2Dequeue.Load())
+}

@@ -11,11 +11,18 @@ import (
 // the paper's requirement that OctoCache expose the same voxel query API
 // and results as vanilla OctoMap (§4.1).
 //
-// The contract: after InsertPointCloud returns, queries reflect every
-// observation inserted so far, exactly as OctoMap would report them.
+// The contract: after Insert returns, queries reflect every observation
+// inserted so far, exactly as OctoMap would report them.
 type Mapper interface {
-	// InsertPointCloud integrates one sensor scan: points in world
-	// coordinates observed from origin.
+	// Insert integrates one sensor scan: points in world coordinates
+	// observed from origin. It returns ErrClosed after Finalize.
+	Insert(origin geom.Vec3, points []geom.Vec3) error
+
+	// InsertPointCloud is Insert with the seed API's panic-on-misuse
+	// behaviour.
+	//
+	// Deprecated: use Insert, which reports ErrClosed instead of
+	// panicking.
 	InsertPointCloud(origin geom.Vec3, points []geom.Vec3)
 
 	// Occupancy returns the accumulated log-odds of the voxel containing
@@ -68,10 +75,10 @@ type BatchMapper interface {
 	Mapper
 
 	// ApplyTraced integrates pre-traced voxel observations exactly as
-	// InsertPointCloud would after its ray-tracing stage (cache insert,
-	// τ-bounded eviction, octree update). It does not count a batch;
-	// routers account for scans themselves.
-	ApplyTraced(batch []raytrace.Voxel)
+	// Insert would after its ray-tracing stage (cache insert, τ-bounded
+	// eviction, octree apply). It does not count a batch; routers
+	// account for scans themselves. Returns ErrClosed after Finalize.
+	ApplyTraced(batch []raytrace.Voxel) error
 
 	// OccupancyKey is the key-space variant of Occupancy.
 	OccupancyKey(k octree.Key) (logOdds float32, known bool)
@@ -79,17 +86,37 @@ type BatchMapper interface {
 	// CacheLen reports the number of cells currently parked in the
 	// pipeline's cache awaiting eviction — the shard's queue depth.
 	CacheLen() int
+
+	// Quiesce blocks until every octree write handed to the pipeline's
+	// applier has landed in the tree. A no-op for inline appliers.
+	// Layered services call it before touching Tree() directly.
+	Quiesce()
+
+	// LoadLeaf writes one (possibly aggregate) octree leaf, as emitted
+	// by octree.Walk, into the pipeline's tree — the seam map loading is
+	// built on. Returns ErrClosed after Finalize.
+	LoadLeaf(l octree.Leaf) error
 }
 
 // NewShardPipeline builds the pipeline that backs one spatial shard of a
-// sharded map: a serial OctoCache exposing the batch interface. The shard
-// layer provides all cross-goroutine synchronization; the pipeline itself
-// remains single-threaded, per the paper's design.
-func NewShardPipeline(cfg Config) (BatchMapper, error) {
+// sharded map: an engine composition exposing the batch interface. The
+// shard layer provides cross-goroutine exclusion between mutators and
+// queries; KindParallel additionally runs the shard's octree application
+// on a background applier, per the paper's two-thread schedule.
+func NewShardPipeline(kind Kind, cfg Config) (BatchMapper, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return newSerial(cfg), nil
+	switch kind {
+	case KindSerial:
+		return newSerial(cfg), nil
+	case KindParallel:
+		return newParallel(cfg), nil
+	case KindOctoMap:
+		return newOctoMap(cfg), nil
+	default:
+		return nil, errUnknownKind(kind)
+	}
 }
 
 // Kind enumerates the pipeline variants.

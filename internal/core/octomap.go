@@ -1,77 +1,10 @@
 package core
 
-import (
-	"time"
-
-	"octocache/internal/cache"
-	"octocache/internal/geom"
-	"octocache/internal/octree"
-	"octocache/internal/raytrace"
-)
-
-// octoMap is the vanilla baseline pipeline (paper Figure 4): every traced
-// voxel observation goes straight into the octree, and queries are only
-// possible once the full octree update has completed — which is exactly
-// why its update latency sits on the critical path.
-type octoMap struct {
-	cfg     Config
-	tree    *octree.Tree
-	tracer  *raytrace.Tracer
-	timings Timings
-	done    bool
+// newOctoMap composes the vanilla baseline pipeline (paper Figure 4):
+// no cache, so every traced voxel observation goes straight into the
+// octree, and queries are only possible once the full octree update has
+// completed — which is exactly why its update latency sits on the
+// critical path.
+func newOctoMap(cfg Config) *engine {
+	return newEngine(cfg, "octomap", true, false)
 }
-
-func newOctoMap(cfg Config) *octoMap {
-	return &octoMap{
-		cfg:  cfg,
-		tree: cfg.newTree(),
-		tracer: raytrace.NewTracer(raytrace.Config{
-			Resolution: cfg.Octree.Resolution,
-			Depth:      cfg.Octree.Depth,
-			MaxRange:   cfg.MaxRange,
-		}),
-	}
-}
-
-func (m *octoMap) Name() string {
-	if m.cfg.RT {
-		return "octomap-rt"
-	}
-	return "octomap"
-}
-
-func (m *octoMap) InsertPointCloud(origin geom.Vec3, points []geom.Vec3) {
-	if m.done {
-		panic("core: InsertPointCloud after Finalize")
-	}
-	start := time.Now()
-
-	t0 := time.Now()
-	var batch []raytrace.Voxel
-	if m.cfg.RT {
-		batch = m.tracer.TraceRT(origin, points)
-	} else {
-		batch = m.tracer.Trace(origin, points)
-	}
-	m.timings.RayTracing += time.Since(t0)
-
-	t0 = time.Now()
-	for _, v := range batch {
-		m.tree.Update(v.Key, v.Occupied)
-	}
-	m.timings.OctreeUpdate += time.Since(t0)
-
-	m.timings.Batches++
-	m.timings.VoxelsTraced += int64(len(batch))
-	m.timings.VoxelsToOctree += int64(len(batch))
-	m.timings.Critical += time.Since(start)
-}
-
-func (m *octoMap) Occupancy(p geom.Vec3) (float32, bool) { return m.tree.OccupancyAt(p) }
-func (m *octoMap) Occupied(p geom.Vec3) bool             { return m.tree.OccupiedAt(p) }
-func (m *octoMap) OccupiedKey(k octree.Key) bool         { return m.tree.Occupied(k) }
-func (m *octoMap) Resolution() float64                   { return m.cfg.Octree.Resolution }
-func (m *octoMap) Finalize()                             { m.done = true }
-func (m *octoMap) Tree() *octree.Tree                    { return m.tree }
-func (m *octoMap) Timings() Timings                      { return m.timings }
-func (m *octoMap) CacheStats() cache.Stats               { return cache.Stats{} }

@@ -1,256 +1,18 @@
 package core
 
-import (
-	"sync"
-	"sync/atomic"
-	"time"
-
-	"octocache/internal/cache"
-	"octocache/internal/geom"
-	"octocache/internal/octree"
-	"octocache/internal/raytrace"
-	"octocache/internal/spsc"
-)
-
-// parallelMapper is the two-threaded OctoCache (paper Figure 14). The
-// caller's goroutine is thread 1: ray tracing, cache insertion, queries,
-// cache eviction, and enqueueing evicted cells into the shared SPSC
-// buffer. A dedicated goroutine is thread 2: it dequeues eviction batches
-// and writes them into the octree.
-//
-// Synchronization follows the paper exactly:
-//
-//   - One mutex (treeMu) makes octree reads (cache-miss fill-ins and
-//     queries on thread 1) and octree writes (thread 2) mutually
-//     exclusive.
-//   - The cache insertion of batch N+1 waits until thread 2 has finished
-//     applying batch N's evictions ("the gap" of Figure 13b), which also
-//     guarantees queries never observe a voxel stuck in the buffer.
-//
-// The Mapper must be driven from a single caller goroutine.
-type parallelMapper struct {
-	cfg    Config
-	tree   *octree.Tree
-	cache  *cache.Cache
-	tracer *raytrace.Tracer
-
-	treeMu  sync.Mutex
-	queue   *spsc.Queue[cache.Cell]
-	batchCh chan int      // eviction batch sizes, thread 1 -> thread 2
-	ackCh   chan struct{} // per-batch completion, thread 2 -> thread 1
-	pending int           // batches announced but not yet acknowledged
-
-	wg        sync.WaitGroup
-	t2Octree  atomic.Int64 // ns spent in octree updates on thread 2
-	t2Dequeue atomic.Int64 // ns spent dequeuing on thread 2
-
-	evictBuf []cache.Cell
-	timings  Timings
-	done     bool
-}
-
 // parallelQueueCap sizes the shared eviction buffer. Eviction batches may
 // exceed it: thread 2 drains concurrently while thread 1 enqueues, so the
 // buffer only bounds in-flight cells, not batch size. Tests shrink it to
 // exercise that overlap.
 var parallelQueueCap = 1 << 16
 
-func newParallel(cfg Config) *parallelMapper {
-	m := &parallelMapper{
-		cfg:   cfg,
-		tree:  cfg.newTree(),
-		cache: cache.New(cfg.cacheConfig()),
-		tracer: raytrace.NewTracer(raytrace.Config{
-			Resolution: cfg.Octree.Resolution,
-			Depth:      cfg.Octree.Depth,
-			MaxRange:   cfg.MaxRange,
-		}),
-		queue:   spsc.New[cache.Cell](parallelQueueCap),
-		batchCh: make(chan int, 64),
-		ackCh:   make(chan struct{}, 64),
-	}
-	m.wg.Add(1)
-	go m.treeUpdater()
-	return m
+// newParallel composes the two-threaded OctoCache (paper Figure 14): the
+// serial pipeline's stages with the octree-apply step moved onto the
+// async applier — a dedicated goroutine fed through the SPSC buffer,
+// synchronized with the paper's batch-gap handshake (see asyncApplier in
+// engine.go). The mutators must still be driven from a single caller
+// goroutine; queries may run concurrently (the shard service relies on
+// this).
+func newParallel(cfg Config) *engine {
+	return newEngine(cfg, "octocache-parallel", false, true)
 }
-
-func (m *parallelMapper) Name() string {
-	if m.cfg.RT {
-		return "octocache-parallel-rt"
-	}
-	return "octocache-parallel"
-}
-
-// treeUpdater is thread 2: it drains one eviction batch at a time from
-// the SPSC buffer and applies it to the octree under the tree mutex.
-func (m *parallelMapper) treeUpdater() {
-	defer m.wg.Done()
-	var buf []cache.Cell
-	for n := range m.batchCh {
-		t0 := time.Now()
-		buf = buf[:0]
-		for len(buf) < n {
-			buf = append(buf, m.queue.Dequeue())
-		}
-		m.t2Dequeue.Add(int64(time.Since(t0)))
-
-		m.treeMu.Lock()
-		t0 = time.Now()
-		for _, cell := range buf {
-			m.tree.SetNodeValue(cell.Key, cell.LogOdds)
-		}
-		m.t2Octree.Add(int64(time.Since(t0)))
-		m.treeMu.Unlock()
-		m.ackCh <- struct{}{}
-	}
-}
-
-// quiesce blocks until thread 2 has applied every announced batch. After
-// it returns, the octree holds all evicted state and thread 2 is idle.
-func (m *parallelMapper) quiesce() {
-	for m.pending > 0 {
-		<-m.ackCh
-		m.pending--
-	}
-}
-
-func (m *parallelMapper) InsertPointCloud(origin geom.Vec3, points []geom.Vec3) {
-	if m.done {
-		panic("core: InsertPointCloud after Finalize")
-	}
-	start := time.Now()
-
-	// Figure 14 schedule: the previous batch's cache eviction runs now —
-	// after its queries, at the head of the next cycle — so that the
-	// octree update it triggers on thread 2 overlaps this cycle's ray
-	// tracing, and so that queries between InsertPointCloud calls never
-	// have octree writes in flight.
-	m.evictAndAnnounce()
-
-	// Ray tracing overlaps thread 2's octree update of the previous
-	// batch: neither touches the octree.
-	t0 := time.Now()
-	var batch []raytrace.Voxel
-	if m.cfg.RT {
-		batch = m.tracer.TraceRT(origin, points)
-	} else {
-		batch = m.tracer.Trace(origin, points)
-	}
-	m.timings.RayTracing += time.Since(t0)
-
-	// The cache insertion reads the octree on misses, so it must wait
-	// for thread 2 to finish the previous batch — the paper's "gap".
-	t0 = time.Now()
-	m.quiesce()
-	m.timings.Wait += time.Since(t0)
-
-	t0 = time.Now()
-	m.treeMu.Lock()
-	lookup := func(k octree.Key) (float32, bool) { return m.tree.Search(k) }
-	for _, v := range batch {
-		m.cache.Insert(v.Key, v.Occupied, lookup)
-	}
-	m.treeMu.Unlock()
-	m.timings.CacheInsert += time.Since(t0)
-
-	// Queries are served from here until the next InsertPointCloud call,
-	// with zero pending octree writes.
-
-	m.timings.Batches++
-	m.timings.VoxelsTraced += int64(len(batch))
-	m.timings.Critical += time.Since(start)
-}
-
-// evictAndAnnounce evicts over-τ cells and hands them to thread 2. The
-// batch is announced before enqueueing so thread 2 drains the buffer
-// concurrently; enqueueing first would deadlock (as a livelock) on
-// batches larger than the buffer capacity.
-func (m *parallelMapper) evictAndAnnounce() {
-	t0 := time.Now()
-	m.evictBuf = m.cache.Evict(m.evictBuf[:0])
-	m.timings.CacheEvict += time.Since(t0)
-	if len(m.evictBuf) == 0 {
-		return
-	}
-	m.batchCh <- len(m.evictBuf)
-	m.pending++
-	t0 = time.Now()
-	for _, cell := range m.evictBuf {
-		m.queue.Enqueue(cell)
-	}
-	m.timings.Enqueue += time.Since(t0)
-	m.timings.VoxelsToOctree += int64(len(m.evictBuf))
-}
-
-// Occupancy drains pending octree writes, then answers from the cache or,
-// on a miss, from the octree under the mutex — preserving OctoMap's
-// query consistency at any call point.
-func (m *parallelMapper) Occupancy(p geom.Vec3) (float32, bool) {
-	k, ok := octree.CoordToKey(p, m.cfg.Octree.Resolution, m.cfg.Octree.Depth)
-	if !ok {
-		return 0, false
-	}
-	return m.occupancyKey(k)
-}
-
-func (m *parallelMapper) occupancyKey(k octree.Key) (float32, bool) {
-	if l, hit := m.cache.Query(k); hit {
-		return l, true
-	}
-	m.quiesce()
-	m.treeMu.Lock()
-	l, known := m.tree.Search(k)
-	m.treeMu.Unlock()
-	return l, known
-}
-
-func (m *parallelMapper) Occupied(p geom.Vec3) bool {
-	l, known := m.Occupancy(p)
-	return known && l >= m.cfg.Octree.OccupancyThreshold
-}
-
-func (m *parallelMapper) OccupiedKey(k octree.Key) bool {
-	l, known := m.occupancyKey(k)
-	return known && l >= m.cfg.Octree.OccupancyThreshold
-}
-
-// Finalize flushes the cache through the shared buffer, waits for thread
-// 2 to apply everything, and shuts the updater goroutine down.
-func (m *parallelMapper) Finalize() {
-	if m.done {
-		return
-	}
-	m.done = true
-
-	t0 := time.Now()
-	flushed := m.cache.Flush(nil)
-	m.timings.CacheEvict += time.Since(t0)
-
-	if len(flushed) > 0 {
-		m.batchCh <- len(flushed)
-		m.pending++
-		t0 = time.Now()
-		for _, cell := range flushed {
-			m.queue.Enqueue(cell)
-		}
-		m.timings.Enqueue += time.Since(t0)
-		m.timings.VoxelsToOctree += int64(len(flushed))
-	}
-
-	m.quiesce()
-	close(m.batchCh)
-	m.wg.Wait()
-}
-
-func (m *parallelMapper) Resolution() float64 { return m.cfg.Octree.Resolution }
-
-func (m *parallelMapper) Tree() *octree.Tree { return m.tree }
-
-func (m *parallelMapper) Timings() Timings {
-	t := m.timings
-	t.OctreeUpdate = time.Duration(m.t2Octree.Load())
-	t.Dequeue = time.Duration(m.t2Dequeue.Load())
-	return t
-}
-
-func (m *parallelMapper) CacheStats() cache.Stats { return m.cache.Stats() }

@@ -1,151 +1,10 @@
 package core
 
-import (
-	"time"
-
-	"octocache/internal/cache"
-	"octocache/internal/geom"
-	"octocache/internal/octree"
-	"octocache/internal/raytrace"
-)
-
-// serialMapper is the strawman serial OctoCache (paper Figure 11): all
-// voxel observations land in the flat cache first, so queries can be
+// newSerial composes the strawman serial OctoCache (paper Figure 11):
+// all voxel observations land in the flat cache first, so queries can be
 // served right after the fast cache insertion; the slow octree update
 // only processes the cells evicted past the τ bound, in the bucket-sweep
-// (near-Morton) order.
-type serialMapper struct {
-	cfg      Config
-	tree     *octree.Tree
-	cache    *cache.Cache
-	tracer   *raytrace.Tracer
-	evictBuf []cache.Cell
-	timings  Timings
-	done     bool
+// (near-Morton) order — and runs inline, on the caller's goroutine.
+func newSerial(cfg Config) *engine {
+	return newEngine(cfg, "octocache-serial", false, false)
 }
-
-func newSerial(cfg Config) *serialMapper {
-	return &serialMapper{
-		cfg:   cfg,
-		tree:  cfg.newTree(),
-		cache: cache.New(cfg.cacheConfig()),
-		tracer: raytrace.NewTracer(raytrace.Config{
-			Resolution: cfg.Octree.Resolution,
-			Depth:      cfg.Octree.Depth,
-			MaxRange:   cfg.MaxRange,
-		}),
-	}
-}
-
-func (m *serialMapper) Name() string {
-	if m.cfg.RT {
-		return "octocache-serial-rt"
-	}
-	return "octocache-serial"
-}
-
-func (m *serialMapper) InsertPointCloud(origin geom.Vec3, points []geom.Vec3) {
-	if m.done {
-		panic("core: InsertPointCloud after Finalize")
-	}
-	start := time.Now()
-
-	t0 := time.Now()
-	var batch []raytrace.Voxel
-	if m.cfg.RT {
-		batch = m.tracer.TraceRT(origin, points)
-	} else {
-		batch = m.tracer.Trace(origin, points)
-	}
-	m.timings.RayTracing += time.Since(t0)
-
-	m.ApplyTraced(batch)
-
-	m.timings.Batches++
-	m.timings.Critical += time.Since(start)
-}
-
-// ApplyTraced integrates a pre-traced observation batch: cache insertion
-// (the only work queries must wait for), then τ-bounded eviction into the
-// octree. It is InsertPointCloud minus the ray-tracing stage, split out
-// so a sharded router can trace a scan once and apply each shard's slice
-// of the traced cells independently. It does not count a batch; callers
-// driving ApplyTraced directly account for batches themselves.
-func (m *serialMapper) ApplyTraced(batch []raytrace.Voxel) {
-	if m.done {
-		panic("core: ApplyTraced after Finalize")
-	}
-	t0 := time.Now()
-	lookup := func(k octree.Key) (float32, bool) { return m.tree.Search(k) }
-	for _, v := range batch {
-		m.cache.Insert(v.Key, v.Occupied, lookup)
-	}
-	m.timings.CacheInsert += time.Since(t0)
-
-	// Queries would be served here, before the octree sees anything.
-
-	t0 = time.Now()
-	m.evictBuf = m.cache.Evict(m.evictBuf[:0])
-	m.timings.CacheEvict += time.Since(t0)
-
-	t0 = time.Now()
-	for _, cell := range m.evictBuf {
-		m.tree.SetNodeValue(cell.Key, cell.LogOdds)
-	}
-	m.timings.OctreeUpdate += time.Since(t0)
-
-	m.timings.VoxelsTraced += int64(len(batch))
-	m.timings.VoxelsToOctree += int64(len(m.evictBuf))
-}
-
-// Occupancy checks the cache first; on a miss the backend octree answers
-// — the paper's two-level query path.
-func (m *serialMapper) Occupancy(p geom.Vec3) (float32, bool) {
-	k, ok := m.tree.CoordToKey(p)
-	if !ok {
-		return 0, false
-	}
-	return m.OccupancyKey(k)
-}
-
-// OccupancyKey is the key-space variant of Occupancy.
-func (m *serialMapper) OccupancyKey(k octree.Key) (float32, bool) {
-	if l, hit := m.cache.Query(k); hit {
-		return l, true
-	}
-	return m.tree.Search(k)
-}
-
-func (m *serialMapper) Occupied(p geom.Vec3) bool {
-	l, known := m.Occupancy(p)
-	return known && l >= m.cfg.Octree.OccupancyThreshold
-}
-
-func (m *serialMapper) OccupiedKey(k octree.Key) bool {
-	l, known := m.OccupancyKey(k)
-	return known && l >= m.cfg.Octree.OccupancyThreshold
-}
-
-// Finalize writes every remaining cache cell into the octree so the tree
-// alone holds the complete map.
-func (m *serialMapper) Finalize() {
-	if m.done {
-		return
-	}
-	m.done = true
-	t0 := time.Now()
-	flushed := m.cache.Flush(nil)
-	m.timings.CacheEvict += time.Since(t0)
-	t0 = time.Now()
-	for _, cell := range flushed {
-		m.tree.SetNodeValue(cell.Key, cell.LogOdds)
-	}
-	m.timings.OctreeUpdate += time.Since(t0)
-	m.timings.VoxelsToOctree += int64(len(flushed))
-}
-
-func (m *serialMapper) Resolution() float64     { return m.cfg.Octree.Resolution }
-func (m *serialMapper) Tree() *octree.Tree      { return m.tree }
-func (m *serialMapper) CacheLen() int           { return m.cache.Len() }
-func (m *serialMapper) Timings() Timings        { return m.timings }
-func (m *serialMapper) CacheStats() cache.Stats { return m.cache.Stats() }

@@ -1,6 +1,8 @@
 package octree
 
 import (
+	"sync/atomic"
+
 	"octocache/internal/geom"
 )
 
@@ -14,18 +16,23 @@ type node struct {
 	logOdds  float32
 }
 
-// Tree is a probabilistic occupancy octree. It is not safe for concurrent
-// use; OctoCache's parallel pipeline serializes access with a single
-// mutex exactly as the paper prescribes (§4.4).
+// Tree is a probabilistic occupancy octree. Mutating it concurrently is
+// not safe — OctoCache's pipelines serialize writers exactly as the
+// paper prescribes (§4.4) — but any number of goroutines may call
+// Search/Occupied/OccupancyAt/OccupiedAt concurrently with each other
+// (not with a writer): searches never mutate the structure and count
+// their node visits through an atomic side counter.
 type Tree struct {
 	params Params
 	root   *node
 
 	numNodes int
-	// nodeVisits counts every node touched by updates and searches; the
-	// bottleneck-analysis experiments use it as an architecture-neutral
+	// nodeVisits counts every node touched by updates; searches count
+	// into searchVisits so concurrent readers stay race-free. Together
+	// they are the bottleneck-analysis experiments' architecture-neutral
 	// proxy for the memory accesses of Figure 5.
-	nodeVisits int64
+	nodeVisits   int64
+	searchVisits atomic.Int64
 	// changed records state transitions when change tracking is on.
 	changed map[Key]bool
 	// pool, when set (NewArena), supplies node storage from chunked
@@ -62,10 +69,14 @@ func (t *Tree) NumNodes() int { return t.numNodes }
 
 // NodeVisits returns the cumulative count of node touches by updates and
 // searches since construction (or the last ResetNodeVisits).
-func (t *Tree) NodeVisits() int64 { return t.nodeVisits }
+func (t *Tree) NodeVisits() int64 { return t.nodeVisits + t.searchVisits.Load() }
 
-// ResetNodeVisits zeroes the node-visit counter.
-func (t *Tree) ResetNodeVisits() { t.nodeVisits = 0 }
+// ResetNodeVisits zeroes the node-visit counter. Call it only while no
+// searches are in flight.
+func (t *Tree) ResetNodeVisits() {
+	t.nodeVisits = 0
+	t.searchVisits.Store(0)
+}
 
 // MemoryBytes estimates the heap footprint of the tree's nodes: each node
 // is 16 bytes (pointer + float32, padded) plus 64 bytes per interior
@@ -342,14 +353,19 @@ func (t *Tree) restoreInvariant(n *node) {
 }
 
 // Search returns the accumulated log-odds of the voxel at k. known is
-// false when the voxel lies in unobserved space.
+// false when the voxel lies in unobserved space. Search is safe to call
+// from several goroutines concurrently as long as no writer is active:
+// node visits accumulate locally and land in the atomic side counter
+// with a single add.
 func (t *Tree) Search(k Key) (logOdds float32, known bool) {
 	n := t.root
 	if n == nil {
 		return 0, false
 	}
+	visits := int64(0)
+	defer func() { t.searchVisits.Add(visits) }()
 	for depth := 0; depth < t.params.Depth; depth++ {
-		t.nodeVisits++
+		visits++
 		if n.children == nil {
 			// Pruned aggregate covering k.
 			return n.logOdds, true
@@ -359,7 +375,7 @@ func (t *Tree) Search(k Key) (logOdds float32, known bool) {
 			return 0, false
 		}
 	}
-	t.nodeVisits++
+	visits++
 	return n.logOdds, true
 }
 

@@ -15,14 +15,22 @@
 //
 // Ingest path per producer: the scan is ray-traced once outside any
 // lock, the traced cells are partitioned by shard index, and each
-// shard's slice is applied under that shard's mutex through the
+// shard's slice is applied under that shard's write lock through the
 // pipeline's ApplyTraced entry point. Distinct producers mostly touch
 // distinct shards (scans are spatially compact), so ingest scales with
 // the shard count until producers collide on hot regions.
+//
+// Locking is a per-shard RWMutex: mutators (the apply slice of an
+// Insert, Close's flush) take the write side, queries take the read
+// side. Combined with the engine's internal tree lock and batch-gap
+// handshake, a query that hits the shard's cache touches no lock shared
+// with octree writers at all, and a cache miss only waits for already
+// handed-off eviction batches to land — so with PipelineAsync, octree
+// application runs on a background goroutine per shard (the paper's
+// Figure 14 schedule) while queries keep flowing.
 package shard
 
 import (
-	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -38,8 +46,9 @@ import (
 
 // ErrClosed is returned by Insert once the map has been closed (or
 // finalized): the map remains queryable forever, but accepts no further
-// observations.
-var ErrClosed = errors.New("octocache: map is closed")
+// observations. It is the same value core pipelines return, so errors.Is
+// works across layers.
+var ErrClosed = core.ErrClosed
 
 // MaxShards bounds the shard count.
 const MaxShards = 1 << morton.ShardMaxBits
@@ -47,6 +56,34 @@ const MaxShards = 1 << morton.ShardMaxBits
 // MinShardBuckets floors the per-shard cache width when the configured
 // bucket budget is divided across shards.
 const MinShardBuckets = 64
+
+// Pipeline selects the per-shard pipeline composition.
+type Pipeline int
+
+const (
+	// PipelineSerial runs the serial OctoCache per shard: octree
+	// application happens inline, inside the shard's write lock.
+	PipelineSerial Pipeline = iota
+	// PipelineAsync runs the paper's two-thread schedule per shard:
+	// octree application moves to a background applier goroutine behind
+	// the SPSC buffer, overlapping the router's out-of-lock work.
+	PipelineAsync
+	// PipelineDirect runs the cache-less OctoMap baseline per shard.
+	PipelineDirect
+)
+
+func (p Pipeline) kind() (core.Kind, error) {
+	switch p {
+	case PipelineSerial:
+		return core.KindSerial, nil
+	case PipelineAsync:
+		return core.KindParallel, nil
+	case PipelineDirect:
+		return core.KindOctoMap, nil
+	default:
+		return 0, fmt.Errorf("shard: unknown pipeline %d", int(p))
+	}
+}
 
 // Config configures a sharded map.
 type Config struct {
@@ -58,24 +95,31 @@ type Config struct {
 	// Shards is the number of spatial partitions, rounded up to a power
 	// of two. Values below 1 mean 1; values above MaxShards are an error.
 	Shards int
+	// Pipeline selects the per-shard composition. The zero value is
+	// PipelineSerial, the seed behaviour.
+	Pipeline Pipeline
 }
 
-// shardState is one spatial partition: a single-threaded serial OctoCache
-// pipeline guarded by its own mutex.
+// shardState is one spatial partition: an engine-backed pipeline guarded
+// by its own RWMutex — mutators exclusive, queries shared. With
+// PipelineAsync the pipeline's background applier runs outside this lock
+// entirely; the engine's own tree lock and gap handshake order its
+// octree writes against queries.
 type shardState struct {
-	mu   sync.Mutex
+	mu   sync.RWMutex
 	pipe core.BatchMapper
 }
 
 // Map is a sharded occupancy map. All exported methods are safe for
 // concurrent use by any number of goroutines; consistency is per-voxel
 // sequential (each voxel's update stream is serialized by its owning
-// shard's mutex). Cross-shard snapshots (Timings, ShardStats, CastRay)
-// are composed shard-by-shard and so reflect a slightly time-smeared view
-// while producers are active — exact once quiescent.
+// shard's write lock). Cross-shard snapshots (Timings, ShardStats,
+// CastRay) are composed shard-by-shard and so reflect a slightly
+// time-smeared view while producers are active — exact once quiescent.
 type Map struct {
-	cfg  core.Config
-	bits int
+	cfg      core.Config
+	pipeline Pipeline
+	bits     int
 
 	shards []*shardState
 
@@ -105,6 +149,10 @@ func New(cfg Config) (*Map, error) {
 	if n > MaxShards {
 		return nil, fmt.Errorf("shard: Shards must be <= %d, got %d", MaxShards, cfg.Shards)
 	}
+	kind, err := cfg.Pipeline.kind()
+	if err != nil {
+		return nil, err
+	}
 	bits := 0
 	for 1<<bits < n {
 		bits++
@@ -118,9 +166,9 @@ func New(cfg Config) (*Map, error) {
 		shardCfg.CacheBuckets = MinShardBuckets
 	}
 
-	m := &Map{cfg: shardCfg, bits: bits, shards: make([]*shardState, n)}
+	m := &Map{cfg: shardCfg, pipeline: cfg.Pipeline, bits: bits, shards: make([]*shardState, n)}
 	for i := range m.shards {
-		pipe, err := core.NewShardPipeline(shardCfg)
+		pipe, err := core.NewShardPipeline(kind, shardCfg)
 		if err != nil {
 			return nil, err
 		}
@@ -144,7 +192,14 @@ func (m *Map) NumShards() int { return len(m.shards) }
 
 // Name identifies the service for reports.
 func (m *Map) Name() string {
-	return fmt.Sprintf("octocache-sharded-%d", len(m.shards))
+	switch m.pipeline {
+	case PipelineAsync:
+		return fmt.Sprintf("octocache-sharded-%d-async", len(m.shards))
+	case PipelineDirect:
+		return fmt.Sprintf("octomap-sharded-%d", len(m.shards))
+	default:
+		return fmt.Sprintf("octocache-sharded-%d", len(m.shards))
+	}
 }
 
 // Resolution returns the voxel edge length in meters.
@@ -157,7 +212,7 @@ func (m *Map) shardFor(k octree.Key) *shardState {
 // Insert integrates one sensor scan. It is safe to call from many
 // goroutines concurrently: the scan is traced once with a pooled tracer,
 // the traced cells are routed by Morton prefix, and each shard's slice is
-// applied under that shard's lock. Returns ErrClosed after Close.
+// applied under that shard's write lock. Returns ErrClosed after Close.
 func (m *Map) Insert(origin geom.Vec3, points []geom.Vec3) error {
 	m.closeMu.RLock()
 	defer m.closeMu.RUnlock()
@@ -184,17 +239,26 @@ func (m *Map) Insert(origin geom.Vec3, points []geom.Vec3) error {
 	}
 	m.tracers.Put(tracer)
 
+	var err error
 	for i, cells := range route {
 		if len(cells) == 0 {
 			continue
 		}
 		sh := m.shards[i]
 		sh.mu.Lock()
-		sh.pipe.ApplyTraced(cells)
+		// With PipelineAsync, ApplyTraced hands the eviction batch to the
+		// shard's background applier on the way out, so the octree update
+		// overlaps the router's work on the remaining shards.
+		if e := sh.pipe.ApplyTraced(cells); e != nil && err == nil {
+			err = e
+		}
 		sh.mu.Unlock()
 		route[i] = cells[:0]
 	}
 	m.routes.Put(rp)
+	if err != nil {
+		return err
+	}
 
 	m.batches.Add(1)
 	m.critNS.Add(int64(time.Since(start)))
@@ -213,11 +277,13 @@ func (m *Map) InsertPointCloud(origin geom.Vec3, points []geom.Vec3) {
 }
 
 // OccupancyKey returns the accumulated log-odds of the voxel at k,
-// resolved by its owning shard (cache first, shard octree on miss).
+// resolved by its owning shard (cache first, shard octree on miss). Only
+// the shard's read lock is taken, so queries never serialize behind each
+// other — and on the cache-hit path never behind octree writes either.
 func (m *Map) OccupancyKey(k octree.Key) (logOdds float32, known bool) {
 	sh := m.shardFor(k)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
 	return sh.pipe.OccupancyKey(k)
 }
 
@@ -251,10 +317,11 @@ func (m *Map) CastRay(origin, dir geom.Vec3, maxRange float64, ignoreUnknown boo
 	return core.CastRayKeys(m.cfg.Octree, m.OccupancyKey, origin, dir, maxRange, ignoreUnknown)
 }
 
-// Close flushes every shard's cache into its octree and rejects further
-// insertions with ErrClosed. The map remains queryable. Close is
-// idempotent and safe to call concurrently with Insert: it waits for
-// in-flight insertions to drain before flushing.
+// Close flushes every shard's cache into its octree, stops background
+// appliers, and rejects further insertions with ErrClosed. The map
+// remains queryable. Close is idempotent and safe to call concurrently
+// with Insert: it waits for in-flight insertions to drain before
+// flushing.
 func (m *Map) Close() error {
 	m.closeMu.Lock()
 	defer m.closeMu.Unlock()
@@ -274,6 +341,65 @@ func (m *Map) Close() error {
 // lifecycle; Close never fails, so the error is discarded.
 func (m *Map) Finalize() { _ = m.Close() }
 
+// LoadTree splits a whole-map octree across the shards, each leaf going
+// to its owning shard — the inverse of MergedTree, used by map loading.
+// Aggregate (pruned) leaves spanning more than one shard's region are
+// expanded into the per-shard sub-cubes first, so no shard ever holds
+// space it does not own. Returns ErrClosed after Close.
+func (m *Map) LoadTree(src *octree.Tree) error {
+	m.closeMu.RLock()
+	defer m.closeMu.RUnlock()
+	if m.closed {
+		return ErrClosed
+	}
+	if p := src.Params(); p != m.cfg.Octree {
+		return fmt.Errorf("shard: loaded tree params %+v differ from map params %+v", p, m.cfg.Octree)
+	}
+
+	// A leaf routes to a single shard iff its depth reaches splitDepth:
+	// the shard index is the top `bits` bits of the 48-bit Morton code,
+	// of which the top 3·(16−Depth) are always zero, so the index is
+	// decided by the first ceil(bits/3) − (16−Depth) key triples.
+	depth := m.cfg.Octree.Depth
+	splitDepth := (m.bits+2)/3 - (16 - depth)
+	if splitDepth < 0 {
+		splitDepth = 0
+	}
+
+	var err error
+	src.Walk(func(l octree.Leaf) bool {
+		if l.Depth >= splitDepth {
+			err = m.loadLeaf(l)
+			return err == nil
+		}
+		side := 1 << (depth - l.Depth) // leaf cube edge, in voxels
+		sub := 1 << (depth - splitDepth)
+		for dx := 0; dx < side; dx += sub {
+			for dy := 0; dy < side; dy += sub {
+				for dz := 0; dz < side; dz += sub {
+					k := octree.Key{
+						X: l.Key.X + uint16(dx),
+						Y: l.Key.Y + uint16(dy),
+						Z: l.Key.Z + uint16(dz),
+					}
+					if err = m.loadLeaf(octree.Leaf{Key: k, Depth: splitDepth, LogOdds: l.LogOdds}); err != nil {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	})
+	return err
+}
+
+func (m *Map) loadLeaf(l octree.Leaf) error {
+	sh := m.shardFor(l.Key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.pipe.LoadLeaf(l)
+}
+
 // Timings aggregates the per-shard stage decompositions. RayTracing,
 // Critical and Batches accrue at the router (tracing happens outside
 // shard locks); the remaining stages sum over shards, so with concurrent
@@ -281,9 +407,9 @@ func (m *Map) Finalize() { _ = m.Close() }
 func (m *Map) Timings() core.Timings {
 	var t core.Timings
 	for _, sh := range m.shards {
-		sh.mu.Lock()
+		sh.mu.RLock()
 		t = t.Add(sh.pipe.Timings())
-		sh.mu.Unlock()
+		sh.mu.RUnlock()
 	}
 	t.Batches = m.batches.Load()
 	t.RayTracing = time.Duration(m.rayNS.Load())
@@ -295,9 +421,9 @@ func (m *Map) Timings() core.Timings {
 func (m *Map) CacheStats() cache.Stats {
 	var s cache.Stats
 	for _, sh := range m.shards {
-		sh.mu.Lock()
+		sh.mu.RLock()
 		s = s.Add(sh.pipe.CacheStats())
-		sh.mu.Unlock()
+		sh.mu.RUnlock()
 	}
 	return s
 }
@@ -318,13 +444,17 @@ type ShardStat struct {
 	Cache cache.Stats
 }
 
-// ShardStats snapshots every shard. Shards are locked one at a time, so
-// the slice is exact per-shard but time-smeared across shards while
-// producers are active.
+// ShardStats snapshots every shard. Shards are visited one at a time
+// (quiescing each shard's applier before reading its tree), so the slice
+// is exact per-shard but time-smeared across shards while producers are
+// active.
 func (m *Map) ShardStats() []ShardStat {
 	out := make([]ShardStat, len(m.shards))
 	for i, sh := range m.shards {
-		sh.mu.Lock()
+		// The read lock keeps mutators out, so no new batches can be
+		// handed off; after Quiesce the shard's tree is stable.
+		sh.mu.RLock()
+		sh.pipe.Quiesce()
 		tree := sh.pipe.Tree()
 		out[i] = ShardStat{
 			Shard:      i,
@@ -333,7 +463,7 @@ func (m *Map) ShardStats() []ShardStat {
 			QueueDepth: sh.pipe.CacheLen(),
 			Cache:      sh.pipe.CacheStats(),
 		}
-		sh.mu.Unlock()
+		sh.mu.RUnlock()
 	}
 	return out
 }
@@ -346,12 +476,13 @@ func (m *Map) ShardStats() []ShardStat {
 func (m *Map) MergedTree() *octree.Tree {
 	dst := octree.New(m.cfg.Octree)
 	for _, sh := range m.shards {
-		sh.mu.Lock()
+		sh.mu.RLock()
+		sh.pipe.Quiesce()
 		sh.pipe.Tree().Walk(func(l octree.Leaf) bool {
 			dst.SetLeafAt(l.Key, l.Depth, l.LogOdds)
 			return true
 		})
-		sh.mu.Unlock()
+		sh.mu.RUnlock()
 	}
 	return dst
 }

@@ -10,6 +10,7 @@ import (
 
 	"octocache/internal/core"
 	"octocache/internal/geom"
+	"octocache/internal/morton"
 	"octocache/internal/octree"
 )
 
@@ -118,13 +119,134 @@ func TestShardedMatchesSerial(t *testing.T) {
 	}
 }
 
+// TestPipelineCompositionsConsistent asserts the full composition
+// matrix answers bit-identically on one interleaved scan stream: the
+// serial and parallel single-driver pipelines, and sharded maps running
+// the serial and async pipelines per shard at 1, 2, and 8 shards — all
+// compared against each other after every batch, and all producing the
+// same serialized octree at the end.
+func TestPipelineCompositionsConsistent(t *testing.T) {
+	type variant struct {
+		name   string
+		insert func(geom.Vec3, []geom.Vec3) error
+		occ    func(geom.Vec3) (float32, bool)
+		ray    func(geom.Vec3, geom.Vec3) (geom.Vec3, bool)
+		close  func()
+		tree   func() *octree.Tree
+	}
+	var variants []variant
+
+	ref := core.MustNew(core.KindSerial, testConfig())
+	variants = append(variants, variant{
+		name:   "serial",
+		insert: ref.Insert,
+		occ:    ref.Occupancy,
+		ray: func(o, d geom.Vec3) (geom.Vec3, bool) {
+			return ref.CastRay(o, d, 10, true)
+		},
+		close: ref.Finalize,
+		tree:  ref.Tree,
+	})
+	par := core.MustNew(core.KindParallel, testConfig())
+	variants = append(variants, variant{
+		name:   "parallel",
+		insert: par.Insert,
+		occ:    par.Occupancy,
+		ray: func(o, d geom.Vec3) (geom.Vec3, bool) {
+			return par.CastRay(o, d, 10, true)
+		},
+		close: par.Finalize,
+		tree:  par.Tree,
+	})
+	for _, shards := range []int{1, 2, 8} {
+		for _, pl := range []Pipeline{PipelineSerial, PipelineAsync} {
+			sm, err := New(Config{Core: testConfig(), Shards: shards, Pipeline: pl})
+			if err != nil {
+				t.Fatal(err)
+			}
+			variants = append(variants, variant{
+				name:   sm.Name(),
+				insert: sm.Insert,
+				occ:    sm.Occupancy,
+				ray: func(o, d geom.Vec3) (geom.Vec3, bool) {
+					return sm.CastRay(o, d, 10, true)
+				},
+				close: func() { _ = sm.Close() },
+				tree:  sm.MergedTree,
+			})
+		}
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	origins := []geom.Vec3{
+		geom.V(0, 0, 0.5), geom.V(-3, 2, -0.5), geom.V(2, -3, 1),
+	}
+	var probes []geom.Vec3
+	for batch := 0; batch < 6; batch++ {
+		origin := origins[batch%len(origins)]
+		pts := scanArc(origin, 1.5+2*rng.Float64(), 120, rng.Float64())
+		for _, v := range variants {
+			if err := v.insert(origin, pts); err != nil {
+				t.Fatalf("%s: Insert: %v", v.name, err)
+			}
+		}
+		probes = append(probes, pts[:15]...)
+		probes = append(probes, origin)
+
+		for _, p := range probes {
+			lw, kw := variants[0].occ(p)
+			for _, v := range variants[1:] {
+				if lg, kg := v.occ(p); lg != lw || kg != kw {
+					t.Fatalf("batch %d: %s disagrees with %s at %v: (%v,%v) vs (%v,%v)",
+						batch, v.name, variants[0].name, p, lg, kg, lw, kw)
+				}
+			}
+		}
+		dir := geom.V(1, 0.3, 0)
+		hitW, okW := variants[0].ray(origin, dir)
+		for _, v := range variants[1:] {
+			if hitG, okG := v.ray(origin, dir); hitG != hitW || okG != okW {
+				t.Fatalf("batch %d: %s CastRay disagrees with %s", batch, v.name, variants[0].name)
+			}
+		}
+	}
+
+	var want bytes.Buffer
+	variants[0].close()
+	if _, err := variants[0].tree().WriteTo(&want); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range variants[1:] {
+		v.close()
+		var got bytes.Buffer
+		if _, err := v.tree().WriteTo(&got); err != nil {
+			t.Fatalf("%s: WriteTo: %v", v.name, err)
+		}
+		if !bytes.Equal(got.Bytes(), want.Bytes()) {
+			t.Errorf("%s: serialized octree differs from %s", v.name, variants[0].name)
+		}
+	}
+}
+
 // TestConcurrentProducers drives one sharded map from several producer
 // goroutines while query goroutines hammer the read paths — the test the
-// race target (go test -race ./internal/shard/...) exists for.
+// race target (go test -race ./internal/shard/...) exists for. It runs
+// once per pipeline composition, so the async per-shard applier is
+// exercised against concurrent producers and queriers too.
 func TestConcurrentProducers(t *testing.T) {
+	for _, pl := range []Pipeline{PipelineSerial, PipelineAsync} {
+		name := "serial"
+		if pl == PipelineAsync {
+			name = "async"
+		}
+		t.Run(name, func(t *testing.T) { testConcurrentProducers(t, pl) })
+	}
+}
+
+func testConcurrentProducers(t *testing.T, pl Pipeline) {
 	const producers = 4
 	const batches = 6
-	sm, err := New(Config{Core: testConfig(), Shards: 8})
+	sm, err := New(Config{Core: testConfig(), Shards: 8, Pipeline: pl})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -251,6 +373,73 @@ func TestCloseLifecycle(t *testing.T) {
 		}()
 		sm.InsertPointCloud(origin, pts)
 	}()
+}
+
+// TestLoadTreeRoutesToOwningShards: loading a serialized whole-map tree
+// into a sharded map places every leaf in the shard that owns its key
+// space — no shard's octree claims foreign voxels — and the loaded map
+// answers exactly like the original.
+func TestLoadTreeRoutesToOwningShards(t *testing.T) {
+	src, err := New(Config{Core: testConfig(), Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	var probes []geom.Vec3
+	for batch := 0; batch < 4; batch++ {
+		origin := geom.V(rng.Float64()*6-3, rng.Float64()*6-3, 0.5)
+		pts := scanArc(origin, 1+2*rng.Float64(), 100, rng.Float64())
+		if err := src.Insert(origin, pts); err != nil {
+			t.Fatal(err)
+		}
+		probes = append(probes, pts[:20]...)
+	}
+	if err := src.Close(); err != nil {
+		t.Fatal(err)
+	}
+	whole := src.MergedTree()
+
+	for _, shards := range []int{2, 8} {
+		for _, pl := range []Pipeline{PipelineSerial, PipelineAsync} {
+			sm, err := New(Config{Core: testConfig(), Shards: shards, Pipeline: pl})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sm.LoadTree(whole); err != nil {
+				t.Fatalf("shards=%d: LoadTree: %v", shards, err)
+			}
+			// Every leaf of every shard's tree must belong to that shard.
+			for i, sh := range sm.shards {
+				sh.pipe.Quiesce()
+				sh.pipe.Tree().Walk(func(l octree.Leaf) bool {
+					if owner := sm.shards[morton.ShardIndex(l.Key.Morton(), sm.bits)]; owner != sh {
+						t.Errorf("shards=%d: shard %d holds leaf %v owned elsewhere", shards, i, l.Key)
+						return false
+					}
+					return true
+				})
+			}
+			// The loaded map answers like the original, keeps accepting
+			// scans, and still merges back to the same serialization.
+			for _, p := range probes {
+				lw, kw := src.Occupancy(p)
+				if lg, kg := sm.Occupancy(p); lg != lw || kg != kw {
+					t.Fatalf("shards=%d: loaded map disagrees at %v", shards, p)
+				}
+			}
+			if err := sm.Insert(geom.V(0, 0, 0.5), scanArc(geom.V(0, 0, 0.5), 2, 50, 0)); err != nil {
+				t.Fatalf("shards=%d: Insert after load: %v", shards, err)
+			}
+			if err := sm.Close(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// A closed map refuses to load.
+	if err := src.LoadTree(whole); !errors.Is(err, ErrClosed) {
+		t.Errorf("LoadTree after Close = %v, want ErrClosed", err)
+	}
 }
 
 // TestShardRounding: shard counts round up to powers of two and the

@@ -5,6 +5,14 @@
 // octree insertion. Enqueue and dequeue are wait-free when the queue is
 // neither full nor empty, so the inter-thread transmission overhead stays
 // negligible (paper Table 3).
+//
+// In this codebase the queue feeds the engine's async applier
+// (internal/core): each mutator hands eviction batches through one Queue
+// to the applier goroutine that writes them into the octree — one such
+// pair per pipeline, and with sharded async maps one per shard. The SPSC
+// restriction holds because engine mutators are serialized by contract
+// (single driver, or the shard's write lock), making the mutator side
+// the one producer and the applier goroutine the one consumer.
 package spsc
 
 import (

@@ -38,11 +38,19 @@
 // distinct producers contend only when their scans land on the same
 // shard. Queries contend only on the shard that owns the queried voxel.
 //
-// Sharded maps answer queries bit-identical to ModeSerial when driven
-// sequentially; under concurrent producers each voxel's update stream is
-// serialized by its owning shard, so per-voxel results remain exact
-// while cross-voxel snapshots are only as atomic as the caller's own
-// synchronization. When Shards >= 1 the Mode option is ignored.
+// Mode composes with Shards (it is no longer ignored when Shards >= 1):
+// every shard runs the selected pipeline, so ModeParallel — the default
+// — gives each shard its own background octree applier and SPSC buffer,
+// the paper's two-thread schedule replicated per shard. Shard locking is
+// read/write: queries share a shard's read lock, and a query answered
+// from the shard's cache touches no lock shared with octree writers at
+// all.
+//
+// Sharded maps answer queries bit-identical to the single-driver
+// pipelines when driven sequentially; under concurrent producers each
+// voxel's update stream is serialized by its owning shard, so per-voxel
+// results remain exact while cross-voxel snapshots are only as atomic
+// as the caller's own synchronization.
 //
 // The public API wraps internal/core and internal/shard; the substrate
 // packages (octree, cache, Morton codes, ray tracing, simulation stack)
@@ -82,15 +90,15 @@ var ErrClosed = shard.ErrClosed
 type Mode int
 
 const (
-	// ModeOctoMap is the vanilla baseline: no cache, every traced voxel
-	// updates the octree directly. Useful for comparison.
-	ModeOctoMap Mode = iota
-	// ModeSerial is the single-threaded OctoCache.
-	ModeSerial
 	// ModeParallel is the two-threaded OctoCache: octree updates run on a
 	// background goroutine, off the query critical path. This is the
-	// paper's full design and the default.
-	ModeParallel
+	// paper's full design and the default (zero value).
+	ModeParallel Mode = iota
+	// ModeSerial is the single-threaded OctoCache.
+	ModeSerial
+	// ModeOctoMap is the vanilla baseline: no cache, every traced voxel
+	// updates the octree directly. Useful for comparison.
+	ModeOctoMap
 )
 
 // Options configures a Map. The zero value is not valid; Resolution is
@@ -98,8 +106,10 @@ const (
 type Options struct {
 	// Resolution is the voxel edge length in meters (e.g. 0.05–1.0).
 	Resolution float64
-	// Mode selects the pipeline; the default is ModeParallel. Ignored
-	// when Shards >= 1.
+	// Mode selects the pipeline; the default is ModeParallel. It
+	// composes with Shards: a sharded map runs the selected pipeline in
+	// every shard (ModeParallel gives each shard its own background
+	// octree applier — the paper's two-thread schedule, per shard).
 	Mode Mode
 	// Shards, when 1 or more, partitions space across that many
 	// independent pipelines (rounded up to a power of two, at most
@@ -154,14 +164,62 @@ func New(opts Options) *Map {
 
 // NewChecked creates a Map, validating the options.
 func NewChecked(opts Options) (*Map, error) {
+	cfg, err := buildConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	return newMap(opts, cfg)
+}
+
+// Open reads a map serialized with WriteTo and makes it live again: the
+// loaded octree becomes the pipeline's (or, sharded, each owning
+// shard's) backing tree, ready for further Insert calls and queries. The
+// stream's parameters (resolution, tree depth, sensor model) are
+// authoritative; Options.Resolution is ignored. The remaining options —
+// Mode, Shards, cache shape — configure the reopened map exactly as they
+// would a new one.
+func Open(r io.Reader, opts Options) (*Map, error) {
+	var src octree.Tree
+	if _, err := src.ReadFrom(r); err != nil {
+		return nil, err
+	}
+	params := src.Params()
+	opts.Resolution = params.Resolution
+	cfg, err := buildConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Octree = params
+	m, err := newMap(opts, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if m.sharded != nil {
+		if err := m.sharded.LoadTree(&src); err != nil {
+			return nil, err
+		}
+		return m, nil
+	}
+	loader, ok := m.mapper.(interface{ LoadTree(*octree.Tree) error })
+	if !ok {
+		return nil, fmt.Errorf("octocache: pipeline %s does not support loading", m.mapper.Name())
+	}
+	if err := loader.LoadTree(&src); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// buildConfig validates the options and derives the pipeline config.
+func buildConfig(opts Options) (core.Config, error) {
 	if opts.CacheBuckets < 0 {
-		return nil, fmt.Errorf("octocache: CacheBuckets must be >= 0, got %d", opts.CacheBuckets)
+		return core.Config{}, fmt.Errorf("octocache: CacheBuckets must be >= 0, got %d", opts.CacheBuckets)
 	}
 	if opts.CacheTau < 0 {
-		return nil, fmt.Errorf("octocache: CacheTau must be >= 0, got %d", opts.CacheTau)
+		return core.Config{}, fmt.Errorf("octocache: CacheTau must be >= 0, got %d", opts.CacheTau)
 	}
 	if opts.Shards < 0 {
-		return nil, fmt.Errorf("octocache: Shards must be >= 0, got %d", opts.Shards)
+		return core.Config{}, fmt.Errorf("octocache: Shards must be >= 0, got %d", opts.Shards)
 	}
 	cfg := core.DefaultConfig(opts.Resolution)
 	cfg.MaxRange = opts.MaxRange
@@ -173,9 +231,20 @@ func NewChecked(opts Options) (*Map, error) {
 	if opts.CacheTau > 0 {
 		cfg.CacheTau = opts.CacheTau
 	}
+	return cfg, nil
+}
 
+// newMap assembles the pipeline (or sharded service) the options select.
+func newMap(opts Options, cfg core.Config) (*Map, error) {
 	if opts.Shards >= 1 {
-		sm, err := shard.New(shard.Config{Core: cfg, Shards: opts.Shards})
+		pl := shard.PipelineAsync
+		switch opts.Mode {
+		case ModeSerial:
+			pl = shard.PipelineSerial
+		case ModeOctoMap:
+			pl = shard.PipelineDirect
+		}
+		sm, err := shard.New(shard.Config{Core: cfg, Shards: opts.Shards, Pipeline: pl})
 		if err != nil {
 			return nil, err
 		}
@@ -208,8 +277,7 @@ func (m *Map) Insert(origin Vec3, points []Vec3) error {
 	if m.closed.Load() {
 		return ErrClosed
 	}
-	m.mapper.InsertPointCloud(origin, points)
-	return nil
+	return m.mapper.Insert(origin, points)
 }
 
 // InsertPointCloud is Insert with the legacy panic-on-misuse behaviour.

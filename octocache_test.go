@@ -316,3 +316,129 @@ func TestShardedStats(t *testing.T) {
 	}
 	u.Close()
 }
+
+// TestOpenRoundTrip: a map serialized with WriteTo reopens through Open
+// — single-driver and sharded — answering identically, accepting further
+// scans, and reserializing to the same bytes when untouched.
+func TestOpenRoundTrip(t *testing.T) {
+	src := New(Options{Resolution: 0.1, Mode: ModeSerial, CacheBuckets: 1 << 10, MaxRange: 6})
+	origins := []Vec3{V(0, 0, 0.5), V(-2, 1.5, -0.5), V(1.5, -2, 1)}
+	var probes []Vec3
+	for i, origin := range origins {
+		pts := scanRing(origin, 1.5+0.4*float64(i), 150)
+		if err := src.Insert(origin, pts); err != nil {
+			t.Fatal(err)
+		}
+		probes = append(probes, pts[:40]...)
+		probes = append(probes, origin)
+	}
+	if err := src.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var blob bytes.Buffer
+	if _, err := src.WriteTo(&blob); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, opts := range []Options{
+		{}, // defaults: ModeParallel, unsharded
+		{Mode: ModeSerial},
+		{Mode: ModeOctoMap},
+		{Shards: 1}, // sharded, async per shard (default mode)
+		{Shards: 4},
+		{Shards: 4, Mode: ModeSerial},
+		{Resolution: 99}, // stream params win over Options.Resolution
+	} {
+		m, err := Open(bytes.NewReader(blob.Bytes()), opts)
+		if err != nil {
+			t.Fatalf("Open(%+v): %v", opts, err)
+		}
+		if m.Resolution() != 0.1 {
+			t.Fatalf("Open(%+v): resolution %v, want stream's 0.1", opts, m.Resolution())
+		}
+		for _, p := range probes {
+			lw, kw := src.Occupancy(p)
+			if lg, kg := m.Occupancy(p); lg != lw || kg != kw {
+				t.Fatalf("Open(%+v): disagrees with source at %v: (%v,%v) vs (%v,%v)",
+					opts, p, lg, kg, lw, kw)
+			}
+		}
+		// Untouched, the reopened map reserializes to the same bytes.
+		if err := m.Close(); err != nil {
+			t.Fatal(err)
+		}
+		var again bytes.Buffer
+		if _, err := m.WriteTo(&again); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(again.Bytes(), blob.Bytes()) {
+			t.Errorf("Open(%+v): reserialization differs from source", opts)
+		}
+	}
+
+	// A reopened map keeps mapping: new scans land on top of the loaded
+	// state exactly as they would have on the original.
+	reopened, err := Open(bytes.NewReader(blob.Bytes()), Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra := scanRing(V(0, 0, 0.5), 2.5, 120)
+	if err := reopened.Insert(V(0, 0, 0.5), extra); err != nil {
+		t.Fatalf("Insert after Open: %v", err)
+	}
+	if _, known := reopened.Occupancy(extra[0]); !known {
+		t.Error("scan inserted after Open not visible")
+	}
+	reopened.Close()
+
+	if _, err := Open(bytes.NewReader([]byte("not a map")), Options{}); err == nil {
+		t.Error("Open accepted garbage input")
+	}
+}
+
+// TestModeComposesWithShards: every Mode × Shards combination answers
+// bit-identically to the unsharded serial pipeline on the same stream —
+// Mode is no longer ignored when Shards >= 1.
+func TestModeComposesWithShards(t *testing.T) {
+	ref := New(Options{Resolution: 0.1, Mode: ModeSerial, CacheBuckets: 1 << 10})
+	var maps []*Map
+	for _, mode := range []Mode{ModeParallel, ModeSerial, ModeOctoMap} {
+		for _, shards := range []int{0, 1, 4} {
+			maps = append(maps, New(Options{
+				Resolution: 0.1, Mode: mode, Shards: shards, CacheBuckets: 1 << 10,
+			}))
+		}
+	}
+	origin := V(0, 0, 0.5)
+	rng := rand.New(rand.NewSource(11))
+	var probes []Vec3
+	for batch := 0; batch < 5; batch++ {
+		var pts []Vec3
+		for j := 0; j < 120; j++ {
+			ang := rng.Float64() * 2 * math.Pi
+			r := 1 + rng.Float64()*2.5
+			pts = append(pts, origin.Add(V(r*math.Cos(ang), r*math.Sin(ang), rng.Float64()-0.5)))
+		}
+		if err := ref.Insert(origin, pts); err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range maps {
+			if err := m.Insert(origin, pts); err != nil {
+				t.Fatal(err)
+			}
+		}
+		probes = append(probes, pts[:25]...)
+		for _, p := range probes {
+			lw, kw := ref.Occupancy(p)
+			for i, m := range maps {
+				if lg, kg := m.Occupancy(p); lg != lw || kg != kw {
+					t.Fatalf("batch %d map %d (%d shards): disagrees at %v", batch, i, m.Shards(), p)
+				}
+			}
+		}
+	}
+	ref.Close()
+	for _, m := range maps {
+		m.Close()
+	}
+}
