@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench verify
+.PHONY: build test vet race bench bench-json verify
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,12 @@ race:
 
 bench:
 	$(GO) test -bench . -benchtime 1x ./...
+
+# Machine-readable perf snapshot: per-pipeline insert ns/op, allocs/op,
+# and the serial cache hit rate. BENCHTIME=50ms makes a CI smoke run.
+BENCHTIME ?= 1s
+bench-json:
+	$(GO) run ./cmd/benchjson -benchtime $(BENCHTIME) -o BENCH_core.json
 
 verify: vet race
 	$(GO) build ./... && $(GO) test ./...

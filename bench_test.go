@@ -47,9 +47,9 @@ func BenchmarkAblationOrdering(b *testing.B)    { runExperiment(b, "abl-order") 
 func BenchmarkAblationArena(b *testing.B)       { runExperiment(b, "abl-arena") }
 func BenchmarkAblationDownsample(b *testing.B)  { runExperiment(b, "abl-downsample") }
 
-// BenchmarkInsertPointCloud measures the public API's steady-state
-// per-scan insertion cost with a warm cache.
-func BenchmarkInsertPointCloud(b *testing.B) {
+// BenchmarkInsert measures the public API's steady-state per-scan
+// insertion cost with a warm cache.
+func BenchmarkInsert(b *testing.B) {
 	for _, mode := range []struct {
 		name string
 		mode Mode
@@ -66,13 +66,13 @@ func BenchmarkInsertPointCloud(b *testing.B) {
 				ang := float64(i) * math.Pi / 180
 				pts = append(pts, V(4*math.Cos(ang), 4*math.Sin(ang), 1.2))
 			}
-			m.InsertPointCloud(origin, pts) // warm up
+			m.Insert(origin, pts) // warm up
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				m.InsertPointCloud(origin, pts)
+				m.Insert(origin, pts)
 			}
 			b.StopTimer()
-			m.Finalize()
+			m.Close()
 		})
 	}
 }
@@ -87,7 +87,7 @@ func BenchmarkQuery(b *testing.B) {
 		pts = append(pts, V(4*math.Cos(ang), 4*math.Sin(ang), 1.2))
 	}
 	for s := 0; s < 5; s++ {
-		m.InsertPointCloud(origin, pts)
+		m.Insert(origin, pts)
 	}
 	b.ResetTimer()
 	hits := 0
@@ -98,7 +98,7 @@ func BenchmarkQuery(b *testing.B) {
 		}
 	}
 	b.StopTimer()
-	m.Finalize()
+	m.Close()
 	_ = hits
 }
 func BenchmarkExtShardScaling(b *testing.B) { runExperiment(b, "ext-shard") }

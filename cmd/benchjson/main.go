@@ -1,0 +1,132 @@
+// Command benchjson measures the core insertion path and emits a small
+// machine-readable snapshot (BENCH_core.json) so the perf trajectory —
+// insert ns/op, allocs/op, cache hit rate — is tracked across PRs
+// instead of living only in ad-hoc benchmark logs.
+//
+// The workload mirrors the public BenchmarkInsert: a fixed 360-point
+// ring scan inserted repeatedly into a warm map, per pipeline mode. It
+// uses testing.Benchmark so the numbers are directly comparable to
+// `go test -bench Insert` output.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"octocache"
+)
+
+type insertResult struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+type report struct {
+	Schema       string                  `json:"schema"`
+	GoVersion    string                  `json:"go_version"`
+	GOOS         string                  `json:"goos"`
+	GOARCH       string                  `json:"goarch"`
+	Insert       map[string]insertResult `json:"insert"`
+	CacheHitRate float64                 `json:"cache_hit_rate"`
+}
+
+// scanRing is the benchmark scan: a cylindrical wall 4 m out, one point
+// per degree, re-observed every iteration so the cache absorbs most of
+// the update stream (the steady state the paper measures).
+func scanRing() []octocache.Vec3 {
+	pts := make([]octocache.Vec3, 0, 360)
+	for i := 0; i < 360; i++ {
+		ang := float64(i) * math.Pi / 180
+		pts = append(pts, octocache.V(4*math.Cos(ang), 4*math.Sin(ang), 1.2))
+	}
+	return pts
+}
+
+func benchInsert(mode octocache.Mode) (insertResult, float64) {
+	origin := octocache.V(0, 0, 1.2)
+	pts := scanRing()
+	var hitRate float64
+	r := testing.Benchmark(func(b *testing.B) {
+		m := octocache.New(octocache.Options{
+			Resolution:   0.1,
+			Mode:         mode,
+			MaxRange:     8,
+			CacheBuckets: 1 << 14,
+		})
+		m.Insert(origin, pts) // warm up
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.Insert(origin, pts)
+		}
+		b.StopTimer()
+		m.Close()
+		hitRate = m.Stats().CacheHitRate
+	})
+	return insertResult{
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		Iterations:  r.N,
+	}, hitRate
+}
+
+func main() {
+	out := flag.String("o", "BENCH_core.json", "output file (- for stdout)")
+	benchtime := flag.Duration("benchtime", time.Second, "target run time per benchmark")
+	flag.Parse()
+
+	// testing.Benchmark reads the package-level -test.benchtime flag;
+	// register the testing flags and set it explicitly.
+	testing.Init()
+	if err := flag.CommandLine.Lookup("test.benchtime").Value.Set(benchtime.String()); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+
+	rep := report{
+		Schema:    "octocache-bench-core/v1",
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Insert:    make(map[string]insertResult),
+	}
+	for _, mc := range []struct {
+		name string
+		mode octocache.Mode
+	}{
+		{"octomap", octocache.ModeOctoMap},
+		{"serial", octocache.ModeSerial},
+		{"parallel", octocache.ModeParallel},
+	} {
+		res, hitRate := benchInsert(mc.mode)
+		rep.Insert[mc.name] = res
+		if mc.name == "serial" {
+			rep.CacheHitRate = hitRate
+		}
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out == "-" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}

@@ -74,9 +74,9 @@ func main() {
 	fmt.Printf("building map with %s at %.2fm resolution...\n", m.Name(), *res)
 	start := time.Now()
 	for _, s := range ds.Scans {
-		m.InsertPointCloud(s.Origin, s.Points)
+		m.Insert(s.Origin, s.Points)
 	}
-	m.Finalize()
+	m.Close()
 	wall := time.Since(start)
 
 	tm := m.Timings()

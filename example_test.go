@@ -14,7 +14,7 @@ func ExampleMap() {
 		Mode:       octocache.ModeSerial,
 		MaxRange:   10,
 	})
-	defer m.Finalize()
+	defer m.Close()
 
 	// One scan: a wall of points 3 m in front of the sensor.
 	origin := octocache.V(0, 0, 1)
@@ -22,7 +22,7 @@ func ExampleMap() {
 	for y := -1.0; y <= 1.0; y += 0.05 {
 		points = append(points, octocache.V(3, y, 1))
 	}
-	m.InsertPointCloud(origin, points)
+	m.Insert(origin, points)
 
 	fmt.Println("wall occupied:", m.Occupied(octocache.V(3, 0, 1)))
 	fmt.Println("path occupied:", m.Occupied(octocache.V(1.5, 0, 1)))
@@ -37,8 +37,8 @@ func ExampleMap() {
 // ExampleProbability converts a queried log-odds value to a probability.
 func ExampleProbability() {
 	m := octocache.New(octocache.Options{Resolution: 0.1})
-	defer m.Finalize()
-	m.InsertPointCloud(octocache.V(0, 0, 0), []octocache.Vec3{octocache.V(2, 0, 0)})
+	defer m.Close()
+	m.Insert(octocache.V(0, 0, 0), []octocache.Vec3{octocache.V(2, 0, 0)})
 
 	l, _ := m.Occupancy(octocache.V(2, 0, 0))
 	p := octocache.Probability(l)
@@ -57,9 +57,9 @@ func ExampleMap_stats() {
 	origin := octocache.V(0, 0, 1)
 	points := []octocache.Vec3{octocache.V(3, 0, 1), octocache.V(3, 0.5, 1)}
 	for i := 0; i < 100; i++ {
-		m.InsertPointCloud(origin, points)
+		m.Insert(origin, points)
 	}
-	m.Finalize()
+	m.Close()
 	st := m.Stats()
 	fmt.Println("hit rate above 90%:", st.CacheHitRate > 0.9)
 	fmt.Println("octree writes below traced:", st.VoxelsToOctree < st.VoxelsTraced)

@@ -39,9 +39,9 @@ func main() {
 		m := core.MustNew(kind, cfg)
 		start := time.Now()
 		for _, s := range ds.Scans {
-			m.InsertPointCloud(s.Origin, s.Points)
+			m.Insert(s.Origin, s.Points)
 		}
-		m.Finalize()
+		m.Close()
 		wall := time.Since(start)
 		if kind == core.KindOctoMap {
 			octomapTime = wall

@@ -47,7 +47,7 @@ func main() {
 		pts := sens.Scan(w, geom.Pose{Position: origin}, nil)
 		states := make([]string, len(mappers))
 		for i, m := range mappers {
-			m.InsertPointCloud(origin, pts)
+			m.Insert(origin, pts)
 			l, known := m.Occupancy(watch)
 			switch {
 			case !known:
@@ -63,7 +63,7 @@ func main() {
 			t, blockY, states[0], states[1], states[0] == states[1])
 	}
 	for _, m := range mappers {
-		m.Finalize()
+		m.Close()
 	}
 	fmt.Println("\nThe watch voxel flips free→OCCUPIED as the block crosses and back to free")
 	fmt.Println("after it leaves — with bit-identical answers from both pipelines, because the")

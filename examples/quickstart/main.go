@@ -29,7 +29,7 @@ func main() {
 			ang := float64(i) * math.Pi / 180
 			points = append(points, octocache.V(4*math.Cos(ang), 4*math.Sin(ang), 1.2))
 		}
-		m.InsertPointCloud(sensor, points)
+		m.Insert(sensor, points)
 	}
 
 	// Queries are OctoMap-consistent: the wall is occupied, the interior
@@ -45,7 +45,7 @@ func main() {
 	_, known := m.Occupancy(behind)
 	fmt.Println("behind known:   ", known)
 
-	m.Finalize()
+	m.Close()
 	st := m.Stats()
 	fmt.Printf("\n%d scans -> %d voxel observations, %.1f%% absorbed by the cache\n",
 		st.Batches, st.VoxelsTraced,

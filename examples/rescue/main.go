@@ -55,7 +55,7 @@ func surveyMission(kind core.Kind) (core.Mapper, float64) {
 			// latency feeds the velocity roofline.
 			start := time.Now()
 			pts := sens.Scan(w, pose, nil)
-			m.InsertPointCloud(pos, pts)
+			m.Insert(pos, pts)
 			compute := time.Since(start).Seconds() * slowdown
 
 			tResp := frame.SensorLatency() + compute
@@ -66,7 +66,7 @@ func surveyMission(kind core.Kind) (core.Mapper, float64) {
 			simTime += dt
 		}
 	}
-	m.Finalize()
+	m.Close()
 	return m, simTime
 }
 

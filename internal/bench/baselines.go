@@ -159,9 +159,9 @@ func runAblDownsample(opt Options) ([]*Table, error) {
 				if v.downsample {
 					pts = pointcloud.Downsample(pts, res)
 				}
-				m.InsertPointCloud(s.Origin, pts)
+				m.Insert(s.Origin, pts)
 			}
-			m.Finalize()
+			m.Close()
 			wall := time.Since(start)
 			tm := m.Timings()
 			t.AddRow(name, v.label, fmtDur(wall.Seconds()),

@@ -194,9 +194,9 @@ func loadDataset(name string, scale float64) (*dataset.Dataset, error) {
 // and returns the timing decomposition plus the cache statistics.
 func replay(m core.Mapper, ds *dataset.Dataset) (core.Timings, cache.Stats) {
 	for _, s := range ds.Scans {
-		m.InsertPointCloud(s.Origin, s.Points)
+		m.Insert(s.Origin, s.Points)
 	}
-	m.Finalize()
+	m.Close()
 	return m.Timings(), m.CacheStats()
 }
 

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"time"
 
 	"octocache/internal/cache"
 	"octocache/internal/core"
@@ -166,17 +167,18 @@ func fmtBytes(b int64) string {
 func init() {
 	register(Experiment{
 		ID:    "abl-arena",
-		Title: "Ablation: arena node allocation vs general heap (GC/locality effect on construction)",
+		Title: "Ablation: octree arena occupancy and footprint after construction",
 		Run:   runAblArena,
 	})
 }
 
 func runAblArena(opt Options) ([]*Table, error) {
 	t := &Table{
-		Title: "Ablation: octree node allocation strategy",
-		Note: "Go offers no direct memory-layout control (the repro-band caveat); a chunked arena\n" +
-			"with prune-recycling restores part of the locality and removes most allocations.",
-		Header: []string{"dataset", "pipeline", "alloc", "construction"},
+		Title: "Ablation: octree arena occupancy after dataset construction",
+		Note: "Nodes live in contiguous handle-addressed arenas; pruning recycles slots through\n" +
+			"free lists instead of the GC. 'free' slots are pruning churn awaiting reuse, so\n" +
+			"live/capacity is the arena's steady-state occupancy.",
+		Header: []string{"dataset", "pipeline", "construction", "live", "free", "capacity", "bytes"},
 	}
 	for _, name := range dataset.Names() {
 		ds, err := loadDataset(name, opt.scale())
@@ -185,17 +187,19 @@ func runAblArena(opt Options) ([]*Table, error) {
 		}
 		res := referenceResolution(name)
 		for _, kind := range []core.Kind{core.KindOctoMap, core.KindSerial} {
-			for _, arena := range []bool{false, true} {
-				opt.logf("abl-arena: %s/%v arena=%v", name, kind, arena)
-				cfg := constructionConfig(ds, res, false)
-				cfg.Arena = arena
-				dur := timeReplay(kind, cfg, ds)
-				label := "heap"
-				if arena {
-					label = "arena"
-				}
-				t.AddRow(name, kind.String(), label, fmtDur(dur.Seconds()))
+			opt.logf("abl-arena: %s/%v", name, kind)
+			cfg := constructionConfig(ds, res, false)
+			m := core.MustNew(kind, cfg)
+			start := time.Now()
+			for _, s := range ds.Scans {
+				m.Insert(s.Origin, s.Points)
 			}
+			m.Close()
+			dur := time.Since(start)
+			live, free, capacity := m.Tree().ArenaStats()
+			t.AddRow(name, kind.String(), fmtDur(dur.Seconds()),
+				fmt.Sprint(live), fmt.Sprint(free), fmt.Sprint(capacity),
+				fmtBytes(m.Tree().MemoryBytes()))
 		}
 	}
 	return []*Table{t}, nil

@@ -133,15 +133,15 @@ func figNo(rt bool) string {
 }
 
 // timeReplay measures wall-clock time for a full dataset replay,
-// including Finalize (so the parallel pipeline's background work is paid
+// including Close (so the parallel pipeline's background work is paid
 // for, exactly as the construction task requires the finished octree).
 func timeReplay(kind core.Kind, cfg core.Config, ds *dataset.Dataset) time.Duration {
 	m := core.MustNew(kind, cfg)
 	start := time.Now()
 	for _, s := range ds.Scans {
-		m.InsertPointCloud(s.Origin, s.Points)
+		m.Insert(s.Origin, s.Points)
 	}
-	m.Finalize()
+	m.Close()
 	return time.Since(start)
 }
 

@@ -1,0 +1,38 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"octocache/internal/geom"
+)
+
+// TestInsertSteadyStateAllocs pins down the zero-allocation batch path:
+// once the tracer's batch buffer, the engine's cell buffers, the cache,
+// and the octree arena are warmed, a serial-pipeline Insert of an
+// already-mapped scan must not allocate. A small slack absorbs runtime
+// noise (timer reads, map-internal rehash amortization), but per-voxel or
+// per-batch allocation regressions blow well past it.
+func TestInsertSteadyStateAllocs(t *testing.T) {
+	for _, kind := range []Kind{KindSerial, KindOctoMap} {
+		t.Run(kind.String(), func(t *testing.T) {
+			m := MustNew(kind, testConfig())
+			rng := rand.New(rand.NewSource(11))
+			origin := geom.V(0.5, 0.5, 1)
+			scan := synthScan(rng, origin, 200)
+			for i := 0; i < 50; i++ { // warm every buffer and saturate values
+				if err := m.Insert(origin, scan); err != nil {
+					t.Fatal(err)
+				}
+			}
+			avg := testing.AllocsPerRun(20, func() {
+				if err := m.Insert(origin, scan); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if avg > 2 {
+				t.Errorf("steady-state Insert allocates %.1f times per scan; want ~0", avg)
+			}
+		})
+	}
+}

@@ -58,16 +58,6 @@ func (m *voxelCacheMapper) Name() string {
 	return "voxelcache"
 }
 
-// InsertPointCloud is Insert with the seed API's panic-on-misuse
-// behaviour.
-//
-// Deprecated: use Insert, which reports ErrClosed instead of panicking.
-func (m *voxelCacheMapper) InsertPointCloud(origin geom.Vec3, points []geom.Vec3) {
-	if err := m.Insert(origin, points); err != nil {
-		panic("core: InsertPointCloud after Finalize: " + err.Error())
-	}
-}
-
 func (m *voxelCacheMapper) Insert(origin geom.Vec3, points []geom.Vec3) error {
 	if m.done {
 		return ErrClosed
@@ -103,11 +93,11 @@ func (m *voxelCacheMapper) Occupied(p geom.Vec3) bool {
 
 func (m *voxelCacheMapper) OccupiedKey(k octree.Key) bool { return m.tree.Occupied(k) }
 
-// Finalize mirrors the indexed tree's content into a standard pruned
+// Close mirrors the indexed tree's content into a standard pruned
 // octree so Tree() consumers (serialization, box queries) work.
-func (m *voxelCacheMapper) Finalize() {
+func (m *voxelCacheMapper) Close() error {
 	if m.done {
-		return
+		return nil
 	}
 	m.done = true
 	// The index holds every known leaf; replay the accumulated values.
@@ -116,13 +106,14 @@ func (m *voxelCacheMapper) Finalize() {
 			m.shadow.SetNodeValue(k, l)
 		}
 	}
+	return nil
 }
 
 // indexKeys iterates the known voxel set (via tree search on batch keys
 // is unavailable; IndexedTree exposes no iterator, so walk the key space
 // through its index by reconstructing from shadow needs). To keep the
 // baseline honest and simple, IndexedTree records are mirrored lazily:
-// this helper exists as a seam for Finalize.
+// this helper exists as a seam for Close.
 func (m *voxelCacheMapper) indexKeys() map[octree.Key]struct{} {
 	return m.tree.Keys()
 }
@@ -169,16 +160,6 @@ func (m *naiveMapper) Name() string {
 		return "naive-parallel-rt"
 	}
 	return "naive-parallel"
-}
-
-// InsertPointCloud is Insert with the seed API's panic-on-misuse
-// behaviour.
-//
-// Deprecated: use Insert, which reports ErrClosed instead of panicking.
-func (m *naiveMapper) InsertPointCloud(origin geom.Vec3, points []geom.Vec3) {
-	if err := m.Insert(origin, points); err != nil {
-		panic("core: InsertPointCloud after Finalize: " + err.Error())
-	}
 }
 
 func (m *naiveMapper) Insert(origin geom.Vec3, points []geom.Vec3) error {
@@ -248,7 +229,7 @@ func (m *naiveMapper) OccupiedKey(k octree.Key) bool {
 }
 
 func (m *naiveMapper) Resolution() float64     { return m.cfg.Octree.Resolution }
-func (m *naiveMapper) Finalize()               { m.done = true }
+func (m *naiveMapper) Close() error            { m.done = true; return nil }
 func (m *naiveMapper) Tree() *octree.Tree      { return m.tree }
 func (m *naiveMapper) Timings() Timings        { return m.timings }
 func (m *naiveMapper) CacheStats() cache.Stats { return cache.Stats{} }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -20,8 +21,8 @@ func TestVoxelCacheBaselineQueryEquivalence(t *testing.T) {
 	for i := 0; i < 15; i++ {
 		origin := geom.V(float64(i)*0.2, 0, 1)
 		pts := synthScan(rng, origin, 100)
-		a.InsertPointCloud(origin, pts)
-		b.InsertPointCloud(origin, pts)
+		a.Insert(origin, pts)
+		b.Insert(origin, pts)
 		for probe := 0; probe < 40; probe++ {
 			p := geom.V(probeRNG.Float64()*6-1, probeRNG.Float64()*4-2, probeRNG.Float64()*3)
 			la, ka := a.Occupancy(p)
@@ -32,8 +33,8 @@ func TestVoxelCacheBaselineQueryEquivalence(t *testing.T) {
 			}
 		}
 	}
-	a.Finalize()
-	b.Finalize()
+	a.Close()
+	b.Close()
 	// After finalize the shadow tree answers identically too.
 	for probe := 0; probe < 200; probe++ {
 		p := geom.V(probeRNG.Float64()*6-1, probeRNG.Float64()*4-2, probeRNG.Float64()*3)
@@ -54,23 +55,23 @@ func TestVoxelCacheUsesMoreMemory(t *testing.T) {
 	for i := 0; i < 10; i++ {
 		origin := geom.V(float64(i)*0.2, 0, 1)
 		pts := synthScan(rng, origin, 150)
-		a.InsertPointCloud(origin, pts)
-		b.InsertPointCloud(origin, pts)
+		a.Insert(origin, pts)
+		b.Insert(origin, pts)
 	}
 	vc := b.(*voxelCacheMapper)
 	if vc.MemoryBytes() <= a.Tree().MemoryBytes() {
 		t.Errorf("voxelcache memory %d should exceed octomap %d",
 			vc.MemoryBytes(), a.Tree().MemoryBytes())
 	}
-	a.Finalize()
-	b.Finalize()
+	a.Close()
+	b.Close()
 }
 
 func TestNaiveParallelProducesUsableMap(t *testing.T) {
 	cfg := testConfig()
 	m := MustNew(KindNaive, cfg)
 	target := geom.V(3, 0, 1)
-	m.InsertPointCloud(geom.V(0, 0, 1), []geom.Vec3{target})
+	m.Insert(geom.V(0, 0, 1), []geom.Vec3{target})
 	if !m.Occupied(target) {
 		t.Error("naive-parallel lost the obstacle")
 	}
@@ -81,7 +82,7 @@ func TestNaiveParallelProducesUsableMap(t *testing.T) {
 	if _, known := m.Occupancy(geom.V(-2, -2, -2)); known {
 		t.Error("unobserved voxel known")
 	}
-	m.Finalize()
+	m.Close()
 	if m.Timings().Batches != 1 {
 		t.Error("timings not recorded")
 	}
@@ -97,11 +98,11 @@ func TestNaiveParallelApproximateConsistency(t *testing.T) {
 	for i := 0; i < 10; i++ {
 		origin := geom.V(float64(i)*0.25, 0, 1)
 		pts := synthScan(rng, origin, 100)
-		a.InsertPointCloud(origin, pts)
-		b.InsertPointCloud(origin, pts)
+		a.Insert(origin, pts)
+		b.Insert(origin, pts)
 	}
-	a.Finalize()
-	b.Finalize()
+	a.Close()
+	b.Close()
 	disagreements := 0
 	total := 0
 	probeRNG := rand.New(rand.NewSource(8))
@@ -137,19 +138,20 @@ func TestBaselineNames(t *testing.T) {
 	}
 }
 
-func TestBaselineFinalizeTerminal(t *testing.T) {
+func TestBaselineCloseTerminal(t *testing.T) {
 	for _, kind := range []Kind{KindVoxelCache, KindNaive} {
 		m := MustNew(kind, testConfig())
-		m.InsertPointCloud(geom.V(0, 0, 1), []geom.Vec3{geom.V(2, 0, 1)})
-		m.Finalize()
-		m.Finalize()
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("%v: insert after finalize did not panic", kind)
-				}
-			}()
-			m.InsertPointCloud(geom.V(0, 0, 1), []geom.Vec3{geom.V(2, 0, 1)})
-		}()
+		if err := m.Insert(geom.V(0, 0, 1), []geom.Vec3{geom.V(2, 0, 1)}); err != nil {
+			t.Fatalf("%v: Insert: %v", kind, err)
+		}
+		if err := m.Close(); err != nil {
+			t.Fatalf("%v: Close: %v", kind, err)
+		}
+		if err := m.Close(); err != nil {
+			t.Fatalf("%v: second Close: %v", kind, err)
+		}
+		if err := m.Insert(geom.V(0, 0, 1), []geom.Vec3{geom.V(2, 0, 1)}); !errors.Is(err, ErrClosed) {
+			t.Errorf("%v: Insert after Close = %v, want ErrClosed", kind, err)
+		}
 	}
 }

@@ -44,17 +44,15 @@ type Config struct {
 	EvictOrder cache.EvictOrder
 	// RT enables deduplicating ray tracing (the OctoMap-RT method).
 	RT bool
-	// Arena allocates octree nodes from chunked slabs with
-	// prune-recycling instead of the general heap — a locality/GC
-	// optimization (see octree.NewArena and the abl-arena experiment).
+	// Arena is a no-op: the octree always stores nodes in contiguous
+	// handle-addressed arenas with prune-recycling.
+	//
+	// Deprecated: arena storage is the only implementation now.
 	Arena bool
 }
 
-// newTree builds the backing octree per the Arena setting.
+// newTree builds the backing octree.
 func (c Config) newTree() *octree.Tree {
-	if c.Arena {
-		return octree.NewArena(c.Octree)
-	}
 	return octree.New(c.Octree)
 }
 

@@ -69,7 +69,7 @@ func TestNames(t *testing.T) {
 		if m.Name() == "" {
 			t.Errorf("kind %v has empty name", k)
 		}
-		m.Finalize()
+		m.Close()
 	}
 	cfg.RT = true
 	for _, k := range allKinds() {
@@ -77,7 +77,7 @@ func TestNames(t *testing.T) {
 		if n := m.Name(); n[len(n)-3:] != "-rt" {
 			t.Errorf("RT variant name %q lacks -rt suffix", n)
 		}
-		m.Finalize()
+		m.Close()
 	}
 }
 
@@ -86,7 +86,7 @@ func TestBasicInsertAndQuery(t *testing.T) {
 		m := MustNew(kind, testConfig())
 		origin := geom.V(0, 0, 1)
 		target := geom.V(3, 0, 1)
-		m.InsertPointCloud(origin, []geom.Vec3{target})
+		m.Insert(origin, []geom.Vec3{target})
 		if !m.Occupied(target) {
 			t.Errorf("%v: endpoint not occupied", kind)
 		}
@@ -102,13 +102,13 @@ func TestBasicInsertAndQuery(t *testing.T) {
 		if m.Occupied(geom.V(-2, -2, -2)) {
 			t.Errorf("%v: unobserved voxel occupied", kind)
 		}
-		m.Finalize()
+		m.Close()
 	}
 }
 
 // TestConsistencyAcrossPipelines is the paper's query-consistency
 // guarantee: after every batch, all pipelines must agree voxel-for-voxel,
-// and after Finalize their octrees must be structurally identical.
+// and after Close their octrees must be structurally identical.
 func TestConsistencyAcrossPipelines(t *testing.T) {
 	cfg := testConfig()
 	mappers := make([]Mapper, 0, 3)
@@ -123,7 +123,7 @@ func TestConsistencyAcrossPipelines(t *testing.T) {
 		origin := geom.V(float64(batchIdx)*0.15, 0.05, 1)
 		pts := synthScan(scanRNG, origin, 120)
 		for _, m := range mappers {
-			m.InsertPointCloud(origin, pts)
+			m.Insert(origin, pts)
 		}
 		// Probe random voxels: all pipelines must agree exactly.
 		for probe := 0; probe < 50; probe++ {
@@ -139,7 +139,7 @@ func TestConsistencyAcrossPipelines(t *testing.T) {
 		}
 	}
 	for _, m := range mappers {
-		m.Finalize()
+		m.Close()
 	}
 	// After finalize, the full octrees must be identical.
 	base := mappers[0].Tree()
@@ -165,11 +165,11 @@ func TestConsistencyRTVariants(t *testing.T) {
 		origin := geom.V(float64(batchIdx)*0.2, 0, 1)
 		pts := synthScan(scanRNG, origin, 100)
 		for _, m := range mappers {
-			m.InsertPointCloud(origin, pts)
+			m.Insert(origin, pts)
 		}
 	}
 	for _, m := range mappers {
-		m.Finalize()
+		m.Close()
 	}
 	base := mappers[0].Tree()
 	for _, m := range mappers[1:] {
@@ -185,7 +185,7 @@ func TestCacheAbsorbsDuplicates(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	for i := 0; i < 10; i++ {
 		// Re-scan the same region: massive duplication.
-		serial.InsertPointCloud(geom.V(0, 0, 1), synthScan(rng, geom.V(0, 0, 1), 150))
+		serial.Insert(geom.V(0, 0, 1), synthScan(rng, geom.V(0, 0, 1), 150))
 	}
 	st := serial.CacheStats()
 	if st.HitRate() < 0.5 {
@@ -196,7 +196,7 @@ func TestCacheAbsorbsDuplicates(t *testing.T) {
 		t.Errorf("octree received %d voxels of %d traced: cache absorbed nothing",
 			tm.VoxelsToOctree, tm.VoxelsTraced)
 	}
-	serial.Finalize()
+	serial.Close()
 }
 
 func TestTimingsAccounting(t *testing.T) {
@@ -204,9 +204,9 @@ func TestTimingsAccounting(t *testing.T) {
 		m := MustNew(kind, testConfig())
 		rng := rand.New(rand.NewSource(3))
 		for i := 0; i < 5; i++ {
-			m.InsertPointCloud(geom.V(0, 0, 1), synthScan(rng, geom.V(0, 0, 1), 80))
+			m.Insert(geom.V(0, 0, 1), synthScan(rng, geom.V(0, 0, 1), 80))
 		}
-		m.Finalize()
+		m.Close()
 		tm := m.Timings()
 		if tm.Batches != 5 {
 			t.Errorf("%v: Batches = %d, want 5", kind, tm.Batches)
@@ -247,38 +247,26 @@ func TestTimingsAdd(t *testing.T) {
 	}
 }
 
-func TestFinalizeIdempotentAndTerminal(t *testing.T) {
-	for _, kind := range allKinds() {
-		m := MustNew(kind, testConfig())
-		m.InsertPointCloud(geom.V(0, 0, 1), []geom.Vec3{geom.V(2, 0, 1)})
-		m.Finalize()
-		m.Finalize() // second call must be a no-op
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("%v: InsertPointCloud after Finalize did not panic", kind)
-				}
-			}()
-			m.InsertPointCloud(geom.V(0, 0, 1), []geom.Vec3{geom.V(2, 0, 1)})
-		}()
-	}
-}
-
-func TestInsertAfterFinalizeReturnsErrClosed(t *testing.T) {
-	// The error-based lifecycle: every pipeline reports ErrClosed from
-	// Insert (and the batch entry points) after Finalize, while staying
-	// queryable; only the deprecated InsertPointCloud wrapper panics.
+func TestCloseIdempotentAndTerminal(t *testing.T) {
+	// Every pipeline reports ErrClosed from Insert (and the batch entry
+	// points) after Close, while staying queryable; Close itself is an
+	// idempotent no-op on repeat calls.
 	for _, kind := range allKinds() {
 		m := MustNew(kind, testConfig())
 		if err := m.Insert(geom.V(0, 0, 1), []geom.Vec3{geom.V(2, 0, 1)}); err != nil {
-			t.Fatalf("%v: Insert before Finalize: %v", kind, err)
+			t.Fatalf("%v: Insert before Close: %v", kind, err)
 		}
-		m.Finalize()
+		if err := m.Close(); err != nil {
+			t.Fatalf("%v: Close: %v", kind, err)
+		}
+		if err := m.Close(); err != nil {
+			t.Fatalf("%v: second Close: %v", kind, err)
+		}
 		if err := m.Insert(geom.V(0, 0, 1), []geom.Vec3{geom.V(2, 0, 1)}); !errors.Is(err, ErrClosed) {
-			t.Errorf("%v: Insert after Finalize = %v, want ErrClosed", kind, err)
+			t.Errorf("%v: Insert after Close = %v, want ErrClosed", kind, err)
 		}
 		if _, known := m.Occupancy(geom.V(2, 0, 1)); !known {
-			t.Errorf("%v: finalized pipeline lost its content", kind)
+			t.Errorf("%v: closed pipeline lost its content", kind)
 		}
 	}
 	for _, kind := range []Kind{KindSerial, KindParallel, KindOctoMap} {
@@ -286,24 +274,24 @@ func TestInsertAfterFinalizeReturnsErrClosed(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		bm.Finalize()
+		bm.Close()
 		if err := bm.ApplyTraced(nil); !errors.Is(err, ErrClosed) {
-			t.Errorf("%v: ApplyTraced after Finalize = %v, want ErrClosed", kind, err)
+			t.Errorf("%v: ApplyTraced after Close = %v, want ErrClosed", kind, err)
 		}
 		if err := bm.LoadLeaf(octree.Leaf{}); !errors.Is(err, ErrClosed) {
-			t.Errorf("%v: LoadLeaf after Finalize = %v, want ErrClosed", kind, err)
+			t.Errorf("%v: LoadLeaf after Close = %v, want ErrClosed", kind, err)
 		}
 	}
 }
 
-func TestFinalizedTreeHoldsEverything(t *testing.T) {
-	// After Finalize the tree alone must answer like the combined
+func TestClosedTreeHoldsEverything(t *testing.T) {
+	// After Close the tree alone must answer like the combined
 	// cache+tree did before.
 	cfg := testConfig()
 	m := MustNew(KindSerial, cfg)
 	rng := rand.New(rand.NewSource(12))
 	pts := synthScan(rng, geom.V(0, 0, 1), 200)
-	m.InsertPointCloud(geom.V(0, 0, 1), pts)
+	m.Insert(geom.V(0, 0, 1), pts)
 
 	type sample struct {
 		p     geom.Vec3
@@ -315,7 +303,7 @@ func TestFinalizedTreeHoldsEverything(t *testing.T) {
 		l, known := m.Occupancy(p)
 		samples = append(samples, sample{p, l, known})
 	}
-	m.Finalize()
+	m.Close()
 	tree := m.Tree()
 	for _, s := range samples {
 		l, known := tree.OccupancyAt(s.p)
@@ -329,9 +317,9 @@ func TestParallelQueueOverheadMeasured(t *testing.T) {
 	m := MustNew(KindParallel, testConfig())
 	rng := rand.New(rand.NewSource(8))
 	for i := 0; i < 10; i++ {
-		m.InsertPointCloud(geom.V(float64(i)*0.3, 0, 1), synthScan(rng, geom.V(float64(i)*0.3, 0, 1), 150))
+		m.Insert(geom.V(float64(i)*0.3, 0, 1), synthScan(rng, geom.V(float64(i)*0.3, 0, 1), 150))
 	}
-	m.Finalize()
+	m.Close()
 	tm := m.Timings()
 	if tm.VoxelsToOctree == 0 {
 		t.Fatal("no voxels reached the octree")
@@ -351,8 +339,8 @@ func TestOccupiedKeyAgreement(t *testing.T) {
 	b := MustNew(KindParallel, cfg)
 	rng := rand.New(rand.NewSource(21))
 	pts := synthScan(rng, geom.V(0, 0, 1), 150)
-	a.InsertPointCloud(geom.V(0, 0, 1), pts)
-	b.InsertPointCloud(geom.V(0, 0, 1), pts)
+	a.Insert(geom.V(0, 0, 1), pts)
+	b.Insert(geom.V(0, 0, 1), pts)
 	for _, p := range pts {
 		k, ok := octree.CoordToKey(p, cfg.Octree.Resolution, cfg.Octree.Depth)
 		if !ok {
@@ -362,8 +350,8 @@ func TestOccupiedKeyAgreement(t *testing.T) {
 			t.Fatalf("OccupiedKey disagreement at %v", k)
 		}
 	}
-	a.Finalize()
-	b.Finalize()
+	a.Close()
+	b.Close()
 }
 
 func TestEvictOrderMortonVariant(t *testing.T) {
@@ -376,11 +364,11 @@ func TestEvictOrderMortonVariant(t *testing.T) {
 	for i := 0; i < 10; i++ {
 		origin := geom.V(float64(i)*0.2, 0, 1)
 		pts := synthScan(rng, origin, 100)
-		m.InsertPointCloud(origin, pts)
-		n.InsertPointCloud(origin, pts)
+		m.Insert(origin, pts)
+		n.Insert(origin, pts)
 	}
-	m.Finalize()
-	n.Finalize()
+	m.Close()
+	n.Close()
 	if !m.Tree().Equal(n.Tree()) {
 		t.Error("Morton-sorted eviction changed final map content")
 	}
@@ -395,7 +383,7 @@ func TestOutOfBoundsQueries(t *testing.T) {
 		if _, known := m.Occupancy(geom.V(1e9, 0, 0)); known {
 			t.Errorf("%v: out-of-bounds point known", kind)
 		}
-		m.Finalize()
+		m.Close()
 	}
 }
 
@@ -413,7 +401,7 @@ func TestCastRayConsistencyAcrossPipelines(t *testing.T) {
 		origin := geom.V(float64(batch)*0.2, 0, 1)
 		pts := synthScan(rng, origin, 120)
 		for _, m := range mappers {
-			m.InsertPointCloud(origin, pts)
+			m.Insert(origin, pts)
 		}
 	}
 	rayRNG := rand.New(rand.NewSource(56))
@@ -438,7 +426,7 @@ func TestCastRayConsistencyAcrossPipelines(t *testing.T) {
 		}
 	}
 	for _, m := range mappers {
-		m.Finalize()
+		m.Close()
 	}
 }
 
@@ -453,7 +441,7 @@ func TestCastRayBasics(t *testing.T) {
 			wall = append(wall, geom.V(3, dy, 1+dz))
 		}
 	}
-	m.InsertPointCloud(geom.V(0, 0, 1), wall)
+	m.Insert(geom.V(0, 0, 1), wall)
 	hit, ok := m.CastRay(geom.V(0, 0, 1), geom.V(1, 0, 0), 8, true)
 	if !ok {
 		t.Fatal("ray missed the wall")
@@ -473,7 +461,7 @@ func TestCastRayBasics(t *testing.T) {
 	if _, ok := m.CastRay(geom.V(0, 0, 1), geom.V(0, 0, 0), 8, true); ok {
 		t.Error("zero direction hit")
 	}
-	m.Finalize()
+	m.Close()
 }
 
 // TestDynamicEnvironmentConsistency crosses a moving obstacle through the
@@ -503,8 +491,8 @@ func TestDynamicEnvironmentConsistency(t *testing.T) {
 	for frame := 0; frame <= 22; frame++ {
 		w.SetTime(float64(frame) * 0.5)
 		pts := sens.Scan(w, geom.Pose{Position: origin}, nil)
-		a.InsertPointCloud(origin, pts)
-		b.InsertPointCloud(origin, pts)
+		a.Insert(origin, pts)
+		b.Insert(origin, pts)
 		la, ka := a.Occupancy(watch)
 		lb, kb := b.Occupancy(watch)
 		if la != lb || ka != kb {
@@ -518,8 +506,8 @@ func TestDynamicEnvironmentConsistency(t *testing.T) {
 			sawFreedAfter = true
 		}
 	}
-	a.Finalize()
-	b.Finalize()
+	a.Close()
+	b.Close()
 	if !sawOccupied {
 		t.Error("watch voxel never became occupied while the block crossed")
 	}

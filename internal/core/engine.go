@@ -15,7 +15,7 @@ import (
 )
 
 // ErrClosed is returned by Insert, ApplyTraced, and LoadLeaf once a
-// pipeline has been finalized: the map remains queryable forever, but
+// pipeline has been closed: the map remains queryable forever, but
 // accepts no further observations. The shard service and the public API
 // re-export this value, so errors.Is works across layers.
 var ErrClosed = errors.New("octocache: map is closed")
@@ -36,9 +36,8 @@ var ErrClosed = errors.New("octocache: map is closed")
 //     caller's goroutine, or on a background goroutine fed through the
 //     SPSC buffer with the paper's batch-gap handshake (Figure 14).
 //
-// Concurrency contract: mutators (Insert, ApplyTraced, Finalize,
-// LoadLeaf, the deprecated InsertPointCloud) must be serialized by the
-// caller — one driver goroutine, or the shard service's per-shard write
+// Concurrency contract: mutators (Insert, ApplyTraced, Close, LoadLeaf)
+// must be serialized by the caller — one driver goroutine, or the shard service's per-shard write
 // lock. The query methods (Occupancy, Occupied, CastRay and their key
 // variants) may run concurrently with each other and with the async
 // applier's background work, but not with a mutator; the shard service
@@ -49,6 +48,9 @@ type engine struct {
 	tree     *octree.Tree
 	cache    *cache.Cache // nil for the direct (OctoMap baseline) composition
 	tracer   *raytrace.Tracer
+	// lookup is the octree read the cache consults on admission misses,
+	// built once so the per-scan admit loop stays closure-allocation-free.
+	lookup cache.TreeLookup
 
 	// treeRW makes the async applier's octree writes and query-side
 	// octree reads mutually exclusive: the applier goroutine takes the
@@ -58,10 +60,41 @@ type engine struct {
 	treeRW sync.RWMutex
 	app    applier
 
-	evictBuf  []cache.Cell
-	directBuf []cache.Cell // direct-mode conversion scratch
-	timings   Timings
-	closed    bool
+	// bufMu guards bufFree, the free list of cell-batch buffers that
+	// circulate between the mutator (which fills them from eviction,
+	// flush, or direct conversion) and the applier (which returns them
+	// once the cells are in the octree). Recycling whole batches is what
+	// keeps the steady-state evict → hand-off → apply path
+	// allocation-free; the mutex is uncontended with the inline applier
+	// and touched once per batch with the async one.
+	bufMu   sync.Mutex
+	bufFree [][]cache.Cell
+
+	timings Timings
+	closed  bool
+}
+
+// getBuf takes an empty cell buffer from the free list (or nil, which
+// append then grows into a new one that later recycles).
+func (e *engine) getBuf() []cache.Cell {
+	e.bufMu.Lock()
+	defer e.bufMu.Unlock()
+	if n := len(e.bufFree); n > 0 {
+		b := e.bufFree[n-1]
+		e.bufFree = e.bufFree[:n-1]
+		return b[:0]
+	}
+	return nil
+}
+
+// putBuf returns a buffer whose cells are fully consumed.
+func (e *engine) putBuf(b []cache.Cell) {
+	if cap(b) == 0 {
+		return
+	}
+	e.bufMu.Lock()
+	e.bufFree = append(e.bufFree, b)
+	e.bufMu.Unlock()
 }
 
 func newEngine(cfg Config, baseName string, direct, async bool) *engine {
@@ -78,6 +111,7 @@ func newEngine(cfg Config, baseName string, direct, async bool) *engine {
 	if !direct {
 		e.cache = cache.New(cfg.cacheConfig())
 	}
+	e.lookup = func(k octree.Key) (float32, bool) { return e.tree.Search(k) }
 	if async {
 		e.app = newAsyncApplier(e)
 	} else {
@@ -134,28 +168,29 @@ func (e *engine) evictAndHandOff() {
 		return
 	}
 	t0 := time.Now()
-	e.evictBuf = e.cache.Evict(e.evictBuf[:0])
+	buf := e.cache.Evict(e.getBuf())
 	e.timings.CacheEvict += time.Since(t0)
-	if len(e.evictBuf) == 0 {
+	if len(buf) == 0 {
+		e.putBuf(buf)
 		return
 	}
-	e.app.apply(e.evictBuf)
-	e.timings.VoxelsToOctree += int64(len(e.evictBuf))
+	e.timings.VoxelsToOctree += int64(len(buf))
+	e.app.apply(buf)
 }
 
 // admit integrates a traced batch so queries can see it: through the
 // cache when present, else straight into the octree.
 func (e *engine) admit(batch []raytrace.Voxel) {
 	if e.cache == nil {
-		e.directBuf = e.directBuf[:0]
+		buf := e.getBuf()
 		for _, v := range batch {
 			lo := float32(-1)
 			if v.Occupied {
 				lo = 1
 			}
-			e.directBuf = append(e.directBuf, cache.Cell{Key: v.Key, LogOdds: lo})
+			buf = append(buf, cache.Cell{Key: v.Key, LogOdds: lo})
 		}
-		e.app.apply(e.directBuf)
+		e.app.apply(buf)
 		// Direct-mode queries go straight to the octree, so the batch
 		// must be fully applied before the insert returns — the baseline
 		// property the paper's Figure 4 describes.
@@ -173,9 +208,8 @@ func (e *engine) admit(batch []raytrace.Voxel) {
 	e.timings.Wait += time.Since(t0)
 
 	t0 = time.Now()
-	lookup := func(k octree.Key) (float32, bool) { return e.tree.Search(k) }
 	for _, v := range batch {
-		e.cache.Insert(v.Key, v.Occupied, lookup)
+		e.cache.Insert(v.Key, v.Occupied, e.lookup)
 	}
 	e.timings.CacheInsert += time.Since(t0)
 }
@@ -184,7 +218,7 @@ func (e *engine) admit(batch []raytrace.Voxel) {
 // previous batch's eviction is handed off first so an async applier's
 // octree update overlaps this batch's ray tracing, and the gap handshake
 // before cache insertion guarantees queries never observe a voxel stuck
-// in the buffer. It returns ErrClosed after Finalize.
+// in the buffer. It returns ErrClosed after Close.
 func (e *engine) Insert(origin geom.Vec3, points []geom.Vec3) error {
 	if e.closed {
 		return ErrClosed
@@ -199,16 +233,6 @@ func (e *engine) Insert(origin geom.Vec3, points []geom.Vec3) error {
 	e.timings.VoxelsTraced += int64(len(batch))
 	e.timings.Critical += time.Since(start)
 	return nil
-}
-
-// InsertPointCloud is Insert with the seed API's panic-on-misuse
-// behaviour.
-//
-// Deprecated: use Insert, which reports ErrClosed instead of panicking.
-func (e *engine) InsertPointCloud(origin geom.Vec3, points []geom.Vec3) {
-	if err := e.Insert(origin, points); err != nil {
-		panic("core: InsertPointCloud after Finalize: " + err.Error())
-	}
 }
 
 // ApplyTraced integrates pre-traced voxel observations exactly as Insert
@@ -282,24 +306,28 @@ func (e *engine) CastRay(origin, dir geom.Vec3, maxRange float64, ignoreUnknown 
 	return CastRayKeys(e.cfg.Octree, occ, origin, dir, maxRange, ignoreUnknown)
 }
 
-// Finalize flushes all cached state through the applier, waits for the
+// Close flushes all cached state through the applier, waits for the
 // octree to hold everything, and stops background work. Idempotent; the
-// engine remains queryable afterwards.
-func (e *engine) Finalize() {
+// engine remains queryable afterwards. It never fails and returns an
+// error only to satisfy io.Closer-style call sites.
+func (e *engine) Close() error {
 	if e.closed {
-		return
+		return nil
 	}
 	e.closed = true
 	if e.cache != nil {
 		t0 := time.Now()
-		flushed := e.cache.Flush(nil)
+		flushed := e.cache.Flush(e.getBuf())
 		e.timings.CacheEvict += time.Since(t0)
 		if len(flushed) > 0 {
-			e.app.apply(flushed)
 			e.timings.VoxelsToOctree += int64(len(flushed))
+			e.app.apply(flushed)
+		} else {
+			e.putBuf(flushed)
 		}
 	}
 	e.app.stop()
+	return nil
 }
 
 // Quiesce blocks until every handed-off batch has been applied to the
@@ -340,7 +368,7 @@ func (e *engine) Resolution() float64 { return e.cfg.Octree.Resolution }
 
 // Tree exposes the backing octree. Callers must Quiesce first (or hold
 // the mutator role) while an async applier is live; it is always safe
-// after Finalize.
+// after Close.
 func (e *engine) Tree() *octree.Tree { return e.tree }
 
 func (e *engine) CacheLen() int {
@@ -373,8 +401,10 @@ func (e *engine) Timings() Timings {
 // direct-update) batches and guarantees, after quiesce, that every batch
 // handed off so far is in the octree.
 type applier interface {
-	// apply hands one batch over. The slice is only borrowed until apply
-	// returns; implementations must copy (or fully consume) it.
+	// apply hands one batch over, transferring ownership: the slice came
+	// from the engine's buffer free list, and the implementation returns
+	// it there (putBuf) once its cells are in the octree. The caller must
+	// not touch the slice after apply.
 	apply(cells []cache.Cell)
 	// quiesce blocks until every handed-off batch has been applied.
 	// Safe for concurrent callers.
@@ -398,6 +428,7 @@ func (a *inlineApplier) apply(cells []cache.Cell) {
 	t0 := time.Now()
 	a.e.writeCells(cells)
 	a.octreeNS += time.Since(t0)
+	a.e.putBuf(cells)
 }
 
 func (a *inlineApplier) quiesce() {}
@@ -410,10 +441,17 @@ func (a *inlineApplier) timings() (time.Duration, time.Duration, time.Duration) 
 // asyncApplier is the paper's thread 2 (Figure 14): a dedicated
 // goroutine dequeues batches from the SPSC buffer and writes them into
 // the octree under the engine's tree write lock. The handshake follows
-// the paper exactly — batches are announced before they are enqueued so
-// the worker drains the buffer concurrently (batches larger than the
-// buffer capacity flow instead of livelocking), and quiesce implements
-// the batch gap: it returns only once applied catches up with announced.
+// the paper — each batch is announced (counter) before it becomes
+// visible to the worker, and quiesce implements the batch gap: it
+// returns only once applied catches up with announced.
+//
+// The SPSC ring carries whole batch slices, one element per hand-off, so
+// the transfer is a single enqueue instead of a per-cell copy and the
+// slice recycles through the engine's buffer free list once applied
+// (batch capacity is bounded by parallelQueueCap, so the free list, and
+// with it steady-state memory, stays bounded too). The batchCh doorbell
+// wakes the worker without it spinning on an empty ring and doubles as
+// the shutdown signal.
 //
 // Unlike the seed's channel-ack scheme, completion is tracked with an
 // atomic counter plus a condition variable so any number of concurrent
@@ -421,8 +459,8 @@ func (a *inlineApplier) timings() (time.Duration, time.Duration, time.Duration) 
 // shard service run queries under a shared lock.
 type asyncApplier struct {
 	e       *engine
-	queue   *spsc.Queue[cache.Cell]
-	batchCh chan int // announced batch sizes, mutator -> worker
+	queue   *spsc.Queue[[]cache.Cell]
+	batchCh chan struct{} // doorbell: one token per enqueued batch
 
 	mu        sync.Mutex
 	cond      *sync.Cond
@@ -438,8 +476,8 @@ type asyncApplier struct {
 func newAsyncApplier(e *engine) *asyncApplier {
 	a := &asyncApplier{
 		e:       e,
-		queue:   spsc.New[cache.Cell](parallelQueueCap),
-		batchCh: make(chan int, 64),
+		queue:   spsc.New[[]cache.Cell](parallelQueueCap),
+		batchCh: make(chan struct{}, parallelQueueCap),
 	}
 	a.cond = sync.NewCond(&a.mu)
 	a.wg.Add(1)
@@ -448,16 +486,12 @@ func newAsyncApplier(e *engine) *asyncApplier {
 }
 
 // run is the worker: one batch at a time, dequeue then apply under the
-// tree write lock.
+// tree write lock, then recycle the buffer.
 func (a *asyncApplier) run() {
 	defer a.wg.Done()
-	var buf []cache.Cell
-	for n := range a.batchCh {
+	for range a.batchCh {
 		t0 := time.Now()
-		buf = buf[:0]
-		for len(buf) < n {
-			buf = append(buf, a.queue.Dequeue())
-		}
+		buf := a.queue.Dequeue()
 		a.t2Dequeue.Add(int64(time.Since(t0)))
 
 		a.e.treeRW.Lock()
@@ -465,6 +499,7 @@ func (a *asyncApplier) run() {
 		a.e.writeCells(buf)
 		a.t2Octree.Add(int64(time.Since(t0)))
 		a.e.treeRW.Unlock()
+		a.e.putBuf(buf)
 
 		a.mu.Lock()
 		a.applied.Add(1)
@@ -475,18 +510,17 @@ func (a *asyncApplier) run() {
 
 func (a *asyncApplier) apply(cells []cache.Cell) {
 	if len(cells) == 0 {
+		a.e.putBuf(cells)
 		return
 	}
-	// Announce before enqueueing: the worker drains concurrently, so the
-	// buffer bounds in-flight cells, not batch size. Enqueueing first
-	// would livelock on batches larger than the capacity.
+	// Announce first so a concurrent quiesce that starts now waits for
+	// this batch; then make it visible (enqueue before the doorbell, so
+	// the worker never sees the token without the batch).
 	a.announced.Add(1)
-	a.batchCh <- len(cells)
 	t0 := time.Now()
-	for _, c := range cells {
-		a.queue.Enqueue(c)
-	}
+	a.queue.Enqueue(cells)
 	a.enqueueNS += time.Since(t0)
+	a.batchCh <- struct{}{}
 }
 
 func (a *asyncApplier) quiesce() {

@@ -15,15 +15,8 @@ import (
 // inserted so far, exactly as OctoMap would report them.
 type Mapper interface {
 	// Insert integrates one sensor scan: points in world coordinates
-	// observed from origin. It returns ErrClosed after Finalize.
+	// observed from origin. It returns ErrClosed after Close.
 	Insert(origin geom.Vec3, points []geom.Vec3) error
-
-	// InsertPointCloud is Insert with the seed API's panic-on-misuse
-	// behaviour.
-	//
-	// Deprecated: use Insert, which reports ErrClosed instead of
-	// panicking.
-	InsertPointCloud(origin geom.Vec3, points []geom.Vec3)
 
 	// Occupancy returns the accumulated log-odds of the voxel containing
 	// p; known is false for never-observed voxels.
@@ -42,10 +35,11 @@ type Mapper interface {
 	// cache+octree state, like point queries.
 	CastRay(origin, dir geom.Vec3, maxRange float64, ignoreUnknown bool) (hit geom.Vec3, ok bool)
 
-	// Finalize flushes all cached state into the octree and stops any
+	// Close flushes all cached state into the octree and stops any
 	// background work. The Mapper remains queryable afterwards; further
-	// insertions are not allowed.
-	Finalize()
+	// insertions return ErrClosed. Close is idempotent and never fails;
+	// it returns an error only to satisfy io.Closer-style call sites.
+	Close() error
 
 	// Resolution returns the voxel edge length in meters. It lets
 	// map consumers (planners, renderers) discretize without reaching
@@ -53,7 +47,7 @@ type Mapper interface {
 	Resolution() float64
 
 	// Tree exposes the backing octree. Callers must not use it while a
-	// parallel pipeline is active; it is always safe after Finalize.
+	// parallel pipeline is active; it is always safe after Close.
 	Tree() *octree.Tree
 
 	// Timings returns the cumulative stage decomposition.
@@ -77,7 +71,7 @@ type BatchMapper interface {
 	// ApplyTraced integrates pre-traced voxel observations exactly as
 	// Insert would after its ray-tracing stage (cache insert, τ-bounded
 	// eviction, octree apply). It does not count a batch; routers
-	// account for scans themselves. Returns ErrClosed after Finalize.
+	// account for scans themselves. Returns ErrClosed after Close.
 	ApplyTraced(batch []raytrace.Voxel) error
 
 	// OccupancyKey is the key-space variant of Occupancy.
@@ -94,7 +88,7 @@ type BatchMapper interface {
 
 	// LoadLeaf writes one (possibly aggregate) octree leaf, as emitted
 	// by octree.Walk, into the pipeline's tree — the seam map loading is
-	// built on. Returns ErrClosed after Finalize.
+	// built on. Returns ErrClosed after Close.
 	LoadLeaf(l octree.Leaf) error
 }
 

@@ -1,9 +1,10 @@
 package core
 
-// parallelQueueCap sizes the shared eviction buffer. Eviction batches may
-// exceed it: thread 2 drains concurrently while thread 1 enqueues, so the
-// buffer only bounds in-flight cells, not batch size. Tests shrink it to
-// exercise that overlap.
+// parallelQueueCap sizes the shared eviction buffer, in batches: the
+// SPSC ring carries whole batch slices, so the cap bounds in-flight
+// eviction batches (each recycling through the engine's buffer free
+// list), not cells. Tests shrink it to stress the hand-off under a tiny
+// ring.
 var parallelQueueCap = 1 << 16
 
 // newParallel composes the two-threaded OctoCache (paper Figure 14): the

@@ -7,13 +7,17 @@ import (
 	"octocache/internal/geom"
 )
 
-// TestParallelBatchLargerThanQueue is the regression test for the
-// announce-before-enqueue protocol: an eviction batch larger than the
-// SPSC buffer must flow through because thread 2 drains concurrently.
-// With the announcement after the enqueue loop this livelocks.
+// TestParallelBatchLargerThanQueue stresses the hand-off under a tiny
+// SPSC ring. Historically this was the regression test for
+// announce-before-enqueue with a cell-granularity ring (a batch larger
+// than the ring had to flow while thread 2 drained concurrently); the
+// ring now carries whole batch slices, so the test instead exercises
+// eviction batches far larger than the ring's batch capacity flowing
+// through back-to-back, plus buffer recycling under pressure — and the
+// same serial-equality oracle guards both.
 func TestParallelBatchLargerThanQueue(t *testing.T) {
 	old := parallelQueueCap
-	parallelQueueCap = 64 // far smaller than any real batch
+	parallelQueueCap = 64 // tiny ring: at most 64 batches in flight
 	defer func() { parallelQueueCap = old }()
 
 	cfg := testConfig()
@@ -23,9 +27,9 @@ func TestParallelBatchLargerThanQueue(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	for i := 0; i < 5; i++ {
 		origin := geom.V(float64(i)*0.3, 0, 1)
-		m.InsertPointCloud(origin, synthScan(rng, origin, 200))
+		m.Insert(origin, synthScan(rng, origin, 200))
 	}
-	m.Finalize()
+	m.Close()
 	tm := m.Timings()
 	if tm.VoxelsToOctree == 0 {
 		t.Fatal("no voxels reached the octree")
@@ -36,9 +40,9 @@ func TestParallelBatchLargerThanQueue(t *testing.T) {
 	rng = rand.New(rand.NewSource(2))
 	for i := 0; i < 5; i++ {
 		origin := geom.V(float64(i)*0.3, 0, 1)
-		ref.InsertPointCloud(origin, synthScan(rng, origin, 200))
+		ref.Insert(origin, synthScan(rng, origin, 200))
 	}
-	ref.Finalize()
+	ref.Close()
 	if !m.Tree().Equal(ref.Tree()) {
 		t.Fatal("parallel pipeline with tiny queue diverged from serial")
 	}
@@ -51,25 +55,25 @@ func TestParallelManySmallBatches(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	for i := 0; i < 200; i++ {
 		origin := geom.V(float64(i%10)*0.2, 0, 1)
-		m.InsertPointCloud(origin, synthScan(rng, origin, 10))
+		m.Insert(origin, synthScan(rng, origin, 10))
 		if i%7 == 0 {
 			// Interleave queries to force quiesce cycles.
 			m.Occupied(geom.V(1, 0, 1))
 		}
 	}
-	m.Finalize()
+	m.Close()
 	if got := m.Timings().Batches; got != 200 {
 		t.Errorf("Batches = %d, want 200", got)
 	}
 }
 
-// TestParallelQueryAfterFinalize ensures the map stays queryable once the
+// TestParallelQueryAfterClose ensures the map stays queryable once the
 // background worker has exited.
-func TestParallelQueryAfterFinalize(t *testing.T) {
+func TestParallelQueryAfterClose(t *testing.T) {
 	m := MustNew(KindParallel, testConfig())
 	target := geom.V(2, 0, 1)
-	m.InsertPointCloud(geom.V(0, 0, 1), []geom.Vec3{target})
-	m.Finalize()
+	m.Insert(geom.V(0, 0, 1), []geom.Vec3{target})
+	m.Close()
 	if !m.Occupied(target) {
 		t.Error("occupied voxel lost after finalize")
 	}

@@ -16,8 +16,8 @@ type Timings struct {
 	Enqueue      time.Duration
 	Dequeue      time.Duration
 	Wait         time.Duration
-	// Critical is the cumulative wall-clock time of InsertPointCloud
-	// calls: the critical-path latency queries experience.
+	// Critical is the cumulative wall-clock time of Insert calls: the
+	// critical-path latency queries experience.
 	Critical time.Duration
 
 	// Batches counts processed point clouds; VoxelsTraced counts voxel

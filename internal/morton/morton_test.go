@@ -230,11 +230,11 @@ func TestShardIndexTopBits(t *testing.T) {
 		want    int
 	}{
 		{0, 0, 0, 3, 0},
-		{1 << 15, 0, 0, 3, 1},          // x high bit -> Morton bit 45
-		{0, 1 << 15, 0, 3, 2},          // y high bit -> Morton bit 46
-		{0, 0, 1 << 15, 3, 4},          // z high bit -> Morton bit 47
+		{1 << 15, 0, 0, 3, 1}, // x high bit -> Morton bit 45
+		{0, 1 << 15, 0, 3, 2}, // y high bit -> Morton bit 46
+		{0, 0, 1 << 15, 3, 4}, // z high bit -> Morton bit 47
 		{1 << 15, 1 << 15, 1 << 15, 3, 7},
-		{0, 0, 1 << 15, 1, 1},          // one bit: split on z15 alone
+		{0, 0, 1 << 15, 1, 1}, // one bit: split on z15 alone
 		{1 << 15, 1 << 15, 0, 1, 0},
 		{0xFFFF, 0xFFFF, 0xFFFF, 0, 0}, // zero bits: everything is shard 0
 	}

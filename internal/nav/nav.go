@@ -30,14 +30,15 @@ import (
 // and by the public octocache.Map, so missions can run against exactly
 // the API real applications use.
 type Mapper interface {
-	// InsertPointCloud integrates one sensor scan observed from origin.
-	InsertPointCloud(origin geom.Vec3, points []geom.Vec3)
+	// Insert integrates one sensor scan observed from origin; it fails
+	// only on a closed map, which the mission loop never drives.
+	Insert(origin geom.Vec3, points []geom.Vec3) error
 	// Occupied reports whether the voxel containing p is known-occupied.
 	Occupied(p geom.Vec3) bool
 	// Resolution returns the voxel edge length in meters.
 	Resolution() float64
-	// Finalize flushes the map; called once when the mission ends.
-	Finalize()
+	// Close flushes the map; called once when the mission ends.
+	Close() error
 }
 
 // Config assembles a mission.
@@ -171,7 +172,9 @@ func Run(cfg Config) Result {
 
 		// Perception: sense and update the map.
 		points := cfg.Sensor.Scan(cfg.World, pose, nil)
-		cfg.Mapper.InsertPointCloud(pos, points)
+		if err := cfg.Mapper.Insert(pos, points); err != nil {
+			panic("nav: map closed mid-mission: " + err.Error())
+		}
 
 		// Planning: revalidate the cached path against the fresh map;
 		// replan when it is gone or newly blocked.
@@ -262,7 +265,7 @@ func Run(cfg Config) Result {
 		movingCycles++
 	}
 
-	cfg.Mapper.Finalize()
+	cfg.Mapper.Close()
 	if tp, ok := cfg.Mapper.(interface{ Timings() core.Timings }); ok {
 		res.Timings = tp.Timings()
 	}

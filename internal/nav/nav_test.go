@@ -174,8 +174,8 @@ func TestRetreatExhaustsTrailSafely(t *testing.T) {
 
 // TestMissionAgainstPublicAPI runs the closed loop against the public
 // octocache.Map — the exact surface real applications use — including a
-// sharded concurrent map, which nav drives through the same deprecated
-// panic-wrapper entry point as any single-driver mapper.
+// sharded concurrent map, which nav drives through the same
+// error-returning Insert/Close surface as any single-driver mapper.
 func TestMissionAgainstPublicAPI(t *testing.T) {
 	for _, opts := range []octocache.Options{
 		{Resolution: 1.0, MaxRange: 8, CacheBuckets: 1 << 14},

@@ -1,0 +1,254 @@
+package octree
+
+import (
+	"bytes"
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// churn drives a mixed op stream designed to cycle slots through the free
+// lists: random updates interleaved with octant saturations (forcing
+// prunes) and SetNodeValue divergences (forcing re-expansion from
+// recycled slots).
+func churn(tr *Tree, seed int64, steps int) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < steps; i++ {
+		k := Key{uint16(rng.Intn(64)), uint16(rng.Intn(64)), uint16(rng.Intn(64))}
+		switch rng.Intn(4) {
+		case 0, 1:
+			tr.Update(k, rng.Intn(2) == 0)
+		case 2:
+			tr.SetNodeValue(k, float32(rng.Float64()*6-3))
+		case 3:
+			// Saturate the 2×2×2 octant containing k so it prunes, then
+			// the next divergence must expand from the free list.
+			base := Key{k.X &^ 1, k.Y &^ 1, k.Z &^ 1}
+			for dx := uint16(0); dx < 2; dx++ {
+				for dy := uint16(0); dy < 2; dy++ {
+					for dz := uint16(0); dz < 2; dz++ {
+						tr.SetNodeValue(Key{base.X + dx, base.Y + dy, base.Z + dz}, tr.Params().ClampMax)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestArenaRecyclingPreservesStructure churns a tree through heavy
+// prune/expand cycling (so its arena is full of recycled handles), then
+// serializes it and rebuilds a tree whose arena was filled strictly
+// linearly. Structural equality between the two proves handle recycling
+// never leaks into observable structure.
+func TestArenaRecyclingPreservesStructure(t *testing.T) {
+	p := smallParams(6)
+	a := New(p)
+	churn(a, 77, 8000)
+	if _, free, _ := a.ArenaStats(); free == 0 {
+		t.Fatal("churn produced no free-listed slots; test is vacuous")
+	}
+	var buf bytes.Buffer
+	if _, err := a.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var b Tree
+	if _, err := b.ReadFrom(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(&b) {
+		t.Fatal("recycled-arena tree differs from linearly rebuilt tree")
+	}
+	if a.NumNodes() != b.NumNodes() {
+		t.Errorf("node counts differ: %d vs %d", a.NumNodes(), b.NumNodes())
+	}
+}
+
+// TestArenaRecyclingUnderPruneExpandChurn saturates and diverges regions
+// repeatedly so pruning and expansion cycle nodes through the free lists.
+func TestArenaRecyclingUnderPruneExpandChurn(t *testing.T) {
+	p := smallParams(3)
+	tr := New(p)
+	for round := 0; round < 5; round++ {
+		// Saturate: prunes to a single node.
+		for x := 0; x < 8; x++ {
+			for y := 0; y < 8; y++ {
+				for z := 0; z < 8; z++ {
+					for i := 0; i < 6; i++ {
+						tr.UpdateOccupied(Key{uint16(x), uint16(y), uint16(z)})
+					}
+				}
+			}
+		}
+		if tr.NumNodes() != 1 {
+			t.Fatalf("round %d: not pruned (%d nodes)", round, tr.NumNodes())
+		}
+		// Diverge: forces expansion chains from recycled nodes.
+		tr.SetNodeValue(Key{3, 3, 3}, p.ClampMin)
+		if l, _ := tr.Search(Key{3, 3, 3}); l != p.ClampMin {
+			t.Fatalf("round %d: diverged voxel lost", round)
+		}
+		if l, _ := tr.Search(Key{0, 7, 2}); l != p.ClampMax {
+			t.Fatalf("round %d: sibling corrupted", round)
+		}
+		// Drive it back up for the next round.
+		for i := 0; i < 20; i++ {
+			tr.UpdateOccupied(Key{3, 3, 3})
+		}
+	}
+}
+
+// TestArenaFreeListBoundsCapacity checks that churn reuses free-listed
+// slots rather than growing the arena without bound: after a prune the
+// next expansion must not extend the nodes slice.
+func TestArenaFreeListBoundsCapacity(t *testing.T) {
+	p := smallParams(3)
+	tr := New(p)
+	for x := 0; x < 8; x++ {
+		for y := 0; y < 8; y++ {
+			for z := 0; z < 8; z++ {
+				for i := 0; i < 6; i++ {
+					tr.UpdateOccupied(Key{uint16(x), uint16(y), uint16(z)})
+				}
+			}
+		}
+	}
+	_, _, capAfterBuild := tr.ArenaStats()
+	for round := 0; round < 50; round++ {
+		tr.SetNodeValue(Key{3, 3, 3}, p.ClampMin) // expand
+		for i := 0; i < 20; i++ {
+			tr.UpdateOccupied(Key{3, 3, 3}) // re-saturate, prune
+		}
+	}
+	if _, _, capNow := tr.ArenaStats(); capNow > capAfterBuild {
+		t.Errorf("arena grew under steady churn: %d slots after build, %d after churn", capAfterBuild, capNow)
+	}
+}
+
+// TestArenaUpdateAllocationBound confirms tree construction allocates
+// O(log n) times (arena slice doublings), not O(n) (per-node boxing):
+// 50k updates produce hundreds of thousands of nodes but must stay under
+// a few thousand mallocs.
+func TestArenaUpdateAllocationBound(t *testing.T) {
+	p := smallParams(8)
+	countAllocs := func(f func()) uint64 {
+		var m0, m1 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&m0)
+		f()
+		runtime.ReadMemStats(&m1)
+		return m1.Mallocs - m0.Mallocs
+	}
+	got := countAllocs(func() {
+		tr := New(p)
+		rng := rand.New(rand.NewSource(5))
+		for i := 0; i < 50000; i++ {
+			tr.UpdateOccupied(Key{uint16(rng.Intn(256)), uint16(rng.Intn(256)), uint16(rng.Intn(256))})
+		}
+		if tr.NumNodes() < 50000 {
+			t.Errorf("expected a large tree, got %d nodes", tr.NumNodes())
+		}
+	})
+	if got > 2000 {
+		t.Errorf("tree construction allocated %d times; want O(log n) slice growth only", got)
+	}
+}
+
+// recount walks the tree and independently tallies reachable nodes,
+// cross-checking numNodes bookkeeping and arena slot conservation
+// (live + free == slots ever allocated).
+func recount(t *testing.T, tr *Tree, when string) {
+	t.Helper()
+	counted := 0
+	if !tr.empty() {
+		tr.iterate(tr.root, func(*node) { counted++ })
+	}
+	if counted != tr.NumNodes() {
+		t.Fatalf("%s: NumNodes=%d but %d nodes reachable", when, tr.NumNodes(), counted)
+	}
+	live, free, capacity := tr.ArenaStats()
+	if live+free != capacity {
+		t.Fatalf("%s: arena slots leaked: live %d + free %d != capacity %d", when, live, free, capacity)
+	}
+}
+
+// TestNumNodesInvariant audits node accounting across every path that
+// creates or destroys nodes: updates with pruning, SetNodeValue
+// divergence (aggregate re-expansion), SetLeafAt at every depth
+// (subtree replacement and aggregate writes), and whole-tree replacement
+// at depth 0.
+func TestNumNodesInvariant(t *testing.T) {
+	p := smallParams(5)
+	tr := New(p)
+	rng := rand.New(rand.NewSource(13))
+
+	for i := 0; i < 2000; i++ {
+		k := Key{uint16(rng.Intn(32)), uint16(rng.Intn(32)), uint16(rng.Intn(32))}
+		tr.Update(k, rng.Intn(2) == 0)
+	}
+	recount(t, tr, "after random updates")
+
+	// Aggregate writes at coarse depths replace whole subtrees; their
+	// slots must come back through the free lists, not leak.
+	for i := 0; i < 300; i++ {
+		depth := 1 + rng.Intn(p.Depth)
+		mask := uint16(0xffff) << uint(p.Depth-depth)
+		k := Key{uint16(rng.Intn(32)) & mask, uint16(rng.Intn(32)) & mask, uint16(rng.Intn(32)) & mask}
+		tr.SetLeafAt(k, depth, float32(rng.Float64()*6-3))
+	}
+	recount(t, tr, "after SetLeafAt churn")
+
+	// Saturate to force deep pruning, then diverge out of the aggregates.
+	for x := 0; x < 8; x++ {
+		for y := 0; y < 8; y++ {
+			for z := 0; z < 8; z++ {
+				tr.SetNodeValue(Key{uint16(x), uint16(y), uint16(z)}, p.ClampMax)
+			}
+		}
+	}
+	recount(t, tr, "after saturation")
+	tr.SetNodeValue(Key{3, 3, 3}, p.ClampMin)
+	recount(t, tr, "after divergence")
+
+	// Depth-0 write replaces the entire tree with one aggregate leaf.
+	tr.SetLeafAt(Key{}, 0, p.ClampMin)
+	recount(t, tr, "after depth-0 replacement")
+	if tr.NumNodes() != 1 {
+		t.Fatalf("depth-0 SetLeafAt left %d nodes, want 1", tr.NumNodes())
+	}
+}
+
+func TestArenaClearResets(t *testing.T) {
+	tr := New(smallParams(4))
+	tr.UpdateOccupied(Key{1, 2, 3})
+	tr.Clear()
+	if tr.NumNodes() != 0 {
+		t.Error("Clear left nodes")
+	}
+	tr.UpdateOccupied(Key{4, 5, 6})
+	if !tr.Occupied(Key{4, 5, 6}) {
+		t.Error("arena tree unusable after Clear")
+	}
+}
+
+// BenchmarkUpdatePlain and BenchmarkUpdateArena both exercise the one
+// (arena-backed) Tree; both names are kept so benchstat can compare
+// against captures from when they were distinct implementations.
+func BenchmarkUpdatePlain(b *testing.B) {
+	benchUpdates(b, New(DefaultParams(0.1)))
+}
+
+func BenchmarkUpdateArena(b *testing.B) {
+	benchUpdates(b, New(DefaultParams(0.1)))
+}
+
+func benchUpdates(b *testing.B, tr *Tree) {
+	rng := rand.New(rand.NewSource(1))
+	keys := make([]Key, 1<<14)
+	for i := range keys {
+		keys[i] = Key{uint16(rng.Intn(1024)), uint16(rng.Intn(1024)), uint16(rng.Intn(64))}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.UpdateOccupied(keys[i&(1<<14-1)])
+	}
+}

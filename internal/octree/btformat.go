@@ -23,7 +23,7 @@ func (t *Tree) WriteBT(w io.Writer) error {
 		t.NumNodes(), t.params.Resolution); err != nil {
 		return err
 	}
-	if t.root != nil {
+	if !t.empty() {
 		if err := t.writeBTNode(bw, t.root, 0); err != nil {
 			return err
 		}
@@ -32,27 +32,28 @@ func (t *Tree) WriteBT(w io.Writer) error {
 }
 
 // childBTBits classifies one child slot into the 2-bit .bt code.
-func (t *Tree) childBTBits(c *node, depth int) uint16 {
+func (t *Tree) childBTBits(c uint32, depth int) uint16 {
 	switch {
-	case c == nil:
+	case c == nilNode:
 		return 0b00
-	case c.children != nil && depth < t.params.Depth:
+	case t.nodes[c].kids != nilKids && depth < t.params.Depth:
 		return 0b11
-	case c.logOdds >= t.params.OccupancyThreshold:
+	case t.nodes[c].logOdds >= t.params.OccupancyThreshold:
 		return 0b01
 	default:
 		return 0b10
 	}
 }
 
-func (t *Tree) writeBTNode(w io.Writer, n *node, depth int) error {
+func (t *Tree) writeBTNode(w io.Writer, h uint32, depth int) error {
 	// A leaf at this level has no child stream; callers only recurse into
 	// inner nodes, and the root of a leaf-only tree writes one synthetic
 	// record with all children unknown except itself... OctoMap's writer
 	// only ever emits inner nodes, so a fully pruned tree round-trips as
 	// a root record whose children replicate the aggregate.
+	n := t.nodes[h]
 	var bits uint16
-	if n.children == nil {
+	if n.kids == nilKids {
 		// Fully pruned root: emit eight identical leaf children.
 		code := uint16(0b10)
 		if n.logOdds >= t.params.OccupancyThreshold {
@@ -67,7 +68,8 @@ func (t *Tree) writeBTNode(w io.Writer, n *node, depth int) error {
 		_, err := w.Write(buf[:])
 		return err
 	}
-	for i, c := range n.children {
+	block := t.kids[n.kids]
+	for i, c := range block {
 		bits |= t.childBTBits(c, depth+1) << uint(2*i)
 	}
 	var buf [2]byte
@@ -76,8 +78,8 @@ func (t *Tree) writeBTNode(w io.Writer, n *node, depth int) error {
 	if _, err := w.Write(buf[:]); err != nil {
 		return err
 	}
-	for _, c := range n.children {
-		if c != nil && c.children != nil && depth+1 < t.params.Depth {
+	for _, c := range block {
+		if c != nilNode && t.nodes[c].kids != nilKids && depth+1 < t.params.Depth {
 			if err := t.writeBTNode(w, c, depth+1); err != nil {
 				return err
 			}
@@ -130,8 +132,7 @@ func (t *Tree) ReadBT(r io.Reader) error {
 	if err := t.params.Validate(); err != nil {
 		return err
 	}
-	t.root = nil
-	t.numNodes = 0
+	t.resetArenas()
 	root := t.newInterior()
 	if err := t.readBTNode(br, root, 0); err != nil {
 		return err
@@ -142,26 +143,29 @@ func (t *Tree) ReadBT(r io.Reader) error {
 	return nil
 }
 
-func (t *Tree) readBTNode(r *bufio.Reader, n *node, depth int) error {
+func (t *Tree) readBTNode(r *bufio.Reader, h uint32, depth int) error {
 	var buf [2]byte
 	if _, err := io.ReadFull(r, buf[:]); err != nil {
 		return fmt.Errorf("octree: reading .bt node: %w", err)
 	}
 	bits := uint16(buf[0]) | uint16(buf[1])<<8
+	kb := t.nodes[h].kids
 	for i := 0; i < 8; i++ {
 		switch bits >> uint(2*i) & 0b11 {
 		case 0b00:
 			// unknown
 		case 0b01:
-			n.children[i] = t.newLeaf(t.params.ClampMax)
+			c := t.allocNode(t.params.ClampMax)
+			t.kids[kb][i] = c
 		case 0b10:
-			n.children[i] = t.newLeaf(t.params.ClampMin)
+			c := t.allocNode(t.params.ClampMin)
+			t.kids[kb][i] = c
 		case 0b11:
 			if depth+1 >= t.params.Depth {
 				return fmt.Errorf("octree: .bt inner node below max depth")
 			}
 			child := t.newInterior()
-			n.children[i] = child
+			t.kids[kb][i] = child
 			if err := t.readBTNode(r, child, depth+1); err != nil {
 				return err
 			}
@@ -171,14 +175,15 @@ func (t *Tree) readBTNode(r *bufio.Reader, n *node, depth int) error {
 }
 
 // recomputeInner restores max-of-children values after a .bt import.
-func (t *Tree) recomputeInner(n *node) float32 {
-	if n.children == nil {
-		return n.logOdds
+func (t *Tree) recomputeInner(h uint32) float32 {
+	kb := t.nodes[h].kids
+	if kb == nilKids {
+		return t.nodes[h].logOdds
 	}
 	var maxVal float32
 	first := true
-	for _, c := range n.children {
-		if c == nil {
+	for _, c := range t.kids[kb] {
+		if c == nilNode {
 			continue
 		}
 		v := t.recomputeInner(c)
@@ -188,7 +193,7 @@ func (t *Tree) recomputeInner(n *node) float32 {
 		}
 	}
 	if !first {
-		n.logOdds = maxVal
+		t.nodes[h].logOdds = maxVal
 	}
-	return n.logOdds
+	return t.nodes[h].logOdds
 }

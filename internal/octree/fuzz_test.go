@@ -40,6 +40,74 @@ func FuzzReadFrom(f *testing.F) {
 	})
 }
 
+// FuzzOpStream drives the tree through an arbitrary interleaving of
+// updates, overwrites, aggregate writes, and serialize round-trips. The
+// mix is chosen so pruning and re-expansion constantly push slots through
+// the arena free lists, and the round-trip check (a rebuilt tree's arena
+// is filled linearly, with no recycling history) catches any way recycled
+// handles could leak into observable structure. Invariants checked after
+// every op: numNodes matches a walk recount, and live + free slots equal
+// the arena's total.
+func FuzzOpStream(f *testing.F) {
+	f.Add([]byte{0x01, 0x42, 0x83, 0xc4, 0x05, 0x46, 0x87, 0xff, 0x00})
+	f.Add([]byte{0xc0, 0xc1, 0xc2, 0xc3, 0xc4, 0xc5, 0xc6, 0xc7, 0xe0, 0x01})
+	f.Add(bytes.Repeat([]byte{0x40, 0xe1, 0x81}, 30))
+
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		p := smallParams(4)
+		tr := New(p)
+		check := func(step int) {
+			counted := 0
+			if !tr.empty() {
+				tr.iterate(tr.root, func(*node) { counted++ })
+			}
+			if counted != tr.NumNodes() {
+				t.Fatalf("op %d: %d reachable, NumNodes %d", step, counted, tr.NumNodes())
+			}
+			live, free, capacity := tr.ArenaStats()
+			if live+free != capacity {
+				t.Fatalf("op %d: slots leaked: live %d + free %d != capacity %d", step, live, free, capacity)
+			}
+		}
+		for i, b := range ops {
+			// Decode one op from one byte: 2 op bits, then 6 bits of
+			// position/value salt.
+			k := Key{uint16(b & 0x3), uint16(b >> 2 & 0x3), uint16(b >> 4 & 0x3)}
+			switch b >> 6 {
+			case 0:
+				tr.Update(k, b&1 == 0)
+			case 1:
+				// Saturate the octant so it prunes.
+				for d := uint16(0); d < 8; d++ {
+					tr.SetNodeValue(Key{k.X&^1 | d&1, k.Y&^1 | d>>1&1, k.Z&^1 | d>>2&1}, p.ClampMax)
+				}
+			case 2:
+				depth := int(b>>2&0x3) + 1 // 1..4
+				mask := uint16(0xffff) << uint(p.Depth-depth)
+				tr.SetLeafAt(Key{k.X & mask, k.Y & mask, k.Z & mask}, depth, float32(int(b&0x3f)-32)/8)
+			case 3:
+				var buf bytes.Buffer
+				if _, err := tr.WriteTo(&buf); err != nil {
+					t.Fatalf("op %d: WriteTo: %v", i, err)
+				}
+				var back Tree
+				if _, err := back.ReadFrom(&buf); err != nil {
+					t.Fatalf("op %d: ReadFrom: %v", i, err)
+				}
+				if !tr.Equal(&back) {
+					t.Fatalf("op %d: round-trip diverged", i)
+				}
+				if b&1 == 1 {
+					// Continue on the rebuilt (recycling-free) tree half
+					// the time so both arenas stay under test.
+					tr = &back
+				}
+			}
+			check(i)
+		}
+	})
+}
+
 // FuzzReadBT does the same for the OctoMap .bt parser.
 func FuzzReadBT(f *testing.F) {
 	tr := buildRandomTree(32, 150, 5)

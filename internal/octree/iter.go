@@ -25,19 +25,20 @@ func (l Leaf) Size(p Params) float64 {
 // Walk visits every leaf of the tree in Morton (in-order) order. The
 // walk stops early if fn returns false.
 func (t *Tree) Walk(fn func(Leaf) bool) {
-	if t.root == nil {
+	if t.empty() {
 		return
 	}
 	t.walk(t.root, 0, Key{}, fn)
 }
 
-func (t *Tree) walk(n *node, depth int, prefix Key, fn func(Leaf) bool) bool {
-	if n.children == nil || depth == t.params.Depth {
+func (t *Tree) walk(h uint32, depth int, prefix Key, fn func(Leaf) bool) bool {
+	n := t.nodes[h]
+	if n.kids == nilKids || depth == t.params.Depth {
 		return fn(Leaf{Key: prefix, Depth: depth, LogOdds: n.logOdds})
 	}
 	shift := uint(t.params.Depth - 1 - depth)
-	for i, c := range n.children {
-		if c == nil {
+	for i, c := range t.kids[n.kids] {
+		if c == nilNode {
 			continue
 		}
 		child := Key{
@@ -77,13 +78,14 @@ func (t *Tree) leafBox(l Leaf) geom.AABB {
 // cheap even on large maps. Inner-node values are maxima over children,
 // so a below-threshold inner node can be skipped outright.
 func (t *Tree) AnyOccupiedIn(box geom.AABB) bool {
-	if t.root == nil {
+	if t.empty() {
 		return false
 	}
 	return t.anyOccupiedIn(t.root, 0, Key{}, box)
 }
 
-func (t *Tree) anyOccupiedIn(n *node, depth int, prefix Key, box geom.AABB) bool {
+func (t *Tree) anyOccupiedIn(h uint32, depth int, prefix Key, box geom.AABB) bool {
+	n := t.nodes[h]
 	if n.logOdds < t.params.OccupancyThreshold {
 		return false
 	}
@@ -91,12 +93,12 @@ func (t *Tree) anyOccupiedIn(n *node, depth int, prefix Key, box geom.AABB) bool
 	if !ext.Intersects(box) {
 		return false
 	}
-	if n.children == nil || depth == t.params.Depth {
+	if n.kids == nilKids || depth == t.params.Depth {
 		return true
 	}
 	shift := uint(t.params.Depth - 1 - depth)
-	for i, c := range n.children {
-		if c == nil {
+	for i, c := range t.kids[n.kids] {
+		if c == nilNode {
 			continue
 		}
 		child := Key{

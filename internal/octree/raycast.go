@@ -88,22 +88,23 @@ func (t *Tree) CastRay(origin, dir geom.Vec3, maxRange float64, ignoreUnknown bo
 // the box boundary are always included. The walk stops early if fn
 // returns false.
 func (t *Tree) WalkIn(box geom.AABB, fn func(Leaf) bool) {
-	if t.root == nil {
+	if t.empty() {
 		return
 	}
 	t.walkIn(t.root, 0, Key{}, box.Expand(t.params.Resolution*1e-6), fn)
 }
 
-func (t *Tree) walkIn(n *node, depth int, prefix Key, box geom.AABB, fn func(Leaf) bool) bool {
+func (t *Tree) walkIn(h uint32, depth int, prefix Key, box geom.AABB, fn func(Leaf) bool) bool {
 	if !t.leafBox(Leaf{Key: prefix, Depth: depth}).Intersects(box) {
 		return true
 	}
-	if n.children == nil || depth == t.params.Depth {
+	n := t.nodes[h]
+	if n.kids == nilKids || depth == t.params.Depth {
 		return fn(Leaf{Key: prefix, Depth: depth, LogOdds: n.logOdds})
 	}
 	shift := uint(t.params.Depth - 1 - depth)
-	for i, c := range n.children {
-		if c == nil {
+	for i, c := range t.kids[n.kids] {
+		if c == nilNode {
 			continue
 		}
 		child := Key{
@@ -129,20 +130,21 @@ func (t *Tree) SearchAtDepth(k Key, depth int) (logOdds float32, known bool) {
 	if depth > t.params.Depth {
 		depth = t.params.Depth
 	}
-	n := t.root
-	if n == nil {
+	if t.empty() {
 		return 0, false
 	}
+	h := t.root
 	for d := 0; d < depth; d++ {
-		if n.children == nil {
+		n := t.nodes[h]
+		if n.kids == nilKids {
 			return n.logOdds, true
 		}
-		n = n.children[childIndex(k, d, t.params.Depth)]
-		if n == nil {
+		h = t.kids[n.kids][childIndex(k, d, t.params.Depth)]
+		if h == nilNode {
 			return 0, false
 		}
 	}
-	return n.logOdds, true
+	return t.nodes[h].logOdds, true
 }
 
 // BBox returns the tight axis-aligned bounds of all known leaves, and

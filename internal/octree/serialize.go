@@ -11,7 +11,9 @@ import (
 // Binary serialization of occupancy octrees, analogous to OctoMap's .ot
 // container: a small header with the sensor-model parameters followed by
 // a pre-order node stream. The format is deterministic, so structurally
-// equal trees serialize identically.
+// equal trees serialize identically — handle values never appear on the
+// wire, only structure, so arena layout (and free-list history) is
+// invisible to the format.
 
 var magic = [8]byte{'O', 'C', 'T', 'G', 'o', '1', '\r', '\n'}
 
@@ -43,14 +45,14 @@ func (t *Tree) WriteTo(w io.Writer) (int64, error) {
 		}
 	}
 	hasRoot := byte(0)
-	if t.root != nil {
+	if !t.empty() {
 		hasRoot = 1
 	}
 	if _, err := cw.Write([]byte{hasRoot}); err != nil {
 		return cw.n, err
 	}
-	if t.root != nil {
-		if err := writeNode(cw, t.root); err != nil {
+	if !t.empty() {
+		if err := t.writeNode(cw, t.root); err != nil {
 			return cw.n, err
 		}
 	}
@@ -60,18 +62,20 @@ func (t *Tree) WriteTo(w io.Writer) (int64, error) {
 	return cw.n, nil
 }
 
-func writeNode(w io.Writer, n *node) error {
+func (t *Tree) writeNode(w io.Writer, h uint32) error {
+	n := t.nodes[h]
 	var buf [6]byte
 	binary.LittleEndian.PutUint32(buf[:4], math.Float32bits(n.logOdds))
-	if n.children == nil {
+	if n.kids == nilKids {
 		buf[4] = nodeLeaf
 		_, err := w.Write(buf[:5])
 		return err
 	}
 	buf[4] = nodeInterior
+	block := t.kids[n.kids]
 	var mask byte
-	for i, c := range n.children {
-		if c != nil {
+	for i, c := range block {
+		if c != nilNode {
 			mask |= 1 << uint(i)
 		}
 	}
@@ -79,11 +83,11 @@ func writeNode(w io.Writer, n *node) error {
 	if _, err := w.Write(buf[:6]); err != nil {
 		return err
 	}
-	for _, c := range n.children {
-		if c == nil {
+	for _, c := range block {
+		if c == nilNode {
 			continue
 		}
-		if err := writeNode(w, c); err != nil {
+		if err := t.writeNode(w, c); err != nil {
 			return err
 		}
 	}
@@ -122,8 +126,7 @@ func (t *Tree) ReadFrom(r io.Reader) (int64, error) {
 		return cr.n, err
 	}
 	t.params = p
-	t.root = nil
-	t.numNodes = 0
+	t.resetArenas()
 	if hasRoot[0] != 0 {
 		root, err := t.readNode(cr)
 		if err != nil {
@@ -137,65 +140,84 @@ func (t *Tree) ReadFrom(r io.Reader) (int64, error) {
 	return cr.n, nil
 }
 
-func (t *Tree) readNode(r io.Reader) (*node, error) {
+// resetArenas drops all content while keeping reserved arena capacity.
+func (t *Tree) resetArenas() {
+	t.root = nilNode
+	t.nodes = t.nodes[:0]
+	t.kids = t.kids[:0]
+	t.freeNodes = t.freeNodes[:0]
+	t.freeKids = t.freeKids[:0]
+	t.numNodes = 0
+}
+
+func (t *Tree) readNode(r io.Reader) (uint32, error) {
 	var buf [5]byte
 	if _, err := io.ReadFull(r, buf[:]); err != nil {
-		return nil, fmt.Errorf("octree: reading node: %w", err)
+		return nilNode, fmt.Errorf("octree: reading node: %w", err)
 	}
-	n := &node{logOdds: math.Float32frombits(binary.LittleEndian.Uint32(buf[:4]))}
-	t.numNodes++
+	h := t.allocNode(math.Float32frombits(binary.LittleEndian.Uint32(buf[:4])))
 	switch buf[4] {
 	case nodeLeaf:
-		return n, nil
+		return h, nil
 	case nodeInterior:
 		var mb [1]byte
 		if _, err := io.ReadFull(r, mb[:]); err != nil {
-			return nil, fmt.Errorf("octree: reading child mask: %w", err)
+			return nilNode, fmt.Errorf("octree: reading child mask: %w", err)
 		}
-		n.children = new([8]*node)
+		kb := t.allocKids()
+		t.nodes[h].kids = kb
 		for i := 0; i < 8; i++ {
 			if mb[0]&(1<<uint(i)) == 0 {
 				continue
 			}
 			c, err := t.readNode(r)
 			if err != nil {
-				return nil, err
+				return nilNode, err
 			}
-			n.children[i] = c
+			t.kids[kb][i] = c
 		}
-		return n, nil
+		return h, nil
 	default:
-		return nil, fmt.Errorf("octree: unknown node kind %d", buf[4])
+		return nilNode, fmt.Errorf("octree: unknown node kind %d", buf[4])
 	}
 }
 
 // Equal reports whether two trees have identical parameters and
-// structurally identical node contents.
+// structurally identical node contents. Arena layout is irrelevant:
+// handles are compared by the structure they reach, not by value.
 func (t *Tree) Equal(o *Tree) bool {
 	if t.params != o.params {
 		return false
 	}
-	return nodesEqual(t.root, o.root)
+	if t.empty() != o.empty() {
+		return false
+	}
+	if t.empty() {
+		return true
+	}
+	return nodesEqual(t, o, t.root, o.root)
 }
 
-func nodesEqual(a, b *node) bool {
-	if (a == nil) != (b == nil) {
+func nodesEqual(t, o *Tree, a, b uint32) bool {
+	an, bn := t.nodes[a], o.nodes[b]
+	if an.logOdds != bn.logOdds {
 		return false
 	}
-	if a == nil {
+	if (an.kids == nilKids) != (bn.kids == nilKids) {
+		return false
+	}
+	if an.kids == nilKids {
 		return true
 	}
-	if a.logOdds != b.logOdds {
-		return false
-	}
-	if (a.children == nil) != (b.children == nil) {
-		return false
-	}
-	if a.children == nil {
-		return true
-	}
-	for i := range a.children {
-		if !nodesEqual(a.children[i], b.children[i]) {
+	ab, bb := t.kids[an.kids], o.kids[bn.kids]
+	for i := range ab {
+		if (ab[i] == nilNode) != (bb[i] == nilNode) {
+			return false
+		}
+		if ab[i] == nilNode {
+			continue
+		}
+		if !nodesEqual(t, o, ab[i], bb[i]) {
 			return false
 		}
 	}

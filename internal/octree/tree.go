@@ -6,15 +6,37 @@ import (
 	"octocache/internal/geom"
 )
 
-// node is a tree node. A node with a nil children array is a leaf: either
-// a finest-resolution voxel or a pruned aggregate standing in for a whole
-// equal-valued subtree. Interior nodes always carry an allocated children
-// array (entries may be nil for unknown octants); this invariant is what
-// lets traversal distinguish "pruned, must expand" from "fresh interior".
+// The tree stores its nodes in an arena: two contiguous slices addressed
+// by uint32 handles instead of a pointer graph. A node is 8 bytes (value
+// plus child-block handle); an interior node's eight child handles live
+// as one 32-byte block in the second arena. Traversal follows handles —
+// consecutive insertions allocate consecutive arena slots, so the
+// root-to-leaf walks of Figure 5 touch contiguous memory instead of
+// chasing heap pointers, and pruning recycles slots through free lists
+// instead of churning the GC. See DESIGN.md §9 for the layout contract.
+const (
+	// nilNode marks an absent child slot (and the root of an empty tree).
+	nilNode uint32 = ^uint32(0)
+	// nilKids in node.kids marks a leaf: either a finest-resolution voxel
+	// or a pruned aggregate standing in for a whole equal-valued subtree.
+	// Interior nodes always carry an allocated child block (entries may be
+	// nilNode for unknown octants); this invariant is what lets traversal
+	// distinguish "pruned, must expand" from "fresh interior".
+	nilKids uint32 = ^uint32(0)
+)
+
+// node is one arena slot. The zero value is never used; nodes are always
+// initialized by allocNode.
 type node struct {
-	children *[8]*node
-	logOdds  float32
+	logOdds float32
+	kids    uint32 // nilKids for leaves, else an index into Tree.kids
 }
+
+// kidsBlock is one child-handle block in the second arena.
+type kidsBlock [8]uint32
+
+// emptyKids is the all-absent child block used to initialize interiors.
+var emptyKids = kidsBlock{nilNode, nilNode, nilNode, nilNode, nilNode, nilNode, nilNode, nilNode}
 
 // Tree is a probabilistic occupancy octree. Mutating it concurrently is
 // not safe — OctoCache's pipelines serialize writers exactly as the
@@ -24,7 +46,21 @@ type node struct {
 // their node visits through an atomic side counter.
 type Tree struct {
 	params Params
-	root   *node
+	// root is the handle of the root node; meaningful only when
+	// numNodes > 0 (the zero value of Tree must be usable, so an empty
+	// tree is detected by node count, not by a sentinel root).
+	root uint32
+
+	// nodes and kids are the two arenas. Handles index into them; slices
+	// grow by append, which never invalidates a handle.
+	nodes []node
+	kids  []kidsBlock
+	// freeNodes and freeKids hold recycled slots dropped by pruning and
+	// subtree replacement. Only slots unreachable from root are ever
+	// pushed, and the tree holds the sole references to its arenas, so
+	// recycling cannot alias live data.
+	freeNodes []uint32
+	freeKids  []uint32
 
 	numNodes int
 	// nodeVisits counts every node touched by updates; searches count
@@ -35,9 +71,6 @@ type Tree struct {
 	searchVisits atomic.Int64
 	// changed records state transitions when change tracking is on.
 	changed map[Key]bool
-	// pool, when set (NewArena), supplies node storage from chunked
-	// slabs with prune-recycling.
-	pool *nodePool
 }
 
 // New creates an empty occupancy octree. It panics if params are invalid;
@@ -55,7 +88,7 @@ func NewChecked(params Params) (*Tree, error) {
 	if err := params.Validate(); err != nil {
 		return nil, err
 	}
-	return &Tree{params: params}, nil
+	return &Tree{params: params, root: nilNode}, nil
 }
 
 // Params returns the tree's configuration.
@@ -64,8 +97,15 @@ func (t *Tree) Params() Params { return t.params }
 // Resolution returns the leaf voxel edge length in meters.
 func (t *Tree) Resolution() float64 { return t.params.Resolution }
 
-// NumNodes returns the number of allocated tree nodes.
+// NumNodes returns the number of live tree nodes.
 func (t *Tree) NumNodes() int { return t.numNodes }
+
+// ArenaStats reports the node arena's occupancy: live nodes reachable
+// from the root, free-listed slots awaiting reuse, and the total slots
+// the arena has ever grown to (live + free).
+func (t *Tree) ArenaStats() (live, free, capacity int) {
+	return t.numNodes, len(t.freeNodes), len(t.nodes)
+}
 
 // NodeVisits returns the cumulative count of node touches by updates and
 // searches since construction (or the last ResetNodeVisits).
@@ -78,40 +118,37 @@ func (t *Tree) ResetNodeVisits() {
 	t.searchVisits.Store(0)
 }
 
-// MemoryBytes estimates the heap footprint of the tree's nodes: each node
-// is 16 bytes (pointer + float32, padded) plus 64 bytes per interior
-// node's child array.
+// MemoryBytes estimates the heap footprint of the tree's arenas: 8 bytes
+// per node slot plus 32 bytes per child block, counting every slot the
+// arenas have grown to (free-listed slots included — they stay reserved).
 func (t *Tree) MemoryBytes() int64 {
-	var interior int64
-	t.iterate(t.root, func(n *node) {
-		if n.children != nil {
-			interior++
-		}
-	})
-	return int64(t.numNodes)*16 + interior*64
+	return int64(cap(t.nodes))*8 + int64(cap(t.kids))*32
 }
 
-func (t *Tree) iterate(n *node, fn func(*node)) {
-	if n == nil {
+// empty reports whether the tree has no content.
+func (t *Tree) empty() bool { return t.numNodes == 0 }
+
+func (t *Tree) iterate(h uint32, fn func(*node)) {
+	if t.empty() || h == nilNode {
 		return
 	}
+	n := &t.nodes[h]
 	fn(n)
-	if n.children != nil {
-		for _, c := range n.children {
-			t.iterate(c, fn)
+	if n.kids != nilKids {
+		for _, c := range t.kids[n.kids] {
+			if c != nilNode {
+				t.iterate(c, fn)
+			}
 		}
 	}
 }
 
-// Clear removes all content from the tree. Change tracking, if enabled,
-// stays enabled with an empty pending set.
+// Clear removes all content from the tree, retaining the arenas' reserved
+// capacity for reuse. Change tracking, if enabled, stays enabled with an
+// empty pending set.
 func (t *Tree) Clear() {
-	t.root = nil
-	t.numNodes = 0
+	t.resetArenas()
 	t.ResetChanges()
-	if t.pool != nil {
-		t.pool = &nodePool{}
-	}
 }
 
 // CoordToKey discretizes a world coordinate into the tree's key space.
@@ -124,51 +161,99 @@ func (t *Tree) KeyToCoord(k Key) geom.Vec3 {
 	return KeyToCoord(k, t.params.Resolution, t.params.Depth)
 }
 
-// newLeaf allocates a finest-resolution or pruned leaf node.
-func (t *Tree) newLeaf(l float32) *node {
+// allocNode allocates a leaf slot, recycling from the free list when
+// possible. Appending may grow the nodes arena; callers must not hold a
+// *node across the call (handles stay valid, pointers do not).
+func (t *Tree) allocNode(l float32) uint32 {
 	t.numNodes++
-	if t.pool != nil {
-		n := t.pool.getNode()
-		n.logOdds = l
-		return n
+	if n := len(t.freeNodes); n > 0 {
+		h := t.freeNodes[n-1]
+		t.freeNodes = t.freeNodes[:n-1]
+		t.nodes[h] = node{logOdds: l, kids: nilKids}
+		return h
 	}
-	return &node{logOdds: l}
+	t.nodes = append(t.nodes, node{logOdds: l, kids: nilKids})
+	return uint32(len(t.nodes) - 1)
 }
 
-// newInterior allocates an interior node with an empty child array.
-func (t *Tree) newInterior() *node {
-	t.numNodes++
-	if t.pool != nil {
-		n := t.pool.getNode()
-		n.children = t.pool.getArr()
-		return n
+// allocKids allocates an all-absent child block.
+func (t *Tree) allocKids() uint32 {
+	if n := len(t.freeKids); n > 0 {
+		b := t.freeKids[n-1]
+		t.freeKids = t.freeKids[:n-1]
+		t.kids[b] = emptyKids
+		return b
 	}
-	return &node{children: new([8]*node)}
+	t.kids = append(t.kids, emptyKids)
+	return uint32(len(t.kids) - 1)
+}
+
+// newInterior allocates an interior node with an empty child block.
+func (t *Tree) newInterior() uint32 {
+	h := t.allocNode(0)
+	kb := t.allocKids()
+	t.nodes[h].kids = kb
+	return h
+}
+
+// freeSubtree returns every node and child block of the subtree rooted at
+// h to the free lists, updating the node count. The caller must have
+// already unlinked h from its parent.
+func (t *Tree) freeSubtree(h uint32) {
+	kb := t.nodes[h].kids
+	if kb != nilKids {
+		for _, c := range t.kids[kb] {
+			if c != nilNode {
+				t.freeSubtree(c)
+			}
+		}
+		t.freeKids = append(t.freeKids, kb)
+	}
+	t.freeNodes = append(t.freeNodes, h)
+	t.numNodes--
 }
 
 // expand materializes the eight children of a pruned aggregate leaf,
 // each inheriting its value — OctoMap's expandNode.
-func (t *Tree) expand(n *node) {
-	if t.pool != nil {
-		n.children = t.pool.getArr()
-	} else {
-		n.children = new([8]*node)
+func (t *Tree) expand(h uint32) {
+	v := t.nodes[h].logOdds
+	kb := t.allocKids()
+	for i := 0; i < 8; i++ {
+		c := t.allocNode(v)
+		t.kids[kb][i] = c
 	}
-	for i := range n.children {
-		n.children[i] = t.newLeaf(n.logOdds)
+	t.nodes[h].kids = kb
+}
+
+// leafOp is one leaf mutation: either add a delta to the accumulated
+// value or overwrite it. A plain struct (rather than a closure) keeps the
+// update path allocation-free.
+type leafOp struct {
+	set bool
+	val float32
+}
+
+// apply computes the leaf's new clamped value.
+func (op leafOp) apply(p Params, old float32, known bool) float32 {
+	if op.set {
+		return p.clamp(op.val)
 	}
+	if !known {
+		old = 0
+	}
+	return p.clamp(old + op.val)
 }
 
 // UpdateOccupied integrates an "occupied" observation for the voxel at k:
 // logOdds += δ_occupied, clamped. It returns the new value.
 func (t *Tree) UpdateOccupied(k Key) float32 {
-	return t.updateDelta(k, t.params.LogOddsHit)
+	return t.updateLeaf(k, leafOp{val: t.params.LogOddsHit})
 }
 
 // UpdateFree integrates a "free" observation for the voxel at k:
 // logOdds += δ_free, clamped. It returns the new value.
 func (t *Tree) UpdateFree(k Key) float32 {
-	return t.updateDelta(k, t.params.LogOddsMiss)
+	return t.updateLeaf(k, leafOp{val: t.params.LogOddsMiss})
 }
 
 // Update integrates an observation; occupied selects δ_occupied or δ_free.
@@ -179,175 +264,158 @@ func (t *Tree) Update(k Key, occupied bool) float32 {
 	return t.UpdateFree(k)
 }
 
-// updateDelta applies a log-odds increment at the leaf for k. Unknown
-// voxels start from the prior (log-odds 0, i.e. P=0.5), as in OctoMap.
-func (t *Tree) updateDelta(k Key, delta float32) float32 {
-	return t.updateLeaf(k, func(old float32, known bool) float32 {
-		if !known {
-			old = 0
-		}
-		return t.params.clamp(old + delta)
-	})
-}
-
 // SetNodeValue overwrites the accumulated log-odds of the voxel at k,
 // clamped to the configured bounds. This is the operation OctoCache's
 // eviction path uses: the cache already holds the accumulated value, so
 // the octree copy is replaced rather than incremented (paper §4.2).
 func (t *Tree) SetNodeValue(k Key, logOdds float32) float32 {
-	return t.updateLeaf(k, func(float32, bool) float32 {
-		return t.params.clamp(logOdds)
-	})
+	return t.updateLeaf(k, leafOp{set: true, val: logOdds})
 }
 
 // SetLeafAt writes a (possibly aggregate) leaf with the given clamped
 // log-odds at an arbitrary depth: the cube whose minimum-corner key is k,
 // as emitted by Walk. depth == Params().Depth sets a single voxel (like
 // SetNodeValue); smaller depths write a pruned aggregate directly,
-// replacing any subtree currently occupying that cube. It is the inverse
-// of Walk, letting one tree be rebuilt — or several spatially disjoint
-// trees be merged — leaf-by-leaf without expanding aggregates into their
-// constituent voxels.
+// replacing any subtree currently occupying that cube (the replaced
+// subtree's slots are recycled). It is the inverse of Walk, letting one
+// tree be rebuilt — or several spatially disjoint trees be merged —
+// leaf-by-leaf without expanding aggregates into their constituent
+// voxels.
 func (t *Tree) SetLeafAt(k Key, depth int, logOdds float32) {
 	if depth < 0 || depth > t.params.Depth {
 		panic("octree: SetLeafAt depth out of range")
 	}
 	v := t.params.clamp(logOdds)
 	if depth == 0 {
-		if t.root != nil {
-			t.numNodes -= t.countNodes(t.root)
+		if !t.empty() {
+			t.freeSubtree(t.root)
 		}
-		t.root = t.newLeaf(v)
+		t.root = t.allocNode(v)
 		return
 	}
-	if t.root == nil {
+	if t.empty() {
 		t.root = t.newInterior()
 	}
 	t.setLeafRecurs(t.root, 0, k, depth, v)
 }
 
-func (t *Tree) setLeafRecurs(n *node, depth int, k Key, target int, v float32) {
-	if n.children == nil {
+func (t *Tree) setLeafRecurs(h uint32, depth int, k Key, target int, v float32) {
+	if t.nodes[h].kids == nilKids {
 		// Pruned aggregate on the path: materialize children so the target
 		// cube can diverge from its siblings.
-		t.expand(n)
+		t.expand(h)
 	}
+	kb := t.nodes[h].kids
 	idx := childIndex(k, depth, t.params.Depth)
-	child := n.children[idx]
+	child := t.kids[kb][idx]
 	if depth+1 == target {
-		if child != nil {
-			t.numNodes -= t.countNodes(child)
+		if child != nilNode {
+			t.freeSubtree(child)
 		}
-		n.children[idx] = t.newLeaf(v)
+		t.kids[kb][idx] = t.allocNode(v)
 	} else {
-		if child == nil {
+		if child == nilNode {
 			child = t.newInterior()
-			n.children[idx] = child
+			t.kids[kb][idx] = child
 		}
 		t.setLeafRecurs(child, depth+1, k, target, v)
 	}
-	t.restoreInvariant(n)
-}
-
-// countNodes sizes the subtree rooted at n.
-func (t *Tree) countNodes(n *node) int {
-	c := 1
-	if n.children != nil {
-		for _, ch := range n.children {
-			if ch != nil {
-				c += t.countNodes(ch)
-			}
-		}
-	}
-	return c
+	t.restoreInvariant(h)
 }
 
 // updateLeaf performs the root-to-leaf round trip of Figure 5: descend to
-// the leaf for k (creating or expanding nodes as needed), apply fn to its
+// the leaf for k (creating or expanding nodes as needed), apply op to its
 // value, then restore the max-of-children invariant and prune on the way
 // back up. It returns the leaf's new value.
-func (t *Tree) updateLeaf(k Key, fn func(old float32, known bool) float32) float32 {
-	if t.root == nil {
+func (t *Tree) updateLeaf(k Key, op leafOp) float32 {
+	if t.empty() {
 		t.root = t.newInterior()
 	}
-	if t.changed != nil {
-		inner := fn
-		fn = func(old float32, known bool) float32 {
-			v := inner(old, known)
-			t.noteChange(k, known, old, v)
-			return v
-		}
-	}
-	return t.updateRecurs(t.root, 0, k, fn)
+	return t.updateRecurs(t.root, 0, k, op)
 }
 
-func (t *Tree) updateRecurs(n *node, depth int, k Key, fn func(float32, bool) float32) float32 {
+// mutateLeaf applies op at an existing leaf slot and records the change
+// when tracking is on.
+func (t *Tree) mutateLeaf(h uint32, k Key, op leafOp, known bool) float32 {
+	old := t.nodes[h].logOdds
+	v := op.apply(t.params, old, known)
+	t.nodes[h].logOdds = v
+	if t.changed != nil {
+		t.noteChange(k, known, old, v)
+	}
+	return v
+}
+
+func (t *Tree) updateRecurs(h uint32, depth int, k Key, op leafOp) float32 {
 	t.nodeVisits++
 	if depth == t.params.Depth {
-		n.logOdds = fn(n.logOdds, true)
-		return n.logOdds
+		return t.mutateLeaf(h, k, op, true)
 	}
-	if n.children == nil {
+	if t.nodes[h].kids == nilKids {
 		// Pruned aggregate on the path: materialize children so one can
 		// diverge while the other seven keep the aggregate value.
-		t.expand(n)
+		t.expand(h)
 	}
+	kb := t.nodes[h].kids
 	idx := childIndex(k, depth, t.params.Depth)
-	child := n.children[idx]
-	if child == nil {
+	child := t.kids[kb][idx]
+	if child == nilNode {
 		if depth+1 == t.params.Depth {
-			child = t.newLeaf(fn(0, false))
-			n.children[idx] = child
+			v := op.apply(t.params, 0, false)
+			child = t.allocNode(v)
+			t.kids[kb][idx] = child
+			if t.changed != nil {
+				t.noteChange(k, false, 0, v)
+			}
 			t.nodeVisits++
-			t.restoreInvariant(n)
-			return child.logOdds
+			t.restoreInvariant(h)
+			return v
 		}
 		child = t.newInterior()
-		n.children[idx] = child
+		t.kids[kb][idx] = child
 	}
-	v := t.updateRecurs(child, depth+1, k, fn)
+	v := t.updateRecurs(child, depth+1, k, op)
 	t.nodeVisits++ // trace-back visit of Figure 5
-	t.restoreInvariant(n)
+	t.restoreInvariant(h)
 	return v
 }
 
 // restoreInvariant recomputes an interior node's value as the maximum of
 // its existing children and prunes the children when all eight exist as
 // equal-valued leaves.
-func (t *Tree) restoreInvariant(n *node) {
+func (t *Tree) restoreInvariant(h uint32) {
+	kb := t.nodes[h].kids
+	block := &t.kids[kb]
 	var maxVal float32
 	first := true
 	prunable := true
-	for _, c := range n.children {
-		if c == nil {
+	for _, c := range block {
+		if c == nilNode {
 			prunable = false
 			continue
 		}
-		if c.children != nil {
+		cn := t.nodes[c]
+		if cn.kids != nilKids {
 			prunable = false
 		}
-		if first || c.logOdds > maxVal {
-			maxVal = c.logOdds
+		if first || cn.logOdds > maxVal {
+			maxVal = cn.logOdds
 			first = false
 		}
 	}
 	if first {
 		return // no children materialized (cannot happen on update paths)
 	}
-	n.logOdds = maxVal
+	t.nodes[h].logOdds = maxVal
 	if prunable {
-		for _, c := range n.children {
-			if c.logOdds != maxVal {
+		for _, c := range block {
+			if t.nodes[c].logOdds != maxVal {
 				return
 			}
 		}
-		if t.pool != nil {
-			for _, c := range n.children {
-				t.pool.putNode(c)
-			}
-			t.pool.putArr(n.children)
-		}
-		n.children = nil
+		t.freeNodes = append(t.freeNodes, block[:]...)
+		t.freeKids = append(t.freeKids, kb)
+		t.nodes[h].kids = nilKids
 		t.numNodes -= 8
 	}
 }
@@ -358,25 +426,26 @@ func (t *Tree) restoreInvariant(n *node) {
 // node visits accumulate locally and land in the atomic side counter
 // with a single add.
 func (t *Tree) Search(k Key) (logOdds float32, known bool) {
-	n := t.root
-	if n == nil {
+	if t.empty() {
 		return 0, false
 	}
+	h := t.root
 	visits := int64(0)
 	defer func() { t.searchVisits.Add(visits) }()
 	for depth := 0; depth < t.params.Depth; depth++ {
 		visits++
-		if n.children == nil {
+		n := t.nodes[h]
+		if n.kids == nilKids {
 			// Pruned aggregate covering k.
 			return n.logOdds, true
 		}
-		n = n.children[childIndex(k, depth, t.params.Depth)]
-		if n == nil {
+		h = t.kids[n.kids][childIndex(k, depth, t.params.Depth)]
+		if h == nilNode {
 			return 0, false
 		}
 	}
 	visits++
-	return n.logOdds, true
+	return t.nodes[h].logOdds, true
 }
 
 // Occupied reports whether the voxel at k is known and at or above the

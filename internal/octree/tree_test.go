@@ -298,8 +298,8 @@ func TestInnerNodeIsMaxOfChildren(t *testing.T) {
 	tr := New(p)
 	tr.UpdateFree(Key{1, 1, 1})
 	tr.UpdateOccupied(Key{9, 9, 9})
-	if tr.root.logOdds != p.LogOddsHit {
-		t.Errorf("root log-odds %v, want max child %v", tr.root.logOdds, p.LogOddsHit)
+	if got := tr.nodes[tr.root].logOdds; got != p.LogOddsHit {
+		t.Errorf("root log-odds %v, want max child %v", got, p.LogOddsHit)
 	}
 }
 

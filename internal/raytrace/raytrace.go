@@ -47,12 +47,18 @@ type Config struct {
 
 // Tracer casts point-cloud rays into voxel batches. The zero value is not
 // usable; construct with NewTracer. A Tracer reuses internal buffers, so
-// it is not safe for concurrent use; the returned batches alias an
-// internal buffer only until the next Trace call if TakeOwnership is
-// false — both pipelines in this repository copy or consume batches
-// before re-tracing.
+// it is not safe for concurrent use, and the returned batches alias an
+// internal buffer that the next Trace/TraceRT call overwrites — callers
+// must copy or fully consume a batch before re-tracing. Both pipelines in
+// this repository do: the engine admits the batch synchronously and the
+// shard router scatters it into per-shard scratch before returning the
+// tracer to its pool. The reuse is what keeps the steady-state trace
+// stage allocation-free (one warmed buffer per tracer, no per-scan
+// make).
 type Tracer struct {
 	cfg Config
+	// buf is the recycled batch storage Trace appends into.
+	buf []Voxel
 	// scratch for per-batch dedup in TraceRT
 	seen map[octree.Key]int
 }
@@ -69,10 +75,11 @@ func (t *Tracer) Config() Config { return t.cfg }
 // observations exactly as vanilla OctoMap's per-ray update stream does.
 // Points are in world coordinates; origin is the sensor position.
 func (t *Tracer) Trace(origin geom.Vec3, points []geom.Vec3) []Voxel {
-	batch := make([]Voxel, 0, len(points)*8)
+	batch := t.buf[:0]
 	for _, p := range points {
 		batch = t.traceRay(batch, origin, p)
 	}
+	t.buf = batch
 	return batch
 }
 

@@ -191,7 +191,9 @@ func TestTraceRTDeduplicates(t *testing.T) {
 	if CountDistinct(rt) != len(rt) {
 		t.Fatal("TraceRT batch contains duplicates")
 	}
-	raw := tr.Trace(origin, pts)
+	// Trace with a second tracer: batches alias per-tracer storage, so a
+	// second call on tr would overwrite rt.
+	raw := NewTracer(cfg(0.1)).Trace(origin, pts)
 	if len(rt) != CountDistinct(raw) {
 		t.Errorf("RT batch size %d != distinct raw voxels %d", len(rt), CountDistinct(raw))
 	}

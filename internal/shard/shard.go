@@ -14,11 +14,16 @@
 // bit-identical to the serial pipeline — see the consistency tests).
 //
 // Ingest path per producer: the scan is ray-traced once outside any
-// lock, the traced cells are partitioned by shard index, and each
-// shard's slice is applied under that shard's write lock through the
-// pipeline's ApplyTraced entry point. Distinct producers mostly touch
-// distinct shards (scans are spatially compact), so ingest scales with
-// the shard count until producers collide on hot regions.
+// lock, the traced cells are partitioned by shard index with a stable
+// counting sort into a pooled flat scratch (count per shard, prefix-sum
+// offsets, ordered scatter — no per-shard slice growth, no allocation in
+// steady state), and each shard's contiguous segment is applied under
+// that shard's write lock through the pipeline's ApplyTraced entry
+// point. The scatter preserves each voxel's observation order, which is
+// what keeps sharded answers bit-identical to the serial pipeline.
+// Distinct producers mostly touch distinct shards (scans are spatially
+// compact), so ingest scales with the shard count until producers
+// collide on hot regions.
 //
 // Locking is a per-shard RWMutex: mutators (the apply slice of an
 // Insert, Close's flush) take the write side, queries take the read
@@ -88,7 +93,7 @@ func (p Pipeline) kind() (core.Kind, error) {
 // Config configures a sharded map.
 type Config struct {
 	// Core configures the per-shard pipelines (resolution, sensor model,
-	// cache shape, RT tracing, arena allocation). The cache bucket budget
+	// cache shape, RT tracing). The cache bucket budget
 	// Core.CacheBuckets is divided evenly across shards (floored at
 	// MinShardBuckets), so total cache memory is shard-count independent.
 	Core core.Config
@@ -124,7 +129,7 @@ type Map struct {
 	shards []*shardState
 
 	// tracers and routes recycle the per-producer scratch (a ray tracer
-	// and one pending-cells slice per shard) so concurrent Insert calls
+	// and a counting-sort partition buffer) so concurrent Insert calls
 	// don't allocate per scan.
 	tracers sync.Pool
 	routes  sync.Pool
@@ -181,10 +186,58 @@ func New(cfg Config) (*Map, error) {
 	}
 	m.tracers.New = func() any { return raytrace.NewTracer(tracerCfg) }
 	m.routes.New = func() any {
-		r := make([][]raytrace.Voxel, n)
-		return &r
+		return &routeScratch{ends: make([]int, n)}
 	}
 	return m, nil
+}
+
+// routeScratch is one producer's partition buffer: the traced batch is
+// counting-sorted into flat, shard-major, with ends[i] marking the end
+// of shard i's segment.
+type routeScratch struct {
+	ends []int
+	sidx []uint16         // shard index per batch element (avoids re-deriving Morton codes)
+	flat []raytrace.Voxel // partitioned copy of the batch, shard-major
+}
+
+// partition stable-sorts batch by owning shard: a count pass, prefix
+// sums, then an ordered scatter. Within a shard, voxels keep their batch
+// order — the property the consistency matrix depends on.
+func (rs *routeScratch) partition(batch []raytrace.Voxel, bits int) {
+	ends := rs.ends
+	for i := range ends {
+		ends[i] = 0
+	}
+	if cap(rs.sidx) < len(batch) {
+		rs.sidx = make([]uint16, len(batch))
+		rs.flat = make([]raytrace.Voxel, len(batch))
+	}
+	sidx := rs.sidx[:len(batch)]
+	flat := rs.flat[:len(batch)]
+	for i, v := range batch {
+		s := morton.ShardIndex(v.Key.Morton(), bits)
+		sidx[i] = uint16(s)
+		ends[s]++
+	}
+	sum := 0
+	for i, c := range ends {
+		ends[i] = sum // start offset for now; advanced to the end below
+		sum += c
+	}
+	for i, v := range batch {
+		s := sidx[i]
+		flat[ends[s]] = v
+		ends[s]++ // after the scatter, ends[s] is the segment end
+	}
+}
+
+// segment returns shard i's contiguous slice of the partitioned batch.
+func (rs *routeScratch) segment(i int) []raytrace.Voxel {
+	start := 0
+	if i > 0 {
+		start = rs.ends[i-1]
+	}
+	return rs.flat[start:rs.ends[i]:rs.ends[i]]
 }
 
 // NumShards returns the shard count (a power of two).
@@ -231,20 +284,18 @@ func (m *Map) Insert(origin geom.Vec3, points []geom.Vec3) error {
 	}
 	m.rayNS.Add(int64(time.Since(t0)))
 
-	rp := m.routes.Get().(*[][]raytrace.Voxel)
-	route := *rp
-	for _, v := range batch {
-		s := morton.ShardIndex(v.Key.Morton(), m.bits)
-		route[s] = append(route[s], v)
-	}
+	rs := m.routes.Get().(*routeScratch)
+	rs.partition(batch, m.bits)
+	// The partition copied the batch into rs.flat, so the tracer (and the
+	// batch buffer it owns) can go back to the pool before the apply loop.
 	m.tracers.Put(tracer)
 
 	var err error
-	for i, cells := range route {
+	for i, sh := range m.shards {
+		cells := rs.segment(i)
 		if len(cells) == 0 {
 			continue
 		}
-		sh := m.shards[i]
 		sh.mu.Lock()
 		// With PipelineAsync, ApplyTraced hands the eviction batch to the
 		// shard's background applier on the way out, so the octree update
@@ -253,9 +304,8 @@ func (m *Map) Insert(origin geom.Vec3, points []geom.Vec3) error {
 			err = e
 		}
 		sh.mu.Unlock()
-		route[i] = cells[:0]
 	}
-	m.routes.Put(rp)
+	m.routes.Put(rs)
 	if err != nil {
 		return err
 	}
@@ -263,17 +313,6 @@ func (m *Map) Insert(origin geom.Vec3, points []geom.Vec3) error {
 	m.batches.Add(1)
 	m.critNS.Add(int64(time.Since(start)))
 	return nil
-}
-
-// InsertPointCloud is Insert with the seed API's panic-on-misuse
-// behaviour, so a sharded map slots in wherever a core pipeline is
-// driven.
-//
-// Deprecated: use Insert, which reports ErrClosed instead of panicking.
-func (m *Map) InsertPointCloud(origin geom.Vec3, points []geom.Vec3) {
-	if err := m.Insert(origin, points); err != nil {
-		panic(err)
-	}
 }
 
 // OccupancyKey returns the accumulated log-odds of the voxel at k,
@@ -331,15 +370,11 @@ func (m *Map) Close() error {
 	m.closed = true
 	for _, sh := range m.shards {
 		sh.mu.Lock()
-		sh.pipe.Finalize()
+		sh.pipe.Close()
 		sh.mu.Unlock()
 	}
 	return nil
 }
-
-// Finalize is Close for call sites written against the core.Mapper
-// lifecycle; Close never fails, so the error is discarded.
-func (m *Map) Finalize() { _ = m.Close() }
 
 // LoadTree splits a whole-map octree across the shards, each leaf going
 // to its owning shard — the inverse of MergedTree, used by map loading.
@@ -434,6 +469,11 @@ type ShardStat struct {
 	Shard int
 	// TreeNodes is the shard octree's node count.
 	TreeNodes int
+	// TreeFreeSlots counts recycled arena slots awaiting reuse and
+	// TreeCapacity the arena's total node slots (live + free), so
+	// TreeNodes/TreeCapacity is the shard octree's arena occupancy.
+	TreeFreeSlots int
+	TreeCapacity  int
 	// TreeBytes estimates the shard octree's heap footprint.
 	TreeBytes int64
 	// QueueDepth is the number of cells parked in the shard's cache
@@ -456,12 +496,15 @@ func (m *Map) ShardStats() []ShardStat {
 		sh.mu.RLock()
 		sh.pipe.Quiesce()
 		tree := sh.pipe.Tree()
+		live, free, capacity := tree.ArenaStats()
 		out[i] = ShardStat{
-			Shard:      i,
-			TreeNodes:  tree.NumNodes(),
-			TreeBytes:  tree.MemoryBytes(),
-			QueueDepth: sh.pipe.CacheLen(),
-			Cache:      sh.pipe.CacheStats(),
+			Shard:         i,
+			TreeNodes:     live,
+			TreeFreeSlots: free,
+			TreeCapacity:  capacity,
+			TreeBytes:     tree.MemoryBytes(),
+			QueueDepth:    sh.pipe.CacheLen(),
+			Cache:         sh.pipe.CacheStats(),
 		}
 		sh.mu.RUnlock()
 	}

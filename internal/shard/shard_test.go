@@ -55,7 +55,7 @@ func TestShardedMatchesSerial(t *testing.T) {
 		for batch := 0; batch < 8; batch++ {
 			origin := origins[batch%len(origins)]
 			pts := scanArc(origin, 1.5+2*rng.Float64(), 120, rng.Float64())
-			ref.InsertPointCloud(origin, pts)
+			ref.Insert(origin, pts)
 			if err := sm.Insert(origin, pts); err != nil {
 				t.Fatalf("shards=%d: Insert: %v", shards, err)
 			}
@@ -88,7 +88,7 @@ func TestShardedMatchesSerial(t *testing.T) {
 		}
 
 		// After finalize/close the maps must still agree...
-		ref.Finalize()
+		ref.Close()
 		if err := sm.Close(); err != nil {
 			t.Fatalf("Close: %v", err)
 		}
@@ -131,7 +131,7 @@ func TestPipelineCompositionsConsistent(t *testing.T) {
 		insert func(geom.Vec3, []geom.Vec3) error
 		occ    func(geom.Vec3) (float32, bool)
 		ray    func(geom.Vec3, geom.Vec3) (geom.Vec3, bool)
-		close  func()
+		close  func() error
 		tree   func() *octree.Tree
 	}
 	var variants []variant
@@ -144,7 +144,7 @@ func TestPipelineCompositionsConsistent(t *testing.T) {
 		ray: func(o, d geom.Vec3) (geom.Vec3, bool) {
 			return ref.CastRay(o, d, 10, true)
 		},
-		close: ref.Finalize,
+		close: ref.Close,
 		tree:  ref.Tree,
 	})
 	par := core.MustNew(core.KindParallel, testConfig())
@@ -155,7 +155,7 @@ func TestPipelineCompositionsConsistent(t *testing.T) {
 		ray: func(o, d geom.Vec3) (geom.Vec3, bool) {
 			return par.CastRay(o, d, 10, true)
 		},
-		close: par.Finalize,
+		close: par.Close,
 		tree:  par.Tree,
 	})
 	for _, shards := range []int{1, 2, 8} {
@@ -171,7 +171,7 @@ func TestPipelineCompositionsConsistent(t *testing.T) {
 				ray: func(o, d geom.Vec3) (geom.Vec3, bool) {
 					return sm.CastRay(o, d, 10, true)
 				},
-				close: func() { _ = sm.Close() },
+				close: sm.Close,
 				tree:  sm.MergedTree,
 			})
 		}
@@ -363,16 +363,6 @@ func TestCloseLifecycle(t *testing.T) {
 	if !sm.Occupied(pts[0]) {
 		t.Error("closed map lost its content")
 	}
-
-	// The deprecated panic wrapper must still panic on misuse.
-	func() {
-		defer func() {
-			if recover() == nil {
-				t.Error("InsertPointCloud after Close did not panic")
-			}
-		}()
-		sm.InsertPointCloud(origin, pts)
-	}()
 }
 
 // TestLoadTreeRoutesToOwningShards: loading a serialized whole-map tree

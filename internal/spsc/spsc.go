@@ -9,10 +9,13 @@
 // In this codebase the queue feeds the engine's async applier
 // (internal/core): each mutator hands eviction batches through one Queue
 // to the applier goroutine that writes them into the octree — one such
-// pair per pipeline, and with sharded async maps one per shard. The SPSC
-// restriction holds because engine mutators are serialized by contract
-// (single driver, or the shard's write lock), making the mutator side
-// the one producer and the applier goroutine the one consumer.
+// pair per pipeline, and with sharded async maps one per shard. Elements
+// are whole batch slices, one enqueue per hand-off, so the transfer cost
+// is independent of batch size and the slices recycle through the
+// engine's buffer free list after application. The SPSC restriction
+// holds because engine mutators are serialized by contract (single
+// driver, or the shard's write lock), making the mutator side the one
+// producer and the applier goroutine the one consumer.
 package spsc
 
 import (

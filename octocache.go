@@ -131,9 +131,10 @@ type Options struct {
 	CacheTau int
 	// DedupRays enables OctoMap-RT-style deduplicating ray tracing.
 	DedupRays bool
-	// Arena allocates octree nodes from chunked slabs with
-	// prune-recycling instead of the general heap, reducing GC pressure
-	// on long-running maps.
+	// Arena is a no-op: the octree always stores nodes in contiguous
+	// handle-addressed arenas with prune-recycling.
+	//
+	// Deprecated: arena storage is the only implementation now.
 	Arena bool
 }
 
@@ -224,7 +225,6 @@ func buildConfig(opts Options) (core.Config, error) {
 	cfg := core.DefaultConfig(opts.Resolution)
 	cfg.MaxRange = opts.MaxRange
 	cfg.RT = opts.DedupRays
-	cfg.Arena = opts.Arena
 	if opts.CacheBuckets > 0 {
 		cfg.CacheBuckets = opts.CacheBuckets
 	}
@@ -278,16 +278,6 @@ func (m *Map) Insert(origin Vec3, points []Vec3) error {
 		return ErrClosed
 	}
 	return m.mapper.Insert(origin, points)
-}
-
-// InsertPointCloud is Insert with the legacy panic-on-misuse behaviour.
-//
-// Deprecated: use Insert, which reports ErrClosed instead of panicking
-// when the map has been closed.
-func (m *Map) InsertPointCloud(origin Vec3, points []Vec3) {
-	if err := m.Insert(origin, points); err != nil {
-		panic(err)
-	}
 }
 
 // Occupied reports whether the voxel containing p is known and occupied.
@@ -363,15 +353,10 @@ func (m *Map) Close() error {
 		return m.sharded.Close()
 	}
 	if !m.closed.Swap(true) {
-		m.mapper.Finalize()
+		m.mapper.Close()
 	}
 	return nil
 }
-
-// Finalize is Close for call sites written against the seed API.
-//
-// Deprecated: use Close.
-func (m *Map) Finalize() { _ = m.Close() }
 
 // WriteTo serializes the finished octree. Call Close first so the octree
 // holds the complete map; sharded maps are merged into one octree
@@ -396,6 +381,12 @@ type Stats struct {
 	Batches int64
 	// TreeNodes is the octree's current node count (summed over shards).
 	TreeNodes int
+	// TreeFreeSlots counts recycled octree arena slots awaiting reuse and
+	// TreeCapacity the arena's total node slots (summed over shards);
+	// TreeNodes/TreeCapacity is the arena occupancy, and a persistently
+	// large free share signals heavy pruning churn.
+	TreeFreeSlots int
+	TreeCapacity  int
 	// TreeBytes estimates the octree's heap footprint (summed over shards).
 	TreeBytes int64
 	// Shards is the effective shard count (1 for single-driver maps).
@@ -418,6 +409,8 @@ func (m *Map) Stats() Stats {
 		}
 		for _, s := range m.sharded.ShardStats() {
 			st.TreeNodes += s.TreeNodes
+			st.TreeFreeSlots += s.TreeFreeSlots
+			st.TreeCapacity += s.TreeCapacity
 			st.TreeBytes += s.TreeBytes
 		}
 		return st
@@ -425,12 +418,15 @@ func (m *Map) Stats() Stats {
 	tm := m.mapper.Timings()
 	cs := m.mapper.CacheStats()
 	tree := m.mapper.Tree()
+	live, free, capacity := tree.ArenaStats()
 	return Stats{
 		CacheHitRate:   cs.HitRate(),
 		VoxelsTraced:   tm.VoxelsTraced,
 		VoxelsToOctree: tm.VoxelsToOctree,
 		Batches:        tm.Batches,
-		TreeNodes:      tree.NumNodes(),
+		TreeNodes:      live,
+		TreeFreeSlots:  free,
+		TreeCapacity:   capacity,
 		TreeBytes:      tree.MemoryBytes(),
 		Shards:         1,
 	}
@@ -442,6 +438,10 @@ type ShardStat struct {
 	Shard int
 	// TreeNodes is the shard octree's node count.
 	TreeNodes int
+	// TreeFreeSlots and TreeCapacity describe the shard octree's arena:
+	// recycled slots awaiting reuse, and total node slots (live + free).
+	TreeFreeSlots int
+	TreeCapacity  int
 	// TreeBytes estimates the shard octree's heap footprint.
 	TreeBytes int64
 	// QueueDepth is the number of cells parked in the shard's cache
@@ -462,11 +462,13 @@ func (m *Map) ShardStats() []ShardStat {
 	out := make([]ShardStat, len(raw))
 	for i, s := range raw {
 		out[i] = ShardStat{
-			Shard:        s.Shard,
-			TreeNodes:    s.TreeNodes,
-			TreeBytes:    s.TreeBytes,
-			QueueDepth:   s.QueueDepth,
-			CacheHitRate: s.Cache.HitRate(),
+			Shard:         s.Shard,
+			TreeNodes:     s.TreeNodes,
+			TreeFreeSlots: s.TreeFreeSlots,
+			TreeCapacity:  s.TreeCapacity,
+			TreeBytes:     s.TreeBytes,
+			QueueDepth:    s.QueueDepth,
+			CacheHitRate:  s.Cache.HitRate(),
 		}
 	}
 	return out

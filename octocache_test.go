@@ -28,7 +28,7 @@ func TestNewCheckedValidates(t *testing.T) {
 	if err != nil {
 		t.Fatalf("valid options rejected: %v", err)
 	}
-	m.Finalize()
+	m.Close()
 }
 
 func TestNewPanicsOnInvalid(t *testing.T) {
@@ -51,7 +51,7 @@ func TestAllModesAgree(t *testing.T) {
 	for batch := 0; batch < 5; batch++ {
 		pts := scanRing(origin, 2+rng.Float64(), 100)
 		for _, m := range maps {
-			m.InsertPointCloud(origin, pts)
+			m.Insert(origin, pts)
 		}
 	}
 	probes := scanRing(origin, 2.5, 40)
@@ -66,14 +66,14 @@ func TestAllModesAgree(t *testing.T) {
 		}
 	}
 	for _, m := range maps {
-		m.Finalize()
+		m.Close()
 	}
 }
 
 func TestOccupiedAndProbability(t *testing.T) {
 	m := New(Options{Resolution: 0.1})
 	target := V(3, 0, 1)
-	m.InsertPointCloud(V(0, 0, 1), []Vec3{target})
+	m.Insert(V(0, 0, 1), []Vec3{target})
 	if !m.Occupied(target) {
 		t.Error("scanned obstacle not occupied")
 	}
@@ -89,7 +89,7 @@ func TestOccupiedAndProbability(t *testing.T) {
 	if !known || Probability(l) >= 0.5 {
 		t.Errorf("mid-ray voxel should be known free, got %v,%v", l, known)
 	}
-	m.Finalize()
+	m.Close()
 }
 
 func TestStatsAndResolution(t *testing.T) {
@@ -99,9 +99,9 @@ func TestStatsAndResolution(t *testing.T) {
 	}
 	origin := V(0, 0, 1)
 	for i := 0; i < 4; i++ {
-		m.InsertPointCloud(origin, scanRing(origin, 3, 200))
+		m.Insert(origin, scanRing(origin, 3, 200))
 	}
-	m.Finalize()
+	m.Close()
 	st := m.Stats()
 	if st.Batches != 4 || st.VoxelsTraced == 0 || st.TreeNodes == 0 || st.TreeBytes == 0 {
 		t.Errorf("stats incomplete: %+v", st)
@@ -116,8 +116,8 @@ func TestStatsAndResolution(t *testing.T) {
 
 func TestWriteTo(t *testing.T) {
 	m := New(Options{Resolution: 0.1, MaxRange: 5})
-	m.InsertPointCloud(V(0, 0, 1), scanRing(V(0, 0, 1), 2, 100))
-	m.Finalize()
+	m.Insert(V(0, 0, 1), scanRing(V(0, 0, 1), 2, 100))
+	m.Close()
 	var buf bytes.Buffer
 	n, err := m.WriteTo(&buf)
 	if err != nil {
@@ -131,8 +131,8 @@ func TestWriteTo(t *testing.T) {
 func TestDedupRaysMode(t *testing.T) {
 	a := New(Options{Resolution: 0.1, Mode: ModeSerial, DedupRays: true, CacheBuckets: 1 << 10})
 	origin := V(0, 0, 1)
-	a.InsertPointCloud(origin, scanRing(origin, 2, 300))
-	a.Finalize()
+	a.Insert(origin, scanRing(origin, 2, 300))
+	a.Close()
 	st := a.Stats()
 	// With per-batch dedup the trace stream has no duplicates, so a
 	// single batch cannot produce cache hits.
@@ -153,8 +153,8 @@ func TestArenaOptionAgreesWithHeap(t *testing.T) {
 			r := 1 + rng.Float64()*3
 			pts = append(pts, origin.Add(V(r*math.Cos(ang), r*math.Sin(ang), rng.Float64()-0.5)))
 		}
-		a.InsertPointCloud(origin, pts)
-		b.InsertPointCloud(origin, pts)
+		a.Insert(origin, pts)
+		b.Insert(origin, pts)
 		for _, p := range pts[:30] {
 			la, ka := a.Occupancy(p)
 			lb, kb := b.Occupancy(p)
@@ -163,8 +163,8 @@ func TestArenaOptionAgreesWithHeap(t *testing.T) {
 			}
 		}
 	}
-	a.Finalize()
-	b.Finalize()
+	a.Close()
+	b.Close()
 }
 
 func TestNewCheckedRejectsNegativeOptions(t *testing.T) {
@@ -193,7 +193,7 @@ func TestShardedAgreesWithSerial(t *testing.T) {
 	for batch := 0; batch < 6; batch++ {
 		origin := origins[batch%2]
 		pts := scanRing(origin, 1.5+rng.Float64()*2, 120)
-		ref.InsertPointCloud(origin, pts)
+		ref.Insert(origin, pts)
 		if err := sh.Insert(origin, pts); err != nil {
 			t.Fatalf("Insert: %v", err)
 		}
@@ -266,14 +266,6 @@ func TestInsertAfterCloseReturnsErrClosed(t *testing.T) {
 		if !m.Occupied(pts[0]) {
 			t.Errorf("%+v: closed map lost its content", opts)
 		}
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("%+v: InsertPointCloud after Close did not panic", opts)
-				}
-			}()
-			m.InsertPointCloud(origin, pts)
-		}()
 	}
 }
 
