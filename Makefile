@@ -12,9 +12,13 @@ vet:
 	$(GO) vet ./...
 
 # The concurrency gate: the sharded map service and the core pipelines
-# under the race detector (the shard tests drive >= 4 producers).
+# under the race detector (the shard tests drive >= 4 producers). nav
+# runs twice: missions are deterministic under the virtual clock, so
+# repeated identical runs are the flake tripwire — any divergence or
+# second-run failure is a real regression, not host load.
 race:
 	$(GO) test -race ./internal/shard/... ./internal/core/...
+	$(GO) test -race -count=2 ./internal/nav/... ./internal/clock/... ./internal/spsc/...
 
 bench:
 	$(GO) test -bench . -benchtime 1x ./...

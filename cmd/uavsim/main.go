@@ -8,6 +8,11 @@
 //
 //	uavsim -env room -pipeline parallel -uav pelican
 //	uavsim -env openland -pipeline octomap -uav spark -res 1.0 -range 8
+//	uavsim -env farm -clock virtual   # deterministic modeled latency
+//
+// The default -clock real measures honest host latency; -clock virtual
+// prices each cycle from the pipeline's work counters (internal/clock),
+// making the reported mission reproducible bit-for-bit across runs.
 package main
 
 import (
@@ -15,6 +20,7 @@ import (
 	"fmt"
 	"os"
 
+	"octocache/internal/clock"
 	"octocache/internal/core"
 	"octocache/internal/nav"
 	"octocache/internal/sensor"
@@ -32,8 +38,20 @@ func main() {
 		rt       = flag.Bool("rt", false, "use deduplicating (OctoMap-RT style) ray tracing")
 		slowdown = flag.Float64("slowdown", 200, "platform slowdown factor emulating a Jetson TX2")
 		seed     = flag.Int64("seed", 1, "environment seed")
+		clockSrc = flag.String("clock", "real", "mission time source: real (honest host latency) or virtual (deterministic modeled latency)")
 	)
 	flag.Parse()
+
+	var clk clock.Clock
+	switch *clockSrc {
+	case "real":
+		clk = clock.Real{}
+	case "virtual":
+		clk = clock.NewVirtual()
+	default:
+		fmt.Fprintf(os.Stderr, "uavsim: unknown clock %q\n", *clockSrc)
+		os.Exit(1)
+	}
 
 	envs := map[string]struct {
 		env        world.Env
@@ -101,6 +119,7 @@ func main() {
 		Mapper:           mapper,
 		UAV:              frame,
 		PlatformSlowdown: *slowdown,
+		Clock:            clk,
 	})
 
 	if !result.Completed {

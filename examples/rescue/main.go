@@ -12,6 +12,7 @@ import (
 	"math"
 	"time"
 
+	"octocache/internal/clock"
 	"octocache/internal/core"
 	"octocache/internal/geom"
 	"octocache/internal/sensor"
@@ -22,7 +23,10 @@ import (
 
 // surveyMission flies a fixed lawnmower pattern (no planner: the survey
 // path is prescribed) and returns the mapper plus the simulated mission
-// time under the velocity roofline.
+// time under the velocity roofline. Per-step mapping latency comes from
+// the deterministic virtual clock (internal/clock), priced from the work
+// counters each Insert actually accrued, so the printed survey times and
+// the OctoMap-vs-OctoCache gap are identical on every run and machine.
 func surveyMission(kind core.Kind) (core.Mapper, float64) {
 	w := world.Build(world.Farm, 1)
 	sens := sensor.DefaultModel(6, 48, 20)
@@ -44,6 +48,7 @@ func surveyMission(kind core.Kind) (core.Mapper, float64) {
 	}
 
 	const slowdown = 200.0
+	vc := clock.NewVirtual()
 	simTime := 0.0
 	pos := wps[0]
 	for _, wp := range wps[1:] {
@@ -51,12 +56,18 @@ func surveyMission(kind core.Kind) (core.Mapper, float64) {
 			dir := wp.Sub(pos).Normalize()
 			pose := geom.Pose{Position: pos, Yaw: math.Atan2(dir.Y, dir.X), Pitch: -0.25}
 
-			// Perception: scan and update the map; the measured mapping
-			// latency feeds the velocity roofline.
-			start := time.Now()
+			// Perception: scan and update the map; the modeled mapping
+			// latency (priced from the counters this Insert accrued)
+			// feeds the velocity roofline.
+			prev := m.WorkCounters()
 			pts := sens.Scan(w, pose, nil)
 			m.Insert(pos, pts)
-			compute := time.Since(start).Seconds() * slowdown
+			cur := m.WorkCounters()
+			compute := vc.CycleCompute(vc.Now(), clock.Work{
+				Points:       int64(len(pts)),
+				VoxelsTraced: cur.VoxelsTraced - prev.VoxelsTraced,
+				OctreeWrites: cur.VoxelsToOctree - prev.VoxelsToOctree,
+			}).Seconds() * slowdown
 
 			tResp := frame.SensorLatency() + compute
 			v := frame.MaxSafeVelocity(6, tResp)
@@ -64,6 +75,7 @@ func surveyMission(kind core.Kind) (core.Mapper, float64) {
 			step := math.Min(v*dt, pos.Dist(wp))
 			pos = pos.Add(dir.Scale(step))
 			simTime += dt
+			vc.Advance(time.Duration(dt * float64(time.Second)))
 		}
 	}
 	m.Close()

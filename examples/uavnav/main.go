@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"os"
 
+	"octocache/internal/clock"
 	"octocache/internal/core"
 	"octocache/internal/nav"
 	"octocache/internal/sensor"
@@ -51,12 +52,17 @@ func main() {
 		cfg.CacheBuckets = 1 << 15
 		mapper := core.MustNew(kind, cfg)
 
+		// The deterministic virtual clock prices each cycle by the work
+		// the pipeline reports, so the printed comparison is identical on
+		// every run and machine; use cmd/uavsim -clock real to measure
+		// honest host latency instead.
 		r := nav.Run(nav.Config{
 			World:            world.Build(setup.env, 1),
 			Sensor:           sensor.DefaultModel(setup.rangeM, 40, 18),
 			Mapper:           mapper,
 			UAV:              uav.AscTecPelican(),
 			PlatformSlowdown: *slowdown,
+			Clock:            clock.NewVirtual(),
 		})
 		if kind == core.KindOctoMap {
 			baseline = r

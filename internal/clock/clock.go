@@ -1,0 +1,176 @@
+// Package clock abstracts the time source of the closed-loop navigation
+// pipeline (internal/nav). The paper's flight-performance results
+// (Figures 16–19) feed measured per-cycle compute latency into the UAV's
+// safe-velocity roofline, which makes mission outcomes a function of
+// host load when the latency comes from the wall clock. This package
+// offers two interchangeable sources:
+//
+//   - Real: the host clock. Per-cycle latency is honest wall time, so
+//     benches and cmd/octobench keep measuring the machine they run on.
+//   - Virtual: a deterministic simulated clock. Per-cycle latency is
+//     *modeled* from the work the cycle actually performed — voxels
+//     traced, octree writes, replans — priced by a calibrated CostModel.
+//     With a seeded world and sensor, an entire mission becomes a pure
+//     function of its configuration: background load cannot leak into
+//     the vehicle dynamics, so repeated runs are bit-for-bit identical.
+//
+// The per-unit costs in DefaultCostModel are calibrated against this
+// repository's own BENCH_core.json insert measurements, so modeled
+// cycle latencies land in the same regime as host-measured ones and the
+// pipeline ranking (OctoMap slowest, cached pipelines faster) is
+// preserved under the model.
+package clock
+
+import "time"
+
+// Work summarizes the compute-relevant work one perception-planning
+// cycle performed. The counter fields are deltas of the mapping
+// pipeline's cumulative work counters (core.Counters); Points is the
+// size of the sensor scan fed to Insert and prices the cycle when the
+// mapper exposes no counters (e.g. missions driven through the public
+// API, whose maps keep their stats surface private).
+type Work struct {
+	// Points is the number of sensor returns inserted this cycle.
+	Points int64
+	// VoxelsTraced is the number of per-voxel observations ray tracing
+	// produced this cycle (delta of Timings.VoxelsTraced).
+	VoxelsTraced int64
+	// OctreeWrites is the number of voxel writes the octree received
+	// this cycle (delta of Timings.VoxelsToOctree). For cached pipelines
+	// this is the post-absorption residue, which is how the model
+	// reproduces OctoCache's speedup over the OctoMap baseline.
+	OctreeWrites int64
+	// Replans counts A* invocations this cycle.
+	Replans int64
+}
+
+// Clock is the navigation loop's time source.
+//
+// The contract mirrors how nav.Run uses it: Now marks the start of a
+// cycle, CycleCompute converts the cycle into a compute latency (wall
+// time on the real clock, priced work on the virtual one), and Advance
+// moves simulated time forward by the control interval so Now tracks
+// mission time on the virtual clock.
+type Clock interface {
+	// Now returns the clock's current reading.
+	Now() time.Time
+	// CycleCompute returns the compute latency to charge for the cycle
+	// that began at start and performed w. The real clock returns the
+	// wall time elapsed since start and ignores w; the virtual clock
+	// ignores start and prices w with its CostModel.
+	CycleCompute(start time.Time, w Work) time.Duration
+	// Advance moves the clock forward by the cycle's control interval.
+	// A no-op on the real clock, whose reading is the host's.
+	Advance(d time.Duration)
+}
+
+// Real is the host clock: per-cycle latency is measured wall time.
+type Real struct{}
+
+// Now returns the host time.
+func (Real) Now() time.Time { return time.Now() }
+
+// CycleCompute returns the wall time elapsed since start.
+func (Real) CycleCompute(start time.Time, _ Work) time.Duration {
+	return time.Since(start)
+}
+
+// Advance is a no-op: real time advances on its own.
+func (Real) Advance(time.Duration) {}
+
+// CostModel prices a cycle's Work as a compute latency. Zero work costs
+// zero, so an idle cycle's control interval collapses to the sensor
+// period under nav's dt = max(sensorPeriod, compute) rule.
+type CostModel struct {
+	// PerVoxelTraced is the cost of tracing one voxel observation and
+	// admitting it (cache insert, or the trace bookkeeping the direct
+	// pipeline shares). Charged per Work.VoxelsTraced.
+	PerVoxelTraced time.Duration
+	// PerOctreeWrite is the cost of one octree voxel write: the tree
+	// descent plus node update. Charged per Work.OctreeWrites — the
+	// dominant term for the OctoMap baseline, largely absorbed by the
+	// cache in the OctoCache pipelines.
+	PerOctreeWrite time.Duration
+	// PerReplan is the cost of one A* invocation over the planning grid.
+	PerReplan time.Duration
+	// PerPoint prices a cycle by scan size when the mapper exposes no
+	// work counters: one sensor return implies a ray walk of a few
+	// dozen voxels plus map updates. Charged only when both counter
+	// fields of Work are zero, so counter-equipped mappers are never
+	// double-billed.
+	PerPoint time.Duration
+}
+
+// DefaultCostModel returns per-unit costs calibrated against this
+// repository's BENCH_core.json on the reference box: serial insert
+// ≈0.95 ms and octomap ≈6.3 ms for scans tracing a few thousand voxels,
+// giving ≈150 ns per traced voxel and ≈800 ns per octree write (the
+// ≈6.6x baseline gap comes almost entirely from the write volume the
+// cache absorbs).
+func DefaultCostModel() CostModel {
+	return CostModel{
+		PerVoxelTraced: 150 * time.Nanosecond,
+		PerOctreeWrite: 800 * time.Nanosecond,
+		PerReplan:      2 * time.Millisecond,
+		PerPoint:       5 * time.Microsecond,
+	}
+}
+
+// Cost prices w. Negative fields (a counter reset mid-mission would be
+// a caller bug) are treated as zero so the clock can never run
+// backwards.
+func (m CostModel) Cost(w Work) time.Duration {
+	d := time.Duration(pos(w.VoxelsTraced))*m.PerVoxelTraced +
+		time.Duration(pos(w.OctreeWrites))*m.PerOctreeWrite +
+		time.Duration(pos(w.Replans))*m.PerReplan
+	if w.VoxelsTraced == 0 && w.OctreeWrites == 0 {
+		d += time.Duration(pos(w.Points)) * m.PerPoint
+	}
+	return d
+}
+
+func pos(v int64) int64 {
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// epoch is the virtual clock's fixed start; any constant works, it just
+// has to be the same for every run.
+var epoch = time.Unix(0, 0).UTC()
+
+// Virtual is the deterministic simulated clock. Its reading starts at a
+// fixed epoch and advances only through Advance, so Now tracks simulated
+// mission time; CycleCompute is a pure function of the reported Work.
+// Not safe for concurrent use — the navigation loop is single-driver.
+type Virtual struct {
+	model CostModel
+	now   time.Time
+}
+
+// NewVirtual returns a virtual clock pricing work with DefaultCostModel.
+func NewVirtual() *Virtual { return NewVirtualWithModel(DefaultCostModel()) }
+
+// NewVirtualWithModel returns a virtual clock with a custom cost model.
+func NewVirtualWithModel(m CostModel) *Virtual {
+	return &Virtual{model: m, now: epoch}
+}
+
+// Now returns the simulated time: epoch plus every Advance so far.
+func (v *Virtual) Now() time.Time { return v.now }
+
+// CycleCompute prices w with the clock's CostModel; start is ignored.
+func (v *Virtual) CycleCompute(_ time.Time, w Work) time.Duration {
+	return v.model.Cost(w)
+}
+
+// Advance moves simulated time forward. Negative durations are ignored.
+func (v *Virtual) Advance(d time.Duration) {
+	if d > 0 {
+		v.now = v.now.Add(d)
+	}
+}
+
+// Elapsed returns the simulated time accumulated since the epoch.
+func (v *Virtual) Elapsed() time.Duration { return v.now.Sub(epoch) }

@@ -1,0 +1,123 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+// TestCostModelCalibration pins the latency model's contract: zero work
+// costs zero (so a zero-work cycle's control interval collapses to the
+// sensor period under nav's dt = max(period, compute) rule), and the
+// cost is strictly monotone in every work dimension.
+func TestCostModelCalibration(t *testing.T) {
+	m := DefaultCostModel()
+	if got := m.Cost(Work{}); got != 0 {
+		t.Fatalf("Cost(zero work) = %v, want 0", got)
+	}
+
+	// Monotone in voxel count: more traced voxels never cost less.
+	prev := time.Duration(-1)
+	for _, n := range []int64{0, 1, 10, 1_000, 50_000, 1_000_000} {
+		c := m.Cost(Work{VoxelsTraced: n})
+		if c <= prev {
+			t.Errorf("Cost not monotone in VoxelsTraced: %d voxels -> %v, previous %v", n, c, prev)
+		}
+		prev = c
+	}
+
+	base := Work{VoxelsTraced: 1000, OctreeWrites: 100, Replans: 1}
+	for name, bumped := range map[string]Work{
+		"VoxelsTraced": {VoxelsTraced: 2000, OctreeWrites: 100, Replans: 1},
+		"OctreeWrites": {VoxelsTraced: 1000, OctreeWrites: 200, Replans: 1},
+		"Replans":      {VoxelsTraced: 1000, OctreeWrites: 100, Replans: 2},
+	} {
+		if m.Cost(bumped) <= m.Cost(base) {
+			t.Errorf("Cost not monotone in %s: %v <= %v", name, m.Cost(bumped), m.Cost(base))
+		}
+	}
+}
+
+// TestCostModelReproducesPipelineRanking checks the property the
+// uavnav/rescue comparisons rely on: for the same traced volume, the
+// OctoMap-shaped workload (every traced voxel written to the octree)
+// prices higher than the cache-shaped one (only the eviction residue
+// reaches the tree) — the model's rendering of the paper's speedup.
+func TestCostModelReproducesPipelineRanking(t *testing.T) {
+	m := DefaultCostModel()
+	traced := int64(5000)
+	octomap := m.Cost(Work{VoxelsTraced: traced, OctreeWrites: traced})
+	cached := m.Cost(Work{VoxelsTraced: traced, OctreeWrites: traced / 20})
+	if octomap <= cached {
+		t.Fatalf("baseline workload (%v) not priced above cached workload (%v)", octomap, cached)
+	}
+}
+
+// TestCostModelPointFallback: scan-size pricing applies only when no
+// work counters were reported, so counter-equipped mappers are never
+// double-billed for the same cycle.
+func TestCostModelPointFallback(t *testing.T) {
+	m := DefaultCostModel()
+	if got := m.Cost(Work{Points: 100}); got != 100*m.PerPoint {
+		t.Errorf("fallback pricing = %v, want %v", got, 100*m.PerPoint)
+	}
+	withCounters := m.Cost(Work{Points: 100, VoxelsTraced: 1000})
+	if withCounters != m.Cost(Work{VoxelsTraced: 1000}) {
+		t.Errorf("Points billed on top of counters: %v", withCounters)
+	}
+}
+
+// TestCostModelNegativeWorkClamped: a (buggy) negative delta must never
+// run the clock backwards.
+func TestCostModelNegativeWorkClamped(t *testing.T) {
+	m := DefaultCostModel()
+	if got := m.Cost(Work{VoxelsTraced: -5, OctreeWrites: -5, Replans: -1, Points: -9}); got != 0 {
+		t.Errorf("negative work priced at %v, want 0", got)
+	}
+}
+
+func TestVirtualClockAdvances(t *testing.T) {
+	v := NewVirtual()
+	start := v.Now()
+	if v.Elapsed() != 0 {
+		t.Fatalf("fresh virtual clock elapsed %v, want 0", v.Elapsed())
+	}
+	v.Advance(20 * time.Millisecond)
+	v.Advance(30 * time.Millisecond)
+	v.Advance(-time.Hour) // ignored
+	if got := v.Now().Sub(start); got != 50*time.Millisecond {
+		t.Errorf("advanced %v, want 50ms", got)
+	}
+	if v.Elapsed() != 50*time.Millisecond {
+		t.Errorf("Elapsed = %v, want 50ms", v.Elapsed())
+	}
+	// CycleCompute is pure pricing: it must not move the clock.
+	before := v.Now()
+	_ = v.CycleCompute(before, Work{VoxelsTraced: 1 << 20})
+	if !v.Now().Equal(before) {
+		t.Error("CycleCompute moved the virtual clock")
+	}
+}
+
+// TestVirtualClockDeterministic: two clocks fed the same work sequence
+// read identically — the package's reason to exist.
+func TestVirtualClockDeterministic(t *testing.T) {
+	seq := []Work{{VoxelsTraced: 1200, OctreeWrites: 90}, {Points: 40}, {VoxelsTraced: 7, Replans: 2}}
+	a, b := NewVirtual(), NewVirtual()
+	for _, w := range seq {
+		a.Advance(a.CycleCompute(a.Now(), w))
+		b.Advance(b.CycleCompute(b.Now(), w))
+	}
+	if !a.Now().Equal(b.Now()) || a.Elapsed() != b.Elapsed() {
+		t.Errorf("identical work sequences diverged: %v vs %v", a.Elapsed(), b.Elapsed())
+	}
+}
+
+func TestRealClockMeasuresWallTime(t *testing.T) {
+	var r Real
+	start := r.Now()
+	time.Sleep(2 * time.Millisecond)
+	if d := r.CycleCompute(start, Work{}); d < time.Millisecond {
+		t.Errorf("real clock measured %v for a 2ms sleep", d)
+	}
+	r.Advance(time.Hour) // must be a no-op and not panic
+}

@@ -124,6 +124,7 @@ func (m *voxelCacheMapper) Tree() *octree.Tree {
 
 func (m *voxelCacheMapper) Resolution() float64     { return m.cfg.Octree.Resolution }
 func (m *voxelCacheMapper) Timings() Timings        { return m.timings }
+func (m *voxelCacheMapper) WorkCounters() Counters  { return m.timings.Counters() }
 func (m *voxelCacheMapper) CacheStats() cache.Stats { return cache.Stats{} }
 
 // MemoryBytes exposes the indexed structure's footprint for the Table 1
@@ -232,4 +233,5 @@ func (m *naiveMapper) Resolution() float64     { return m.cfg.Octree.Resolution 
 func (m *naiveMapper) Close() error            { m.done = true; return nil }
 func (m *naiveMapper) Tree() *octree.Tree      { return m.tree }
 func (m *naiveMapper) Timings() Timings        { return m.timings }
+func (m *naiveMapper) WorkCounters() Counters  { return m.timings.Counters() }
 func (m *naiveMapper) CacheStats() cache.Stats { return cache.Stats{} }

@@ -397,6 +397,13 @@ func (e *engine) Timings() Timings {
 	return t
 }
 
+// WorkCounters returns the engine's cumulative work counts. All three
+// counters accrue on the mutator side (VoxelsToOctree is counted at
+// hand-off, before any async application), so the snapshot is exact for
+// the single driver the mutator contract already requires and never
+// waits on the applier.
+func (e *engine) WorkCounters() Counters { return e.timings.Counters() }
+
 // applier is the pluggable octree-apply stage: it receives eviction (or
 // direct-update) batches and guarantees, after quiesce, that every batch
 // handed off so far is in the octree.

@@ -53,6 +53,13 @@ type Mapper interface {
 	// Timings returns the cumulative stage decomposition.
 	Timings() Timings
 
+	// WorkCounters returns the cumulative monotone work counts without
+	// the measured stage durations — the cheap per-cycle snapshot whose
+	// deltas feed the virtual clock's latency model (internal/clock).
+	// Unlike Timings it touches no applier-side atomics, so for a
+	// deterministic insert stream its deltas are deterministic too.
+	WorkCounters() Counters
+
 	// CacheStats returns cache behaviour counters; zero for pipelines
 	// without a cache.
 	CacheStats() cache.Stats

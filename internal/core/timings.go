@@ -33,6 +33,26 @@ func (t Timings) Total() time.Duration {
 	return t.RayTracing + t.CacheInsert + t.CacheEvict + t.OctreeUpdate + t.Enqueue + t.Dequeue
 }
 
+// Counters is the monotone work-count subset of Timings: pure event
+// counts, no measured durations. Cycle-to-cycle deltas of Counters are
+// deterministic for a deterministic insert stream, which is what the
+// virtual clock's latency model (internal/clock) differences — any
+// duration field would smuggle wall-clock sensitivity back in.
+type Counters struct {
+	Batches        int64
+	VoxelsTraced   int64
+	VoxelsToOctree int64
+}
+
+// Counters extracts the work counts from a full decomposition.
+func (t Timings) Counters() Counters {
+	return Counters{
+		Batches:        t.Batches,
+		VoxelsTraced:   t.VoxelsTraced,
+		VoxelsToOctree: t.VoxelsToOctree,
+	}
+}
+
 // Add returns the field-wise sum of two timing decompositions.
 func (t Timings) Add(o Timings) Timings {
 	return Timings{

@@ -1,0 +1,148 @@
+package nav
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"octocache/internal/clock"
+	"octocache/internal/core"
+	"octocache/internal/geom"
+	"octocache/internal/uav"
+	"octocache/internal/world"
+)
+
+// canonResult strips the host-measured residue from a Result so the
+// remainder must be bit-for-bit reproducible: the stage durations inside
+// Timings are measured with time.Now inside internal/core and legitimately
+// vary run to run, but the work counters — and every other field,
+// including the modeled AvgCompute and the full vehicle trajectory
+// summary — are pure functions of the mission configuration under the
+// virtual clock.
+func canonResult(r Result) Result {
+	r.Timings = core.Timings{
+		Batches:        r.Timings.Batches,
+		VoxelsTraced:   r.Timings.VoxelsTraced,
+		VoxelsToOctree: r.Timings.VoxelsToOctree,
+	}
+	return r
+}
+
+// TestGoldenMissionDeterministic is the regression gate the virtual
+// clock exists for: the same seeded mission run twice, in every pipeline
+// mode, must produce identical Results. Any wall-clock read sneaking
+// back into the simulated-time path shows up here as a diff in Time,
+// AvgCompute, Cycles, or the flown trajectory.
+func TestGoldenMissionDeterministic(t *testing.T) {
+	for _, kind := range []core.Kind{core.KindOctoMap, core.KindSerial, core.KindParallel} {
+		run := func() Result {
+			return Run(missionConfig(t, world.Openland, kind, 1.0, 8))
+		}
+		r1, r2 := run(), run()
+		if !r1.Completed {
+			t.Errorf("%v: golden mission did not complete (%d cycles)", kind, r1.Cycles)
+			continue
+		}
+		c1, c2 := canonResult(r1), canonResult(r2)
+		if !reflect.DeepEqual(c1, c2) {
+			t.Errorf("%v: two identical virtual-clock missions diverged:\n run1: %+v\n run2: %+v", kind, c1, c2)
+		}
+		if r1.AvgCompute <= 0 {
+			t.Errorf("%v: modeled compute latency not recorded", kind)
+		}
+	}
+}
+
+// TestGoldenMissionDeterministicUnderSlowdown repeats the determinism
+// check where it historically flaked hardest: a heavy platform-slowdown
+// factor, which used to multiply any host-load jitter straight into the
+// vehicle dynamics.
+func TestGoldenMissionDeterministicUnderSlowdown(t *testing.T) {
+	run := func() Result {
+		cfg := missionConfig(t, world.Room, core.KindParallel, 0.15, 3)
+		cfg.PlatformSlowdown = 200
+		cfg.MaxCycles = 400
+		return Run(cfg)
+	}
+	r1, r2 := canonResult(run()), canonResult(run())
+	if !reflect.DeepEqual(r1, r2) {
+		t.Errorf("slowdown mission diverged:\n run1: %+v\n run2: %+v", r1, r2)
+	}
+}
+
+// errCloseMapper wraps a Mapper and fails its Close — the regression
+// fixture for nav.Run formerly dropping the Close error on the floor.
+type errCloseMapper struct {
+	Mapper
+	err error
+}
+
+func (m errCloseMapper) Close() error {
+	m.Mapper.Close()
+	return m.err
+}
+
+func TestRunSurfacesMapperCloseError(t *testing.T) {
+	sentinel := errors.New("flush failed")
+	cfg := missionConfig(t, world.Openland, core.KindSerial, 1.0, 8)
+	cfg.Mapper = errCloseMapper{Mapper: cfg.Mapper, err: sentinel}
+	cfg.MaxCycles = 3 // the mission outcome is irrelevant; only Close matters
+	r := Run(cfg)
+	if !errors.Is(r.CloseErr, sentinel) {
+		t.Fatalf("Result.CloseErr = %v, want the mapper's close error", r.CloseErr)
+	}
+}
+
+// TestVirtualClockIgnoresHostStalls pins the core property directly: a
+// mapper that burns arbitrary host time must not change a virtual-clock
+// mission's simulated outcome. stallMapper adds a busy spin to every
+// insert; the two Results still match.
+type stallMapper struct {
+	Mapper
+	spins int
+}
+
+func (m stallMapper) Insert(origin geom.Vec3, points []geom.Vec3) error {
+	s := 0
+	for i := 0; i < m.spins; i++ {
+		s += i
+	}
+	_ = s
+	return m.Mapper.Insert(origin, points)
+}
+
+func TestVirtualClockIgnoresHostStalls(t *testing.T) {
+	run := func(spins int) Result {
+		cfg := missionConfig(t, world.Openland, core.KindSerial, 1.0, 8)
+		cfg.Mapper = stallMapper{Mapper: cfg.Mapper, spins: spins}
+		return canonResult(Run(cfg))
+	}
+	fast, stalled := run(0), run(2_000_000)
+	if !reflect.DeepEqual(fast, stalled) {
+		t.Errorf("host stall leaked into virtual-clock mission:\n fast:    %+v\n stalled: %+v", fast, stalled)
+	}
+}
+
+// TestZeroWorkCycleAdvancesBySensorPeriod checks the nav-level side of
+// the latency model's calibration contract: a cycle that did no work
+// costs nothing, so the control interval collapses to the sensor period
+// and simulated time advances by exactly cycles x period.
+func TestZeroWorkCycleAdvancesBySensorPeriod(t *testing.T) {
+	vc := clock.NewVirtual()
+	frame := uav.AscTecPelican()
+	compute := vc.CycleCompute(vc.Now(), clock.Work{})
+	if compute != 0 {
+		t.Fatalf("zero work priced at %v, want 0", compute)
+	}
+	dt := frame.SensorLatency()
+	if got := maxFloat(frame.SensorLatency(), compute.Seconds()); got != dt {
+		t.Errorf("zero-work dt = %v, want sensor period %v", got, dt)
+	}
+}
+
+func maxFloat(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

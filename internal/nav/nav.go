@@ -6,9 +6,12 @@
 // and vehicle are simulated, but the mapping system under the pipeline
 // is the real code being evaluated.
 //
-// Per-cycle compute latency is measured from the actual mapping update
-// and planning work, optionally scaled by a platform slowdown factor to
-// emulate the Jetson TX2's relative speed; the safe velocity and mission
+// Per-cycle compute latency comes from the mission's clock
+// (internal/clock): the real clock measures the actual mapping update
+// and planning work in wall time, while the deterministic virtual clock
+// prices the work the pipeline reports having done — either way the
+// latency is optionally scaled by a platform slowdown factor to emulate
+// the Jetson TX2's relative speed; the safe velocity and mission
 // completion time then follow the uav package's roofline model, making
 // mapping speedups directly visible as flight-performance gains (Figures
 // 16–19).
@@ -18,6 +21,7 @@ import (
 	"math"
 	"time"
 
+	"octocache/internal/clock"
 	"octocache/internal/core"
 	"octocache/internal/geom"
 	"octocache/internal/sensor"
@@ -61,6 +65,11 @@ type Config struct {
 	// PlannerCell overrides the planning grid cell size; 0 derives it
 	// from the map resolution and margin.
 	PlannerCell float64
+	// Clock is the mission's time source. Nil defaults to the real
+	// clock, so benches and cmd/octobench keep measuring honest host
+	// latency; a clock.Virtual makes the whole mission a deterministic
+	// function of its configuration (see clock package docs).
+	Clock clock.Clock
 }
 
 // Result summarizes a mission.
@@ -93,10 +102,16 @@ type Result struct {
 	// when the mapper exposes one (core pipelines do; mappers driven
 	// through the public API report stats their own way).
 	Timings core.Timings
+	// CloseErr is the error from finalizing the mapper at mission end.
+	// A non-nil value means the final cache flush may not have reached
+	// the octree — callers persisting or re-querying the map afterwards
+	// must check it.
+	CloseErr error
 }
 
 // Run executes the closed-loop mission and returns its summary. The
-// mapper is finalized before returning.
+// mapper is finalized before returning; its Close error is surfaced in
+// Result.CloseErr (a failed final flush must not vanish silently).
 func Run(cfg Config) Result {
 	if cfg.Margin <= 0 {
 		cfg.Margin = 0.25
@@ -119,9 +134,23 @@ func Run(cfg Config) Result {
 			cell *= 1.5
 		}
 	}
+	clk := cfg.Clock
+	if clk == nil {
+		clk = clock.Real{}
+	}
 	mapRes := cfg.Mapper.Resolution()
 	pl := newPlanner(cfg.World.Bounds, cell, cfg.Margin, mapRes)
 	probes := probeGrid(cfg.Margin, mapRes)
+
+	// Counter-equipped mappers (the core pipelines and the sharded
+	// service) let the clock price each cycle by the work actually done;
+	// deltas of the monotone counters carry no wall-clock sensitivity.
+	// Mappers without counters fall back to scan-size pricing.
+	counterSrc, hasCounters := cfg.Mapper.(interface{ WorkCounters() core.Counters })
+	var prevCounters core.Counters
+	if hasCounters {
+		prevCounters = counterSrc.WorkCounters()
+	}
 
 	pos := cfg.World.Start
 	goal := cfg.World.Goal
@@ -168,7 +197,8 @@ func Run(cfg Config) Result {
 			Pitch:    math.Asin(clamp(facing.Z/math.Max(facing.Norm(), 1e-9), -1, 1)),
 		}
 
-		cycleStart := time.Now()
+		cycleStart := clk.Now()
+		replansBefore := res.Replans
 
 		// Perception: sense and update the map.
 		points := cfg.Sensor.Scan(cfg.World, pose, nil)
@@ -199,15 +229,26 @@ func Run(cfg Config) Result {
 				break
 			}
 		}
-		compute := time.Duration(float64(time.Since(cycleStart)) * cfg.PlatformSlowdown)
+		work := clock.Work{
+			Points:  int64(len(points)),
+			Replans: int64(res.Replans - replansBefore),
+		}
+		if hasCounters {
+			c := counterSrc.WorkCounters()
+			work.VoxelsTraced = c.VoxelsTraced - prevCounters.VoxelsTraced
+			work.OctreeWrites = c.VoxelsToOctree - prevCounters.VoxelsToOctree
+			prevCounters = c
+		}
+		compute := time.Duration(float64(clk.CycleCompute(cycleStart, work)) * cfg.PlatformSlowdown)
 		computeSum += compute
 
 		// Control: velocity from the roofline; the response time is the
-		// sensor period plus the measured compute latency.
+		// sensor period plus the cycle's compute latency.
 		tResp := cfg.UAV.SensorLatency() + compute.Seconds()
 		v := cfg.UAV.MaxSafeVelocity(cfg.Sensor.MaxRange, tResp)
 		dt := math.Max(cfg.UAV.SensorLatency(), compute.Seconds())
 		res.Time += dt
+		clk.Advance(time.Duration(dt * float64(time.Second)))
 		if len(path) == 0 {
 			// Boxed in — usually by map inflation around surfaces scanned
 			// after the vehicle got close. Recovery: retreat along the
@@ -265,7 +306,7 @@ func Run(cfg Config) Result {
 		movingCycles++
 	}
 
-	cfg.Mapper.Close()
+	res.CloseErr = cfg.Mapper.Close()
 	if tp, ok := cfg.Mapper.(interface{ Timings() core.Timings }); ok {
 		res.Timings = tp.Timings()
 	}
@@ -306,7 +347,7 @@ func pathClear(m Mapper, pos geom.Vec3, path []geom.Vec3, probes []geom.Vec3, re
 // that legally approached an obstacle gets trapped by its own map — every
 // outgoing segment "starts blocked" and no plan ever validates.
 func firstBlocked(m Mapper, pos geom.Vec3, path []geom.Vec3, probes []geom.Vec3, res float64) (bool, geom.Vec3) {
-	ego := egoRadius(probes, res)
+	ego := egoRadius(probes)
 	prev := pos
 	checked := 0
 	for _, wp := range path {
@@ -326,14 +367,13 @@ func firstBlocked(m Mapper, pos geom.Vec3, path []geom.Vec3, probes []geom.Vec3,
 // largest probe offset). Anything beyond the hull is a real clearance
 // violation — exempting more lets the vehicle plan through obstacles it
 // is merely standing next to.
-func egoRadius(probes []geom.Vec3, res float64) float64 {
+func egoRadius(probes []geom.Vec3) float64 {
 	margin := 0.0
 	for _, p := range probes {
 		if n := p.Norm(); n > margin {
 			margin = n
 		}
 	}
-	_ = res
 	return margin
 }
 

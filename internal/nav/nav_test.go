@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"octocache"
+	"octocache/internal/clock"
 	"octocache/internal/core"
 	"octocache/internal/sensor"
 	"octocache/internal/uav"
@@ -11,6 +12,9 @@ import (
 )
 
 // missionConfig builds a small, fast mission in the given environment.
+// All nav tests run on the deterministic virtual clock: vehicle
+// dynamics follow modeled (not wall-clock) compute latency, so
+// background load on the test box cannot change mission outcomes.
 func missionConfig(t *testing.T, env world.Env, kind core.Kind, res float64, rng float64) Config {
 	t.Helper()
 	ccfg := core.DefaultConfig(res)
@@ -25,6 +29,7 @@ func missionConfig(t *testing.T, env world.Env, kind core.Kind, res float64, rng
 		Sensor: sensor.DefaultModel(rng, 24, 12),
 		Mapper: m,
 		UAV:    uav.AscTecPelican(),
+		Clock:  clock.NewVirtual(),
 	}
 }
 
@@ -44,6 +49,9 @@ func TestMissionCompletesOpenland(t *testing.T) {
 		}
 		if r.AvgVelocity <= 0 || r.AvgCompute <= 0 {
 			t.Errorf("%v: metrics not recorded: v=%.2f compute=%v", kind, r.AvgVelocity, r.AvgCompute)
+		}
+		if r.CloseErr != nil {
+			t.Errorf("%v: mapper close failed: %v", kind, r.CloseErr)
 		}
 	}
 }
@@ -187,6 +195,10 @@ func TestMissionAgainstPublicAPI(t *testing.T) {
 			Sensor: sensor.DefaultModel(8, 24, 12),
 			Mapper: m,
 			UAV:    uav.AscTecPelican(),
+			// The public map keeps its counters private, so the virtual
+			// clock prices these cycles by scan size — still fully
+			// deterministic.
+			Clock: clock.NewVirtual(),
 		}
 		r := Run(cfg)
 		if !r.Completed {

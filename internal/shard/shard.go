@@ -452,6 +452,23 @@ func (m *Map) Timings() core.Timings {
 	return t
 }
 
+// WorkCounters sums the per-shard work counts; Batches accrues at the
+// router, like in Timings. With a single driver the snapshot is exact
+// and its cycle-to-cycle deltas deterministic, which is what lets a
+// virtual-clock mission (internal/clock) run against a sharded map.
+func (m *Map) WorkCounters() core.Counters {
+	var c core.Counters
+	for _, sh := range m.shards {
+		sh.mu.RLock()
+		sc := sh.pipe.WorkCounters()
+		sh.mu.RUnlock()
+		c.VoxelsTraced += sc.VoxelsTraced
+		c.VoxelsToOctree += sc.VoxelsToOctree
+	}
+	c.Batches = m.batches.Load()
+	return c
+}
+
 // CacheStats merges the per-shard cache counters.
 func (m *Map) CacheStats() cache.Stats {
 	var s cache.Stats

@@ -57,10 +57,24 @@ func New[T any](capacity int) *Queue[T] {
 // Cap returns the queue's fixed capacity.
 func (q *Queue[T]) Cap() int { return len(q.buf) }
 
-// Len returns a linearizable-enough snapshot of the number of queued
-// elements; exact only when producer and consumer are quiescent.
+// Len returns a best-effort snapshot of the number of queued elements;
+// exact only when producer and consumer are quiescent. head is loaded
+// before tail: head never passes tail, so a dequeue racing between the
+// two loads can only make the estimate stale-high, never drive the
+// subtraction negative (the old tail-first order returned -1 in exactly
+// that race). The result is still clamped to the queue's capacity,
+// since enqueues landing between the loads can overshoot it.
 func (q *Queue[T]) Len() int {
-	return int(q.tail.Load() - q.head.Load())
+	h := q.head.Load()
+	t := q.tail.Load()
+	n := int(t - h)
+	if n < 0 {
+		n = 0 // unreachable given the load order; keep Len's range contract anyway
+	}
+	if n > len(q.buf) {
+		n = len(q.buf)
+	}
+	return n
 }
 
 // TryEnqueue appends v and reports success; it fails only when the queue

@@ -3,6 +3,7 @@ package spsc
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 	"testing"
 )
@@ -88,6 +89,60 @@ func TestLen(t *testing.T) {
 	q.TryDequeue()
 	if q.Len() != 1 {
 		t.Errorf("Len = %d, want 1", q.Len())
+	}
+}
+
+// TestLenNeverNegativeUnderRace hammers Len from a third goroutine
+// while a producer/consumer pair streams through a tiny queue.
+// Regression test for the tail-before-head load order, where a dequeue
+// landing between the two loads made tail-head underflow and Len
+// report -1; the fixed load order plus clamping bounds every snapshot
+// to [0, Cap]. Run with -race to also certify Len's loads are clean.
+func TestLenNeverNegativeUnderRace(t *testing.T) {
+	const total = 20000
+	q := New[int](4)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // producer
+		defer wg.Done()
+		for i := 0; i < total; i++ {
+			q.Enqueue(i)
+		}
+	}()
+	go func() { // consumer
+		defer wg.Done()
+		for i := 0; i < total; i++ {
+			q.Dequeue()
+		}
+	}()
+	stop := make(chan struct{})
+	var bad error
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if n := q.Len(); n < 0 || n > q.Cap() {
+				bad = fmt.Errorf("Len snapshot %d outside [0, %d]", n, q.Cap())
+				return
+			}
+			// Yield between probes: on a single-CPU box an unyielding
+			// spin loop starves the producer/consumer pair into a crawl.
+			runtime.Gosched()
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	<-done
+	if bad != nil {
+		t.Fatal(bad)
+	}
+	if q.Len() != 0 {
+		t.Errorf("quiescent Len = %d, want 0", q.Len())
 	}
 }
 
