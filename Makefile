@@ -15,10 +15,13 @@ vet:
 # under the race detector (the shard tests drive >= 4 producers). nav
 # runs twice: missions are deterministic under the virtual clock, so
 # repeated identical runs are the flake tripwire — any divergence or
-# second-run failure is a real regression, not host load.
+# second-run failure is a real regression, not host load. The third line
+# gates compaction: the arena rebuild racing inserts, queries, and Close
+# at every layer (octree, engine, sharded map, public API), twice.
 race:
 	$(GO) test -race ./internal/shard/... ./internal/core/...
 	$(GO) test -race -count=2 ./internal/nav/... ./internal/clock/... ./internal/spsc/...
+	$(GO) test -race -count=2 -run Compact ./internal/octree/... ./internal/core/... ./internal/shard/... .
 
 bench:
 	$(GO) test -bench . -benchtime 1x ./...

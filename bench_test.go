@@ -59,7 +59,7 @@ func BenchmarkInsert(b *testing.B) {
 		{"parallel", ModeParallel},
 	} {
 		b.Run(mode.name, func(b *testing.B) {
-			m := New(Options{Resolution: 0.1, Mode: mode.mode, MaxRange: 8, CacheBuckets: 1 << 14})
+			m := MustNew(Options{Resolution: 0.1, Mode: mode.mode, MaxRange: 8, CacheBuckets: 1 << 14})
 			origin := V(0, 0, 1.2)
 			var pts []Vec3
 			for i := 0; i < 360; i++ {
@@ -79,7 +79,7 @@ func BenchmarkInsert(b *testing.B) {
 
 // BenchmarkQuery measures point queries against a populated map.
 func BenchmarkQuery(b *testing.B) {
-	m := New(Options{Resolution: 0.1, MaxRange: 8, CacheBuckets: 1 << 14})
+	m := MustNew(Options{Resolution: 0.1, MaxRange: 8, CacheBuckets: 1 << 14})
 	origin := V(0, 0, 1.2)
 	var pts []Vec3
 	for i := 0; i < 720; i++ {

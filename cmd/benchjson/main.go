@@ -6,7 +6,9 @@
 // The workload mirrors the public BenchmarkInsert: a fixed 360-point
 // ring scan inserted repeatedly into a warm map, per pipeline mode. It
 // uses testing.Benchmark so the numbers are directly comparable to
-// `go test -bench Insert` output.
+// `go test -bench Insert` output. A second, prune-heavy workload
+// measures arena fragmentation before/after an explicit Compact and the
+// rebuild pause (schema v2).
 package main
 
 import (
@@ -14,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"math"
+	"math/rand"
 	"os"
 	"runtime"
 	"testing"
@@ -29,13 +32,26 @@ type insertResult struct {
 	Iterations  int     `json:"iterations"`
 }
 
+type compactionResult struct {
+	FragmentationBefore float64 `json:"fragmentation_before"`
+	FragmentationAfter  float64 `json:"fragmentation_after"`
+	OccupancyBefore     float64 `json:"occupancy_before"`
+	OccupancyAfter      float64 `json:"occupancy_after"`
+	CapacityBefore      int     `json:"capacity_before"`
+	CapacityAfter       int     `json:"capacity_after"`
+	SlotsReclaimed      int64   `json:"slots_reclaimed"`
+	CompactNs           int64   `json:"compact_ns"`
+}
+
 type report struct {
-	Schema       string                  `json:"schema"`
-	GoVersion    string                  `json:"go_version"`
-	GOOS         string                  `json:"goos"`
-	GOARCH       string                  `json:"goarch"`
-	Insert       map[string]insertResult `json:"insert"`
-	CacheHitRate float64                 `json:"cache_hit_rate"`
+	Schema         string                  `json:"schema"`
+	GoVersion      string                  `json:"go_version"`
+	GOOS           string                  `json:"goos"`
+	GOARCH         string                  `json:"goarch"`
+	Insert         map[string]insertResult `json:"insert"`
+	CacheHitRate   float64                 `json:"cache_hit_rate"`
+	ArenaOccupancy float64                 `json:"arena_occupancy"`
+	Compaction     compactionResult        `json:"compaction"`
 }
 
 // scanRing is the benchmark scan: a cylindrical wall 4 m out, one point
@@ -50,12 +66,12 @@ func scanRing() []octocache.Vec3 {
 	return pts
 }
 
-func benchInsert(mode octocache.Mode) (insertResult, float64) {
+func benchInsert(mode octocache.Mode) (insertResult, float64, float64) {
 	origin := octocache.V(0, 0, 1.2)
 	pts := scanRing()
-	var hitRate float64
+	var hitRate, occupancy float64
 	r := testing.Benchmark(func(b *testing.B) {
-		m := octocache.New(octocache.Options{
+		m := octocache.MustNew(octocache.Options{
 			Resolution:   0.1,
 			Mode:         mode,
 			MaxRange:     8,
@@ -69,14 +85,60 @@ func benchInsert(mode octocache.Mode) (insertResult, float64) {
 		}
 		b.StopTimer()
 		m.Close()
-		hitRate = m.Stats().CacheHitRate
+		st := m.Stats()
+		hitRate = st.Cache.HitRate
+		occupancy = st.Arena.Occupancy()
 	})
 	return insertResult{
 		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 		AllocsPerOp: r.AllocsPerOp(),
 		BytesPerOp:  r.AllocedBytesPerOp(),
 		Iterations:  r.N,
-	}, hitRate
+	}, hitRate, occupancy
+}
+
+// benchCompaction builds a prune-heavy map — jittered ring scans from
+// shifting origins grow structure, then repeated re-observation
+// saturates free-space voxels to the clamp so whole octants prune into
+// the arena free lists — and measures one explicit compaction:
+// fragmentation before/after and the rebuild pause.
+func benchCompaction() compactionResult {
+	m := octocache.MustNew(octocache.Options{
+		Resolution:   0.1,
+		Mode:         octocache.ModeSerial,
+		MaxRange:     8,
+		CacheBuckets: 1 << 10,
+	})
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < 6; i++ {
+		origin := octocache.V(0.4*float64(i), 0.3*float64(i%3), 1.2)
+		pts := make([]octocache.Vec3, 0, 300)
+		for j := 0; j < 300; j++ {
+			ang := rng.Float64() * 2 * math.Pi
+			r := 1.2 + rng.Float64()*2.2
+			pts = append(pts, origin.Add(octocache.V(r*math.Cos(ang), r*math.Sin(ang), rng.Float64()-0.5)))
+		}
+		for rep := 0; rep < 12; rep++ {
+			m.Insert(origin, pts)
+		}
+	}
+	before := m.Stats().Arena
+	if err := m.Compact(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: compact:", err)
+		os.Exit(1)
+	}
+	st := m.Stats()
+	m.Close()
+	return compactionResult{
+		FragmentationBefore: before.Fragmentation(),
+		FragmentationAfter:  st.Arena.Fragmentation(),
+		OccupancyBefore:     before.Occupancy(),
+		OccupancyAfter:      st.Arena.Occupancy(),
+		CapacityBefore:      before.Capacity,
+		CapacityAfter:       st.Arena.Capacity,
+		SlotsReclaimed:      st.Compaction.SlotsReclaimed,
+		CompactNs:           st.Compaction.LastDuration.Nanoseconds(),
+	}
 }
 
 func main() {
@@ -93,7 +155,7 @@ func main() {
 	}
 
 	rep := report{
-		Schema:    "octocache-bench-core/v1",
+		Schema:    "octocache-bench-core/v2",
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
@@ -107,12 +169,14 @@ func main() {
 		{"serial", octocache.ModeSerial},
 		{"parallel", octocache.ModeParallel},
 	} {
-		res, hitRate := benchInsert(mc.mode)
+		res, hitRate, occupancy := benchInsert(mc.mode)
 		rep.Insert[mc.name] = res
 		if mc.name == "serial" {
 			rep.CacheHitRate = hitRate
+			rep.ArenaOccupancy = occupancy
 		}
 	}
+	rep.Compaction = benchCompaction()
 
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -61,11 +61,12 @@ func main() {
 		os.Exit(1)
 	}
 
-	m, err := octocache.NewChecked(octocache.Options{
+	m, err := octocache.New(octocache.Options{
 		Resolution: *res,
 		Mode:       md,
 		Shards:     *shards,
 		MaxRange:   ds.Sensor.MaxRange,
+		Compaction: octocache.CompactionPolicy{MinFreeFraction: 0.25, MinFreeSlots: 1024},
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mapserver:", err)
@@ -131,19 +132,21 @@ func main() {
 
 	st := m.Stats()
 	fmt.Printf("\ningest wall time: %.3fs over %d batches (%.1f Mvox/s traced)\n",
-		ingestWall.Seconds(), st.Batches,
-		float64(st.VoxelsTraced)/ingestWall.Seconds()/1e6)
+		ingestWall.Seconds(), st.Pipeline.Batches,
+		float64(st.Pipeline.VoxelsTraced)/ingestWall.Seconds()/1e6)
 	fmt.Printf("served %d point queries and %d ray casts concurrently\n",
 		queries.Load(), rays.Load())
 	fmt.Printf("cache: %.1f%% hit rate; %d voxels traced, %d reached the octrees\n",
-		100*st.CacheHitRate, st.VoxelsTraced, st.VoxelsToOctree)
-	fmt.Printf("octrees: %d nodes total, ~%.1f MB across %d shards\n",
-		st.TreeNodes, float64(st.TreeBytes)/(1<<20), st.Shards)
+		100*st.Cache.HitRate, st.Pipeline.VoxelsTraced, st.Pipeline.VoxelsToOctree)
+	fmt.Printf("octrees: %d nodes total, ~%.1f MB across %d shards, arena %.0f%% occupied\n",
+		st.Arena.LiveNodes, float64(st.Arena.Bytes)/(1<<20), st.Shards, 100*st.Arena.Occupancy())
+	fmt.Printf("compaction: %d runs, %d slots reclaimed (last pause %v)\n",
+		st.Compaction.Runs, st.Compaction.SlotsReclaimed, st.Compaction.LastDuration)
 	fmt.Println("\nper-shard breakdown:")
-	fmt.Printf("  %5s  %9s  %9s  %6s  %8s\n", "shard", "nodes", "bytes", "queue", "hit rate")
+	fmt.Printf("  %5s  %9s  %9s  %6s  %8s  %9s\n", "shard", "nodes", "bytes", "queue", "hit rate", "compacts")
 	for _, s := range m.ShardStats() {
-		fmt.Printf("  %5d  %9d  %9d  %6d  %7.1f%%\n",
-			s.Shard, s.TreeNodes, s.TreeBytes, s.QueueDepth, 100*s.CacheHitRate)
+		fmt.Printf("  %5d  %9d  %9d  %6d  %7.1f%%  %9d\n",
+			s.Shard, s.Arena.LiveNodes, s.Arena.Bytes, s.QueueDepth, 100*s.Cache.HitRate, s.Compaction.Runs)
 	}
 
 	if *out != "" {

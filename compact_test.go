@@ -1,0 +1,218 @@
+package octocache
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// fragmentingScans drives a map through a prune-heavy stream: scans from
+// several origins grow structure, then repeated re-observation saturates
+// free-space voxels to their clamp so whole octants prune, pushing arena
+// slots through the free lists.
+func fragmentingScans(t testing.TB, m *Map) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < 5; i++ {
+		origin := V(0.4*float64(i), 0.3*float64(i%3), 1)
+		var pts []Vec3
+		for j := 0; j < 250; j++ {
+			ang := rng.Float64() * 2 * math.Pi
+			r := 1.2 + rng.Float64()*2.2
+			pts = append(pts, origin.Add(V(r*math.Cos(ang), r*math.Sin(ang), rng.Float64()-0.5)))
+		}
+		for rep := 0; rep < 10; rep++ {
+			if err := m.Insert(origin, pts); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// TestCompactShrinksArena runs explicit compaction across the shard ×
+// mode matrix: the arena must end dense with strictly less capacity, the
+// compaction counters must reflect the run, and queries must be
+// untouched.
+func TestCompactShrinksArena(t *testing.T) {
+	for _, shards := range []int{0, 1, 2, 8} {
+		for _, mode := range []Mode{ModeParallel, ModeSerial, ModeOctoMap} {
+			t.Run(fmt.Sprintf("shards=%d/mode=%d", shards, mode), func(t *testing.T) {
+				opts := Options{Resolution: 0.1, Mode: mode, Shards: shards, CacheBuckets: 1 << 10}
+				m := MustNew(opts)
+				ref := MustNew(opts)
+				defer m.Close()
+				defer ref.Close()
+				fragmentingScans(t, m)
+				fragmentingScans(t, ref)
+
+				before := m.Stats().Arena
+				if before.FreeSlots == 0 {
+					t.Fatal("stream left no free slots; compaction has nothing to do")
+				}
+				probes := []Vec3{V(1.5, 0.2, 1), V(0.1, 0.1, 1), V(2.8, -1, 0.7), V(9, 9, 9)}
+				type ans struct {
+					l float32
+					k bool
+				}
+				want := make([]ans, len(probes))
+				for i, p := range probes {
+					want[i].l, want[i].k = m.Occupancy(p)
+				}
+
+				if err := m.Compact(); err != nil {
+					t.Fatalf("Compact: %v", err)
+				}
+				st := m.Stats()
+				if st.Arena.FreeSlots != 0 || st.Arena.LiveNodes != st.Arena.Capacity {
+					t.Errorf("arena not dense after Compact: %+v", st.Arena)
+				}
+				if st.Arena.Capacity >= before.Capacity {
+					t.Errorf("capacity did not shrink: %d -> %d", before.Capacity, st.Arena.Capacity)
+				}
+				if st.Arena.LiveNodes != before.LiveNodes {
+					t.Errorf("live nodes changed: %d -> %d", before.LiveNodes, st.Arena.LiveNodes)
+				}
+				if st.Compaction.Runs == 0 || st.Compaction.SlotsReclaimed == 0 {
+					t.Errorf("compaction counters empty after explicit run: %+v", st.Compaction)
+				}
+				for i, p := range probes {
+					if l, k := m.Occupancy(p); l != want[i].l || k != want[i].k {
+						t.Errorf("query at %v changed across Compact", p)
+					}
+				}
+				if shards >= 1 {
+					for _, s := range m.ShardStats() {
+						if s.Arena.FreeSlots != 0 {
+							t.Errorf("shard %d not dense: %+v", s.Shard, s.Arena)
+						}
+					}
+				}
+
+				// The compacted map keeps mapping and still agrees with the
+				// never-compacted reference.
+				extra := []Vec3{V(2, 2, 1.2), V(-1.5, 1, 0.8)}
+				if err := m.Insert(V(0, 0, 1), extra); err != nil {
+					t.Fatal(err)
+				}
+				if err := ref.Insert(V(0, 0, 1), extra); err != nil {
+					t.Fatal(err)
+				}
+				if err := m.Close(); err != nil {
+					t.Fatal(err)
+				}
+				if err := ref.Close(); err != nil {
+					t.Fatal(err)
+				}
+				var a, b bytes.Buffer
+				if _, err := m.WriteTo(&a); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := ref.WriteTo(&b); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(a.Bytes(), b.Bytes()) {
+					t.Error("compacted map serializes differently from the reference")
+				}
+			})
+		}
+	}
+}
+
+// TestAutoCompactionPolicy exercises Options.Compaction end to end: an
+// aggressive policy keeps the arena dense without changing the map, a
+// zero policy never runs.
+func TestAutoCompactionPolicy(t *testing.T) {
+	for _, shards := range []int{0, 2} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			opts := Options{Resolution: 0.1, Shards: shards, CacheBuckets: 1 << 10}
+			ref := MustNew(opts)
+			opts.Compaction = CompactionPolicy{MinFreeFraction: 0.05, MinFreeSlots: 1}
+			m := MustNew(opts)
+			fragmentingScans(t, ref)
+			fragmentingScans(t, m)
+
+			if runs := m.Stats().Compaction.Runs; runs == 0 {
+				t.Error("aggressive policy never compacted")
+			}
+			if runs := ref.Stats().Compaction.Runs; runs != 0 {
+				t.Errorf("zero policy compacted %d times", runs)
+			}
+			if err := m.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if err := ref.Close(); err != nil {
+				t.Fatal(err)
+			}
+			var a, b bytes.Buffer
+			if _, err := m.WriteTo(&a); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := ref.WriteTo(&b); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(a.Bytes(), b.Bytes()) {
+				t.Error("auto-compaction changed the serialized map")
+			}
+		})
+	}
+}
+
+// TestCompactAfterClose pins the lifecycle contract: Compact on a closed
+// map returns ErrClosed — no panic, no deadlock — for both the
+// single-driver pipelines and the sharded service.
+func TestCompactAfterClose(t *testing.T) {
+	for _, opts := range []Options{
+		{Resolution: 0.1, Mode: ModeSerial, CacheBuckets: 1 << 10},
+		{Resolution: 0.1, Mode: ModeParallel, CacheBuckets: 1 << 10},
+		{Resolution: 0.1, Mode: ModeOctoMap},
+		{Resolution: 0.1, Shards: 2, CacheBuckets: 1 << 10},
+	} {
+		m := MustNew(opts)
+		if err := m.Insert(V(0, 0, 1), scanRing(V(0, 0, 1), 2, 50)); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Compact(); err != nil {
+			t.Fatalf("%+v: Compact on live map: %v", opts, err)
+		}
+		if err := m.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Compact(); !errors.Is(err, ErrClosed) {
+			t.Errorf("%+v: Compact after Close = %v, want ErrClosed", opts, err)
+		}
+	}
+}
+
+// TestCompactRacesClose drives Compact concurrently with Close on a
+// sharded map: every call must return nil or ErrClosed, never panic or
+// hang.
+func TestCompactRacesClose(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		m := MustNew(Options{Resolution: 0.1, Shards: 4, CacheBuckets: 1 << 10})
+		if err := m.Insert(V(0, 0, 1), scanRing(V(0, 0, 1), 2, 80)); err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for g := 0; g < 3; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if err := m.Compact(); err != nil && !errors.Is(err, ErrClosed) {
+					t.Errorf("Compact: %v", err)
+				}
+			}()
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := m.Close(); err != nil {
+				t.Errorf("Close: %v", err)
+			}
+		}()
+		wg.Wait()
+	}
+}

@@ -9,7 +9,7 @@ import (
 
 // ExampleMap builds a small map from one scan and queries it.
 func ExampleMap() {
-	m := octocache.New(octocache.Options{
+	m := octocache.MustNew(octocache.Options{
 		Resolution: 0.1,
 		Mode:       octocache.ModeSerial,
 		MaxRange:   10,
@@ -36,7 +36,7 @@ func ExampleMap() {
 
 // ExampleProbability converts a queried log-odds value to a probability.
 func ExampleProbability() {
-	m := octocache.New(octocache.Options{Resolution: 0.1})
+	m := octocache.MustNew(octocache.Options{Resolution: 0.1})
 	defer m.Close()
 	m.Insert(octocache.V(0, 0, 0), []octocache.Vec3{octocache.V(2, 0, 0)})
 
@@ -49,7 +49,7 @@ func ExampleProbability() {
 
 // ExampleMap_stats shows the cache absorbing repeated observations.
 func ExampleMap_stats() {
-	m := octocache.New(octocache.Options{
+	m := octocache.MustNew(octocache.Options{
 		Resolution:   0.1,
 		Mode:         octocache.ModeSerial,
 		CacheBuckets: 1 << 12,
@@ -61,8 +61,8 @@ func ExampleMap_stats() {
 	}
 	m.Close()
 	st := m.Stats()
-	fmt.Println("hit rate above 90%:", st.CacheHitRate > 0.9)
-	fmt.Println("octree writes below traced:", st.VoxelsToOctree < st.VoxelsTraced)
+	fmt.Println("hit rate above 90%:", st.Cache.HitRate > 0.9)
+	fmt.Println("octree writes below traced:", st.Pipeline.VoxelsToOctree < st.Pipeline.VoxelsTraced)
 	// Output:
 	// hit rate above 90%: true
 	// octree writes below traced: true

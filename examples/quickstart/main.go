@@ -13,12 +13,17 @@ import (
 
 func main() {
 	// A 10 cm map with the full OctoCache pipeline (cache + Morton
-	// eviction + background octree updates).
-	m := octocache.New(octocache.Options{
+	// eviction + background octree updates). Automatic arena compaction
+	// keeps the octree dense when pruning churns slots.
+	m, err := octocache.New(octocache.Options{
 		Resolution: 0.10,
 		Mode:       octocache.ModeParallel,
 		MaxRange:   10,
+		Compaction: octocache.CompactionPolicy{MinFreeFraction: 0.25, MinFreeSlots: 1024},
 	})
+	if err != nil {
+		panic(err)
+	}
 
 	// Simulate a sensor in the middle of a circular room of radius 4 m:
 	// each scan returns points on the wall.
@@ -48,8 +53,9 @@ func main() {
 	m.Close()
 	st := m.Stats()
 	fmt.Printf("\n%d scans -> %d voxel observations, %.1f%% absorbed by the cache\n",
-		st.Batches, st.VoxelsTraced,
-		100*(1-float64(st.VoxelsToOctree)/float64(st.VoxelsTraced)))
-	fmt.Printf("cache hit rate %.1f%%, octree %d nodes (~%.2f MB)\n",
-		100*st.CacheHitRate, st.TreeNodes, float64(st.TreeBytes)/(1<<20))
+		st.Pipeline.Batches, st.Pipeline.VoxelsTraced,
+		100*(1-float64(st.Pipeline.VoxelsToOctree)/float64(st.Pipeline.VoxelsTraced)))
+	fmt.Printf("cache hit rate %.1f%%, octree %d nodes (~%.2f MB), arena %.0f%% occupied\n",
+		100*st.Cache.HitRate, st.Arena.LiveNodes, float64(st.Arena.Bytes)/(1<<20),
+		100*st.Arena.Occupancy())
 }

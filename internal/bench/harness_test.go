@@ -10,7 +10,7 @@ import (
 // paper's artifact list.
 func TestAllExperimentsRegistered(t *testing.T) {
 	want := []string{
-		"abl-arena", "abl-downsample", "abl-order", "ext-shard", "fig1", "fig10", "fig16", "fig17", "fig18", "fig19",
+		"abl-arena", "abl-compact", "abl-downsample", "abl-order", "ext-shard", "fig1", "fig10", "fig16", "fig17", "fig18", "fig19",
 		"fig20", "fig21", "fig22", "fig23", "fig24", "fig6", "fig8",
 		"tab1", "tab2", "tab3",
 	}

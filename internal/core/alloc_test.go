@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"octocache/internal/geom"
+	"octocache/internal/octree"
 )
 
 // TestInsertSteadyStateAllocs pins down the zero-allocation batch path:
@@ -12,11 +13,15 @@ import (
 // and the octree arena are warmed, a serial-pipeline Insert of an
 // already-mapped scan must not allocate. A small slack absorbs runtime
 // noise (timer reads, map-internal rehash amortization), but per-voxel or
-// per-batch allocation regressions blow well past it.
+// per-batch allocation regressions blow well past it. The compaction
+// policy is enabled at a production-shaped threshold: its per-batch
+// check must be free, and it must not trip on a steady-state arena.
 func TestInsertSteadyStateAllocs(t *testing.T) {
 	for _, kind := range []Kind{KindSerial, KindOctoMap} {
 		t.Run(kind.String(), func(t *testing.T) {
-			m := MustNew(kind, testConfig())
+			cfg := testConfig()
+			cfg.Compaction = octree.CompactionPolicy{MinFreeFraction: 0.25, MinFreeSlots: 1024}
+			m := MustNew(kind, cfg)
 			rng := rand.New(rand.NewSource(11))
 			origin := geom.V(0.5, 0.5, 1)
 			scan := synthScan(rng, origin, 200)

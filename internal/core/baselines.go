@@ -26,12 +26,13 @@ import (
 // voxelCacheMapper is the VoxelCache-style baseline built on
 // octree.IndexedTree.
 type voxelCacheMapper struct {
-	cfg     Config
-	tree    *octree.IndexedTree
-	shadow  *octree.Tree // kept pruned for Tree() consumers
-	tracer  *raytrace.Tracer
-	timings Timings
-	done    bool
+	cfg        Config
+	tree       *octree.IndexedTree
+	shadow     *octree.Tree // kept pruned for Tree() consumers
+	tracer     *raytrace.Tracer
+	timings    Timings
+	compaction CompactionStats
+	done       bool
 }
 
 func newVoxelCache(cfg Config) (*voxelCacheMapper, error) {
@@ -122,6 +123,23 @@ func (m *voxelCacheMapper) Tree() *octree.Tree {
 	return m.shadow
 }
 
+// Compact rebuilds the shadow octree's arenas. The indexed structure
+// itself has no free lists to reclaim, so this only densifies whatever
+// has been mirrored for Tree() consumers.
+func (m *voxelCacheMapper) Compact() error {
+	if m.done {
+		return ErrClosed
+	}
+	t0 := time.Now()
+	cs := m.shadow.Compact()
+	m.compaction.Runs++
+	m.compaction.SlotsReclaimed += int64(cs.NodeSlotsReclaimed + cs.KidSlotsReclaimed)
+	m.compaction.LastDuration = time.Since(t0)
+	return nil
+}
+
+func (m *voxelCacheMapper) CompactionStats() CompactionStats { return m.compaction }
+
 func (m *voxelCacheMapper) Resolution() float64     { return m.cfg.Octree.Resolution }
 func (m *voxelCacheMapper) Timings() Timings        { return m.timings }
 func (m *voxelCacheMapper) WorkCounters() Counters  { return m.timings.Counters() }
@@ -134,13 +152,14 @@ func (m *voxelCacheMapper) MemoryBytes() int64 { return m.tree.MemoryBytes() }
 // naiveMapper fans voxel updates out over GOMAXPROCS workers that share
 // the octree behind one mutex.
 type naiveMapper struct {
-	cfg     Config
-	tree    *octree.Tree
-	mu      sync.Mutex
-	tracer  *raytrace.Tracer
-	workers int
-	timings Timings
-	done    bool
+	cfg        Config
+	tree       *octree.Tree
+	mu         sync.Mutex
+	tracer     *raytrace.Tracer
+	workers    int
+	timings    Timings
+	compaction CompactionStats
+	done       bool
 }
 
 func newNaive(cfg Config) *naiveMapper {
@@ -228,6 +247,24 @@ func (m *naiveMapper) OccupiedKey(k octree.Key) bool {
 	defer m.mu.Unlock()
 	return m.tree.Occupied(k)
 }
+
+// Compact densifies the shared octree under the global mutex, so it is
+// safe against the in-flight worker fan-out of a concurrent Insert.
+func (m *naiveMapper) Compact() error {
+	if m.done {
+		return ErrClosed
+	}
+	t0 := time.Now()
+	m.mu.Lock()
+	cs := m.tree.Compact()
+	m.mu.Unlock()
+	m.compaction.Runs++
+	m.compaction.SlotsReclaimed += int64(cs.NodeSlotsReclaimed + cs.KidSlotsReclaimed)
+	m.compaction.LastDuration = time.Since(t0)
+	return nil
+}
+
+func (m *naiveMapper) CompactionStats() CompactionStats { return m.compaction }
 
 func (m *naiveMapper) Resolution() float64     { return m.cfg.Octree.Resolution }
 func (m *naiveMapper) Close() error            { m.done = true; return nil }

@@ -44,6 +44,12 @@ type Config struct {
 	EvictOrder cache.EvictOrder
 	// RT enables deduplicating ray tracing (the OctoMap-RT method).
 	RT bool
+	// Compaction triggers automatic octree arena compaction: after a
+	// batch is integrated, a pipeline whose arena crosses the policy's
+	// fragmentation threshold is compacted behind the applier quiesce.
+	// The zero value disables automatic compaction; explicit Compact
+	// calls always run.
+	Compaction octree.CompactionPolicy
 	// Arena is a no-op: the octree always stores nodes in contiguous
 	// handle-addressed arenas with prune-recycling.
 	//
@@ -79,7 +85,7 @@ func (c Config) Validate() error {
 	if c.CacheTau < 1 {
 		return fmt.Errorf("core: CacheTau must be >= 1, got %d", c.CacheTau)
 	}
-	return nil
+	return c.Compaction.Validate()
 }
 
 func (c Config) cacheConfig() cache.Config {

@@ -70,8 +70,9 @@ type engine struct {
 	bufMu   sync.Mutex
 	bufFree [][]cache.Cell
 
-	timings Timings
-	closed  bool
+	timings    Timings
+	compaction CompactionStats
+	closed     bool
 }
 
 // getBuf takes an empty cell buffer from the free list (or nil, which
@@ -229,6 +230,8 @@ func (e *engine) Insert(origin geom.Vec3, points []geom.Vec3) error {
 	batch := traceScan(e.tracer, e.cfg.RT, origin, points, &e.timings)
 	e.admit(batch)
 
+	e.maybeCompact()
+
 	e.timings.Batches++
 	e.timings.VoxelsTraced += int64(len(batch))
 	e.timings.Critical += time.Since(start)
@@ -247,6 +250,10 @@ func (e *engine) ApplyTraced(batch []raytrace.Voxel) error {
 		return ErrClosed
 	}
 	e.admit(batch)
+	// The policy check and any compaction must precede the tail
+	// hand-off: admit's gap handshake left the applier idle, so until
+	// the next hand-off the mutator owns the tree outright.
+	e.maybeCompact()
 	e.evictAndHandOff()
 	e.timings.VoxelsTraced += int64(len(batch))
 	return nil
@@ -333,6 +340,48 @@ func (e *engine) Close() error {
 // Quiesce blocks until every handed-off batch has been applied to the
 // octree. Layered services call it before touching Tree() directly.
 func (e *engine) Quiesce() { e.app.quiesce() }
+
+// Compact rebuilds the octree arenas into a dense Morton/DFS-ordered
+// prefix and releases the tail capacity, behind the existing quiesce
+// protocol: the applier drains, the rebuild runs under the tree write
+// lock, and producers resume — no new lock scheme. It must be called
+// from the mutator role (the same serialization Insert requires) and
+// returns ErrClosed after Close.
+func (e *engine) Compact() error {
+	if e.closed {
+		return ErrClosed
+	}
+	e.compact()
+	return nil
+}
+
+// maybeCompact runs one compaction when the configured policy's
+// fragmentation threshold is crossed. Callers must hold the mutator role
+// with the applier quiescent (post-admit), so the stats read is stable.
+func (e *engine) maybeCompact() {
+	if !e.cfg.Compaction.Enabled() {
+		return
+	}
+	if e.tree.NeedsCompaction(e.cfg.Compaction) {
+		e.compact()
+	}
+}
+
+// compact drains the applier, then rebuilds the arenas under the tree
+// write lock so no query can observe handles mid-move.
+func (e *engine) compact() {
+	e.app.quiesce()
+	t0 := time.Now()
+	e.treeRW.Lock()
+	cs := e.tree.Compact()
+	e.treeRW.Unlock()
+	e.compaction.Runs++
+	e.compaction.SlotsReclaimed += int64(cs.NodeSlotsReclaimed + cs.KidSlotsReclaimed)
+	e.compaction.LastDuration = time.Since(t0)
+}
+
+// CompactionStats reports cumulative arena-compaction activity.
+func (e *engine) CompactionStats() CompactionStats { return e.compaction }
 
 // LoadLeaf writes one (possibly aggregate) leaf into the engine's
 // octree, as emitted by octree.Walk — the seam map loading is built on.

@@ -50,6 +50,17 @@ type Mapper interface {
 	// parallel pipeline is active; it is always safe after Close.
 	Tree() *octree.Tree
 
+	// Compact rebuilds the pipeline's octree arenas into a dense
+	// Morton/DFS-ordered prefix, releasing fragmented tail capacity.
+	// Observable structure — queries and serialized bytes — is
+	// unchanged. Like Insert it is a mutator call: the caller provides
+	// the same serialization. Returns ErrClosed after Close.
+	Compact() error
+
+	// CompactionStats reports cumulative arena-compaction activity,
+	// covering both automatic (policy-triggered) and explicit runs.
+	CompactionStats() CompactionStats
+
 	// Timings returns the cumulative stage decomposition.
 	Timings() Timings
 

@@ -189,7 +189,7 @@ func TestMissionAgainstPublicAPI(t *testing.T) {
 		{Resolution: 1.0, MaxRange: 8, CacheBuckets: 1 << 14},
 		{Resolution: 1.0, MaxRange: 8, CacheBuckets: 1 << 14, Shards: 4},
 	} {
-		m := octocache.New(opts)
+		m := octocache.MustNew(opts)
 		cfg := Config{
 			World:  world.Build(world.Openland, 1),
 			Sensor: sensor.DefaultModel(8, 24, 12),

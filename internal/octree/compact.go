@@ -1,0 +1,126 @@
+package octree
+
+import "fmt"
+
+// Online arena compaction. Pruning recycles arena slots through the free
+// lists (DESIGN.md §9), but the arenas themselves never shrink: a map
+// that prunes a large explored region keeps its peak footprint forever,
+// and its surviving nodes stay scattered across the fragmented address
+// range — exactly the locality loss Morton-ordered insertion exists to
+// avoid. Compact rebuilds both arenas as a dense DFS-preorder prefix
+// (children visited in Morton octant order, so the new layout is the
+// tree's in-order address order), rewrites every handle by construction
+// during the copy, and releases the tail capacity plus the free-list
+// backing arrays. Serialization is structure-only (handles never reach
+// the wire), so compaction is invisible to WriteTo — the fuzz harness
+// interleaves Compact with the op stream to enforce it.
+
+// CompactionPolicy decides when an arena is fragmented enough to be
+// worth compacting. The zero value disables automatic compaction
+// (explicit Compact calls always run).
+type CompactionPolicy struct {
+	// MinFreeFraction triggers compaction once free-listed slots make up
+	// at least this fraction of the node arena's capacity. 0 disables
+	// automatic triggering entirely.
+	MinFreeFraction float64
+	// MinFreeSlots additionally requires at least this many free node
+	// slots, so small arenas don't churn through pointless rebuilds.
+	MinFreeSlots int
+}
+
+// Enabled reports whether the policy can ever trigger.
+func (p CompactionPolicy) Enabled() bool { return p.MinFreeFraction > 0 }
+
+// Triggers reports whether an arena with the given occupancy crosses the
+// policy's fragmentation threshold.
+func (p CompactionPolicy) Triggers(live, free, capacity int) bool {
+	if !p.Enabled() || capacity == 0 || free < p.MinFreeSlots {
+		return false
+	}
+	return float64(free) >= p.MinFreeFraction*float64(capacity)
+}
+
+// Validate reports whether the policy is usable.
+func (p CompactionPolicy) Validate() error {
+	if p.MinFreeFraction < 0 || p.MinFreeFraction > 1 {
+		return fmt.Errorf("octree: MinFreeFraction must be in [0, 1], got %v", p.MinFreeFraction)
+	}
+	if p.MinFreeSlots < 0 {
+		return fmt.Errorf("octree: MinFreeSlots must be >= 0, got %d", p.MinFreeSlots)
+	}
+	return nil
+}
+
+// CompactStats describes one compaction run.
+type CompactStats struct {
+	// NodeSlotsReclaimed and KidSlotsReclaimed count the free-listed
+	// slots released back to the allocator (node slots and 8-handle
+	// child blocks respectively).
+	NodeSlotsReclaimed int
+	KidSlotsReclaimed  int
+	// CapacityBefore and CapacityAfter are the node arena's total slot
+	// counts around the run; after a run the arena is dense, so
+	// CapacityAfter equals the live node count.
+	CapacityBefore int
+	CapacityAfter  int
+}
+
+// NeedsCompaction reports whether the tree's node arena crosses the
+// policy's fragmentation threshold.
+func (t *Tree) NeedsCompaction(p CompactionPolicy) bool {
+	return p.Triggers(t.ArenaStats())
+}
+
+// Compact rewrites both arenas into a dense DFS-preorder prefix and
+// releases the tail capacity: after it returns, live == capacity, the
+// free lists are empty, and handles address nodes in the order a
+// root-to-leaf Morton walk visits them. The caller must hold the
+// mutator role (no concurrent readers or writers); the pipeline layers
+// run it behind their applier quiesce. Structure, values, and the
+// serialized byte stream are unchanged by construction — only handle
+// values (never observable outside this package) move.
+func (t *Tree) Compact() CompactStats {
+	cs := CompactStats{
+		NodeSlotsReclaimed: len(t.freeNodes),
+		KidSlotsReclaimed:  len(t.freeKids),
+		CapacityBefore:     len(t.nodes),
+	}
+	if t.empty() {
+		t.nodes, t.kids = nil, nil
+		t.freeNodes, t.freeKids = nil, nil
+		t.root = nilNode
+		return cs
+	}
+	nodes := make([]node, 0, t.numNodes)
+	kids := make([]kidsBlock, 0, len(t.kids)-len(t.freeKids))
+	t.root = t.compactNode(t.root, &nodes, &kids)
+	t.nodes, t.kids = nodes, kids
+	// Drop the free-list backing arrays too: a freshly compacted arena
+	// has no holes, and the lists regrow on demand after future prunes.
+	t.freeNodes, t.freeKids = nil, nil
+	cs.CapacityAfter = len(t.nodes)
+	return cs
+}
+
+// compactNode copies the subtree rooted at h into the dense arenas in
+// DFS preorder, rewriting child handles as it goes, and returns h's new
+// handle. The destination slices are pre-sized to the exact live counts,
+// so the appends never reallocate and the kb index stays stable across
+// the recursion.
+func (t *Tree) compactNode(h uint32, nodes *[]node, kids *[]kidsBlock) uint32 {
+	n := t.nodes[h]
+	nh := uint32(len(*nodes))
+	*nodes = append(*nodes, n)
+	if n.kids == nilKids {
+		return nh
+	}
+	kb := uint32(len(*kids))
+	*kids = append(*kids, emptyKids)
+	(*nodes)[nh].kids = kb
+	for i, c := range t.kids[n.kids] {
+		if c != nilNode {
+			(*kids)[kb][i] = t.compactNode(c, nodes, kids)
+		}
+	}
+	return nh
+}

@@ -1,0 +1,186 @@
+package octree
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestCompactInvariants churns a tree until its free lists are loaded,
+// compacts, and checks the arena post-conditions: dense (live ==
+// capacity, free lists empty), the walk recount still matches, and the
+// structure is untouched.
+func TestCompactInvariants(t *testing.T) {
+	p := smallParams(6)
+	tr := New(p)
+	churn(tr, 123, 8000)
+	liveBefore, freeBefore, capBefore := tr.ArenaStats()
+	if freeBefore == 0 {
+		t.Fatal("churn produced no free-listed slots; test is vacuous")
+	}
+	ref := New(p)
+	var blob bytes.Buffer
+	if _, err := tr.WriteTo(&blob); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ref.ReadFrom(bytes.NewReader(blob.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+
+	cs := tr.Compact()
+	if cs.NodeSlotsReclaimed != freeBefore || cs.CapacityBefore != capBefore {
+		t.Errorf("CompactStats = %+v, want %d slots reclaimed from capacity %d", cs, freeBefore, capBefore)
+	}
+	live, free, capacity := tr.ArenaStats()
+	if live != liveBefore {
+		t.Errorf("live nodes changed: %d -> %d", liveBefore, live)
+	}
+	if free != 0 || live != capacity {
+		t.Errorf("arena not dense after Compact: live %d, free %d, capacity %d", live, free, capacity)
+	}
+	if capacity >= capBefore {
+		t.Errorf("capacity did not shrink: %d -> %d", capBefore, capacity)
+	}
+	recount(t, tr, "after Compact")
+	if !tr.Equal(ref) {
+		t.Error("Compact changed observable structure")
+	}
+}
+
+// TestCompactSerializationIdentical is the equivalence guarantee: the
+// byte stream is structure-only, so compacting must not move a single
+// serialized byte.
+func TestCompactSerializationIdentical(t *testing.T) {
+	tr := New(smallParams(6))
+	churn(tr, 9, 6000)
+	var before bytes.Buffer
+	if _, err := tr.WriteTo(&before); err != nil {
+		t.Fatal(err)
+	}
+	tr.Compact()
+	var after bytes.Buffer
+	if _, err := tr.WriteTo(&after); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before.Bytes(), after.Bytes()) {
+		t.Error("serialization differs across Compact")
+	}
+}
+
+// TestCompactDFSLayout checks the locality contract: after compaction,
+// handles are assigned in DFS preorder, so the root is slot 0 and a walk
+// visits strictly ascending node handles.
+func TestCompactDFSLayout(t *testing.T) {
+	tr := New(smallParams(6))
+	churn(tr, 42, 5000)
+	tr.Compact()
+	if tr.empty() {
+		t.Fatal("churned tree is empty")
+	}
+	if tr.root != 0 {
+		t.Errorf("root handle = %d after Compact, want 0", tr.root)
+	}
+	next := uint32(0)
+	var visit func(h uint32)
+	var fail bool
+	visit = func(h uint32) {
+		if h != next {
+			fail = true
+			return
+		}
+		next++
+		if kb := tr.nodes[h].kids; kb != nilKids {
+			for _, c := range tr.kids[kb] {
+				if c != nilNode && !fail {
+					visit(c)
+				}
+			}
+		}
+	}
+	visit(tr.root)
+	if fail {
+		t.Error("handles are not a dense DFS preorder after Compact")
+	}
+}
+
+// TestCompactThenMutate proves a compacted tree is fully live: updates,
+// pruning, re-expansion and a second compaction all keep the accounting
+// intact.
+func TestCompactThenMutate(t *testing.T) {
+	tr := New(smallParams(5))
+	churn(tr, 7, 4000)
+	tr.Compact()
+	churn(tr, 8, 4000)
+	recount(t, tr, "after post-compact churn")
+	tr.Compact()
+	recount(t, tr, "after second Compact")
+	if _, free, _ := tr.ArenaStats(); free != 0 {
+		t.Errorf("free list not empty after Compact: %d", free)
+	}
+}
+
+// TestCompactEmptyAndClearedTrees covers the degenerate receivers.
+func TestCompactEmptyAndClearedTrees(t *testing.T) {
+	tr := New(smallParams(4))
+	cs := tr.Compact()
+	if cs.CapacityBefore != 0 || cs.CapacityAfter != 0 {
+		t.Errorf("empty-tree CompactStats = %+v", cs)
+	}
+	churn(tr, 3, 500)
+	tr.Clear()
+	tr.Compact()
+	if live, free, capacity := tr.ArenaStats(); live != 0 || free != 0 || capacity != 0 {
+		t.Errorf("cleared+compacted arena not empty: %d/%d/%d", live, free, capacity)
+	}
+	// Still usable afterwards.
+	tr.UpdateOccupied(Key{1, 2, 3})
+	if !tr.Occupied(Key{1, 2, 3}) {
+		t.Error("tree unusable after compacting an empty arena")
+	}
+}
+
+func TestCompactionPolicy(t *testing.T) {
+	var zero CompactionPolicy
+	if zero.Enabled() || zero.Triggers(10, 90, 100) {
+		t.Error("zero policy must stay disabled")
+	}
+	p := CompactionPolicy{MinFreeFraction: 0.25, MinFreeSlots: 16}
+	if p.Triggers(90, 10, 100) {
+		t.Error("triggered below both thresholds")
+	}
+	if p.Triggers(980, 20, 1000) {
+		t.Error("triggered below the fraction threshold")
+	}
+	if !p.Triggers(70, 30, 100) {
+		t.Error("did not trigger above both thresholds")
+	}
+	if p.Triggers(0, 0, 0) {
+		t.Error("triggered on an empty arena")
+	}
+	for _, bad := range []CompactionPolicy{
+		{MinFreeFraction: -0.1},
+		{MinFreeFraction: 1.5},
+		{MinFreeFraction: 0.5, MinFreeSlots: -1},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("invalid policy %+v accepted", bad)
+		}
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("valid policy rejected: %v", err)
+	}
+
+	tr := New(smallParams(5))
+	churn(tr, 5, 4000)
+	_, free, capacity := tr.ArenaStats()
+	if free == 0 {
+		t.Fatal("churn produced no free slots")
+	}
+	loose := CompactionPolicy{MinFreeFraction: float64(free) / float64(capacity) / 2, MinFreeSlots: 1}
+	if !tr.NeedsCompaction(loose) {
+		t.Error("NeedsCompaction false above threshold")
+	}
+	tr.Compact()
+	if tr.NeedsCompaction(loose) {
+		t.Error("NeedsCompaction true on a dense arena")
+	}
+}

@@ -1,0 +1,214 @@
+package shard
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"octocache/internal/core"
+	"octocache/internal/geom"
+	"octocache/internal/octree"
+)
+
+// fragment drives a sharded map through a prune-heavy stream: arcs from
+// shifting origins grow structure, repeated re-observation saturates
+// free-space octants to the clamp so they prune, loading the per-shard
+// arena free lists.
+func fragment(t testing.TB, m *Map) {
+	t.Helper()
+	for i := 0; i < 5; i++ {
+		origin := geom.V(0.5*float64(i), 0.4*float64(i%2), 1)
+		pts := scanArc(origin, 1.5+0.3*float64(i), 220, float64(i))
+		for rep := 0; rep < 10; rep++ {
+			if err := m.Insert(origin, pts); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// TestCompactInvariants runs explicit compaction across the shard-count
+// × pipeline matrix and checks the arena post-conditions per shard:
+// free list empty, live == capacity, aggregate capacity strictly
+// smaller, and the map's observable state (queries and the merged
+// serialized tree) untouched.
+func TestCompactInvariants(t *testing.T) {
+	for _, shards := range []int{1, 2, 8} {
+		for _, pl := range []Pipeline{PipelineSerial, PipelineAsync, PipelineDirect} {
+			t.Run(fmt.Sprintf("shards=%d/pipeline=%d", shards, pl), func(t *testing.T) {
+				sm, err := New(Config{Core: testConfig(), Shards: shards, Pipeline: pl})
+				if err != nil {
+					t.Fatal(err)
+				}
+				ref, err := New(Config{Core: testConfig(), Shards: shards, Pipeline: pl})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer sm.Close()
+				defer ref.Close()
+				fragment(t, sm)
+				fragment(t, ref)
+
+				before := sm.ArenaStats()
+				if before.FreeSlots == 0 {
+					t.Fatal("fragmenting stream left no free slots")
+				}
+				if err := sm.Compact(); err != nil {
+					t.Fatalf("Compact: %v", err)
+				}
+
+				after := sm.ArenaStats()
+				if after.FreeSlots != 0 || after.LiveNodes != after.Capacity {
+					t.Errorf("aggregate arena not dense: %+v", after)
+				}
+				if after.Capacity >= before.Capacity {
+					t.Errorf("capacity did not shrink: %d -> %d", before.Capacity, after.Capacity)
+				}
+				if after.LiveNodes != before.LiveNodes {
+					t.Errorf("live nodes changed: %d -> %d", before.LiveNodes, after.LiveNodes)
+				}
+				cs := sm.CompactionStats()
+				if cs.Runs != int64(sm.NumShards()) || cs.SlotsReclaimed == 0 {
+					t.Errorf("CompactionStats = %+v, want one run per shard (%d)", cs, sm.NumShards())
+				}
+				for _, s := range sm.ShardStats() {
+					if s.Arena.FreeSlots != 0 || s.Arena.LiveNodes != s.Arena.Capacity {
+						t.Errorf("shard %d arena not dense: %+v", s.Shard, s.Arena)
+					}
+					// A dense shard recounts exactly: the per-shard node
+					// count must survive a leaf walk into a fresh tree.
+					if s.Arena.LiveNodes > 0 && s.Compaction.Runs != 1 {
+						t.Errorf("shard %d ran %d compactions, want 1", s.Shard, s.Compaction.Runs)
+					}
+				}
+
+				// Queries and the merged serialized tree are unchanged.
+				for _, p := range scanArc(geom.V(0.5, 0.2, 1), 1.8, 40, 0.3) {
+					lw, kw := ref.Occupancy(p)
+					if lg, kg := sm.Occupancy(p); lg != lw || kg != kw {
+						t.Fatalf("query at %v changed across Compact", p)
+					}
+				}
+				var a, b bytes.Buffer
+				if _, err := ref.MergedTree().WriteTo(&a); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := sm.MergedTree().WriteTo(&b); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(a.Bytes(), b.Bytes()) {
+					t.Error("merged serialization changed across Compact")
+				}
+
+				// The compacted shards keep accepting writes.
+				if err := sm.Insert(geom.V(0, 0, 1), scanArc(geom.V(0, 0, 1), 2.2, 60, 1)); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// TestAutoCompactionPerShard wires the policy through Config.Core: every
+// shard that crosses the threshold compacts itself behind its own
+// applier quiesce, and answers stay identical to an uncompacted twin.
+func TestAutoCompactionPerShard(t *testing.T) {
+	cfg := testConfig()
+	ref, err := New(Config{Core: cfg, Shards: 4, Pipeline: PipelineAsync})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Compaction = octree.CompactionPolicy{MinFreeFraction: 0.01, MinFreeSlots: 1}
+	sm, err := New(Config{Core: cfg, Shards: 4, Pipeline: PipelineAsync})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fragment(t, ref)
+	fragment(t, sm)
+	if runs := sm.CompactionStats().Runs; runs == 0 {
+		t.Error("aggressive per-shard policy never compacted")
+	}
+	if runs := ref.CompactionStats().Runs; runs != 0 {
+		t.Errorf("zero policy compacted %d times", runs)
+	}
+	if err := ref.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sm.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if _, err := ref.MergedTree().WriteTo(&a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sm.MergedTree().WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("auto-compaction changed the merged serialization")
+	}
+}
+
+// TestCompactCloseLifecycle: Compact after Close returns ErrClosed, and
+// Compact racing Close (and concurrent Compacts racing each other) never
+// panics or deadlocks — every call lands on nil or ErrClosed.
+func TestCompactCloseLifecycle(t *testing.T) {
+	sm, err := New(Config{Core: testConfig(), Shards: 2, Pipeline: PipelineAsync})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sm.Insert(geom.V(0, 0, 1), scanArc(geom.V(0, 0, 1), 2, 60, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sm.Compact(); err != nil {
+		t.Fatalf("Compact on live map: %v", err)
+	}
+	if err := sm.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sm.Compact(); !errors.Is(err, ErrClosed) {
+		t.Errorf("Compact after Close = %v, want ErrClosed", err)
+	}
+	if got := sm.CompactionStats(); got.Runs != 2 {
+		t.Errorf("Runs = %d after one whole-map Compact over 2 shards", got.Runs)
+	}
+
+	for trial := 0; trial < 10; trial++ {
+		sm, err := New(Config{Core: testConfig(), Shards: 4, Pipeline: PipelineAsync})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fragment(t, sm)
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if err := sm.Compact(); err != nil && !errors.Is(err, ErrClosed) {
+					t.Errorf("Compact: %v", err)
+				}
+			}()
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := sm.Close(); err != nil {
+				t.Errorf("Close: %v", err)
+			}
+		}()
+		wg.Wait()
+	}
+}
+
+// TestCompactionStatsAdd pins the aggregate semantics ShardStats relies
+// on: counts sum, LastDuration keeps the worst shard.
+func TestCompactionStatsAdd(t *testing.T) {
+	a := core.CompactionStats{Runs: 2, SlotsReclaimed: 100, LastDuration: 5}
+	b := core.CompactionStats{Runs: 1, SlotsReclaimed: 7, LastDuration: 9}
+	got := a.Add(b)
+	if got.Runs != 3 || got.SlotsReclaimed != 107 || got.LastDuration != 9 {
+		t.Errorf("Add = %+v", got)
+	}
+}

@@ -480,25 +480,67 @@ func (m *Map) CacheStats() cache.Stats {
 	return s
 }
 
+// Compact rebuilds every shard's octree arenas into dense Morton/DFS-
+// ordered prefixes, one shard at a time under that shard's write lock, so
+// queries on other shards keep flowing throughout. Observable map state
+// is unchanged. Returns ErrClosed after Close.
+func (m *Map) Compact() error {
+	m.closeMu.RLock()
+	defer m.closeMu.RUnlock()
+	if m.closed {
+		return ErrClosed
+	}
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		err := sh.pipe.Compact()
+		sh.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CompactionStats sums the per-shard compaction activity (automatic and
+// explicit runs alike).
+func (m *Map) CompactionStats() core.CompactionStats {
+	var s core.CompactionStats
+	for _, sh := range m.shards {
+		sh.mu.RLock()
+		s = s.Add(sh.pipe.CompactionStats())
+		sh.mu.RUnlock()
+	}
+	return s
+}
+
+// ArenaStats sums the per-shard arena snapshots, quiescing each shard's
+// applier first so the counters are exact per shard.
+func (m *Map) ArenaStats() core.ArenaStats {
+	var s core.ArenaStats
+	for _, sh := range m.shards {
+		sh.mu.RLock()
+		sh.pipe.Quiesce()
+		s = s.Add(core.TreeArenaStats(sh.pipe.Tree()))
+		sh.mu.RUnlock()
+	}
+	return s
+}
+
 // ShardStat describes one shard's live state.
 type ShardStat struct {
 	// Shard is the shard index (its Morton prefix).
 	Shard int
-	// TreeNodes is the shard octree's node count.
-	TreeNodes int
-	// TreeFreeSlots counts recycled arena slots awaiting reuse and
-	// TreeCapacity the arena's total node slots (live + free), so
-	// TreeNodes/TreeCapacity is the shard octree's arena occupancy.
-	TreeFreeSlots int
-	TreeCapacity  int
-	// TreeBytes estimates the shard octree's heap footprint.
-	TreeBytes int64
+	// Arena is the shard octree's arena snapshot: live nodes, recycled
+	// free slots, total capacity, and estimated heap bytes.
+	Arena core.ArenaStats
 	// QueueDepth is the number of cells parked in the shard's cache
 	// awaiting eviction or the Close flush — the shard's pending-write
 	// backlog.
 	QueueDepth int
 	// Cache holds the shard's cache behaviour counters.
 	Cache cache.Stats
+	// Compaction holds the shard's arena-compaction counters.
+	Compaction core.CompactionStats
 }
 
 // ShardStats snapshots every shard. Shards are visited one at a time
@@ -512,16 +554,12 @@ func (m *Map) ShardStats() []ShardStat {
 		// handed off; after Quiesce the shard's tree is stable.
 		sh.mu.RLock()
 		sh.pipe.Quiesce()
-		tree := sh.pipe.Tree()
-		live, free, capacity := tree.ArenaStats()
 		out[i] = ShardStat{
-			Shard:         i,
-			TreeNodes:     live,
-			TreeFreeSlots: free,
-			TreeCapacity:  capacity,
-			TreeBytes:     tree.MemoryBytes(),
-			QueueDepth:    sh.pipe.CacheLen(),
-			Cache:         sh.pipe.CacheStats(),
+			Shard:      i,
+			Arena:      core.TreeArenaStats(sh.pipe.Tree()),
+			QueueDepth: sh.pipe.CacheLen(),
+			Cache:      sh.pipe.CacheStats(),
+			Compaction: sh.pipe.CompactionStats(),
 		}
 		sh.mu.RUnlock()
 	}

@@ -318,7 +318,7 @@ func testConcurrentProducers(t *testing.T, pl Pipeline) {
 		if s.QueueDepth != 0 {
 			t.Errorf("shard %d: queue depth %d after Close", s.Shard, s.QueueDepth)
 		}
-		totalNodes += s.TreeNodes
+		totalNodes += s.Arena.LiveNodes
 	}
 	if totalNodes == 0 {
 		t.Error("no octree nodes after ingesting scans")

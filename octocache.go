@@ -19,7 +19,7 @@
 //
 // Quick start:
 //
-//	m := octocache.New(octocache.Options{Resolution: 0.1})
+//	m, err := octocache.New(octocache.Options{Resolution: 0.1})
 //	m.Insert(sensorOrigin, points) // []octocache.Vec3 world coords
 //	if m.Occupied(p) { ... }       // consistent with OctoMap
 //	m.Close()                      // flush into the octree
@@ -63,7 +63,9 @@ import (
 	"fmt"
 	"io"
 	"sync/atomic"
+	"time"
 
+	"octocache/internal/cache"
 	"octocache/internal/core"
 	"octocache/internal/geom"
 	"octocache/internal/octree"
@@ -131,12 +133,26 @@ type Options struct {
 	CacheTau int
 	// DedupRays enables OctoMap-RT-style deduplicating ray tracing.
 	DedupRays bool
+	// Compaction enables automatic octree arena compaction: whenever a
+	// batch leaves an arena with at least MinFreeSlots recycled slots
+	// making up at least MinFreeFraction of its capacity, the arena is
+	// rebuilt into a dense Morton-ordered prefix and the tail capacity
+	// released. The zero value disables automatic compaction; explicit
+	// Map.Compact calls always run. Sharded maps apply the policy per
+	// shard.
+	Compaction CompactionPolicy
 	// Arena is a no-op: the octree always stores nodes in contiguous
 	// handle-addressed arenas with prune-recycling.
 	//
 	// Deprecated: arena storage is the only implementation now.
 	Arena bool
 }
+
+// CompactionPolicy sets the automatic-compaction trigger: compact when
+// free slots are at least MinFreeFraction of arena capacity (0 disables)
+// and number at least MinFreeSlots (a floor that keeps tiny arenas from
+// compacting constantly).
+type CompactionPolicy = octree.CompactionPolicy
 
 // MaxShards bounds Options.Shards.
 const MaxShards = shard.MaxShards
@@ -153,10 +169,21 @@ type Map struct {
 	closed  atomic.Bool // single-driver lifecycle; sharded tracks its own
 }
 
-// New creates a Map. It panics on invalid options; use NewChecked to
-// receive the error instead.
-func New(opts Options) *Map {
-	m, err := NewChecked(opts)
+// New creates a Map, validating the options. Invalid options — a missing
+// Resolution, negative counts, an out-of-range compaction policy —
+// return an error rather than a partially constructed map.
+func New(opts Options) (*Map, error) {
+	cfg, err := buildConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	return newMap(opts, cfg)
+}
+
+// MustNew is New for statically known-valid options; it panics on error.
+// Prefer New anywhere the options come from configuration or user input.
+func MustNew(opts Options) *Map {
+	m, err := New(opts)
 	if err != nil {
 		panic(err)
 	}
@@ -164,13 +191,9 @@ func New(opts Options) *Map {
 }
 
 // NewChecked creates a Map, validating the options.
-func NewChecked(opts Options) (*Map, error) {
-	cfg, err := buildConfig(opts)
-	if err != nil {
-		return nil, err
-	}
-	return newMap(opts, cfg)
-}
+//
+// Deprecated: New itself returns an error now; call New directly.
+func NewChecked(opts Options) (*Map, error) { return New(opts) }
 
 // Open reads a map serialized with WriteTo and makes it live again: the
 // loaded octree becomes the pipeline's (or, sharded, each owning
@@ -222,9 +245,13 @@ func buildConfig(opts Options) (core.Config, error) {
 	if opts.Shards < 0 {
 		return core.Config{}, fmt.Errorf("octocache: Shards must be >= 0, got %d", opts.Shards)
 	}
+	if err := opts.Compaction.Validate(); err != nil {
+		return core.Config{}, err
+	}
 	cfg := core.DefaultConfig(opts.Resolution)
 	cfg.MaxRange = opts.MaxRange
 	cfg.RT = opts.DedupRays
+	cfg.Compaction = opts.Compaction
 	if opts.CacheBuckets > 0 {
 		cfg.CacheBuckets = opts.CacheBuckets
 	}
@@ -369,28 +396,114 @@ func (m *Map) WriteTo(w io.Writer) (int64, error) {
 	return m.mapper.Tree().WriteTo(w)
 }
 
-// Stats reports cache and pipeline behaviour counters.
+// Compact rebuilds the octree arenas into dense Morton-ordered prefixes
+// and releases the fragmented tail capacity, without changing any query
+// answer or serialized byte. Sharded maps compact one shard at a time
+// under that shard's write lock, so queries on other shards keep flowing;
+// single-driver maps treat Compact as a mutator call, like Insert.
+// Automatic compaction (Options.Compaction) runs the same rebuild behind
+// each batch. Returns ErrClosed after Close.
+func (m *Map) Compact() error {
+	if m.sharded != nil {
+		return m.sharded.Compact()
+	}
+	if m.closed.Load() {
+		return ErrClosed
+	}
+	return m.mapper.Compact()
+}
+
+// Stats reports map behaviour counters, grouped by subsystem.
 type Stats struct {
-	// CacheHitRate is the fraction of voxel updates absorbed by the cache.
-	CacheHitRate float64
+	// Cache summarizes the voxel cache in front of the octree.
+	Cache CacheStats
+	// Pipeline summarizes ingest volume.
+	Pipeline PipelineStats
+	// Arena summarizes octree arena occupancy (summed over shards).
+	Arena ArenaStats
+	// Compaction summarizes arena-compaction activity (summed over
+	// shards; LastDuration is the worst shard's most recent pause).
+	Compaction CompactionStats
+	// Shards is the effective shard count (1 for single-driver maps).
+	Shards int
+}
+
+// CacheStats summarizes cache behaviour.
+type CacheStats struct {
+	// HitRate is the fraction of voxel updates absorbed by the cache.
+	HitRate float64
+	// Hits counts voxel updates absorbed by an existing cache cell.
+	Hits int64
+	// Inserts counts all voxel updates offered to the cache.
+	Inserts int64
+	// Evicted counts cells evicted from the cache into the octree.
+	Evicted int64
+}
+
+// PipelineStats summarizes ingest volume.
+type PipelineStats struct {
+	// Batches counts inserted point clouds.
+	Batches int64
 	// VoxelsTraced counts voxel observations produced by ray tracing.
 	VoxelsTraced int64
 	// VoxelsToOctree counts voxel writes that reached the octree.
 	VoxelsToOctree int64
-	// Batches counts inserted point clouds.
-	Batches int64
-	// TreeNodes is the octree's current node count (summed over shards).
-	TreeNodes int
-	// TreeFreeSlots counts recycled octree arena slots awaiting reuse and
-	// TreeCapacity the arena's total node slots (summed over shards);
-	// TreeNodes/TreeCapacity is the arena occupancy, and a persistently
-	// large free share signals heavy pruning churn.
-	TreeFreeSlots int
-	TreeCapacity  int
-	// TreeBytes estimates the octree's heap footprint (summed over shards).
-	TreeBytes int64
-	// Shards is the effective shard count (1 for single-driver maps).
-	Shards int
+}
+
+// ArenaStats describes octree arena occupancy: the octree stores nodes
+// in contiguous handle-addressed slot arenas, and pruning recycles slots
+// through free lists. A persistently large free share signals heavy
+// pruning churn — the fragmentation Compact reclaims.
+type ArenaStats struct {
+	// LiveNodes is the octree's current node count.
+	LiveNodes int
+	// FreeSlots counts recycled arena slots awaiting reuse.
+	FreeSlots int
+	// Capacity is the arena's total node slots: LiveNodes + FreeSlots.
+	Capacity int
+	// Bytes estimates the octree's heap footprint.
+	Bytes int64
+}
+
+// Occupancy is the live fraction of the arena, 1 for a dense (or empty)
+// arena.
+func (a ArenaStats) Occupancy() float64 {
+	if a.Capacity == 0 {
+		return 1
+	}
+	return float64(a.LiveNodes) / float64(a.Capacity)
+}
+
+// Fragmentation is the free fraction of the arena — the value a
+// CompactionPolicy's MinFreeFraction is compared against.
+func (a ArenaStats) Fragmentation() float64 {
+	if a.Capacity == 0 {
+		return 0
+	}
+	return float64(a.FreeSlots) / float64(a.Capacity)
+}
+
+// CompactionStats summarizes arena-compaction activity.
+type CompactionStats struct {
+	// Runs counts completed compactions, automatic and explicit.
+	Runs int64
+	// SlotsReclaimed totals the arena slots released across all runs.
+	SlotsReclaimed int64
+	// LastDuration is the wall time of the most recent run — the pause
+	// producers on the compacted shard experienced.
+	LastDuration time.Duration
+}
+
+func publicArena(a core.ArenaStats) ArenaStats {
+	return ArenaStats{LiveNodes: a.LiveNodes, FreeSlots: a.FreeSlots, Capacity: a.Capacity, Bytes: a.Bytes}
+}
+
+func publicCompaction(c core.CompactionStats) CompactionStats {
+	return CompactionStats{Runs: c.Runs, SlotsReclaimed: c.SlotsReclaimed, LastDuration: c.LastDuration}
+}
+
+func publicCache(c cache.Stats) CacheStats {
+	return CacheStats{HitRate: c.HitRate(), Hits: c.Hits, Inserts: c.Inserts, Evicted: c.Evicted}
 }
 
 // Stats returns a snapshot of behaviour counters. With ModeParallel,
@@ -399,36 +512,32 @@ type Stats struct {
 func (m *Map) Stats() Stats {
 	if m.sharded != nil {
 		tm := m.sharded.Timings()
-		cs := m.sharded.CacheStats()
-		st := Stats{
-			CacheHitRate:   cs.HitRate(),
-			VoxelsTraced:   tm.VoxelsTraced,
-			VoxelsToOctree: tm.VoxelsToOctree,
-			Batches:        tm.Batches,
-			Shards:         m.sharded.NumShards(),
+		return Stats{
+			Cache: publicCache(m.sharded.CacheStats()),
+			Pipeline: PipelineStats{
+				Batches:        tm.Batches,
+				VoxelsTraced:   tm.VoxelsTraced,
+				VoxelsToOctree: tm.VoxelsToOctree,
+			},
+			Arena:      publicArena(m.sharded.ArenaStats()),
+			Compaction: publicCompaction(m.sharded.CompactionStats()),
+			Shards:     m.sharded.NumShards(),
 		}
-		for _, s := range m.sharded.ShardStats() {
-			st.TreeNodes += s.TreeNodes
-			st.TreeFreeSlots += s.TreeFreeSlots
-			st.TreeCapacity += s.TreeCapacity
-			st.TreeBytes += s.TreeBytes
-		}
-		return st
 	}
 	tm := m.mapper.Timings()
-	cs := m.mapper.CacheStats()
-	tree := m.mapper.Tree()
-	live, free, capacity := tree.ArenaStats()
+	if q, ok := m.mapper.(interface{ Quiesce() }); ok {
+		q.Quiesce() // drain the background applier before reading the tree
+	}
 	return Stats{
-		CacheHitRate:   cs.HitRate(),
-		VoxelsTraced:   tm.VoxelsTraced,
-		VoxelsToOctree: tm.VoxelsToOctree,
-		Batches:        tm.Batches,
-		TreeNodes:      live,
-		TreeFreeSlots:  free,
-		TreeCapacity:   capacity,
-		TreeBytes:      tree.MemoryBytes(),
-		Shards:         1,
+		Cache: publicCache(m.mapper.CacheStats()),
+		Pipeline: PipelineStats{
+			Batches:        tm.Batches,
+			VoxelsTraced:   tm.VoxelsTraced,
+			VoxelsToOctree: tm.VoxelsToOctree,
+		},
+		Arena:      publicArena(core.TreeArenaStats(m.mapper.Tree())),
+		Compaction: publicCompaction(m.mapper.CompactionStats()),
+		Shards:     1,
 	}
 }
 
@@ -436,20 +545,15 @@ func (m *Map) Stats() Stats {
 type ShardStat struct {
 	// Shard is the shard index (its Morton prefix).
 	Shard int
-	// TreeNodes is the shard octree's node count.
-	TreeNodes int
-	// TreeFreeSlots and TreeCapacity describe the shard octree's arena:
-	// recycled slots awaiting reuse, and total node slots (live + free).
-	TreeFreeSlots int
-	TreeCapacity  int
-	// TreeBytes estimates the shard octree's heap footprint.
-	TreeBytes int64
+	// Arena is the shard octree's arena snapshot.
+	Arena ArenaStats
 	// QueueDepth is the number of cells parked in the shard's cache
 	// awaiting eviction or the Close flush.
 	QueueDepth int
-	// CacheHitRate is the fraction of the shard's voxel updates absorbed
-	// by its cache.
-	CacheHitRate float64
+	// Cache summarizes the shard's cache behaviour.
+	Cache CacheStats
+	// Compaction summarizes the shard's arena-compaction activity.
+	Compaction CompactionStats
 }
 
 // ShardStats snapshots every shard of a sharded map; it returns nil for
@@ -462,13 +566,11 @@ func (m *Map) ShardStats() []ShardStat {
 	out := make([]ShardStat, len(raw))
 	for i, s := range raw {
 		out[i] = ShardStat{
-			Shard:         s.Shard,
-			TreeNodes:     s.TreeNodes,
-			TreeFreeSlots: s.TreeFreeSlots,
-			TreeCapacity:  s.TreeCapacity,
-			TreeBytes:     s.TreeBytes,
-			QueueDepth:    s.QueueDepth,
-			CacheHitRate:  s.Cache.HitRate(),
+			Shard:      s.Shard,
+			Arena:      publicArena(s.Arena),
+			QueueDepth: s.QueueDepth,
+			Cache:      publicCache(s.Cache),
+			Compaction: publicCompaction(s.Compaction),
 		}
 	}
 	return out

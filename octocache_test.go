@@ -17,34 +17,43 @@ func scanRing(origin Vec3, radius float64, n int) []Vec3 {
 	return pts
 }
 
-func TestNewCheckedValidates(t *testing.T) {
-	if _, err := NewChecked(Options{}); err == nil {
+func TestNewValidates(t *testing.T) {
+	if _, err := New(Options{}); err == nil {
 		t.Error("zero options accepted")
 	}
-	if _, err := NewChecked(Options{Resolution: -1}); err == nil {
+	if _, err := New(Options{Resolution: -1}); err == nil {
 		t.Error("negative resolution accepted")
 	}
-	m, err := NewChecked(Options{Resolution: 0.1})
+	m, err := New(Options{Resolution: 0.1})
 	if err != nil {
 		t.Fatalf("valid options rejected: %v", err)
 	}
 	m.Close()
+	// The deprecated shim forwards to New.
+	if _, err := NewChecked(Options{}); err == nil {
+		t.Error("NewChecked accepted zero options")
+	}
+	m, err = NewChecked(Options{Resolution: 0.1})
+	if err != nil {
+		t.Fatalf("NewChecked rejected valid options: %v", err)
+	}
+	m.Close()
 }
 
-func TestNewPanicsOnInvalid(t *testing.T) {
+func TestMustNewPanicsOnInvalid(t *testing.T) {
 	defer func() {
 		if recover() == nil {
-			t.Error("New with invalid options did not panic")
+			t.Error("MustNew with invalid options did not panic")
 		}
 	}()
-	New(Options{})
+	MustNew(Options{})
 }
 
 func TestAllModesAgree(t *testing.T) {
 	maps := []*Map{
-		New(Options{Resolution: 0.1, Mode: ModeOctoMap}),
-		New(Options{Resolution: 0.1, Mode: ModeSerial, CacheBuckets: 1 << 12}),
-		New(Options{Resolution: 0.1, Mode: ModeParallel, CacheBuckets: 1 << 12}),
+		MustNew(Options{Resolution: 0.1, Mode: ModeOctoMap}),
+		MustNew(Options{Resolution: 0.1, Mode: ModeSerial, CacheBuckets: 1 << 12}),
+		MustNew(Options{Resolution: 0.1, Mode: ModeParallel, CacheBuckets: 1 << 12}),
 	}
 	origin := V(0, 0, 1)
 	rng := rand.New(rand.NewSource(1))
@@ -71,7 +80,7 @@ func TestAllModesAgree(t *testing.T) {
 }
 
 func TestOccupiedAndProbability(t *testing.T) {
-	m := New(Options{Resolution: 0.1})
+	m := MustNew(Options{Resolution: 0.1})
 	target := V(3, 0, 1)
 	m.Insert(V(0, 0, 1), []Vec3{target})
 	if !m.Occupied(target) {
@@ -93,7 +102,7 @@ func TestOccupiedAndProbability(t *testing.T) {
 }
 
 func TestStatsAndResolution(t *testing.T) {
-	m := New(Options{Resolution: 0.25, Mode: ModeSerial, CacheBuckets: 1 << 10})
+	m := MustNew(Options{Resolution: 0.25, Mode: ModeSerial, CacheBuckets: 1 << 10})
 	if m.Resolution() != 0.25 {
 		t.Errorf("Resolution = %v", m.Resolution())
 	}
@@ -103,19 +112,28 @@ func TestStatsAndResolution(t *testing.T) {
 	}
 	m.Close()
 	st := m.Stats()
-	if st.Batches != 4 || st.VoxelsTraced == 0 || st.TreeNodes == 0 || st.TreeBytes == 0 {
+	if st.Pipeline.Batches != 4 || st.Pipeline.VoxelsTraced == 0 || st.Arena.LiveNodes == 0 || st.Arena.Bytes == 0 {
 		t.Errorf("stats incomplete: %+v", st)
 	}
-	if st.CacheHitRate <= 0.3 {
-		t.Errorf("repeated identical scans should hit the cache hard, got %.2f", st.CacheHitRate)
+	if st.Cache.HitRate <= 0.3 {
+		t.Errorf("repeated identical scans should hit the cache hard, got %.2f", st.Cache.HitRate)
 	}
-	if st.VoxelsToOctree >= st.VoxelsTraced {
+	if st.Cache.Hits == 0 || st.Cache.Inserts == 0 || st.Cache.Evicted == 0 {
+		t.Errorf("cache counters incomplete: %+v", st.Cache)
+	}
+	if st.Pipeline.VoxelsToOctree >= st.Pipeline.VoxelsTraced {
 		t.Error("cache absorbed nothing")
+	}
+	if st.Arena.Occupancy() <= 0 || st.Arena.Occupancy() > 1 {
+		t.Errorf("arena occupancy %v out of (0, 1]", st.Arena.Occupancy())
+	}
+	if got := st.Arena.Fragmentation() + st.Arena.Occupancy(); math.Abs(got-1) > 1e-12 {
+		t.Errorf("occupancy %v + fragmentation %v != 1", st.Arena.Occupancy(), st.Arena.Fragmentation())
 	}
 }
 
 func TestWriteTo(t *testing.T) {
-	m := New(Options{Resolution: 0.1, MaxRange: 5})
+	m := MustNew(Options{Resolution: 0.1, MaxRange: 5})
 	m.Insert(V(0, 0, 1), scanRing(V(0, 0, 1), 2, 100))
 	m.Close()
 	var buf bytes.Buffer
@@ -129,21 +147,21 @@ func TestWriteTo(t *testing.T) {
 }
 
 func TestDedupRaysMode(t *testing.T) {
-	a := New(Options{Resolution: 0.1, Mode: ModeSerial, DedupRays: true, CacheBuckets: 1 << 10})
+	a := MustNew(Options{Resolution: 0.1, Mode: ModeSerial, DedupRays: true, CacheBuckets: 1 << 10})
 	origin := V(0, 0, 1)
 	a.Insert(origin, scanRing(origin, 2, 300))
 	a.Close()
 	st := a.Stats()
 	// With per-batch dedup the trace stream has no duplicates, so a
 	// single batch cannot produce cache hits.
-	if st.CacheHitRate != 0 {
-		t.Errorf("single deduped batch hit rate = %v, want 0", st.CacheHitRate)
+	if st.Cache.HitRate != 0 {
+		t.Errorf("single deduped batch hit rate = %v, want 0", st.Cache.HitRate)
 	}
 }
 
 func TestArenaOptionAgreesWithHeap(t *testing.T) {
-	a := New(Options{Resolution: 0.1, Mode: ModeSerial, CacheBuckets: 1 << 10})
-	b := New(Options{Resolution: 0.1, Mode: ModeSerial, CacheBuckets: 1 << 10, Arena: true})
+	a := MustNew(Options{Resolution: 0.1, Mode: ModeSerial, CacheBuckets: 1 << 10})
+	b := MustNew(Options{Resolution: 0.1, Mode: ModeSerial, CacheBuckets: 1 << 10, Arena: true})
 	origin := V(0, 0, 1)
 	rng := rand.New(rand.NewSource(9))
 	for i := 0; i < 5; i++ {
@@ -167,23 +185,26 @@ func TestArenaOptionAgreesWithHeap(t *testing.T) {
 	b.Close()
 }
 
-func TestNewCheckedRejectsNegativeOptions(t *testing.T) {
+func TestNewRejectsNegativeOptions(t *testing.T) {
 	cases := []Options{
 		{Resolution: 0.1, CacheBuckets: -1},
 		{Resolution: 0.1, CacheTau: -3},
 		{Resolution: 0.1, Shards: -2},
 		{Resolution: 0.1, Shards: MaxShards * 2},
+		{Resolution: 0.1, Compaction: CompactionPolicy{MinFreeFraction: -0.5}},
+		{Resolution: 0.1, Compaction: CompactionPolicy{MinFreeFraction: 1.5}},
+		{Resolution: 0.1, Compaction: CompactionPolicy{MinFreeFraction: 0.5, MinFreeSlots: -1}},
 	}
 	for i, opts := range cases {
-		if _, err := NewChecked(opts); err == nil {
+		if _, err := New(opts); err == nil {
 			t.Errorf("case %d: invalid options %+v accepted", i, opts)
 		}
 	}
 }
 
 func TestShardedAgreesWithSerial(t *testing.T) {
-	ref := New(Options{Resolution: 0.1, Mode: ModeSerial, CacheBuckets: 1 << 12})
-	sh := New(Options{Resolution: 0.1, Shards: 4, CacheBuckets: 1 << 12})
+	ref := MustNew(Options{Resolution: 0.1, Mode: ModeSerial, CacheBuckets: 1 << 12})
+	sh := MustNew(Options{Resolution: 0.1, Shards: 4, CacheBuckets: 1 << 12})
 	if sh.Shards() != 4 || ref.Shards() != 1 {
 		t.Fatalf("Shards() = %d / %d", sh.Shards(), ref.Shards())
 	}
@@ -248,7 +269,7 @@ func TestInsertAfterCloseReturnsErrClosed(t *testing.T) {
 		{Resolution: 0.1, Mode: ModeSerial, CacheBuckets: 1 << 10},
 		{Resolution: 0.1, Shards: 2, CacheBuckets: 1 << 10},
 	} {
-		m := New(opts)
+		m := MustNew(opts)
 		origin := V(0, 0, 1)
 		pts := scanRing(origin, 2, 50)
 		if err := m.Insert(origin, pts); err != nil {
@@ -270,7 +291,7 @@ func TestInsertAfterCloseReturnsErrClosed(t *testing.T) {
 }
 
 func TestShardedStats(t *testing.T) {
-	m := New(Options{Resolution: 0.1, Shards: 3, CacheBuckets: 1 << 10})
+	m := MustNew(Options{Resolution: 0.1, Shards: 3, CacheBuckets: 1 << 10})
 	if m.Shards() != 4 {
 		t.Errorf("Shards() = %d, want 4 (rounded up)", m.Shards())
 	}
@@ -284,7 +305,7 @@ func TestShardedStats(t *testing.T) {
 		t.Fatal(err)
 	}
 	st := m.Stats()
-	if st.Shards != 4 || st.Batches != 3 || st.VoxelsTraced == 0 || st.TreeNodes == 0 {
+	if st.Shards != 4 || st.Pipeline.Batches != 3 || st.Pipeline.VoxelsTraced == 0 || st.Arena.LiveNodes == 0 {
 		t.Errorf("stats incomplete: %+v", st)
 	}
 	per := m.ShardStats()
@@ -296,13 +317,13 @@ func TestShardedStats(t *testing.T) {
 		if s.QueueDepth != 0 {
 			t.Errorf("shard %d queue depth %d after Close", s.Shard, s.QueueDepth)
 		}
-		sum += s.TreeNodes
+		sum += s.Arena.LiveNodes
 	}
-	if sum != st.TreeNodes {
-		t.Errorf("per-shard nodes %d != aggregate %d", sum, st.TreeNodes)
+	if sum != st.Arena.LiveNodes {
+		t.Errorf("per-shard nodes %d != aggregate %d", sum, st.Arena.LiveNodes)
 	}
 	// Single-driver maps report no per-shard breakdown.
-	u := New(Options{Resolution: 0.1, Mode: ModeSerial, CacheBuckets: 1 << 10})
+	u := MustNew(Options{Resolution: 0.1, Mode: ModeSerial, CacheBuckets: 1 << 10})
 	if u.ShardStats() != nil {
 		t.Error("unsharded ShardStats not nil")
 	}
@@ -313,7 +334,7 @@ func TestShardedStats(t *testing.T) {
 // — single-driver and sharded — answering identically, accepting further
 // scans, and reserializing to the same bytes when untouched.
 func TestOpenRoundTrip(t *testing.T) {
-	src := New(Options{Resolution: 0.1, Mode: ModeSerial, CacheBuckets: 1 << 10, MaxRange: 6})
+	src := MustNew(Options{Resolution: 0.1, Mode: ModeSerial, CacheBuckets: 1 << 10, MaxRange: 6})
 	origins := []Vec3{V(0, 0, 0.5), V(-2, 1.5, -0.5), V(1.5, -2, 1)}
 	var probes []Vec3
 	for i, origin := range origins {
@@ -392,11 +413,11 @@ func TestOpenRoundTrip(t *testing.T) {
 // bit-identically to the unsharded serial pipeline on the same stream —
 // Mode is no longer ignored when Shards >= 1.
 func TestModeComposesWithShards(t *testing.T) {
-	ref := New(Options{Resolution: 0.1, Mode: ModeSerial, CacheBuckets: 1 << 10})
+	ref := MustNew(Options{Resolution: 0.1, Mode: ModeSerial, CacheBuckets: 1 << 10})
 	var maps []*Map
 	for _, mode := range []Mode{ModeParallel, ModeSerial, ModeOctoMap} {
 		for _, shards := range []int{0, 1, 4} {
-			maps = append(maps, New(Options{
+			maps = append(maps, MustNew(Options{
 				Resolution: 0.1, Mode: mode, Shards: shards, CacheBuckets: 1 << 10,
 			}))
 		}
