@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-json verify
+.PHONY: build test vet lint-imports race bench bench-json verify
 
 build:
 	$(GO) build ./...
@@ -11,17 +11,36 @@ test:
 vet:
 	$(GO) vet ./...
 
+# Backend encapsulation gate: the raw octree is an implementation detail
+# behind core.Backend/core.Snapshot. Only internal/core and the octree
+# package itself may import it in non-test code; everything else goes
+# through the backend-neutral surface. Tests anywhere may reach in.
+lint-imports:
+	@bad=$$(grep -rl '"octocache/internal/octree"' --include='*.go' . \
+		| grep -v '_test\.go$$' \
+		| grep -v '^\./internal/core/' \
+		| grep -v '^\./internal/octree/' || true); \
+	if [ -n "$$bad" ]; then \
+		echo "internal/octree imported outside internal/core in:"; \
+		echo "$$bad"; exit 1; \
+	fi
+
 # The concurrency gate: the sharded map service and the core pipelines
 # under the race detector (the shard tests drive >= 4 producers). nav
 # runs twice: missions are deterministic under the virtual clock, so
 # repeated identical runs are the flake tripwire — any divergence or
 # second-run failure is a real regression, not host load. The third line
 # gates compaction: the arena rebuild racing inserts, queries, and Close
-# at every layer (octree, engine, sharded map, public API), twice.
+# at every layer (octree, engine, sharded map, public API), twice. The
+# fourth line gates the grid backend: the brick-grid unit/differential
+# suite plus the full backend × mode × shard consistency matrix, whose
+# ModeParallel/grid cells drive the async applier against a grid store.
 race:
 	$(GO) test -race ./internal/shard/... ./internal/core/...
 	$(GO) test -race -count=2 ./internal/nav/... ./internal/clock/... ./internal/spsc/...
 	$(GO) test -race -count=2 -run Compact ./internal/octree/... ./internal/core/... ./internal/shard/... .
+	$(GO) test -race ./internal/vdbgrid/...
+	$(GO) test -race -run 'Backend|OpenAcrossBackends|SnapshotAndWalkLeaves' .
 
 bench:
 	$(GO) test -bench . -benchtime 1x ./...
@@ -32,5 +51,5 @@ BENCHTIME ?= 1s
 bench-json:
 	$(GO) run ./cmd/benchjson -benchtime $(BENCHTIME) -o BENCH_core.json
 
-verify: vet race
+verify: vet lint-imports race
 	$(GO) build ./... && $(GO) test ./...

@@ -8,7 +8,10 @@
 // uses testing.Benchmark so the numbers are directly comparable to
 // `go test -bench Insert` output. A second, prune-heavy workload
 // measures arena fragmentation before/after an explicit Compact and the
-// rebuild pause (schema v2).
+// rebuild pause (schema v2). Schema v3 adds per-backend insert rows:
+// the octree rows keep their v2 keys ("octomap", "serial", "parallel")
+// so trajectories stay comparable across PRs, and the brick-grid
+// backend appends "-grid" variants.
 package main
 
 import (
@@ -66,7 +69,7 @@ func scanRing() []octocache.Vec3 {
 	return pts
 }
 
-func benchInsert(mode octocache.Mode) (insertResult, float64, float64) {
+func benchInsert(mode octocache.Mode, backend octocache.Backend) (insertResult, float64, float64) {
 	origin := octocache.V(0, 0, 1.2)
 	pts := scanRing()
 	var hitRate, occupancy float64
@@ -74,6 +77,7 @@ func benchInsert(mode octocache.Mode) (insertResult, float64, float64) {
 		m := octocache.MustNew(octocache.Options{
 			Resolution:   0.1,
 			Mode:         mode,
+			Backend:      backend,
 			MaxRange:     8,
 			CacheBuckets: 1 << 14,
 		})
@@ -155,21 +159,26 @@ func main() {
 	}
 
 	rep := report{
-		Schema:    "octocache-bench-core/v2",
+		Schema:    "octocache-bench-core/v3",
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
 		Insert:    make(map[string]insertResult),
 	}
 	for _, mc := range []struct {
-		name string
-		mode octocache.Mode
+		name    string
+		mode    octocache.Mode
+		backend octocache.Backend
 	}{
-		{"octomap", octocache.ModeOctoMap},
-		{"serial", octocache.ModeSerial},
-		{"parallel", octocache.ModeParallel},
+		// Octree-backend rows keep their v2 keys.
+		{"octomap", octocache.ModeOctoMap, octocache.BackendOctree},
+		{"serial", octocache.ModeSerial, octocache.BackendOctree},
+		{"parallel", octocache.ModeParallel, octocache.BackendOctree},
+		{"octomap-grid", octocache.ModeOctoMap, octocache.BackendGrid},
+		{"serial-grid", octocache.ModeSerial, octocache.BackendGrid},
+		{"parallel-grid", octocache.ModeParallel, octocache.BackendGrid},
 	} {
-		res, hitRate, occupancy := benchInsert(mc.mode)
+		res, hitRate, occupancy := benchInsert(mc.mode, mc.backend)
 		rep.Insert[mc.name] = res
 		if mc.name == "serial" {
 			rep.CacheHitRate = hitRate

@@ -28,6 +28,7 @@ func main() {
 		res      = flag.Float64("res", 0.1, "mapping resolution in meters")
 		scale    = flag.Float64("scale", 0.5, "dataset scale (1.0 = paper-sized)")
 		rt       = flag.Bool("rt", false, "use deduplicating (OctoMap-RT style) ray tracing")
+		backend  = flag.String("backend", "octree", "voxel store backend: octree or grid")
 		tau      = flag.Int("tau", 4, "cache bucket depth τ")
 		buckets  = flag.Int("buckets", 0, "cache bucket count w (0 = auto-size at 3.5x batch distinct voxels)")
 		out      = flag.String("out", "", "write the finished octree to this file")
@@ -57,6 +58,11 @@ func main() {
 	fmt.Printf("  %d scans, %d points\n", len(ds.Scans), ds.TotalPoints())
 
 	cfg := core.DefaultConfig(*res)
+	cfg.Backend, err = core.ParseBackendKind(*backend)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mapbuilder:", err)
+		os.Exit(1)
+	}
 	cfg.MaxRange = ds.Sensor.MaxRange
 	cfg.RT = *rt
 	cfg.CacheTau = *tau
@@ -94,9 +100,9 @@ func main() {
 		fmt.Printf("cache: %.1f%% hit rate (%d hits / %d inserts), %d evicted\n",
 			100*cs.HitRate(), cs.Hits, cs.Inserts, cs.Evicted)
 	}
-	tree := m.Tree()
-	fmt.Printf("octree: %d nodes, %d leaves, ~%.1f MB\n",
-		tree.NumNodes(), tree.NumLeaves(), float64(tree.MemoryBytes())/(1<<20))
+	snap := m.Snapshot()
+	fmt.Printf("map (%s backend): %d nodes, %d leaves, ~%.1f MB\n",
+		m.Backend(), snap.NumNodes(), snap.NumLeaves(), float64(snap.MemoryBytes())/(1<<20))
 
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -104,7 +110,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "mapbuilder:", err)
 			os.Exit(1)
 		}
-		n, err := tree.WriteTo(f)
+		n, err := snap.WriteTo(f)
 		if cerr := f.Close(); err == nil {
 			err = cerr
 		}
@@ -116,7 +122,7 @@ func main() {
 	}
 	if *slice != "" {
 		bounds := ds.World.Bounds
-		s := viz.Sample(viz.FromTree(tree), bounds.Min, bounds.Max, *sliceZ,
+		s := viz.Sample(snap, bounds.Min, bounds.Max, *sliceZ,
 			*res, cfg.Octree.OccupancyThreshold)
 		f, err := os.Create(*slice)
 		if err != nil {

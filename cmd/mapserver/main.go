@@ -32,6 +32,7 @@ func main() {
 		queriers  = flag.Int("queriers", 2, "concurrent query goroutines")
 		res       = flag.Float64("res", 0.1, "mapping resolution in meters")
 		scale     = flag.Float64("scale", 0.5, "dataset scale (1.0 = paper-sized)")
+		backend   = flag.String("backend", "octree", "voxel store backend: octree or grid")
 		out       = flag.String("out", "", "write the merged octree to this file")
 	)
 	flag.Parse()
@@ -47,6 +48,17 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("  %d scans, %d points\n", len(ds.Scans), ds.TotalPoints())
+
+	var bk octocache.Backend
+	switch *backend {
+	case "octree":
+		bk = octocache.BackendOctree
+	case "grid":
+		bk = octocache.BackendGrid
+	default:
+		fmt.Fprintf(os.Stderr, "mapserver: unknown -backend %q (want octree or grid)\n", *backend)
+		os.Exit(1)
+	}
 
 	var md octocache.Mode
 	switch *mode {
@@ -65,6 +77,7 @@ func main() {
 		Resolution: *res,
 		Mode:       md,
 		Shards:     *shards,
+		Backend:    bk,
 		MaxRange:   ds.Sensor.MaxRange,
 		Compaction: octocache.CompactionPolicy{MinFreeFraction: 0.25, MinFreeSlots: 1024},
 	})
@@ -72,8 +85,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mapserver:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("serving %d %s-pipeline shards to %d producers and %d queriers...\n",
-		m.Shards(), *mode, *producers, *queriers)
+	fmt.Printf("serving %d %s-pipeline shards (%s backend) to %d producers and %d queriers...\n",
+		m.Shards(), *mode, m.Backend(), *producers, *queriers)
 
 	// Queriers probe scan endpoints (mix of occupied surfaces and not-yet
 	// -mapped space) and cast rays from scan origins until producers stop.
@@ -138,15 +151,15 @@ func main() {
 		queries.Load(), rays.Load())
 	fmt.Printf("cache: %.1f%% hit rate; %d voxels traced, %d reached the octrees\n",
 		100*st.Cache.HitRate, st.Pipeline.VoxelsTraced, st.Pipeline.VoxelsToOctree)
-	fmt.Printf("octrees: %d nodes total, ~%.1f MB across %d shards, arena %.0f%% occupied\n",
-		st.Arena.LiveNodes, float64(st.Arena.Bytes)/(1<<20), st.Shards, 100*st.Arena.Occupancy())
+	fmt.Printf("stores (%s): %d nodes total, ~%.1f MB across %d shards, arena %.0f%% occupied\n",
+		st.Backend, st.Arena.LiveNodes, float64(st.Arena.Bytes)/(1<<20), st.Shards, 100*st.Arena.Occupancy())
 	fmt.Printf("compaction: %d runs, %d slots reclaimed (last pause %v)\n",
 		st.Compaction.Runs, st.Compaction.SlotsReclaimed, st.Compaction.LastDuration)
 	fmt.Println("\nper-shard breakdown:")
-	fmt.Printf("  %5s  %9s  %9s  %6s  %8s  %9s\n", "shard", "nodes", "bytes", "queue", "hit rate", "compacts")
+	fmt.Printf("  %5s  %7s  %9s  %9s  %6s  %8s  %9s\n", "shard", "backend", "nodes", "bytes", "queue", "hit rate", "compacts")
 	for _, s := range m.ShardStats() {
-		fmt.Printf("  %5d  %9d  %9d  %6d  %7.1f%%  %9d\n",
-			s.Shard, s.Arena.LiveNodes, s.Arena.Bytes, s.QueueDepth, 100*s.Cache.HitRate, s.Compaction.Runs)
+		fmt.Printf("  %5d  %7s  %9d  %9d  %6d  %7.1f%%  %9d\n",
+			s.Shard, s.Backend, s.Arena.LiveNodes, s.Arena.Bytes, s.QueueDepth, 100*s.Cache.HitRate, s.Compaction.Runs)
 	}
 
 	if *out != "" {

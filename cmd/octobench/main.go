@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"octocache/internal/bench"
+	"octocache/internal/core"
 )
 
 func main() {
@@ -27,6 +28,7 @@ func main() {
 		list    = flag.Bool("list", false, "list available experiments and exit")
 		run     = flag.String("run", "", "comma-separated experiment ids, or 'all'")
 		scale   = flag.Float64("scale", 0.25, "workload scale (1.0 = paper-sized, 0.1 = quick)")
+		backend = flag.String("backend", "octree", "voxel store backend: octree or grid")
 		verbose = flag.Bool("v", false, "progress output")
 		csvDir  = flag.String("csv", "", "also write each table as CSV into this directory")
 	)
@@ -54,7 +56,12 @@ func main() {
 		}
 	}
 
-	opt := bench.Options{Scale: *scale, Verbose: *verbose, Out: os.Stderr}
+	bk, err := core.ParseBackendKind(*backend)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "octobench:", err)
+		os.Exit(1)
+	}
+	opt := bench.Options{Scale: *scale, Backend: bk, Verbose: *verbose, Out: os.Stderr}
 	exit := 0
 	for _, id := range ids {
 		e, ok := bench.Find(id)

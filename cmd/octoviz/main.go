@@ -14,7 +14,7 @@ import (
 	"fmt"
 	"os"
 
-	"octocache/internal/octree"
+	"octocache/internal/core"
 	"octocache/internal/viz"
 )
 
@@ -41,11 +41,11 @@ func main() {
 	}
 	defer f.Close()
 
-	tree := octree.New(octree.DefaultParams(0.1))
+	var snap *core.Snapshot
 	if *bt {
-		err = tree.ReadBT(f)
+		snap, err = core.ReadSnapshotBT(f)
 	} else {
-		_, err = tree.ReadFrom(f)
+		snap, err = core.ReadSnapshot(f)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "octoviz:", err)
@@ -53,23 +53,23 @@ func main() {
 	}
 
 	fmt.Printf("%s: resolution %.3fm, %d nodes, %d leaves, ~%.2f MB\n",
-		*in, tree.Resolution(), tree.NumNodes(), tree.NumLeaves(),
-		float64(tree.MemoryBytes())/(1<<20))
-	box, ok := tree.BBox()
+		*in, snap.Resolution(), snap.NumNodes(), snap.NumLeaves(),
+		float64(snap.MemoryBytes())/(1<<20))
+	box, ok := snap.BBox()
 	if !ok {
 		fmt.Println("tree is empty")
 		return
 	}
 	fmt.Printf("extent: %v .. %v\n", box.Min, box.Max)
-	occupied := len(tree.OccupiedLeaves())
+	occupied := len(snap.OccupiedLeaves())
 	fmt.Printf("occupied leaves: %d\n", occupied)
 
 	pitch := *cell
 	if pitch <= 0 {
-		pitch = tree.Resolution() * 2
+		pitch = snap.Resolution() * 2
 	}
-	s := viz.Sample(viz.FromTree(tree), box.Min, box.Max, *z, pitch,
-		tree.Params().OccupancyThreshold)
+	s := viz.Sample(snap, box.Min, box.Max, *z, pitch,
+		snap.Params().OccupancyThreshold)
 	un, fr, oc := s.Counts()
 	fmt.Printf("slice z=%.2f: %d occupied / %d free / %d unknown cells\n", *z, oc, fr, un)
 

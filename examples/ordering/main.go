@@ -13,8 +13,9 @@ import (
 	"sort"
 	"time"
 
+	"octocache/internal/core"
 	"octocache/internal/morton"
-	"octocache/internal/octree"
+	"octocache/internal/voxel"
 )
 
 func main() {
@@ -23,11 +24,11 @@ func main() {
 
 	// Voxels clustered into random blobs, like obstacle surfaces.
 	rng := rand.New(rand.NewSource(42))
-	keys := make([]octree.Key, 0, *n)
+	keys := make([]voxel.Key, 0, *n)
 	for len(keys) < *n {
 		cx, cy, cz := rng.Intn(1<<16), rng.Intn(1<<16), rng.Intn(1<<16)
 		for i := 0; i < 500 && len(keys) < *n; i++ {
-			keys = append(keys, octree.Key{
+			keys = append(keys, voxel.Key{
 				X: uint16(cx + rng.Intn(64)),
 				Y: uint16(cy + rng.Intn(64)),
 				Z: uint16(cz + rng.Intn(8)),
@@ -37,16 +38,16 @@ func main() {
 
 	orders := []struct {
 		name    string
-		arrange func([]octree.Key) []octree.Key
+		arrange func([]voxel.Key) []voxel.Key
 	}{
-		{"random", func(ks []octree.Key) []octree.Key {
-			out := append([]octree.Key(nil), ks...)
+		{"random", func(ks []voxel.Key) []voxel.Key {
+			out := append([]voxel.Key(nil), ks...)
 			rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
 			return out
 		}},
-		{"original", func(ks []octree.Key) []octree.Key { return ks }},
-		{"morton", func(ks []octree.Key) []octree.Key {
-			out := append([]octree.Key(nil), ks...)
+		{"original", func(ks []voxel.Key) []voxel.Key { return ks }},
+		{"morton", func(ks []voxel.Key) []voxel.Key {
+			out := append([]voxel.Key(nil), ks...)
 			sort.Slice(out, func(i, j int) bool { return out[i].Morton() < out[j].Morton() })
 			return out
 		}},
@@ -62,7 +63,7 @@ func main() {
 		}
 		f := morton.F(codes, 16)
 
-		tree := octree.New(octree.DefaultParams(0.05))
+		tree := core.NewTree(voxel.DefaultParams(0.05))
 		start := time.Now()
 		for _, k := range seq {
 			tree.UpdateOccupied(k)

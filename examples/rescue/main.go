@@ -109,7 +109,7 @@ func main() {
 		if kind == core.KindParallel {
 			// Render the finished map: top-down slice at flight altitude,
 			// restricted to the surveyed area.
-			s := viz.Sample(viz.FromTree(m.Tree()),
+			s := viz.Sample(m.Snapshot(),
 				geom.V(0, -20, 0), geom.V(50, 20, 0), 1.0, 0.6, 0)
 			fmt.Println("\noccupancy slice at z=1m ('#' occupied, '.' free, ' ' unknown):")
 			fmt.Print(s.ASCII())

@@ -43,7 +43,7 @@ func runTable1(opt Options) ([]*Table, error) {
 			return nil, err
 		}
 		res := referenceResolution(name)
-		cfg := constructionConfig(ds, res, false)
+		cfg := constructionConfig(ds, res, false, opt.Backend)
 		for _, kind := range kinds {
 			opt.logf("tab1: %s/%v", name, kind)
 			m := core.MustNew(kind, cfg)
@@ -51,10 +51,7 @@ func runTable1(opt Options) ([]*Table, error) {
 			tm, _ := replay(m, ds)
 			wall := time.Since(start)
 
-			mem := m.Tree().MemoryBytes()
-			if vc, ok := m.(interface{ MemoryBytes() int64 }); ok {
-				mem = vc.MemoryBytes()
-			}
+			mem := m.MemoryBytes()
 			t.AddRow(
 				name,
 				m.Name(),
@@ -84,18 +81,18 @@ func runFig1(opt Options) ([]*Table, error) {
 			return nil, err
 		}
 		res := referenceResolution(name)
-		cfg := constructionConfig(ds, res, false)
+		cfg := constructionConfig(ds, res, false, opt.Backend)
 		// A generously sized cache realizes the figure's best case.
 		cfg.CacheBuckets *= 4
 		opt.logf("fig1: %s", name)
 
 		base := core.MustNew(core.KindOctoMap, cfg)
 		replay(base, ds)
-		baseVisits := base.Tree().NodeVisits()
+		baseVisits := base.NodeVisits()
 
 		oc := core.MustNew(core.KindSerial, cfg)
 		_, cs := replay(oc, ds)
-		ocVisits := oc.Tree().NodeVisits()
+		ocVisits := oc.NodeVisits()
 
 		ratio := 0.0
 		if baseVisits > 0 {
@@ -138,7 +135,7 @@ func runAblDownsample(opt Options) ([]*Table, error) {
 			return nil, err
 		}
 		res := referenceResolution(name)
-		cfg := constructionConfig(ds, res, false)
+		cfg := constructionConfig(ds, res, false, opt.Backend)
 
 		type variant struct {
 			label      string

@@ -25,6 +25,9 @@ type Options struct {
 	// Scale shrinks datasets and sweeps; 1.0 is the paper-sized setup,
 	// small values (0.1–0.3) give minute-scale runs. Default 0.25.
 	Scale float64
+	// Backend selects the voxel store experiments build their pipelines
+	// on; the zero value is the octree.
+	Backend core.BackendKind
 	// Verbose enables progress notes on Out.
 	Verbose bool
 	// Out receives progress notes when Verbose is set.
@@ -203,8 +206,9 @@ func replay(m core.Mapper, ds *dataset.Dataset) (core.Timings, cache.Stats) {
 // constructionConfig sizes a pipeline for a dataset replay following
 // §5.2: the cache holds 3–4x the average per-batch distinct voxels, τ=4,
 // Morton indexing.
-func constructionConfig(ds *dataset.Dataset, res float64, rt bool) core.Config {
+func constructionConfig(ds *dataset.Dataset, res float64, rt bool, backend core.BackendKind) core.Config {
 	cfg := core.DefaultConfig(res)
+	cfg.Backend = backend
 	cfg.MaxRange = ds.Sensor.MaxRange
 	cfg.RT = rt
 	cfg.CacheTau = 4

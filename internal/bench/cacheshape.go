@@ -47,11 +47,11 @@ func runFig23(opt Options) ([]*Table, error) {
 				w = 16
 			}
 			opt.logf("fig23: %s w=%d", name, w)
-			cfg := constructionConfig(ds, res, false)
+			cfg := constructionConfig(ds, res, false, opt.Backend)
 			cfg.CacheBuckets = w
 			m := core.MustNew(core.KindSerial, cfg)
 			_, cs := replay(m, ds)
-			treeMem := m.Tree().MemoryBytes()
+			treeMem := m.MemoryBytes()
 			cacheMem := int64(cfg.CacheBuckets) * int64(cfg.CacheTau) * cache.NominalBytes
 			frac := 0.0
 			if treeMem > 0 {
@@ -91,7 +91,7 @@ func runFig24(opt Options) ([]*Table, error) {
 				w = 16
 			}
 			opt.logf("fig24: %s tau=%d", name, tau)
-			cfg := constructionConfig(ds, res, false)
+			cfg := constructionConfig(ds, res, false, opt.Backend)
 			cfg.CacheTau = tau
 			cfg.CacheBuckets = w
 			dur := timeReplay(core.KindSerial, cfg, ds)
@@ -133,7 +133,7 @@ func runAblOrder(opt Options) ([]*Table, error) {
 		res := referenceResolution(name)
 		for _, v := range variants {
 			opt.logf("abl-order: %s %v/%v", name, v.index, v.order)
-			cfg := constructionConfig(ds, res, false)
+			cfg := constructionConfig(ds, res, false, opt.Backend)
 			cfg.CacheIndex = v.index
 			cfg.EvictOrder = v.order
 			dur := timeReplay(core.KindSerial, cfg, ds)
@@ -188,7 +188,7 @@ func runAblArena(opt Options) ([]*Table, error) {
 		res := referenceResolution(name)
 		for _, kind := range []core.Kind{core.KindOctoMap, core.KindSerial} {
 			opt.logf("abl-arena: %s/%v", name, kind)
-			cfg := constructionConfig(ds, res, false)
+			cfg := constructionConfig(ds, res, false, opt.Backend)
 			m := core.MustNew(kind, cfg)
 			start := time.Now()
 			for _, s := range ds.Scans {
@@ -196,10 +196,10 @@ func runAblArena(opt Options) ([]*Table, error) {
 			}
 			m.Close()
 			dur := time.Since(start)
-			live, free, capacity := m.Tree().ArenaStats()
+			as := m.ArenaStats()
 			t.AddRow(name, kind.String(), fmtDur(dur.Seconds()),
-				fmt.Sprint(live), fmt.Sprint(free), fmt.Sprint(capacity),
-				fmtBytes(m.Tree().MemoryBytes()))
+				fmt.Sprint(as.LiveNodes), fmt.Sprint(as.FreeSlots), fmt.Sprint(as.Capacity),
+				fmtBytes(as.Bytes))
 		}
 	}
 	return []*Table{t}, nil

@@ -38,7 +38,7 @@ func runAblCompact(opt Options) ([]*Table, error) {
 		}
 		opt.logf("abl-compact: %s", name)
 		res := referenceResolution(name)
-		cfg := constructionConfig(ds, res, false)
+		cfg := constructionConfig(ds, res, false, opt.Backend)
 		m := core.MustNew(core.KindSerial, cfg)
 		// First pass builds the map; the repeats are the prune-heavy
 		// phase: re-observation saturates free space and collapses
@@ -53,12 +53,12 @@ func runAblCompact(opt Options) ([]*Table, error) {
 		if len(probe) > 30 {
 			probe = probe[:30]
 		}
-		before := core.TreeArenaStats(m.Tree())
+		before := m.ArenaStats()
 		pre := timeScans(m, probe)
 		if err := m.Compact(); err != nil {
 			return nil, err
 		}
-		after := core.TreeArenaStats(m.Tree())
+		after := m.ArenaStats()
 		post := timeScans(m, probe)
 		cs := m.CompactionStats()
 		m.Close()

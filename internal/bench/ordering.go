@@ -6,10 +6,11 @@ import (
 	"sort"
 	"time"
 
+	"octocache/internal/core"
 	"octocache/internal/dataset"
 	"octocache/internal/morton"
-	"octocache/internal/octree"
 	"octocache/internal/raytrace"
+	"octocache/internal/voxel"
 )
 
 func init() {
@@ -24,13 +25,13 @@ func init() {
 // batch and returns the keys in the requested insertion order.
 type ordering struct {
 	name  string
-	apply func(keys []octree.Key, rng *rand.Rand) []octree.Key
+	apply func(keys []voxel.Key, rng *rand.Rand) []voxel.Key
 }
 
 func orderings() []ordering {
-	byAxis := func(axis int) func([]octree.Key, *rand.Rand) []octree.Key {
-		return func(keys []octree.Key, _ *rand.Rand) []octree.Key {
-			out := append([]octree.Key(nil), keys...)
+	byAxis := func(axis int) func([]voxel.Key, *rand.Rand) []voxel.Key {
+		return func(keys []voxel.Key, _ *rand.Rand) []voxel.Key {
+			out := append([]voxel.Key(nil), keys...)
 			sort.Slice(out, func(i, j int) bool {
 				a, b := out[i], out[j]
 				switch axis {
@@ -64,17 +65,17 @@ func orderings() []ordering {
 		}
 	}
 	return []ordering{
-		{"random", func(keys []octree.Key, rng *rand.Rand) []octree.Key {
-			out := append([]octree.Key(nil), keys...)
+		{"random", func(keys []voxel.Key, rng *rand.Rand) []voxel.Key {
+			out := append([]voxel.Key(nil), keys...)
 			rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
 			return out
 		}},
 		{"sort-x", byAxis(0)},
 		{"sort-y", byAxis(1)},
 		{"sort-z", byAxis(2)},
-		{"original", func(keys []octree.Key, _ *rand.Rand) []octree.Key { return keys }},
-		{"morton", func(keys []octree.Key, _ *rand.Rand) []octree.Key {
-			out := append([]octree.Key(nil), keys...)
+		{"original", func(keys []voxel.Key, _ *rand.Rand) []voxel.Key { return keys }},
+		{"morton", func(keys []voxel.Key, _ *rand.Rand) []voxel.Key {
+			out := append([]voxel.Key(nil), keys...)
 			sort.Slice(out, func(i, j int) bool { return out[i].Morton() < out[j].Morton() })
 			return out
 		}},
@@ -127,9 +128,9 @@ func runFig10(opt Options) ([]*Table, error) {
 
 // collectVoxels traces the dataset until target voxel observations are
 // gathered (duplicates included, as in the paper's raw update stream).
-func collectVoxels(ds *dataset.Dataset, res float64, target int) []octree.Key {
+func collectVoxels(ds *dataset.Dataset, res float64, target int) []voxel.Key {
 	tr := raytrace.NewTracer(raytrace.Config{Resolution: res, Depth: 16, MaxRange: ds.Sensor.MaxRange})
-	keys := make([]octree.Key, 0, target)
+	keys := make([]voxel.Key, 0, target)
 	for _, s := range ds.Scans {
 		for _, v := range tr.Trace(s.Origin, s.Points) {
 			keys = append(keys, v.Key)
@@ -146,7 +147,7 @@ func collectVoxels(ds *dataset.Dataset, res float64, target int) []octree.Key {
 // plus the tree's node-visit count (identical across orders: the visit
 // count depends only on the voxel set, while the *cache behaviour* of
 // those visits depends on the order — which is the whole point).
-func timeInsertion(keys []octree.Key, res float64) (float64, int64) {
+func timeInsertion(keys []voxel.Key, res float64) (float64, int64) {
 	reps := 1
 	if len(keys) < 500_000 {
 		reps = 3
@@ -154,7 +155,7 @@ func timeInsertion(keys []octree.Key, res float64) (float64, int64) {
 	best := time.Duration(1<<63 - 1)
 	var visits int64
 	for r := 0; r < reps; r++ {
-		tree := octree.New(octree.DefaultParams(res))
+		tree := core.NewTree(voxel.DefaultParams(res))
 		start := time.Now()
 		for _, k := range keys {
 			tree.UpdateOccupied(k)
@@ -168,7 +169,7 @@ func timeInsertion(keys []octree.Key, res float64) (float64, int64) {
 }
 
 // fValue computes F(S) over the sequence's Morton codes at full depth.
-func fValue(keys []octree.Key) int {
+func fValue(keys []voxel.Key) int {
 	codes := make([]uint64, len(keys))
 	for i, k := range keys {
 		codes[i] = k.Morton()

@@ -31,7 +31,7 @@ func runShardScale(opt Options) ([]*Table, error) {
 		return nil, err
 	}
 	res := referenceResolution(name)
-	cfg := constructionConfig(ds, res, false)
+	cfg := constructionConfig(ds, res, false, opt.Backend)
 
 	t := &Table{
 		Title: "Sharded-map ingest scaling",

@@ -20,7 +20,7 @@ import (
 	"sort"
 	"sync/atomic"
 
-	"octocache/internal/octree"
+	"octocache/internal/voxel"
 )
 
 // IndexMode selects the bucket-index function.
@@ -88,7 +88,7 @@ type Config struct {
 	// Occupancy supplies δ_occupied, δ_free, the clamps, and the
 	// threshold; it must match the backing octree's parameters for query
 	// consistency.
-	Occupancy octree.Params
+	Occupancy voxel.Params
 }
 
 // Validate reports whether the configuration is usable.
@@ -105,7 +105,7 @@ func (c Config) Validate() error {
 // Cell is one cache record: a voxel and its accumulated occupancy.
 // NominalBytes is its size in the paper's packed C++ layout.
 type Cell struct {
-	Key     octree.Key
+	Key     voxel.Key
 	LogOdds float32
 }
 
@@ -229,7 +229,7 @@ func (c *Cache) MemoryBytes() int64 {
 }
 
 // bucketIndex maps a key to its bucket.
-func (c *Cache) bucketIndex(k octree.Key) uint64 {
+func (c *Cache) bucketIndex(k voxel.Key) uint64 {
 	switch c.cfg.Index {
 	case MortonIndex:
 		return k.Morton() & c.mask
@@ -242,14 +242,14 @@ func (c *Cache) bucketIndex(k octree.Key) uint64 {
 
 // TreeLookup resolves a voxel's accumulated occupancy from the backing
 // octree on a cache miss. known must be false for never-observed voxels.
-type TreeLookup func(octree.Key) (logOdds float32, known bool)
+type TreeLookup func(voxel.Key) (logOdds float32, known bool)
 
 // Insert integrates one observation for key k (occupied or free) into the
 // cache and reports whether it was a cache hit. On a miss the voxel's
 // prior accumulated value is pulled from the octree via lookup — this is
 // the mechanism that preserves query consistency (§4.2.1). lookup may be
 // nil when the caller knows the octree cannot contain the key.
-func (c *Cache) Insert(k octree.Key, occupied bool, lookup TreeLookup) (hit bool) {
+func (c *Cache) Insert(k voxel.Key, occupied bool, lookup TreeLookup) (hit bool) {
 	c.stats.Inserts++
 	delta := c.cfg.Occupancy.LogOddsMiss
 	if occupied {
@@ -290,7 +290,7 @@ func (c *Cache) clamp(l float32) float32 {
 // Query returns the accumulated occupancy of k if cached. On (hit=false)
 // the caller must consult the backing octree. Query is safe for
 // concurrent readers while no mutator is active.
-func (c *Cache) Query(k octree.Key) (logOdds float32, hit bool) {
+func (c *Cache) Query(k voxel.Key) (logOdds float32, hit bool) {
 	c.queries.Add(1)
 	bucket := c.buckets[c.bucketIndex(k)]
 	for i := range bucket {
@@ -303,7 +303,7 @@ func (c *Cache) Query(k octree.Key) (logOdds float32, hit bool) {
 }
 
 // Occupied reports the thresholded occupancy of k if cached.
-func (c *Cache) Occupied(k octree.Key) (occupied, hit bool) {
+func (c *Cache) Occupied(k voxel.Key) (occupied, hit bool) {
 	l, hit := c.Query(k)
 	if !hit {
 		return false, false

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"fmt"
+
+	"octocache/internal/octree"
+	"octocache/internal/vdbgrid"
+	"octocache/internal/voxel"
+)
+
+// Key and Leaf re-export the backend-neutral voxel vocabulary so layered
+// packages (shard, the public API) can speak it without reaching into a
+// storage package.
+type (
+	Key  = voxel.Key
+	Leaf = voxel.Leaf
+)
+
+// BackendKind selects the voxel store behind a pipeline.
+type BackendKind int
+
+const (
+	// BackendOctree is the OctoMap-style arena octree — adaptive pruning
+	// and the Morton-friendly root-to-leaf layout the paper accelerates.
+	// It is the default (zero value).
+	BackendOctree BackendKind = iota
+	// BackendGrid is the VDB-style hash-of-bricks grid
+	// (internal/vdbgrid): two fixed levels, query-heavy friendly, no
+	// compaction.
+	BackendGrid
+)
+
+func (b BackendKind) String() string {
+	switch b {
+	case BackendOctree:
+		return "octree"
+	case BackendGrid:
+		return "grid"
+	default:
+		return fmt.Sprintf("backend(%d)", int(b))
+	}
+}
+
+// ParseBackendKind maps the flag spellings "octree" and "grid" to kinds.
+func ParseBackendKind(s string) (BackendKind, error) {
+	switch s {
+	case "octree":
+		return BackendOctree, nil
+	case "grid":
+		return BackendGrid, nil
+	default:
+		return 0, fmt.Errorf("core: unknown backend %q (want octree or grid)", s)
+	}
+}
+
+// Backend is the narrow storage surface the mapping pipelines drive: the
+// apply stage's two writes, the query stage's lookup, and the leaf-walk
+// pair serialization and loading are built on. Everything else a store
+// may offer — compaction, arena accounting, visit counting, direct
+// serialization — is an optional capability (Compactor, ArenaReporter,
+// VisitCounter, io.WriterTo) type-asserted once at engine construction.
+//
+// Semantics every implementation must share, bit-for-bit: log-odds
+// accumulate per voxel.Params (hit/miss deltas, Clamp on every write),
+// UpdateCell starts never-observed voxels from 0, SetCell overwrites
+// with the clamped value, and Walk emits leaves in ascending Morton
+// order. The cross-backend consistency suite enforces this.
+//
+// The concurrency contract matches octree.Tree's: one mutator at a
+// time; any number of concurrent Lookup calls while no mutator runs.
+type Backend interface {
+	// UpdateCell integrates one incremental observation for the voxel at
+	// k — the direct (OctoMap baseline) apply path.
+	UpdateCell(k voxel.Key, occupied bool)
+	// SetCell overwrites the voxel's accumulated log-odds, clamped — the
+	// eviction apply path (cache cells carry accumulated values).
+	SetCell(k voxel.Key, logOdds float32)
+	// Lookup returns the voxel's accumulated log-odds; known is false
+	// for never-observed voxels.
+	Lookup(k voxel.Key) (logOdds float32, known bool)
+	// SetLeafAt writes a (possibly aggregate) leaf as emitted by Walk —
+	// the seam snapshot loading is built on.
+	SetLeafAt(k voxel.Key, depth int, logOdds float32)
+	// Walk visits every leaf in ascending Morton order. Streams from
+	// different backends are content-equal, not structurally identical;
+	// Snapshot canonicalizes them.
+	Walk(fn func(voxel.Leaf) bool)
+	// Params returns the store's occupancy model.
+	Params() voxel.Params
+	// MemoryBytes estimates the store's heap footprint.
+	MemoryBytes() int64
+}
+
+// Compactor is the optional capability of backends whose storage
+// fragments and supports an in-place rebuild. The octree implements it
+// (pruning churns its arenas); the grid is hash-addressed, never
+// fragments, and deliberately does not.
+type Compactor interface {
+	NeedsCompaction(p octree.CompactionPolicy) bool
+	Compact() octree.CompactStats
+}
+
+// ArenaReporter is the optional capability of backends that account
+// storage in arena vocabulary: live units, recycled free slots, total
+// capacity. The octree reports node slots; the grid reports resident
+// bricks (free is always zero).
+type ArenaReporter interface {
+	ArenaStats() (live, free, capacity int)
+}
+
+// VisitCounter is the optional capability of backends that count
+// per-voxel memory touches — the bottleneck experiments'
+// architecture-neutral proxy for the memory accesses of Figure 5.
+type VisitCounter interface {
+	NodeVisits() int64
+	ResetNodeVisits()
+}
+
+// octreeBackend adapts *octree.Tree to the Backend surface. Only the
+// three hot entry points need renaming; SetLeafAt, Walk, Params,
+// MemoryBytes, and the capabilities (NeedsCompaction/Compact,
+// ArenaStats, NodeVisits, WriteTo) promote from the embedded tree. The
+// single-pointer wrapper is interface-boxable without allocation.
+type octreeBackend struct {
+	*octree.Tree
+}
+
+func (b octreeBackend) UpdateCell(k voxel.Key, occupied bool) { b.Tree.Update(k, occupied) }
+func (b octreeBackend) SetCell(k voxel.Key, logOdds float32)  { b.Tree.SetNodeValue(k, logOdds) }
+func (b octreeBackend) Lookup(k voxel.Key) (float32, bool)    { return b.Tree.Search(k) }
+
+// Tree re-exports the arena octree for white-box consumers — the
+// ordering microbenchmarks and layout experiments that measure the
+// storage structure itself rather than a pipeline. Everything else
+// should stay behind Backend/Snapshot; the import-hygiene gate
+// (make lint-imports) keeps the octree package private to core.
+type Tree = octree.Tree
+
+// NewTree builds a bare arena octree with the given occupancy model.
+func NewTree(p voxel.Params) *Tree { return octree.New(p) }
+
+// newBackend builds the store the config selects. The *vdbgrid.Grid
+// satisfies Backend directly.
+func (c Config) newBackend() Backend {
+	switch c.Backend {
+	case BackendGrid:
+		return vdbgrid.New(c.Octree)
+	default:
+		return octreeBackend{octree.New(c.Octree)}
+	}
+}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+	"io"
 	"runtime"
 	"sync"
 	"time"
@@ -9,6 +11,7 @@ import (
 	"octocache/internal/geom"
 	"octocache/internal/octree"
 	"octocache/internal/raytrace"
+	"octocache/internal/voxel"
 )
 
 // This file implements the two software baselines from the paper's
@@ -36,6 +39,9 @@ type voxelCacheMapper struct {
 }
 
 func newVoxelCache(cfg Config) (*voxelCacheMapper, error) {
+	if cfg.Backend != BackendOctree {
+		return nil, fmt.Errorf("core: the VoxelCache baseline is octree-specific; backend %v is unsupported", cfg.Backend)
+	}
 	it, err := octree.NewIndexed(cfg.Octree)
 	if err != nil {
 		return nil, err
@@ -92,7 +98,7 @@ func (m *voxelCacheMapper) Occupied(p geom.Vec3) bool {
 	return known && l >= m.cfg.Octree.OccupancyThreshold
 }
 
-func (m *voxelCacheMapper) OccupiedKey(k octree.Key) bool { return m.tree.Occupied(k) }
+func (m *voxelCacheMapper) OccupiedKey(k voxel.Key) bool { return m.tree.Occupied(k) }
 
 // Close mirrors the indexed tree's content into a standard pruned
 // octree so Tree() consumers (serialization, box queries) work.
@@ -115,13 +121,36 @@ func (m *voxelCacheMapper) Close() error {
 // through its index by reconstructing from shadow needs). To keep the
 // baseline honest and simple, IndexedTree records are mirrored lazily:
 // this helper exists as a seam for Close.
-func (m *voxelCacheMapper) indexKeys() map[octree.Key]struct{} {
+func (m *voxelCacheMapper) indexKeys() map[voxel.Key]struct{} {
 	return m.tree.Keys()
 }
 
-func (m *voxelCacheMapper) Tree() *octree.Tree {
-	return m.shadow
+// Backend reports the backing store kind; the VoxelCache baseline is
+// octree-specific by construction.
+func (m *voxelCacheMapper) Backend() BackendKind { return BackendOctree }
+
+// Snapshot captures the mirrored shadow octree. Like the old Tree()
+// accessor, the mirror fills on Close — snapshot a live VoxelCache
+// baseline and it is empty.
+func (m *voxelCacheMapper) Snapshot() *Snapshot {
+	s := NewSnapshot(m.cfg.Octree)
+	m.shadow.Walk(func(l voxel.Leaf) bool {
+		s.Add(l)
+		return true
+	})
+	return s
 }
+
+// Tree returns a backend-neutral snapshot of the store.
+//
+// Deprecated: use Snapshot.
+func (m *voxelCacheMapper) Tree() *Snapshot { return m.Snapshot() }
+
+func (m *voxelCacheMapper) WriteTo(w io.Writer) (int64, error) { return m.shadow.WriteTo(w) }
+
+func (m *voxelCacheMapper) ArenaStats() ArenaStats { return TreeArenaStats(m.shadow) }
+
+func (m *voxelCacheMapper) NodeVisits() int64 { return m.tree.NodeVisits() }
 
 // Compact rebuilds the shadow octree's arenas. The indexed structure
 // itself has no free lists to reclaim, so this only densifies whatever
@@ -150,10 +179,11 @@ func (m *voxelCacheMapper) CacheStats() cache.Stats { return cache.Stats{} }
 func (m *voxelCacheMapper) MemoryBytes() int64 { return m.tree.MemoryBytes() }
 
 // naiveMapper fans voxel updates out over GOMAXPROCS workers that share
-// the octree behind one mutex.
+// the voxel store behind one mutex.
 type naiveMapper struct {
 	cfg        Config
-	tree       *octree.Tree
+	store      Backend
+	compactor  Compactor
 	mu         sync.Mutex
 	tracer     *raytrace.Tracer
 	workers    int
@@ -163,9 +193,9 @@ type naiveMapper struct {
 }
 
 func newNaive(cfg Config) *naiveMapper {
-	return &naiveMapper{
-		cfg:  cfg,
-		tree: cfg.newTree(),
+	m := &naiveMapper{
+		cfg:   cfg,
+		store: cfg.newBackend(),
 		tracer: raytrace.NewTracer(raytrace.Config{
 			Resolution: cfg.Octree.Resolution,
 			Depth:      cfg.Octree.Depth,
@@ -173,6 +203,8 @@ func newNaive(cfg Config) *naiveMapper {
 		}),
 		workers: runtime.GOMAXPROCS(0),
 	}
+	m.compactor, _ = m.store.(Compactor)
+	return m
 }
 
 func (m *naiveMapper) Name() string {
@@ -205,10 +237,11 @@ func (m *naiveMapper) Insert(origin geom.Vec3, points []geom.Vec3) error {
 		go func(part []raytrace.Voxel) {
 			defer wg.Done()
 			for _, v := range part {
-				// The whole tree must be locked per update: concurrent
-				// updates race on shared ancestor nodes (Figure 5).
+				// The whole store must be locked per update: concurrent
+				// octree updates race on shared ancestor nodes (Figure
+				// 5), and the grid's brick map is no safer.
 				m.mu.Lock()
-				m.tree.Update(v.Key, v.Occupied)
+				m.store.UpdateCell(v.Key, v.Occupied)
 				m.mu.Unlock()
 			}
 		}(batch[lo:hi])
@@ -231,32 +264,40 @@ func (m *naiveMapper) Insert(origin geom.Vec3, points []geom.Vec3) error {
 // divergence; the primary pipelines are exactly consistent).
 
 func (m *naiveMapper) Occupancy(p geom.Vec3) (float32, bool) {
+	k, ok := voxel.CoordToKey(p, m.cfg.Octree.Resolution, m.cfg.Octree.Depth)
+	if !ok {
+		return 0, false
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.tree.OccupancyAt(p)
+	return m.store.Lookup(k)
 }
 
 func (m *naiveMapper) Occupied(p geom.Vec3) bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.tree.OccupiedAt(p)
+	l, known := m.Occupancy(p)
+	return known && l >= m.cfg.Octree.OccupancyThreshold
 }
 
-func (m *naiveMapper) OccupiedKey(k octree.Key) bool {
+func (m *naiveMapper) OccupiedKey(k voxel.Key) bool {
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.tree.Occupied(k)
+	l, known := m.store.Lookup(k)
+	m.mu.Unlock()
+	return known && l >= m.cfg.Octree.OccupancyThreshold
 }
 
-// Compact densifies the shared octree under the global mutex, so it is
-// safe against the in-flight worker fan-out of a concurrent Insert.
+// Compact densifies the shared store under the global mutex, so it is
+// safe against the in-flight worker fan-out of a concurrent Insert. A
+// no-op on backends without the compaction capability.
 func (m *naiveMapper) Compact() error {
 	if m.done {
 		return ErrClosed
 	}
+	if m.compactor == nil {
+		return nil
+	}
 	t0 := time.Now()
 	m.mu.Lock()
-	cs := m.tree.Compact()
+	cs := m.compactor.Compact()
 	m.mu.Unlock()
 	m.compaction.Runs++
 	m.compaction.SlotsReclaimed += int64(cs.NodeSlotsReclaimed + cs.KidSlotsReclaimed)
@@ -267,8 +308,57 @@ func (m *naiveMapper) Compact() error {
 func (m *naiveMapper) CompactionStats() CompactionStats { return m.compaction }
 
 func (m *naiveMapper) Resolution() float64     { return m.cfg.Octree.Resolution }
+func (m *naiveMapper) Backend() BackendKind    { return m.cfg.Backend }
 func (m *naiveMapper) Close() error            { m.done = true; return nil }
-func (m *naiveMapper) Tree() *octree.Tree      { return m.tree }
 func (m *naiveMapper) Timings() Timings        { return m.timings }
 func (m *naiveMapper) WorkCounters() Counters  { return m.timings.Counters() }
 func (m *naiveMapper) CacheStats() cache.Stats { return cache.Stats{} }
+func (m *naiveMapper) MemoryBytes() int64      { return m.store.MemoryBytes() }
+
+// Snapshot captures the store's contents under the global mutex.
+func (m *naiveMapper) Snapshot() *Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := NewSnapshot(m.cfg.Octree)
+	m.store.Walk(func(l voxel.Leaf) bool {
+		s.Add(l)
+		return true
+	})
+	return s
+}
+
+// Tree returns a backend-neutral snapshot of the store.
+//
+// Deprecated: use Snapshot.
+func (m *naiveMapper) Tree() *Snapshot { return m.Snapshot() }
+
+func (m *naiveMapper) WriteTo(w io.Writer) (int64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if wt, ok := m.store.(io.WriterTo); ok {
+		return wt.WriteTo(w)
+	}
+	s := NewSnapshot(m.cfg.Octree)
+	m.store.Walk(func(l voxel.Leaf) bool {
+		s.Add(l)
+		return true
+	})
+	return s.WriteTo(w)
+}
+
+func (m *naiveMapper) ArenaStats() ArenaStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := ArenaStats{Bytes: m.store.MemoryBytes()}
+	if ar, ok := m.store.(ArenaReporter); ok {
+		s.LiveNodes, s.FreeSlots, s.Capacity = ar.ArenaStats()
+	}
+	return s
+}
+
+func (m *naiveMapper) NodeVisits() int64 {
+	if vc, ok := m.store.(VisitCounter); ok {
+		return vc.NodeVisits()
+	}
+	return 0
+}

@@ -38,8 +38,8 @@ func TestVoxelCacheBaselineQueryEquivalence(t *testing.T) {
 	// After finalize the shadow tree answers identically too.
 	for probe := 0; probe < 200; probe++ {
 		p := geom.V(probeRNG.Float64()*6-1, probeRNG.Float64()*4-2, probeRNG.Float64()*3)
-		la, ka := a.Tree().OccupancyAt(p)
-		lb, kb := b.Tree().OccupancyAt(p)
+		la, ka := a.Snapshot().Occupancy(p)
+		lb, kb := b.Snapshot().Occupancy(p)
 		if ka != kb || la != lb {
 			t.Fatalf("finalized shadow tree disagrees at %v", p)
 		}
@@ -59,9 +59,9 @@ func TestVoxelCacheUsesMoreMemory(t *testing.T) {
 		b.Insert(origin, pts)
 	}
 	vc := b.(*voxelCacheMapper)
-	if vc.MemoryBytes() <= a.Tree().MemoryBytes() {
+	if vc.MemoryBytes() <= a.MemoryBytes() {
 		t.Errorf("voxelcache memory %d should exceed octomap %d",
-			vc.MemoryBytes(), a.Tree().MemoryBytes())
+			vc.MemoryBytes(), a.MemoryBytes())
 	}
 	a.Close()
 	b.Close()

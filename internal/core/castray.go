@@ -4,7 +4,7 @@ import (
 	"math"
 
 	"octocache/internal/geom"
-	"octocache/internal/octree"
+	"octocache/internal/voxel"
 )
 
 // CastRayKeys walks the voxel grid from origin along dir, querying each
@@ -14,7 +14,7 @@ import (
 // cache+octree state so visibility answers are as fresh as point queries.
 // Exported so layered map services (internal/shard) can reuse the walk
 // with their own per-voxel occupancy resolution.
-func CastRayKeys(params octree.Params, occ func(octree.Key) (float32, bool),
+func CastRayKeys(params voxel.Params, occ func(voxel.Key) (float32, bool),
 	origin, dir geom.Vec3, maxRange float64, ignoreUnknown bool) (geom.Vec3, bool) {
 
 	n := dir.Norm()
@@ -22,7 +22,7 @@ func CastRayKeys(params octree.Params, occ func(octree.Key) (float32, bool),
 		return geom.Vec3{}, false
 	}
 	dir = dir.Scale(1 / n)
-	cur, ok := octree.CoordToKey(origin, params.Resolution, params.Depth)
+	cur, ok := voxel.CoordToKey(origin, params.Resolution, params.Depth)
 	if !ok {
 		return geom.Vec3{}, false
 	}
@@ -57,11 +57,11 @@ func CastRayKeys(params octree.Params, occ func(octree.Key) (float32, bool),
 	}
 	limit := 1 << params.Depth
 	for dist := 0.0; dist <= maxRange; {
-		k := octree.Key{X: uint16(c[0]), Y: uint16(c[1]), Z: uint16(c[2])}
+		k := voxel.Key{X: uint16(c[0]), Y: uint16(c[1]), Z: uint16(c[2])}
 		l, known := occ(k)
 		switch {
 		case known && l >= params.OccupancyThreshold:
-			return octree.KeyToCoord(k, params.Resolution, params.Depth), true
+			return voxel.KeyToCoord(k, params.Resolution, params.Depth), true
 		case !known && !ignoreUnknown:
 			return geom.Vec3{}, false
 		}
@@ -94,5 +94,5 @@ func (m *voxelCacheMapper) CastRay(origin, dir geom.Vec3, maxRange float64, igno
 func (m *naiveMapper) CastRay(origin, dir geom.Vec3, maxRange float64, ignoreUnknown bool) (geom.Vec3, bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return CastRayKeys(m.cfg.Octree, m.tree.Search, origin, dir, maxRange, ignoreUnknown)
+	return CastRayKeys(m.cfg.Octree, m.store.Lookup, origin, dir, maxRange, ignoreUnknown)
 }

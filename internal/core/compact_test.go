@@ -34,7 +34,7 @@ func fragmentingStream(t *testing.T, m Mapper) {
 func TestInsertStreamFragmentsArena(t *testing.T) {
 	m := MustNew(KindOctoMap, testConfig())
 	fragmentingStream(t, m)
-	if _, free, _ := m.Tree().ArenaStats(); free == 0 {
+	if free := m.ArenaStats().FreeSlots; free == 0 {
 		t.Fatal("fragmenting stream left no free slots; compaction tests are vacuous")
 	}
 }
@@ -96,7 +96,8 @@ func TestExplicitCompact(t *testing.T) {
 			fragmentingStream(t, m)
 
 			m.Quiesce()
-			_, freeBefore, capBefore := m.Tree().ArenaStats()
+			before := m.ArenaStats()
+			freeBefore, capBefore := before.FreeSlots, before.Capacity
 			if freeBefore == 0 {
 				t.Fatal("stream left no free slots")
 			}
@@ -111,7 +112,8 @@ func TestExplicitCompact(t *testing.T) {
 				t.Errorf("CompactionStats after one explicit run: %+v", st)
 			}
 			m.Quiesce()
-			live, free, capacity := m.Tree().ArenaStats()
+			after := m.ArenaStats()
+			live, free, capacity := after.LiveNodes, after.FreeSlots, after.Capacity
 			if free != 0 || live != capacity {
 				t.Errorf("arena not dense: live %d free %d capacity %d", live, free, capacity)
 			}

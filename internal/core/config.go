@@ -25,10 +25,19 @@ import (
 	"octocache/internal/octree"
 )
 
+// CompactionPolicy re-exports the octree's automatic-compaction trigger
+// so layered packages configure it without importing the storage
+// package.
+type CompactionPolicy = octree.CompactionPolicy
+
 // Config configures any of the mapping pipelines.
 type Config struct {
 	// Octree holds the map resolution and the occupancy sensor model.
+	// The name is historical: every backend shares this model.
 	Octree octree.Params
+	// Backend selects the voxel store behind the pipeline; the zero
+	// value is BackendOctree.
+	Backend BackendKind
 	// MaxRange truncates sensor rays (meters); 0 disables truncation.
 	MaxRange float64
 	// CacheBuckets is w. The paper's UAV experiments use 512K buckets;
@@ -48,18 +57,9 @@ type Config struct {
 	// batch is integrated, a pipeline whose arena crosses the policy's
 	// fragmentation threshold is compacted behind the applier quiesce.
 	// The zero value disables automatic compaction; explicit Compact
-	// calls always run.
+	// calls always run. Backends without the Compactor capability (the
+	// grid) ignore the policy.
 	Compaction octree.CompactionPolicy
-	// Arena is a no-op: the octree always stores nodes in contiguous
-	// handle-addressed arenas with prune-recycling.
-	//
-	// Deprecated: arena storage is the only implementation now.
-	Arena bool
-}
-
-// newTree builds the backing octree.
-func (c Config) newTree() *octree.Tree {
-	return octree.New(c.Octree)
 }
 
 // DefaultConfig returns a configuration with OctoMap's default sensor
@@ -84,6 +84,9 @@ func (c Config) Validate() error {
 	}
 	if c.CacheTau < 1 {
 		return fmt.Errorf("core: CacheTau must be >= 1, got %d", c.CacheTau)
+	}
+	if c.Backend != BackendOctree && c.Backend != BackendGrid {
+		return fmt.Errorf("core: unknown backend %v", c.Backend)
 	}
 	return c.Compaction.Validate()
 }

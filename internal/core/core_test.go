@@ -304,9 +304,9 @@ func TestClosedTreeHoldsEverything(t *testing.T) {
 		samples = append(samples, sample{p, l, known})
 	}
 	m.Close()
-	tree := m.Tree()
+	tree := m.Snapshot()
 	for _, s := range samples {
-		l, known := tree.OccupancyAt(s.p)
+		l, known := tree.Occupancy(s.p)
 		if known != s.known || l != s.l {
 			t.Fatalf("tree after finalize differs at %v: (%v,%v) vs (%v,%v)", s.p, l, known, s.l, s.known)
 		}

@@ -3,15 +3,16 @@ package core
 import (
 	"errors"
 	"fmt"
+	"io"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"octocache/internal/cache"
 	"octocache/internal/geom"
-	"octocache/internal/octree"
 	"octocache/internal/raytrace"
 	"octocache/internal/spsc"
+	"octocache/internal/voxel"
 )
 
 // ErrClosed is returned by Insert, ApplyTraced, and LoadLeaf once a
@@ -45,15 +46,20 @@ var ErrClosed = errors.New("octocache: map is closed")
 type engine struct {
 	cfg      Config
 	baseName string
-	tree     *octree.Tree
-	cache    *cache.Cache // nil for the direct (OctoMap baseline) composition
-	tracer   *raytrace.Tracer
-	// lookup is the octree read the cache consults on admission misses,
+	// store is the pluggable voxel store behind the pipeline; compactor
+	// caches its optional compaction capability (nil when absent, e.g.
+	// the grid backend), asserted once at construction so hot paths stay
+	// assertion-free.
+	store     Backend
+	compactor Compactor
+	cache     *cache.Cache // nil for the direct (OctoMap baseline) composition
+	tracer    *raytrace.Tracer
+	// lookup is the store read the cache consults on admission misses,
 	// built once so the per-scan admit loop stays closure-allocation-free.
 	lookup cache.TreeLookup
 
-	// treeRW makes the async applier's octree writes and query-side
-	// octree reads mutually exclusive: the applier goroutine takes the
+	// treeRW makes the async applier's store writes and query-side
+	// store reads mutually exclusive: the applier goroutine takes the
 	// write side per batch, queries take the read side after the gap
 	// handshake. With the inline applier it is uncontended by
 	// construction (writes only ever run inside a mutator).
@@ -102,17 +108,18 @@ func newEngine(cfg Config, baseName string, direct, async bool) *engine {
 	e := &engine{
 		cfg:      cfg,
 		baseName: baseName,
-		tree:     cfg.newTree(),
+		store:    cfg.newBackend(),
 		tracer: raytrace.NewTracer(raytrace.Config{
 			Resolution: cfg.Octree.Resolution,
 			Depth:      cfg.Octree.Depth,
 			MaxRange:   cfg.MaxRange,
 		}),
 	}
+	e.compactor, _ = e.store.(Compactor)
 	if !direct {
 		e.cache = cache.New(cfg.cacheConfig())
 	}
-	e.lookup = func(k octree.Key) (float32, bool) { return e.tree.Search(k) }
+	e.lookup = e.store.Lookup
 	if async {
 		e.app = newAsyncApplier(e)
 	} else {
@@ -143,20 +150,20 @@ func traceScan(tr *raytrace.Tracer, rt bool, origin geom.Vec3, points []geom.Vec
 	return batch
 }
 
-// writeCells is the one octree-apply stage. Cached compositions receive
+// writeCells is the one store-apply stage. Cached compositions receive
 // evicted cells carrying accumulated occupancies, which overwrite the
-// octree's copies; the direct composition receives observation markers
-// (LogOdds > 0 means an occupied observation) and applies the octree's
+// store's copies; the direct composition receives observation markers
+// (LogOdds > 0 means an occupied observation) and applies the store's
 // own incremental update, exactly like vanilla OctoMap.
 func (e *engine) writeCells(cells []cache.Cell) {
 	if e.cache == nil {
 		for _, c := range cells {
-			e.tree.Update(c.Key, c.LogOdds > 0)
+			e.store.UpdateCell(c.Key, c.LogOdds > 0)
 		}
 		return
 	}
 	for _, c := range cells {
-		e.tree.SetNodeValue(c.Key, c.LogOdds)
+		e.store.SetCell(c.Key, c.LogOdds)
 	}
 }
 
@@ -263,7 +270,7 @@ func (e *engine) ApplyTraced(batch []raytrace.Voxel) error {
 // in-flight octree writes (the gap guarantee) and reads the tree under
 // the read lock — so cache hits never touch a lock shared with the
 // applier.
-func (e *engine) OccupancyKey(k octree.Key) (float32, bool) {
+func (e *engine) OccupancyKey(k voxel.Key) (float32, bool) {
 	if e.cache != nil {
 		if l, hit := e.cache.Query(k); hit {
 			return l, true
@@ -271,14 +278,14 @@ func (e *engine) OccupancyKey(k octree.Key) (float32, bool) {
 	}
 	e.app.quiesce()
 	e.treeRW.RLock()
-	l, known := e.tree.Search(k)
+	l, known := e.store.Lookup(k)
 	e.treeRW.RUnlock()
 	return l, known
 }
 
 // Occupancy is the coordinate-space variant of OccupancyKey.
 func (e *engine) Occupancy(p geom.Vec3) (float32, bool) {
-	k, ok := octree.CoordToKey(p, e.cfg.Octree.Resolution, e.cfg.Octree.Depth)
+	k, ok := voxel.CoordToKey(p, e.cfg.Octree.Resolution, e.cfg.Octree.Depth)
 	if !ok {
 		return 0, false
 	}
@@ -290,7 +297,7 @@ func (e *engine) Occupied(p geom.Vec3) bool {
 	return known && l >= e.cfg.Octree.OccupancyThreshold
 }
 
-func (e *engine) OccupiedKey(k octree.Key) bool {
+func (e *engine) OccupiedKey(k voxel.Key) bool {
 	l, known := e.OccupancyKey(k)
 	return known && l >= e.cfg.Octree.OccupancyThreshold
 }
@@ -302,13 +309,13 @@ func (e *engine) CastRay(origin, dir geom.Vec3, maxRange float64, ignoreUnknown 
 	e.app.quiesce()
 	e.treeRW.RLock()
 	defer e.treeRW.RUnlock()
-	occ := func(k octree.Key) (float32, bool) {
+	occ := func(k voxel.Key) (float32, bool) {
 		if e.cache != nil {
 			if l, hit := e.cache.Query(k); hit {
 				return l, true
 			}
 		}
-		return e.tree.Search(k)
+		return e.store.Lookup(k)
 	}
 	return CastRayKeys(e.cfg.Octree, occ, origin, dir, maxRange, ignoreUnknown)
 }
@@ -338,15 +345,17 @@ func (e *engine) Close() error {
 }
 
 // Quiesce blocks until every handed-off batch has been applied to the
-// octree. Layered services call it before touching Tree() directly.
+// store. Layered services call it before walking the store directly.
 func (e *engine) Quiesce() { e.app.quiesce() }
 
-// Compact rebuilds the octree arenas into a dense Morton/DFS-ordered
+// Compact rebuilds the store's arenas into a dense Morton/DFS-ordered
 // prefix and releases the tail capacity, behind the existing quiesce
 // protocol: the applier drains, the rebuild runs under the tree write
 // lock, and producers resume — no new lock scheme. It must be called
 // from the mutator role (the same serialization Insert requires) and
-// returns ErrClosed after Close.
+// returns ErrClosed after Close. On a backend without the compaction
+// capability (the grid never fragments) it is a no-op that reports no
+// runs.
 func (e *engine) Compact() error {
 	if e.closed {
 		return ErrClosed
@@ -359,10 +368,10 @@ func (e *engine) Compact() error {
 // fragmentation threshold is crossed. Callers must hold the mutator role
 // with the applier quiescent (post-admit), so the stats read is stable.
 func (e *engine) maybeCompact() {
-	if !e.cfg.Compaction.Enabled() {
+	if e.compactor == nil || !e.cfg.Compaction.Enabled() {
 		return
 	}
-	if e.tree.NeedsCompaction(e.cfg.Compaction) {
+	if e.compactor.NeedsCompaction(e.cfg.Compaction) {
 		e.compact()
 	}
 }
@@ -370,10 +379,13 @@ func (e *engine) maybeCompact() {
 // compact drains the applier, then rebuilds the arenas under the tree
 // write lock so no query can observe handles mid-move.
 func (e *engine) compact() {
+	if e.compactor == nil {
+		return
+	}
 	e.app.quiesce()
 	t0 := time.Now()
 	e.treeRW.Lock()
-	cs := e.tree.Compact()
+	cs := e.compactor.Compact()
 	e.treeRW.Unlock()
 	e.compaction.Runs++
 	e.compaction.SlotsReclaimed += int64(cs.NodeSlotsReclaimed + cs.KidSlotsReclaimed)
@@ -383,30 +395,30 @@ func (e *engine) compact() {
 // CompactionStats reports cumulative arena-compaction activity.
 func (e *engine) CompactionStats() CompactionStats { return e.compaction }
 
-// LoadLeaf writes one (possibly aggregate) leaf into the engine's
-// octree, as emitted by octree.Walk — the seam map loading is built on.
+// LoadLeaf writes one (possibly aggregate) leaf into the engine's store,
+// as emitted by a backend walk — the seam map loading is built on.
 // Intended for freshly constructed engines; cells already cached for the
 // leaf's voxels keep shadowing the loaded value until evicted.
-func (e *engine) LoadLeaf(l octree.Leaf) error {
+func (e *engine) LoadLeaf(l voxel.Leaf) error {
 	if e.closed {
 		return ErrClosed
 	}
 	e.app.quiesce()
 	e.treeRW.Lock()
-	e.tree.SetLeafAt(l.Key, l.Depth, l.LogOdds)
+	e.store.SetLeafAt(l.Key, l.Depth, l.LogOdds)
 	e.treeRW.Unlock()
 	return nil
 }
 
-// LoadTree replays every leaf of src into the engine's octree. The
-// source tree's parameters must match the engine's so key spaces and the
+// LoadSnapshot replays every leaf of src into the engine's store. The
+// snapshot's parameters must match the engine's so key spaces and the
 // occupancy model agree.
-func (e *engine) LoadTree(src *octree.Tree) error {
+func (e *engine) LoadSnapshot(src *Snapshot) error {
 	if p := src.Params(); p != e.cfg.Octree {
-		return fmt.Errorf("core: loaded tree params %+v differ from pipeline params %+v", p, e.cfg.Octree)
+		return fmt.Errorf("core: loaded snapshot params %+v differ from pipeline params %+v", p, e.cfg.Octree)
 	}
 	var err error
-	src.Walk(func(l octree.Leaf) bool {
+	src.Walk(func(l voxel.Leaf) bool {
 		err = e.LoadLeaf(l)
 		return err == nil
 	})
@@ -415,10 +427,104 @@ func (e *engine) LoadTree(src *octree.Tree) error {
 
 func (e *engine) Resolution() float64 { return e.cfg.Octree.Resolution }
 
-// Tree exposes the backing octree. Callers must Quiesce first (or hold
-// the mutator role) while an async applier is live; it is always safe
-// after Close.
-func (e *engine) Tree() *octree.Tree { return e.tree }
+// Backend reports which voxel store backs the engine.
+func (e *engine) Backend() BackendKind { return e.cfg.Backend }
+
+// WalkLeaves streams the pipeline's complete contents: the store's
+// leaves in ascending Morton order (applier drained first), then every
+// cache-resident cell as a finest-depth leaf. Cache cells hold
+// *accumulated* occupancy — eviction overwrites the store entry — so a
+// key can appear twice, store value first, authoritative cached value
+// second; replaying the stream through SetLeafAt (Snapshot.Add)
+// therefore converges to the live map's query answers. After Close the
+// cache is flushed and the stream is the plain ordered store walk.
+func (e *engine) WalkLeaves(fn func(voxel.Leaf) bool) {
+	e.app.quiesce()
+	e.treeRW.RLock()
+	defer e.treeRW.RUnlock()
+	stopped := false
+	e.store.Walk(func(l voxel.Leaf) bool {
+		if !fn(l) {
+			stopped = true
+			return false
+		}
+		return true
+	})
+	if stopped || e.cache == nil {
+		return
+	}
+	depth := e.cfg.Octree.Depth
+	e.cache.Walk(func(c cache.Cell) bool {
+		return fn(voxel.Leaf{Key: c.Key, Depth: depth, LogOdds: c.LogOdds})
+	})
+}
+
+// Snapshot captures the pipeline's current contents — applied store
+// leaves plus cache-resident cells — as a canonical, backend-neutral
+// snapshot: the accessor that replaces the old raw Tree() escape
+// hatch, answering exactly like the live map at any point in the
+// stream.
+func (e *engine) Snapshot() *Snapshot {
+	s := NewSnapshot(e.cfg.Octree)
+	e.WalkLeaves(func(l voxel.Leaf) bool {
+		s.Add(l)
+		return true
+	})
+	return s
+}
+
+// WriteTo serializes the pipeline's contents in the .bt format.
+// Backends that serialize directly (the octree) stream in place when
+// nothing is parked in the cache (always true after Close); otherwise
+// the canonical snapshot path folds cached cells in, producing
+// identical bytes for content-equal maps either way.
+func (e *engine) WriteTo(w io.Writer) (int64, error) {
+	e.app.quiesce()
+	e.treeRW.RLock()
+	wt, ok := e.store.(io.WriterTo)
+	if ok && (e.cache == nil || e.cache.Len() == 0) {
+		defer e.treeRW.RUnlock()
+		return wt.WriteTo(w)
+	}
+	e.treeRW.RUnlock()
+	return e.Snapshot().WriteTo(w)
+}
+
+// ArenaStats snapshots the store's arena occupancy (zero-valued except
+// for the footprint when the backend does not report arenas), draining
+// the applier first so the counters are exact.
+func (e *engine) ArenaStats() ArenaStats {
+	e.app.quiesce()
+	s := ArenaStats{Bytes: e.store.MemoryBytes()}
+	if ar, ok := e.store.(ArenaReporter); ok {
+		s.LiveNodes, s.FreeSlots, s.Capacity = ar.ArenaStats()
+	}
+	return s
+}
+
+// NodeVisits reports the store's cumulative memory-touch count, or 0
+// for backends without the capability.
+func (e *engine) NodeVisits() int64 {
+	if vc, ok := e.store.(VisitCounter); ok {
+		return vc.NodeVisits()
+	}
+	return 0
+}
+
+// ResetNodeVisits zeroes the store's visit counter where supported.
+func (e *engine) ResetNodeVisits() {
+	if vc, ok := e.store.(VisitCounter); ok {
+		vc.ResetNodeVisits()
+	}
+}
+
+// MemoryBytes estimates the store's heap footprint.
+func (e *engine) MemoryBytes() int64 { return e.store.MemoryBytes() }
+
+// Tree returns a backend-neutral snapshot of the store.
+//
+// Deprecated: use Snapshot.
+func (e *engine) Tree() *Snapshot { return e.Snapshot() }
 
 func (e *engine) CacheLen() int {
 	if e.cache == nil {

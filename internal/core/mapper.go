@@ -1,10 +1,12 @@
 package core
 
 import (
+	"io"
+
 	"octocache/internal/cache"
 	"octocache/internal/geom"
-	"octocache/internal/octree"
 	"octocache/internal/raytrace"
+	"octocache/internal/voxel"
 )
 
 // Mapper is the query-consistent interface every pipeline implements —
@@ -26,7 +28,7 @@ type Mapper interface {
 	Occupied(p geom.Vec3) bool
 
 	// OccupiedKey is the key-space variant of Occupied.
-	OccupiedKey(k octree.Key) bool
+	OccupiedKey(k voxel.Key) bool
 
 	// CastRay walks from origin along dir until it enters a known-
 	// occupied voxel or exceeds maxRange, returning the hit voxel's
@@ -43,18 +45,51 @@ type Mapper interface {
 
 	// Resolution returns the voxel edge length in meters. It lets
 	// map consumers (planners, renderers) discretize without reaching
-	// for the backing tree.
+	// for the backing store.
 	Resolution() float64
 
-	// Tree exposes the backing octree. Callers must not use it while a
-	// parallel pipeline is active; it is always safe after Close.
-	Tree() *octree.Tree
+	// Backend reports which voxel store backs the pipeline.
+	Backend() BackendKind
 
-	// Compact rebuilds the pipeline's octree arenas into a dense
+	// Snapshot captures the store's current contents as a canonical,
+	// backend-neutral snapshot — for serialization, merging, and
+	// read-only consumers. Like Tree() before it, the snapshot excludes
+	// cells still parked in the cache; Close (or flush) first for a
+	// complete map. Treat it as a mutator call on parallel pipelines.
+	Snapshot() *Snapshot
+
+	// WriteTo serializes the store in the .bt format, draining any
+	// background applier first. Bytes are identical across backends for
+	// content-equal maps. Treat it as a mutator call on parallel
+	// pipelines.
+	WriteTo(w io.Writer) (int64, error)
+
+	// Tree returns a backend-neutral snapshot of the store.
+	//
+	// Deprecated: Tree exposed the raw octree in earlier releases; it
+	// now returns the same canonical *Snapshot as Snapshot and will be
+	// removed next release. Use Snapshot.
+	Tree() *Snapshot
+
+	// ArenaStats snapshots the store's arena occupancy (resident-brick
+	// counts for the grid backend), draining any background applier
+	// first.
+	ArenaStats() ArenaStats
+
+	// NodeVisits reports the store's cumulative memory-touch count — the
+	// bottleneck experiments' architecture-neutral proxy for Figure 5's
+	// memory accesses. Backends without the capability report 0.
+	NodeVisits() int64
+
+	// MemoryBytes estimates the store's heap footprint.
+	MemoryBytes() int64
+
+	// Compact rebuilds the store's arenas into a dense
 	// Morton/DFS-ordered prefix, releasing fragmented tail capacity.
 	// Observable structure — queries and serialized bytes — is
 	// unchanged. Like Insert it is a mutator call: the caller provides
-	// the same serialization. Returns ErrClosed after Close.
+	// the same serialization. A no-op on backends without the
+	// compaction capability. Returns ErrClosed after Close.
 	Compact() error
 
 	// CompactionStats reports cumulative arena-compaction activity,
@@ -93,21 +128,30 @@ type BatchMapper interface {
 	ApplyTraced(batch []raytrace.Voxel) error
 
 	// OccupancyKey is the key-space variant of Occupancy.
-	OccupancyKey(k octree.Key) (logOdds float32, known bool)
+	OccupancyKey(k voxel.Key) (logOdds float32, known bool)
 
 	// CacheLen reports the number of cells currently parked in the
 	// pipeline's cache awaiting eviction — the shard's queue depth.
 	CacheLen() int
 
-	// Quiesce blocks until every octree write handed to the pipeline's
-	// applier has landed in the tree. A no-op for inline appliers.
-	// Layered services call it before touching Tree() directly.
+	// Quiesce blocks until every store write handed to the pipeline's
+	// applier has landed. A no-op for inline appliers. Layered services
+	// call it before walking the store directly.
 	Quiesce()
 
-	// LoadLeaf writes one (possibly aggregate) octree leaf, as emitted
-	// by octree.Walk, into the pipeline's tree — the seam map loading is
+	// WalkLeaves streams the pipeline's complete contents: the store's
+	// leaves in ascending Morton order (applier drained first), then
+	// any cache-resident cells as finest-depth leaves. A key may appear
+	// twice — store value first, authoritative cached value second — so
+	// consume the stream by replay (Snapshot.Add), which converges to
+	// the live map's answers. This is the per-shard walk the sharded
+	// service merges snapshots from.
+	WalkLeaves(fn func(voxel.Leaf) bool)
+
+	// LoadLeaf writes one (possibly aggregate) leaf, as emitted by a
+	// backend walk, into the pipeline's store — the seam map loading is
 	// built on. Returns ErrClosed after Close.
-	LoadLeaf(l octree.Leaf) error
+	LoadLeaf(l voxel.Leaf) error
 }
 
 // NewShardPipeline builds the pipeline that backs one spatial shard of a

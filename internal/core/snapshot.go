@@ -1,0 +1,116 @@
+package core
+
+import (
+	"io"
+
+	"octocache/internal/geom"
+	"octocache/internal/octree"
+	"octocache/internal/voxel"
+)
+
+// Snapshot is a backend-neutral copy of a map's contents: an immutable,
+// canonically pruned occupancy tree built by replaying a leaf walk. It
+// replaces the old raw-octree escape hatch as the one way map contents
+// leave a pipeline — for serialization, for merging shards, for
+// read-only consumers (it satisfies viz.Querier), and for loading into a
+// fresh map of either backend.
+//
+// Canonical means: the live octree keeps itself fully pruned on every
+// update path, so rebuilding from any content-equal leaf stream — an
+// octree walk, a grid walk, the concatenation of disjoint shard walks —
+// converges to the identical structure, and WriteTo emits identical
+// bytes. That is the property the cross-backend consistency suite pins:
+// .bt files round-trip between backends and shard counts.
+type Snapshot struct {
+	tree *octree.Tree
+}
+
+// NewSnapshot creates an empty snapshot with the given occupancy model.
+// Populate it with Add.
+func NewSnapshot(p voxel.Params) *Snapshot {
+	return &Snapshot{tree: octree.New(p)}
+}
+
+// ReadSnapshot deserializes a snapshot written by WriteTo.
+func ReadSnapshot(r io.Reader) (*Snapshot, error) {
+	var t octree.Tree
+	if _, err := t.ReadFrom(r); err != nil {
+		return nil, err
+	}
+	return &Snapshot{tree: &t}, nil
+}
+
+// ReadSnapshotBT parses OctoMap's .bt binary wire format into a
+// snapshot: occupied leaves at the clamp maximum, free leaves at the
+// clamp minimum, with the default sensor model at the file's resolution.
+func ReadSnapshotBT(r io.Reader) (*Snapshot, error) {
+	t := octree.New(voxel.DefaultParams(0.1))
+	if err := t.ReadBT(r); err != nil {
+		return nil, err
+	}
+	return &Snapshot{tree: t}, nil
+}
+
+// WriteBT serializes the snapshot's maximum-likelihood binarization in
+// OctoMap's .bt wire format, readable by the reference toolchain.
+func (s *Snapshot) WriteBT(w io.Writer) error { return s.tree.WriteBT(w) }
+
+// Add replays one leaf into the snapshot. Builders call it once per leaf
+// of a backend walk; disjoint regions (shards) may be added in any
+// order.
+func (s *Snapshot) Add(l voxel.Leaf) {
+	s.tree.SetLeafAt(l.Key, l.Depth, l.LogOdds)
+}
+
+// Walk visits every leaf in ascending Morton order.
+func (s *Snapshot) Walk(fn func(voxel.Leaf) bool) { s.tree.Walk(fn) }
+
+// WriteTo serializes the snapshot in the .bt format. It implements
+// io.WriterTo; output is deterministic for content-equal snapshots.
+func (s *Snapshot) WriteTo(w io.Writer) (int64, error) { return s.tree.WriteTo(w) }
+
+// Params returns the snapshot's occupancy model.
+func (s *Snapshot) Params() voxel.Params { return s.tree.Params() }
+
+// NumNodes returns the canonical tree's node count.
+func (s *Snapshot) NumNodes() int { return s.tree.NumNodes() }
+
+// NumLeaves counts the snapshot's leaves (voxels plus aggregates).
+func (s *Snapshot) NumLeaves() int { return s.tree.NumLeaves() }
+
+// Occupancy returns the accumulated log-odds of the voxel containing p;
+// known is false for never-observed voxels.
+func (s *Snapshot) Occupancy(p geom.Vec3) (logOdds float32, known bool) {
+	return s.tree.OccupancyAt(p)
+}
+
+// Occupied reports whether the voxel containing p is known-occupied.
+func (s *Snapshot) Occupied(p geom.Vec3) bool { return s.tree.OccupiedAt(p) }
+
+// OccupancyKey is the key-space variant of Occupancy.
+func (s *Snapshot) OccupancyKey(k voxel.Key) (logOdds float32, known bool) {
+	return s.tree.Search(k)
+}
+
+// OccupiedKey is the key-space variant of Occupied.
+func (s *Snapshot) OccupiedKey(k voxel.Key) bool { return s.tree.Occupied(k) }
+
+// AnyOccupiedIn reports whether any known-occupied leaf intersects box.
+func (s *Snapshot) AnyOccupiedIn(box geom.AABB) bool { return s.tree.AnyOccupiedIn(box) }
+
+// Resolution returns the voxel edge length in meters.
+func (s *Snapshot) Resolution() float64 { return s.tree.Params().Resolution }
+
+// MemoryBytes estimates the snapshot's heap footprint.
+func (s *Snapshot) MemoryBytes() int64 { return s.tree.MemoryBytes() }
+
+// BBox returns the bounding box of all known leaves; ok is false for an
+// empty snapshot.
+func (s *Snapshot) BBox() (box geom.AABB, ok bool) { return s.tree.BBox() }
+
+// OccupiedLeaves collects the known-occupied leaves.
+func (s *Snapshot) OccupiedLeaves() []voxel.Leaf { return s.tree.OccupiedLeaves() }
+
+// Equal reports whether two snapshots hold identical parameters and
+// content.
+func (s *Snapshot) Equal(o *Snapshot) bool { return s.tree.Equal(o.tree) }

@@ -18,9 +18,9 @@ import (
 	"sort"
 
 	"octocache/internal/geom"
-	"octocache/internal/octree"
 	"octocache/internal/raytrace"
 	"octocache/internal/sensor"
+	"octocache/internal/voxel"
 	"octocache/internal/world"
 )
 
@@ -261,13 +261,13 @@ type VoxelStats struct {
 // aggregates workload statistics.
 func (d *Dataset) ComputeVoxelStats(res float64) VoxelStats {
 	tr := raytrace.NewTracer(raytrace.Config{Resolution: res, Depth: 16, MaxRange: d.Sensor.MaxRange})
-	global := make(map[octree.Key]struct{})
+	global := make(map[voxel.Key]struct{})
 	st := VoxelStats{Resolution: res, Scans: len(d.Scans), DupMin: math.Inf(1)}
 	for _, s := range d.Scans {
 		st.Points += len(s.Points)
 		batch := tr.Trace(s.Origin, s.Points)
 		st.TotalVoxels += len(batch)
-		local := make(map[octree.Key]struct{}, len(batch))
+		local := make(map[voxel.Key]struct{}, len(batch))
 		for _, v := range batch {
 			local[v.Key] = struct{}{}
 			global[v.Key] = struct{}{}
@@ -297,7 +297,7 @@ func (d *Dataset) OverlapRatios(res float64, window int) []float64 {
 		window = 3
 	}
 	tr := raytrace.NewTracer(raytrace.Config{Resolution: res, Depth: 16, MaxRange: d.Sensor.MaxRange})
-	distinct := make([]map[octree.Key]struct{}, len(d.Scans))
+	distinct := make([]map[voxel.Key]struct{}, len(d.Scans))
 	for i, s := range d.Scans {
 		distinct[i] = raytrace.DistinctKeys(tr.Trace(s.Origin, s.Points))
 	}

@@ -14,7 +14,7 @@ import (
 func churn(tr *Tree, seed int64, steps int) {
 	rng := rand.New(rand.NewSource(seed))
 	for i := 0; i < steps; i++ {
-		k := Key{uint16(rng.Intn(64)), uint16(rng.Intn(64)), uint16(rng.Intn(64))}
+		k := Key{X: uint16(rng.Intn(64)), Y: uint16(rng.Intn(64)), Z: uint16(rng.Intn(64))}
 		switch rng.Intn(4) {
 		case 0, 1:
 			tr.Update(k, rng.Intn(2) == 0)
@@ -23,11 +23,11 @@ func churn(tr *Tree, seed int64, steps int) {
 		case 3:
 			// Saturate the 2×2×2 octant containing k so it prunes, then
 			// the next divergence must expand from the free list.
-			base := Key{k.X &^ 1, k.Y &^ 1, k.Z &^ 1}
+			base := Key{X: k.X &^ 1, Y: k.Y &^ 1, Z: k.Z &^ 1}
 			for dx := uint16(0); dx < 2; dx++ {
 				for dy := uint16(0); dy < 2; dy++ {
 					for dz := uint16(0); dz < 2; dz++ {
-						tr.SetNodeValue(Key{base.X + dx, base.Y + dy, base.Z + dz}, tr.Params().ClampMax)
+						tr.SetNodeValue(Key{X: base.X + dx, Y: base.Y + dy, Z: base.Z + dz}, tr.Params().ClampMax)
 					}
 				}
 			}
@@ -74,7 +74,7 @@ func TestArenaRecyclingUnderPruneExpandChurn(t *testing.T) {
 			for y := 0; y < 8; y++ {
 				for z := 0; z < 8; z++ {
 					for i := 0; i < 6; i++ {
-						tr.UpdateOccupied(Key{uint16(x), uint16(y), uint16(z)})
+						tr.UpdateOccupied(Key{X: uint16(x), Y: uint16(y), Z: uint16(z)})
 					}
 				}
 			}
@@ -83,16 +83,16 @@ func TestArenaRecyclingUnderPruneExpandChurn(t *testing.T) {
 			t.Fatalf("round %d: not pruned (%d nodes)", round, tr.NumNodes())
 		}
 		// Diverge: forces expansion chains from recycled nodes.
-		tr.SetNodeValue(Key{3, 3, 3}, p.ClampMin)
-		if l, _ := tr.Search(Key{3, 3, 3}); l != p.ClampMin {
+		tr.SetNodeValue(Key{X: 3, Y: 3, Z: 3}, p.ClampMin)
+		if l, _ := tr.Search(Key{X: 3, Y: 3, Z: 3}); l != p.ClampMin {
 			t.Fatalf("round %d: diverged voxel lost", round)
 		}
-		if l, _ := tr.Search(Key{0, 7, 2}); l != p.ClampMax {
+		if l, _ := tr.Search(Key{X: 0, Y: 7, Z: 2}); l != p.ClampMax {
 			t.Fatalf("round %d: sibling corrupted", round)
 		}
 		// Drive it back up for the next round.
 		for i := 0; i < 20; i++ {
-			tr.UpdateOccupied(Key{3, 3, 3})
+			tr.UpdateOccupied(Key{X: 3, Y: 3, Z: 3})
 		}
 	}
 }
@@ -107,16 +107,16 @@ func TestArenaFreeListBoundsCapacity(t *testing.T) {
 		for y := 0; y < 8; y++ {
 			for z := 0; z < 8; z++ {
 				for i := 0; i < 6; i++ {
-					tr.UpdateOccupied(Key{uint16(x), uint16(y), uint16(z)})
+					tr.UpdateOccupied(Key{X: uint16(x), Y: uint16(y), Z: uint16(z)})
 				}
 			}
 		}
 	}
 	_, _, capAfterBuild := tr.ArenaStats()
 	for round := 0; round < 50; round++ {
-		tr.SetNodeValue(Key{3, 3, 3}, p.ClampMin) // expand
+		tr.SetNodeValue(Key{X: 3, Y: 3, Z: 3}, p.ClampMin) // expand
 		for i := 0; i < 20; i++ {
-			tr.UpdateOccupied(Key{3, 3, 3}) // re-saturate, prune
+			tr.UpdateOccupied(Key{X: 3, Y: 3, Z: 3}) // re-saturate, prune
 		}
 	}
 	if _, _, capNow := tr.ArenaStats(); capNow > capAfterBuild {
@@ -142,7 +142,7 @@ func TestArenaUpdateAllocationBound(t *testing.T) {
 		tr := New(p)
 		rng := rand.New(rand.NewSource(5))
 		for i := 0; i < 50000; i++ {
-			tr.UpdateOccupied(Key{uint16(rng.Intn(256)), uint16(rng.Intn(256)), uint16(rng.Intn(256))})
+			tr.UpdateOccupied(Key{X: uint16(rng.Intn(256)), Y: uint16(rng.Intn(256)), Z: uint16(rng.Intn(256))})
 		}
 		if tr.NumNodes() < 50000 {
 			t.Errorf("expected a large tree, got %d nodes", tr.NumNodes())
@@ -182,7 +182,7 @@ func TestNumNodesInvariant(t *testing.T) {
 	rng := rand.New(rand.NewSource(13))
 
 	for i := 0; i < 2000; i++ {
-		k := Key{uint16(rng.Intn(32)), uint16(rng.Intn(32)), uint16(rng.Intn(32))}
+		k := Key{X: uint16(rng.Intn(32)), Y: uint16(rng.Intn(32)), Z: uint16(rng.Intn(32))}
 		tr.Update(k, rng.Intn(2) == 0)
 	}
 	recount(t, tr, "after random updates")
@@ -192,7 +192,7 @@ func TestNumNodesInvariant(t *testing.T) {
 	for i := 0; i < 300; i++ {
 		depth := 1 + rng.Intn(p.Depth)
 		mask := uint16(0xffff) << uint(p.Depth-depth)
-		k := Key{uint16(rng.Intn(32)) & mask, uint16(rng.Intn(32)) & mask, uint16(rng.Intn(32)) & mask}
+		k := Key{X: uint16(rng.Intn(32)) & mask, Y: uint16(rng.Intn(32)) & mask, Z: uint16(rng.Intn(32)) & mask}
 		tr.SetLeafAt(k, depth, float32(rng.Float64()*6-3))
 	}
 	recount(t, tr, "after SetLeafAt churn")
@@ -201,12 +201,12 @@ func TestNumNodesInvariant(t *testing.T) {
 	for x := 0; x < 8; x++ {
 		for y := 0; y < 8; y++ {
 			for z := 0; z < 8; z++ {
-				tr.SetNodeValue(Key{uint16(x), uint16(y), uint16(z)}, p.ClampMax)
+				tr.SetNodeValue(Key{X: uint16(x), Y: uint16(y), Z: uint16(z)}, p.ClampMax)
 			}
 		}
 	}
 	recount(t, tr, "after saturation")
-	tr.SetNodeValue(Key{3, 3, 3}, p.ClampMin)
+	tr.SetNodeValue(Key{X: 3, Y: 3, Z: 3}, p.ClampMin)
 	recount(t, tr, "after divergence")
 
 	// Depth-0 write replaces the entire tree with one aggregate leaf.
@@ -219,13 +219,13 @@ func TestNumNodesInvariant(t *testing.T) {
 
 func TestArenaClearResets(t *testing.T) {
 	tr := New(smallParams(4))
-	tr.UpdateOccupied(Key{1, 2, 3})
+	tr.UpdateOccupied(Key{X: 1, Y: 2, Z: 3})
 	tr.Clear()
 	if tr.NumNodes() != 0 {
 		t.Error("Clear left nodes")
 	}
-	tr.UpdateOccupied(Key{4, 5, 6})
-	if !tr.Occupied(Key{4, 5, 6}) {
+	tr.UpdateOccupied(Key{X: 4, Y: 5, Z: 6})
+	if !tr.Occupied(Key{X: 4, Y: 5, Z: 6}) {
 		t.Error("arena tree unusable after Clear")
 	}
 }
@@ -245,7 +245,7 @@ func benchUpdates(b *testing.B, tr *Tree) {
 	rng := rand.New(rand.NewSource(1))
 	keys := make([]Key, 1<<14)
 	for i := range keys {
-		keys[i] = Key{uint16(rng.Intn(1024)), uint16(rng.Intn(1024)), uint16(rng.Intn(64))}
+		keys[i] = Key{X: uint16(rng.Intn(1024)), Y: uint16(rng.Intn(1024)), Z: uint16(rng.Intn(64))}
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -34,7 +34,7 @@ func TestBTRoundTripOccupancy(t *testing.T) {
 	for x := 0; x < 64; x++ {
 		for y := 0; y < 64; y += 3 {
 			for z := 0; z < 64; z += 3 {
-				k := Key{uint16(x), uint16(y), uint16(z)}
+				k := Key{X: uint16(x), Y: uint16(y), Z: uint16(z)}
 				_, knownA := tr.Search(k)
 				_, knownB := back.Search(k)
 				if knownA != knownB {
@@ -64,7 +64,7 @@ func TestBTFullyPrunedTree(t *testing.T) {
 		for y := 0; y < 8; y++ {
 			for z := 0; z < 8; z++ {
 				for i := 0; i < 6; i++ {
-					tr.UpdateOccupied(Key{uint16(x), uint16(y), uint16(z)})
+					tr.UpdateOccupied(Key{X: uint16(x), Y: uint16(y), Z: uint16(z)})
 				}
 			}
 		}
@@ -80,7 +80,7 @@ func TestBTFullyPrunedTree(t *testing.T) {
 	if err := back.ReadBT(bytes.NewReader(buf.Bytes())); err != nil {
 		t.Fatal(err)
 	}
-	if !back.Occupied(Key{3, 4, 5}) {
+	if !back.Occupied(Key{X: 3, Y: 4, Z: 5}) {
 		t.Error("pruned occupied space lost in .bt round trip")
 	}
 }

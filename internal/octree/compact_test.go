@@ -132,8 +132,8 @@ func TestCompactEmptyAndClearedTrees(t *testing.T) {
 		t.Errorf("cleared+compacted arena not empty: %d/%d/%d", live, free, capacity)
 	}
 	// Still usable afterwards.
-	tr.UpdateOccupied(Key{1, 2, 3})
-	if !tr.Occupied(Key{1, 2, 3}) {
+	tr.UpdateOccupied(Key{X: 1, Y: 2, Z: 3})
+	if !tr.Occupied(Key{X: 1, Y: 2, Z: 3}) {
 		t.Error("tree unusable after compacting an empty arena")
 	}
 }

@@ -74,19 +74,19 @@ func FuzzOpStream(f *testing.F) {
 		for i, b := range ops {
 			// Decode one op from one byte: 2 op bits, then 6 bits of
 			// position/value salt.
-			k := Key{uint16(b & 0x3), uint16(b >> 2 & 0x3), uint16(b >> 4 & 0x3)}
+			k := Key{X: uint16(b & 0x3), Y: uint16(b >> 2 & 0x3), Z: uint16(b >> 4 & 0x3)}
 			switch b >> 6 {
 			case 0:
 				tr.Update(k, b&1 == 0)
 			case 1:
 				// Saturate the octant so it prunes.
 				for d := uint16(0); d < 8; d++ {
-					tr.SetNodeValue(Key{k.X&^1 | d&1, k.Y&^1 | d>>1&1, k.Z&^1 | d>>2&1}, p.ClampMax)
+					tr.SetNodeValue(Key{X: k.X&^1 | d&1, Y: k.Y&^1 | d>>1&1, Z: k.Z&^1 | d>>2&1}, p.ClampMax)
 				}
 			case 2:
 				depth := int(b>>2&0x3) + 1 // 1..4
 				mask := uint16(0xffff) << uint(p.Depth-depth)
-				tr.SetLeafAt(Key{k.X & mask, k.Y & mask, k.Z & mask}, depth, float32(int(b&0x3f)-32)/8)
+				tr.SetLeafAt(Key{X: k.X & mask, Y: k.Y & mask, Z: k.Z & mask}, depth, float32(int(b&0x3f)-32)/8)
 			case 3:
 				if b&2 != 0 {
 					// Compact mid-stream: the serialized stream is

@@ -83,12 +83,12 @@ func (t *IndexedTree) Update(k Key, occupied bool) float32 {
 	}
 	if leaf, ok := t.index[k]; ok {
 		t.nodeVisits++
-		leaf.logOdds = t.params.clamp(leaf.logOdds + delta)
+		leaf.logOdds = t.params.Clamp(leaf.logOdds + delta)
 		t.propagateUp(leaf)
 		return leaf.logOdds
 	}
 	leaf := t.descend(k)
-	leaf.logOdds = t.params.clamp(delta) // unknown voxels start at the prior
+	leaf.logOdds = t.params.Clamp(delta) // unknown voxels start at the prior
 	t.index[k] = leaf
 	t.propagateUp(leaf)
 	return leaf.logOdds
@@ -103,7 +103,7 @@ func (t *IndexedTree) SetNodeValue(k Key, logOdds float32) float32 {
 	} else {
 		t.nodeVisits++
 	}
-	leaf.logOdds = t.params.clamp(logOdds)
+	leaf.logOdds = t.params.Clamp(logOdds)
 	t.propagateUp(leaf)
 	return leaf.logOdds
 }

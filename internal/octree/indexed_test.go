@@ -11,7 +11,7 @@ func TestIndexedTreeBasics(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	k := Key{10, 20, 30}
+	k := Key{X: 10, Y: 20, Z: 30}
 	if got := tr.Update(k, true); got != p.LogOddsHit {
 		t.Errorf("first hit = %v", got)
 	}
@@ -22,7 +22,7 @@ func TestIndexedTreeBasics(t *testing.T) {
 	if !tr.Occupied(k) {
 		t.Error("voxel should be occupied")
 	}
-	if _, known := tr.Search(Key{1, 1, 1}); known {
+	if _, known := tr.Search(Key{X: 1, Y: 1, Z: 1}); known {
 		t.Error("unknown voxel reported known")
 	}
 	if tr.NumNodes() == 0 || tr.MemoryBytes() <= 0 || tr.NodeVisits() <= 0 {
@@ -45,7 +45,7 @@ func TestIndexedMatchesTreeValues(t *testing.T) {
 	rng := rand.New(rand.NewSource(12))
 	keys := make([]Key, 0, 4000)
 	for i := 0; i < 4000; i++ {
-		k := Key{uint16(rng.Intn(64)), uint16(rng.Intn(64)), uint16(rng.Intn(64))}
+		k := Key{X: uint16(rng.Intn(64)), Y: uint16(rng.Intn(64)), Z: uint16(rng.Intn(64))}
 		occ := rng.Intn(2) == 0
 		if rng.Intn(5) == 0 {
 			v := float32(rng.Float64()*6 - 3)
@@ -71,7 +71,7 @@ func TestIndexedUpdateCheaperWhenHot(t *testing.T) {
 	// the downward search. Compare node visits for a cold vs hot update.
 	p := DefaultParams(0.1)
 	tr, _ := NewIndexed(p)
-	k := Key{100, 200, 300}
+	k := Key{X: 100, Y: 200, Z: 300}
 	tr.Update(k, true)
 	cold := tr.NodeVisits()
 	tr.Update(k, true)
@@ -91,7 +91,7 @@ func TestIndexedPropagation(t *testing.T) {
 	// then free, its sibling keeps its own value.
 	p := smallParams(4)
 	tr, _ := NewIndexed(p)
-	k1, k2 := Key{0, 0, 0}, Key{1, 0, 0}
+	k1, k2 := Key{X: 0, Y: 0, Z: 0}, Key{X: 1, Y: 0, Z: 0}
 	tr.Update(k1, true)
 	tr.Update(k2, false)
 	v1, _ := tr.Search(k1)
@@ -116,7 +116,7 @@ func TestIndexedKeysSnapshot(t *testing.T) {
 	want := map[Key]struct{}{}
 	rng := rand.New(rand.NewSource(13))
 	for i := 0; i < 300; i++ {
-		k := Key{uint16(rng.Intn(32)), uint16(rng.Intn(32)), uint16(rng.Intn(32))}
+		k := Key{X: uint16(rng.Intn(32)), Y: uint16(rng.Intn(32)), Z: uint16(rng.Intn(32))}
 		tr.Update(k, true)
 		want[k] = struct{}{}
 	}
@@ -141,7 +141,7 @@ func TestIndexedMemoryExceedsPruned(t *testing.T) {
 	for x := 0; x < 16; x++ {
 		for y := 0; y < 16; y++ {
 			for z := 0; z < 16; z++ {
-				k := Key{uint16(x), uint16(y), uint16(z)}
+				k := Key{X: uint16(x), Y: uint16(y), Z: uint16(z)}
 				for i := 0; i < 6; i++ {
 					a.UpdateOccupied(k)
 					b.Update(k, true)

@@ -1,26 +1,14 @@
 package octree
 
-import "octocache/internal/geom"
+import (
+	"octocache/internal/geom"
+	"octocache/internal/voxel"
+)
 
 // Leaf describes one leaf emitted by Walk: either a finest-resolution
-// voxel or a pruned aggregate covering a whole cube.
-type Leaf struct {
-	// Key is the minimum-corner key of the leaf's extent at the finest
-	// resolution. For a finest-resolution leaf it addresses the voxel
-	// itself.
-	Key Key
-	// Depth is the leaf's depth in the tree; Depth == tree depth for
-	// finest-resolution voxels, smaller for pruned aggregates.
-	Depth int
-	// LogOdds is the leaf's accumulated occupancy.
-	LogOdds float32
-}
-
-// Size returns the edge length in meters of the leaf's cube in a tree
-// with the given params.
-func (l Leaf) Size(p Params) float64 {
-	return p.Resolution * float64(int(1)<<(p.Depth-l.Depth))
-}
+// voxel or a pruned aggregate covering a whole cube. It is an alias of
+// voxel.Leaf, the backend-neutral leaf-walk unit.
+type Leaf = voxel.Leaf
 
 // Walk visits every leaf of the tree in Morton (in-order) order. The
 // walk stops early if fn returns false.

@@ -1,5 +1,5 @@
 // Package octree implements an OctoMap-style probabilistic 3D occupancy
-// octree: the backend data structure OctoCache accelerates.
+// octree: the default storage backend OctoCache accelerates.
 //
 // The tree recursively halves a cubic mapping volume down to a leaf
 // resolution. Every node carries a log-odds occupancy value; an inner
@@ -8,75 +8,39 @@
 // their parent to save memory. Updating or querying a voxel requires a
 // root-to-leaf traversal — the memory-access pattern whose cost motivates
 // OctoCache (paper §2.2, Figure 5).
+//
+// The backend-neutral vocabulary (Key, Params, Leaf) lives in
+// internal/voxel; this package re-exports it under aliases so existing
+// octree-centric code keeps compiling while other packages migrate to
+// voxel directly.
 package octree
 
 import (
-	"fmt"
-	"math"
-
 	"octocache/internal/geom"
-	"octocache/internal/morton"
+	"octocache/internal/voxel"
 )
 
-// Key addresses a voxel at the finest tree resolution. Following OctoMap,
-// each axis is a 16-bit discretized coordinate with the map origin at the
-// center of the key range.
-type Key struct {
-	X, Y, Z uint16
-}
-
-// Morton returns the 48-bit Morton code of the key, the quantity
-// OctoCache uses for bucket indexing and eviction ordering.
-func (k Key) Morton() uint64 {
-	return morton.Encode(k.X, k.Y, k.Z)
-}
+// Key addresses a voxel at the finest tree resolution. It is an alias of
+// voxel.Key, the backend-neutral key type.
+type Key = voxel.Key
 
 // KeyFromMorton reconstructs the key encoded by Key.Morton.
-func KeyFromMorton(m uint64) Key {
-	x, y, z := morton.Decode(m)
-	return Key{x, y, z}
-}
+func KeyFromMorton(m uint64) Key { return voxel.KeyFromMorton(m) }
 
 // childIndex returns which of the eight children of a node at the given
-// depth contains k. Bit 0 selects the x half, bit 1 the y half, bit 2 the
-// z half — matching the Morton bit layout, so ascending Morton order is
-// exactly the tree's in-order leaf traversal.
+// depth contains k.
 func childIndex(k Key, depth, leafDepth int) int {
-	b := uint(leafDepth - 1 - depth)
-	return int(k.X>>b&1) | int(k.Y>>b&1)<<1 | int(k.Z>>b&1)<<2
+	return voxel.ChildIndex(k, depth, leafDepth)
 }
 
 // CoordToKey discretizes a world coordinate to a voxel key at resolution
 // res for a tree of the given depth. ok is false when the coordinate is
 // outside the mapped volume.
 func CoordToKey(p geom.Vec3, res float64, depth int) (Key, bool) {
-	half := 1 << (depth - 1)
-	kx, okx := axisKey(p.X, res, half)
-	ky, oky := axisKey(p.Y, res, half)
-	kz, okz := axisKey(p.Z, res, half)
-	if !okx || !oky || !okz {
-		return Key{}, false
-	}
-	return Key{kx, ky, kz}, true
-}
-
-func axisKey(c, res float64, half int) (uint16, bool) {
-	v := int(math.Floor(c/res)) + half
-	if v < 0 || v >= half*2 {
-		return 0, false
-	}
-	return uint16(v), true
+	return voxel.CoordToKey(p, res, depth)
 }
 
 // KeyToCoord returns the center coordinate of the voxel addressed by k.
 func KeyToCoord(k Key, res float64, depth int) geom.Vec3 {
-	half := 1 << (depth - 1)
-	return geom.Vec3{
-		X: (float64(int(k.X)-half) + 0.5) * res,
-		Y: (float64(int(k.Y)-half) + 0.5) * res,
-		Z: (float64(int(k.Z)-half) + 0.5) * res,
-	}
+	return voxel.KeyToCoord(k, res, depth)
 }
-
-// String implements fmt.Stringer.
-func (k Key) String() string { return fmt.Sprintf("key(%d,%d,%d)", k.X, k.Y, k.Z) }

@@ -1,84 +1,18 @@
 package octree
 
-import (
-	"fmt"
-	"math"
-)
+import "octocache/internal/voxel"
 
-// Params configures an occupancy octree. The defaults mirror the OctoMap
-// reference implementation (Hornung et al. 2013).
-type Params struct {
-	// Resolution is the leaf voxel edge length in meters.
-	Resolution float64
-	// Depth is the number of subdivision levels; the mapped cube spans
-	// Resolution * 2^Depth meters per axis. OctoMap's standard depth is
-	// 16, giving the "up to 32 memory accesses" round trip of §3.2.
-	Depth int
-	// LogOddsHit is δ_occupied: added when a voxel is observed occupied.
-	LogOddsHit float32
-	// LogOddsMiss is δ_free (negative): added when observed free.
-	LogOddsMiss float32
-	// ClampMin / ClampMax bound accumulated log-odds (min_occ / max_occ),
-	// which keeps the map responsive in dynamic environments.
-	ClampMin, ClampMax float32
-	// OccupancyThreshold is t: log-odds at or above it mean "occupied".
-	OccupancyThreshold float32
-}
+// Params configures an occupancy octree. It is an alias of voxel.Params,
+// the backend-neutral sensor model shared by every storage backend.
+type Params = voxel.Params
 
 // LogOdds converts a probability in (0,1) to log-odds.
-func LogOdds(p float64) float32 {
-	return float32(math.Log(p / (1 - p)))
-}
+func LogOdds(p float64) float32 { return voxel.LogOdds(p) }
 
 // Probability converts log-odds back to a probability.
-func Probability(l float32) float64 {
-	return 1 / (1 + math.Exp(-float64(l)))
-}
+func Probability(l float32) float64 { return voxel.Probability(l) }
 
 // DefaultParams returns OctoMap's default sensor model at the given
 // resolution: P(hit)=0.7, P(miss)=0.4, clamps at P=0.12 and P=0.97,
 // occupancy threshold P=0.5, depth 16.
-func DefaultParams(resolution float64) Params {
-	return Params{
-		Resolution:         resolution,
-		Depth:              16,
-		LogOddsHit:         LogOdds(0.7),
-		LogOddsMiss:        LogOdds(0.4),
-		ClampMin:           LogOdds(0.12),
-		ClampMax:           LogOdds(0.97),
-		OccupancyThreshold: LogOdds(0.5),
-	}
-}
-
-// Validate reports whether the parameter set is internally consistent.
-func (p Params) Validate() error {
-	switch {
-	case p.Resolution <= 0:
-		return fmt.Errorf("octree: resolution must be positive, got %g", p.Resolution)
-	case p.Depth < 1 || p.Depth > 16:
-		return fmt.Errorf("octree: depth must be in [1,16], got %d", p.Depth)
-	case p.LogOddsHit <= 0:
-		return fmt.Errorf("octree: LogOddsHit must be positive, got %g", p.LogOddsHit)
-	case p.LogOddsMiss >= 0:
-		return fmt.Errorf("octree: LogOddsMiss must be negative, got %g", p.LogOddsMiss)
-	case p.ClampMin >= p.ClampMax:
-		return fmt.Errorf("octree: ClampMin %g must be below ClampMax %g", p.ClampMin, p.ClampMax)
-	}
-	return nil
-}
-
-// clamp bounds a log-odds value to [ClampMin, ClampMax].
-func (p Params) clamp(l float32) float32 {
-	if l < p.ClampMin {
-		return p.ClampMin
-	}
-	if l > p.ClampMax {
-		return p.ClampMax
-	}
-	return l
-}
-
-// MapSize returns the edge length in meters of the mapped cube.
-func (p Params) MapSize() float64 {
-	return p.Resolution * float64(int(1)<<p.Depth)
-}
+func DefaultParams(resolution float64) Params { return voxel.DefaultParams(resolution) }

@@ -88,7 +88,7 @@ func TestWalkInFiltersLeaves(t *testing.T) {
 	tr := New(smallParams(6))
 	rng := rand.New(rand.NewSource(3))
 	for i := 0; i < 400; i++ {
-		tr.UpdateOccupied(Key{uint16(rng.Intn(64)), uint16(rng.Intn(64)), uint16(rng.Intn(64))})
+		tr.UpdateOccupied(Key{X: uint16(rng.Intn(64)), Y: uint16(rng.Intn(64)), Z: uint16(rng.Intn(64))})
 	}
 	box := geom.Box(geom.V(-1, -1, -1), geom.V(1, 1, 1))
 	inBox := map[Key]bool{}
@@ -111,7 +111,7 @@ func TestWalkInFiltersLeaves(t *testing.T) {
 func TestWalkInEarlyStop(t *testing.T) {
 	tr := New(smallParams(5))
 	for i := 0; i < 20; i++ {
-		tr.UpdateOccupied(Key{uint16(i), 1, 1})
+		tr.UpdateOccupied(Key{X: uint16(i), Y: 1, Z: 1})
 	}
 	count := 0
 	tr.WalkIn(geom.Box(geom.V(-10, -10, -10), geom.V(10, 10, 10)), func(Leaf) bool {
@@ -126,7 +126,7 @@ func TestWalkInEarlyStop(t *testing.T) {
 func TestSearchAtDepth(t *testing.T) {
 	p := smallParams(4)
 	tr := New(p)
-	k := Key{5, 6, 7}
+	k := Key{X: 5, Y: 6, Z: 7}
 	tr.UpdateOccupied(k)
 	// Full depth equals Search.
 	full, knownFull := tr.SearchAtDepth(k, 4)
@@ -140,7 +140,7 @@ func TestSearchAtDepth(t *testing.T) {
 		t.Errorf("root query = %v,%v", rootVal, known)
 	}
 	// A key in an unknown octant is unknown at intermediate depth.
-	if _, known := tr.SearchAtDepth(Key{15, 15, 15}, 3); known {
+	if _, known := tr.SearchAtDepth(Key{X: 15, Y: 15, Z: 15}, 3); known {
 		t.Error("unknown octant reported known")
 	}
 	// Clamped depth arguments must not panic.
@@ -177,7 +177,7 @@ func TestChangeTracking(t *testing.T) {
 	p := DefaultParams(0.1)
 	tr := New(p)
 	tr.ChangeTracking(true)
-	k := Key{10, 10, 10}
+	k := Key{X: 10, Y: 10, Z: 10}
 
 	tr.UpdateOccupied(k)
 	ch := tr.Changes()
@@ -212,7 +212,7 @@ func TestChangeTracking(t *testing.T) {
 func TestChangeTrackingSetNodeValue(t *testing.T) {
 	tr := New(DefaultParams(0.1))
 	tr.ChangeTracking(true)
-	k := Key{3, 4, 5}
+	k := Key{X: 3, Y: 4, Z: 5}
 	tr.SetNodeValue(k, 2.0) // unknown -> occupied
 	if occ, ok := tr.Changes()[k]; !ok || !occ {
 		t.Error("SetNodeValue transition not recorded")
@@ -227,13 +227,13 @@ func TestChangeTrackingSetNodeValue(t *testing.T) {
 func TestClearResetsChanges(t *testing.T) {
 	tr := New(DefaultParams(0.1))
 	tr.ChangeTracking(true)
-	tr.UpdateOccupied(Key{1, 1, 1})
+	tr.UpdateOccupied(Key{X: 1, Y: 1, Z: 1})
 	tr.Clear()
 	if len(tr.Changes()) != 0 {
 		t.Error("Clear kept pending changes")
 	}
 	// Still tracking after Clear.
-	tr.UpdateOccupied(Key{2, 2, 2})
+	tr.UpdateOccupied(Key{X: 2, Y: 2, Z: 2})
 	if len(tr.Changes()) != 1 {
 		t.Error("tracking lost after Clear")
 	}

@@ -12,7 +12,7 @@ func buildRandomTree(seed int64, n int, depth int) *Tree {
 	rng := rand.New(rand.NewSource(seed))
 	space := 1 << depth
 	for i := 0; i < n; i++ {
-		k := Key{uint16(rng.Intn(space)), uint16(rng.Intn(space)), uint16(rng.Intn(space))}
+		k := Key{X: uint16(rng.Intn(space)), Y: uint16(rng.Intn(space)), Z: uint16(rng.Intn(space))}
 		tr.Update(k, rng.Intn(2) == 0)
 	}
 	return tr
@@ -99,7 +99,7 @@ func TestEqualDetectsDifferences(t *testing.T) {
 	if !a.Equal(b) {
 		t.Fatal("identically built trees should be equal")
 	}
-	b.UpdateOccupied(Key{31, 31, 31})
+	b.UpdateOccupied(Key{X: 31, Y: 31, Z: 31})
 	if a.Equal(b) {
 		t.Error("diverged trees should not be equal")
 	}

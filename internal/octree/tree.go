@@ -236,12 +236,12 @@ type leafOp struct {
 // apply computes the leaf's new clamped value.
 func (op leafOp) apply(p Params, old float32, known bool) float32 {
 	if op.set {
-		return p.clamp(op.val)
+		return p.Clamp(op.val)
 	}
 	if !known {
 		old = 0
 	}
-	return p.clamp(old + op.val)
+	return p.Clamp(old + op.val)
 }
 
 // UpdateOccupied integrates an "occupied" observation for the voxel at k:
@@ -285,7 +285,7 @@ func (t *Tree) SetLeafAt(k Key, depth int, logOdds float32) {
 	if depth < 0 || depth > t.params.Depth {
 		panic("octree: SetLeafAt depth out of range")
 	}
-	v := t.params.clamp(logOdds)
+	v := t.params.Clamp(logOdds)
 	if depth == 0 {
 		if !t.empty() {
 			t.freeSubtree(t.root)

@@ -32,10 +32,10 @@ func (r *refModel) update(k Key, occupied bool) {
 	if occupied {
 		delta = r.p.LogOddsHit
 	}
-	r.m[k] = r.p.clamp(r.m[k] + delta)
+	r.m[k] = r.p.Clamp(r.m[k] + delta)
 }
 
-func (r *refModel) set(k Key, l float32) { r.m[k] = r.p.clamp(l) }
+func (r *refModel) set(k Key, l float32) { r.m[k] = r.p.Clamp(l) }
 
 func TestParamsValidate(t *testing.T) {
 	if err := DefaultParams(0.1).Validate(); err != nil {
@@ -102,10 +102,10 @@ func TestCoordToKeyBounds(t *testing.T) {
 
 func TestEmptyTree(t *testing.T) {
 	tr := New(DefaultParams(0.1))
-	if _, known := tr.Search(Key{1, 2, 3}); known {
+	if _, known := tr.Search(Key{X: 1, Y: 2, Z: 3}); known {
 		t.Error("empty tree should know nothing")
 	}
-	if tr.Occupied(Key{1, 2, 3}) {
+	if tr.Occupied(Key{X: 1, Y: 2, Z: 3}) {
 		t.Error("empty tree should report unoccupied")
 	}
 	if tr.NumNodes() != 0 || tr.NumLeaves() != 0 {
@@ -115,7 +115,7 @@ func TestEmptyTree(t *testing.T) {
 
 func TestSingleUpdate(t *testing.T) {
 	tr := New(DefaultParams(0.1))
-	k := Key{100, 200, 300}
+	k := Key{X: 100, Y: 200, Z: 300}
 	got := tr.UpdateOccupied(k)
 	want := tr.params.LogOddsHit
 	if got != want {
@@ -129,14 +129,14 @@ func TestSingleUpdate(t *testing.T) {
 		t.Error("voxel should be occupied after one hit")
 	}
 	// A neighbor must remain unknown.
-	if _, known := tr.Search(Key{101, 200, 300}); known {
+	if _, known := tr.Search(Key{X: 101, Y: 200, Z: 300}); known {
 		t.Error("untouched neighbor should be unknown")
 	}
 }
 
 func TestClamping(t *testing.T) {
 	tr := New(DefaultParams(0.1))
-	k := Key{5, 5, 5}
+	k := Key{X: 5, Y: 5, Z: 5}
 	for i := 0; i < 50; i++ {
 		tr.UpdateOccupied(k)
 	}
@@ -155,7 +155,7 @@ func TestFreeThenOccupiedDynamics(t *testing.T) {
 	// The clamped log-odds model must allow a voxel to flip state — the
 	// paper's dynamic-environment requirement (§2.2).
 	tr := New(DefaultParams(0.1))
-	k := Key{9, 9, 9}
+	k := Key{X: 9, Y: 9, Z: 9}
 	for i := 0; i < 100; i++ {
 		tr.UpdateFree(k)
 	}
@@ -178,7 +178,7 @@ func TestFreeThenOccupiedDynamics(t *testing.T) {
 
 func TestSetNodeValueOverwrites(t *testing.T) {
 	tr := New(DefaultParams(0.1))
-	k := Key{42, 43, 44}
+	k := Key{X: 42, Y: 43, Z: 44}
 	tr.UpdateOccupied(k)
 	tr.SetNodeValue(k, -1.5)
 	if l, known := tr.Search(k); !known || l != -1.5 {
@@ -201,7 +201,7 @@ func TestAgainstReferenceModel(t *testing.T) {
 	rng := rand.New(rand.NewSource(42))
 	keys := make([]Key, 0, 5000)
 	for i := 0; i < 5000; i++ {
-		k := Key{uint16(rng.Intn(64)), uint16(rng.Intn(64)), uint16(rng.Intn(64))}
+		k := Key{X: uint16(rng.Intn(64)), Y: uint16(rng.Intn(64)), Z: uint16(rng.Intn(64))}
 		occ := rng.Intn(2) == 0
 		switch rng.Intn(3) {
 		case 0, 1:
@@ -226,7 +226,7 @@ func TestAgainstReferenceModel(t *testing.T) {
 	}
 	// Untouched keys must be unknown.
 	for i := 0; i < 100; i++ {
-		k := Key{uint16(rng.Intn(64)), uint16(rng.Intn(64)), uint16(rng.Intn(64))}
+		k := Key{X: uint16(rng.Intn(64)), Y: uint16(rng.Intn(64)), Z: uint16(rng.Intn(64))}
 		if _, touched := ref.m[k]; touched {
 			continue
 		}
@@ -245,7 +245,7 @@ func TestPruning(t *testing.T) {
 		for y := 0; y < 8; y++ {
 			for z := 0; z < 8; z++ {
 				for i := 0; i < 10; i++ {
-					tr.UpdateOccupied(Key{uint16(x), uint16(y), uint16(z)})
+					tr.UpdateOccupied(Key{X: uint16(x), Y: uint16(y), Z: uint16(z)})
 				}
 			}
 		}
@@ -258,7 +258,7 @@ func TestPruning(t *testing.T) {
 	}
 	// Every voxel must still answer correctly through the aggregate.
 	for x := 0; x < 8; x++ {
-		if l, known := tr.Search(Key{uint16(x), 3, 5}); !known || l != p.ClampMax {
+		if l, known := tr.Search(Key{X: uint16(x), Y: 3, Z: 5}); !known || l != p.ClampMax {
 			t.Fatalf("pruned query wrong: %v %v", l, known)
 		}
 	}
@@ -271,22 +271,22 @@ func TestExpandAfterPrune(t *testing.T) {
 		for y := 0; y < 8; y++ {
 			for z := 0; z < 8; z++ {
 				for i := 0; i < 10; i++ {
-					tr.UpdateOccupied(Key{uint16(x), uint16(y), uint16(z)})
+					tr.UpdateOccupied(Key{X: uint16(x), Y: uint16(y), Z: uint16(z)})
 				}
 			}
 		}
 	}
 	// Diverge one voxel: the tree must expand just enough.
-	k := Key{3, 3, 3}
+	k := Key{X: 3, Y: 3, Z: 3}
 	tr.SetNodeValue(k, p.ClampMin)
 	if l, _ := tr.Search(k); l != p.ClampMin {
 		t.Errorf("diverged voxel = %v, want %v", l, p.ClampMin)
 	}
 	// All others still clamp max.
-	if l, known := tr.Search(Key{0, 0, 0}); !known || l != p.ClampMax {
+	if l, known := tr.Search(Key{X: 0, Y: 0, Z: 0}); !known || l != p.ClampMax {
 		t.Errorf("sibling lost value after expand: %v %v", l, known)
 	}
-	if l, known := tr.Search(Key{3, 3, 2}); !known || l != p.ClampMax {
+	if l, known := tr.Search(Key{X: 3, Y: 3, Z: 2}); !known || l != p.ClampMax {
 		t.Errorf("near sibling lost value after expand: %v %v", l, known)
 	}
 }
@@ -296,8 +296,8 @@ func TestInnerNodeIsMaxOfChildren(t *testing.T) {
 	// must be true and root log-odds must equal the max.
 	p := smallParams(4)
 	tr := New(p)
-	tr.UpdateFree(Key{1, 1, 1})
-	tr.UpdateOccupied(Key{9, 9, 9})
+	tr.UpdateFree(Key{X: 1, Y: 1, Z: 1})
+	tr.UpdateOccupied(Key{X: 9, Y: 9, Z: 9})
 	if got := tr.nodes[tr.root].logOdds; got != p.LogOddsHit {
 		t.Errorf("root log-odds %v, want max child %v", got, p.LogOddsHit)
 	}
@@ -308,7 +308,7 @@ func TestNodeCountConsistency(t *testing.T) {
 	tr := New(p)
 	rng := rand.New(rand.NewSource(9))
 	for i := 0; i < 3000; i++ {
-		k := Key{uint16(rng.Intn(32)), uint16(rng.Intn(32)), uint16(rng.Intn(32))}
+		k := Key{X: uint16(rng.Intn(32)), Y: uint16(rng.Intn(32)), Z: uint16(rng.Intn(32))}
 		tr.Update(k, rng.Intn(2) == 0)
 	}
 	counted := 0
@@ -326,7 +326,7 @@ func TestWalkMortonOrder(t *testing.T) {
 	tr := New(p)
 	rng := rand.New(rand.NewSource(17))
 	for i := 0; i < 500; i++ {
-		tr.UpdateOccupied(Key{uint16(rng.Intn(64)), uint16(rng.Intn(64)), uint16(rng.Intn(64))})
+		tr.UpdateOccupied(Key{X: uint16(rng.Intn(64)), Y: uint16(rng.Intn(64)), Z: uint16(rng.Intn(64))})
 	}
 	var prev uint64
 	first := true
@@ -344,7 +344,7 @@ func TestWalkEarlyStop(t *testing.T) {
 	p := smallParams(4)
 	tr := New(p)
 	for i := 0; i < 10; i++ {
-		tr.UpdateOccupied(Key{uint16(i), 0, 0})
+		tr.UpdateOccupied(Key{X: uint16(i), Y: 0, Z: 0})
 	}
 	n := 0
 	tr.Walk(func(Leaf) bool { n++; return n < 3 })
@@ -381,7 +381,7 @@ func TestAnyOccupiedInMatchesBruteForce(t *testing.T) {
 	rng := rand.New(rand.NewSource(23))
 	occupied := map[Key]bool{}
 	for i := 0; i < 400; i++ {
-		k := Key{uint16(rng.Intn(32)), uint16(rng.Intn(32)), uint16(rng.Intn(32))}
+		k := Key{X: uint16(rng.Intn(32)), Y: uint16(rng.Intn(32)), Z: uint16(rng.Intn(32))}
 		if rng.Intn(2) == 0 {
 			tr.UpdateOccupied(k)
 			occupied[k] = true
@@ -432,10 +432,10 @@ func TestAnyOccupiedInMatchesBruteForce(t *testing.T) {
 func TestOccupiedLeaves(t *testing.T) {
 	p := smallParams(5)
 	tr := New(p)
-	tr.UpdateOccupied(Key{1, 2, 3})
-	tr.UpdateOccupied(Key{30, 2, 3})
+	tr.UpdateOccupied(Key{X: 1, Y: 2, Z: 3})
+	tr.UpdateOccupied(Key{X: 30, Y: 2, Z: 3})
 	for i := 0; i < 4; i++ {
-		tr.UpdateFree(Key{7, 7, 7})
+		tr.UpdateFree(Key{X: 7, Y: 7, Z: 7})
 	}
 	leaves := tr.OccupiedLeaves()
 	if len(leaves) != 2 {
@@ -460,12 +460,12 @@ func TestCoordSpaceQueries(t *testing.T) {
 
 func TestClear(t *testing.T) {
 	tr := New(DefaultParams(0.1))
-	tr.UpdateOccupied(Key{1, 1, 1})
+	tr.UpdateOccupied(Key{X: 1, Y: 1, Z: 1})
 	tr.Clear()
 	if tr.NumNodes() != 0 {
 		t.Error("Clear left nodes behind")
 	}
-	if _, known := tr.Search(Key{1, 1, 1}); known {
+	if _, known := tr.Search(Key{X: 1, Y: 1, Z: 1}); known {
 		t.Error("Clear left data behind")
 	}
 }
@@ -475,8 +475,8 @@ func TestNodeVisitsGrowWithDepth(t *testing.T) {
 	// update.
 	shallow := New(smallParams(4))
 	deep := New(smallParams(12))
-	shallow.UpdateOccupied(Key{1, 1, 1})
-	deep.UpdateOccupied(Key{1, 1, 1})
+	shallow.UpdateOccupied(Key{X: 1, Y: 1, Z: 1})
+	deep.UpdateOccupied(Key{X: 1, Y: 1, Z: 1})
 	if deep.NodeVisits() <= shallow.NodeVisits() {
 		t.Errorf("deep tree visits %d <= shallow %d", deep.NodeVisits(), shallow.NodeVisits())
 	}
@@ -498,12 +498,12 @@ func TestSetLeafAtRebuildsTree(t *testing.T) {
 	for x := 0; x < 8; x++ {
 		for y := 0; y < 8; y++ {
 			for z := 0; z < 8; z++ {
-				src.SetNodeValue(Key{uint16(x), uint16(y), uint16(z)}, p.ClampMin)
+				src.SetNodeValue(Key{X: uint16(x), Y: uint16(y), Z: uint16(z)}, p.ClampMin)
 			}
 		}
 	}
 	for i := 0; i < 400; i++ {
-		k := Key{uint16(rng.Intn(limit)), uint16(rng.Intn(limit)), uint16(rng.Intn(limit))}
+		k := Key{X: uint16(rng.Intn(limit)), Y: uint16(rng.Intn(limit)), Z: uint16(rng.Intn(limit))}
 		src.Update(k, rng.Intn(2) == 0)
 	}
 
@@ -520,7 +520,7 @@ func TestSetLeafAtRebuildsTree(t *testing.T) {
 		t.Errorf("rebuilt tree has %d leaves, want %d", dst.NumLeaves(), src.NumLeaves())
 	}
 	for i := 0; i < 2000; i++ {
-		k := Key{uint16(rng.Intn(limit)), uint16(rng.Intn(limit)), uint16(rng.Intn(limit))}
+		k := Key{X: uint16(rng.Intn(limit)), Y: uint16(rng.Intn(limit)), Z: uint16(rng.Intn(limit))}
 		lw, kw := src.Search(k)
 		lg, kg := dst.Search(k)
 		if lw != lg || kw != kg {
@@ -535,11 +535,11 @@ func TestSetLeafAtReplacesSubtree(t *testing.T) {
 	p := smallParams(4)
 	tr := New(p)
 	for i := 0; i < 8; i++ {
-		tr.Update(Key{uint16(i), uint16(i), uint16(i)}, true)
+		tr.Update(Key{X: uint16(i), Y: uint16(i), Z: uint16(i)}, true)
 	}
 	// Overwrite the whole first octant with one aggregate leaf at depth 1.
-	tr.SetLeafAt(Key{0, 0, 0}, 1, p.ClampMin)
-	l, known := tr.Search(Key{1, 1, 1})
+	tr.SetLeafAt(Key{X: 0, Y: 0, Z: 0}, 1, p.ClampMin)
+	l, known := tr.Search(Key{X: 1, Y: 1, Z: 1})
 	if !known || l != p.ClampMin {
 		t.Errorf("aggregate not visible: (%v, %v)", l, known)
 	}

@@ -23,13 +23,13 @@ import (
 	"math"
 
 	"octocache/internal/geom"
-	"octocache/internal/octree"
+	"octocache/internal/voxel"
 )
 
 // Voxel is one observation: a voxel key plus whether it was seen occupied.
 // This is the unit that flows from ray tracing into the cache and octree.
 type Voxel struct {
-	Key      octree.Key
+	Key      voxel.Key
 	Occupied bool
 }
 
@@ -60,12 +60,12 @@ type Tracer struct {
 	// buf is the recycled batch storage Trace appends into.
 	buf []Voxel
 	// scratch for per-batch dedup in TraceRT
-	seen map[octree.Key]int
+	seen map[voxel.Key]int
 }
 
 // NewTracer constructs a Tracer for the given configuration.
 func NewTracer(cfg Config) *Tracer {
-	return &Tracer{cfg: cfg, seen: make(map[octree.Key]int)}
+	return &Tracer{cfg: cfg, seen: make(map[voxel.Key]int)}
 }
 
 // Config returns the tracer's configuration.
@@ -118,8 +118,8 @@ func (t *Tracer) traceRay(batch []Voxel, origin, point geom.Vec3) []Voxel {
 			occupiedEnd = false
 		}
 	}
-	endKey, endOK := octree.CoordToKey(end, t.cfg.Resolution, t.cfg.Depth)
-	startKey, startOK := octree.CoordToKey(origin, t.cfg.Resolution, t.cfg.Depth)
+	endKey, endOK := voxel.CoordToKey(end, t.cfg.Resolution, t.cfg.Depth)
+	startKey, startOK := voxel.CoordToKey(origin, t.cfg.Resolution, t.cfg.Depth)
 	if !startOK || !endOK {
 		// Rays leaving the mapped cube carry no usable evidence; skip, as
 		// OctoMap does for unmappable coordinates.
@@ -169,7 +169,7 @@ func (t *Tracer) traceRay(batch []Voxel, origin, point geom.Vec3) []Voxel {
 	maxSteps := (abs(last[0]-cur[0]) + abs(last[1]-cur[1]) + abs(last[2]-cur[2])) + 6
 	for steps := 0; steps < maxSteps; steps++ {
 		batch = append(batch, Voxel{
-			Key: octree.Key{X: uint16(cur[0]), Y: uint16(cur[1]), Z: uint16(cur[2])},
+			Key: voxel.Key{X: uint16(cur[0]), Y: uint16(cur[1]), Z: uint16(cur[2])},
 		})
 		axis := 0
 		if tMax[1] < tMax[axis] {
@@ -197,7 +197,7 @@ func abs(x int) int {
 // CountDistinct returns the number of distinct voxel keys in a batch —
 // the "non-duplicate voxel" count of Table 2.
 func CountDistinct(batch []Voxel) int {
-	seen := make(map[octree.Key]struct{}, len(batch))
+	seen := make(map[voxel.Key]struct{}, len(batch))
 	for _, v := range batch {
 		seen[v.Key] = struct{}{}
 	}
@@ -205,8 +205,8 @@ func CountDistinct(batch []Voxel) int {
 }
 
 // DistinctKeys returns the set of distinct voxel keys in a batch.
-func DistinctKeys(batch []Voxel) map[octree.Key]struct{} {
-	seen := make(map[octree.Key]struct{}, len(batch))
+func DistinctKeys(batch []Voxel) map[voxel.Key]struct{} {
+	seen := make(map[voxel.Key]struct{}, len(batch))
 	for _, v := range batch {
 		seen[v.Key] = struct{}{}
 	}

@@ -92,10 +92,10 @@ func TestCompactInvariants(t *testing.T) {
 					}
 				}
 				var a, b bytes.Buffer
-				if _, err := ref.MergedTree().WriteTo(&a); err != nil {
+				if _, err := ref.Snapshot().WriteTo(&a); err != nil {
 					t.Fatal(err)
 				}
-				if _, err := sm.MergedTree().WriteTo(&b); err != nil {
+				if _, err := sm.Snapshot().WriteTo(&b); err != nil {
 					t.Fatal(err)
 				}
 				if !bytes.Equal(a.Bytes(), b.Bytes()) {
@@ -140,10 +140,10 @@ func TestAutoCompactionPerShard(t *testing.T) {
 		t.Fatal(err)
 	}
 	var a, b bytes.Buffer
-	if _, err := ref.MergedTree().WriteTo(&a); err != nil {
+	if _, err := ref.Snapshot().WriteTo(&a); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sm.MergedTree().WriteTo(&b); err != nil {
+	if _, err := sm.Snapshot().WriteTo(&b); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(a.Bytes(), b.Bytes()) {

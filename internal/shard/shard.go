@@ -37,6 +37,7 @@ package shard
 
 import (
 	"fmt"
+	"io"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -45,8 +46,8 @@ import (
 	"octocache/internal/core"
 	"octocache/internal/geom"
 	"octocache/internal/morton"
-	"octocache/internal/octree"
 	"octocache/internal/raytrace"
+	"octocache/internal/voxel"
 )
 
 // ErrClosed is returned by Insert once the map has been closed (or
@@ -258,7 +259,7 @@ func (m *Map) Name() string {
 // Resolution returns the voxel edge length in meters.
 func (m *Map) Resolution() float64 { return m.cfg.Octree.Resolution }
 
-func (m *Map) shardFor(k octree.Key) *shardState {
+func (m *Map) shardFor(k voxel.Key) *shardState {
 	return m.shards[morton.ShardIndex(k.Morton(), m.bits)]
 }
 
@@ -319,7 +320,7 @@ func (m *Map) Insert(origin geom.Vec3, points []geom.Vec3) error {
 // resolved by its owning shard (cache first, shard octree on miss). Only
 // the shard's read lock is taken, so queries never serialize behind each
 // other — and on the cache-hit path never behind octree writes either.
-func (m *Map) OccupancyKey(k octree.Key) (logOdds float32, known bool) {
+func (m *Map) OccupancyKey(k voxel.Key) (logOdds float32, known bool) {
 	sh := m.shardFor(k)
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
@@ -328,7 +329,7 @@ func (m *Map) OccupancyKey(k octree.Key) (logOdds float32, known bool) {
 
 // Occupancy is the coordinate-space variant of OccupancyKey.
 func (m *Map) Occupancy(p geom.Vec3) (logOdds float32, known bool) {
-	k, ok := octree.CoordToKey(p, m.cfg.Octree.Resolution, m.cfg.Octree.Depth)
+	k, ok := voxel.CoordToKey(p, m.cfg.Octree.Resolution, m.cfg.Octree.Depth)
 	if !ok {
 		return 0, false
 	}
@@ -336,7 +337,7 @@ func (m *Map) Occupancy(p geom.Vec3) (logOdds float32, known bool) {
 }
 
 // OccupiedKey reports whether the voxel at k is known-occupied.
-func (m *Map) OccupiedKey(k octree.Key) bool {
+func (m *Map) OccupiedKey(k voxel.Key) bool {
 	l, known := m.OccupancyKey(k)
 	return known && l >= m.cfg.Octree.OccupancyThreshold
 }
@@ -376,19 +377,19 @@ func (m *Map) Close() error {
 	return nil
 }
 
-// LoadTree splits a whole-map octree across the shards, each leaf going
-// to its owning shard — the inverse of MergedTree, used by map loading.
-// Aggregate (pruned) leaves spanning more than one shard's region are
-// expanded into the per-shard sub-cubes first, so no shard ever holds
-// space it does not own. Returns ErrClosed after Close.
-func (m *Map) LoadTree(src *octree.Tree) error {
+// LoadSnapshot splits a whole-map snapshot across the shards, each leaf
+// going to its owning shard — the inverse of Snapshot, used by map
+// loading. Aggregate (pruned) leaves spanning more than one shard's
+// region are expanded into the per-shard sub-cubes first, so no shard
+// ever holds space it does not own. Returns ErrClosed after Close.
+func (m *Map) LoadSnapshot(src *core.Snapshot) error {
 	m.closeMu.RLock()
 	defer m.closeMu.RUnlock()
 	if m.closed {
 		return ErrClosed
 	}
 	if p := src.Params(); p != m.cfg.Octree {
-		return fmt.Errorf("shard: loaded tree params %+v differ from map params %+v", p, m.cfg.Octree)
+		return fmt.Errorf("shard: loaded snapshot params %+v differ from map params %+v", p, m.cfg.Octree)
 	}
 
 	// A leaf routes to a single shard iff its depth reaches splitDepth:
@@ -402,7 +403,7 @@ func (m *Map) LoadTree(src *octree.Tree) error {
 	}
 
 	var err error
-	src.Walk(func(l octree.Leaf) bool {
+	src.Walk(func(l voxel.Leaf) bool {
 		if l.Depth >= splitDepth {
 			err = m.loadLeaf(l)
 			return err == nil
@@ -412,12 +413,12 @@ func (m *Map) LoadTree(src *octree.Tree) error {
 		for dx := 0; dx < side; dx += sub {
 			for dy := 0; dy < side; dy += sub {
 				for dz := 0; dz < side; dz += sub {
-					k := octree.Key{
+					k := voxel.Key{
 						X: l.Key.X + uint16(dx),
 						Y: l.Key.Y + uint16(dy),
 						Z: l.Key.Z + uint16(dz),
 					}
-					if err = m.loadLeaf(octree.Leaf{Key: k, Depth: splitDepth, LogOdds: l.LogOdds}); err != nil {
+					if err = m.loadLeaf(voxel.Leaf{Key: k, Depth: splitDepth, LogOdds: l.LogOdds}); err != nil {
 						return false
 					}
 				}
@@ -428,7 +429,7 @@ func (m *Map) LoadTree(src *octree.Tree) error {
 	return err
 }
 
-func (m *Map) loadLeaf(l octree.Leaf) error {
+func (m *Map) loadLeaf(l voxel.Leaf) error {
 	sh := m.shardFor(l.Key)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -513,25 +514,30 @@ func (m *Map) CompactionStats() core.CompactionStats {
 	return s
 }
 
-// ArenaStats sums the per-shard arena snapshots, quiescing each shard's
-// applier first so the counters are exact per shard.
+// ArenaStats sums the per-shard arena snapshots; each pipeline quiesces
+// its applier before reading, so the counters are exact per shard.
 func (m *Map) ArenaStats() core.ArenaStats {
 	var s core.ArenaStats
 	for _, sh := range m.shards {
 		sh.mu.RLock()
-		sh.pipe.Quiesce()
-		s = s.Add(core.TreeArenaStats(sh.pipe.Tree()))
+		s = s.Add(sh.pipe.ArenaStats())
 		sh.mu.RUnlock()
 	}
 	return s
 }
 
+// Backend reports which voxel store backs the per-shard pipelines.
+func (m *Map) Backend() core.BackendKind { return m.cfg.Backend }
+
 // ShardStat describes one shard's live state.
 type ShardStat struct {
 	// Shard is the shard index (its Morton prefix).
 	Shard int
-	// Arena is the shard octree's arena snapshot: live nodes, recycled
-	// free slots, total capacity, and estimated heap bytes.
+	// Backend identifies the voxel store behind the shard's pipeline.
+	Backend core.BackendKind
+	// Arena is the shard store's arena snapshot: live units (octree
+	// nodes or resident grid bricks), recycled free slots, total
+	// capacity, and estimated heap bytes.
 	Arena core.ArenaStats
 	// QueueDepth is the number of cells parked in the shard's cache
 	// awaiting eviction or the Close flush — the shard's pending-write
@@ -551,12 +557,12 @@ func (m *Map) ShardStats() []ShardStat {
 	out := make([]ShardStat, len(m.shards))
 	for i, sh := range m.shards {
 		// The read lock keeps mutators out, so no new batches can be
-		// handed off; after Quiesce the shard's tree is stable.
+		// handed off; each pipeline quiesces its applier before reading.
 		sh.mu.RLock()
-		sh.pipe.Quiesce()
 		out[i] = ShardStat{
 			Shard:      i,
-			Arena:      core.TreeArenaStats(sh.pipe.Tree()),
+			Backend:    sh.pipe.Backend(),
+			Arena:      sh.pipe.ArenaStats(),
 			QueueDepth: sh.pipe.CacheLen(),
 			Cache:      sh.pipe.CacheStats(),
 			Compaction: sh.pipe.CompactionStats(),
@@ -566,21 +572,28 @@ func (m *Map) ShardStats() []ShardStat {
 	return out
 }
 
-// MergedTree builds a single octree holding every shard's flushed state,
-// for serialization and whole-map consumers. Shards own disjoint unions
-// of subtrees, so the merge is a lossless leaf-by-leaf replay. Call after
-// Close for a complete map — before that, cells still parked in shard
-// caches are not yet in any octree and are absent from the merge.
-func (m *Map) MergedTree() *octree.Tree {
-	dst := octree.New(m.cfg.Octree)
+// Snapshot builds one canonical snapshot holding every shard's flushed
+// state, for serialization and whole-map consumers. Shards own disjoint
+// unions of subtrees, so the merge is a lossless leaf-by-leaf replay
+// that converges to the same canonical structure regardless of shard
+// count or backend. Each shard's walk folds in its cache-resident
+// cells, so the snapshot answers like the live map at any point in the
+// stream, not just after Close.
+func (m *Map) Snapshot() *core.Snapshot {
+	dst := core.NewSnapshot(m.cfg.Octree)
 	for _, sh := range m.shards {
 		sh.mu.RLock()
-		sh.pipe.Quiesce()
-		sh.pipe.Tree().Walk(func(l octree.Leaf) bool {
-			dst.SetLeafAt(l.Key, l.Depth, l.LogOdds)
+		sh.pipe.WalkLeaves(func(l voxel.Leaf) bool {
+			dst.Add(l)
 			return true
 		})
 		sh.mu.RUnlock()
 	}
 	return dst
+}
+
+// WriteTo serializes the merged map in the .bt format. Bytes are
+// identical across shard counts and backends for content-equal maps.
+func (m *Map) WriteTo(w io.Writer) (int64, error) {
+	return m.Snapshot().WriteTo(w)
 }

@@ -11,7 +11,7 @@ import (
 	"octocache/internal/core"
 	"octocache/internal/geom"
 	"octocache/internal/morton"
-	"octocache/internal/octree"
+	"octocache/internal/voxel"
 )
 
 func testConfig() core.Config {
@@ -72,7 +72,7 @@ func TestShardedMatchesSerial(t *testing.T) {
 				}
 			}
 			// Key-space and ray queries agree too.
-			k, ok := octree.CoordToKey(probes[0], 0.1, 16)
+			k, ok := voxel.CoordToKey(probes[0], 0.1, 16)
 			if !ok {
 				t.Fatal("probe outside map")
 			}
@@ -101,16 +101,16 @@ func TestShardedMatchesSerial(t *testing.T) {
 		}
 		// ...and the merged octree must be structurally identical to the
 		// serial pipeline's: same canonical pruned form, same bytes.
-		merged := sm.MergedTree()
-		if merged.NumNodes() != ref.Tree().NumNodes() {
+		merged := sm.Snapshot()
+		if merged.NumNodes() != ref.Snapshot().NumNodes() {
 			t.Errorf("shards=%d: merged tree %d nodes, serial %d",
-				shards, merged.NumNodes(), ref.Tree().NumNodes())
+				shards, merged.NumNodes(), ref.Snapshot().NumNodes())
 		}
 		var a, b bytes.Buffer
 		if _, err := merged.WriteTo(&a); err != nil {
 			t.Fatalf("merged WriteTo: %v", err)
 		}
-		if _, err := ref.Tree().WriteTo(&b); err != nil {
+		if _, err := ref.WriteTo(&b); err != nil {
 			t.Fatalf("serial WriteTo: %v", err)
 		}
 		if !bytes.Equal(a.Bytes(), b.Bytes()) {
@@ -132,7 +132,7 @@ func TestPipelineCompositionsConsistent(t *testing.T) {
 		occ    func(geom.Vec3) (float32, bool)
 		ray    func(geom.Vec3, geom.Vec3) (geom.Vec3, bool)
 		close  func() error
-		tree   func() *octree.Tree
+		tree   func() *core.Snapshot
 	}
 	var variants []variant
 
@@ -145,7 +145,7 @@ func TestPipelineCompositionsConsistent(t *testing.T) {
 			return ref.CastRay(o, d, 10, true)
 		},
 		close: ref.Close,
-		tree:  ref.Tree,
+		tree:  ref.Snapshot,
 	})
 	par := core.MustNew(core.KindParallel, testConfig())
 	variants = append(variants, variant{
@@ -156,7 +156,7 @@ func TestPipelineCompositionsConsistent(t *testing.T) {
 			return par.CastRay(o, d, 10, true)
 		},
 		close: par.Close,
-		tree:  par.Tree,
+		tree:  par.Snapshot,
 	})
 	for _, shards := range []int{1, 2, 8} {
 		for _, pl := range []Pipeline{PipelineSerial, PipelineAsync} {
@@ -172,7 +172,7 @@ func TestPipelineCompositionsConsistent(t *testing.T) {
 					return sm.CastRay(o, d, 10, true)
 				},
 				close: sm.Close,
-				tree:  sm.MergedTree,
+				tree:  sm.Snapshot,
 			})
 		}
 	}
@@ -387,7 +387,7 @@ func TestLoadTreeRoutesToOwningShards(t *testing.T) {
 	if err := src.Close(); err != nil {
 		t.Fatal(err)
 	}
-	whole := src.MergedTree()
+	whole := src.Snapshot()
 
 	for _, shards := range []int{2, 8} {
 		for _, pl := range []Pipeline{PipelineSerial, PipelineAsync} {
@@ -395,13 +395,12 @@ func TestLoadTreeRoutesToOwningShards(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if err := sm.LoadTree(whole); err != nil {
-				t.Fatalf("shards=%d: LoadTree: %v", shards, err)
+			if err := sm.LoadSnapshot(whole); err != nil {
+				t.Fatalf("shards=%d: LoadSnapshot: %v", shards, err)
 			}
 			// Every leaf of every shard's tree must belong to that shard.
 			for i, sh := range sm.shards {
-				sh.pipe.Quiesce()
-				sh.pipe.Tree().Walk(func(l octree.Leaf) bool {
+				sh.pipe.WalkLeaves(func(l voxel.Leaf) bool {
 					if owner := sm.shards[morton.ShardIndex(l.Key.Morton(), sm.bits)]; owner != sh {
 						t.Errorf("shards=%d: shard %d holds leaf %v owned elsewhere", shards, i, l.Key)
 						return false
@@ -427,8 +426,8 @@ func TestLoadTreeRoutesToOwningShards(t *testing.T) {
 	}
 
 	// A closed map refuses to load.
-	if err := src.LoadTree(whole); !errors.Is(err, ErrClosed) {
-		t.Errorf("LoadTree after Close = %v, want ErrClosed", err)
+	if err := src.LoadSnapshot(whole); !errors.Is(err, ErrClosed) {
+		t.Errorf("LoadSnapshot after Close = %v, want ErrClosed", err)
 	}
 }
 

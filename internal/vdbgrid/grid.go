@@ -1,0 +1,316 @@
+// Package vdbgrid implements a VDB-style voxel store: a shallow, wide
+// hierarchy of hash-indexed dense bricks, the alternative backend behind
+// core's Backend interface. Where the octree resolves a voxel through a
+// 16-level root-to-leaf walk, the grid reaches it in two steps — one
+// hash probe for the 8×8×8 brick, one array index within it — trading
+// the octree's adaptive pruning for flat, query-friendly storage (the
+// "Efficient Global Occupancy Mapping using OpenVDB" trade-off).
+//
+// Two representations back a brick:
+//
+//   - dense: 512 float32 values plus a known-voxel bitmask, the state
+//     every point write lands in;
+//   - uniform: a single value standing in for an entire known brick,
+//     produced by coarse aggregate loads (SetLeafAt at or above brick
+//     granularity) and split back to dense on the first point write.
+//
+// Both apply the same voxel.Params.Clamp on every write the octree
+// applies, so accumulated log-odds agree bit-for-bit with the octree
+// backend — the property the cross-backend consistency suite pins down.
+// Aggregates coarser than a brick cost one uniform record per covered
+// brick, so loading a snapshot dominated by huge pruned free-space cubes
+// is memory-proportional to the covered volume; for sensor-scale maps
+// (range-bounded observed space) this stays small.
+//
+// The concurrency contract mirrors the octree's: one mutator at a time,
+// any number of concurrent Lookup calls (visit counting for reads goes
+// through an atomic side counter).
+package vdbgrid
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"octocache/internal/voxel"
+)
+
+const (
+	// BrickBits is the per-axis brick subdivision: bricks span
+	// 2^BrickBits voxels per axis.
+	BrickBits = 3
+	// BrickSide is the brick edge length in voxels.
+	BrickSide = 1 << BrickBits
+	// BrickVoxels is the number of voxels in one brick.
+	BrickVoxels = BrickSide * BrickSide * BrickSide
+
+	brickWords = BrickVoxels / 64
+	// brickBytes estimates one dense brick's heap footprint: values,
+	// known bitmask, and ~2 words of map-entry overhead.
+	brickBytes = BrickVoxels*4 + brickWords*8 + 16
+	// uniformBytes estimates one uniform record's map-entry footprint.
+	uniformBytes = 16
+)
+
+// brickKey addresses a brick: the voxel key right-shifted by BrickBits.
+type brickKey struct {
+	X, Y, Z uint16
+}
+
+// brick is one dense 8×8×8 block. Voxels are linearly indexed as
+// x | y<<3 | z<<6; known bits track which voxels have been observed.
+type brick struct {
+	vals  [BrickVoxels]float32
+	known [brickWords]uint64
+}
+
+// mortonSlots lists the 512 linear brick slots in ascending local Morton
+// order, so Walk emits voxels in the same global order an octree's
+// in-order traversal would.
+var mortonSlots = func() [BrickVoxels]uint16 {
+	var slots [BrickVoxels]uint16
+	for x := 0; x < BrickSide; x++ {
+		for y := 0; y < BrickSide; y++ {
+			for z := 0; z < BrickSide; z++ {
+				m := 0
+				for b := 0; b < BrickBits; b++ {
+					m |= (x >> b & 1) << (3 * b)
+					m |= (y >> b & 1) << (3*b + 1)
+					m |= (z >> b & 1) << (3*b + 2)
+				}
+				slots[m] = uint16(x | y<<BrickBits | z<<(2*BrickBits))
+			}
+		}
+	}
+	return slots
+}()
+
+// Grid is a brick-grid occupancy map holding the same log-odds content
+// model as octree.Tree. The zero value is not usable; construct with New.
+type Grid struct {
+	params  voxel.Params
+	dense   map[brickKey]*brick
+	uniform map[brickKey]float32
+
+	// visits counts brick+voxel touches by mutators; Lookup counts into
+	// the atomic side counter so concurrent readers stay race-free —
+	// the same split octree.Tree uses.
+	visits       int64
+	searchVisits atomic.Int64
+}
+
+// New creates an empty grid. It panics if params are invalid, matching
+// octree.New.
+func New(params voxel.Params) *Grid {
+	if err := params.Validate(); err != nil {
+		panic(err)
+	}
+	return &Grid{
+		params:  params,
+		dense:   make(map[brickKey]*brick),
+		uniform: make(map[brickKey]float32),
+	}
+}
+
+// Params returns the grid's occupancy model.
+func (g *Grid) Params() voxel.Params { return g.params }
+
+func brickOf(k voxel.Key) brickKey {
+	return brickKey{k.X >> BrickBits, k.Y >> BrickBits, k.Z >> BrickBits}
+}
+
+func slotOf(k voxel.Key) int {
+	const m = BrickSide - 1
+	return int(k.X&m) | int(k.Y&m)<<BrickBits | int(k.Z&m)<<(2*BrickBits)
+}
+
+// cell returns the dense brick and linear slot for k, materializing the
+// brick — from its uniform record when one covers it — on first write.
+func (g *Grid) cell(k voxel.Key) (*brick, int) {
+	bk := brickOf(k)
+	b := g.dense[bk]
+	if b == nil {
+		b = new(brick)
+		if v, ok := g.uniform[bk]; ok {
+			for i := range b.vals {
+				b.vals[i] = v
+			}
+			for i := range b.known {
+				b.known[i] = ^uint64(0)
+			}
+			delete(g.uniform, bk)
+		}
+		g.dense[bk] = b
+	}
+	return b, slotOf(k)
+}
+
+// UpdateCell integrates one observation for the voxel at k: the sensor
+// model's hit or miss delta, accumulated and clamped exactly as the
+// octree's incremental update does.
+func (g *Grid) UpdateCell(k voxel.Key, occupied bool) {
+	g.visits += 2 // brick probe + voxel touch: the grid's two-level walk
+	delta := g.params.LogOddsMiss
+	if occupied {
+		delta = g.params.LogOddsHit
+	}
+	b, s := g.cell(k)
+	w, bit := s>>6, uint64(1)<<(uint(s)&63)
+	old := float32(0)
+	if b.known[w]&bit != 0 {
+		old = b.vals[s]
+	}
+	b.vals[s] = g.params.Clamp(old + delta)
+	b.known[w] |= bit
+}
+
+// SetCell overwrites the voxel's accumulated log-odds, clamped — the
+// eviction-path write (cache cells carry accumulated values).
+func (g *Grid) SetCell(k voxel.Key, logOdds float32) {
+	g.visits += 2
+	b, s := g.cell(k)
+	b.vals[s] = g.params.Clamp(logOdds)
+	b.known[s>>6] |= 1 << (uint(s) & 63)
+}
+
+// Lookup returns the voxel's accumulated log-odds; known is false for
+// never-observed voxels. Safe for concurrent callers while no mutator is
+// active.
+func (g *Grid) Lookup(k voxel.Key) (logOdds float32, known bool) {
+	g.searchVisits.Add(2)
+	bk := brickOf(k)
+	if v, ok := g.uniform[bk]; ok {
+		return v, true
+	}
+	b := g.dense[bk]
+	if b == nil {
+		return 0, false
+	}
+	s := slotOf(k)
+	if b.known[s>>6]&(1<<(uint(s)&63)) == 0 {
+		return 0, false
+	}
+	return b.vals[s], true
+}
+
+// Occupied reports whether the voxel at k is known and at or above the
+// occupancy threshold.
+func (g *Grid) Occupied(k voxel.Key) bool {
+	l, known := g.Lookup(k)
+	return known && l >= g.params.OccupancyThreshold
+}
+
+// SetLeafAt writes a (possibly aggregate) leaf: the cube of edge
+// 2^(Depth-depth) voxels whose minimum-corner key is k, as emitted by a
+// backend Walk — the seam snapshot loading is built on. Sub-brick cubes
+// fill voxels within one brick; brick-or-coarser cubes become one
+// uniform record per covered brick, replacing any dense content there.
+func (g *Grid) SetLeafAt(k voxel.Key, depth int, logOdds float32) {
+	d := g.params.Depth
+	if depth < 0 || depth > d {
+		panic("vdbgrid: SetLeafAt depth out of range")
+	}
+	v := g.params.Clamp(logOdds)
+	side := 1 << uint(d-depth)
+	if side < BrickSide {
+		// The cube's alignment (multiples of its edge) keeps it inside a
+		// single brick.
+		b, _ := g.cell(k)
+		for dz := 0; dz < side; dz++ {
+			for dy := 0; dy < side; dy++ {
+				for dx := 0; dx < side; dx++ {
+					s := slotOf(voxel.Key{X: k.X + uint16(dx), Y: k.Y + uint16(dy), Z: k.Z + uint16(dz)})
+					b.vals[s] = v
+					b.known[s>>6] |= 1 << (uint(s) & 63)
+				}
+			}
+		}
+		return
+	}
+	nb := side >> BrickBits
+	base := brickOf(k)
+	for dz := 0; dz < nb; dz++ {
+		for dy := 0; dy < nb; dy++ {
+			for dx := 0; dx < nb; dx++ {
+				bk := brickKey{base.X + uint16(dx), base.Y + uint16(dy), base.Z + uint16(dz)}
+				delete(g.dense, bk)
+				g.uniform[bk] = v
+			}
+		}
+	}
+}
+
+// Walk visits every known voxel in ascending Morton order: uniform
+// bricks as one aggregate leaf at brick depth, dense bricks
+// voxel-by-voxel. The stream is content-equal to an octree walk of the
+// same map but not structurally canonical (no cross-brick pruning);
+// serialization canonicalizes it through core's Snapshot rebuild.
+func (g *Grid) Walk(fn func(voxel.Leaf) bool) {
+	keys := make([]brickKey, 0, len(g.dense)+len(g.uniform))
+	for bk := range g.dense {
+		keys = append(keys, bk)
+	}
+	for bk := range g.uniform {
+		keys = append(keys, bk)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		return originKey(keys[i]).Morton() < originKey(keys[j]).Morton()
+	})
+	d := g.params.Depth
+	for _, bk := range keys {
+		origin := originKey(bk)
+		if v, ok := g.uniform[bk]; ok {
+			if !fn(voxel.Leaf{Key: origin, Depth: d - BrickBits, LogOdds: v}) {
+				return
+			}
+			continue
+		}
+		b := g.dense[bk]
+		for _, s := range mortonSlots {
+			if b.known[s>>6]&(1<<(uint(s)&63)) == 0 {
+				continue
+			}
+			const m = BrickSide - 1
+			k := voxel.Key{
+				X: origin.X | uint16(s)&m,
+				Y: origin.Y | uint16(s)>>BrickBits&m,
+				Z: origin.Z | uint16(s)>>(2*BrickBits)&m,
+			}
+			if !fn(voxel.Leaf{Key: k, Depth: d, LogOdds: b.vals[s]}) {
+				return
+			}
+		}
+	}
+}
+
+func originKey(bk brickKey) voxel.Key {
+	return voxel.Key{X: bk.X << BrickBits, Y: bk.Y << BrickBits, Z: bk.Z << BrickBits}
+}
+
+// NumBricks returns the resident brick count (dense plus uniform).
+func (g *Grid) NumBricks() int { return len(g.dense) + len(g.uniform) }
+
+// ArenaStats reports brick residency in arena vocabulary: every resident
+// brick is live, and hash addressing never fragments, so the free count
+// is always zero and compaction has nothing to reclaim — the grid
+// backend deliberately lacks the compaction capability.
+func (g *Grid) ArenaStats() (live, free, capacity int) {
+	n := g.NumBricks()
+	return n, 0, n
+}
+
+// MemoryBytes estimates the grid's heap footprint.
+func (g *Grid) MemoryBytes() int64 {
+	return int64(len(g.dense))*brickBytes + int64(len(g.uniform))*uniformBytes
+}
+
+// NodeVisits returns the cumulative brick/voxel touches by mutators and
+// lookups since construction (or the last ResetNodeVisits) — the grid's
+// analogue of the octree's node-visit counter.
+func (g *Grid) NodeVisits() int64 { return g.visits + g.searchVisits.Load() }
+
+// ResetNodeVisits zeroes the visit counter. Call it only while no
+// lookups are in flight.
+func (g *Grid) ResetNodeVisits() {
+	g.visits = 0
+	g.searchVisits.Store(0)
+}

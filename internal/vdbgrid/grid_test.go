@@ -1,0 +1,296 @@
+package vdbgrid
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"octocache/internal/octree"
+	"octocache/internal/voxel"
+)
+
+// The tests are differential: the octree is the semantics oracle (its
+// own suite pins it to OctoMap), and the grid must agree with it
+// bit-for-bit on every lookup and — after the canonical Snapshot-style
+// rebuild — byte-for-byte on serialization.
+
+func testParams(depth int) voxel.Params {
+	p := voxel.DefaultParams(0.1)
+	p.Depth = depth
+	return p
+}
+
+func randKey(rng *rand.Rand, depth int) voxel.Key {
+	lim := 1 << depth
+	return voxel.Key{
+		X: uint16(rng.Intn(lim)),
+		Y: uint16(rng.Intn(lim)),
+		Z: uint16(rng.Intn(lim)),
+	}
+}
+
+// rebuild replays the grid's walk into a fresh octree — what
+// core.Snapshot does when serializing a grid-backed map.
+func rebuild(g *Grid) *octree.Tree {
+	tr := octree.New(g.Params())
+	g.Walk(func(l voxel.Leaf) bool {
+		tr.SetLeafAt(l.Key, l.Depth, l.LogOdds)
+		return true
+	})
+	return tr
+}
+
+func TestUpdateLookupMatchesOctree(t *testing.T) {
+	p := testParams(6)
+	g := New(p)
+	tr := octree.New(p)
+	rng := rand.New(rand.NewSource(1))
+
+	var keys []voxel.Key
+	for i := 0; i < 4000; i++ {
+		// A small key range forces repeated updates so accumulation and
+		// clamp saturation both happen.
+		k := voxel.Key{X: uint16(rng.Intn(12)), Y: uint16(rng.Intn(12)), Z: uint16(rng.Intn(12))}
+		occ := rng.Intn(3) > 0
+		g.UpdateCell(k, occ)
+		tr.Update(k, occ)
+		keys = append(keys, k)
+	}
+	for _, k := range keys {
+		lg, kg := g.Lookup(k)
+		lt, kt := tr.Search(k)
+		if lg != lt || kg != kt {
+			t.Fatalf("Lookup(%v) = (%v,%v), octree (%v,%v)", k, lg, kg, lt, kt)
+		}
+		if g.Occupied(k) != tr.Occupied(k) {
+			t.Fatalf("Occupied(%v) disagrees with octree", k)
+		}
+	}
+	if l, known := g.Lookup(voxel.Key{X: 63, Y: 63, Z: 63}); known || l != 0 {
+		t.Errorf("never-observed voxel = (%v,%v), want (0,false)", l, known)
+	}
+}
+
+func TestSetCellMatchesOctree(t *testing.T) {
+	p := testParams(5)
+	g := New(p)
+	tr := octree.New(p)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 1000; i++ {
+		k := randKey(rng, 5)
+		// Values beyond the clamp range must saturate identically.
+		v := float32(rng.NormFloat64() * 4)
+		g.SetCell(k, v)
+		tr.SetNodeValue(k, v)
+		lg, kg := g.Lookup(k)
+		lt, kt := tr.Search(k)
+		if lg != lt || kg != kt {
+			t.Fatalf("after SetCell(%v, %v): grid (%v,%v), octree (%v,%v)", k, v, lg, kg, lt, kt)
+		}
+	}
+}
+
+func TestSetLeafAtAggregates(t *testing.T) {
+	p := testParams(6)
+	g := New(p)
+
+	// A brick-sized cube becomes one uniform record, not 512 values.
+	g.SetLeafAt(voxel.Key{X: 8, Y: 0, Z: 0}, p.Depth-BrickBits, p.ClampMin)
+	if n := g.NumBricks(); n != 1 {
+		t.Fatalf("brick-sized leaf occupies %d bricks, want 1", n)
+	}
+	if mem := g.MemoryBytes(); mem >= brickBytes {
+		t.Errorf("uniform brick costs %d bytes, want < %d (dense)", mem, brickBytes)
+	}
+	if l, known := g.Lookup(voxel.Key{X: 15, Y: 7, Z: 7}); !known || l != p.ClampMin {
+		t.Errorf("voxel inside uniform brick = (%v,%v)", l, known)
+	}
+
+	// A coarser cube covers multiple bricks: one record each.
+	g2 := New(p)
+	g2.SetLeafAt(voxel.Key{X: 0, Y: 0, Z: 0}, p.Depth-BrickBits-1, p.ClampMax)
+	if n := g2.NumBricks(); n != 8 {
+		t.Fatalf("2-brick-wide leaf occupies %d bricks, want 8", n)
+	}
+
+	// A point write into a uniform brick materializes it densely and
+	// keeps the surrounding values.
+	g.UpdateCell(voxel.Key{X: 8, Y: 0, Z: 0}, true)
+	want := p.Clamp(p.ClampMin + p.LogOddsHit)
+	if l, _ := g.Lookup(voxel.Key{X: 8, Y: 0, Z: 0}); l != want {
+		t.Errorf("update into uniform brick = %v, want %v", l, want)
+	}
+	if l, known := g.Lookup(voxel.Key{X: 9, Y: 0, Z: 0}); !known || l != p.ClampMin {
+		t.Errorf("neighbor after materialize = (%v,%v), want (%v,true)", l, known, p.ClampMin)
+	}
+
+	// Sub-brick cubes fill the covered voxels only.
+	g3 := New(p)
+	g3.SetLeafAt(voxel.Key{X: 4, Y: 4, Z: 4}, p.Depth-2, 0.5)
+	if l, known := g3.Lookup(voxel.Key{X: 7, Y: 7, Z: 7}); !known || l != 0.5 {
+		t.Errorf("inside sub-brick cube = (%v,%v)", l, known)
+	}
+	if _, known := g3.Lookup(voxel.Key{X: 3, Y: 4, Z: 4}); known {
+		t.Error("outside sub-brick cube is known")
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("SetLeafAt with out-of-range depth did not panic")
+		}
+	}()
+	g.SetLeafAt(voxel.Key{}, p.Depth+1, 0)
+}
+
+func TestWalkAscendingMortonAndRebuildEquality(t *testing.T) {
+	p := testParams(6)
+	g := New(p)
+	tr := octree.New(p)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 3000; i++ {
+		k := randKey(rng, 6)
+		occ := rng.Intn(2) == 0
+		g.UpdateCell(k, occ)
+		tr.Update(k, occ)
+	}
+	// One aggregate region too, so the walk mixes leaf depths.
+	g.SetLeafAt(voxel.Key{X: 56, Y: 56, Z: 56}, p.Depth-BrickBits, p.ClampMin)
+	tr.SetLeafAt(voxel.Key{X: 56, Y: 56, Z: 56}, p.Depth-BrickBits, p.ClampMin)
+
+	last := uint64(0)
+	first := true
+	n := 0
+	g.Walk(func(l voxel.Leaf) bool {
+		m := l.Key.Morton()
+		if !first && m <= last {
+			t.Fatalf("walk not strictly ascending: %d after %d", m, last)
+		}
+		first, last = false, m
+		n++
+		return true
+	})
+	if n == 0 {
+		t.Fatal("walk visited nothing")
+	}
+
+	// The canonical rebuild of the grid's walk must equal the octree
+	// built from the same update stream — same structure, same bytes.
+	var a, b bytes.Buffer
+	if _, err := rebuild(g).WriteTo(&a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("grid rebuild serializes differently from the octree oracle")
+	}
+
+	// Early termination stops the walk.
+	n = 0
+	g.Walk(func(voxel.Leaf) bool { n++; return false })
+	if n != 1 {
+		t.Errorf("terminated walk visited %d leaves, want 1", n)
+	}
+}
+
+func TestArenaAndVisitAccounting(t *testing.T) {
+	p := testParams(6)
+	g := New(p)
+	if live, free, capacity := g.ArenaStats(); live != 0 || free != 0 || capacity != 0 {
+		t.Errorf("empty grid arena = %d/%d/%d", live, free, capacity)
+	}
+	g.UpdateCell(voxel.Key{X: 1, Y: 2, Z: 3}, true)
+	g.Lookup(voxel.Key{X: 1, Y: 2, Z: 3})
+	live, free, capacity := g.ArenaStats()
+	if live != 1 || free != 0 || capacity != 1 {
+		t.Errorf("one-brick arena = %d/%d/%d, want 1/0/1", live, free, capacity)
+	}
+	if g.MemoryBytes() <= 0 {
+		t.Error("MemoryBytes not positive for a resident brick")
+	}
+	if g.NodeVisits() != 4 {
+		t.Errorf("NodeVisits = %d, want 4 (2 per touch)", g.NodeVisits())
+	}
+	g.ResetNodeVisits()
+	if g.NodeVisits() != 0 {
+		t.Error("ResetNodeVisits did not zero the counter")
+	}
+}
+
+func TestNewPanicsOnInvalidParams(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New with invalid params did not panic")
+		}
+	}()
+	New(voxel.Params{})
+}
+
+// FuzzOpStream is the grid variant of the octree's op-stream fuzz: the
+// same decoded op stream drives a grid and an octree side by side, and
+// after every op the two must agree on every voxel in the (small) key
+// cube; on serialize ops the grid's canonical rebuild must emit the
+// octree's exact bytes. Any divergence in clamp math, unknown-voxel
+// handling, aggregate splitting, or walk ordering surfaces here.
+func FuzzOpStream(f *testing.F) {
+	f.Add([]byte{0x01, 0x42, 0x83, 0xc4, 0x05, 0x46, 0x87, 0xff, 0x00})
+	f.Add([]byte{0xc0, 0xc1, 0xc2, 0xc3, 0xc4, 0xc5, 0xc6, 0xc7, 0xe0, 0x01})
+	f.Add(bytes.Repeat([]byte{0x40, 0xe1, 0x81}, 30))
+
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		p := testParams(4)
+		g := New(p)
+		tr := octree.New(p)
+		sweep := func(step int) {
+			lim := 1 << p.Depth
+			for x := 0; x < lim; x++ {
+				for y := 0; y < lim; y++ {
+					for z := 0; z < lim; z++ {
+						k := voxel.Key{X: uint16(x), Y: uint16(y), Z: uint16(z)}
+						lg, kg := g.Lookup(k)
+						lt, kt := tr.Search(k)
+						if lg != lt || kg != kt {
+							t.Fatalf("op %d: %v grid (%v,%v) octree (%v,%v)", step, k, lg, kg, lt, kt)
+						}
+					}
+				}
+			}
+		}
+		for i, b := range ops {
+			// Same op decoding as the octree fuzz: 2 op bits, 6 bits of
+			// position/value salt.
+			k := voxel.Key{X: uint16(b & 0x3), Y: uint16(b >> 2 & 0x3), Z: uint16(b >> 4 & 0x3)}
+			switch b >> 6 {
+			case 0:
+				g.UpdateCell(k, b&1 == 0)
+				tr.Update(k, b&1 == 0)
+			case 1:
+				for d := uint16(0); d < 8; d++ {
+					sat := voxel.Key{X: k.X&^1 | d&1, Y: k.Y&^1 | d>>1&1, Z: k.Z&^1 | d>>2&1}
+					g.SetCell(sat, p.ClampMax)
+					tr.SetNodeValue(sat, p.ClampMax)
+				}
+			case 2:
+				depth := int(b>>2&0x3) + 1 // 1..4
+				mask := uint16(0xffff) << uint(p.Depth-depth)
+				ak := voxel.Key{X: k.X & mask, Y: k.Y & mask, Z: k.Z & mask}
+				v := float32(int(b&0x3f)-32) / 8
+				g.SetLeafAt(ak, depth, v)
+				tr.SetLeafAt(ak, depth, v)
+			case 3:
+				var a, bb bytes.Buffer
+				if _, err := rebuild(g).WriteTo(&a); err != nil {
+					t.Fatalf("op %d: grid rebuild WriteTo: %v", i, err)
+				}
+				if _, err := tr.WriteTo(&bb); err != nil {
+					t.Fatalf("op %d: octree WriteTo: %v", i, err)
+				}
+				if !bytes.Equal(a.Bytes(), bb.Bytes()) {
+					t.Fatalf("op %d: grid and octree serializations diverge", i)
+				}
+			}
+			sweep(i)
+		}
+	})
+}

@@ -11,7 +11,6 @@ import (
 	"strings"
 
 	"octocache/internal/geom"
-	"octocache/internal/octree"
 )
 
 // Occupancy classifications of a sampled cell.
@@ -31,19 +30,11 @@ type Slice struct {
 	Cells [][]uint8
 }
 
-// Querier is anything that can answer occupancy point queries; both
-// *octree.Tree and core's pipelines satisfy it.
+// Querier is anything that can answer occupancy point queries; core's
+// pipelines, the sharded map, and *core.Snapshot all satisfy it.
 type Querier interface {
 	Occupancy(p geom.Vec3) (logOdds float32, known bool)
 }
-
-// treeQuerier adapts *octree.Tree (whose method is OccupancyAt).
-type treeQuerier struct{ t *octree.Tree }
-
-func (q treeQuerier) Occupancy(p geom.Vec3) (float32, bool) { return q.t.OccupancyAt(p) }
-
-// FromTree adapts an octree to the Querier interface.
-func FromTree(t *octree.Tree) Querier { return treeQuerier{t} }
 
 // Sample builds a slice of the region [min, max] at height z with the
 // given cell pitch, classifying against the occupancy threshold.

@@ -1,0 +1,80 @@
+// Package voxel holds the backend-neutral voxel vocabulary shared by
+// every map storage backend: the discretized voxel Key and its Morton
+// code, the occupancy sensor model (Params), and the Leaf unit emitted
+// by leaf walks. It sits below both internal/octree and internal/vdbgrid
+// so the cache, the ray tracer, the sharded service, and the public API
+// can address voxels without depending on any particular backing store —
+// the seam the core.Backend interface is built on.
+package voxel
+
+import (
+	"fmt"
+	"math"
+
+	"octocache/internal/geom"
+	"octocache/internal/morton"
+)
+
+// Key addresses a voxel at the finest map resolution. Following OctoMap,
+// each axis is a 16-bit discretized coordinate with the map origin at the
+// center of the key range.
+type Key struct {
+	X, Y, Z uint16
+}
+
+// Morton returns the 48-bit Morton code of the key, the quantity
+// OctoCache uses for bucket indexing, eviction ordering, and sharding.
+func (k Key) Morton() uint64 {
+	return morton.Encode(k.X, k.Y, k.Z)
+}
+
+// KeyFromMorton reconstructs the key encoded by Key.Morton.
+func KeyFromMorton(m uint64) Key {
+	x, y, z := morton.Decode(m)
+	return Key{x, y, z}
+}
+
+// ChildIndex returns which of the eight octants of a cube at the given
+// depth contains k, for a key space leafDepth levels deep. Bit 0 selects
+// the x half, bit 1 the y half, bit 2 the z half — matching the Morton
+// bit layout, so ascending Morton order is exactly an octree's in-order
+// leaf traversal.
+func ChildIndex(k Key, depth, leafDepth int) int {
+	b := uint(leafDepth - 1 - depth)
+	return int(k.X>>b&1) | int(k.Y>>b&1)<<1 | int(k.Z>>b&1)<<2
+}
+
+// CoordToKey discretizes a world coordinate to a voxel key at resolution
+// res for a key space of the given depth. ok is false when the
+// coordinate is outside the mapped volume.
+func CoordToKey(p geom.Vec3, res float64, depth int) (Key, bool) {
+	half := 1 << (depth - 1)
+	kx, okx := axisKey(p.X, res, half)
+	ky, oky := axisKey(p.Y, res, half)
+	kz, okz := axisKey(p.Z, res, half)
+	if !okx || !oky || !okz {
+		return Key{}, false
+	}
+	return Key{kx, ky, kz}, true
+}
+
+func axisKey(c, res float64, half int) (uint16, bool) {
+	v := int(math.Floor(c/res)) + half
+	if v < 0 || v >= half*2 {
+		return 0, false
+	}
+	return uint16(v), true
+}
+
+// KeyToCoord returns the center coordinate of the voxel addressed by k.
+func KeyToCoord(k Key, res float64, depth int) geom.Vec3 {
+	half := 1 << (depth - 1)
+	return geom.Vec3{
+		X: (float64(int(k.X)-half) + 0.5) * res,
+		Y: (float64(int(k.Y)-half) + 0.5) * res,
+		Z: (float64(int(k.Z)-half) + 0.5) * res,
+	}
+}
+
+// String implements fmt.Stringer.
+func (k Key) String() string { return fmt.Sprintf("key(%d,%d,%d)", k.X, k.Y, k.Z) }

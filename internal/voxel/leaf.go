@@ -1,0 +1,26 @@
+package voxel
+
+// Leaf describes one leaf emitted by a backend's leaf walk: either a
+// finest-resolution voxel or an aggregate covering a whole axis-aligned
+// cube of equal-valued voxels (an octree's pruned subtree, a grid's
+// uniform brick). Leaf streams are the backend-neutral exchange format:
+// serialization, map loading, shard merging, and the public WalkLeaves
+// accessor all speak it.
+type Leaf struct {
+	// Key is the minimum-corner key of the leaf's extent at the finest
+	// resolution. For a finest-resolution leaf it addresses the voxel
+	// itself.
+	Key Key
+	// Depth is the leaf's depth in the subdivision hierarchy; Depth ==
+	// Params.Depth for finest-resolution voxels, smaller for aggregates
+	// (the cube spans 2^(Params.Depth-Depth) voxels per axis).
+	Depth int
+	// LogOdds is the leaf's accumulated occupancy.
+	LogOdds float32
+}
+
+// Size returns the edge length in meters of the leaf's cube under the
+// given params.
+func (l Leaf) Size(p Params) float64 {
+	return p.Resolution * float64(int(1)<<(p.Depth-l.Depth))
+}

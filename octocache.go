@@ -68,8 +68,8 @@ import (
 	"octocache/internal/cache"
 	"octocache/internal/core"
 	"octocache/internal/geom"
-	"octocache/internal/octree"
 	"octocache/internal/shard"
+	"octocache/internal/voxel"
 )
 
 // Vec3 is a world-space point or direction in meters.
@@ -82,11 +82,39 @@ func V(x, y, z float64) Vec3 { return geom.V(x, y, z) }
 // the map's key space. Obtain one with Map.CoordToKey; key-space queries
 // (Map.OccupiedKey) skip the coordinate discretization on hot paths that
 // already work in voxel units.
-type Key = octree.Key
+type Key = voxel.Key
 
 // ErrClosed is returned by Insert once the map has been closed: the map
 // remains queryable forever, but accepts no further observations.
 var ErrClosed = shard.ErrClosed
+
+// Leaf is one entry of a leaf walk: a voxel (or pruned aggregate cube)
+// with its accumulated log-odds occupancy.
+type Leaf = core.Leaf
+
+// Snapshot is a backend-neutral, canonically pruned copy of a map's
+// contents — the way map contents leave a Map for serialization,
+// merging, and read-only consumers. Content-equal snapshots serialize to
+// identical bytes regardless of the backend or shard count that produced
+// them.
+type Snapshot = core.Snapshot
+
+// ReadSnapshot deserializes a snapshot written by Map.WriteTo (or
+// Snapshot.WriteTo) without constructing a live map.
+func ReadSnapshot(r io.Reader) (*Snapshot, error) { return core.ReadSnapshot(r) }
+
+// Backend selects the voxel store behind a Map.
+type Backend = core.BackendKind
+
+const (
+	// BackendOctree is the OctoMap-style arena octree: adaptive pruning,
+	// compaction support, the paper's target structure. The default.
+	BackendOctree = core.BackendOctree
+	// BackendGrid is a VDB-style grid of dense 8x8x8 bricks behind a hash
+	// index: flat lookups, no pruning, no compaction. Query answers and
+	// serialized bytes are bit-identical to the octree backend's.
+	BackendGrid = core.BackendGrid
+)
 
 // Mode selects the pipeline variant.
 type Mode int
@@ -133,26 +161,26 @@ type Options struct {
 	CacheTau int
 	// DedupRays enables OctoMap-RT-style deduplicating ray tracing.
 	DedupRays bool
+	// Backend selects the voxel store behind the map; the zero value is
+	// BackendOctree. Query answers and serialized bytes are independent
+	// of the choice; speed, memory shape, and compaction support are not.
+	Backend Backend
 	// Compaction enables automatic octree arena compaction: whenever a
 	// batch leaves an arena with at least MinFreeSlots recycled slots
 	// making up at least MinFreeFraction of its capacity, the arena is
 	// rebuilt into a dense Morton-ordered prefix and the tail capacity
 	// released. The zero value disables automatic compaction; explicit
 	// Map.Compact calls always run. Sharded maps apply the policy per
-	// shard.
+	// shard. Backends without compaction support (BackendGrid) ignore
+	// the policy.
 	Compaction CompactionPolicy
-	// Arena is a no-op: the octree always stores nodes in contiguous
-	// handle-addressed arenas with prune-recycling.
-	//
-	// Deprecated: arena storage is the only implementation now.
-	Arena bool
 }
 
 // CompactionPolicy sets the automatic-compaction trigger: compact when
 // free slots are at least MinFreeFraction of arena capacity (0 disables)
 // and number at least MinFreeSlots (a floor that keeps tiny arenas from
 // compacting constantly).
-type CompactionPolicy = octree.CompactionPolicy
+type CompactionPolicy = core.CompactionPolicy
 
 // MaxShards bounds Options.Shards.
 const MaxShards = shard.MaxShards
@@ -190,21 +218,17 @@ func MustNew(opts Options) *Map {
 	return m
 }
 
-// NewChecked creates a Map, validating the options.
-//
-// Deprecated: New itself returns an error now; call New directly.
-func NewChecked(opts Options) (*Map, error) { return New(opts) }
-
 // Open reads a map serialized with WriteTo and makes it live again: the
-// loaded octree becomes the pipeline's (or, sharded, each owning
-// shard's) backing tree, ready for further Insert calls and queries. The
-// stream's parameters (resolution, tree depth, sensor model) are
-// authoritative; Options.Resolution is ignored. The remaining options —
-// Mode, Shards, cache shape — configure the reopened map exactly as they
+// loaded contents are replayed into the pipeline's (or, sharded, each
+// owning shard's) backing store — whichever backend the options select,
+// regardless of which backend wrote the stream. The stream's parameters
+// (resolution, tree depth, sensor model) are authoritative;
+// Options.Resolution is ignored. The remaining options — Mode, Shards,
+// Backend, cache shape — configure the reopened map exactly as they
 // would a new one.
 func Open(r io.Reader, opts Options) (*Map, error) {
-	var src octree.Tree
-	if _, err := src.ReadFrom(r); err != nil {
+	src, err := core.ReadSnapshot(r)
+	if err != nil {
 		return nil, err
 	}
 	params := src.Params()
@@ -219,16 +243,16 @@ func Open(r io.Reader, opts Options) (*Map, error) {
 		return nil, err
 	}
 	if m.sharded != nil {
-		if err := m.sharded.LoadTree(&src); err != nil {
+		if err := m.sharded.LoadSnapshot(src); err != nil {
 			return nil, err
 		}
 		return m, nil
 	}
-	loader, ok := m.mapper.(interface{ LoadTree(*octree.Tree) error })
+	loader, ok := m.mapper.(interface{ LoadSnapshot(*core.Snapshot) error })
 	if !ok {
 		return nil, fmt.Errorf("octocache: pipeline %s does not support loading", m.mapper.Name())
 	}
-	if err := loader.LoadTree(&src); err != nil {
+	if err := loader.LoadSnapshot(src); err != nil {
 		return nil, err
 	}
 	return m, nil
@@ -249,6 +273,7 @@ func buildConfig(opts Options) (core.Config, error) {
 		return core.Config{}, err
 	}
 	cfg := core.DefaultConfig(opts.Resolution)
+	cfg.Backend = opts.Backend
 	cfg.MaxRange = opts.MaxRange
 	cfg.RT = opts.DedupRays
 	cfg.Compaction = opts.Compaction
@@ -336,12 +361,12 @@ func (m *Map) OccupiedKey(k Key) bool {
 // CoordToKey discretizes a world coordinate into the map's key space; ok
 // is false when p lies outside the mapped volume.
 func (m *Map) CoordToKey(p Vec3) (k Key, ok bool) {
-	return octree.CoordToKey(p, m.cfg.Octree.Resolution, m.cfg.Octree.Depth)
+	return voxel.CoordToKey(p, m.cfg.Octree.Resolution, m.cfg.Octree.Depth)
 }
 
 // KeyToCoord returns the center of the voxel addressed by k.
 func (m *Map) KeyToCoord(k Key) Vec3 {
-	return octree.KeyToCoord(k, m.cfg.Octree.Resolution, m.cfg.Octree.Depth)
+	return voxel.KeyToCoord(k, m.cfg.Octree.Resolution, m.cfg.Octree.Depth)
 }
 
 // CastRay walks from origin along dir until it enters a known-occupied
@@ -357,10 +382,13 @@ func (m *Map) CastRay(origin, dir Vec3, maxRange float64, ignoreUnknown bool) (h
 }
 
 // Probability converts a log-odds occupancy to a probability in (0, 1).
-func Probability(logOdds float32) float64 { return octree.Probability(logOdds) }
+func Probability(logOdds float32) float64 { return voxel.Probability(logOdds) }
 
 // Resolution returns the voxel edge length in meters.
 func (m *Map) Resolution() float64 { return m.cfg.Octree.Resolution }
+
+// Backend reports which voxel store backs the map.
+func (m *Map) Backend() Backend { return m.cfg.Backend }
 
 // Shards returns the effective shard count: 1 for single-driver maps,
 // the rounded-up power of two otherwise.
@@ -385,16 +413,36 @@ func (m *Map) Close() error {
 	return nil
 }
 
-// WriteTo serializes the finished octree. Call Close first so the octree
-// holds the complete map; sharded maps are merged into one octree
-// (shards own disjoint subtrees, so the merge is lossless and matches
-// the serialization an unsharded map of the same stream would produce).
+// WriteTo serializes the map, including updates still resident in the
+// voxel cache; sharded maps are merged into one canonical snapshot
+// (shards own disjoint subtrees, so the merge is lossless). Bytes are
+// identical across backends and shard counts for content-equal maps,
+// so a stream written by any configuration Opens under any other.
+// Serializing after Close is cheapest (the flushed octree streams in
+// place); a live map goes through the snapshot rebuild.
 func (m *Map) WriteTo(w io.Writer) (int64, error) {
 	if m.sharded != nil {
-		return m.sharded.MergedTree().WriteTo(w)
+		return m.sharded.WriteTo(w)
 	}
-	return m.mapper.Tree().WriteTo(w)
+	return m.mapper.WriteTo(w)
 }
+
+// Snapshot captures the map's current contents as a canonical,
+// backend-neutral snapshot — for serialization, diffing, and read-only
+// consumers. It answers queries exactly like the live map at the
+// moment of capture: updates still resident in the voxel cache are
+// folded in. Single-driver maps treat Snapshot as a mutator call, like
+// Insert; sharded maps may call it from any goroutine.
+func (m *Map) Snapshot() *Snapshot {
+	if m.sharded != nil {
+		return m.sharded.Snapshot()
+	}
+	return m.mapper.Snapshot()
+}
+
+// WalkLeaves visits every leaf of the map's canonical snapshot in
+// ascending Morton order. It carries Snapshot's caveats.
+func (m *Map) WalkLeaves(fn func(Leaf) bool) { m.Snapshot().Walk(fn) }
 
 // Compact rebuilds the octree arenas into dense Morton-ordered prefixes
 // and releases the fragmented tail capacity, without changing any query
@@ -426,6 +474,8 @@ type Stats struct {
 	Compaction CompactionStats
 	// Shards is the effective shard count (1 for single-driver maps).
 	Shards int
+	// Backend identifies the voxel store behind the map.
+	Backend Backend
 }
 
 // CacheStats summarizes cache behaviour.
@@ -522,12 +572,10 @@ func (m *Map) Stats() Stats {
 			Arena:      publicArena(m.sharded.ArenaStats()),
 			Compaction: publicCompaction(m.sharded.CompactionStats()),
 			Shards:     m.sharded.NumShards(),
+			Backend:    m.sharded.Backend(),
 		}
 	}
 	tm := m.mapper.Timings()
-	if q, ok := m.mapper.(interface{ Quiesce() }); ok {
-		q.Quiesce() // drain the background applier before reading the tree
-	}
 	return Stats{
 		Cache: publicCache(m.mapper.CacheStats()),
 		Pipeline: PipelineStats{
@@ -535,9 +583,11 @@ func (m *Map) Stats() Stats {
 			VoxelsTraced:   tm.VoxelsTraced,
 			VoxelsToOctree: tm.VoxelsToOctree,
 		},
-		Arena:      publicArena(core.TreeArenaStats(m.mapper.Tree())),
+		// ArenaStats drains the background applier before reading.
+		Arena:      publicArena(m.mapper.ArenaStats()),
 		Compaction: publicCompaction(m.mapper.CompactionStats()),
 		Shards:     1,
+		Backend:    m.mapper.Backend(),
 	}
 }
 
@@ -545,7 +595,9 @@ func (m *Map) Stats() Stats {
 type ShardStat struct {
 	// Shard is the shard index (its Morton prefix).
 	Shard int
-	// Arena is the shard octree's arena snapshot.
+	// Backend identifies the voxel store behind the shard's pipeline.
+	Backend Backend
+	// Arena is the shard store's arena snapshot.
 	Arena ArenaStats
 	// QueueDepth is the number of cells parked in the shard's cache
 	// awaiting eviction or the Close flush.
@@ -567,6 +619,7 @@ func (m *Map) ShardStats() []ShardStat {
 	for i, s := range raw {
 		out[i] = ShardStat{
 			Shard:      s.Shard,
+			Backend:    s.Backend,
 			Arena:      publicArena(s.Arena),
 			QueueDepth: s.QueueDepth,
 			Cache:      publicCache(s.Cache),

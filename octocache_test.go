@@ -29,13 +29,13 @@ func TestNewValidates(t *testing.T) {
 		t.Fatalf("valid options rejected: %v", err)
 	}
 	m.Close()
-	// The deprecated shim forwards to New.
-	if _, err := NewChecked(Options{}); err == nil {
-		t.Error("NewChecked accepted zero options")
+	// An out-of-range backend is rejected like any other invalid option.
+	if _, err := New(Options{Resolution: 0.1, Backend: Backend(99)}); err == nil {
+		t.Error("unknown backend accepted")
 	}
-	m, err = NewChecked(Options{Resolution: 0.1})
+	m, err = New(Options{Resolution: 0.1, Backend: BackendGrid})
 	if err != nil {
-		t.Fatalf("NewChecked rejected valid options: %v", err)
+		t.Fatalf("grid backend rejected: %v", err)
 	}
 	m.Close()
 }
@@ -159,9 +159,9 @@ func TestDedupRaysMode(t *testing.T) {
 	}
 }
 
-func TestArenaOptionAgreesWithHeap(t *testing.T) {
+func TestBackendsAgreeOnQueries(t *testing.T) {
 	a := MustNew(Options{Resolution: 0.1, Mode: ModeSerial, CacheBuckets: 1 << 10})
-	b := MustNew(Options{Resolution: 0.1, Mode: ModeSerial, CacheBuckets: 1 << 10, Arena: true})
+	b := MustNew(Options{Resolution: 0.1, Mode: ModeSerial, CacheBuckets: 1 << 10, Backend: BackendGrid})
 	origin := V(0, 0, 1)
 	rng := rand.New(rand.NewSource(9))
 	for i := 0; i < 5; i++ {
@@ -177,7 +177,7 @@ func TestArenaOptionAgreesWithHeap(t *testing.T) {
 			la, ka := a.Occupancy(p)
 			lb, kb := b.Occupancy(p)
 			if la != lb || ka != kb {
-				t.Fatalf("arena and heap maps disagree at %v", p)
+				t.Fatalf("octree and grid backends disagree at %v", p)
 			}
 		}
 	}
