@@ -11,7 +11,10 @@
 // rebuild pause (schema v2). Schema v3 adds per-backend insert rows:
 // the octree rows keep their v2 keys ("octomap", "serial", "parallel")
 // so trajectories stay comparable across PRs, and the brick-grid
-// backend appends "-grid" variants.
+// backend appends "-grid" variants. Schema v4 adds point-query and
+// raycast rows per backend × shard count, and a windowed-traverse
+// workload comparing a bounded-memory map's resident footprint against
+// the unbounded baseline.
 package main
 
 import (
@@ -46,12 +49,29 @@ type compactionResult struct {
 	CompactNs           int64   `json:"compact_ns"`
 }
 
+type queryResult struct {
+	QueryNsPerOp   float64 `json:"query_ns_per_op"`
+	RaycastNsPerOp float64 `json:"raycast_ns_per_op"`
+}
+
+type windowResult struct {
+	UnboundedBytes int64 `json:"unbounded_bytes"`
+	WindowedBytes  int64 `json:"windowed_bytes"`
+	SpilledTiles   int   `json:"spilled_tiles"`
+	BytesOnDisk    int64 `json:"bytes_on_disk"`
+	Evictions      int64 `json:"evictions"`
+	Reloads        int64 `json:"reloads"`
+	MaxPauseNs     int64 `json:"max_pause_ns"`
+}
+
 type report struct {
 	Schema         string                  `json:"schema"`
 	GoVersion      string                  `json:"go_version"`
 	GOOS           string                  `json:"goos"`
 	GOARCH         string                  `json:"goarch"`
 	Insert         map[string]insertResult `json:"insert"`
+	Query          map[string]queryResult  `json:"query"`
+	Window         windowResult            `json:"window"`
 	CacheHitRate   float64                 `json:"cache_hit_rate"`
 	ArenaOccupancy float64                 `json:"arena_occupancy"`
 	Compaction     compactionResult        `json:"compaction"`
@@ -99,6 +119,113 @@ func benchInsert(mode octocache.Mode, backend octocache.Backend) (insertResult, 
 		BytesPerOp:  r.AllocedBytesPerOp(),
 		Iterations:  r.N,
 	}, hitRate, occupancy
+}
+
+// benchQuery measures the read side on a warm, still-live map: point
+// queries cycling through a mix of occupied, free, and unknown probes,
+// and full raycasts from the map center. Sharded rows route each probe
+// through the shard service's per-shard read locks.
+func benchQuery(backend octocache.Backend, shards int) queryResult {
+	origin := octocache.V(0, 0, 1.2)
+	pts := scanRing()
+	m := octocache.MustNew(octocache.Options{
+		Resolution:   0.1,
+		Mode:         octocache.ModeSerial,
+		Backend:      backend,
+		Shards:       shards,
+		MaxRange:     8,
+		CacheBuckets: 1 << 14,
+	})
+	for i := 0; i < 8; i++ {
+		m.Insert(origin, pts)
+	}
+	probes := append([]octocache.Vec3{}, pts[:180]...)
+	for i := 0; i < 90; i++ { // known-free mid-ray and unknown far points
+		ang := float64(i) * 4 * math.Pi / 180
+		probes = append(probes, octocache.V(2*math.Cos(ang), 2*math.Sin(ang), 1.2))
+		probes = append(probes, octocache.V(20*math.Cos(ang), 20*math.Sin(ang), 1.2))
+	}
+	q := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m.Occupied(probes[i%len(probes)])
+		}
+	})
+	dirs := make([]octocache.Vec3, 36)
+	for i := range dirs {
+		ang := float64(i) * 10 * math.Pi / 180
+		dirs[i] = octocache.V(math.Cos(ang), math.Sin(ang), 0)
+	}
+	rc := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m.CastRay(origin, dirs[i%len(dirs)], 8, true)
+		}
+	})
+	m.Close()
+	return queryResult{
+		QueryNsPerOp:   float64(q.T.Nanoseconds()) / float64(q.N),
+		RaycastNsPerOp: float64(rc.T.Nanoseconds()) / float64(rc.N),
+	}
+}
+
+// benchWindow drives the same long traverse through an unbounded map and
+// a tightly windowed one (0.8 m tiles, radius 1) and reports the
+// resident-footprint split: how many bytes stay in memory, how much
+// spilled to disk, and the worst single eviction pause.
+func benchWindow() windowResult {
+	dir, err := os.MkdirTemp("", "benchjson-window")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(dir)
+
+	// Compaction is armed so the windowed arena can actually shrink
+	// after evictions; without it Arena.Bytes only reports the
+	// high-water capacity and the two runs land in the same size class.
+	base := octocache.Options{
+		Resolution:   0.1,
+		Mode:         octocache.ModeSerial,
+		MaxRange:     8,
+		CacheBuckets: 1 << 10,
+		Compaction:   octocache.CompactionPolicy{MinFreeFraction: 0.25, MinFreeSlots: 1024},
+	}
+	ref := octocache.MustNew(base)
+	// The evict cap is raised above the per-insert default so the
+	// window converges within the short traverse instead of leaving a
+	// backlog of out-of-window tiles resident.
+	winOpts := base
+	winOpts.Window = octocache.Window{Radius: 1, TileDepth: 13, Dir: dir, MaxEvictPerCycle: 512}
+	win := octocache.MustNew(winOpts)
+
+	rng := rand.New(rand.NewSource(47))
+	winRNG := rand.New(rand.NewSource(47))
+	scan := func(r *rand.Rand, origin octocache.Vec3) []octocache.Vec3 {
+		pts := make([]octocache.Vec3, 0, 200)
+		for j := 0; j < 200; j++ {
+			ang := r.Float64() * 2 * math.Pi
+			rad := 1 + r.Float64()*2
+			pts = append(pts, origin.Add(octocache.V(rad*math.Cos(ang), rad*math.Sin(ang), r.Float64()-0.5)))
+		}
+		return pts
+	}
+	for i := 0; i < 30; i++ {
+		origin := octocache.V(3*float64(i), 0, 1.2)
+		ref.Insert(origin, scan(rng, origin))
+		win.Insert(origin, scan(winRNG, origin))
+	}
+	refBytes := ref.Stats().Arena.Bytes
+	ws := win.Stats()
+	ref.Close()
+	win.Close()
+	return windowResult{
+		UnboundedBytes: refBytes,
+		WindowedBytes:  ws.Arena.Bytes,
+		SpilledTiles:   ws.Window.SpilledTiles,
+		BytesOnDisk:    ws.Window.BytesOnDisk,
+		Evictions:      ws.Window.Evictions,
+		Reloads:        ws.Window.Reloads,
+		MaxPauseNs:     ws.Window.MaxPause.Nanoseconds(),
+	}
 }
 
 // benchCompaction builds a prune-heavy map — jittered ring scans from
@@ -159,11 +286,12 @@ func main() {
 	}
 
 	rep := report{
-		Schema:    "octocache-bench-core/v3",
+		Schema:    "octocache-bench-core/v4",
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
 		Insert:    make(map[string]insertResult),
+		Query:     make(map[string]queryResult),
 	}
 	for _, mc := range []struct {
 		name    string
@@ -185,6 +313,19 @@ func main() {
 			rep.ArenaOccupancy = occupancy
 		}
 	}
+	for _, qc := range []struct {
+		name    string
+		backend octocache.Backend
+		shards  int
+	}{
+		{"octree", octocache.BackendOctree, 0},
+		{"grid", octocache.BackendGrid, 0},
+		{"octree-sharded-8", octocache.BackendOctree, 8},
+		{"grid-sharded-8", octocache.BackendGrid, 8},
+	} {
+		rep.Query[qc.name] = benchQuery(qc.backend, qc.shards)
+	}
+	rep.Window = benchWindow()
 	rep.Compaction = benchCompaction()
 
 	buf, err := json.MarshalIndent(rep, "", "  ")

@@ -23,17 +23,19 @@ import (
 
 func main() {
 	var (
-		dsName   = flag.String("dataset", "fr079", "dataset: fr079, campus, or newcollege")
-		pipeline = flag.String("pipeline", "parallel", "pipeline: octomap, serial, parallel, voxelcache, or naive")
-		res      = flag.Float64("res", 0.1, "mapping resolution in meters")
-		scale    = flag.Float64("scale", 0.5, "dataset scale (1.0 = paper-sized)")
-		rt       = flag.Bool("rt", false, "use deduplicating (OctoMap-RT style) ray tracing")
-		backend  = flag.String("backend", "octree", "voxel store backend: octree or grid")
-		tau      = flag.Int("tau", 4, "cache bucket depth τ")
-		buckets  = flag.Int("buckets", 0, "cache bucket count w (0 = auto-size at 3.5x batch distinct voxels)")
-		out      = flag.String("out", "", "write the finished octree to this file")
-		slice    = flag.String("slice", "", "write a horizontal PGM slice of the map to this file")
-		sliceZ   = flag.Float64("slicez", 1.2, "slice height in meters")
+		dsName    = flag.String("dataset", "fr079", "dataset: fr079, campus, or newcollege")
+		pipeline  = flag.String("pipeline", "parallel", "pipeline: octomap, serial, parallel, voxelcache, or naive")
+		res       = flag.Float64("res", 0.1, "mapping resolution in meters")
+		scale     = flag.Float64("scale", 0.5, "dataset scale (1.0 = paper-sized)")
+		rt        = flag.Bool("rt", false, "use deduplicating (OctoMap-RT style) ray tracing")
+		backend   = flag.String("backend", "octree", "voxel store backend: octree or grid")
+		tau       = flag.Int("tau", 4, "cache bucket depth τ")
+		buckets   = flag.Int("buckets", 0, "cache bucket count w (0 = auto-size at 3.5x batch distinct voxels)")
+		out       = flag.String("out", "", "write the finished octree to this file")
+		slice     = flag.String("slice", "", "write a horizontal PGM slice of the map to this file")
+		sliceZ    = flag.Float64("slicez", 1.2, "slice height in meters")
+		winRadius = flag.Int("window-radius", 0, "bounded-memory window radius in tiles (0 = unbounded)")
+		winDir    = flag.String("window-dir", "", "spill directory for evicted tiles (default: a temp dir)")
 	)
 	flag.Parse()
 
@@ -71,6 +73,19 @@ func main() {
 	} else {
 		cfg.CacheBuckets = 1 << 15
 	}
+	if *winRadius > 0 {
+		dir := *winDir
+		if dir == "" {
+			dir, err = os.MkdirTemp("", "mapbuilder-window")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mapbuilder:", err)
+				os.Exit(1)
+			}
+			defer os.RemoveAll(dir)
+		}
+		cfg.Window = core.Window{Radius: *winRadius, Dir: dir}
+		fmt.Printf("bounded-memory window: radius %d tiles, spilling to %s\n", *winRadius, dir)
+	}
 	m, err := core.New(kind, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mapbuilder:", err)
@@ -99,6 +114,13 @@ func main() {
 	if cs := m.CacheStats(); cs.Inserts > 0 {
 		fmt.Printf("cache: %.1f%% hit rate (%d hits / %d inserts), %d evicted\n",
 			100*cs.HitRate(), cs.Hits, cs.Inserts, cs.Evicted)
+	}
+	if w, ok := m.(core.Windower); ok {
+		if ws := w.WindowStats(); ws.Enabled {
+			fmt.Printf("window: %d tiles resident, %d spilled (%.1f MB on disk), %d evictions, %d reloads, max pause %v\n",
+				ws.ResidentTiles, ws.SpilledTiles, float64(ws.BytesOnDisk)/(1<<20),
+				ws.Evictions, ws.Reloads, ws.MaxPause)
+		}
 	}
 	snap := m.Snapshot()
 	fmt.Printf("map (%s backend): %d nodes, %d leaves, ~%.1f MB\n",

@@ -34,6 +34,8 @@ func main() {
 		scale     = flag.Float64("scale", 0.5, "dataset scale (1.0 = paper-sized)")
 		backend   = flag.String("backend", "octree", "voxel store backend: octree or grid")
 		out       = flag.String("out", "", "write the merged octree to this file")
+		winRadius = flag.Int("window-radius", 0, "bounded-memory window radius in tiles (0 = unbounded)")
+		winDir    = flag.String("window-dir", "", "spill directory for evicted tiles (default: a temp dir)")
 	)
 	flag.Parse()
 	if *producers < 1 || *queriers < 0 {
@@ -73,6 +75,21 @@ func main() {
 		os.Exit(1)
 	}
 
+	var window octocache.Window
+	if *winRadius > 0 {
+		dir := *winDir
+		if dir == "" {
+			dir, err = os.MkdirTemp("", "mapserver-window")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mapserver:", err)
+				os.Exit(1)
+			}
+			defer os.RemoveAll(dir)
+		}
+		window = octocache.Window{Radius: *winRadius, Dir: dir}
+		fmt.Printf("bounded-memory window: radius %d tiles, spilling to %s\n", *winRadius, dir)
+	}
+
 	m, err := octocache.New(octocache.Options{
 		Resolution: *res,
 		Mode:       md,
@@ -80,6 +97,7 @@ func main() {
 		Backend:    bk,
 		MaxRange:   ds.Sensor.MaxRange,
 		Compaction: octocache.CompactionPolicy{MinFreeFraction: 0.25, MinFreeSlots: 1024},
+		Window:     window,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mapserver:", err)
@@ -155,11 +173,18 @@ func main() {
 		st.Backend, st.Arena.LiveNodes, float64(st.Arena.Bytes)/(1<<20), st.Shards, 100*st.Arena.Occupancy())
 	fmt.Printf("compaction: %d runs, %d slots reclaimed (last pause %v)\n",
 		st.Compaction.Runs, st.Compaction.SlotsReclaimed, st.Compaction.LastDuration)
+	if st.Window.Enabled {
+		fmt.Printf("window: %d tiles resident, %d spilled (%.1f MB on disk), %d evictions, %d reloads, max pause %v\n",
+			st.Window.ResidentTiles, st.Window.SpilledTiles, float64(st.Window.BytesOnDisk)/(1<<20),
+			st.Window.Evictions, st.Window.Reloads, st.Window.MaxPause)
+	}
 	fmt.Println("\nper-shard breakdown:")
-	fmt.Printf("  %5s  %7s  %9s  %9s  %6s  %8s  %9s\n", "shard", "backend", "nodes", "bytes", "queue", "hit rate", "compacts")
+	fmt.Printf("  %5s  %7s  %9s  %9s  %6s  %8s  %9s  %8s  %7s  %7s\n",
+		"shard", "backend", "nodes", "bytes", "queue", "hit rate", "compacts", "resident", "spilled", "evicted")
 	for _, s := range m.ShardStats() {
-		fmt.Printf("  %5d  %7s  %9d  %9d  %6d  %7.1f%%  %9d\n",
-			s.Shard, s.Backend, s.Arena.LiveNodes, s.Arena.Bytes, s.QueueDepth, 100*s.Cache.HitRate, s.Compaction.Runs)
+		fmt.Printf("  %5d  %7s  %9d  %9d  %6d  %7.1f%%  %9d  %8d  %7d  %7d\n",
+			s.Shard, s.Backend, s.Arena.LiveNodes, s.Arena.Bytes, s.QueueDepth, 100*s.Cache.HitRate, s.Compaction.Runs,
+			s.Window.ResidentTiles, s.Window.SpilledTiles, s.Window.Evictions)
 	}
 
 	if *out != "" {

@@ -361,6 +361,38 @@ func (c *Cache) Flush(dst []Cell) []Cell {
 	return dst
 }
 
+// Drain removes every cell whose key matches, appending the removed
+// cells to dst (bucket-sweep order; survivors keep their insertion
+// order). The windowed engine uses it to pull a tile's cells out of the
+// cache before the tile spills — a spilled tile must leave no cells
+// behind, or their accumulation would restart from zero on revisit.
+func (c *Cache) Drain(dst []Cell, match func(voxel.Key) bool) []Cell {
+	start := len(dst)
+	for i := range c.buckets {
+		bucket := c.buckets[i]
+		kept := 0
+		for _, cell := range bucket {
+			if match(cell.Key) {
+				dst = append(dst, cell)
+				continue
+			}
+			bucket[kept] = cell
+			kept++
+		}
+		c.buckets[i] = bucket[:kept]
+	}
+	n := len(dst) - start
+	c.cells -= n
+	c.stats.Evicted += int64(n)
+	if c.cfg.Order == OrderMorton {
+		batch := dst[start:]
+		sort.Slice(batch, func(i, j int) bool {
+			return batch[i].Key.Morton() < batch[j].Key.Morton()
+		})
+	}
+	return dst
+}
+
 // MaxBucketLen returns the longest current bucket — a collision health
 // metric used by the τ-shape experiment (§6.2.4).
 func (c *Cache) MaxBucketLen() int {

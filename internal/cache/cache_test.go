@@ -464,3 +464,49 @@ func TestStatsAdd(t *testing.T) {
 		t.Errorf("merged hit rate = %v", got.HitRate())
 	}
 }
+
+func TestDrainByTile(t *testing.T) {
+	c := New(testConfig(8, 4, MortonIndex))
+	rng := rand.New(rand.NewSource(11))
+	inTile := func(k octree.Key) bool { return k.X < 8 && k.Y < 8 && k.Z < 8 }
+	nIn := 0
+	for i := 0; i < 300; i++ {
+		k := key(uint16(rng.Intn(16)), uint16(rng.Intn(16)), uint16(rng.Intn(16)))
+		c.Insert(k, rng.Intn(2) == 0, nil)
+	}
+	total := c.Len()
+	c.Walk(func(cell Cell) bool {
+		if inTile(cell.Key) {
+			nIn++
+		}
+		return true
+	})
+	if nIn == 0 || nIn == total {
+		t.Fatalf("degenerate split: %d of %d in tile", nIn, total)
+	}
+	drained := c.Drain(nil, inTile)
+	if len(drained) != nIn {
+		t.Fatalf("Drain returned %d cells, want %d", len(drained), nIn)
+	}
+	if c.Len() != total-nIn {
+		t.Fatalf("Len after Drain = %d, want %d", c.Len(), total-nIn)
+	}
+	for _, cell := range drained {
+		if !inTile(cell.Key) {
+			t.Fatalf("drained cell %v does not match", cell.Key)
+		}
+	}
+	c.Walk(func(cell Cell) bool {
+		if inTile(cell.Key) {
+			t.Fatalf("matching cell %v survived Drain", cell.Key)
+		}
+		return true
+	})
+	if got := c.Stats().Evicted; got != int64(nIn) {
+		t.Errorf("Evicted = %d, want %d", got, nIn)
+	}
+	// Draining again is a no-op.
+	if again := c.Drain(nil, inTile); len(again) != 0 {
+		t.Errorf("second Drain returned %d cells", len(again))
+	}
+}

@@ -18,26 +18,38 @@ import (
 // check must be free, and it must not trip on a steady-state arena.
 func TestInsertSteadyStateAllocs(t *testing.T) {
 	for _, kind := range []Kind{KindSerial, KindOctoMap} {
-		t.Run(kind.String(), func(t *testing.T) {
-			cfg := testConfig()
-			cfg.Compaction = octree.CompactionPolicy{MinFreeFraction: 0.25, MinFreeSlots: 1024}
-			m := MustNew(kind, cfg)
-			rng := rand.New(rand.NewSource(11))
-			origin := geom.V(0.5, 0.5, 1)
-			scan := synthScan(rng, origin, 200)
-			for i := 0; i < 50; i++ { // warm every buffer and saturate values
-				if err := m.Insert(origin, scan); err != nil {
-					t.Fatal(err)
-				}
+		for _, windowed := range []bool{false, true} {
+			name := kind.String()
+			if windowed {
+				name += "/windowed"
 			}
-			avg := testing.AllocsPerRun(20, func() {
-				if err := m.Insert(origin, scan); err != nil {
-					t.Fatal(err)
+			t.Run(name, func(t *testing.T) {
+				cfg := testConfig()
+				cfg.Compaction = octree.CompactionPolicy{MinFreeFraction: 0.25, MinFreeSlots: 1024}
+				if windowed {
+					// A static origin keeps every touched tile in-window, so
+					// the armed window must cost only its per-tile residency
+					// checks — no spills, no reloads, no allocation.
+					cfg.Window = Window{Radius: 8, TileDepth: 5, Dir: t.TempDir()}
+				}
+				m := MustNew(kind, cfg)
+				rng := rand.New(rand.NewSource(11))
+				origin := geom.V(0.5, 0.5, 1)
+				scan := synthScan(rng, origin, 200)
+				for i := 0; i < 50; i++ { // warm every buffer and saturate values
+					if err := m.Insert(origin, scan); err != nil {
+						t.Fatal(err)
+					}
+				}
+				avg := testing.AllocsPerRun(20, func() {
+					if err := m.Insert(origin, scan); err != nil {
+						t.Fatal(err)
+					}
+				})
+				if avg > 2 {
+					t.Errorf("steady-state Insert allocates %.1f times per scan; want ~0", avg)
 				}
 			})
-			if avg > 2 {
-				t.Errorf("steady-state Insert allocates %.1f times per scan; want ~0", avg)
-			}
-		})
+		}
 	}
 }

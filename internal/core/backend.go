@@ -129,6 +129,13 @@ func (b octreeBackend) UpdateCell(k voxel.Key, occupied bool) { b.Tree.Update(k,
 func (b octreeBackend) SetCell(k voxel.Key, logOdds float32)  { b.Tree.SetNodeValue(k, logOdds) }
 func (b octreeBackend) Lookup(k voxel.Key) (float32, bool)    { return b.Tree.Search(k) }
 
+// EvictTile implements the Evictor capability: the windowed map's spill
+// unit detaches as the tile's canonical leaf run. The grid backend
+// satisfies Evictor directly with its own EvictTile.
+func (b octreeBackend) EvictTile(corner voxel.Key, tileDepth int, dst []voxel.Leaf) []voxel.Leaf {
+	return b.Tree.EvictSubtree(corner, tileDepth, dst)
+}
+
 // Tree re-exports the arena octree for white-box consumers — the
 // ordering microbenchmarks and layout experiments that measure the
 // storage structure itself rather than a pipeline. Everything else

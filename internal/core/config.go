@@ -60,6 +60,14 @@ type Config struct {
 	// calls always run. Backends without the Compactor capability (the
 	// grid) ignore the policy.
 	Compaction octree.CompactionPolicy
+	// Window bounds resident memory: tiles outside an ego-centric window
+	// spill to disk through internal/pager and page back in on touch.
+	// The zero value keeps the whole map resident.
+	Window Window
+	// WindowTag names this pipeline's tile file within Window.Dir
+	// (default "map"). The shard service sets a per-shard tag so sharded
+	// maps keep one spill file per shard.
+	WindowTag string
 }
 
 // DefaultConfig returns a configuration with OctoMap's default sensor
@@ -87,6 +95,9 @@ func (c Config) Validate() error {
 	}
 	if c.Backend != BackendOctree && c.Backend != BackendGrid {
 		return fmt.Errorf("core: unknown backend %v", c.Backend)
+	}
+	if err := c.Window.Validate(c.Octree.Depth); err != nil {
+		return err
 	}
 	return c.Compaction.Validate()
 }

@@ -76,6 +76,13 @@ type engine struct {
 	bufMu   sync.Mutex
 	bufFree [][]cache.Cell
 
+	// win holds the bounded-memory windowing machinery when
+	// cfg.Window is enabled (nil otherwise — hot paths check the pointer
+	// once); evictor caches the backend's tile-detach capability the
+	// window requires.
+	win     *windowState
+	evictor Evictor
+
 	timings    Timings
 	compaction CompactionStats
 	closed     bool
@@ -104,7 +111,7 @@ func (e *engine) putBuf(b []cache.Cell) {
 	e.bufMu.Unlock()
 }
 
-func newEngine(cfg Config, baseName string, direct, async bool) *engine {
+func newEngine(cfg Config, baseName string, direct, async bool) (*engine, error) {
 	e := &engine{
 		cfg:      cfg,
 		baseName: baseName,
@@ -116,6 +123,17 @@ func newEngine(cfg Config, baseName string, direct, async bool) *engine {
 		}),
 	}
 	e.compactor, _ = e.store.(Compactor)
+	if cfg.Window.Enabled() {
+		ev, ok := e.store.(Evictor)
+		if !ok {
+			return nil, fmt.Errorf("core: backend %v cannot back a windowed map (no tile eviction)", cfg.Backend)
+		}
+		w, err := newWindowState(cfg.Window, cfg.Octree.Depth, cfg.WindowTag)
+		if err != nil {
+			return nil, err
+		}
+		e.evictor, e.win = ev, w
+	}
 	if !direct {
 		e.cache = cache.New(cfg.cacheConfig())
 	}
@@ -125,7 +143,7 @@ func newEngine(cfg Config, baseName string, direct, async bool) *engine {
 	} else {
 		e.app = &inlineApplier{e: e}
 	}
-	return e
+	return e, nil
 }
 
 func (e *engine) Name() string {
@@ -231,13 +249,32 @@ func (e *engine) Insert(origin geom.Vec3, points []geom.Vec3) error {
 	if e.closed {
 		return ErrClosed
 	}
+	if e.win != nil {
+		if err := e.win.loadErr(); err != nil {
+			return err
+		}
+	}
 	start := time.Now()
 
 	e.evictAndHandOff()
 	batch := traceScan(e.tracer, e.cfg.RT, origin, points, &e.timings)
+	if e.win != nil {
+		// Every touched tile must be resident before admission: the cache
+		// seeds accumulation from the store on a miss, so observing a
+		// spilled tile without reloading it would restart its voxels from
+		// unknown.
+		if err := e.ensureResident(batch); err != nil {
+			return err
+		}
+	}
 	e.admit(batch)
 
 	e.maybeCompact()
+	if e.win != nil {
+		if err := e.maybeRecenter(origin); err != nil {
+			return err
+		}
+	}
 
 	e.timings.Batches++
 	e.timings.VoxelsTraced += int64(len(batch))
@@ -255,6 +292,14 @@ func (e *engine) Insert(origin geom.Vec3, points []geom.Vec3) error {
 func (e *engine) ApplyTraced(batch []raytrace.Voxel) error {
 	if e.closed {
 		return ErrClosed
+	}
+	if e.win != nil {
+		if err := e.win.loadErr(); err != nil {
+			return err
+		}
+		if err := e.ensureResident(batch); err != nil {
+			return err
+		}
 	}
 	e.admit(batch)
 	// The policy check and any compaction must precede the tail
@@ -277,6 +322,12 @@ func (e *engine) OccupancyKey(k voxel.Key) (float32, bool) {
 		}
 	}
 	e.app.quiesce()
+	if e.win != nil && e.win.spilledN.Load() > 0 {
+		// Transparently page the voxel's tile back in if it is spilled.
+		// A reload failure sets the sticky pager error (surfaced on the
+		// next mutator call) and the query answers from resident state.
+		_ = e.pageInForQuery(k)
+	}
 	e.treeRW.RLock()
 	l, known := e.store.Lookup(k)
 	e.treeRW.RUnlock()
@@ -304,20 +355,41 @@ func (e *engine) OccupiedKey(k voxel.Key) bool {
 
 // CastRay drains pending octree writes once, then holds the read lock
 // for the whole walk, consulting the freshest combined cache+octree
-// state per visited voxel.
+// state per visited voxel. With a window armed the walk may cross a
+// spilled tile: the first such tile is noted, the walk's result is
+// discarded, the tile pages back in, and the walk retries — terminating
+// because queries never run concurrently with mutators, so the spilled
+// set only shrinks.
 func (e *engine) CastRay(origin, dir geom.Vec3, maxRange float64, ignoreUnknown bool) (geom.Vec3, bool) {
 	e.app.quiesce()
-	e.treeRW.RLock()
-	defer e.treeRW.RUnlock()
-	occ := func(k voxel.Key) (float32, bool) {
-		if e.cache != nil {
-			if l, hit := e.cache.Query(k); hit {
-				return l, true
+	for {
+		var missed voxel.Key
+		haveMissed := false
+		e.treeRW.RLock()
+		occ := func(k voxel.Key) (float32, bool) {
+			if w := e.win; w != nil && w.spilledN.Load() > 0 && !haveMissed {
+				t := w.tileOf(k)
+				if _, ok := w.spilled[t]; ok {
+					missed, haveMissed = t, true
+				}
 			}
+			if e.cache != nil {
+				if l, hit := e.cache.Query(k); hit {
+					return l, true
+				}
+			}
+			return e.store.Lookup(k)
 		}
-		return e.store.Lookup(k)
+		hit, ok := CastRayKeys(e.cfg.Octree, occ, origin, dir, maxRange, ignoreUnknown)
+		e.treeRW.RUnlock()
+		if !haveMissed {
+			return hit, ok
+		}
+		if err := e.reloadTile(missed); err != nil {
+			// Sticky pager error is set; answer from what is resident.
+			return hit, ok
+		}
 	}
-	return CastRayKeys(e.cfg.Octree, occ, origin, dir, maxRange, ignoreUnknown)
 }
 
 // Close flushes all cached state through the applier, waits for the
@@ -398,15 +470,43 @@ func (e *engine) CompactionStats() CompactionStats { return e.compaction }
 // LoadLeaf writes one (possibly aggregate) leaf into the engine's store,
 // as emitted by a backend walk — the seam map loading is built on.
 // Intended for freshly constructed engines; cells already cached for the
-// leaf's voxels keep shadowing the loaded value until evicted.
+// leaf's voxels keep shadowing the loaded value until evicted. With a
+// window armed, a leaf landing in a spilled tile reloads the tile first
+// (the leaf overwrites only its own cube); a leaf coarser than a tile
+// overwrites whole tiles, so any spilled frames it covers are simply
+// dropped. Coarse-loaded regions stay resident until inserts touch
+// their tiles, which is when they join the recency list.
 func (e *engine) LoadLeaf(l voxel.Leaf) error {
 	if e.closed {
 		return ErrClosed
 	}
 	e.app.quiesce()
 	e.treeRW.Lock()
+	defer e.treeRW.Unlock()
+	if w := e.win; w != nil {
+		if err := w.loadErr(); err != nil {
+			return err
+		}
+		if l.Depth >= w.pol.TileDepth {
+			t := w.tileOf(l.Key)
+			if _, ok := w.spilled[t]; ok {
+				if err := e.reloadTileLocked(t); err != nil {
+					return err
+				}
+			} else {
+				w.lru.Touch(t)
+			}
+		} else if w.spilledN.Load() > 0 {
+			for t := range w.spilled {
+				if voxel.TileOf(t, l.Depth, w.depth) == l.Key {
+					w.pages.Release(t, w.pol.TileDepth)
+					delete(w.spilled, t)
+					w.spilledN.Add(-1)
+				}
+			}
+		}
+	}
 	e.store.SetLeafAt(l.Key, l.Depth, l.LogOdds)
-	e.treeRW.Unlock()
 	return nil
 }
 
@@ -431,13 +531,19 @@ func (e *engine) Resolution() float64 { return e.cfg.Octree.Resolution }
 func (e *engine) Backend() BackendKind { return e.cfg.Backend }
 
 // WalkLeaves streams the pipeline's complete contents: the store's
-// leaves in ascending Morton order (applier drained first), then every
+// leaves in ascending Morton order (applier drained first), then — with
+// a window armed — every spilled tile's on-disk leaves (tiles in Morton
+// order, leaves within a tile in Morton order), then every
 // cache-resident cell as a finest-depth leaf. Cache cells hold
 // *accumulated* occupancy — eviction overwrites the store entry — so a
 // key can appear twice, store value first, authoritative cached value
 // second; replaying the stream through SetLeafAt (Snapshot.Add)
-// therefore converges to the live map's query answers. After Close the
-// cache is flushed and the stream is the plain ordered store walk.
+// therefore converges to the live map's query answers. Spilled tiles
+// never overlap resident content (a spilled tile leaves nothing behind),
+// but interleaving store and disk would cost residency churn, so the
+// whole-stream ascending-Morton property holds only for unwindowed
+// maps; consume windowed streams by replay. After Close the cache is
+// flushed and the stream is the ordered store walk plus spilled tiles.
 func (e *engine) WalkLeaves(fn func(voxel.Leaf) bool) {
 	e.app.quiesce()
 	e.treeRW.RLock()
@@ -450,7 +556,29 @@ func (e *engine) WalkLeaves(fn func(voxel.Leaf) bool) {
 		}
 		return true
 	})
-	if stopped || e.cache == nil {
+	if stopped {
+		return
+	}
+	if w := e.win; w != nil && w.spilledN.Load() > 0 {
+		// Local buffer: WalkLeaves holds only the read lock, so concurrent
+		// walkers must not share the window's mutator-side scratch. A read
+		// failure sets the sticky error and ends the disk portion.
+		var buf []voxel.Leaf
+		for _, t := range w.pages.Tiles() {
+			var err error
+			buf, err = w.pages.Load(t.Key, t.Depth, buf[:0])
+			if err != nil {
+				w.setErr(err)
+				return
+			}
+			for _, l := range buf {
+				if !fn(l) {
+					return
+				}
+			}
+		}
+	}
+	if e.cache == nil {
 		return
 	}
 	depth := e.cfg.Octree.Depth
@@ -475,19 +603,31 @@ func (e *engine) Snapshot() *Snapshot {
 
 // WriteTo serializes the pipeline's contents in the .bt format.
 // Backends that serialize directly (the octree) stream in place when
-// nothing is parked in the cache (always true after Close); otherwise
-// the canonical snapshot path folds cached cells in, producing
-// identical bytes for content-equal maps either way.
+// nothing is parked in the cache (always true after Close) and nothing
+// is spilled; otherwise the canonical snapshot path folds cached cells
+// and spilled tiles in, producing identical bytes for content-equal
+// maps either way — serialization is window-invariant.
 func (e *engine) WriteTo(w io.Writer) (int64, error) {
+	if e.win != nil {
+		if err := e.win.loadErr(); err != nil {
+			return 0, err
+		}
+	}
 	e.app.quiesce()
 	e.treeRW.RLock()
 	wt, ok := e.store.(io.WriterTo)
-	if ok && (e.cache == nil || e.cache.Len() == 0) {
+	if ok && (e.cache == nil || e.cache.Len() == 0) && (e.win == nil || e.win.spilledN.Load() == 0) {
 		defer e.treeRW.RUnlock()
 		return wt.WriteTo(w)
 	}
 	e.treeRW.RUnlock()
-	return e.Snapshot().WriteTo(w)
+	n, err := e.Snapshot().WriteTo(w)
+	if err == nil && e.win != nil {
+		// A spilled-tile read failure inside the walk surfaces here
+		// rather than silently serializing a partial map.
+		err = e.win.loadErr()
+	}
+	return n, err
 }
 
 // ArenaStats snapshots the store's arena occupancy (zero-valued except

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"io"
 
 	"octocache/internal/cache"
@@ -165,11 +166,11 @@ func NewShardPipeline(kind Kind, cfg Config) (BatchMapper, error) {
 	}
 	switch kind {
 	case KindSerial:
-		return newSerial(cfg), nil
+		return newSerial(cfg)
 	case KindParallel:
-		return newParallel(cfg), nil
+		return newParallel(cfg)
 	case KindOctoMap:
-		return newOctoMap(cfg), nil
+		return newOctoMap(cfg)
 	default:
 		return nil, errUnknownKind(kind)
 	}
@@ -219,14 +220,20 @@ func New(kind Kind, cfg Config) (Mapper, error) {
 	}
 	switch kind {
 	case KindOctoMap:
-		return newOctoMap(cfg), nil
+		return newOctoMap(cfg)
 	case KindSerial:
-		return newSerial(cfg), nil
+		return newSerial(cfg)
 	case KindParallel:
-		return newParallel(cfg), nil
-	case KindVoxelCache:
-		return newVoxelCache(cfg)
-	case KindNaive:
+		return newParallel(cfg)
+	case KindVoxelCache, KindNaive:
+		// The Table 1 baselines exist for bottleneck comparison only and
+		// do not implement windowed paging.
+		if cfg.Window.Enabled() {
+			return nil, fmt.Errorf("core: pipeline %v does not support a bounded-memory window", kind)
+		}
+		if kind == KindVoxelCache {
+			return newVoxelCache(cfg)
+		}
 		return newNaive(cfg), nil
 	default:
 		return nil, errUnknownKind(kind)

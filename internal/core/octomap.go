@@ -5,6 +5,6 @@ package core
 // octree, and queries are only possible once the full octree update has
 // completed — which is exactly why its update latency sits on the
 // critical path.
-func newOctoMap(cfg Config) *engine {
+func newOctoMap(cfg Config) (*engine, error) {
 	return newEngine(cfg, "octomap", true, false)
 }

@@ -14,6 +14,6 @@ var parallelQueueCap = 1 << 16
 // engine.go). The mutators must still be driven from a single caller
 // goroutine; queries may run concurrently (the shard service relies on
 // this).
-func newParallel(cfg Config) *engine {
+func newParallel(cfg Config) (*engine, error) {
 	return newEngine(cfg, "octocache-parallel", false, true)
 }

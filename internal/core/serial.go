@@ -5,6 +5,6 @@ package core
 // served right after the fast cache insertion; the slow octree update
 // only processes the cells evicted past the τ bound, in the bucket-sweep
 // (near-Morton) order — and runs inline, on the caller's goroutine.
-func newSerial(cfg Config) *engine {
+func newSerial(cfg Config) (*engine, error) {
 	return newEngine(cfg, "octocache-serial", false, false)
 }

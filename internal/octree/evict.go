@@ -1,0 +1,115 @@
+package octree
+
+import "octocache/internal/voxel"
+
+// EvictSubtree detaches the whole subtree covering the tile at tileDepth
+// that contains corner, appending its canonical leaf run (exactly what
+// Walk would emit for that cube, in Morton order) to dst and recycling
+// every detached slot through the arena free lists. It is the windowed
+// map's spill primitive: the returned run round-trips through SetLeafAt —
+// reinstalling it leaf-by-leaf re-prunes to the original canonical
+// structure, so evict + reload is invisible to queries and serialization.
+//
+// A pruned aggregate spanning the tile and its siblings is expanded on
+// the way down so only the tile's share detaches; the siblings keep the
+// aggregate value as separate leaves and re-prune on the next write or
+// reload that restores equality. Interior nodes left childless by the
+// detach are freed, and max-of-children values are recomputed up to the
+// root. If the tile holds no content the tree is left untouched.
+//
+// Cost is proportional to the tile's subtree size plus one root-to-tile
+// descent, so eviction pauses are bounded by tile granularity — the
+// window policy caps tiles per cycle to keep them short.
+func (t *Tree) EvictSubtree(corner Key, tileDepth int, dst []Leaf) []Leaf {
+	if tileDepth < 0 || tileDepth > t.params.Depth {
+		panic("octree: EvictSubtree depth out of range")
+	}
+	if t.empty() {
+		return dst
+	}
+	corner = voxel.TileOf(corner, tileDepth, t.params.Depth)
+	if tileDepth == 0 {
+		dst = t.collectLeaves(t.root, 0, Key{}, dst)
+		t.freeSubtree(t.root)
+		t.root = nilNode
+		return dst
+	}
+
+	type pathEnt struct {
+		h   uint32
+		idx int
+	}
+	var path [16]pathEnt
+	h := t.root
+	for d := 0; d < tileDepth; d++ {
+		if t.nodes[h].kids == nilKids {
+			// A pruned aggregate covers the tile and its siblings:
+			// materialize children so the tile's subtree can detach alone.
+			t.expand(h)
+		}
+		idx := childIndex(corner, d, t.params.Depth)
+		child := t.kids[t.nodes[h].kids][idx]
+		if child == nilNode {
+			// Empty tile. No ancestor was expanded on the way here — an
+			// expanded aggregate materializes all eight octants, so after
+			// any expansion the descent can never hit an absent child —
+			// and the tree is untouched.
+			return dst
+		}
+		path[d] = pathEnt{h: h, idx: idx}
+		h = child
+	}
+
+	dst = t.collectLeaves(h, tileDepth, corner, dst)
+	t.kids[t.nodes[path[tileDepth-1].h].kids][path[tileDepth-1].idx] = nilNode
+	t.freeSubtree(h)
+
+	// Ascend: free interiors left with no children; once a level keeps
+	// other content, recompute max-of-children values up to the root.
+	for d := tileDepth - 1; d >= 0; d-- {
+		ph := path[d].h
+		hasKids := false
+		for _, c := range t.kids[t.nodes[ph].kids] {
+			if c != nilNode {
+				hasKids = true
+				break
+			}
+		}
+		if hasKids {
+			for u := d; u >= 0; u-- {
+				t.restoreInvariant(path[u].h)
+			}
+			return dst
+		}
+		if d == 0 {
+			t.freeSubtree(ph)
+			t.root = nilNode
+			return dst
+		}
+		t.kids[t.nodes[path[d-1].h].kids][path[d-1].idx] = nilNode
+		t.freeSubtree(ph)
+	}
+	return dst
+}
+
+// collectLeaves appends the subtree's leaf run to dst in Morton order —
+// Walk's emission restricted to one subtree, without the closure.
+func (t *Tree) collectLeaves(h uint32, depth int, prefix Key, dst []Leaf) []Leaf {
+	n := t.nodes[h]
+	if n.kids == nilKids || depth == t.params.Depth {
+		return append(dst, Leaf{Key: prefix, Depth: depth, LogOdds: n.logOdds})
+	}
+	shift := uint(t.params.Depth - 1 - depth)
+	for i, c := range t.kids[n.kids] {
+		if c == nilNode {
+			continue
+		}
+		child := Key{
+			X: prefix.X | uint16(i&1)<<shift,
+			Y: prefix.Y | uint16(i>>1&1)<<shift,
+			Z: prefix.Z | uint16(i>>2&1)<<shift,
+		}
+		dst = t.collectLeaves(c, depth+1, child, dst)
+	}
+	return dst
+}

@@ -1,0 +1,202 @@
+package octree
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"octocache/internal/voxel"
+)
+
+// reinstall writes a leaf run back via SetLeafAt — the windowed map's
+// reload path.
+func reinstall(tr *Tree, leaves []Leaf) {
+	for _, l := range leaves {
+		tr.SetLeafAt(l.Key, l.Depth, l.LogOdds)
+	}
+}
+
+func checkArena(t *testing.T, tr *Tree, when string) {
+	t.Helper()
+	counted := 0
+	if !tr.empty() {
+		tr.iterate(tr.root, func(*node) { counted++ })
+	}
+	if counted != tr.NumNodes() {
+		t.Fatalf("%s: %d reachable, NumNodes %d", when, counted, tr.NumNodes())
+	}
+	live, free, capacity := tr.ArenaStats()
+	if live+free != capacity {
+		t.Fatalf("%s: slots leaked: live %d + free %d != capacity %d", when, live, free, capacity)
+	}
+}
+
+// TestEvictSubtreeRoundTrip is the core spill contract: evict every tile
+// of a random tree one by one, reinstall the runs, and the tree must be
+// structurally identical to the original — same canonical pruning, same
+// serialized bytes — with no arena slots leaked along the way.
+func TestEvictSubtreeRoundTrip(t *testing.T) {
+	for _, tileDepth := range []int{1, 2, 3} {
+		tr := buildRandomTree(41, 400, 5)
+		var want bytes.Buffer
+		if _, err := tr.WriteTo(&want); err != nil {
+			t.Fatal(err)
+		}
+		orig := buildRandomTree(41, 400, 5)
+
+		tileSize := uint16(1) << uint(tr.params.Depth-tileDepth)
+		space := uint16(1) << uint(tr.params.Depth)
+		var spilled []Leaf
+		for x := uint16(0); x < space; x += tileSize {
+			for y := uint16(0); y < space; y += tileSize {
+				for z := uint16(0); z < space; z += tileSize {
+					corner := Key{X: x, Y: y, Z: z}
+					run := tr.EvictSubtree(corner, tileDepth, nil)
+					for _, l := range run {
+						if voxel.TileOf(l.Key, tileDepth, tr.params.Depth) != corner {
+							t.Fatalf("tileDepth %d: leaf %v escaped tile %v", tileDepth, l.Key, corner)
+						}
+						if l.Depth < tileDepth {
+							t.Fatalf("tileDepth %d: leaf coarser than its tile", tileDepth)
+						}
+					}
+					checkArena(t, tr, "after evict")
+					spilled = append(spilled, run...)
+				}
+			}
+		}
+		if !tr.empty() || tr.NumLeaves() != 0 {
+			t.Fatalf("tileDepth %d: tree not empty after evicting every tile", tileDepth)
+		}
+		// Evicted runs cover exactly the original content.
+		probe := rand.New(rand.NewSource(7))
+		reinstall(tr, spilled)
+		checkArena(t, tr, "after reinstall")
+		if !tr.Equal(orig) {
+			t.Fatalf("tileDepth %d: reinstalled tree differs structurally", tileDepth)
+		}
+		var got bytes.Buffer
+		if _, err := tr.WriteTo(&got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got.Bytes(), want.Bytes()) {
+			t.Fatalf("tileDepth %d: reinstalled serialization differs", tileDepth)
+		}
+		for i := 0; i < 200; i++ {
+			k := Key{X: uint16(probe.Intn(32)), Y: uint16(probe.Intn(32)), Z: uint16(probe.Intn(32))}
+			gl, gk := tr.Search(k)
+			wl, wk := orig.Search(k)
+			if gl != wl || gk != wk {
+				t.Fatalf("tileDepth %d: Search(%v) = (%v,%v), want (%v,%v)", tileDepth, k, gl, gk, wl, wk)
+			}
+		}
+	}
+}
+
+// TestEvictSubtreePartial evicts one tile and checks the rest of the
+// tree answers unchanged while the tile reads as unknown.
+func TestEvictSubtreePartial(t *testing.T) {
+	tr := buildRandomTree(43, 500, 5)
+	orig := buildRandomTree(43, 500, 5)
+	const tileDepth = 2
+	corner := Key{X: 8, Y: 8, Z: 0} // tile size 8 at depth 5
+	run := tr.EvictSubtree(corner, tileDepth, nil)
+	checkArena(t, tr, "after evict")
+	if len(run) == 0 {
+		t.Fatal("test tile was empty; pick a different seed")
+	}
+	for x := 0; x < 32; x++ {
+		for y := 0; y < 32; y++ {
+			for z := 0; z < 32; z++ {
+				k := Key{X: uint16(x), Y: uint16(y), Z: uint16(z)}
+				gl, gk := tr.Search(k)
+				if voxel.TileOf(k, tileDepth, 5) == corner {
+					if gk {
+						t.Fatalf("evicted voxel %v still known", k)
+					}
+					continue
+				}
+				if wl, wk := orig.Search(k); gl != wl || gk != wk {
+					t.Fatalf("untouched voxel %v changed: (%v,%v) vs (%v,%v)", k, gl, gk, wl, wk)
+				}
+			}
+		}
+	}
+	reinstall(tr, run)
+	if !tr.Equal(orig) {
+		t.Fatal("reload did not restore the tree")
+	}
+}
+
+// TestEvictSubtreeAggregate evicts a tile buried inside a pruned
+// aggregate: the aggregate must expand so only the tile detaches, the
+// siblings keep its value, and reload re-prunes to the original form.
+func TestEvictSubtreeAggregate(t *testing.T) {
+	p := smallParams(5)
+	tr := New(p)
+	// One aggregate covering the whole octant at depth 1 (cube of 16³).
+	tr.SetLeafAt(Key{}, 1, 1.5)
+	var want bytes.Buffer
+	if _, err := tr.WriteTo(&want); err != nil {
+		t.Fatal(err)
+	}
+	const tileDepth = 3 // tile size 4
+	run := tr.EvictSubtree(Key{X: 4, Y: 0, Z: 4}, tileDepth, nil)
+	checkArena(t, tr, "after evict")
+	if len(run) != 1 || run[0].Depth != tileDepth || run[0].LogOdds != 1.5 {
+		t.Fatalf("aggregate tile run = %+v", run)
+	}
+	if run[0].Key != (Key{X: 4, Y: 0, Z: 4}) {
+		t.Fatalf("run key = %v", run[0].Key)
+	}
+	if _, known := tr.Search(Key{X: 5, Y: 1, Z: 5}); known {
+		t.Fatal("evicted region still known")
+	}
+	if l, known := tr.Search(Key{X: 1, Y: 1, Z: 1}); !known || l != 1.5 {
+		t.Fatal("sibling region lost the aggregate value")
+	}
+	reinstall(tr, run)
+	checkArena(t, tr, "after reinstall")
+	var got bytes.Buffer
+	if _, err := tr.WriteTo(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Fatal("reload did not re-prune to the original aggregate")
+	}
+}
+
+// TestEvictSubtreeEmptyTile: evicting a tile with no content must leave
+// the tree byte-identical — in particular it must not expand aggregates
+// on a miss.
+func TestEvictSubtreeEmptyTile(t *testing.T) {
+	tr := New(smallParams(5))
+	tr.SetNodeValue(Key{X: 1, Y: 2, Z: 3}, 2)
+	before := tr.NumNodes()
+	if run := tr.EvictSubtree(Key{X: 24, Y: 24, Z: 24}, 2, nil); len(run) != 0 {
+		t.Fatalf("empty tile returned %d leaves", len(run))
+	}
+	if tr.NumNodes() != before {
+		t.Fatal("empty-tile evict mutated the tree")
+	}
+	// Empty tree: no-op.
+	empty := New(smallParams(5))
+	if run := empty.EvictSubtree(Key{}, 2, nil); len(run) != 0 || !empty.empty() {
+		t.Fatal("evict on empty tree misbehaved")
+	}
+}
+
+// TestEvictSubtreeWholeTree: tileDepth 0 drains everything.
+func TestEvictSubtreeWholeTree(t *testing.T) {
+	tr := buildRandomTree(47, 300, 4)
+	orig := buildRandomTree(47, 300, 4)
+	run := tr.EvictSubtree(Key{X: 9, Y: 3, Z: 14}, 0, nil)
+	checkArena(t, tr, "after whole-tree evict")
+	if !tr.empty() {
+		t.Fatal("tree not empty after tileDepth-0 evict")
+	}
+	reinstall(tr, run)
+	if !tr.Equal(orig) {
+		t.Fatal("whole-tree round trip diverged")
+	}
+}

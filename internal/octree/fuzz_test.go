@@ -41,15 +41,17 @@ func FuzzReadFrom(f *testing.F) {
 }
 
 // FuzzOpStream drives the tree through an arbitrary interleaving of
-// updates, overwrites, aggregate writes, arena compactions, and
-// serialize round-trips. The mix is chosen so pruning and re-expansion
-// constantly push slots through the arena free lists, and the round-trip
-// check (a rebuilt tree's arena is filled linearly, with no recycling
-// history) catches any way recycled handles could leak into observable
-// structure; interleaved Compact calls additionally prove the dense
-// re-layout serializes bit-identically and leaves a fully live tree.
-// Invariants checked after every op: numNodes matches a walk recount,
-// and live + free slots equal the arena's total.
+// updates, overwrites, aggregate writes, arena compactions, subtree
+// evict/reload round-trips, and serialize round-trips. The mix is chosen
+// so pruning and re-expansion constantly push slots through the arena
+// free lists, and the round-trip check (a rebuilt tree's arena is filled
+// linearly, with no recycling history) catches any way recycled handles
+// could leak into observable structure; interleaved Compact calls
+// additionally prove the dense re-layout serializes bit-identically and
+// leaves a fully live tree, and interleaved EvictSubtree + SetLeafAt
+// reinstalls prove the windowed map's spill unit is invisible to
+// serialization. Invariants checked after every op: numNodes matches a
+// walk recount, and live + free slots equal the arena's total.
 func FuzzOpStream(f *testing.F) {
 	f.Add([]byte{0x01, 0x42, 0x83, 0xc4, 0x05, 0x46, 0x87, 0xff, 0x00})
 	f.Add([]byte{0xc0, 0xc1, 0xc2, 0xc3, 0xc4, 0xc5, 0xc6, 0xc7, 0xe0, 0x01})
@@ -88,6 +90,28 @@ func FuzzOpStream(f *testing.F) {
 				mask := uint16(0xffff) << uint(p.Depth-depth)
 				tr.SetLeafAt(Key{X: k.X & mask, Y: k.Y & mask, Z: k.Z & mask}, depth, float32(int(b&0x3f)-32)/8)
 			case 3:
+				if b&4 != 0 {
+					// Evict the tile containing k and immediately
+					// reinstall its run: the windowed map's spill/reload
+					// cycle must not change the serialized bytes.
+					tileDepth := int(b>>3&0x3) + 1 // 1..4
+					var pre bytes.Buffer
+					if _, err := tr.WriteTo(&pre); err != nil {
+						t.Fatalf("op %d: WriteTo before evict: %v", i, err)
+					}
+					run := tr.EvictSubtree(k, tileDepth, nil)
+					check(i)
+					for _, l := range run {
+						tr.SetLeafAt(l.Key, l.Depth, l.LogOdds)
+					}
+					var post bytes.Buffer
+					if _, err := tr.WriteTo(&post); err != nil {
+						t.Fatalf("op %d: WriteTo after reload: %v", i, err)
+					}
+					if !bytes.Equal(pre.Bytes(), post.Bytes()) {
+						t.Fatalf("op %d: evict/reload changed the serialized bytes", i)
+					}
+				}
 				if b&2 != 0 {
 					// Compact mid-stream: the serialized stream is
 					// structure-only, so the bytes must not move.

@@ -1,0 +1,149 @@
+package pager
+
+import "octocache/internal/voxel"
+
+// LRU tracks resident tiles in recency order so the window can pick
+// spill victims. It is an intrusive doubly-linked list over a node
+// arena with a free list, mirroring the octree's handle-arena style:
+// Touch on an already-resident tile is pointer surgery on recycled
+// slots, so the steady-state insert path allocates nothing.
+//
+// LRU is not safe for concurrent use; the engine mutates it only under
+// its write lock.
+type LRU struct {
+	nodes []lruNode
+	index map[voxel.Key]int32
+	head  int32 // most recently used
+	tail  int32 // least recently used
+	free  int32
+}
+
+type lruNode struct {
+	key        voxel.Key
+	prev, next int32
+}
+
+const nilLRU int32 = -1
+
+// NewLRU returns an empty recency list.
+func NewLRU() *LRU {
+	return &LRU{
+		index: make(map[voxel.Key]int32),
+		head:  nilLRU,
+		tail:  nilLRU,
+		free:  nilLRU,
+	}
+}
+
+// Len returns the number of tracked tiles.
+func (l *LRU) Len() int { return len(l.index) }
+
+// Touch marks the tile most recently used, inserting it if absent.
+func (l *LRU) Touch(k voxel.Key) {
+	if h, ok := l.index[k]; ok {
+		if l.head == h {
+			return
+		}
+		l.unlink(h)
+		l.pushFront(h)
+		return
+	}
+	h := l.alloc(k)
+	l.index[k] = h
+	l.pushFront(h)
+}
+
+// Contains reports whether the tile is tracked.
+func (l *LRU) Contains(k voxel.Key) bool {
+	_, ok := l.index[k]
+	return ok
+}
+
+// Remove drops the tile from the list (no-op if absent).
+func (l *LRU) Remove(k voxel.Key) {
+	h, ok := l.index[k]
+	if !ok {
+		return
+	}
+	delete(l.index, k)
+	l.unlink(h)
+	l.nodes[h].next = l.free
+	l.free = h
+}
+
+// Oldest returns the least recently used tile, or ok=false when empty.
+func (l *LRU) Oldest() (voxel.Key, bool) {
+	if l.tail == nilLRU {
+		return voxel.Key{}, false
+	}
+	return l.nodes[l.tail].key, true
+}
+
+// Each visits tiles oldest-first. fn must not mutate the LRU; collect
+// victims and Remove them after the walk. Returning false stops early.
+func (l *LRU) Each(fn func(voxel.Key) bool) {
+	for h := l.tail; h != nilLRU; h = l.nodes[h].prev {
+		if !fn(l.nodes[h].key) {
+			return
+		}
+	}
+}
+
+// LRUIter walks the list oldest-first without a closure, so hot eviction
+// scans stay allocation-free. The LRU must not be mutated mid-walk.
+type LRUIter struct {
+	l *LRU
+	h int32
+}
+
+// IterOldest starts an oldest-first walk.
+func (l *LRU) IterOldest() LRUIter { return LRUIter{l: l, h: l.tail} }
+
+// Next returns the next tile, or ok=false when the walk is done.
+func (it *LRUIter) Next() (voxel.Key, bool) {
+	if it.h == nilLRU {
+		return voxel.Key{}, false
+	}
+	k := it.l.nodes[it.h].key
+	it.h = it.l.nodes[it.h].prev
+	return k, true
+}
+
+func (l *LRU) alloc(k voxel.Key) int32 {
+	if l.free != nilLRU {
+		h := l.free
+		l.free = l.nodes[h].next
+		l.nodes[h] = lruNode{key: k, prev: nilLRU, next: nilLRU}
+		return h
+	}
+	l.nodes = append(l.nodes, lruNode{key: k, prev: nilLRU, next: nilLRU})
+	return int32(len(l.nodes) - 1)
+}
+
+func (l *LRU) pushFront(h int32) {
+	n := &l.nodes[h]
+	n.prev = nilLRU
+	n.next = l.head
+	if l.head != nilLRU {
+		l.nodes[l.head].prev = h
+	}
+	l.head = h
+	if l.tail == nilLRU {
+		l.tail = h
+	}
+}
+
+func (l *LRU) unlink(h int32) {
+	n := &l.nodes[h]
+	if n.prev != nilLRU {
+		l.nodes[n.prev].next = n.next
+	} else {
+		l.head = n.next
+	}
+	if n.next != nilLRU {
+		l.nodes[n.next].prev = n.prev
+	} else {
+		l.tail = n.prev
+	}
+	n.prev, n.next = nilLRU, nilLRU
+}

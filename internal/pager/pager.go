@@ -1,0 +1,432 @@
+// Package pager implements the on-disk tile store behind bounded-memory
+// windowed maps: a single append-only log file per map holding spilled
+// tiles as CRC-checked frames of canonical leaf runs — the same
+// (key, depth, log-odds) exchange unit backend walks and .bt snapshot
+// serialization speak, so a spilled frame reinstalls through SetLeafAt
+// exactly like a loaded snapshot leaf.
+//
+// The log is spill space, not a database: the authoritative map state is
+// the resident store plus the index of live frames, and a tile that
+// pages back in simply releases its frame (the bytes become garbage
+// until the next rewrite). Re-spilling a tile appends a fresh frame and
+// supersedes the old one. When garbage outgrows the live payload the log
+// is rewritten atomically — live frames are copied to a temp file that
+// is renamed over the log — so disk usage tracks the spilled working
+// set, not the eviction history.
+//
+// Recover scans an existing log frame-by-frame, keeping the last frame
+// per tile and truncating at the first corrupt or short frame, so a log
+// cut mid-append (crash, full disk) degrades to the longest valid
+// prefix instead of an error.
+//
+// All methods are safe for concurrent use; the engine serializes
+// mutators anyway, but snapshot walks read frames concurrently under the
+// engine's read lock.
+package pager
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"sort"
+	"sync"
+
+	"octocache/internal/voxel"
+)
+
+const (
+	// fileMagic begins every tile log.
+	fileMagic = "OCPG0001"
+	// frameMagic begins every frame.
+	frameMagic uint32 = 0x4F435446 // "FTCO" little-endian
+	// frameHdrBytes is the fixed frame header: magic, tile key, depth,
+	// reserved byte, leaf count, CRC.
+	frameHdrBytes = 20
+	// recordBytes is one serialized leaf: 3×uint16 key, uint8 depth,
+	// float32 log-odds.
+	recordBytes = 11
+	// maxFrameLeaves bounds a frame's leaf count: a tile of 2^15 voxels
+	// per axis is the largest expressible, so anything beyond is a
+	// corrupt header, not a huge frame.
+	maxFrameLeaves = 1 << 30
+)
+
+// TileRef identifies one spilled tile in the log.
+type TileRef struct {
+	Key   voxel.Key
+	Depth int
+}
+
+// frameRef locates a live frame in the log.
+type frameRef struct {
+	off   int64
+	count uint32
+}
+
+func frameSize(count uint32) int64 { return frameHdrBytes + int64(count)*recordBytes }
+
+// Stats summarizes a tile log.
+type Stats struct {
+	// SpilledTiles is the number of tiles with a live frame.
+	SpilledTiles int
+	// BytesOnDisk is the log's current file size.
+	BytesOnDisk int64
+	// LiveBytes is the portion of BytesOnDisk occupied by live frames;
+	// the rest is garbage awaiting a rewrite.
+	LiveBytes int64
+	// Spills and Rewrites count appended frames and log compactions.
+	Spills, Rewrites int64
+}
+
+// Store is one map's tile log. Construct with Create (fresh log,
+// truncating any previous file) or Recover (scan an existing log).
+type Store struct {
+	mu    sync.Mutex
+	path  string
+	f     *os.File
+	index map[TileRef]frameRef
+	size  int64 // append offset == file size
+	live  int64 // bytes held by live frames
+	stats Stats
+	buf   []byte // mutator-side frame scratch (guarded by mu)
+}
+
+// Create starts a fresh tile log at path, truncating any existing file.
+func Create(path string) (*Store, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.Write([]byte(fileMagic)); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &Store{
+		path:  path,
+		f:     f,
+		index: make(map[TileRef]frameRef),
+		size:  int64(len(fileMagic)),
+	}, nil
+}
+
+// Recover opens an existing tile log, scanning its frames. The last
+// frame per tile wins (appends supersede), and the scan stops at the
+// first corrupt or truncated frame, discarding the tail — the longest
+// valid prefix survives a mid-append crash.
+func Recover(path string) (*Store, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	hdr := make([]byte, len(fileMagic))
+	if _, err := f.ReadAt(hdr, 0); err != nil || string(hdr) != fileMagic {
+		f.Close()
+		return nil, fmt.Errorf("pager: %s is not a tile log", path)
+	}
+	s := &Store{
+		path:  path,
+		f:     f,
+		index: make(map[TileRef]frameRef),
+		size:  int64(len(fileMagic)),
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	end := fi.Size()
+	var fh [frameHdrBytes]byte
+	for s.size+frameHdrBytes <= end {
+		if _, err := f.ReadAt(fh[:], s.size); err != nil {
+			break
+		}
+		ref, tile, ok := s.checkFrame(fh, s.size, end)
+		if !ok {
+			break
+		}
+		if old, dup := s.index[tile]; dup {
+			s.live -= frameSize(old.count)
+		}
+		s.index[tile] = ref
+		s.live += frameSize(ref.count)
+		s.size += frameSize(ref.count)
+	}
+	// Drop the invalid tail so future appends extend a clean prefix.
+	if s.size < end {
+		if err := f.Truncate(s.size); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// checkFrame validates one frame header + payload at off, returning its
+// ref and tile. ok is false for a corrupt or truncated frame.
+func (s *Store) checkFrame(fh [frameHdrBytes]byte, off, end int64) (frameRef, TileRef, bool) {
+	if binary.LittleEndian.Uint32(fh[0:4]) != frameMagic {
+		return frameRef{}, TileRef{}, false
+	}
+	count := binary.LittleEndian.Uint32(fh[12:16])
+	if count > maxFrameLeaves || off+frameSize(count) > end {
+		return frameRef{}, TileRef{}, false
+	}
+	payload := make([]byte, int(count)*recordBytes)
+	if _, err := s.f.ReadAt(payload, off+frameHdrBytes); err != nil {
+		return frameRef{}, TileRef{}, false
+	}
+	crc := crc32.ChecksumIEEE(fh[0:16])
+	crc = crc32.Update(crc, crc32.IEEETable, payload)
+	if crc != binary.LittleEndian.Uint32(fh[16:20]) {
+		return frameRef{}, TileRef{}, false
+	}
+	tile := TileRef{
+		Key: voxel.Key{
+			X: binary.LittleEndian.Uint16(fh[4:6]),
+			Y: binary.LittleEndian.Uint16(fh[6:8]),
+			Z: binary.LittleEndian.Uint16(fh[8:10]),
+		},
+		Depth: int(fh[10]),
+	}
+	return frameRef{off: off, count: count}, tile, true
+}
+
+// Spill appends one tile's leaf run as a new frame, superseding any live
+// frame for the tile. The leaves must all lie inside the tile; the
+// engine's evictor guarantees it.
+func (s *Store) Spill(tile voxel.Key, depth int, leaves []voxel.Leaf) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return fmt.Errorf("pager: store is closed")
+	}
+	need := int(frameSize(uint32(len(leaves))))
+	if cap(s.buf) < need {
+		s.buf = make([]byte, need)
+	}
+	buf := s.buf[:need]
+	binary.LittleEndian.PutUint32(buf[0:4], frameMagic)
+	binary.LittleEndian.PutUint16(buf[4:6], tile.X)
+	binary.LittleEndian.PutUint16(buf[6:8], tile.Y)
+	binary.LittleEndian.PutUint16(buf[8:10], tile.Z)
+	buf[10] = uint8(depth)
+	buf[11] = 0
+	binary.LittleEndian.PutUint32(buf[12:16], uint32(len(leaves)))
+	p := buf[frameHdrBytes:]
+	for i, l := range leaves {
+		r := p[i*recordBytes:]
+		binary.LittleEndian.PutUint16(r[0:2], l.Key.X)
+		binary.LittleEndian.PutUint16(r[2:4], l.Key.Y)
+		binary.LittleEndian.PutUint16(r[4:6], l.Key.Z)
+		r[6] = uint8(l.Depth)
+		binary.LittleEndian.PutUint32(r[7:11], math.Float32bits(l.LogOdds))
+	}
+	crc := crc32.ChecksumIEEE(buf[0:16])
+	crc = crc32.Update(crc, crc32.IEEETable, p)
+	binary.LittleEndian.PutUint32(buf[16:20], crc)
+
+	if _, err := s.f.WriteAt(buf, s.size); err != nil {
+		// A partial frame may be on disk; cut it off so the log stays a
+		// valid prefix.
+		s.f.Truncate(s.size)
+		return err
+	}
+	ref := frameRef{off: s.size, count: uint32(len(leaves))}
+	s.size += int64(need)
+	id := TileRef{Key: tile, Depth: depth}
+	if old, dup := s.index[id]; dup {
+		s.live -= frameSize(old.count)
+	}
+	s.index[id] = ref
+	s.live += int64(need)
+	s.stats.Spills++
+	return s.maybeRewriteLocked()
+}
+
+// Load reads the tile's live frame, appending its leaves to dst. The
+// frame's CRC is re-verified on every read.
+func (s *Store) Load(tile voxel.Key, depth int, dst []voxel.Leaf) ([]voxel.Leaf, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.loadLocked(TileRef{Key: tile, Depth: depth}, dst)
+}
+
+func (s *Store) loadLocked(id TileRef, dst []voxel.Leaf) ([]voxel.Leaf, error) {
+	if s.f == nil {
+		return dst, fmt.Errorf("pager: store is closed")
+	}
+	ref, ok := s.index[id]
+	if !ok {
+		return dst, fmt.Errorf("pager: tile %v depth %d is not spilled", id.Key, id.Depth)
+	}
+	need := int(frameSize(ref.count))
+	buf := make([]byte, need)
+	if _, err := s.f.ReadAt(buf, ref.off); err != nil {
+		return dst, fmt.Errorf("pager: reading tile %v: %w", id.Key, err)
+	}
+	crc := crc32.ChecksumIEEE(buf[0:16])
+	crc = crc32.Update(crc, crc32.IEEETable, buf[frameHdrBytes:])
+	if crc != binary.LittleEndian.Uint32(buf[16:20]) {
+		return dst, fmt.Errorf("pager: tile %v frame failed CRC check", id.Key)
+	}
+	p := buf[frameHdrBytes:]
+	for i := 0; i < int(ref.count); i++ {
+		r := p[i*recordBytes:]
+		dst = append(dst, voxel.Leaf{
+			Key: voxel.Key{
+				X: binary.LittleEndian.Uint16(r[0:2]),
+				Y: binary.LittleEndian.Uint16(r[2:4]),
+				Z: binary.LittleEndian.Uint16(r[4:6]),
+			},
+			Depth:   int(r[6]),
+			LogOdds: math.Float32frombits(binary.LittleEndian.Uint32(r[7:11])),
+		})
+	}
+	return dst, nil
+}
+
+// Release drops the tile's live frame from the index — the tile is
+// resident again and its bytes are garbage until the next rewrite.
+func (s *Store) Release(tile voxel.Key, depth int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := TileRef{Key: tile, Depth: depth}
+	if ref, ok := s.index[id]; ok {
+		delete(s.index, id)
+		s.live -= frameSize(ref.count)
+	}
+}
+
+// Tiles returns the spilled tiles in ascending Morton order of their
+// corner keys — the deterministic order snapshot walks fold them in.
+func (s *Store) Tiles() []TileRef {
+	s.mu.Lock()
+	out := make([]TileRef, 0, len(s.index))
+	for id := range s.index {
+		out = append(out, id)
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Depth != out[j].Depth {
+			return out[i].Depth < out[j].Depth
+		}
+		return out[i].Key.Morton() < out[j].Key.Morton()
+	})
+	return out
+}
+
+// Len returns the number of spilled tiles.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.index)
+}
+
+// BytesOnDisk returns the log's current file size.
+func (s *Store) BytesOnDisk() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.size
+}
+
+// Stats snapshots the log's accounting.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.SpilledTiles = len(s.index)
+	st.BytesOnDisk = s.size
+	st.LiveBytes = s.live
+	return st
+}
+
+// rewriteFloor is the minimum garbage (bytes) before an automatic
+// rewrite is considered; below it the copy costs more than it frees.
+const rewriteFloor = 64 << 10
+
+// maybeRewriteLocked compacts the log when garbage exceeds both the
+// floor and the live payload — amortizing rewrite cost the same way the
+// octree's arena compaction amortizes against live slots.
+func (s *Store) maybeRewriteLocked() error {
+	garbage := s.size - int64(len(fileMagic)) - s.live
+	if garbage < rewriteFloor || garbage <= s.live {
+		return nil
+	}
+	return s.rewriteLocked()
+}
+
+// Rewrite compacts the log now: live frames are copied into a temp file
+// that atomically replaces the log, dropping all garbage.
+func (s *Store) Rewrite() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return fmt.Errorf("pager: store is closed")
+	}
+	return s.rewriteLocked()
+}
+
+func (s *Store) rewriteLocked() error {
+	tmpPath := s.path + ".rewrite"
+	tmp, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	cleanup := func(e error) error {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return e
+	}
+	if _, err := tmp.Write([]byte(fileMagic)); err != nil {
+		return cleanup(err)
+	}
+	// Copy live frames in a deterministic order, recording new offsets.
+	ids := make([]TileRef, 0, len(s.index))
+	for id := range s.index {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return s.index[ids[i]].off < s.index[ids[j]].off })
+	newIndex := make(map[TileRef]frameRef, len(ids))
+	off := int64(len(fileMagic))
+	for _, id := range ids {
+		ref := s.index[id]
+		n := frameSize(ref.count)
+		if int64(cap(s.buf)) < n {
+			s.buf = make([]byte, n)
+		}
+		buf := s.buf[:n]
+		if _, err := s.f.ReadAt(buf, ref.off); err != nil {
+			return cleanup(err)
+		}
+		if _, err := tmp.WriteAt(buf, off); err != nil {
+			return cleanup(err)
+		}
+		newIndex[id] = frameRef{off: off, count: ref.count}
+		off += n
+	}
+	if err := os.Rename(tmpPath, s.path); err != nil {
+		return cleanup(err)
+	}
+	s.f.Close()
+	s.f = tmp
+	s.index = newIndex
+	s.size = off
+	s.live = off - int64(len(fileMagic))
+	s.stats.Rewrites++
+	return nil
+}
+
+// Close closes the log file. Further operations fail; the file is left
+// on disk for Recover.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Close()
+	s.f = nil
+	return err
+}

@@ -1,0 +1,464 @@
+package pager
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+
+	"octocache/internal/voxel"
+)
+
+func tileLeaves(rng *rand.Rand, corner voxel.Key, n int) []voxel.Leaf {
+	out := make([]voxel.Leaf, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, voxel.Leaf{
+			Key: voxel.Key{
+				X: corner.X + uint16(rng.Intn(8)),
+				Y: corner.Y + uint16(rng.Intn(8)),
+				Z: corner.Z + uint16(rng.Intn(8)),
+			},
+			Depth:   16,
+			LogOdds: rng.Float32()*8 - 4,
+		})
+	}
+	return out
+}
+
+func TestSpillLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Create(filepath.Join(dir, "m.tiles"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	rng := rand.New(rand.NewSource(1))
+	want := map[TileRef][]voxel.Leaf{}
+	for i := 0; i < 20; i++ {
+		corner := voxel.Key{X: uint16(i * 8), Y: uint16(i * 16), Z: 64}
+		leaves := tileLeaves(rng, corner, 1+rng.Intn(40))
+		if err := s.Spill(corner, 13, leaves); err != nil {
+			t.Fatal(err)
+		}
+		want[TileRef{Key: corner, Depth: 13}] = leaves
+	}
+	if s.Len() != 20 {
+		t.Fatalf("Len = %d, want 20", s.Len())
+	}
+	for id, leaves := range want {
+		got, err := s.Load(id.Key, id.Depth, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, leaves) {
+			t.Fatalf("tile %v: loaded leaves differ", id.Key)
+		}
+	}
+	// Empty frames round-trip too (a tile can be all-unknown after
+	// aggressive pruning).
+	if err := s.Spill(voxel.Key{X: 4096}, 13, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Load(voxel.Key{X: 4096}, 13, nil)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty frame: got %v, %v", got, err)
+	}
+	// Loading into a reused buffer appends.
+	buf := make([]voxel.Leaf, 2, 64)
+	first := want[TileRef{Key: voxel.Key{X: 0, Y: 0, Z: 64}, Depth: 13}]
+	got, err = s.Load(voxel.Key{Z: 64}, 13, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2+len(first) || !reflect.DeepEqual(got[2:], first) {
+		t.Fatal("Load did not append to dst")
+	}
+}
+
+func TestReleaseAndResupersede(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Create(filepath.Join(dir, "m.tiles"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	corner := voxel.Key{X: 8, Y: 8, Z: 8}
+	rng := rand.New(rand.NewSource(2))
+	v1 := tileLeaves(rng, corner, 10)
+	v2 := tileLeaves(rng, corner, 7)
+	if err := s.Spill(corner, 13, v1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Spill(corner, 13, v2); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("re-spill did not supersede: Len = %d", s.Len())
+	}
+	got, err := s.Load(corner, 13, nil)
+	if err != nil || !reflect.DeepEqual(got, v2) {
+		t.Fatalf("got old frame after re-spill: %v, %v", got, err)
+	}
+	s.Release(corner, 13)
+	if s.Len() != 0 {
+		t.Fatal("Release did not drop the tile")
+	}
+	if _, err := s.Load(corner, 13, nil); err == nil {
+		t.Fatal("Load of released tile succeeded")
+	}
+}
+
+func TestRecoverRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.tiles")
+	s, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	want := map[TileRef][]voxel.Leaf{}
+	for i := 0; i < 8; i++ {
+		corner := voxel.Key{X: uint16(i * 8)}
+		leaves := tileLeaves(rng, corner, 1+rng.Intn(20))
+		if err := s.Spill(corner, 13, leaves); err != nil {
+			t.Fatal(err)
+		}
+		want[TileRef{Key: corner, Depth: 13}] = leaves
+	}
+	// Supersede one tile so recovery must keep the LAST frame.
+	resp := tileLeaves(rng, voxel.Key{X: 16}, 5)
+	if err := s.Spill(voxel.Key{X: 16}, 13, resp); err != nil {
+		t.Fatal(err)
+	}
+	want[TileRef{Key: voxel.Key{X: 16}, Depth: 13}] = resp
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Recover(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Len() != len(want) {
+		t.Fatalf("recovered %d tiles, want %d", r.Len(), len(want))
+	}
+	for id, leaves := range want {
+		got, err := r.Load(id.Key, id.Depth, nil)
+		if err != nil || !reflect.DeepEqual(got, leaves) {
+			t.Fatalf("tile %v after recover: %v, %v", id.Key, got, err)
+		}
+	}
+}
+
+// TestRecoverTruncatedTail cuts the log mid-frame at every byte offset
+// inside the final frame: recovery must keep exactly the preceding
+// frames and drop the torn tail — the crash-mid-append contract.
+func TestRecoverTruncatedTail(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.tiles")
+	s, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	a := tileLeaves(rng, voxel.Key{}, 12)
+	b := tileLeaves(rng, voxel.Key{X: 8}, 9)
+	if err := s.Spill(voxel.Key{}, 13, a); err != nil {
+		t.Fatal(err)
+	}
+	preLen := s.BytesOnDisk()
+	if err := s.Spill(voxel.Key{X: 8}, 13, b); err != nil {
+		t.Fatal(err)
+	}
+	full := s.BytesOnDisk()
+	s.Close()
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for cut := preLen; cut < full; cut += 7 {
+		if err := os.WriteFile(path, blob[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		r, err := Recover(path)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if r.Len() != 1 {
+			t.Fatalf("cut %d: recovered %d tiles, want 1", cut, r.Len())
+		}
+		got, err := r.Load(voxel.Key{}, 13, nil)
+		if err != nil || !reflect.DeepEqual(got, a) {
+			t.Fatalf("cut %d: first frame corrupted: %v", cut, err)
+		}
+		// The torn tail is gone: appending extends a clean prefix.
+		if err := r.Spill(voxel.Key{X: 8}, 13, b); err != nil {
+			t.Fatalf("cut %d: append after recover: %v", cut, err)
+		}
+		if got, err := r.Load(voxel.Key{X: 8}, 13, nil); err != nil || !reflect.DeepEqual(got, b) {
+			t.Fatalf("cut %d: append after recover unreadable", cut)
+		}
+		r.Close()
+	}
+}
+
+// TestRecoverCorruptFrame flips a payload byte: the CRC must reject the
+// frame and recovery stops at the last good prefix.
+func TestRecoverCorruptFrame(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.tiles")
+	s, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	a := tileLeaves(rng, voxel.Key{}, 6)
+	b := tileLeaves(rng, voxel.Key{X: 8}, 6)
+	if err := s.Spill(voxel.Key{}, 13, a); err != nil {
+		t.Fatal(err)
+	}
+	preLen := s.BytesOnDisk()
+	if err := s.Spill(voxel.Key{X: 8}, 13, b); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob[preLen+frameHdrBytes+3] ^= 0xFF
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Recover(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Len() != 1 {
+		t.Fatalf("recovered %d tiles past a corrupt frame, want 1", r.Len())
+	}
+	if got, err := r.Load(voxel.Key{}, 13, nil); err != nil || !reflect.DeepEqual(got, a) {
+		t.Fatal("good prefix frame lost")
+	}
+}
+
+func TestRecoverRejectsForeignFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "junk")
+	if err := os.WriteFile(path, []byte("not a tile log at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Recover(path); err == nil {
+		t.Fatal("Recover accepted a non-log file")
+	}
+}
+
+// TestRewrite verifies explicit compaction drops garbage, keeps every
+// live frame readable, and survives a subsequent recover — the
+// atomic-replace contract.
+func TestRewrite(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.tiles")
+	s, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	want := map[TileRef][]voxel.Leaf{}
+	for i := 0; i < 12; i++ {
+		corner := voxel.Key{X: uint16(i * 8)}
+		// Spill twice: the first frame of each tile becomes garbage.
+		if err := s.Spill(corner, 13, tileLeaves(rng, corner, 30)); err != nil {
+			t.Fatal(err)
+		}
+		leaves := tileLeaves(rng, corner, 10)
+		if err := s.Spill(corner, 13, leaves); err != nil {
+			t.Fatal(err)
+		}
+		want[TileRef{Key: corner, Depth: 13}] = leaves
+	}
+	// Release some tiles: more garbage.
+	for i := 0; i < 4; i++ {
+		corner := voxel.Key{X: uint16(i * 8)}
+		s.Release(corner, 13)
+		delete(want, TileRef{Key: corner, Depth: 13})
+	}
+	before := s.Stats()
+	if before.LiveBytes >= before.BytesOnDisk-int64(len(fileMagic)) {
+		t.Fatal("test setup produced no garbage")
+	}
+	if err := s.Rewrite(); err != nil {
+		t.Fatal(err)
+	}
+	after := s.Stats()
+	if after.BytesOnDisk != after.LiveBytes+int64(len(fileMagic)) {
+		t.Fatalf("garbage survived rewrite: %+v", after)
+	}
+	if after.Rewrites == 0 {
+		t.Fatal("Rewrites counter not bumped")
+	}
+	for id, leaves := range want {
+		if got, err := s.Load(id.Key, id.Depth, nil); err != nil || !reflect.DeepEqual(got, leaves) {
+			t.Fatalf("tile %v unreadable after rewrite: %v", id.Key, err)
+		}
+	}
+	// Post-rewrite appends and recovery still work.
+	extra := tileLeaves(rng, voxel.Key{Y: 8}, 5)
+	if err := s.Spill(voxel.Key{Y: 8}, 13, extra); err != nil {
+		t.Fatal(err)
+	}
+	want[TileRef{Key: voxel.Key{Y: 8}, Depth: 13}] = extra
+	s.Close()
+	r, err := Recover(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Len() != len(want) {
+		t.Fatalf("recover after rewrite: %d tiles, want %d", r.Len(), len(want))
+	}
+	if _, err := os.Stat(path + ".rewrite"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("temp rewrite file left behind")
+	}
+}
+
+// TestAutoRewrite drives enough superseding spills that the automatic
+// garbage threshold fires without an explicit Rewrite call.
+func TestAutoRewrite(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Create(filepath.Join(dir, "m.tiles"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	rng := rand.New(rand.NewSource(7))
+	corner := voxel.Key{X: 8}
+	var last []voxel.Leaf
+	for i := 0; i < 2000; i++ {
+		last = tileLeaves(rng, corner, 50)
+		if err := s.Spill(corner, 13, last); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Rewrites == 0 {
+		t.Fatalf("auto rewrite never fired: %+v", st)
+	}
+	if st.BytesOnDisk > 2*(st.LiveBytes+rewriteFloor) {
+		t.Fatalf("disk usage unbounded: %+v", st)
+	}
+	if got, err := s.Load(corner, 13, nil); err != nil || !reflect.DeepEqual(got, last) {
+		t.Fatal("latest frame lost across auto rewrites")
+	}
+}
+
+func TestTilesOrderAndStats(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Create(filepath.Join(dir, "m.tiles"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	rng := rand.New(rand.NewSource(8))
+	corners := []voxel.Key{{X: 24}, {X: 8, Y: 8}, {}, {Y: 16, Z: 8}}
+	for _, c := range corners {
+		if err := s.Spill(c, 13, tileLeaves(rng, c, 3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tiles := s.Tiles()
+	if len(tiles) != len(corners) {
+		t.Fatalf("Tiles() = %d entries", len(tiles))
+	}
+	if !sort.SliceIsSorted(tiles, func(i, j int) bool {
+		return tiles[i].Key.Morton() < tiles[j].Key.Morton()
+	}) {
+		t.Fatal("Tiles() not in Morton order")
+	}
+	st := s.Stats()
+	if st.SpilledTiles != 4 || st.Spills != 4 || st.LiveBytes <= 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.BytesOnDisk != s.BytesOnDisk() {
+		t.Fatal("Stats/BytesOnDisk disagree")
+	}
+}
+
+func TestClosedStoreErrors(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Create(filepath.Join(dir, "m.tiles"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal("second Close should be a no-op")
+	}
+	if err := s.Spill(voxel.Key{}, 13, nil); err == nil {
+		t.Fatal("Spill on closed store succeeded")
+	}
+	if _, err := s.Load(voxel.Key{}, 13, nil); err == nil {
+		t.Fatal("Load on closed store succeeded")
+	}
+	if err := s.Rewrite(); err == nil {
+		t.Fatal("Rewrite on closed store succeeded")
+	}
+}
+
+func TestLRU(t *testing.T) {
+	l := NewLRU()
+	k := func(x int) voxel.Key { return voxel.Key{X: uint16(x)} }
+	if _, ok := l.Oldest(); ok {
+		t.Fatal("empty LRU has an oldest")
+	}
+	for i := 0; i < 5; i++ {
+		l.Touch(k(i))
+	}
+	if l.Len() != 5 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	if o, _ := l.Oldest(); o != k(0) {
+		t.Fatalf("Oldest = %v", o)
+	}
+	l.Touch(k(0)) // refresh
+	if o, _ := l.Oldest(); o != k(1) {
+		t.Fatalf("Oldest after refresh = %v", o)
+	}
+	var order []voxel.Key
+	l.Each(func(key voxel.Key) bool { order = append(order, key); return true })
+	wantOrder := []voxel.Key{k(1), k(2), k(3), k(4), k(0)}
+	if !reflect.DeepEqual(order, wantOrder) {
+		t.Fatalf("Each order = %v, want %v", order, wantOrder)
+	}
+	l.Remove(k(2))
+	l.Remove(k(2)) // double remove is a no-op
+	if l.Len() != 4 || l.Contains(k(2)) {
+		t.Fatal("Remove failed")
+	}
+	// Recycled slots: remove everything, re-add, arena must not grow.
+	for _, key := range wantOrder {
+		l.Remove(key)
+	}
+	grew := len(l.nodes)
+	for i := 10; i < 15; i++ {
+		l.Touch(k(i))
+	}
+	if len(l.nodes) != grew {
+		t.Fatalf("arena grew %d -> %d despite free list", grew, len(l.nodes))
+	}
+	// Early stop.
+	seen := 0
+	l.Each(func(voxel.Key) bool { seen++; return seen < 2 })
+	if seen != 2 {
+		t.Fatalf("Each early stop visited %d", seen)
+	}
+}

@@ -114,6 +114,10 @@ type Config struct {
 type shardState struct {
 	mu   sync.RWMutex
 	pipe core.BatchMapper
+	// win caches the pipeline's windowing capability, asserted once at
+	// construction and non-nil only when the map's window is enabled, so
+	// the per-insert recenter loop is a nil check for unwindowed maps.
+	win core.Windower
 }
 
 // Map is a sharded occupancy map. All exported methods are safe for
@@ -174,11 +178,22 @@ func New(cfg Config) (*Map, error) {
 
 	m := &Map{cfg: shardCfg, pipeline: cfg.Pipeline, bits: bits, shards: make([]*shardState, n)}
 	for i := range m.shards {
-		pipe, err := core.NewShardPipeline(kind, shardCfg)
+		perShard := shardCfg
+		if perShard.Window.Enabled() {
+			// One spill file per shard: shards own disjoint key regions, so
+			// their tile sets never collide, and per-shard files keep each
+			// pager single-writer under the shard's own lock.
+			perShard.WindowTag = fmt.Sprintf("shard-%03d", i)
+		}
+		pipe, err := core.NewShardPipeline(kind, perShard)
 		if err != nil {
 			return nil, err
 		}
-		m.shards[i] = &shardState{pipe: pipe}
+		sh := &shardState{pipe: pipe}
+		if perShard.Window.Enabled() {
+			sh.win, _ = pipe.(core.Windower)
+		}
+		m.shards[i] = sh
 	}
 	tracerCfg := raytrace.Config{
 		Resolution: shardCfg.Octree.Resolution,
@@ -311,8 +326,79 @@ func (m *Map) Insert(origin geom.Vec3, points []geom.Vec3) error {
 		return err
 	}
 
+	// Recenter every shard's window on the new origin. Each shard owns a
+	// disjoint key region, so most shards evict nothing; the loop still
+	// visits all of them because a shard whose region fell behind the
+	// sensor must spill even when this scan routed it no cells.
+	for _, sh := range m.shards {
+		if sh.win == nil {
+			continue
+		}
+		sh.mu.Lock()
+		e := sh.win.Recenter(origin)
+		sh.mu.Unlock()
+		if e != nil {
+			return e
+		}
+	}
+
 	m.batches.Add(1)
 	m.critNS.Add(int64(time.Since(start)))
+	return nil
+}
+
+// Recenter moves every shard's window to the tile containing origin and
+// evicts out-of-window tiles — the explicit form of the recentering each
+// Insert performs. A no-op on unwindowed maps. Returns ErrClosed after
+// Close and any sticky pager error.
+func (m *Map) Recenter(origin geom.Vec3) error {
+	m.closeMu.RLock()
+	defer m.closeMu.RUnlock()
+	if m.closed {
+		return ErrClosed
+	}
+	for _, sh := range m.shards {
+		if sh.win == nil {
+			continue
+		}
+		sh.mu.Lock()
+		err := sh.win.Recenter(origin)
+		sh.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WindowStats aggregates the per-shard paging activity; Enabled is false
+// (and everything zero) for unwindowed maps.
+func (m *Map) WindowStats() core.WindowStats {
+	var s core.WindowStats
+	for _, sh := range m.shards {
+		if sh.win == nil {
+			continue
+		}
+		sh.mu.RLock()
+		s = s.Add(sh.win.WindowStats())
+		sh.mu.RUnlock()
+	}
+	return s
+}
+
+// WindowErr returns the first shard's sticky pager error, if any.
+func (m *Map) WindowErr() error {
+	for _, sh := range m.shards {
+		if sh.win == nil {
+			continue
+		}
+		sh.mu.RLock()
+		err := sh.win.WindowErr()
+		sh.mu.RUnlock()
+		if err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -547,6 +633,9 @@ type ShardStat struct {
 	Cache cache.Stats
 	// Compaction holds the shard's arena-compaction counters.
 	Compaction core.CompactionStats
+	// Window holds the shard's paging counters (zero when the map is
+	// unwindowed).
+	Window core.WindowStats
 }
 
 // ShardStats snapshots every shard. Shards are visited one at a time
@@ -566,6 +655,9 @@ func (m *Map) ShardStats() []ShardStat {
 			QueueDepth: sh.pipe.CacheLen(),
 			Cache:      sh.pipe.CacheStats(),
 			Compaction: sh.pipe.CompactionStats(),
+		}
+		if sh.win != nil {
+			out[i].Window = sh.win.WindowStats()
 		}
 		sh.mu.RUnlock()
 	}
@@ -593,7 +685,14 @@ func (m *Map) Snapshot() *core.Snapshot {
 }
 
 // WriteTo serializes the merged map in the .bt format. Bytes are
-// identical across shard counts and backends for content-equal maps.
+// identical across shard counts and backends for content-equal maps —
+// and across window policies: each shard's walk folds its spilled tiles
+// back in. A shard whose spill file failed to read surfaces its sticky
+// pager error here instead of serializing a partial map.
 func (m *Map) WriteTo(w io.Writer) (int64, error) {
-	return m.Snapshot().WriteTo(w)
+	snap := m.Snapshot()
+	if err := m.WindowErr(); err != nil {
+		return 0, err
+	}
+	return snap.WriteTo(w)
 }

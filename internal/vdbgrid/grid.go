@@ -255,31 +255,76 @@ func (g *Grid) Walk(fn func(voxel.Leaf) bool) {
 	sort.Slice(keys, func(i, j int) bool {
 		return originKey(keys[i]).Morton() < originKey(keys[j]).Morton()
 	})
-	d := g.params.Depth
 	for _, bk := range keys {
-		origin := originKey(bk)
-		if v, ok := g.uniform[bk]; ok {
-			if !fn(voxel.Leaf{Key: origin, Depth: d - BrickBits, LogOdds: v}) {
-				return
-			}
-			continue
-		}
-		b := g.dense[bk]
-		for _, s := range mortonSlots {
-			if b.known[s>>6]&(1<<(uint(s)&63)) == 0 {
-				continue
-			}
-			const m = BrickSide - 1
-			k := voxel.Key{
-				X: origin.X | uint16(s)&m,
-				Y: origin.Y | uint16(s)>>BrickBits&m,
-				Z: origin.Z | uint16(s)>>(2*BrickBits)&m,
-			}
-			if !fn(voxel.Leaf{Key: k, Depth: d, LogOdds: b.vals[s]}) {
-				return
-			}
+		if !g.emitBrick(bk, fn) {
+			return
 		}
 	}
+}
+
+// emitBrick streams one resident brick's leaves in ascending Morton
+// order: a uniform record as one aggregate leaf at brick depth, a dense
+// brick voxel-by-voxel. It returns false when fn stops the walk.
+func (g *Grid) emitBrick(bk brickKey, fn func(voxel.Leaf) bool) bool {
+	origin := originKey(bk)
+	d := g.params.Depth
+	if v, ok := g.uniform[bk]; ok {
+		return fn(voxel.Leaf{Key: origin, Depth: d - BrickBits, LogOdds: v})
+	}
+	b := g.dense[bk]
+	for _, s := range mortonSlots {
+		if b.known[s>>6]&(1<<(uint(s)&63)) == 0 {
+			continue
+		}
+		const m = BrickSide - 1
+		k := voxel.Key{
+			X: origin.X | uint16(s)&m,
+			Y: origin.Y | uint16(s)>>BrickBits&m,
+			Z: origin.Z | uint16(s)>>(2*BrickBits)&m,
+		}
+		if !fn(voxel.Leaf{Key: k, Depth: d, LogOdds: b.vals[s]}) {
+			return false
+		}
+	}
+	return true
+}
+
+// EvictTile removes every brick of the tile at tileDepth containing
+// corner, appending their canonical leaf run (exactly what Walk would
+// emit for that cube, in Morton order) to dst — the grid's spill
+// primitive, mirroring octree.Tree.EvictSubtree. Tiles must be at least
+// one brick wide (tileDepth ≤ Depth−BrickBits); reinstalling the run via
+// SetLeafAt restores identical content. Eviction is a hash-index sweep:
+// cost is proportional to resident bricks, independent of tile volume.
+func (g *Grid) EvictTile(corner voxel.Key, tileDepth int, dst []voxel.Leaf) []voxel.Leaf {
+	d := g.params.Depth
+	if tileDepth < 0 || tileDepth > d-BrickBits {
+		panic("vdbgrid: EvictTile depth out of range")
+	}
+	corner = voxel.TileOf(corner, tileDepth, d)
+	var keys []brickKey
+	for bk := range g.dense {
+		if voxel.TileOf(originKey(bk), tileDepth, d) == corner {
+			keys = append(keys, bk)
+		}
+	}
+	for bk := range g.uniform {
+		if voxel.TileOf(originKey(bk), tileDepth, d) == corner {
+			keys = append(keys, bk)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		return originKey(keys[i]).Morton() < originKey(keys[j]).Morton()
+	})
+	for _, bk := range keys {
+		g.emitBrick(bk, func(l voxel.Leaf) bool {
+			dst = append(dst, l)
+			return true
+		})
+		delete(g.dense, bk)
+		delete(g.uniform, bk)
+	}
+	return dst
 }
 
 func originKey(bk brickKey) voxel.Key {

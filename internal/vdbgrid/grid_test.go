@@ -218,6 +218,95 @@ func TestArenaAndVisitAccounting(t *testing.T) {
 	}
 }
 
+// TestEvictTileRoundTrip pins the grid's spill primitive to the octree
+// oracle: evicting a tile must remove exactly its content (the rest of
+// the grid answers unchanged), the run must reinstall losslessly, and
+// the canonical rebuild after a full evict/reload cycle must serialize
+// to the oracle's exact bytes.
+func TestEvictTileRoundTrip(t *testing.T) {
+	p := testParams(6)
+	g := New(p)
+	tr := octree.New(p)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 3000; i++ {
+		k := randKey(rng, 6)
+		occ := rng.Intn(2) == 0
+		g.UpdateCell(k, occ)
+		tr.Update(k, occ)
+	}
+	// Mix in aggregates so uniform records get evicted too.
+	g.SetLeafAt(voxel.Key{X: 16, Y: 16, Z: 16}, p.Depth-BrickBits, p.ClampMin)
+	tr.SetLeafAt(voxel.Key{X: 16, Y: 16, Z: 16}, p.Depth-BrickBits, p.ClampMin)
+
+	const tileDepth = 2 // tile side 16 = 2 bricks
+	corner := voxel.Key{X: 16, Y: 16, Z: 16}
+	run := g.EvictTile(corner, tileDepth, nil)
+	if len(run) == 0 {
+		t.Fatal("tile was empty; pick a different seed")
+	}
+	last := uint64(0)
+	for i, l := range run {
+		if voxel.TileOf(l.Key, tileDepth, p.Depth) != corner {
+			t.Fatalf("leaf %v escaped tile %v", l.Key, corner)
+		}
+		if m := l.Key.Morton(); i > 0 && m <= last {
+			t.Fatal("evicted run not in ascending Morton order")
+		} else {
+			last = m
+		}
+	}
+	lim := 1 << p.Depth
+	for x := 0; x < lim; x += 3 {
+		for y := 0; y < lim; y += 3 {
+			for z := 0; z < lim; z += 3 {
+				k := voxel.Key{X: uint16(x), Y: uint16(y), Z: uint16(z)}
+				lg, kg := g.Lookup(k)
+				if voxel.TileOf(k, tileDepth, p.Depth) == corner {
+					if kg {
+						t.Fatalf("evicted voxel %v still known", k)
+					}
+					continue
+				}
+				if lt, kt := tr.Search(k); lg != lt || kg != kt {
+					t.Fatalf("untouched voxel %v changed: (%v,%v) vs (%v,%v)", k, lg, kg, lt, kt)
+				}
+			}
+		}
+	}
+	for _, l := range run {
+		g.SetLeafAt(l.Key, l.Depth, l.LogOdds)
+	}
+	var a, b bytes.Buffer
+	if _, err := rebuild(g).WriteTo(&a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("post-reload rebuild serializes differently from the oracle")
+	}
+
+	// A second evict of the same tile finds it empty: no-op, nothing
+	// emitted.
+	g.EvictTile(voxel.Key{X: 48, Y: 48, Z: 48}, tileDepth, nil)
+	if run := g.EvictTile(voxel.Key{X: 48, Y: 48, Z: 48}, tileDepth, nil); len(run) != 0 {
+		t.Fatalf("empty tile emitted %d leaves", len(run))
+	}
+	// Whole-map evict at tileDepth 0 drains the grid.
+	run = g.EvictTile(voxel.Key{}, 0, nil)
+	if g.NumBricks() != 0 || len(run) == 0 {
+		t.Fatal("tileDepth-0 evict did not drain the grid")
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("EvictTile finer than a brick did not panic")
+		}
+	}()
+	g.EvictTile(voxel.Key{}, p.Depth-BrickBits+1, nil)
+}
+
 func TestNewPanicsOnInvalidParams(t *testing.T) {
 	defer func() {
 		if recover() == nil {
@@ -279,6 +368,20 @@ func FuzzOpStream(f *testing.F) {
 				g.SetLeafAt(ak, depth, v)
 				tr.SetLeafAt(ak, depth, v)
 			case 3:
+				if b&4 != 0 {
+					// Evict the tile containing k from both structures and
+					// reinstall: the spill cycle must be invisible to the
+					// per-voxel sweep and the serialize compare below.
+					tileDepth := int(b >> 3 & 1) // 0..1: grid tiles are ≥ one brick
+					grun := g.EvictTile(k, tileDepth, nil)
+					trun := tr.EvictSubtree(k, tileDepth, nil)
+					for _, l := range grun {
+						g.SetLeafAt(l.Key, l.Depth, l.LogOdds)
+					}
+					for _, l := range trun {
+						tr.SetLeafAt(l.Key, l.Depth, l.LogOdds)
+					}
+				}
 				var a, bb bytes.Buffer
 				if _, err := rebuild(g).WriteTo(&a); err != nil {
 					t.Fatalf("op %d: grid rebuild WriteTo: %v", i, err)

@@ -1,0 +1,48 @@
+package voxel
+
+// Tiles are the windowed-map eviction unit: axis-aligned cubes of
+// 2^(depth-tileDepth) voxels per axis, aligned to their own size — i.e.
+// the cubes of the subdivision hierarchy at tileDepth. A tile is
+// addressed by its minimum-corner key, exactly like an aggregate Leaf at
+// that depth, so one tile corresponds to one whole octree subtree (or
+// one aligned block of grid bricks) and its Morton codes form one
+// contiguous range. The windowed engine spills and reloads whole tiles.
+
+// TileOf returns the minimum-corner key of the tile at tileDepth that
+// contains k, in a key space depth levels deep. tileDepth must lie in
+// [0, depth].
+func TileOf(k Key, tileDepth, depth int) Key {
+	shift := uint(depth - tileDepth)
+	if shift >= 16 {
+		return Key{}
+	}
+	mask := ^uint16(0) << shift
+	return Key{X: k.X & mask, Y: k.Y & mask, Z: k.Z & mask}
+}
+
+// TileDist returns the Chebyshev (L∞) distance between the tiles
+// containing a and b, in whole tiles: 0 for the same tile, 1 for any
+// neighbour (faces, edges, corners). A window of radius R keeps every
+// tile with TileDist ≤ R from the center tile resident — a cube of
+// (2R+1)³ tiles.
+func TileDist(a, b Key, tileDepth, depth int) int {
+	shift := uint(depth - tileDepth)
+	if shift >= 16 {
+		return 0
+	}
+	d := axisDist(a.X>>shift, b.X>>shift)
+	if dy := axisDist(a.Y>>shift, b.Y>>shift); dy > d {
+		d = dy
+	}
+	if dz := axisDist(a.Z>>shift, b.Z>>shift); dz > d {
+		d = dz
+	}
+	return d
+}
+
+func axisDist(a, b uint16) int {
+	if a > b {
+		return int(a - b)
+	}
+	return int(b - a)
+}

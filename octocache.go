@@ -88,6 +88,24 @@ type Key = voxel.Key
 // remains queryable forever, but accepts no further observations.
 var ErrClosed = shard.ErrClosed
 
+// ErrPager marks failures of a windowed map's spill store: errors
+// wrapping it surface on Insert, Recenter, and WriteTo when a spill or
+// page-in hits an I/O error or on-disk corruption. The error is sticky —
+// the map keeps answering queries from resident state but stops
+// accepting observations. Test with errors.Is(err, ErrPager).
+var ErrPager = core.ErrPager
+
+// Window is the bounded-memory policy for Options.Window: keep an
+// ego-centric window of the map resident and spill everything else to
+// disk, paging spilled regions back in transparently when an insert,
+// query, or ray touches them. The zero value keeps the whole map in
+// memory. See Options.Window for how it composes with Mode, Shards, and
+// Backend.
+type Window = core.Window
+
+// WindowStats reports a windowed map's paging activity (Stats.Window).
+type WindowStats = core.WindowStats
+
 // Leaf is one entry of a leaf walk: a voxel (or pruned aggregate cube)
 // with its accumulated log-odds occupancy.
 type Leaf = core.Leaf
@@ -174,6 +192,14 @@ type Options struct {
 	// shard. Backends without compaction support (BackendGrid) ignore
 	// the policy.
 	Compaction CompactionPolicy
+	// Window bounds resident memory: only tiles (aligned sub-cubes of
+	// Window.TileDepth) within Window.Radius of the most recent insert
+	// origin stay in memory, and everything else spills to files under
+	// Window.Dir, paging back in transparently on touch. Query answers
+	// and serialized bytes are unchanged by the policy. Composes with
+	// Mode, Shards (each shard pages its own region into its own file),
+	// and Backend; the zero value keeps the whole map resident.
+	Window Window
 }
 
 // CompactionPolicy sets the automatic-compaction trigger: compact when
@@ -282,6 +308,10 @@ func buildConfig(opts Options) (core.Config, error) {
 	}
 	if opts.CacheTau > 0 {
 		cfg.CacheTau = opts.CacheTau
+	}
+	cfg.Window = opts.Window
+	if err := cfg.Window.Validate(cfg.Octree.Depth); err != nil {
+		return core.Config{}, err
 	}
 	return cfg, nil
 }
@@ -444,6 +474,26 @@ func (m *Map) Snapshot() *Snapshot {
 // ascending Morton order. It carries Snapshot's caveats.
 func (m *Map) WalkLeaves(fn func(Leaf) bool) { m.Snapshot().Walk(fn) }
 
+// Recenter moves a windowed map's resident window to the tile containing
+// origin and spills what fell outside — the explicit form of the
+// recentering every Insert performs, for consumers that query far from
+// where they insert (or insert rarely). A no-op on unwindowed maps.
+// Sharded maps recenter every shard. Like Insert it is a mutator call on
+// single-driver maps; it returns ErrClosed after Close and any sticky
+// pager error (see ErrPager).
+func (m *Map) Recenter(origin Vec3) error {
+	if m.sharded != nil {
+		return m.sharded.Recenter(origin)
+	}
+	if m.closed.Load() {
+		return ErrClosed
+	}
+	if w, ok := m.mapper.(core.Windower); ok {
+		return w.Recenter(origin)
+	}
+	return nil
+}
+
 // Compact rebuilds the octree arenas into dense Morton-ordered prefixes
 // and releases the fragmented tail capacity, without changing any query
 // answer or serialized byte. Sharded maps compact one shard at a time
@@ -476,6 +526,9 @@ type Stats struct {
 	Shards int
 	// Backend identifies the voxel store behind the map.
 	Backend Backend
+	// Window summarizes the bounded-memory window's paging activity
+	// (summed over shards); Window.Enabled is false for unwindowed maps.
+	Window WindowStats
 }
 
 // CacheStats summarizes cache behaviour.
@@ -573,9 +626,14 @@ func (m *Map) Stats() Stats {
 			Compaction: publicCompaction(m.sharded.CompactionStats()),
 			Shards:     m.sharded.NumShards(),
 			Backend:    m.sharded.Backend(),
+			Window:     m.sharded.WindowStats(),
 		}
 	}
 	tm := m.mapper.Timings()
+	var ws WindowStats
+	if w, ok := m.mapper.(core.Windower); ok {
+		ws = w.WindowStats()
+	}
 	return Stats{
 		Cache: publicCache(m.mapper.CacheStats()),
 		Pipeline: PipelineStats{
@@ -588,6 +646,7 @@ func (m *Map) Stats() Stats {
 		Compaction: publicCompaction(m.mapper.CompactionStats()),
 		Shards:     1,
 		Backend:    m.mapper.Backend(),
+		Window:     ws,
 	}
 }
 
@@ -606,6 +665,9 @@ type ShardStat struct {
 	Cache CacheStats
 	// Compaction summarizes the shard's arena-compaction activity.
 	Compaction CompactionStats
+	// Window summarizes the shard's paging activity (zero when the map
+	// is unwindowed).
+	Window WindowStats
 }
 
 // ShardStats snapshots every shard of a sharded map; it returns nil for
@@ -624,6 +686,7 @@ func (m *Map) ShardStats() []ShardStat {
 			QueueDepth: s.QueueDepth,
 			Cache:      publicCache(s.Cache),
 			Compaction: publicCompaction(s.Compaction),
+			Window:     s.Window,
 		}
 	}
 	return out

@@ -1,0 +1,256 @@
+package octocache
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// windowOpts arms a test map with 0.8 m tiles (depth 16 key space at
+// 0.1 m resolution; tile depth 13 → 8 voxels per axis).
+func windowOpts(t *testing.T, base Options, radius int) Options {
+	t.Helper()
+	base.Window = Window{Radius: radius, TileDepth: 13, Dir: t.TempDir()}
+	return base
+}
+
+// TestWindowedMatrixConsistency arms every backend × mode × shard-count
+// combination with a window wide enough to hold the whole scene: the
+// policy machinery runs on every insert (residency tracking, recenter
+// scans), yet nothing may change — queries stay bit-identical to the
+// unwindowed serial reference after every batch, and the closed maps
+// serialize to the exact same bytes.
+func TestWindowedMatrixConsistency(t *testing.T) {
+	ref := MustNew(Options{Resolution: 0.1, Mode: ModeSerial, CacheBuckets: 1 << 10})
+
+	type entry struct {
+		name string
+		m    *Map
+	}
+	var maps []entry
+	for _, backend := range []Backend{BackendOctree, BackendGrid} {
+		for _, mode := range []Mode{ModeSerial, ModeParallel, ModeOctoMap} {
+			for _, shards := range []int{0, 1, 2, 8} {
+				opts := windowOpts(t, Options{
+					Resolution: 0.1, Mode: mode, Shards: shards,
+					Backend: backend, CacheBuckets: 1 << 10,
+				}, 16)
+				maps = append(maps, entry{
+					name: fmt.Sprintf("%v/mode=%d/shards=%d", backend, mode, shards),
+					m:    MustNew(opts),
+				})
+			}
+		}
+	}
+
+	origin := V(0, 0, 0.5)
+	rng := rand.New(rand.NewSource(17))
+	var probes []Vec3
+	for batch := 0; batch < 4; batch++ {
+		var pts []Vec3
+		for j := 0; j < 120; j++ {
+			ang := rng.Float64() * 2 * math.Pi
+			r := 1 + rng.Float64()*2.5
+			pts = append(pts, origin.Add(V(r*math.Cos(ang), r*math.Sin(ang), rng.Float64()-0.5)))
+		}
+		if err := ref.Insert(origin, pts); err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range maps {
+			if err := e.m.Insert(origin, pts); err != nil {
+				t.Fatalf("%s: Insert: %v", e.name, err)
+			}
+		}
+		probes = append(probes, pts[:20]...)
+		for _, p := range probes {
+			lw, kw := ref.Occupancy(p)
+			for _, e := range maps {
+				if lg, kg := e.m.Occupancy(p); lg != lw || kg != kw {
+					t.Fatalf("batch %d %s: Occupancy(%v) = (%v,%v), ref (%v,%v)",
+						batch, e.name, p, lg, kg, lw, kw)
+				}
+			}
+		}
+		for _, dir := range []Vec3{V(1, 0.2, 0), V(-0.7, 1, 0.1), V(0, -1, -0.2)} {
+			hw, okw := ref.CastRay(origin, dir, 8, true)
+			for _, e := range maps {
+				if hg, okg := e.m.CastRay(origin, dir, 8, true); okg != okw || hg != hw {
+					t.Fatalf("batch %d %s: CastRay(%v) diverged", batch, e.name, dir)
+				}
+			}
+		}
+	}
+
+	if err := ref.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if _, err := ref.WriteTo(&want); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range maps {
+		if st := e.m.Stats(); !st.Window.Enabled {
+			t.Errorf("%s: Stats().Window not enabled", e.name)
+		}
+		if err := e.m.Close(); err != nil {
+			t.Fatalf("%s: Close: %v", e.name, err)
+		}
+		var got bytes.Buffer
+		if _, err := e.m.WriteTo(&got); err != nil {
+			t.Fatalf("%s: WriteTo: %v", e.name, err)
+		}
+		if !bytes.Equal(got.Bytes(), want.Bytes()) {
+			t.Errorf("%s: serialization differs from unwindowed reference", e.name)
+		}
+	}
+}
+
+// traverseScan is a forward ring scan from a moving origin.
+func traverseScan(rng *rand.Rand, origin Vec3, n int) []Vec3 {
+	pts := make([]Vec3, 0, n)
+	for j := 0; j < n; j++ {
+		ang := rng.Float64() * 2 * math.Pi
+		r := 1 + rng.Float64()*2
+		pts = append(pts, origin.Add(V(r*math.Cos(ang), r*math.Sin(ang), rng.Float64()-0.5)))
+	}
+	return pts
+}
+
+// TestWindowedTraverseBoundsMemory drives a long traverse through maps
+// with a tight window: resident memory must stay below the unbounded
+// reference, revisited regions must answer identically (paging back in
+// transparently), and the closed maps must still serialize to the
+// reference bytes — the spilled portion folds back into the stream.
+func TestWindowedTraverseBoundsMemory(t *testing.T) {
+	for _, backend := range []Backend{BackendOctree, BackendGrid} {
+		for _, shards := range []int{0, 2} {
+			t.Run(fmt.Sprintf("%v/shards=%d", backend, shards), func(t *testing.T) {
+				base := Options{Resolution: 0.1, Mode: ModeSerial, Backend: backend, Shards: shards, CacheBuckets: 1 << 10}
+				ref := MustNew(base)
+				win := MustNew(windowOpts(t, base, 1))
+
+				rng := rand.New(rand.NewSource(29))
+				winRNG := rand.New(rand.NewSource(29))
+				var origins []Vec3
+				var firstScan []Vec3
+				for i := 0; i < 12; i++ {
+					x := 3 * float64(i)
+					origins = append(origins, V(x, 0, 0.5))
+				}
+				for i, origin := range origins {
+					pts := traverseScan(rng, origin, 150)
+					if err := ref.Insert(origin, pts); err != nil {
+						t.Fatal(err)
+					}
+					if err := win.Insert(origin, traverseScan(winRNG, origin, 150)); err != nil {
+						t.Fatal(err)
+					}
+					if i == 0 {
+						firstScan = pts
+					}
+				}
+
+				st := win.Stats()
+				if st.Window.SpilledTiles == 0 || st.Window.Evictions == 0 {
+					t.Fatalf("traverse spilled nothing: %+v", st.Window)
+				}
+				refMem := ref.Stats().Arena.Bytes
+				winMem := win.Stats().Arena.Bytes
+				if winMem >= refMem {
+					t.Fatalf("windowed resident bytes %d not below unbounded %d", winMem, refMem)
+				}
+				if shards > 0 {
+					spilled := 0
+					for _, ss := range win.ShardStats() {
+						spilled += ss.Window.SpilledTiles
+					}
+					if spilled == 0 {
+						t.Fatal("per-shard window stats report no spilled tiles")
+					}
+				}
+
+				// Revisit the start of the traverse: long-spilled tiles must
+				// answer exactly like the unbounded map.
+				for _, p := range firstScan {
+					lw, kw := ref.Occupancy(p)
+					if lg, kg := win.Occupancy(p); lg != lw || kg != kw {
+						t.Fatalf("revisit Occupancy(%v) = (%v,%v), ref (%v,%v)", p, lg, kg, lw, kw)
+					}
+				}
+				if win.Stats().Window.Reloads == 0 {
+					t.Fatal("revisits paged nothing back in")
+				}
+
+				ref.Close()
+				win.Close()
+				var want, got bytes.Buffer
+				if _, err := ref.WriteTo(&want); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := win.WriteTo(&got); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got.Bytes(), want.Bytes()) {
+					t.Fatal("windowed serialization differs from unbounded reference")
+				}
+			})
+		}
+	}
+}
+
+// TestWindowedShardedOpen round-trips a windowed sharded map through
+// WriteTo/Open: the stream (resident + spilled content merged) must
+// reopen — windowed again — answer identically, and reserialize to the
+// same bytes.
+func TestWindowedShardedOpen(t *testing.T) {
+	src := MustNew(windowOpts(t, Options{Resolution: 0.1, Mode: ModeParallel, Shards: 4, CacheBuckets: 1 << 10}, 1))
+	rng := rand.New(rand.NewSource(31))
+	var probes []Vec3
+	for i := 0; i < 10; i++ {
+		origin := V(2.5*float64(i), 0, 0.5)
+		pts := traverseScan(rng, origin, 150)
+		if err := src.Insert(origin, pts); err != nil {
+			t.Fatal(err)
+		}
+		probes = append(probes, pts[:15]...)
+	}
+	if src.Stats().Window.SpilledTiles == 0 {
+		t.Fatal("source map spilled nothing")
+	}
+	if err := src.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var blob bytes.Buffer
+	if _, err := src.WriteTo(&blob); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, opts := range []Options{
+		windowOpts(t, Options{Shards: 4}, 1),
+		windowOpts(t, Options{Backend: BackendGrid, Shards: 2}, 2),
+		{}, // unwindowed single-driver reader
+	} {
+		m, err := Open(bytes.NewReader(blob.Bytes()), opts)
+		if err != nil {
+			t.Fatalf("Open(%+v): %v", opts, err)
+		}
+		for _, p := range probes {
+			lw, kw := src.Occupancy(p)
+			if lg, kg := m.Occupancy(p); lg != lw || kg != kw {
+				t.Fatalf("Open(%+v): disagrees with source at %v", opts, p)
+			}
+		}
+		if err := m.Close(); err != nil {
+			t.Fatal(err)
+		}
+		var again bytes.Buffer
+		if _, err := m.WriteTo(&again); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(again.Bytes(), blob.Bytes()) {
+			t.Errorf("Open(%+v): reserialization differs from source", opts)
+		}
+	}
+}
