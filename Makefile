@@ -15,8 +15,9 @@ vet:
 # behind core.Backend/core.Snapshot. Only internal/core and the octree
 # package itself may import it in non-test code; everything else goes
 # through the backend-neutral surface. Tests anywhere may reach in.
-# Same rule for the spill-to-disk pager: it serves the window policy in
-# internal/core (and the stores it evicts from), not general file I/O.
+# Same rule for the durable store (WAL + snapshots + spill frames): it
+# serves the window and durability policies in internal/core (and the
+# stores it evicts from), not general file I/O.
 lint-imports:
 	@bad=$$(grep -rl '"octocache/internal/octree"' --include='*.go' . \
 		| grep -v '_test\.go$$' \
@@ -26,14 +27,14 @@ lint-imports:
 		echo "internal/octree imported outside internal/core in:"; \
 		echo "$$bad"; exit 1; \
 	fi
-	@bad=$$(grep -rl '"octocache/internal/pager"' --include='*.go' . \
+	@bad=$$(grep -rl '"octocache/internal/durable"' --include='*.go' . \
 		| grep -v '_test\.go$$' \
 		| grep -v '^\./internal/core/' \
 		| grep -v '^\./internal/octree/' \
 		| grep -v '^\./internal/vdbgrid/' \
-		| grep -v '^\./internal/pager/' || true); \
+		| grep -v '^\./internal/durable/' || true); \
 	if [ -n "$$bad" ]; then \
-		echo "internal/pager imported outside internal/core and the backends in:"; \
+		echo "internal/durable imported outside internal/core and the backends in:"; \
 		echo "$$bad"; exit 1; \
 	fi
 
@@ -47,19 +48,23 @@ lint-imports:
 # fourth line gates the grid backend: the brick-grid unit/differential
 # suite plus the full backend × mode × shard consistency matrix, whose
 # ModeParallel/grid cells drive the async applier against a grid store.
-# The last two lines gate the bounded-memory window: the pager
+# The next two lines gate the bounded-memory window: the durable store's
 # crash/truncation/rewrite suite, then the windowed consistency matrix
 # (whole-scene differential, traverse memory bound, sharded Open
 # round-trip) with ModeParallel cells racing eviction against the
-# async applier.
+# async applier. The last line is the durability crash matrix: WAL +
+# snapshot recovery cut at batch boundaries and arbitrary byte offsets
+# across backend × mode × shards, with background snapshot writers
+# racing inserts in the SnapshotEvery cells.
 race:
 	$(GO) test -race ./internal/shard/... ./internal/core/...
 	$(GO) test -race -count=2 ./internal/nav/... ./internal/clock/... ./internal/spsc/...
 	$(GO) test -race -count=2 -run Compact ./internal/octree/... ./internal/core/... ./internal/shard/... .
 	$(GO) test -race ./internal/vdbgrid/...
 	$(GO) test -race -run 'Backend|OpenAcrossBackends|SnapshotAndWalkLeaves' .
-	$(GO) test -race ./internal/pager/...
+	$(GO) test -race ./internal/durable/...
 	$(GO) test -race -run 'Window|Recenter' ./internal/core/... .
+	$(GO) test -race -run 'Durable|Recover' ./internal/core/... .
 
 bench:
 	$(GO) test -bench . -benchtime 1x ./...

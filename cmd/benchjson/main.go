@@ -14,7 +14,9 @@
 // backend appends "-grid" variants. Schema v4 adds point-query and
 // raycast rows per backend × shard count, and a windowed-traverse
 // workload comparing a bounded-memory map's resident footprint against
-// the unbounded baseline.
+// the unbounded baseline. Schema v5 adds a "durable" section measuring
+// the WAL's insert-path overhead: serial-pipeline insert ns/op with the
+// log off, armed without fsync, and armed with per-batch fsync.
 package main
 
 import (
@@ -64,17 +66,27 @@ type windowResult struct {
 	MaxPauseNs     int64 `json:"max_pause_ns"`
 }
 
+type durableResult struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	// OverheadVsOff is this policy's ns/op relative to the WAL-off row
+	// ("off" itself reports 1.0).
+	OverheadVsOff float64 `json:"overhead_vs_off"`
+	WALBytes      int64   `json:"wal_bytes"`
+}
+
 type report struct {
-	Schema         string                  `json:"schema"`
-	GoVersion      string                  `json:"go_version"`
-	GOOS           string                  `json:"goos"`
-	GOARCH         string                  `json:"goarch"`
-	Insert         map[string]insertResult `json:"insert"`
-	Query          map[string]queryResult  `json:"query"`
-	Window         windowResult            `json:"window"`
-	CacheHitRate   float64                 `json:"cache_hit_rate"`
-	ArenaOccupancy float64                 `json:"arena_occupancy"`
-	Compaction     compactionResult        `json:"compaction"`
+	Schema         string                   `json:"schema"`
+	GoVersion      string                   `json:"go_version"`
+	GOOS           string                   `json:"goos"`
+	GOARCH         string                   `json:"goarch"`
+	Insert         map[string]insertResult  `json:"insert"`
+	Query          map[string]queryResult   `json:"query"`
+	Durable        map[string]durableResult `json:"durable"`
+	Window         windowResult             `json:"window"`
+	CacheHitRate   float64                  `json:"cache_hit_rate"`
+	ArenaOccupancy float64                  `json:"arena_occupancy"`
+	Compaction     compactionResult         `json:"compaction"`
 }
 
 // scanRing is the benchmark scan: a cylindrical wall 4 m out, one point
@@ -165,6 +177,70 @@ func benchQuery(backend octocache.Backend, shards int) queryResult {
 		QueryNsPerOp:   float64(q.T.Nanoseconds()) / float64(q.N),
 		RaycastNsPerOp: float64(rc.T.Nanoseconds()) / float64(rc.N),
 	}
+}
+
+// benchDurable measures what arming the WAL costs the insert path: the
+// same warm ring-scan workload as the insert rows, run with the log off,
+// with the log on at SyncNone (page-cache writes), and at SyncEveryBatch
+// (one fsync per scan). A production-shaped snapshot cadence keeps the
+// log bounded via the store's auto-rewrite, so the numbers amortize the
+// whole durable pipeline, not just the append.
+func benchDurable() map[string]durableResult {
+	origin := octocache.V(0, 0, 1.2)
+	pts := scanRing()
+	out := make(map[string]durableResult)
+	run := func(armed bool, sync octocache.SyncPolicy) durableResult {
+		var walBytes int64
+		r := testing.Benchmark(func(b *testing.B) {
+			opts := octocache.Options{
+				Resolution:   0.1,
+				Mode:         octocache.ModeSerial,
+				MaxRange:     8,
+				CacheBuckets: 1 << 14,
+			}
+			var dir string
+			if armed {
+				var err error
+				dir, err = os.MkdirTemp("", "benchjson-durable")
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer os.RemoveAll(dir)
+				opts.Durable = octocache.Durable{Dir: dir, Sync: sync, SnapshotEvery: 256}
+			}
+			m := octocache.MustNew(opts)
+			m.Insert(origin, pts) // warm up
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.Insert(origin, pts)
+			}
+			b.StopTimer()
+			if armed {
+				walBytes = m.Stats().Durable.BytesOnDisk
+			}
+			m.Close()
+		})
+		return durableResult{
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			WALBytes:    walBytes,
+		}
+	}
+	off := run(false, octocache.SyncNone)
+	off.OverheadVsOff = 1
+	out["off"] = off
+	for name, sync := range map[string]octocache.SyncPolicy{
+		"sync-none":  octocache.SyncNone,
+		"sync-batch": octocache.SyncEveryBatch,
+	} {
+		res := run(true, sync)
+		if off.NsPerOp > 0 {
+			res.OverheadVsOff = res.NsPerOp / off.NsPerOp
+		}
+		out[name] = res
+	}
+	return out
 }
 
 // benchWindow drives the same long traverse through an unbounded map and
@@ -286,7 +362,7 @@ func main() {
 	}
 
 	rep := report{
-		Schema:    "octocache-bench-core/v4",
+		Schema:    "octocache-bench-core/v5",
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
@@ -325,6 +401,7 @@ func main() {
 	} {
 		rep.Query[qc.name] = benchQuery(qc.backend, qc.shards)
 	}
+	rep.Durable = benchDurable()
 	rep.Window = benchWindow()
 	rep.Compaction = benchCompaction()
 

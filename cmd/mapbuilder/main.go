@@ -36,6 +36,8 @@ func main() {
 		sliceZ    = flag.Float64("slicez", 1.2, "slice height in meters")
 		winRadius = flag.Int("window-radius", 0, "bounded-memory window radius in tiles (0 = unbounded)")
 		winDir    = flag.String("window-dir", "", "spill directory for evicted tiles (default: a temp dir)")
+		durDir    = flag.String("durable-dir", "", "write-ahead log + snapshot directory; recovers any map found there (empty = not durable)")
+		syncPol   = flag.String("sync", "none", "WAL sync policy: none (page cache) or batch (fsync per scan)")
 	)
 	flag.Parse()
 
@@ -86,10 +88,36 @@ func main() {
 		cfg.Window = core.Window{Radius: *winRadius, Dir: dir}
 		fmt.Printf("bounded-memory window: radius %d tiles, spilling to %s\n", *winRadius, dir)
 	}
+	if *durDir != "" {
+		switch *syncPol {
+		case "none":
+			cfg.Durable = core.Durable{Dir: *durDir, Sync: core.SyncNone}
+		case "batch":
+			cfg.Durable = core.Durable{Dir: *durDir, Sync: core.SyncEveryBatch}
+		default:
+			fmt.Fprintf(os.Stderr, "mapbuilder: unknown -sync %q (want none or batch)\n", *syncPol)
+			os.Exit(1)
+		}
+		// Resume the log if one is already there, else start fresh.
+		single, _, err := core.ScanDurableDir(*durDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mapbuilder:", err)
+			os.Exit(1)
+		}
+		cfg.DurableRecover = single
+	}
 	m, err := core.New(kind, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mapbuilder:", err)
 		os.Exit(1)
+	}
+	if d, ok := m.(core.Durabler); ok && cfg.Durable.Enabled() {
+		if ds := d.DurableStats(); ds.ReplayedBatches > 0 || ds.LastSnapshotSeq > 0 {
+			fmt.Printf("recovered durable map from %s: replayed %d WAL batches over snapshot cut %d\n",
+				*durDir, ds.ReplayedBatches, ds.LastSnapshotSeq)
+		} else {
+			fmt.Printf("durable map: logging to %s (sync=%s)\n", *durDir, *syncPol)
+		}
 	}
 
 	fmt.Printf("building map with %s at %.2fm resolution...\n", m.Name(), *res)
@@ -120,6 +148,12 @@ func main() {
 			fmt.Printf("window: %d tiles resident, %d spilled (%.1f MB on disk), %d evictions, %d reloads, max pause %v\n",
 				ws.ResidentTiles, ws.SpilledTiles, float64(ws.BytesOnDisk)/(1<<20),
 				ws.Evictions, ws.Reloads, ws.MaxPause)
+		}
+	}
+	if d, ok := m.(core.Durabler); ok {
+		if ds := d.DurableStats(); ds.Enabled {
+			fmt.Printf("durable: %d WAL batches logged (%.1f MB on disk), %d snapshots, durable through seq %d\n",
+				ds.WALBatches, float64(ds.BytesOnDisk)/(1<<20), ds.Snapshots, ds.Seq)
 		}
 	}
 	snap := m.Snapshot()

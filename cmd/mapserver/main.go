@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -36,6 +37,9 @@ func main() {
 		out       = flag.String("out", "", "write the merged octree to this file")
 		winRadius = flag.Int("window-radius", 0, "bounded-memory window radius in tiles (0 = unbounded)")
 		winDir    = flag.String("window-dir", "", "spill directory for evicted tiles (default: a temp dir)")
+		durDir    = flag.String("durable-dir", "", "write-ahead log + snapshot directory; recovers any map found there (empty = not durable)")
+		syncPol   = flag.String("sync", "none", "WAL sync policy: none (page cache) or batch (fsync per scan)")
+		snapEvery = flag.Int("snapshot-every", 64, "background snapshot cadence in batches per shard (0 = only on close)")
 	)
 	flag.Parse()
 	if *producers < 1 || *queriers < 0 {
@@ -90,7 +94,7 @@ func main() {
 		fmt.Printf("bounded-memory window: radius %d tiles, spilling to %s\n", *winRadius, dir)
 	}
 
-	m, err := octocache.New(octocache.Options{
+	opts := octocache.Options{
 		Resolution: *res,
 		Mode:       md,
 		Shards:     *shards,
@@ -98,10 +102,40 @@ func main() {
 		MaxRange:   ds.Sensor.MaxRange,
 		Compaction: octocache.CompactionPolicy{MinFreeFraction: 0.25, MinFreeSlots: 1024},
 		Window:     window,
-	})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "mapserver:", err)
-		os.Exit(1)
+	}
+	var m *octocache.Map
+	if *durDir != "" {
+		var sp octocache.SyncPolicy
+		switch *syncPol {
+		case "none":
+			sp = octocache.SyncNone
+		case "batch":
+			sp = octocache.SyncEveryBatch
+		default:
+			fmt.Fprintf(os.Stderr, "mapserver: unknown -sync %q (want none or batch)\n", *syncPol)
+			os.Exit(1)
+		}
+		opts.Durable = octocache.Durable{Sync: sp, SnapshotEvery: *snapEvery}
+		existing := hasLogs(*durDir)
+		m, err = octocache.Recover(*durDir, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mapserver:", err)
+			os.Exit(1)
+		}
+		if existing {
+			dst := m.Stats().Durable
+			fmt.Printf("recovered durable map from %s: replayed %d WAL batches, last snapshot cut %d\n",
+				*durDir, dst.ReplayedBatches, dst.LastSnapshotSeq)
+		} else {
+			fmt.Printf("durable map: logging to %s (sync=%s, snapshot every %d batches)\n",
+				*durDir, *syncPol, *snapEvery)
+		}
+	} else {
+		m, err = octocache.New(opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mapserver:", err)
+			os.Exit(1)
+		}
 	}
 	fmt.Printf("serving %d %s-pipeline shards (%s backend) to %d producers and %d queriers...\n",
 		m.Shards(), *mode, m.Backend(), *producers, *queriers)
@@ -178,13 +212,18 @@ func main() {
 			st.Window.ResidentTiles, st.Window.SpilledTiles, float64(st.Window.BytesOnDisk)/(1<<20),
 			st.Window.Evictions, st.Window.Reloads, st.Window.MaxPause)
 	}
+	if st.Durable.Enabled {
+		fmt.Printf("durable: %d WAL batches logged (%.1f MB on disk), %d snapshots, durable through seq %d (snapshot cut %d)\n",
+			st.Durable.WALBatches, float64(st.Durable.BytesOnDisk)/(1<<20),
+			st.Durable.Snapshots, st.Durable.Seq, st.Durable.LastSnapshotSeq)
+	}
 	fmt.Println("\nper-shard breakdown:")
-	fmt.Printf("  %5s  %7s  %9s  %9s  %6s  %8s  %9s  %8s  %7s  %7s\n",
-		"shard", "backend", "nodes", "bytes", "queue", "hit rate", "compacts", "resident", "spilled", "evicted")
+	fmt.Printf("  %5s  %7s  %9s  %9s  %6s  %8s  %9s  %8s  %7s  %7s  %7s\n",
+		"shard", "backend", "nodes", "bytes", "queue", "hit rate", "compacts", "resident", "spilled", "evicted", "wal-seq")
 	for _, s := range m.ShardStats() {
-		fmt.Printf("  %5d  %7s  %9d  %9d  %6d  %7.1f%%  %9d  %8d  %7d  %7d\n",
+		fmt.Printf("  %5d  %7s  %9d  %9d  %6d  %7.1f%%  %9d  %8d  %7d  %7d  %7d\n",
 			s.Shard, s.Backend, s.Arena.LiveNodes, s.Arena.Bytes, s.QueueDepth, 100*s.Cache.HitRate, s.Compaction.Runs,
-			s.Window.ResidentTiles, s.Window.SpilledTiles, s.Window.Evictions)
+			s.Window.ResidentTiles, s.Window.SpilledTiles, s.Window.Evictions, s.Durable.Seq)
 	}
 
 	if *out != "" {
@@ -210,4 +249,19 @@ func min(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// hasLogs reports whether dir already holds a durable map's log files,
+// purely for the startup banner — Recover itself validates the layout.
+func hasLogs(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) == ".log" {
+			return true
+		}
+	}
+	return false
 }

@@ -57,6 +57,6 @@ func main() {
 		if cs := m.CacheStats(); cs.Inserts > 0 {
 			fmt.Printf(" | cache hit rate %.1f%%", 100*cs.HitRate())
 		}
-		fmt.Printf(" | tree %d nodes\n\n", m.Tree().NumNodes())
+		fmt.Printf(" | tree %d nodes\n\n", m.Snapshot().NumNodes())
 	}
 }

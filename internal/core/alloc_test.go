@@ -16,21 +16,27 @@ import (
 // per-batch allocation regressions blow well past it. The compaction
 // policy is enabled at a production-shaped threshold: its per-batch
 // check must be free, and it must not trip on a steady-state arena.
+// The durable dimension arms the WAL: the append path encodes into the
+// store's reused buffer and writes through an open fd, so logging every
+// batch must stay inside the same allocation budget.
 func TestInsertSteadyStateAllocs(t *testing.T) {
 	for _, kind := range []Kind{KindSerial, KindOctoMap} {
-		for _, windowed := range []bool{false, true} {
+		for _, variant := range []string{"", "windowed", "durable"} {
 			name := kind.String()
-			if windowed {
-				name += "/windowed"
+			if variant != "" {
+				name += "/" + variant
 			}
 			t.Run(name, func(t *testing.T) {
 				cfg := testConfig()
 				cfg.Compaction = octree.CompactionPolicy{MinFreeFraction: 0.25, MinFreeSlots: 1024}
-				if windowed {
+				switch variant {
+				case "windowed":
 					// A static origin keeps every touched tile in-window, so
 					// the armed window must cost only its per-tile residency
 					// checks — no spills, no reloads, no allocation.
 					cfg.Window = Window{Radius: 8, TileDepth: 5, Dir: t.TempDir()}
+				case "durable":
+					cfg.Durable = Durable{Dir: t.TempDir()}
 				}
 				m := MustNew(kind, cfg)
 				rng := rand.New(rand.NewSource(11))

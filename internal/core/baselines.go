@@ -31,7 +31,7 @@ import (
 type voxelCacheMapper struct {
 	cfg        Config
 	tree       *octree.IndexedTree
-	shadow     *octree.Tree // kept pruned for Tree() consumers
+	shadow     *octree.Tree // kept pruned for Snapshot consumers
 	tracer     *raytrace.Tracer
 	timings    Timings
 	compaction CompactionStats
@@ -101,7 +101,7 @@ func (m *voxelCacheMapper) Occupied(p geom.Vec3) bool {
 func (m *voxelCacheMapper) OccupiedKey(k voxel.Key) bool { return m.tree.Occupied(k) }
 
 // Close mirrors the indexed tree's content into a standard pruned
-// octree so Tree() consumers (serialization, box queries) work.
+// octree so Snapshot consumers (serialization, box queries) work.
 func (m *voxelCacheMapper) Close() error {
 	if m.done {
 		return nil
@@ -129,8 +129,8 @@ func (m *voxelCacheMapper) indexKeys() map[voxel.Key]struct{} {
 // octree-specific by construction.
 func (m *voxelCacheMapper) Backend() BackendKind { return BackendOctree }
 
-// Snapshot captures the mirrored shadow octree. Like the old Tree()
-// accessor, the mirror fills on Close — snapshot a live VoxelCache
+// Snapshot captures the mirrored shadow octree. The mirror fills on
+// Close — snapshot a live VoxelCache
 // baseline and it is empty.
 func (m *voxelCacheMapper) Snapshot() *Snapshot {
 	s := NewSnapshot(m.cfg.Octree)
@@ -141,11 +141,6 @@ func (m *voxelCacheMapper) Snapshot() *Snapshot {
 	return s
 }
 
-// Tree returns a backend-neutral snapshot of the store.
-//
-// Deprecated: use Snapshot.
-func (m *voxelCacheMapper) Tree() *Snapshot { return m.Snapshot() }
-
 func (m *voxelCacheMapper) WriteTo(w io.Writer) (int64, error) { return m.shadow.WriteTo(w) }
 
 func (m *voxelCacheMapper) ArenaStats() ArenaStats { return TreeArenaStats(m.shadow) }
@@ -154,7 +149,7 @@ func (m *voxelCacheMapper) NodeVisits() int64 { return m.tree.NodeVisits() }
 
 // Compact rebuilds the shadow octree's arenas. The indexed structure
 // itself has no free lists to reclaim, so this only densifies whatever
-// has been mirrored for Tree() consumers.
+// has been mirrored for Snapshot consumers.
 func (m *voxelCacheMapper) Compact() error {
 	if m.done {
 		return ErrClosed
@@ -326,11 +321,6 @@ func (m *naiveMapper) Snapshot() *Snapshot {
 	})
 	return s
 }
-
-// Tree returns a backend-neutral snapshot of the store.
-//
-// Deprecated: use Snapshot.
-func (m *naiveMapper) Tree() *Snapshot { return m.Snapshot() }
 
 func (m *naiveMapper) WriteTo(w io.Writer) (int64, error) {
 	m.mu.Lock()

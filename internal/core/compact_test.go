@@ -69,10 +69,10 @@ func TestAutoCompaction(t *testing.T) {
 				t.Fatal(err)
 			}
 			var a, b bytes.Buffer
-			if _, err := ref.Tree().WriteTo(&a); err != nil {
+			if _, err := ref.Snapshot().WriteTo(&a); err != nil {
 				t.Fatal(err)
 			}
-			if _, err := m.Tree().WriteTo(&b); err != nil {
+			if _, err := m.Snapshot().WriteTo(&b); err != nil {
 				t.Fatal(err)
 			}
 			if !bytes.Equal(a.Bytes(), b.Bytes()) {

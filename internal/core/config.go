@@ -61,13 +61,23 @@ type Config struct {
 	// grid) ignore the policy.
 	Compaction octree.CompactionPolicy
 	// Window bounds resident memory: tiles outside an ego-centric window
-	// spill to disk through internal/pager and page back in on touch.
+	// spill to disk through internal/durable and page back in on touch.
 	// The zero value keeps the whole map resident.
 	Window Window
-	// WindowTag names this pipeline's tile file within Window.Dir
-	// (default "map"). The shard service sets a per-shard tag so sharded
-	// maps keep one spill file per shard.
-	WindowTag string
+	// Durable makes the map crash-recoverable: admitted batches are
+	// logged before apply and consistent-cut snapshots bound replay. When
+	// both Window and Durable are enabled they share one log (Window.Dir
+	// may be left empty to inherit Durable.Dir). The zero value disables
+	// durability.
+	Durable Durable
+	// DurableRecover restores the map from Durable.Dir at construction —
+	// last snapshot plus surviving log replay — instead of starting
+	// empty. Requires Durable to be enabled.
+	DurableRecover bool
+	// Tag names this pipeline's log (and snapshot) within the store
+	// directory (default "map"). The shard service sets a per-shard tag
+	// so sharded maps keep one log per shard.
+	Tag string
 }
 
 // DefaultConfig returns a configuration with OctoMap's default sensor
@@ -96,7 +106,24 @@ func (c Config) Validate() error {
 	if c.Backend != BackendOctree && c.Backend != BackendGrid {
 		return fmt.Errorf("core: unknown backend %v", c.Backend)
 	}
-	if err := c.Window.Validate(c.Octree.Depth); err != nil {
+	if err := c.Durable.Validate(); err != nil {
+		return err
+	}
+	if c.DurableRecover && !c.Durable.Enabled() {
+		return fmt.Errorf("core: DurableRecover requires a Durable policy")
+	}
+	win := c.Window
+	if win.Enabled() && c.Durable.Enabled() {
+		// Spill frames and the WAL share one log, so the two policies must
+		// agree on the directory; an empty Window.Dir inherits Durable's.
+		if win.Dir == "" {
+			win.Dir = c.Durable.Dir
+		} else if win.Dir != c.Durable.Dir {
+			return fmt.Errorf("core: Window.Dir %q and Durable.Dir %q must match (the spill file and WAL share one log); leave Window.Dir empty to inherit",
+				win.Dir, c.Durable.Dir)
+		}
+	}
+	if err := win.Validate(c.Octree.Depth); err != nil {
 		return err
 	}
 	return c.Compaction.Validate()

@@ -142,9 +142,9 @@ func TestConsistencyAcrossPipelines(t *testing.T) {
 		m.Close()
 	}
 	// After finalize, the full octrees must be identical.
-	base := mappers[0].Tree()
+	base := mappers[0].Snapshot()
 	for _, m := range mappers[1:] {
-		if !base.Equal(m.Tree()) {
+		if !base.Equal(m.Snapshot()) {
 			t.Fatalf("finalized tree of %s differs from %s", m.Name(), mappers[0].Name())
 		}
 	}
@@ -171,9 +171,9 @@ func TestConsistencyRTVariants(t *testing.T) {
 	for _, m := range mappers {
 		m.Close()
 	}
-	base := mappers[0].Tree()
+	base := mappers[0].Snapshot()
 	for _, m := range mappers[1:] {
-		if !base.Equal(m.Tree()) {
+		if !base.Equal(m.Snapshot()) {
 			t.Fatalf("finalized RT tree of %s differs from %s", m.Name(), mappers[0].Name())
 		}
 	}
@@ -369,7 +369,7 @@ func TestEvictOrderMortonVariant(t *testing.T) {
 	}
 	m.Close()
 	n.Close()
-	if !m.Tree().Equal(n.Tree()) {
+	if !m.Snapshot().Equal(n.Snapshot()) {
 		t.Error("Morton-sorted eviction changed final map content")
 	}
 }

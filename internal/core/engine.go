@@ -4,11 +4,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"octocache/internal/cache"
+	"octocache/internal/durable"
 	"octocache/internal/geom"
 	"octocache/internal/raytrace"
 	"octocache/internal/spsc"
@@ -79,9 +81,12 @@ type engine struct {
 	// win holds the bounded-memory windowing machinery when
 	// cfg.Window is enabled (nil otherwise — hot paths check the pointer
 	// once); evictor caches the backend's tile-detach capability the
-	// window requires.
+	// window requires. dur holds the WAL + snapshot machinery when
+	// cfg.Durable is enabled; when both are armed they share one
+	// durable.Store (one log carries spill frames and WAL frames).
 	win     *windowState
 	evictor Evictor
+	dur     *durableState
 
 	timings    Timings
 	compaction CompactionStats
@@ -123,16 +128,51 @@ func newEngine(cfg Config, baseName string, direct, async bool) (*engine, error)
 		}),
 	}
 	e.compactor, _ = e.store.(Compactor)
-	if cfg.Window.Enabled() {
-		ev, ok := e.store.(Evictor)
-		if !ok {
-			return nil, fmt.Errorf("core: backend %v cannot back a windowed map (no tile eviction)", cfg.Backend)
+	var recovered *durable.Recovered
+	if cfg.Window.Enabled() || cfg.Durable.Enabled() {
+		// One durable store per pipeline serves all three masters: the
+		// window spills tile frames into it, the Durable policy appends WAL
+		// frames and snapshot cuts, and when both are armed they share one
+		// log. Construction failures wear the badge of whichever policy
+		// asked for the store.
+		wrap := func(err error) error {
+			if cfg.Durable.Enabled() {
+				return fmt.Errorf("%w: %v", ErrDurable, err)
+			}
+			return fmt.Errorf("%w: %v", ErrPager, err)
 		}
-		w, err := newWindowState(cfg.Window, cfg.Octree.Depth, cfg.WindowTag)
+		dir := cfg.Durable.Dir
+		if dir == "" {
+			dir = cfg.Window.Dir
+		}
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, wrap(err)
+		}
+		tag := cfg.Tag
+		if tag == "" {
+			tag = "map"
+		}
+		var store *durable.Store
+		var err error
+		if cfg.Durable.Enabled() && cfg.DurableRecover {
+			store, recovered, err = durable.Recover(dir, tag, cfg.Durable.Sync)
+		} else {
+			store, err = durable.Create(dir, tag, cfg.Durable.Sync)
+		}
 		if err != nil {
-			return nil, err
+			return nil, wrap(err)
 		}
-		e.evictor, e.win = ev, w
+		if cfg.Window.Enabled() {
+			ev, ok := e.store.(Evictor)
+			if !ok {
+				store.Close()
+				return nil, fmt.Errorf("core: backend %v cannot back a windowed map (no tile eviction)", cfg.Backend)
+			}
+			e.evictor, e.win = ev, newWindowState(cfg.Window, cfg.Octree.Depth, store)
+		}
+		if cfg.Durable.Enabled() {
+			e.dur = &durableState{pol: cfg.Durable, store: store}
+		}
 	}
 	if !direct {
 		e.cache = cache.New(cfg.cacheConfig())
@@ -142,6 +182,12 @@ func newEngine(cfg Config, baseName string, direct, async bool) (*engine, error)
 		e.app = newAsyncApplier(e)
 	} else {
 		e.app = &inlineApplier{e: e}
+	}
+	if recovered != nil {
+		if err := e.recoverFrom(recovered); err != nil {
+			e.app.stop()
+			return nil, err
+		}
 	}
 	return e, nil
 }
@@ -254,6 +300,11 @@ func (e *engine) Insert(origin geom.Vec3, points []geom.Vec3) error {
 			return err
 		}
 	}
+	if e.dur != nil {
+		if err := e.dur.loadErr(); err != nil {
+			return err
+		}
+	}
 	start := time.Now()
 
 	e.evictAndHandOff()
@@ -267,6 +318,14 @@ func (e *engine) Insert(origin geom.Vec3, points []geom.Vec3) error {
 			return err
 		}
 	}
+	if e.dur != nil && len(batch) > 0 {
+		// Write-ahead: the batch is logged before it can reach the cache
+		// or store, so the on-disk history never lags applied state. A
+		// failed append rejects the batch (sticky error).
+		if err := e.dur.appendWAL(batch); err != nil {
+			return err
+		}
+	}
 	e.admit(batch)
 
 	e.maybeCompact()
@@ -275,6 +334,7 @@ func (e *engine) Insert(origin geom.Vec3, points []geom.Vec3) error {
 			return err
 		}
 	}
+	e.maybeCheckpoint()
 
 	e.timings.Batches++
 	e.timings.VoxelsTraced += int64(len(batch))
@@ -301,11 +361,22 @@ func (e *engine) ApplyTraced(batch []raytrace.Voxel) error {
 			return err
 		}
 	}
+	if e.dur != nil {
+		if err := e.dur.loadErr(); err != nil {
+			return err
+		}
+		if len(batch) > 0 {
+			if err := e.dur.appendWAL(batch); err != nil {
+				return err
+			}
+		}
+	}
 	e.admit(batch)
 	// The policy check and any compaction must precede the tail
 	// hand-off: admit's gap handshake left the applier idle, so until
 	// the next hand-off the mutator owns the tree outright.
 	e.maybeCompact()
+	e.maybeCheckpoint()
 	e.evictAndHandOff()
 	e.timings.VoxelsTraced += int64(len(batch))
 	return nil
@@ -413,6 +484,19 @@ func (e *engine) Close() error {
 		}
 	}
 	e.app.stop()
+	if d := e.dur; d != nil {
+		// Final synchronous checkpoint: a cleanly closed map recovers from
+		// its snapshot with zero batches to replay. Skipped when nothing
+		// was admitted past the last cut or the store already failed; the
+		// store itself stays open so the closed map remains queryable
+		// (spilled tiles keep paging in).
+		d.snapWG.Wait()
+		if d.loadErr() == nil && d.seq.Load() > d.store.Stats().SnapshotSeq {
+			if err := d.store.WriteSnapshot(d.seq.Load(), e.Snapshot()); err != nil {
+				d.setErr(err)
+			}
+		}
+	}
 	return nil
 }
 
@@ -660,11 +744,6 @@ func (e *engine) ResetNodeVisits() {
 
 // MemoryBytes estimates the store's heap footprint.
 func (e *engine) MemoryBytes() int64 { return e.store.MemoryBytes() }
-
-// Tree returns a backend-neutral snapshot of the store.
-//
-// Deprecated: use Snapshot.
-func (e *engine) Tree() *Snapshot { return e.Snapshot() }
 
 func (e *engine) CacheLen() int {
 	if e.cache == nil {

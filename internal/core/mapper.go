@@ -54,9 +54,9 @@ type Mapper interface {
 
 	// Snapshot captures the store's current contents as a canonical,
 	// backend-neutral snapshot — for serialization, merging, and
-	// read-only consumers. Like Tree() before it, the snapshot excludes
-	// cells still parked in the cache; Close (or flush) first for a
-	// complete map. Treat it as a mutator call on parallel pipelines.
+	// read-only consumers. The snapshot excludes cells still parked in
+	// the cache; Close (or flush) first for a complete map. Treat it as
+	// a mutator call on parallel pipelines.
 	Snapshot() *Snapshot
 
 	// WriteTo serializes the store in the .bt format, draining any
@@ -64,13 +64,6 @@ type Mapper interface {
 	// content-equal maps. Treat it as a mutator call on parallel
 	// pipelines.
 	WriteTo(w io.Writer) (int64, error)
-
-	// Tree returns a backend-neutral snapshot of the store.
-	//
-	// Deprecated: Tree exposed the raw octree in earlier releases; it
-	// now returns the same canonical *Snapshot as Snapshot and will be
-	// removed next release. Use Snapshot.
-	Tree() *Snapshot
 
 	// ArenaStats snapshots the store's arena occupancy (resident-brick
 	// counts for the grid backend), draining any background applier
@@ -227,9 +220,12 @@ func New(kind Kind, cfg Config) (Mapper, error) {
 		return newParallel(cfg)
 	case KindVoxelCache, KindNaive:
 		// The Table 1 baselines exist for bottleneck comparison only and
-		// do not implement windowed paging.
+		// implement neither windowed paging nor durability.
 		if cfg.Window.Enabled() {
 			return nil, fmt.Errorf("core: pipeline %v does not support a bounded-memory window", kind)
+		}
+		if cfg.Durable.Enabled() {
+			return nil, fmt.Errorf("core: pipeline %v does not support durability", kind)
 		}
 		if kind == KindVoxelCache {
 			return newVoxelCache(cfg)

@@ -43,7 +43,7 @@ func TestParallelBatchLargerThanQueue(t *testing.T) {
 		ref.Insert(origin, synthScan(rng, origin, 200))
 	}
 	ref.Close()
-	if !m.Tree().Equal(ref.Tree()) {
+	if !m.Snapshot().Equal(ref.Snapshot()) {
 		t.Fatal("parallel pipeline with tiny queue diverged from serial")
 	}
 }

@@ -3,15 +3,13 @@ package core
 import (
 	"errors"
 	"fmt"
-	"os"
-	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"octocache/internal/cache"
+	"octocache/internal/durable"
 	"octocache/internal/geom"
-	"octocache/internal/pager"
 	"octocache/internal/raytrace"
 	"octocache/internal/voxel"
 )
@@ -44,8 +42,9 @@ type Window struct {
 	// least one grid brick (8³ voxels); 0 selects depth−6 (64 voxels per
 	// axis), clamped into range.
 	TileDepth int
-	// Dir is the directory holding the map's tile file. Required when
-	// windowing is enabled; created if absent.
+	// Dir is the directory holding the map's spill log. Required when
+	// windowing is enabled unless a Durable policy supplies the directory
+	// (spill frames and the WAL share one log); created if absent.
 	Dir string
 	// MaxResidentTiles additionally caps resident tiles regardless of
 	// window membership: when exceeded, least-recently-touched in-window
@@ -174,8 +173,8 @@ type Evictor interface {
 type windowState struct {
 	pol   Window
 	depth int
-	pages *pager.Store
-	lru   *pager.LRU
+	pages *durable.Store
+	lru   *durable.LRU
 	// spilled is the authoritative set of on-disk tiles; spilledN mirrors
 	// its size atomically so hot paths can skip all window work with one
 	// load when nothing is spilled.
@@ -199,27 +198,18 @@ type windowState struct {
 	victims []voxel.Key
 }
 
-// newWindowState opens the tile file for one windowed engine. tag names
-// the file within pol.Dir so sharded maps keep one file per shard.
-func newWindowState(pol Window, depth int, tag string) (*windowState, error) {
-	pol = pol.withDefaults(depth)
-	if err := os.MkdirAll(pol.Dir, 0o755); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrPager, err)
-	}
-	if tag == "" {
-		tag = "map"
-	}
-	pages, err := pager.Create(filepath.Join(pol.Dir, tag+".tiles"))
-	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrPager, err)
-	}
+// newWindowState attaches windowing to the engine's durable store — the
+// engine opens one store per pipeline (tagged within the directory so
+// sharded maps keep one log per shard) and the window spills tile frames
+// into it, alongside any WAL frames a Durable policy appends.
+func newWindowState(pol Window, depth int, store *durable.Store) *windowState {
 	return &windowState{
-		pol:     pol,
+		pol:     pol.withDefaults(depth),
 		depth:   depth,
-		pages:   pages,
-		lru:     pager.NewLRU(),
+		pages:   store,
+		lru:     durable.NewLRU(),
 		spilled: make(map[voxel.Key]struct{}),
-	}, nil
+	}
 }
 
 // setErr records the first pager failure; later ones are dropped.

@@ -277,7 +277,7 @@ func TestWindowPagerErrorSticky(t *testing.T) {
 
 	// Chop the tile file down to its magic: every frame becomes
 	// unreadable, so the next page-in must fail.
-	if err := os.Truncate(filepath.Join(cfg.Window.Dir, "map.tiles"), 8); err != nil {
+	if err := os.Truncate(filepath.Join(cfg.Window.Dir, "map.log"), 8); err != nil {
 		t.Fatal(err)
 	}
 	for _, p := range firstScan {

@@ -1,0 +1,702 @@
+// Package durable implements the on-disk store behind octocache's
+// persistence: one append-only, CRC-framed log per map (per shard, when
+// sharded) plus one atomically replaced snapshot file. The log carries
+// two record kinds that share a framing discipline but serve different
+// masters:
+//
+//   - Tile frames hold spilled tiles of a bounded-memory window as
+//     canonical leaf runs — the same (key, depth, log-odds) exchange unit
+//     backend walks and .bt serialization speak. Re-spilling a tile
+//     appends a fresh frame that supersedes the old one; a tile paging
+//     back in releases its frame. These frames exist for the *resident*
+//     map: crash recovery never needs them, because the snapshot folds
+//     spilled tiles in.
+//   - Batch frames are the write-ahead log: one frame per admitted
+//     observation batch, sequenced by the engine's announced batch
+//     counter and appended before the batch is applied. Recovery replays
+//     the surviving prefix of batch frames over the last snapshot.
+//
+// The snapshot file is a consistent cut: the map's full serialized
+// contents tagged with the sequence number of the last batch it covers.
+// It is written to a temp file, fsynced, renamed over the old snapshot,
+// and the directory fsynced — so at every instant exactly one valid
+// snapshot exists. Committing a snapshot retires every batch frame it
+// covers; the next log rewrite drops them.
+//
+// When garbage (superseded tile frames, retired batch frames, dead
+// tiles) outgrows the live payload the log is rewritten: live frames are
+// copied to a temp file that is fsynced and atomically renamed over the
+// log, then the directory is fsynced — so a power cut during or after a
+// rewrite still leaves a complete log.
+//
+// Recover scans an existing log frame-by-frame and truncates at the
+// first corrupt or short frame, so a log cut mid-append (crash, torn
+// write, full disk) degrades to the longest valid prefix instead of an
+// error — the property the crash-injection matrix gates.
+//
+// All methods are safe for concurrent use; the engine serializes
+// mutators anyway, but snapshot walks read tile frames, and the
+// background checkpoint writer commits, concurrently with appends.
+package durable
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"octocache/internal/voxel"
+)
+
+const (
+	// fileMagic begins every log.
+	fileMagic = "OCDL0001"
+	// tileMagic begins every tile frame.
+	tileMagic uint32 = 0x4F435446 // "FTCO" little-endian
+	// batchMagic begins every WAL batch frame.
+	batchMagic uint32 = 0x4F435442 // "BTCO" little-endian
+	// frameHdrBytes is the fixed frame header shared by both kinds:
+	// magic, 12 kind-specific bytes, CRC.
+	frameHdrBytes = 20
+	// leafBytes is one serialized leaf: 3×uint16 key, uint8 depth,
+	// float32 log-odds.
+	leafBytes = 11
+	// obsBytes is one serialized WAL observation: 3×uint16 key plus an
+	// occupied byte.
+	obsBytes = 7
+	// maxFrameRecords bounds a frame's record count: anything beyond is a
+	// corrupt header, not a huge frame.
+	maxFrameRecords = 1 << 30
+)
+
+// SyncPolicy selects when WAL appends reach stable storage.
+type SyncPolicy int
+
+const (
+	// SyncNone leaves append durability to the OS page cache: a crash of
+	// the process loses nothing (the kernel holds the writes), a power
+	// loss may lose the most recent batches. Snapshot and rewrite commits
+	// still fsync before their renames. The default.
+	SyncNone SyncPolicy = iota
+	// SyncEveryBatch fsyncs the log after every appended batch, bounding
+	// power-loss data loss to the batch in flight at the cost of one
+	// device flush per scan.
+	SyncEveryBatch
+)
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncNone:
+		return "none"
+	case SyncEveryBatch:
+		return "batch"
+	default:
+		return fmt.Sprintf("SyncPolicy(%d)", int(p))
+	}
+}
+
+// TileRef identifies one spilled tile in the log.
+type TileRef struct {
+	Key   voxel.Key
+	Depth int
+}
+
+// frameRef locates a live tile frame in the log.
+type frameRef struct {
+	off   int64
+	count uint32
+}
+
+// batchRef locates a surviving WAL frame in the log.
+type batchRef struct {
+	off   int64
+	count uint32
+	seq   uint64
+}
+
+func tileFrameSize(count uint32) int64  { return frameHdrBytes + int64(count)*leafBytes }
+func batchFrameSize(count uint32) int64 { return frameHdrBytes + int64(count)*obsBytes }
+
+// Stats summarizes a durable store.
+type Stats struct {
+	// SpilledTiles is the number of tiles with a live frame.
+	SpilledTiles int
+	// BytesOnDisk is the log's current file size.
+	BytesOnDisk int64
+	// LiveBytes is the portion of BytesOnDisk occupied by live tile
+	// frames; superseded frames and retired batch frames are garbage
+	// awaiting a rewrite.
+	LiveBytes int64
+	// WALBytes is the portion of BytesOnDisk occupied by batch frames
+	// not yet covered by a snapshot — the bytes recovery would replay.
+	WALBytes int64
+	// WALBatches counts batch frames appended over the store's lifetime.
+	WALBatches int64
+	// MaxSeq is the highest batch sequence number the log holds (or held
+	// before a snapshot retired it).
+	MaxSeq uint64
+	// SnapshotSeq is the sequence number the last committed snapshot
+	// covers; 0 before the first snapshot.
+	SnapshotSeq uint64
+	// Spills, Rewrites, and Snapshots count appended tile frames, log
+	// compactions, and committed snapshots.
+	Spills, Rewrites, Snapshots int64
+}
+
+// Store is one map's durable state: the framed log plus the snapshot
+// file. Construct with Create (fresh store, truncating any previous
+// files) or Recover (scan existing state).
+type Store struct {
+	mu       sync.Mutex
+	dir      string
+	path     string // log file
+	snapPath string
+	f        *os.File
+	sync     SyncPolicy
+	index    map[TileRef]frameRef
+	wal      []batchRef // surviving batch frames, ascending seq
+	size     int64      // append offset == file size
+	live     int64      // bytes held by live tile frames
+	walLive  int64      // bytes held by surviving batch frames
+	maxSeq   uint64
+	snapSeq  uint64
+	stats    Stats
+	buf      []byte // mutator-side frame scratch (guarded by mu)
+}
+
+func logPath(dir, tag string) string  { return filepath.Join(dir, tag+".log") }
+func snapPath(dir, tag string) string { return filepath.Join(dir, tag+".snap") }
+
+// LogName returns the log filename a store with this tag uses, for
+// callers that inspect a durable directory (Recover's layout check).
+func LogName(tag string) string { return tag + ".log" }
+
+// Create starts a fresh store for tag under dir, truncating any existing
+// log and removing any existing snapshot.
+func Create(dir, tag string, sync SyncPolicy) (*Store, error) {
+	path := logPath(dir, tag)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.Write([]byte(fileMagic)); err != nil {
+		f.Close()
+		return nil, err
+	}
+	sp := snapPath(dir, tag)
+	if err := os.Remove(sp); err != nil && !os.IsNotExist(err) {
+		f.Close()
+		return nil, err
+	}
+	return &Store{
+		dir:      dir,
+		path:     path,
+		snapPath: sp,
+		f:        f,
+		sync:     sync,
+		index:    make(map[TileRef]frameRef),
+		size:     int64(len(fileMagic)),
+	}, nil
+}
+
+// Recovered describes what Recover found: the last committed snapshot
+// (if any) and the surviving batch frames past it, in replay order.
+type Recovered struct {
+	// HasSnapshot reports whether a valid snapshot file was found.
+	HasSnapshot bool
+	// SnapshotSeq is the batch sequence the snapshot covers.
+	SnapshotSeq uint64
+	// Snapshot is the snapshot payload (the bytes WriteSnapshot's
+	// WriterTo emitted), CRC-verified. Nil without a snapshot.
+	Snapshot []byte
+	// Batches counts the surviving batch frames to replay.
+	Batches int
+	// MaxSeq is the recovered-through sequence: the snapshot's cut plus
+	// every surviving contiguous batch after it.
+	MaxSeq uint64
+}
+
+// Recover opens an existing store for tag under dir, reading the
+// snapshot file and scanning the log. The last tile frame per tile wins,
+// batch frames are kept in order, and the scan stops at the first
+// corrupt or truncated frame, discarding the tail — the longest valid
+// prefix survives a mid-append crash. A missing log starts a fresh
+// store. Recovered tile frames are dropped from the live index (the
+// snapshot already folds spilled tiles in; a recovered map starts fully
+// resident), so their bytes are garbage until the next rewrite.
+//
+// Replay of batch frames is contiguous: frames whose sequence does not
+// extend snapshot+1, +2, … (possible only after log corruption inside
+// the valid prefix) end the replayable range.
+func Recover(dir, tag string, sync SyncPolicy) (*Store, *Recovered, error) {
+	path := logPath(dir, tag)
+	// Clean up temp files a crashed rewrite or snapshot left behind.
+	os.Remove(path + ".rewrite")
+	sp := snapPath(dir, tag)
+	os.Remove(sp + ".tmp")
+
+	rec := &Recovered{}
+	snapSeq, payload, err := readSnapshotFile(sp)
+	if err != nil {
+		return nil, nil, err
+	}
+	if payload != nil {
+		rec.HasSnapshot = true
+		rec.SnapshotSeq = snapSeq
+		rec.Snapshot = payload
+	}
+
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if os.IsNotExist(err) {
+		s, cerr := Create(dir, tag, sync)
+		if cerr != nil {
+			return nil, nil, cerr
+		}
+		if rec.HasSnapshot {
+			// Create removed the snapshot; a snapshot without a log means
+			// the log was lost, which loses only batches past the cut —
+			// rewrite the snapshot so the cut itself survives.
+			if werr := s.restoreSnapshot(snapSeq, payload); werr != nil {
+				s.Close()
+				return nil, nil, werr
+			}
+			s.maxSeq = snapSeq
+			rec.MaxSeq = snapSeq
+		}
+		return s, rec, nil
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	hdr := make([]byte, len(fileMagic))
+	if _, err := f.ReadAt(hdr, 0); err != nil || string(hdr) != fileMagic {
+		f.Close()
+		return nil, nil, fmt.Errorf("durable: %s is not an octocache log", path)
+	}
+	s := &Store{
+		dir:      dir,
+		path:     path,
+		snapPath: sp,
+		f:        f,
+		sync:     sync,
+		index:    make(map[TileRef]frameRef),
+		size:     int64(len(fileMagic)),
+		snapSeq:  snapSeq,
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	end := fi.Size()
+	var fh [frameHdrBytes]byte
+	for s.size+frameHdrBytes <= end {
+		if _, err := f.ReadAt(fh[:], s.size); err != nil {
+			break
+		}
+		n, ok := s.scanFrame(fh, s.size, end)
+		if !ok {
+			break
+		}
+		s.size += n
+	}
+	// Drop the invalid tail so future appends extend a clean prefix.
+	if s.size < end {
+		if err := f.Truncate(s.size); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+	}
+	// Recovered tile frames serve no one: the snapshot folds spilled
+	// tiles in and replayed batches re-spill as needed. Retire them.
+	s.index = make(map[TileRef]frameRef)
+	s.live = 0
+	// Keep only the contiguous batch run extending the snapshot.
+	replayable := s.wal[:0]
+	next := snapSeq + 1
+	for _, b := range s.wal {
+		if b.seq <= snapSeq {
+			s.walLive -= batchFrameSize(b.count)
+			continue
+		}
+		if b.seq != next {
+			s.walLive -= batchFrameSize(b.count)
+			continue
+		}
+		replayable = append(replayable, b)
+		next++
+	}
+	s.wal = replayable
+	rec.Batches = len(s.wal)
+	rec.MaxSeq = snapSeq
+	if n := len(s.wal); n > 0 {
+		rec.MaxSeq = s.wal[n-1].seq
+	}
+	s.maxSeq = rec.MaxSeq
+	return s, rec, nil
+}
+
+// scanFrame validates one frame at off during recovery, indexing it by
+// kind. It returns the frame's total size; ok is false for a corrupt or
+// truncated frame.
+func (s *Store) scanFrame(fh [frameHdrBytes]byte, off, end int64) (int64, bool) {
+	switch binary.LittleEndian.Uint32(fh[0:4]) {
+	case tileMagic:
+		count := binary.LittleEndian.Uint32(fh[12:16])
+		if count > maxFrameRecords || off+tileFrameSize(count) > end {
+			return 0, false
+		}
+		if !s.checkCRC(fh, off, int(count)*leafBytes) {
+			return 0, false
+		}
+		tile := TileRef{
+			Key: voxel.Key{
+				X: binary.LittleEndian.Uint16(fh[4:6]),
+				Y: binary.LittleEndian.Uint16(fh[6:8]),
+				Z: binary.LittleEndian.Uint16(fh[8:10]),
+			},
+			Depth: int(fh[10]),
+		}
+		if old, dup := s.index[tile]; dup {
+			s.live -= tileFrameSize(old.count)
+		}
+		s.index[tile] = frameRef{off: off, count: count}
+		s.live += tileFrameSize(count)
+		return tileFrameSize(count), true
+	case batchMagic:
+		seq := binary.LittleEndian.Uint64(fh[4:12])
+		count := binary.LittleEndian.Uint32(fh[12:16])
+		if count > maxFrameRecords || off+batchFrameSize(count) > end {
+			return 0, false
+		}
+		if !s.checkCRC(fh, off, int(count)*obsBytes) {
+			return 0, false
+		}
+		s.wal = append(s.wal, batchRef{off: off, count: count, seq: seq})
+		s.walLive += batchFrameSize(count)
+		if seq > s.maxSeq {
+			s.maxSeq = seq
+		}
+		return batchFrameSize(count), true
+	default:
+		return 0, false
+	}
+}
+
+// checkCRC re-reads a frame's payload and verifies the header CRC.
+func (s *Store) checkCRC(fh [frameHdrBytes]byte, off int64, payloadLen int) bool {
+	payload := make([]byte, payloadLen)
+	if _, err := s.f.ReadAt(payload, off+frameHdrBytes); err != nil {
+		return false
+	}
+	crc := crc32.ChecksumIEEE(fh[0:16])
+	crc = crc32.Update(crc, crc32.IEEETable, payload)
+	return crc == binary.LittleEndian.Uint32(fh[16:20])
+}
+
+// appendFrame writes s.buf[:need] at the log tail, truncating any
+// partial write so the log stays a valid prefix.
+func (s *Store) appendFrame(need int) error {
+	if _, err := s.f.WriteAt(s.buf[:need], s.size); err != nil {
+		s.f.Truncate(s.size)
+		return err
+	}
+	return nil
+}
+
+// Spill appends one tile's leaf run as a new frame, superseding any live
+// frame for the tile. The leaves must all lie inside the tile; the
+// engine's evictor guarantees it.
+func (s *Store) Spill(tile voxel.Key, depth int, leaves []voxel.Leaf) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return fmt.Errorf("durable: store is closed")
+	}
+	need := int(tileFrameSize(uint32(len(leaves))))
+	if cap(s.buf) < need {
+		s.buf = make([]byte, need)
+	}
+	buf := s.buf[:need]
+	binary.LittleEndian.PutUint32(buf[0:4], tileMagic)
+	binary.LittleEndian.PutUint16(buf[4:6], tile.X)
+	binary.LittleEndian.PutUint16(buf[6:8], tile.Y)
+	binary.LittleEndian.PutUint16(buf[8:10], tile.Z)
+	buf[10] = uint8(depth)
+	buf[11] = 0
+	binary.LittleEndian.PutUint32(buf[12:16], uint32(len(leaves)))
+	p := buf[frameHdrBytes:]
+	for i, l := range leaves {
+		r := p[i*leafBytes:]
+		binary.LittleEndian.PutUint16(r[0:2], l.Key.X)
+		binary.LittleEndian.PutUint16(r[2:4], l.Key.Y)
+		binary.LittleEndian.PutUint16(r[4:6], l.Key.Z)
+		r[6] = uint8(l.Depth)
+		binary.LittleEndian.PutUint32(r[7:11], math.Float32bits(l.LogOdds))
+	}
+	s.sealFrame(buf)
+	if err := s.appendFrame(need); err != nil {
+		return err
+	}
+	ref := frameRef{off: s.size, count: uint32(len(leaves))}
+	s.size += int64(need)
+	id := TileRef{Key: tile, Depth: depth}
+	if old, dup := s.index[id]; dup {
+		s.live -= tileFrameSize(old.count)
+	}
+	s.index[id] = ref
+	s.live += int64(need)
+	s.stats.Spills++
+	return s.maybeRewriteLocked()
+}
+
+// sealFrame writes the CRC over header+payload into the header.
+func (s *Store) sealFrame(buf []byte) {
+	crc := crc32.ChecksumIEEE(buf[0:16])
+	crc = crc32.Update(crc, crc32.IEEETable, buf[frameHdrBytes:])
+	binary.LittleEndian.PutUint32(buf[16:20], crc)
+}
+
+// Load reads the tile's live frame, appending its leaves to dst. The
+// frame's CRC is re-verified on every read.
+func (s *Store) Load(tile voxel.Key, depth int, dst []voxel.Leaf) ([]voxel.Leaf, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.loadLocked(TileRef{Key: tile, Depth: depth}, dst)
+}
+
+func (s *Store) loadLocked(id TileRef, dst []voxel.Leaf) ([]voxel.Leaf, error) {
+	if s.f == nil {
+		return dst, fmt.Errorf("durable: store is closed")
+	}
+	ref, ok := s.index[id]
+	if !ok {
+		return dst, fmt.Errorf("durable: tile %v depth %d is not spilled", id.Key, id.Depth)
+	}
+	need := int(tileFrameSize(ref.count))
+	buf := make([]byte, need)
+	if _, err := s.f.ReadAt(buf, ref.off); err != nil {
+		return dst, fmt.Errorf("durable: reading tile %v: %w", id.Key, err)
+	}
+	crc := crc32.ChecksumIEEE(buf[0:16])
+	crc = crc32.Update(crc, crc32.IEEETable, buf[frameHdrBytes:])
+	if crc != binary.LittleEndian.Uint32(buf[16:20]) {
+		return dst, fmt.Errorf("durable: tile %v frame failed CRC check", id.Key)
+	}
+	p := buf[frameHdrBytes:]
+	for i := 0; i < int(ref.count); i++ {
+		r := p[i*leafBytes:]
+		dst = append(dst, voxel.Leaf{
+			Key: voxel.Key{
+				X: binary.LittleEndian.Uint16(r[0:2]),
+				Y: binary.LittleEndian.Uint16(r[2:4]),
+				Z: binary.LittleEndian.Uint16(r[4:6]),
+			},
+			Depth:   int(r[6]),
+			LogOdds: math.Float32frombits(binary.LittleEndian.Uint32(r[7:11])),
+		})
+	}
+	return dst, nil
+}
+
+// Release drops the tile's live frame from the index — the tile is
+// resident again and its bytes are garbage until the next rewrite.
+func (s *Store) Release(tile voxel.Key, depth int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := TileRef{Key: tile, Depth: depth}
+	if ref, ok := s.index[id]; ok {
+		delete(s.index, id)
+		s.live -= tileFrameSize(ref.count)
+	}
+}
+
+// Tiles returns the spilled tiles in ascending Morton order of their
+// corner keys — the deterministic order snapshot walks fold them in.
+func (s *Store) Tiles() []TileRef {
+	s.mu.Lock()
+	out := make([]TileRef, 0, len(s.index))
+	for id := range s.index {
+		out = append(out, id)
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Depth != out[j].Depth {
+			return out[i].Depth < out[j].Depth
+		}
+		return out[i].Key.Morton() < out[j].Key.Morton()
+	})
+	return out
+}
+
+// Len returns the number of spilled tiles.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.index)
+}
+
+// BytesOnDisk returns the log's current file size.
+func (s *Store) BytesOnDisk() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.size
+}
+
+// Stats snapshots the store's accounting.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.SpilledTiles = len(s.index)
+	st.BytesOnDisk = s.size
+	st.LiveBytes = s.live
+	st.WALBytes = s.walLive
+	st.MaxSeq = s.maxSeq
+	st.SnapshotSeq = s.snapSeq
+	return st
+}
+
+// rewriteFloor is the minimum garbage (bytes) before an automatic
+// rewrite is considered; below it the copy costs more than it frees.
+const rewriteFloor = 64 << 10
+
+// maybeRewriteLocked compacts the log when garbage exceeds both the
+// floor and the live payload — amortizing rewrite cost the same way the
+// octree's arena compaction amortizes against live slots.
+func (s *Store) maybeRewriteLocked() error {
+	liveAll := s.live + s.walLive
+	garbage := s.size - int64(len(fileMagic)) - liveAll
+	if garbage < rewriteFloor || garbage <= liveAll {
+		return nil
+	}
+	return s.rewriteLocked()
+}
+
+// Rewrite compacts the log now: live tile frames and surviving batch
+// frames are copied into a temp file that atomically replaces the log,
+// dropping all garbage.
+func (s *Store) Rewrite() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return fmt.Errorf("durable: store is closed")
+	}
+	return s.rewriteLocked()
+}
+
+func (s *Store) rewriteLocked() error {
+	tmpPath := s.path + ".rewrite"
+	tmp, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	cleanup := func(e error) error {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return e
+	}
+	if _, err := tmp.Write([]byte(fileMagic)); err != nil {
+		return cleanup(err)
+	}
+	// Copy live frames in their on-disk order, recording new offsets.
+	// Batch frames and tile frames interleave; order within each kind is
+	// preserved (batch replay order is ascending seq == ascending off).
+	type liveFrame struct {
+		off  int64
+		size int64
+		tile *TileRef // nil for batch frames
+		wal  int      // index into s.wal, -1 for tile frames
+	}
+	frames := make([]liveFrame, 0, len(s.index)+len(s.wal))
+	ids := make([]TileRef, 0, len(s.index))
+	for id := range s.index {
+		ids = append(ids, id)
+	}
+	for i := range ids {
+		ref := s.index[ids[i]]
+		frames = append(frames, liveFrame{off: ref.off, size: tileFrameSize(ref.count), tile: &ids[i], wal: -1})
+	}
+	for i, b := range s.wal {
+		frames = append(frames, liveFrame{off: b.off, size: batchFrameSize(b.count), wal: i})
+	}
+	sort.Slice(frames, func(i, j int) bool { return frames[i].off < frames[j].off })
+
+	newIndex := make(map[TileRef]frameRef, len(ids))
+	newWAL := make([]batchRef, len(s.wal))
+	off := int64(len(fileMagic))
+	for _, fr := range frames {
+		if int64(cap(s.buf)) < fr.size {
+			s.buf = make([]byte, fr.size)
+		}
+		buf := s.buf[:fr.size]
+		if _, err := s.f.ReadAt(buf, fr.off); err != nil {
+			return cleanup(err)
+		}
+		if _, err := tmp.WriteAt(buf, off); err != nil {
+			return cleanup(err)
+		}
+		if fr.tile != nil {
+			newIndex[*fr.tile] = frameRef{off: off, count: s.index[*fr.tile].count}
+		} else {
+			b := s.wal[fr.wal]
+			b.off = off
+			newWAL[fr.wal] = b
+		}
+		off += fr.size
+	}
+	// fsync the rewritten data before the rename makes it the log, and
+	// the directory after — otherwise a power loss can leave the rename
+	// durable while the data it names is not, "recovering" an empty log.
+	if err := tmp.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := os.Rename(tmpPath, s.path); err != nil {
+		return cleanup(err)
+	}
+	if err := syncDir(s.dir); err != nil {
+		tmp.Close()
+		return err
+	}
+	s.f.Close()
+	s.f = tmp
+	s.index = newIndex
+	s.wal = newWAL
+	s.size = off
+	s.live = 0
+	for _, ref := range newIndex {
+		s.live += tileFrameSize(ref.count)
+	}
+	s.stats.Rewrites++
+	return nil
+}
+
+// syncDir fsyncs a directory so a completed rename is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Close closes the log file. Further operations fail; the files are left
+// on disk for Recover.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Close()
+	s.f = nil
+	return err
+}

@@ -1,0 +1,696 @@
+package durable
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+
+	"octocache/internal/raytrace"
+	"octocache/internal/voxel"
+)
+
+func tileLeaves(rng *rand.Rand, corner voxel.Key, n int) []voxel.Leaf {
+	out := make([]voxel.Leaf, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, voxel.Leaf{
+			Key: voxel.Key{
+				X: corner.X + uint16(rng.Intn(8)),
+				Y: corner.Y + uint16(rng.Intn(8)),
+				Z: corner.Z + uint16(rng.Intn(8)),
+			},
+			Depth:   16,
+			LogOdds: rng.Float32()*8 - 4,
+		})
+	}
+	return out
+}
+
+func obsBatch(rng *rand.Rand, n int) []raytrace.Voxel {
+	out := make([]raytrace.Voxel, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, raytrace.Voxel{
+			Key: voxel.Key{
+				X: uint16(rng.Intn(1 << 12)),
+				Y: uint16(rng.Intn(1 << 12)),
+				Z: uint16(rng.Intn(1 << 12)),
+			},
+			Occupied: rng.Intn(2) == 1,
+		})
+	}
+	return out
+}
+
+func mustCreate(t *testing.T, dir, tag string) *Store {
+	t.Helper()
+	s, err := Create(dir, tag, SyncNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSpillLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := mustCreate(t, dir, "m")
+	defer s.Close()
+
+	rng := rand.New(rand.NewSource(1))
+	want := map[TileRef][]voxel.Leaf{}
+	for i := 0; i < 20; i++ {
+		corner := voxel.Key{X: uint16(i * 8), Y: uint16(i * 16), Z: 64}
+		leaves := tileLeaves(rng, corner, 1+rng.Intn(40))
+		if err := s.Spill(corner, 13, leaves); err != nil {
+			t.Fatal(err)
+		}
+		want[TileRef{Key: corner, Depth: 13}] = leaves
+	}
+	if s.Len() != 20 {
+		t.Fatalf("Len = %d, want 20", s.Len())
+	}
+	for id, leaves := range want {
+		got, err := s.Load(id.Key, id.Depth, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, leaves) {
+			t.Fatalf("tile %v: loaded leaves differ", id.Key)
+		}
+	}
+	// Empty frames round-trip too (a tile can be all-unknown after
+	// aggressive pruning).
+	if err := s.Spill(voxel.Key{X: 4096}, 13, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Load(voxel.Key{X: 4096}, 13, nil)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty frame: got %v, %v", got, err)
+	}
+	// Loading into a reused buffer appends.
+	buf := make([]voxel.Leaf, 2, 64)
+	first := want[TileRef{Key: voxel.Key{X: 0, Y: 0, Z: 64}, Depth: 13}]
+	got, err = s.Load(voxel.Key{Z: 64}, 13, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2+len(first) || !reflect.DeepEqual(got[2:], first) {
+		t.Fatal("Load did not append to dst")
+	}
+}
+
+func TestReleaseAndResupersede(t *testing.T) {
+	dir := t.TempDir()
+	s := mustCreate(t, dir, "m")
+	defer s.Close()
+	corner := voxel.Key{X: 8, Y: 8, Z: 8}
+	rng := rand.New(rand.NewSource(2))
+	v1 := tileLeaves(rng, corner, 10)
+	v2 := tileLeaves(rng, corner, 7)
+	if err := s.Spill(corner, 13, v1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Spill(corner, 13, v2); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("re-spill did not supersede: Len = %d", s.Len())
+	}
+	got, err := s.Load(corner, 13, nil)
+	if err != nil || !reflect.DeepEqual(got, v2) {
+		t.Fatalf("got old frame after re-spill: %v, %v", got, err)
+	}
+	s.Release(corner, 13)
+	if s.Len() != 0 {
+		t.Fatal("Release did not drop the tile")
+	}
+	if _, err := s.Load(corner, 13, nil); err == nil {
+		t.Fatal("Load of released tile succeeded")
+	}
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := mustCreate(t, dir, "m")
+	rng := rand.New(rand.NewSource(3))
+	var want [][]raytrace.Voxel
+	for seq := uint64(1); seq <= 10; seq++ {
+		b := obsBatch(rng, 1+rng.Intn(50))
+		if err := s.AppendBatch(seq, b); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, b)
+	}
+	st := s.Stats()
+	if st.WALBatches != 10 || st.MaxSeq != 10 || st.WALBytes <= 0 {
+		t.Fatalf("stats after appends: %+v", st)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, rec, err := Recover(dir, "m", SyncNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if rec.HasSnapshot || rec.Batches != 10 || rec.MaxSeq != 10 {
+		t.Fatalf("recovered: %+v", rec)
+	}
+	var next uint64 = 1
+	if err := r.ReplayBatches(func(seq uint64, batch []raytrace.Voxel) error {
+		if seq != next {
+			t.Fatalf("replay seq %d, want %d", seq, next)
+		}
+		if !reflect.DeepEqual(batch, want[seq-1]) {
+			t.Fatalf("batch %d corrupted in replay", seq)
+		}
+		next++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if next != 11 {
+		t.Fatalf("replayed %d batches, want 10", next-1)
+	}
+}
+
+// TestRecoverDropsTileFrames: recovered logs retire their tile frames —
+// a recovered map starts fully resident (the snapshot folds spilled
+// tiles in), so surviving tile frames are garbage, while batch frames
+// replay.
+func TestRecoverDropsTileFrames(t *testing.T) {
+	dir := t.TempDir()
+	s := mustCreate(t, dir, "m")
+	rng := rand.New(rand.NewSource(4))
+	if err := s.Spill(voxel.Key{}, 13, tileLeaves(rng, voxel.Key{}, 12)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendBatch(1, obsBatch(rng, 20)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Spill(voxel.Key{X: 8}, 13, tileLeaves(rng, voxel.Key{X: 8}, 9)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendBatch(2, obsBatch(rng, 20)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	r, rec, err := Recover(dir, "m", SyncNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Len() != 0 {
+		t.Fatalf("recovered store holds %d tiles, want 0", r.Len())
+	}
+	if rec.Batches != 2 || rec.MaxSeq != 2 {
+		t.Fatalf("recovered: %+v", rec)
+	}
+	st := r.Stats()
+	if st.LiveBytes != 0 || st.WALBytes <= 0 {
+		t.Fatalf("stats after recover: %+v", st)
+	}
+	// The retired tile bytes are garbage; an explicit rewrite drops them
+	// but keeps the batch frames replayable.
+	if err := r.Rewrite(); err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	if err := r.ReplayBatches(func(uint64, []raytrace.Voxel) error { count++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if count != 2 {
+		t.Fatalf("replayed %d batches after rewrite, want 2", count)
+	}
+}
+
+// TestRecoverTruncatedTail cuts the log at every byte offset inside the
+// final WAL frame: recovery must keep exactly the preceding batches and
+// drop the torn tail — the crash-mid-append contract.
+func TestRecoverTruncatedTail(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.log")
+	s := mustCreate(t, dir, "m")
+	rng := rand.New(rand.NewSource(5))
+	a := obsBatch(rng, 12)
+	b := obsBatch(rng, 9)
+	if err := s.AppendBatch(1, a); err != nil {
+		t.Fatal(err)
+	}
+	preLen := s.BytesOnDisk()
+	if err := s.AppendBatch(2, b); err != nil {
+		t.Fatal(err)
+	}
+	full := s.BytesOnDisk()
+	s.Close()
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for cut := preLen; cut < full; cut++ {
+		if err := os.WriteFile(path, blob[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		r, rec, err := Recover(dir, "m", SyncNone)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if rec.Batches != 1 || rec.MaxSeq != 1 {
+			t.Fatalf("cut %d: recovered %+v, want 1 batch", cut, rec)
+		}
+		if err := r.ReplayBatches(func(seq uint64, batch []raytrace.Voxel) error {
+			if seq != 1 || !reflect.DeepEqual(batch, a) {
+				t.Fatalf("cut %d: surviving batch corrupted", cut)
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		// The torn tail is gone: appending extends a clean prefix.
+		if err := r.AppendBatch(2, b); err != nil {
+			t.Fatalf("cut %d: append after recover: %v", cut, err)
+		}
+		r.Close()
+	}
+}
+
+// TestRecoverCorruptFrame flips a payload byte: the CRC must reject the
+// frame and recovery stops at the last good prefix.
+func TestRecoverCorruptFrame(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.log")
+	s := mustCreate(t, dir, "m")
+	rng := rand.New(rand.NewSource(6))
+	a := obsBatch(rng, 6)
+	if err := s.AppendBatch(1, a); err != nil {
+		t.Fatal(err)
+	}
+	preLen := s.BytesOnDisk()
+	if err := s.AppendBatch(2, obsBatch(rng, 6)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob[preLen+frameHdrBytes+3] ^= 0xFF
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, rec, err := Recover(dir, "m", SyncNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if rec.Batches != 1 || rec.MaxSeq != 1 {
+		t.Fatalf("recovered %+v past a corrupt frame, want 1 batch", rec)
+	}
+}
+
+// TestRecoverSeqGap: batch frames that do not extend the snapshot's cut
+// contiguously (possible only after corruption inside the valid prefix)
+// end the replayable range rather than replaying out of order.
+func TestRecoverSeqGap(t *testing.T) {
+	dir := t.TempDir()
+	s := mustCreate(t, dir, "m")
+	rng := rand.New(rand.NewSource(7))
+	for _, seq := range []uint64{1, 2, 4} {
+		if err := s.AppendBatch(seq, obsBatch(rng, 5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	_, rec, err := Recover(dir, "m", SyncNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Batches != 2 || rec.MaxSeq != 2 {
+		t.Fatalf("recovered %+v across a seq gap, want batches 1-2 only", rec)
+	}
+}
+
+func TestSnapshotCommitAndRecover(t *testing.T) {
+	dir := t.TempDir()
+	s := mustCreate(t, dir, "m")
+	rng := rand.New(rand.NewSource(8))
+	batches := make([][]raytrace.Voxel, 6)
+	for seq := uint64(1); seq <= 5; seq++ {
+		batches[seq] = obsBatch(rng, 10)
+		if err := s.AppendBatch(seq, batches[seq]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	payload := []byte("canonical .bt bytes stand-in")
+	if err := s.WriteSnapshot(3, bytes.NewReader(payload)); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.SnapshotSeq != 3 || st.Snapshots != 1 {
+		t.Fatalf("stats after snapshot: %+v", st)
+	}
+	// Batches 1-3 are retired: only 4 and 5 replay.
+	var seqs []uint64
+	if err := s.ReplayBatches(func(seq uint64, _ []raytrace.Voxel) error {
+		seqs = append(seqs, seq)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seqs, []uint64{4, 5}) {
+		t.Fatalf("post-snapshot replay seqs = %v, want [4 5]", seqs)
+	}
+	s.Close()
+
+	r, rec, err := Recover(dir, "m", SyncNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if !rec.HasSnapshot || rec.SnapshotSeq != 3 || !bytes.Equal(rec.Snapshot, payload) {
+		t.Fatalf("snapshot lost in recovery: %+v", rec)
+	}
+	if rec.Batches != 2 || rec.MaxSeq != 5 {
+		t.Fatalf("recovered: %+v", rec)
+	}
+	// A newer snapshot covering everything leaves nothing to replay.
+	if err := r.WriteSnapshot(5, bytes.NewReader(payload)); err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+	_, rec2, err := Recover(dir, "m", SyncNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec2.SnapshotSeq != 5 || rec2.Batches != 0 || rec2.MaxSeq != 5 {
+		t.Fatalf("after covering snapshot: %+v", rec2)
+	}
+}
+
+// TestRecoverSnapshotWithoutLog: a surviving snapshot with a lost log
+// recovers the cut itself — batches past it are gone, the snapshot is
+// not.
+func TestRecoverSnapshotWithoutLog(t *testing.T) {
+	dir := t.TempDir()
+	s := mustCreate(t, dir, "m")
+	rng := rand.New(rand.NewSource(9))
+	for seq := uint64(1); seq <= 4; seq++ {
+		if err := s.AppendBatch(seq, obsBatch(rng, 5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	payload := []byte("cut-at-2")
+	if err := s.WriteSnapshot(2, bytes.NewReader(payload)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if err := os.Remove(filepath.Join(dir, "m.log")); err != nil {
+		t.Fatal(err)
+	}
+	r, rec, err := Recover(dir, "m", SyncNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if !rec.HasSnapshot || rec.SnapshotSeq != 2 || !bytes.Equal(rec.Snapshot, payload) {
+		t.Fatalf("snapshot lost with the log: %+v", rec)
+	}
+	if rec.Batches != 0 || rec.MaxSeq != 2 {
+		t.Fatalf("recovered: %+v", rec)
+	}
+	// The snapshot file was re-installed; a second recovery still sees it.
+	r.Close()
+	_, rec2, err := Recover(dir, "m", SyncNone)
+	if err != nil || !rec2.HasSnapshot || rec2.SnapshotSeq != 2 {
+		t.Fatalf("snapshot not re-installed: %+v, %v", rec2, err)
+	}
+}
+
+func TestRecoverRejectsForeignFile(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "junk.log"), []byte("not a log at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Recover(dir, "junk", SyncNone); err == nil {
+		t.Fatal("Recover accepted a non-log file")
+	}
+}
+
+// TestRewrite verifies explicit compaction drops garbage, keeps every
+// live tile frame readable and every surviving batch replayable, and
+// survives a subsequent recover — the atomic-replace contract.
+func TestRewrite(t *testing.T) {
+	dir := t.TempDir()
+	s := mustCreate(t, dir, "m")
+	rng := rand.New(rand.NewSource(10))
+	want := map[TileRef][]voxel.Leaf{}
+	for i := 0; i < 12; i++ {
+		corner := voxel.Key{X: uint16(i * 8)}
+		// Spill twice: the first frame of each tile becomes garbage.
+		if err := s.Spill(corner, 13, tileLeaves(rng, corner, 30)); err != nil {
+			t.Fatal(err)
+		}
+		leaves := tileLeaves(rng, corner, 10)
+		if err := s.Spill(corner, 13, leaves); err != nil {
+			t.Fatal(err)
+		}
+		want[TileRef{Key: corner, Depth: 13}] = leaves
+	}
+	// WAL frames interleave with spills and must survive the rewrite.
+	wantBatch := obsBatch(rng, 15)
+	if err := s.AppendBatch(1, wantBatch); err != nil {
+		t.Fatal(err)
+	}
+	// Release some tiles: more garbage.
+	for i := 0; i < 4; i++ {
+		corner := voxel.Key{X: uint16(i * 8)}
+		s.Release(corner, 13)
+		delete(want, TileRef{Key: corner, Depth: 13})
+	}
+	before := s.Stats()
+	if before.LiveBytes+before.WALBytes >= before.BytesOnDisk-int64(len(fileMagic)) {
+		t.Fatal("test setup produced no garbage")
+	}
+	if err := s.Rewrite(); err != nil {
+		t.Fatal(err)
+	}
+	after := s.Stats()
+	if after.BytesOnDisk != after.LiveBytes+after.WALBytes+int64(len(fileMagic)) {
+		t.Fatalf("garbage survived rewrite: %+v", after)
+	}
+	if after.Rewrites == 0 {
+		t.Fatal("Rewrites counter not bumped")
+	}
+	for id, leaves := range want {
+		if got, err := s.Load(id.Key, id.Depth, nil); err != nil || !reflect.DeepEqual(got, leaves) {
+			t.Fatalf("tile %v unreadable after rewrite: %v", id.Key, err)
+		}
+	}
+	if err := s.ReplayBatches(func(seq uint64, batch []raytrace.Voxel) error {
+		if seq != 1 || !reflect.DeepEqual(batch, wantBatch) {
+			t.Fatal("batch frame corrupted by rewrite")
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Post-rewrite appends and recovery still work.
+	if err := s.Spill(voxel.Key{Y: 8}, 13, tileLeaves(rng, voxel.Key{Y: 8}, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendBatch(2, obsBatch(rng, 5)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	_, rec, err := Recover(dir, "m", SyncNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Batches != 2 || rec.MaxSeq != 2 {
+		t.Fatalf("recover after rewrite: %+v", rec)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "m.log.rewrite")); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("temp rewrite file left behind")
+	}
+}
+
+// TestAutoRewrite drives enough superseding spills that the automatic
+// garbage threshold fires without an explicit Rewrite call.
+func TestAutoRewrite(t *testing.T) {
+	dir := t.TempDir()
+	s := mustCreate(t, dir, "m")
+	defer s.Close()
+	rng := rand.New(rand.NewSource(11))
+	corner := voxel.Key{X: 8}
+	var last []voxel.Leaf
+	for i := 0; i < 2000; i++ {
+		last = tileLeaves(rng, corner, 50)
+		if err := s.Spill(corner, 13, last); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Rewrites == 0 {
+		t.Fatalf("auto rewrite never fired: %+v", st)
+	}
+	if st.BytesOnDisk > 2*(st.LiveBytes+rewriteFloor) {
+		t.Fatalf("disk usage unbounded: %+v", st)
+	}
+	if got, err := s.Load(corner, 13, nil); err != nil || !reflect.DeepEqual(got, last) {
+		t.Fatal("latest frame lost across auto rewrites")
+	}
+}
+
+// TestSnapshotTriggersRewrite: committing a snapshot that retires a
+// large WAL makes the retired bytes garbage; the commit itself compacts.
+func TestSnapshotTriggersRewrite(t *testing.T) {
+	dir := t.TempDir()
+	s := mustCreate(t, dir, "m")
+	defer s.Close()
+	rng := rand.New(rand.NewSource(12))
+	var seq uint64
+	for s.BytesOnDisk() < 3*rewriteFloor {
+		seq++
+		if err := s.AppendBatch(seq, obsBatch(rng, 200)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.WriteSnapshot(seq, bytes.NewReader([]byte("snap"))); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Rewrites == 0 {
+		t.Fatalf("snapshot commit did not compact a fully retired WAL: %+v", st)
+	}
+	if st.WALBytes != 0 || st.BytesOnDisk != int64(len(fileMagic)) {
+		t.Fatalf("retired WAL survived: %+v", st)
+	}
+}
+
+func TestSyncEveryBatch(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Create(dir, "m", SyncEveryBatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	rng := rand.New(rand.NewSource(13))
+	for seq := uint64(1); seq <= 3; seq++ {
+		if err := s.AppendBatch(seq, obsBatch(rng, 8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := s.Stats(); st.WALBatches != 3 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestTilesOrderAndStats(t *testing.T) {
+	dir := t.TempDir()
+	s := mustCreate(t, dir, "m")
+	defer s.Close()
+	rng := rand.New(rand.NewSource(14))
+	corners := []voxel.Key{{X: 24}, {X: 8, Y: 8}, {}, {Y: 16, Z: 8}}
+	for _, c := range corners {
+		if err := s.Spill(c, 13, tileLeaves(rng, c, 3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tiles := s.Tiles()
+	if len(tiles) != len(corners) {
+		t.Fatalf("Tiles() = %d entries", len(tiles))
+	}
+	if !sort.SliceIsSorted(tiles, func(i, j int) bool {
+		return tiles[i].Key.Morton() < tiles[j].Key.Morton()
+	}) {
+		t.Fatal("Tiles() not in Morton order")
+	}
+	st := s.Stats()
+	if st.SpilledTiles != 4 || st.Spills != 4 || st.LiveBytes <= 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.BytesOnDisk != s.BytesOnDisk() {
+		t.Fatal("Stats/BytesOnDisk disagree")
+	}
+}
+
+func TestClosedStoreErrors(t *testing.T) {
+	dir := t.TempDir()
+	s := mustCreate(t, dir, "m")
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal("second Close should be a no-op")
+	}
+	if err := s.Spill(voxel.Key{}, 13, nil); err == nil {
+		t.Fatal("Spill on closed store succeeded")
+	}
+	if _, err := s.Load(voxel.Key{}, 13, nil); err == nil {
+		t.Fatal("Load on closed store succeeded")
+	}
+	if err := s.Rewrite(); err == nil {
+		t.Fatal("Rewrite on closed store succeeded")
+	}
+	if err := s.AppendBatch(1, nil); err == nil {
+		t.Fatal("AppendBatch on closed store succeeded")
+	}
+	if err := s.WriteSnapshot(1, bytes.NewReader(nil)); err == nil {
+		t.Fatal("WriteSnapshot on closed store succeeded")
+	}
+}
+
+func TestLRU(t *testing.T) {
+	l := NewLRU()
+	k := func(x int) voxel.Key { return voxel.Key{X: uint16(x)} }
+	if _, ok := l.Oldest(); ok {
+		t.Fatal("empty LRU has an oldest")
+	}
+	for i := 0; i < 5; i++ {
+		l.Touch(k(i))
+	}
+	if l.Len() != 5 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	if o, _ := l.Oldest(); o != k(0) {
+		t.Fatalf("Oldest = %v", o)
+	}
+	l.Touch(k(0)) // refresh
+	if o, _ := l.Oldest(); o != k(1) {
+		t.Fatalf("Oldest after refresh = %v", o)
+	}
+	var order []voxel.Key
+	l.Each(func(key voxel.Key) bool { order = append(order, key); return true })
+	wantOrder := []voxel.Key{k(1), k(2), k(3), k(4), k(0)}
+	if !reflect.DeepEqual(order, wantOrder) {
+		t.Fatalf("Each order = %v, want %v", order, wantOrder)
+	}
+	l.Remove(k(2))
+	l.Remove(k(2)) // double remove is a no-op
+	if l.Len() != 4 || l.Contains(k(2)) {
+		t.Fatal("Remove failed")
+	}
+	// Recycled slots: remove everything, re-add, arena must not grow.
+	for _, key := range wantOrder {
+		l.Remove(key)
+	}
+	grew := len(l.nodes)
+	for i := 10; i < 15; i++ {
+		l.Touch(k(i))
+	}
+	if len(l.nodes) != grew {
+		t.Fatalf("arena grew %d -> %d despite free list", grew, len(l.nodes))
+	}
+	// Early stop.
+	seen := 0
+	l.Each(func(voxel.Key) bool { seen++; return seen < 2 })
+	if seen != 2 {
+		t.Fatalf("Each early stop visited %d", seen)
+	}
+}

@@ -1,4 +1,4 @@
-package pager
+package durable
 
 import "octocache/internal/voxel"
 

@@ -1,0 +1,282 @@
+package durable
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"octocache/internal/raytrace"
+	"octocache/internal/voxel"
+)
+
+// snapMagic begins every snapshot file. The header is magic, the batch
+// sequence the snapshot covers, the payload length, and a CRC over
+// header-sans-CRC + payload.
+const (
+	snapMagic    = "OCSN0001"
+	snapHdrBytes = 8 + 8 + 8 + 4
+)
+
+// AppendBatch appends one admitted observation batch as a WAL frame.
+// seq is the engine's announced batch counter; recovery replays frames
+// in contiguous ascending seq order. The append is zero-allocation in
+// steady state (the frame is encoded into a reused scratch buffer), and
+// under SyncEveryBatch the log is fsynced before return. Empty batches
+// must not be logged — they would burn a sequence number for nothing.
+func (s *Store) AppendBatch(seq uint64, batch []raytrace.Voxel) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return fmt.Errorf("durable: store is closed")
+	}
+	need := int(batchFrameSize(uint32(len(batch))))
+	if cap(s.buf) < need {
+		s.buf = make([]byte, need)
+	}
+	buf := s.buf[:need]
+	binary.LittleEndian.PutUint32(buf[0:4], batchMagic)
+	binary.LittleEndian.PutUint64(buf[4:12], seq)
+	binary.LittleEndian.PutUint32(buf[12:16], uint32(len(batch)))
+	p := buf[frameHdrBytes:]
+	for i, v := range batch {
+		r := p[i*obsBytes:]
+		binary.LittleEndian.PutUint16(r[0:2], v.Key.X)
+		binary.LittleEndian.PutUint16(r[2:4], v.Key.Y)
+		binary.LittleEndian.PutUint16(r[4:6], v.Key.Z)
+		if v.Occupied {
+			r[6] = 1
+		} else {
+			r[6] = 0
+		}
+	}
+	s.sealFrame(buf)
+	if err := s.appendFrame(need); err != nil {
+		return err
+	}
+	if s.sync == SyncEveryBatch {
+		if err := s.f.Sync(); err != nil {
+			return err
+		}
+	}
+	s.wal = append(s.wal, batchRef{off: s.size, count: uint32(len(batch)), seq: seq})
+	s.size += int64(need)
+	s.walLive += int64(need)
+	s.stats.WALBatches++
+	if seq > s.maxSeq {
+		s.maxSeq = seq
+	}
+	return nil
+}
+
+// ReplayBatches visits the surviving WAL frames past the last snapshot
+// in ascending sequence order, decoding each into a buffer reused across
+// calls — fn must not retain the slice. Every frame's CRC was verified
+// during Recover; the payload is re-read here without re-verification
+// (nothing has written between Recover and replay).
+func (s *Store) ReplayBatches(fn func(seq uint64, batch []raytrace.Voxel) error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return fmt.Errorf("durable: store is closed")
+	}
+	var scratch []raytrace.Voxel
+	for _, b := range s.wal {
+		need := int(b.count) * obsBytes
+		if cap(s.buf) < need {
+			s.buf = make([]byte, need)
+		}
+		buf := s.buf[:need]
+		if _, err := s.f.ReadAt(buf, b.off+frameHdrBytes); err != nil {
+			return fmt.Errorf("durable: reading batch %d: %w", b.seq, err)
+		}
+		if cap(scratch) < int(b.count) {
+			scratch = make([]raytrace.Voxel, b.count)
+		}
+		batch := scratch[:b.count]
+		for i := range batch {
+			r := buf[i*obsBytes:]
+			batch[i] = raytrace.Voxel{
+				Key: voxel.Key{
+					X: binary.LittleEndian.Uint16(r[0:2]),
+					Y: binary.LittleEndian.Uint16(r[2:4]),
+					Z: binary.LittleEndian.Uint16(r[4:6]),
+				},
+				Occupied: r[6] != 0,
+			}
+		}
+		if err := fn(b.seq, batch); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// crcWriter streams a payload to w while accumulating its CRC and size.
+type crcWriter struct {
+	w   io.Writer
+	crc uint32
+	n   int64
+}
+
+func (c *crcWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.crc = crc32.Update(c.crc, crc32.IEEETable, p[:n])
+	c.n += int64(n)
+	return n, err
+}
+
+// WriteSnapshot commits a consistent-cut snapshot covering every batch
+// with sequence ≤ seq. The payload (whatever src writes — the engine
+// streams the map's canonical .bt serialization) goes to a temp file
+// that is fsynced, renamed over the snapshot, and made durable with a
+// directory fsync — exactly one valid snapshot exists at every instant.
+// On commit the WAL frames the snapshot covers are retired; their bytes
+// become garbage until the next rewrite, which the commit triggers when
+// warranted.
+//
+// The payload streams to the temp file WITHOUT the store lock, so
+// appends and spills keep flowing while a background checkpoint writes;
+// only the final install (rename + retire) synchronizes. At most one
+// WriteSnapshot may be in flight at a time — the engine's checkpoint
+// machinery guarantees it.
+func (s *Store) WriteSnapshot(seq uint64, src io.WriterTo) error {
+	if s.closedQuick() {
+		return fmt.Errorf("durable: store is closed")
+	}
+	if err := s.writeSnapshotTemp(seq, func(w io.Writer) error {
+		_, err := src.WriteTo(w)
+		return err
+	}); err != nil {
+		return err
+	}
+	return s.installSnapshot(seq)
+}
+
+func (s *Store) closedQuick() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.f == nil
+}
+
+// installSnapshot atomically renames the written temp file over the
+// snapshot and retires the WAL frames it covers.
+func (s *Store) installSnapshot(seq uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tmpPath := s.snapPath + ".tmp"
+	if s.f == nil {
+		os.Remove(tmpPath)
+		return fmt.Errorf("durable: store is closed")
+	}
+	if err := os.Rename(tmpPath, s.snapPath); err != nil {
+		os.Remove(tmpPath)
+		return err
+	}
+	if err := syncDir(s.dir); err != nil {
+		return err
+	}
+	s.commitSnapshotLocked(seq)
+	return s.maybeRewriteLocked()
+}
+
+// restoreSnapshot re-materializes a snapshot payload recovered from disk
+// (used when the log was lost but the snapshot survived).
+func (s *Store) restoreSnapshot(seq uint64, payload []byte) error {
+	if err := s.writeSnapshotTemp(seq, func(w io.Writer) error {
+		_, err := w.Write(payload)
+		return err
+	}); err != nil {
+		return err
+	}
+	return s.installSnapshot(seq)
+}
+
+// writeSnapshotTemp writes the snapshot temp file: header with a
+// placeholder CRC, streamed payload, patched header, fsync. The caller
+// installs it with installSnapshot.
+func (s *Store) writeSnapshotTemp(seq uint64, emit func(io.Writer) error) error {
+	tmpPath := s.snapPath + ".tmp"
+	tmp, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	cleanup := func(e error) error {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return e
+	}
+	var hdr [snapHdrBytes]byte
+	copy(hdr[0:8], snapMagic)
+	binary.LittleEndian.PutUint64(hdr[8:16], seq)
+	if _, err := tmp.Write(hdr[:]); err != nil {
+		return cleanup(err)
+	}
+	cw := &crcWriter{w: tmp, crc: crc32.ChecksumIEEE(hdr[0:16])}
+	if err := emit(cw); err != nil {
+		return cleanup(err)
+	}
+	binary.LittleEndian.PutUint64(hdr[16:24], uint64(cw.n))
+	// The length is covered by the CRC too: fold it in after the payload
+	// so the CRC order is header[0:16], payload, length.
+	crc := crc32.Update(cw.crc, crc32.IEEETable, hdr[16:24])
+	binary.LittleEndian.PutUint32(hdr[24:28], crc)
+	if _, err := tmp.WriteAt(hdr[:], 0); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return cleanup(err)
+	}
+	return tmp.Close()
+}
+
+// commitSnapshotLocked retires the WAL frames a committed snapshot
+// covers.
+func (s *Store) commitSnapshotLocked(seq uint64) {
+	if seq > s.snapSeq {
+		s.snapSeq = seq
+	}
+	kept := s.wal[:0]
+	for _, b := range s.wal {
+		if b.seq <= seq {
+			s.walLive -= batchFrameSize(b.count)
+			continue
+		}
+		kept = append(kept, b)
+	}
+	s.wal = kept
+	if seq > s.maxSeq {
+		s.maxSeq = seq
+	}
+	s.stats.Snapshots++
+}
+
+// readSnapshotFile loads and verifies a snapshot file. A missing file
+// returns a nil payload; a present-but-corrupt file is an error (the
+// atomic install protocol means corruption is real damage, not a crash
+// artifact, and silently dropping it would silently lose the cut).
+func readSnapshotFile(path string) (uint64, []byte, error) {
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return 0, nil, nil
+	}
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(raw) < snapHdrBytes || string(raw[0:8]) != snapMagic {
+		return 0, nil, fmt.Errorf("durable: %s is not an octocache snapshot", path)
+	}
+	seq := binary.LittleEndian.Uint64(raw[8:16])
+	n := binary.LittleEndian.Uint64(raw[16:24])
+	if n != uint64(len(raw)-snapHdrBytes) {
+		return 0, nil, fmt.Errorf("durable: snapshot %s length mismatch", path)
+	}
+	crc := crc32.ChecksumIEEE(raw[0:16])
+	crc = crc32.Update(crc, crc32.IEEETable, raw[snapHdrBytes:])
+	crc = crc32.Update(crc, crc32.IEEETable, raw[16:24])
+	if crc != binary.LittleEndian.Uint32(raw[24:28]) {
+		return 0, nil, fmt.Errorf("durable: snapshot %s failed CRC check", path)
+	}
+	return seq, raw[snapHdrBytes:], nil
+}

@@ -118,6 +118,9 @@ type shardState struct {
 	// construction and non-nil only when the map's window is enabled, so
 	// the per-insert recenter loop is a nil check for unwindowed maps.
 	win core.Windower
+	// dur likewise caches the pipeline's durability capability (non-nil
+	// only when the map's Durable policy is enabled).
+	dur core.Durabler
 }
 
 // Map is a sharded occupancy map. All exported methods are safe for
@@ -179,11 +182,12 @@ func New(cfg Config) (*Map, error) {
 	m := &Map{cfg: shardCfg, pipeline: cfg.Pipeline, bits: bits, shards: make([]*shardState, n)}
 	for i := range m.shards {
 		perShard := shardCfg
-		if perShard.Window.Enabled() {
-			// One spill file per shard: shards own disjoint key regions, so
-			// their tile sets never collide, and per-shard files keep each
-			// pager single-writer under the shard's own lock.
-			perShard.WindowTag = fmt.Sprintf("shard-%03d", i)
+		if perShard.Window.Enabled() || perShard.Durable.Enabled() {
+			// One log per shard: shards own disjoint key regions, so their
+			// tile sets and batch streams never collide, and per-shard logs
+			// keep each store single-writer under the shard's own lock.
+			// Recovery proceeds shard-by-shard from the same tags.
+			perShard.Tag = fmt.Sprintf("shard-%03d", i)
 		}
 		pipe, err := core.NewShardPipeline(kind, perShard)
 		if err != nil {
@@ -192,6 +196,9 @@ func New(cfg Config) (*Map, error) {
 		sh := &shardState{pipe: pipe}
 		if perShard.Window.Enabled() {
 			sh.win, _ = pipe.(core.Windower)
+		}
+		if perShard.Durable.Enabled() {
+			sh.dur, _ = pipe.(core.Durabler)
 		}
 		m.shards[i] = sh
 	}
@@ -394,6 +401,63 @@ func (m *Map) WindowErr() error {
 		}
 		sh.mu.RLock()
 		err := sh.win.WindowErr()
+		sh.mu.RUnlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Checkpoint takes a consistent-cut snapshot of every durable shard,
+// one shard at a time under that shard's write lock, retiring the WAL
+// each snapshot covers. A no-op on non-durable maps. Returns ErrClosed
+// after Close and any sticky durable error.
+func (m *Map) Checkpoint() error {
+	m.closeMu.RLock()
+	defer m.closeMu.RUnlock()
+	if m.closed {
+		return ErrClosed
+	}
+	for _, sh := range m.shards {
+		if sh.dur == nil {
+			continue
+		}
+		sh.mu.Lock()
+		err := sh.dur.Checkpoint()
+		sh.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DurableStats aggregates the per-shard logging activity; Enabled is
+// false (and everything zero) for non-durable maps. The sequence fields
+// report the minimum across shards — what the whole map is guaranteed
+// durable (and snapshotted) through.
+func (m *Map) DurableStats() core.DurableStats {
+	var s core.DurableStats
+	for _, sh := range m.shards {
+		if sh.dur == nil {
+			continue
+		}
+		sh.mu.RLock()
+		s = s.Add(sh.dur.DurableStats())
+		sh.mu.RUnlock()
+	}
+	return s
+}
+
+// DurableErr returns the first shard's sticky durable error, if any.
+func (m *Map) DurableErr() error {
+	for _, sh := range m.shards {
+		if sh.dur == nil {
+			continue
+		}
+		sh.mu.RLock()
+		err := sh.dur.DurableErr()
 		sh.mu.RUnlock()
 		if err != nil {
 			return err
@@ -636,6 +700,9 @@ type ShardStat struct {
 	// Window holds the shard's paging counters (zero when the map is
 	// unwindowed).
 	Window core.WindowStats
+	// Durable holds the shard's WAL and snapshot counters (zero when the
+	// map is not durable).
+	Durable core.DurableStats
 }
 
 // ShardStats snapshots every shard. Shards are visited one at a time
@@ -658,6 +725,9 @@ func (m *Map) ShardStats() []ShardStat {
 		}
 		if sh.win != nil {
 			out[i].Window = sh.win.WindowStats()
+		}
+		if sh.dur != nil {
+			out[i].Durable = sh.dur.DurableStats()
 		}
 		sh.mu.RUnlock()
 	}

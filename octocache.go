@@ -95,6 +95,39 @@ var ErrClosed = shard.ErrClosed
 // accepting observations. Test with errors.Is(err, ErrPager).
 var ErrPager = core.ErrPager
 
+// ErrDurable marks failures of a durable map's log or snapshot store:
+// errors wrapping it surface on Insert, Checkpoint, and Recover when a
+// WAL append, snapshot write, or recovery read hits an I/O error or
+// on-disk corruption. Like ErrPager the error is sticky — the map keeps
+// answering queries but stops accepting observations rather than
+// diverging from its log. Test with errors.Is(err, ErrDurable).
+var ErrDurable = core.ErrDurable
+
+// Durable is the persistence policy for Options.Durable: every admitted
+// observation batch is logged before it is applied, and consistent-cut
+// snapshots bound recovery replay. A map lost to a crash comes back with
+// Recover. The zero value disables durability. See Options.Durable for
+// how it composes with Mode, Shards, Backend, and Window.
+type Durable = core.Durable
+
+// DurableStats reports a durable map's logging activity (Stats.Durable).
+type DurableStats = core.DurableStats
+
+// SyncPolicy selects when WAL appends reach stable storage
+// (Durable.Sync).
+type SyncPolicy = core.SyncPolicy
+
+const (
+	// SyncNone (the default) leaves WAL durability to the OS page cache:
+	// a process crash loses nothing, a power loss may lose the most
+	// recent batches. Snapshot commits always fsync.
+	SyncNone = core.SyncNone
+	// SyncEveryBatch fsyncs the log after every admitted batch, bounding
+	// power-loss data loss to the batch in flight at the cost of one
+	// device flush per scan.
+	SyncEveryBatch = core.SyncEveryBatch
+)
+
 // Window is the bounded-memory policy for Options.Window: keep an
 // ego-centric window of the map resident and spill everything else to
 // disk, paging spilled regions back in transparently when an insert,
@@ -200,6 +233,15 @@ type Options struct {
 	// Mode, Shards (each shard pages its own region into its own file),
 	// and Backend; the zero value keeps the whole map resident.
 	Window Window
+	// Durable makes the map crash-recoverable: admitted batches are
+	// appended to a write-ahead log under Durable.Dir before they are
+	// applied, and snapshots every Durable.SnapshotEvery batches bound
+	// recovery replay. Reopen with Recover. Composes with Mode, Shards
+	// (one log per shard, recovered shard-by-shard), and Backend; with
+	// Window the spill file and the WAL share one log per pipeline
+	// (leave Window.Dir empty to inherit Durable.Dir). The zero value
+	// disables durability.
+	Durable Durable
 }
 
 // CompactionPolicy sets the automatic-compaction trigger: compact when
@@ -272,16 +314,72 @@ func Open(r io.Reader, opts Options) (*Map, error) {
 		if err := m.sharded.LoadSnapshot(src); err != nil {
 			return nil, err
 		}
-		return m, nil
+	} else {
+		loader, ok := m.mapper.(interface{ LoadSnapshot(*core.Snapshot) error })
+		if !ok {
+			return nil, fmt.Errorf("octocache: pipeline %s does not support loading", m.mapper.Name())
+		}
+		if err := loader.LoadSnapshot(src); err != nil {
+			return nil, err
+		}
 	}
-	loader, ok := m.mapper.(interface{ LoadSnapshot(*core.Snapshot) error })
-	if !ok {
-		return nil, fmt.Errorf("octocache: pipeline %s does not support loading", m.mapper.Name())
-	}
-	if err := loader.LoadSnapshot(src); err != nil {
-		return nil, err
+	if opts.Durable.Enabled() {
+		// Loaded leaves bypass the WAL, so checkpoint now: without a
+		// snapshot covering the load, a crash before the first explicit
+		// Checkpoint would recover an empty map.
+		if err := m.Checkpoint(); err != nil {
+			return nil, err
+		}
 	}
 	return m, nil
+}
+
+// Recover reopens the durable map stored under dir: each pipeline loads
+// its last consistent-cut snapshot and replays the write-ahead log's
+// surviving suffix, restoring exactly the admitted batches that reached
+// disk — bit-identical queries and serialized bytes to a map that
+// ingested only that surviving prefix. The options must describe the
+// map as it was created (same Resolution; Shards matching the on-disk
+// layout, which Recover verifies before opening any log); Durable.Dir
+// may be left empty to inherit dir. A directory with no durable map
+// yields a fresh empty map, so services can call Recover
+// unconditionally at startup. Stats.Durable.ReplayedBatches reports how
+// much log was replayed.
+func Recover(dir string, opts Options) (*Map, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("octocache: Recover requires a directory")
+	}
+	switch opts.Durable.Dir {
+	case "", dir:
+		opts.Durable.Dir = dir
+	default:
+		return nil, fmt.Errorf("octocache: Recover dir %q conflicts with Options.Durable.Dir %q", dir, opts.Durable.Dir)
+	}
+	single, shardLogs, err := core.ScanDurableDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrDurable, err)
+	}
+	if single && opts.Shards >= 1 {
+		return nil, fmt.Errorf("octocache: %s holds a single-driver map; Recover with Shards == 0", dir)
+	}
+	if shardLogs > 0 {
+		if opts.Shards < 1 {
+			return nil, fmt.Errorf("octocache: %s holds a %d-shard map; Recover with Shards >= 1", dir, shardLogs)
+		}
+		want := 1
+		for want < opts.Shards {
+			want <<= 1
+		}
+		if want != shardLogs {
+			return nil, fmt.Errorf("octocache: %s holds a %d-shard map, options ask for %d shards", dir, shardLogs, want)
+		}
+	}
+	cfg, err := buildConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	cfg.DurableRecover = true
+	return newMap(opts, cfg)
 }
 
 // buildConfig validates the options and derives the pipeline config.
@@ -310,7 +408,15 @@ func buildConfig(opts Options) (core.Config, error) {
 		cfg.CacheTau = opts.CacheTau
 	}
 	cfg.Window = opts.Window
-	if err := cfg.Window.Validate(cfg.Octree.Depth); err != nil {
+	cfg.Durable = opts.Durable
+	if err := cfg.Durable.Validate(); err != nil {
+		return core.Config{}, err
+	}
+	win := cfg.Window
+	if win.Enabled() && cfg.Durable.Enabled() && win.Dir == "" {
+		win.Dir = cfg.Durable.Dir // the spill file and WAL share one log
+	}
+	if err := win.Validate(cfg.Octree.Depth); err != nil {
 		return core.Config{}, err
 	}
 	return cfg, nil
@@ -494,6 +600,26 @@ func (m *Map) Recenter(origin Vec3) error {
 	return nil
 }
 
+// Checkpoint takes a consistent-cut snapshot of a durable map now,
+// retiring the write-ahead log it covers — for services that want a
+// recovery bound tighter than Durable.SnapshotEvery (or that disabled
+// the cadence). Sharded maps checkpoint one shard at a time under that
+// shard's write lock. A no-op on non-durable maps; single-driver maps
+// treat it as a mutator call, like Insert. Returns ErrClosed after
+// Close and any sticky durable error (see ErrDurable).
+func (m *Map) Checkpoint() error {
+	if m.sharded != nil {
+		return m.sharded.Checkpoint()
+	}
+	if m.closed.Load() {
+		return ErrClosed
+	}
+	if d, ok := m.mapper.(core.Durabler); ok {
+		return d.Checkpoint()
+	}
+	return nil
+}
+
 // Compact rebuilds the octree arenas into dense Morton-ordered prefixes
 // and releases the fragmented tail capacity, without changing any query
 // answer or serialized byte. Sharded maps compact one shard at a time
@@ -529,6 +655,10 @@ type Stats struct {
 	// Window summarizes the bounded-memory window's paging activity
 	// (summed over shards); Window.Enabled is false for unwindowed maps.
 	Window WindowStats
+	// Durable summarizes the write-ahead log and snapshot activity
+	// (counters summed over shards, sequences the minimum across them);
+	// Durable.Enabled is false for non-durable maps.
+	Durable DurableStats
 }
 
 // CacheStats summarizes cache behaviour.
@@ -627,12 +757,17 @@ func (m *Map) Stats() Stats {
 			Shards:     m.sharded.NumShards(),
 			Backend:    m.sharded.Backend(),
 			Window:     m.sharded.WindowStats(),
+			Durable:    m.sharded.DurableStats(),
 		}
 	}
 	tm := m.mapper.Timings()
 	var ws WindowStats
 	if w, ok := m.mapper.(core.Windower); ok {
 		ws = w.WindowStats()
+	}
+	var ds DurableStats
+	if d, ok := m.mapper.(core.Durabler); ok {
+		ds = d.DurableStats()
 	}
 	return Stats{
 		Cache: publicCache(m.mapper.CacheStats()),
@@ -647,6 +782,7 @@ func (m *Map) Stats() Stats {
 		Shards:     1,
 		Backend:    m.mapper.Backend(),
 		Window:     ws,
+		Durable:    ds,
 	}
 }
 
@@ -668,6 +804,9 @@ type ShardStat struct {
 	// Window summarizes the shard's paging activity (zero when the map
 	// is unwindowed).
 	Window WindowStats
+	// Durable summarizes the shard's WAL and snapshot activity (zero
+	// when the map is not durable).
+	Durable DurableStats
 }
 
 // ShardStats snapshots every shard of a sharded map; it returns nil for
@@ -687,6 +826,7 @@ func (m *Map) ShardStats() []ShardStat {
 			Cache:      publicCache(s.Cache),
 			Compaction: publicCompaction(s.Compaction),
 			Window:     s.Window,
+			Durable:    s.Durable,
 		}
 	}
 	return out
