@@ -55,7 +55,12 @@ lint-imports:
 # async applier. The last line is the durability crash matrix: WAL +
 # snapshot recovery cut at batch boundaries and arbitrary byte offsets
 # across backend × mode × shards, with background snapshot writers
-# racing inserts in the SnapshotEvery cells.
+# racing inserts in the SnapshotEvery cells. The final line gates the
+# trace modes: the boundary-vs-DDA differential suite (including the
+# parallel marking pass OR-ing into shared bit planes and the fan
+# tracer's worker goroutines) plus the map-level trace-mode consistency
+# matrix, twice — trace output is deterministic by construction, so any
+# second-run divergence is a real race, not noise.
 race:
 	$(GO) test -race ./internal/shard/... ./internal/core/...
 	$(GO) test -race -count=2 ./internal/nav/... ./internal/clock/... ./internal/spsc/...
@@ -65,6 +70,7 @@ race:
 	$(GO) test -race ./internal/durable/...
 	$(GO) test -race -run 'Window|Recenter' ./internal/core/... .
 	$(GO) test -race -run 'Durable|Recover' ./internal/core/... .
+	$(GO) test -race -count=2 -run 'Trace|Boundary|Fan' ./internal/raytrace/... ./internal/core/... .
 
 bench:
 	$(GO) test -bench . -benchtime 1x ./...

@@ -16,7 +16,9 @@
 // workload comparing a bounded-memory map's resident footprint against
 // the unbounded baseline. Schema v5 adds a "durable" section measuring
 // the WAL's insert-path overhead: serial-pipeline insert ns/op with the
-// log off, armed without fsync, and armed with per-batch fsync.
+// log off, armed without fsync, and armed with per-batch fsync. Schema
+// v6 adds "-boundary" insert rows running the boundary (D-BDM) trace
+// mode, deduplicating each scan by rasterization before admission.
 package main
 
 import (
@@ -101,7 +103,7 @@ func scanRing() []octocache.Vec3 {
 	return pts
 }
 
-func benchInsert(mode octocache.Mode, backend octocache.Backend) (insertResult, float64, float64) {
+func benchInsert(mode octocache.Mode, backend octocache.Backend, trace octocache.TraceMode) (insertResult, float64, float64) {
 	origin := octocache.V(0, 0, 1.2)
 	pts := scanRing()
 	var hitRate, occupancy float64
@@ -111,6 +113,7 @@ func benchInsert(mode octocache.Mode, backend octocache.Backend) (insertResult, 
 			Mode:         mode,
 			Backend:      backend,
 			MaxRange:     8,
+			Trace:        trace,
 			CacheBuckets: 1 << 14,
 		})
 		m.Insert(origin, pts) // warm up
@@ -362,7 +365,7 @@ func main() {
 	}
 
 	rep := report{
-		Schema:    "octocache-bench-core/v5",
+		Schema:    "octocache-bench-core/v6",
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
@@ -373,16 +376,21 @@ func main() {
 		name    string
 		mode    octocache.Mode
 		backend octocache.Backend
+		trace   octocache.TraceMode
 	}{
 		// Octree-backend rows keep their v2 keys.
-		{"octomap", octocache.ModeOctoMap, octocache.BackendOctree},
-		{"serial", octocache.ModeSerial, octocache.BackendOctree},
-		{"parallel", octocache.ModeParallel, octocache.BackendOctree},
-		{"octomap-grid", octocache.ModeOctoMap, octocache.BackendGrid},
-		{"serial-grid", octocache.ModeSerial, octocache.BackendGrid},
-		{"parallel-grid", octocache.ModeParallel, octocache.BackendGrid},
+		{"octomap", octocache.ModeOctoMap, octocache.BackendOctree, octocache.TraceDDA},
+		{"serial", octocache.ModeSerial, octocache.BackendOctree, octocache.TraceDDA},
+		{"parallel", octocache.ModeParallel, octocache.BackendOctree, octocache.TraceDDA},
+		{"octomap-grid", octocache.ModeOctoMap, octocache.BackendGrid, octocache.TraceDDA},
+		{"serial-grid", octocache.ModeSerial, octocache.BackendGrid, octocache.TraceDDA},
+		{"parallel-grid", octocache.ModeParallel, octocache.BackendGrid, octocache.TraceDDA},
+		{"octomap-boundary", octocache.ModeOctoMap, octocache.BackendOctree, octocache.TraceBoundary},
+		{"serial-boundary", octocache.ModeSerial, octocache.BackendOctree, octocache.TraceBoundary},
+		{"parallel-boundary", octocache.ModeParallel, octocache.BackendOctree, octocache.TraceBoundary},
+		{"serial-boundary-grid", octocache.ModeSerial, octocache.BackendGrid, octocache.TraceBoundary},
 	} {
-		res, hitRate, occupancy := benchInsert(mc.mode, mc.backend)
+		res, hitRate, occupancy := benchInsert(mc.mode, mc.backend, mc.trace)
 		rep.Insert[mc.name] = res
 		if mc.name == "serial" {
 			rep.CacheHitRate = hitRate

@@ -28,6 +28,8 @@ func main() {
 		res       = flag.Float64("res", 0.1, "mapping resolution in meters")
 		scale     = flag.Float64("scale", 0.5, "dataset scale (1.0 = paper-sized)")
 		rt        = flag.Bool("rt", false, "use deduplicating (OctoMap-RT style) ray tracing")
+		trace     = flag.String("trace", "dda", "scan tracing: dda (per-ray marching) or boundary (per-batch rasterization)")
+		traceW    = flag.Int("trace-workers", 0, "goroutines per scan for the trace stage (0 = serial)")
 		backend   = flag.String("backend", "octree", "voxel store backend: octree or grid")
 		tau       = flag.Int("tau", 4, "cache bucket depth τ")
 		buckets   = flag.Int("buckets", 0, "cache bucket count w (0 = auto-size at 3.5x batch distinct voxels)")
@@ -69,6 +71,16 @@ func main() {
 	}
 	cfg.MaxRange = ds.Sensor.MaxRange
 	cfg.RT = *rt
+	switch *trace {
+	case "dda":
+		cfg.Trace = core.TraceDDA
+	case "boundary":
+		cfg.Trace = core.TraceBoundary
+	default:
+		fmt.Fprintf(os.Stderr, "mapbuilder: unknown -trace %q (want dda or boundary)\n", *trace)
+		os.Exit(1)
+	}
+	cfg.TraceWorkers = *traceW
 	cfg.CacheTau = *tau
 	if *buckets > 0 {
 		cfg.CacheBuckets = *buckets

@@ -34,6 +34,8 @@ func main() {
 		res       = flag.Float64("res", 0.1, "mapping resolution in meters")
 		scale     = flag.Float64("scale", 0.5, "dataset scale (1.0 = paper-sized)")
 		backend   = flag.String("backend", "octree", "voxel store backend: octree or grid")
+		trace     = flag.String("trace", "dda", "scan tracing: dda (per-ray marching) or boundary (per-batch rasterization)")
+		traceW    = flag.Int("trace-workers", 0, "goroutines per scan for the trace stage (0 = serial)")
 		out       = flag.String("out", "", "write the merged octree to this file")
 		winRadius = flag.Int("window-radius", 0, "bounded-memory window radius in tiles (0 = unbounded)")
 		winDir    = flag.String("window-dir", "", "spill directory for evicted tiles (default: a temp dir)")
@@ -94,14 +96,27 @@ func main() {
 		fmt.Printf("bounded-memory window: radius %d tiles, spilling to %s\n", *winRadius, dir)
 	}
 
+	var tm octocache.TraceMode
+	switch *trace {
+	case "dda":
+		tm = octocache.TraceDDA
+	case "boundary":
+		tm = octocache.TraceBoundary
+	default:
+		fmt.Fprintf(os.Stderr, "mapserver: unknown -trace %q (want dda or boundary)\n", *trace)
+		os.Exit(1)
+	}
+
 	opts := octocache.Options{
-		Resolution: *res,
-		Mode:       md,
-		Shards:     *shards,
-		Backend:    bk,
-		MaxRange:   ds.Sensor.MaxRange,
-		Compaction: octocache.CompactionPolicy{MinFreeFraction: 0.25, MinFreeSlots: 1024},
-		Window:     window,
+		Resolution:   *res,
+		Mode:         md,
+		Shards:       *shards,
+		Backend:      bk,
+		MaxRange:     ds.Sensor.MaxRange,
+		Trace:        tm,
+		TraceWorkers: *traceW,
+		Compaction:   octocache.CompactionPolicy{MinFreeFraction: 0.25, MinFreeSlots: 1024},
+		Window:       window,
 	}
 	var m *octocache.Map
 	if *durDir != "" {

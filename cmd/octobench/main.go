@@ -29,6 +29,8 @@ func main() {
 		run     = flag.String("run", "", "comma-separated experiment ids, or 'all'")
 		scale   = flag.Float64("scale", 0.25, "workload scale (1.0 = paper-sized, 0.1 = quick)")
 		backend = flag.String("backend", "octree", "voxel store backend: octree or grid")
+		trace   = flag.String("trace", "dda", "scan tracing: dda (per-ray marching) or boundary (per-batch rasterization)")
+		traceW  = flag.Int("trace-workers", 0, "goroutines per scan for the trace stage (0 = serial)")
 		verbose = flag.Bool("v", false, "progress output")
 		csvDir  = flag.String("csv", "", "also write each table as CSV into this directory")
 	)
@@ -61,7 +63,21 @@ func main() {
 		fmt.Fprintln(os.Stderr, "octobench:", err)
 		os.Exit(1)
 	}
-	opt := bench.Options{Scale: *scale, Backend: bk, Verbose: *verbose, Out: os.Stderr}
+	var tm core.TraceMode
+	switch *trace {
+	case "dda":
+		tm = core.TraceDDA
+	case "boundary":
+		tm = core.TraceBoundary
+	default:
+		fmt.Fprintf(os.Stderr, "octobench: unknown -trace %q (want dda or boundary)\n", *trace)
+		os.Exit(1)
+	}
+	opt := bench.Options{
+		Scale: *scale, Backend: bk,
+		Trace: tm, TraceWorkers: *traceW,
+		Verbose: *verbose, Out: os.Stderr,
+	}
 	exit := 0
 	for _, id := range ids {
 		e, ok := bench.Find(id)

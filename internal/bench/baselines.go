@@ -43,7 +43,7 @@ func runTable1(opt Options) ([]*Table, error) {
 			return nil, err
 		}
 		res := referenceResolution(name)
-		cfg := constructionConfig(ds, res, false, opt.Backend)
+		cfg := constructionConfig(ds, res, false, opt)
 		for _, kind := range kinds {
 			opt.logf("tab1: %s/%v", name, kind)
 			m := core.MustNew(kind, cfg)
@@ -81,7 +81,7 @@ func runFig1(opt Options) ([]*Table, error) {
 			return nil, err
 		}
 		res := referenceResolution(name)
-		cfg := constructionConfig(ds, res, false, opt.Backend)
+		cfg := constructionConfig(ds, res, false, opt)
 		// A generously sized cache realizes the figure's best case.
 		cfg.CacheBuckets *= 4
 		opt.logf("fig1: %s", name)
@@ -135,7 +135,7 @@ func runAblDownsample(opt Options) ([]*Table, error) {
 			return nil, err
 		}
 		res := referenceResolution(name)
-		cfg := constructionConfig(ds, res, false, opt.Backend)
+		cfg := constructionConfig(ds, res, false, opt)
 
 		type variant struct {
 			label      string

@@ -28,6 +28,11 @@ type Options struct {
 	// Backend selects the voxel store experiments build their pipelines
 	// on; the zero value is the octree.
 	Backend core.BackendKind
+	// Trace selects the scan-tracing algorithm (core.TraceDDA or
+	// core.TraceBoundary) and TraceWorkers its per-scan fan-out, both
+	// applied to every constructed pipeline.
+	Trace        core.TraceMode
+	TraceWorkers int
 	// Verbose enables progress notes on Out.
 	Verbose bool
 	// Out receives progress notes when Verbose is set.
@@ -206,11 +211,13 @@ func replay(m core.Mapper, ds *dataset.Dataset) (core.Timings, cache.Stats) {
 // constructionConfig sizes a pipeline for a dataset replay following
 // §5.2: the cache holds 3–4x the average per-batch distinct voxels, τ=4,
 // Morton indexing.
-func constructionConfig(ds *dataset.Dataset, res float64, rt bool, backend core.BackendKind) core.Config {
+func constructionConfig(ds *dataset.Dataset, res float64, rt bool, opt Options) core.Config {
 	cfg := core.DefaultConfig(res)
-	cfg.Backend = backend
+	cfg.Backend = opt.Backend
 	cfg.MaxRange = ds.Sensor.MaxRange
 	cfg.RT = rt
+	cfg.Trace = opt.Trace
+	cfg.TraceWorkers = opt.TraceWorkers
 	cfg.CacheTau = 4
 	cfg.CacheBuckets = bucketsFor(ds, res, cfg.CacheTau)
 	return cfg

@@ -47,7 +47,7 @@ func runFig23(opt Options) ([]*Table, error) {
 				w = 16
 			}
 			opt.logf("fig23: %s w=%d", name, w)
-			cfg := constructionConfig(ds, res, false, opt.Backend)
+			cfg := constructionConfig(ds, res, false, opt)
 			cfg.CacheBuckets = w
 			m := core.MustNew(core.KindSerial, cfg)
 			_, cs := replay(m, ds)
@@ -91,7 +91,7 @@ func runFig24(opt Options) ([]*Table, error) {
 				w = 16
 			}
 			opt.logf("fig24: %s tau=%d", name, tau)
-			cfg := constructionConfig(ds, res, false, opt.Backend)
+			cfg := constructionConfig(ds, res, false, opt)
 			cfg.CacheTau = tau
 			cfg.CacheBuckets = w
 			dur := timeReplay(core.KindSerial, cfg, ds)
@@ -133,7 +133,7 @@ func runAblOrder(opt Options) ([]*Table, error) {
 		res := referenceResolution(name)
 		for _, v := range variants {
 			opt.logf("abl-order: %s %v/%v", name, v.index, v.order)
-			cfg := constructionConfig(ds, res, false, opt.Backend)
+			cfg := constructionConfig(ds, res, false, opt)
 			cfg.CacheIndex = v.index
 			cfg.EvictOrder = v.order
 			dur := timeReplay(core.KindSerial, cfg, ds)
@@ -188,7 +188,7 @@ func runAblArena(opt Options) ([]*Table, error) {
 		res := referenceResolution(name)
 		for _, kind := range []core.Kind{core.KindOctoMap, core.KindSerial} {
 			opt.logf("abl-arena: %s/%v", name, kind)
-			cfg := constructionConfig(ds, res, false, opt.Backend)
+			cfg := constructionConfig(ds, res, false, opt)
 			m := core.MustNew(kind, cfg)
 			start := time.Now()
 			for _, s := range ds.Scans {

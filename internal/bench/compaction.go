@@ -38,7 +38,7 @@ func runAblCompact(opt Options) ([]*Table, error) {
 		}
 		opt.logf("abl-compact: %s", name)
 		res := referenceResolution(name)
-		cfg := constructionConfig(ds, res, false, opt.Backend)
+		cfg := constructionConfig(ds, res, false, opt)
 		m := core.MustNew(core.KindSerial, cfg)
 		// First pass builds the map; the repeats are the prune-heavy
 		// phase: re-observation saturates free space and collapses

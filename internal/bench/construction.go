@@ -52,7 +52,7 @@ func runFig6(opt Options) ([]*Table, error) {
 		for _, mult := range []float64{1, 2, 4} {
 			res := base * mult
 			opt.logf("fig6: %s @ %.2fm", name, res)
-			m := core.MustNew(core.KindOctoMap, constructionConfig(ds, res, false, opt.Backend))
+			m := core.MustNew(core.KindOctoMap, constructionConfig(ds, res, false, opt))
 			tm, _ := replay(m, ds)
 			total := tm.RayTracing + tm.OctreeUpdate
 			share := 0.0
@@ -101,7 +101,7 @@ func runConstruction(opt Options, rt bool) ([]*Table, error) {
 		for _, mult := range constructionResolutions(opt.scale()) {
 			res := base * mult
 			opt.logf("fig%s: %s @ %.2fm", figNo(rt), name, res)
-			cfg := constructionConfig(ds, res, rt, opt.Backend)
+			cfg := constructionConfig(ds, res, rt, opt)
 
 			tOcto := timeReplay(core.KindOctoMap, cfg, ds)
 			tSerial := timeReplay(core.KindSerial, cfg, ds)
@@ -158,7 +158,7 @@ func runFig22(opt Options) ([]*Table, error) {
 			return nil, err
 		}
 		res := referenceResolution(name)
-		cfg := constructionConfig(ds, res, false, opt.Backend)
+		cfg := constructionConfig(ds, res, false, opt)
 		for _, kind := range []core.Kind{core.KindOctoMap, core.KindSerial, core.KindParallel} {
 			opt.logf("fig22: %s/%v", name, kind)
 			m := core.MustNew(kind, cfg)
@@ -191,7 +191,7 @@ func runTable3(opt Options) ([]*Table, error) {
 		}
 		res := referenceResolution(name)
 		opt.logf("tab3: %s", name)
-		m := core.MustNew(core.KindParallel, constructionConfig(ds, res, false, opt.Backend))
+		m := core.MustNew(core.KindParallel, constructionConfig(ds, res, false, opt))
 		tm, _ := replay(m, ds)
 		queue := tm.Enqueue + tm.Dequeue
 		share := 0.0

@@ -31,7 +31,7 @@ func runShardScale(opt Options) ([]*Table, error) {
 		return nil, err
 	}
 	res := referenceResolution(name)
-	cfg := constructionConfig(ds, res, false, opt.Backend)
+	cfg := constructionConfig(ds, res, false, opt)
 
 	t := &Table{
 		Title: "Sharded-map ingest scaling",

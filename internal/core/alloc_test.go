@@ -18,10 +18,13 @@ import (
 // check must be free, and it must not trip on a steady-state arena.
 // The durable dimension arms the WAL: the append path encodes into the
 // store's reused buffer and writes through an open fd, so logging every
-// batch must stay inside the same allocation budget.
+// batch must stay inside the same allocation budget. The boundary
+// dimension swaps the tracer: once its bit planes are sized to the
+// scan's bounding box, repeat scans must rasterize and sweep without
+// allocating either.
 func TestInsertSteadyStateAllocs(t *testing.T) {
 	for _, kind := range []Kind{KindSerial, KindOctoMap} {
-		for _, variant := range []string{"", "windowed", "durable"} {
+		for _, variant := range []string{"", "windowed", "durable", "boundary"} {
 			name := kind.String()
 			if variant != "" {
 				name += "/" + variant
@@ -37,6 +40,8 @@ func TestInsertSteadyStateAllocs(t *testing.T) {
 					cfg.Window = Window{Radius: 8, TileDepth: 5, Dir: t.TempDir()}
 				case "durable":
 					cfg.Durable = Durable{Dir: t.TempDir()}
+				case "boundary":
+					cfg.Trace = TraceBoundary
 				}
 				m := MustNew(kind, cfg)
 				rng := rand.New(rand.NewSource(11))

@@ -32,7 +32,7 @@ type voxelCacheMapper struct {
 	cfg        Config
 	tree       *octree.IndexedTree
 	shadow     *octree.Tree // kept pruned for Snapshot consumers
-	tracer     *raytrace.Tracer
+	tracer     raytrace.Scanner
 	timings    Timings
 	compaction CompactionStats
 	done       bool
@@ -50,11 +50,7 @@ func newVoxelCache(cfg Config) (*voxelCacheMapper, error) {
 		cfg:    cfg,
 		tree:   it,
 		shadow: octree.New(cfg.Octree),
-		tracer: raytrace.NewTracer(raytrace.Config{
-			Resolution: cfg.Octree.Resolution,
-			Depth:      cfg.Octree.Depth,
-			MaxRange:   cfg.MaxRange,
-		}),
+		tracer: cfg.newScanner(),
 	}, nil
 }
 
@@ -180,7 +176,7 @@ type naiveMapper struct {
 	store      Backend
 	compactor  Compactor
 	mu         sync.Mutex
-	tracer     *raytrace.Tracer
+	tracer     raytrace.Scanner
 	workers    int
 	timings    Timings
 	compaction CompactionStats
@@ -189,13 +185,9 @@ type naiveMapper struct {
 
 func newNaive(cfg Config) *naiveMapper {
 	m := &naiveMapper{
-		cfg:   cfg,
-		store: cfg.newBackend(),
-		tracer: raytrace.NewTracer(raytrace.Config{
-			Resolution: cfg.Octree.Resolution,
-			Depth:      cfg.Octree.Depth,
-			MaxRange:   cfg.MaxRange,
-		}),
+		cfg:     cfg,
+		store:   cfg.newBackend(),
+		tracer:  cfg.newScanner(),
 		workers: runtime.GOMAXPROCS(0),
 	}
 	m.compactor, _ = m.store.(Compactor)

@@ -27,7 +27,12 @@ func CastRayKeys(params voxel.Params, occ func(voxel.Key) (float32, bool),
 		return geom.Vec3{}, false
 	}
 	if maxRange <= 0 {
-		maxRange = params.MapSize()
+		// An unbounded cast must cover the worst-case in-cube ray — the
+		// cube diagonal, √3 × the edge — or a diagonal walk would stop
+		// short of a reachable occupied voxel in the far corner. The
+		// grid-bounds exit below terminates the walk before the budget
+		// on every ray that leaves the cube.
+		maxRange = math.Sqrt(3) * params.MapSize()
 	}
 
 	res := params.Resolution

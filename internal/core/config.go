@@ -23,12 +23,26 @@ import (
 
 	"octocache/internal/cache"
 	"octocache/internal/octree"
+	"octocache/internal/raytrace"
 )
 
 // CompactionPolicy re-exports the octree's automatic-compaction trigger
 // so layered packages configure it without importing the storage
 // package.
 type CompactionPolicy = octree.CompactionPolicy
+
+// TraceMode re-exports the scan-tracing algorithm selector so layered
+// packages configure it without importing the trace package.
+type TraceMode = raytrace.Mode
+
+const (
+	// TraceDDA marches every ray voxel-by-voxel (the default).
+	TraceDDA = raytrace.ModeDDA
+	// TraceBoundary rasterizes the scan's free space once per batch from
+	// the measured surface; batches come out deduplicated (occupied
+	// observations win), set-equal to TraceDDA with RT enabled.
+	TraceBoundary = raytrace.ModeBoundary
+)
 
 // Config configures any of the mapping pipelines.
 type Config struct {
@@ -52,7 +66,17 @@ type Config struct {
 	// EvictOrder selects the eviction batch ordering.
 	EvictOrder cache.EvictOrder
 	// RT enables deduplicating ray tracing (the OctoMap-RT method).
+	// TraceBoundary batches are deduplicated regardless.
 	RT bool
+	// Trace selects the scan-tracing algorithm: TraceDDA (default)
+	// marches per ray, TraceBoundary rasterizes per batch.
+	Trace TraceMode
+	// TraceWorkers fans the trace stage across this many goroutines per
+	// scan; 0 or 1 traces serially. The fan preserves batch order (DDA)
+	// and bit-union determinism (boundary), so results are identical at
+	// any worker count — but the per-call join state allocates, so the
+	// zero-allocation insert gate only holds at 0 or 1.
+	TraceWorkers int
 	// Compaction triggers automatic octree arena compaction: after a
 	// batch is integrated, a pipeline whose arena crosses the policy's
 	// fragmentation threshold is compacted behind the applier quiesce.
@@ -106,6 +130,12 @@ func (c Config) Validate() error {
 	if c.Backend != BackendOctree && c.Backend != BackendGrid {
 		return fmt.Errorf("core: unknown backend %v", c.Backend)
 	}
+	if c.Trace != TraceDDA && c.Trace != TraceBoundary {
+		return fmt.Errorf("core: unknown trace mode %v", c.Trace)
+	}
+	if c.TraceWorkers < 0 {
+		return fmt.Errorf("core: TraceWorkers must be >= 0, got %d", c.TraceWorkers)
+	}
 	if err := c.Durable.Validate(); err != nil {
 		return err
 	}
@@ -127,6 +157,16 @@ func (c Config) Validate() error {
 		return err
 	}
 	return c.Compaction.Validate()
+}
+
+// newScanner constructs the configured trace stage — the one place the
+// pipelines and the shard router derive a Scanner from a Config.
+func (c Config) newScanner() raytrace.Scanner {
+	return raytrace.New(raytrace.Config{
+		Resolution: c.Octree.Resolution,
+		Depth:      c.Octree.Depth,
+		MaxRange:   c.MaxRange,
+	}, c.Trace, c.TraceWorkers)
 }
 
 func (c Config) cacheConfig() cache.Config {

@@ -55,7 +55,7 @@ type engine struct {
 	store     Backend
 	compactor Compactor
 	cache     *cache.Cache // nil for the direct (OctoMap baseline) composition
-	tracer    *raytrace.Tracer
+	tracer    raytrace.Scanner
 	// lookup is the store read the cache consults on admission misses,
 	// built once so the per-scan admit loop stays closure-allocation-free.
 	lookup cache.TreeLookup
@@ -121,11 +121,7 @@ func newEngine(cfg Config, baseName string, direct, async bool) (*engine, error)
 		cfg:      cfg,
 		baseName: baseName,
 		store:    cfg.newBackend(),
-		tracer: raytrace.NewTracer(raytrace.Config{
-			Resolution: cfg.Octree.Resolution,
-			Depth:      cfg.Octree.Depth,
-			MaxRange:   cfg.MaxRange,
-		}),
+		tracer:   cfg.newScanner(),
 	}
 	e.compactor, _ = e.store.(Compactor)
 	var recovered *durable.Recovered
@@ -193,16 +189,20 @@ func newEngine(cfg Config, baseName string, direct, async bool) (*engine, error)
 }
 
 func (e *engine) Name() string {
-	if e.cfg.RT {
-		return e.baseName + "-rt"
+	name := e.baseName
+	if e.cfg.Trace == TraceBoundary {
+		name += "-boundary"
 	}
-	return e.baseName
+	if e.cfg.RT {
+		name += "-rt"
+	}
+	return name
 }
 
 // traceScan is the shared ray-tracing stage: it turns one scan into the
 // per-voxel observation batch and charges the time to tm.RayTracing.
 // The baseline pipelines reuse it so the stage exists exactly once.
-func traceScan(tr *raytrace.Tracer, rt bool, origin geom.Vec3, points []geom.Vec3, tm *Timings) []raytrace.Voxel {
+func traceScan(tr raytrace.Scanner, rt bool, origin geom.Vec3, points []geom.Vec3, tm *Timings) []raytrace.Voxel {
 	t0 := time.Now()
 	var batch []raytrace.Voxel
 	if rt {

@@ -19,7 +19,11 @@ func (t *Tree) CastRay(origin, dir geom.Vec3, maxRange float64, ignoreUnknown bo
 		return geom.Vec3{}, false
 	}
 	if maxRange <= 0 {
-		maxRange = t.params.MapSize()
+		// The worst-case in-cube ray is the cube diagonal, √3 × the
+		// edge; defaulting to MapSize alone would stop a diagonal cast
+		// short of a reachable far-corner voxel. Rays leaving the cube
+		// still exit promptly through the grid-bounds check below.
+		maxRange = math.Sqrt(3) * t.params.MapSize()
 	}
 
 	// Degenerate direction.

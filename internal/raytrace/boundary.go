@@ -1,0 +1,316 @@
+package raytrace
+
+import (
+	"math"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+
+	"octocache/internal/geom"
+	"octocache/internal/voxel"
+)
+
+// maxBoundaryBits caps each rasterization plane (free and occupied) at
+// 2 MB per tracer. Scans whose padded key-space bounding box exceeds it
+// fall back to hash-map deduplication, which is slower but needs memory
+// proportional to the batch, not the box.
+const maxBoundaryBits = 1 << 24
+
+// ddaSlack is the step budget traceRay grants beyond the Manhattan
+// distance to absorb float pathology. A ray's marks can overshoot its
+// start/end box by at most this many voxels, so padding the scan box by
+// it keeps every mark inside the rasterization planes.
+const ddaSlack = 6
+
+// rayEnd is one binned endpoint: where the (possibly MaxRange-truncated)
+// ray stops, and whether that voxel was measured occupied.
+type rayEnd struct {
+	end      geom.Vec3
+	key      voxel.Key
+	occupied bool
+}
+
+// Boundary rasterizes a scan's free space once per batch instead of
+// appending every ray's voxels individually (the D-BDM idea): endpoints
+// are binned into two bit planes spanning the scan's key-space bounding
+// box — surface voxels in the occupied plane, the region bounded by the
+// origin and the surface in the free plane — and the planes are swept
+// out in scanline order. The emitted batch is inherently deduplicated
+// with occupied observations winning, set-equal to Tracer.TraceRT by
+// construction: the marking pass walks each ray with the identical DDA,
+// so the union of bits is exactly the union of per-ray visits, at bit-OR
+// cost instead of hash-map cost and without the duplicated appends.
+//
+// Like Tracer, a Boundary reuses all internal storage: it is not safe
+// for concurrent use and the returned batch aliases a buffer the next
+// call overwrites. With workers > 1 the marking pass fans the rays
+// across goroutines OR-ing into the shared planes atomically — the
+// result is bit-identical to the serial pass because bit-union commutes.
+type Boundary struct {
+	cfg     Config
+	workers int
+
+	ends []rayEnd // binned endpoints, reused
+	free []uint64 // free-space plane over the scan box, reused
+	occ  []uint64 // surface plane over the scan box, reused
+	out  []Voxel  // swept batch storage, reused
+
+	// fb handles scans whose bounding box exceeds maxBoundaryBits.
+	fb *Tracer
+}
+
+// NewBoundary constructs a boundary tracer; workers <= 1 marks rays
+// serially.
+func NewBoundary(cfg Config, workers int) *Boundary {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Boundary{cfg: cfg, workers: workers}
+}
+
+// Config returns the tracer's configuration.
+func (b *Boundary) Config() Config { return b.cfg }
+
+// Trace returns the same deduplicated batch as TraceRT: a boundary
+// rasterization cannot preserve duplicate observations — removing them
+// is what makes it cheaper than per-ray marching.
+func (b *Boundary) Trace(origin geom.Vec3, points []geom.Vec3) []Voxel {
+	return b.TraceRT(origin, points)
+}
+
+// rasterGrid is the per-scan view of the bit planes: the padded
+// key-space box and the word geometry of one x-major row.
+type rasterGrid struct {
+	min        [3]int
+	dx, dy, dz int
+	rowWords   int
+	free, occ  []uint64
+}
+
+// mark sets one voxel's bit. Marks outside the padded box are impossible
+// by the step-budget argument (see ddaSlack), but are dropped rather
+// than ever touching memory out of plane bounds.
+func (g *rasterGrid) mark(c [3]int, occupied, shared bool) {
+	x, y, z := c[0]-g.min[0], c[1]-g.min[1], c[2]-g.min[2]
+	if uint(x) >= uint(g.dx) || uint(y) >= uint(g.dy) || uint(z) >= uint(g.dz) {
+		return
+	}
+	w := (z*g.dy+y)*g.rowWords + x>>6
+	bit := uint64(1) << (x & 63)
+	plane := g.free
+	if occupied {
+		plane = g.occ
+	}
+	if shared {
+		orUint64(&plane[w], bit)
+	} else {
+		plane[w] |= bit
+	}
+}
+
+// orUint64 is an atomic bit-OR via CAS (sync/atomic's OrUint64 needs a
+// newer language version than this module targets).
+func orUint64(p *uint64, v uint64) {
+	for {
+		old := atomic.LoadUint64(p)
+		if old&v == v || atomic.CompareAndSwapUint64(p, old, old|v) {
+			return
+		}
+	}
+}
+
+// TraceRT converts a point cloud into a deduplicated voxel batch via
+// boundary rasterization. The batch holds each observed voxel exactly
+// once, occupied observations winning over free, in scanline (x-fastest)
+// order over the scan's bounding box.
+func (b *Boundary) TraceRT(origin geom.Vec3, points []geom.Vec3) []Voxel {
+	b.out = b.out[:0]
+	startKey, startOK := voxel.CoordToKey(origin, b.cfg.Resolution, b.cfg.Depth)
+	if !startOK {
+		// Every ray of the scan starts outside the mapped cube and
+		// carries no usable evidence, exactly as traceRay skips them.
+		return b.out
+	}
+
+	// Pass A: bin endpoints — MaxRange truncation identical to traceRay —
+	// and gather the scan's key-space bounding box, origin included.
+	ends := b.ends[:0]
+	lo := [3]int{int(startKey.X), int(startKey.Y), int(startKey.Z)}
+	hi := lo
+	for _, p := range points {
+		end := p
+		occupied := true
+		if b.cfg.MaxRange > 0 {
+			d := p.Sub(origin)
+			if n := d.Norm(); n > b.cfg.MaxRange {
+				end = origin.Add(d.Scale(b.cfg.MaxRange / n))
+				occupied = false
+			}
+		}
+		key, ok := voxel.CoordToKey(end, b.cfg.Resolution, b.cfg.Depth)
+		if !ok {
+			continue
+		}
+		ends = append(ends, rayEnd{end: end, key: key, occupied: occupied})
+		c := [3]int{int(key.X), int(key.Y), int(key.Z)}
+		for i := 0; i < 3; i++ {
+			lo[i] = min(lo[i], c[i])
+			hi[i] = max(hi[i], c[i])
+		}
+	}
+	b.ends = ends
+	if len(ends) == 0 {
+		return b.out
+	}
+
+	// Pad by the DDA's step slack and clamp to the grid; with the
+	// in-march bounds bail no mark can land outside the clamped box.
+	limit := 1 << b.cfg.Depth
+	for i := 0; i < 3; i++ {
+		lo[i] = max(lo[i]-ddaSlack, 0)
+		hi[i] = min(hi[i]+ddaSlack, limit-1)
+	}
+	g := rasterGrid{
+		min: lo,
+		dx:  hi[0] - lo[0] + 1,
+		dy:  hi[1] - lo[1] + 1,
+		dz:  hi[2] - lo[2] + 1,
+	}
+	g.rowWords = (g.dx + 63) / 64
+	words := g.rowWords * g.dy * g.dz
+	if words*64 > maxBoundaryBits {
+		// The scan spans too large a box to rasterize densely (sparse
+		// long-range scans); dedup through the hash path instead.
+		if b.fb == nil {
+			b.fb = NewTracer(b.cfg)
+		}
+		return b.fb.TraceRT(origin, points)
+	}
+	if cap(b.free) < words {
+		b.free = make([]uint64, words)
+		b.occ = make([]uint64, words)
+	}
+	g.free, g.occ = b.free[:words], b.occ[:words]
+	clear(g.free)
+	clear(g.occ)
+
+	// Pass B: mark each ray — the same Amanatides–Woo march as traceRay,
+	// setting bits instead of appending voxels.
+	if b.workers > 1 && len(ends) >= 2*b.workers {
+		var wg sync.WaitGroup
+		chunk := (len(ends) + b.workers - 1) / b.workers
+		for w := 0; w*chunk < len(ends); w++ {
+			part := ends[w*chunk : min((w+1)*chunk, len(ends))]
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range part {
+					b.markRay(&g, origin, startKey, part[i], true)
+				}
+			}()
+		}
+		wg.Wait()
+	} else {
+		for i := range ends {
+			b.markRay(&g, origin, startKey, ends[i], false)
+		}
+	}
+
+	// Pass C: sweep the box in scanline order. Occupied wins: a voxel
+	// both on the surface and crossed by another ray emits occupied.
+	out := b.out
+	for z := 0; z < g.dz; z++ {
+		for y := 0; y < g.dy; y++ {
+			base := (z*g.dy + y) * g.rowWords
+			for w := 0; w < g.rowWords; w++ {
+				f, o := g.free[base+w], g.occ[base+w]
+				for m := f | o; m != 0; m &= m - 1 {
+					bit := bits.TrailingZeros64(m)
+					out = append(out, Voxel{
+						Key: voxel.Key{
+							X: uint16(lo[0] + w<<6 + bit),
+							Y: uint16(lo[1] + y),
+							Z: uint16(lo[2] + z),
+						},
+						Occupied: o>>uint(bit)&1 == 1,
+					})
+				}
+			}
+		}
+	}
+	b.out = out
+	return out
+}
+
+// markRay rasterizes one ray: free bits from the origin up to (but
+// excluding) the endpoint voxel, then the endpoint bit in the occupied
+// or free plane per the measurement. The march is structurally identical
+// to Tracer.traceRay — same step budget, same bounds bail — so the bit
+// union equals the per-ray visit union exactly.
+func (b *Boundary) markRay(g *rasterGrid, origin geom.Vec3, startKey voxel.Key, r rayEnd, shared bool) {
+	endC := [3]int{int(r.key.X), int(r.key.Y), int(r.key.Z)}
+	if startKey == r.key {
+		g.mark(endC, r.occupied, shared)
+		return
+	}
+
+	res := b.cfg.Resolution
+	dir := r.end.Sub(origin)
+	length := dir.Norm()
+	dirN := dir.Scale(1 / length)
+
+	cur := [3]int{int(startKey.X), int(startKey.Y), int(startKey.Z)}
+	o := [3]float64{origin.X, origin.Y, origin.Z}
+	d := [3]float64{dirN.X, dirN.Y, dirN.Z}
+	half := 1 << (b.cfg.Depth - 1)
+
+	var step [3]int
+	var tMax, tDelta [3]float64
+	for i := 0; i < 3; i++ {
+		switch {
+		case d[i] > 0:
+			step[i] = 1
+			boundary := float64(cur[i]-half+1) * res
+			tMax[i] = (boundary - o[i]) / d[i]
+			tDelta[i] = res / d[i]
+		case d[i] < 0:
+			step[i] = -1
+			boundary := float64(cur[i]-half) * res
+			tMax[i] = (boundary - o[i]) / d[i]
+			tDelta[i] = -res / d[i]
+		default:
+			step[i] = 0
+			tMax[i] = math.Inf(1)
+			tDelta[i] = math.Inf(1)
+		}
+	}
+
+	maxSteps := (abs(endC[0]-cur[0]) + abs(endC[1]-cur[1]) + abs(endC[2]-cur[2])) + ddaSlack
+	limit := 1 << b.cfg.Depth
+	// The free-bit set is inlined (g.mark is too hot a call at one voxel
+	// per step): same index math, same drop-don't-wrap guard.
+	free, rowW := g.free, g.rowWords
+	for steps := 0; steps < maxSteps && cur != endC; steps++ {
+		if x, y, z := cur[0]-g.min[0], cur[1]-g.min[1], cur[2]-g.min[2]; uint(x) < uint(g.dx) && uint(y) < uint(g.dy) && uint(z) < uint(g.dz) {
+			w := (z*g.dy+y)*rowW + x>>6
+			if shared {
+				orUint64(&free[w], uint64(1)<<(x&63))
+			} else {
+				free[w] |= uint64(1) << (x & 63)
+			}
+		}
+		axis := 0
+		if tMax[1] < tMax[axis] {
+			axis = 1
+		}
+		if tMax[2] < tMax[axis] {
+			axis = 2
+		}
+		cur[axis] += step[axis]
+		tMax[axis] += tDelta[axis]
+		if cur[axis] < 0 || cur[axis] >= limit {
+			break
+		}
+	}
+	g.mark(endC, r.occupied, shared)
+}

@@ -1,0 +1,376 @@
+package raytrace
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"octocache/internal/geom"
+	"octocache/internal/voxel"
+)
+
+// batchSet folds a batch into its deduplicated observation set with the
+// occupied-wins rule — the canonical form both tracing algorithms must
+// agree on.
+func batchSet(b []Voxel) map[voxel.Key]bool {
+	set := make(map[voxel.Key]bool, len(b))
+	for _, v := range b {
+		set[v.Key] = set[v.Key] || v.Occupied
+	}
+	return set
+}
+
+func sameSet(t *testing.T, want, got map[voxel.Key]bool, label string) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d voxels, want %d", label, len(got), len(want))
+	}
+	for k, occ := range want {
+		g, ok := got[k]
+		if !ok {
+			t.Fatalf("%s: missing voxel %v", label, k)
+		}
+		if g != occ {
+			t.Fatalf("%s: voxel %v occupied=%v, want %v", label, k, g, occ)
+		}
+	}
+}
+
+// coneScan fans n rays from origin over a quarter-sphere at radius r.
+func coneScan(origin geom.Vec3, n int, r float64) []geom.Vec3 {
+	pts := make([]geom.Vec3, 0, n)
+	for i := 0; i < n; i++ {
+		yaw := float64(i) / float64(n) * math.Pi / 2
+		pitch := (float64(i%7)/7 - 0.5) * math.Pi / 6
+		pts = append(pts, origin.Add(geom.V(
+			r*math.Cos(pitch)*math.Cos(yaw),
+			r*math.Cos(pitch)*math.Sin(yaw),
+			r*math.Sin(pitch))))
+	}
+	return pts
+}
+
+// TestTraceEdgeCases drives both tracing algorithms through the
+// degenerate ray shapes — axis-aligned, endpoint exactly on a voxel
+// boundary, MaxRange-truncated, zero-length, grid-edge grazing — and
+// asserts every emitted key is inside the grid, the endpoint occupancy
+// rule holds, and the two algorithms agree on the observation set.
+func TestTraceEdgeCases(t *testing.T) {
+	// Depth 10 keeps the grid small (51.2 m half-range at 0.1 m) so the
+	// in-grid assertion has teeth: a wrapped or unclamped key would land
+	// outside [0, 1024).
+	const depth = 10
+	const res = 0.1
+	half := res * float64(int(1)<<(depth-1)) // 51.2
+
+	cases := []struct {
+		name     string
+		origin   geom.Vec3
+		points   []geom.Vec3
+		maxRange float64
+		// truncated marks rays whose endpoints must NOT be occupied.
+		truncated bool
+	}{
+		{name: "axis-aligned-x", origin: geom.V(0.05, 0.05, 0.05),
+			points: []geom.Vec3{geom.V(2.05, 0.05, 0.05)}},
+		{name: "axis-aligned-neg-y", origin: geom.V(0.05, 0.05, 0.05),
+			points: []geom.Vec3{geom.V(0.05, -3.05, 0.05)}},
+		{name: "axis-aligned-z", origin: geom.V(0.05, 0.05, 0.05),
+			points: []geom.Vec3{geom.V(0.05, 0.05, 4.05)}},
+		{name: "endpoint-on-voxel-boundary", origin: geom.V(0.05, 0.05, 0.05),
+			points: []geom.Vec3{geom.V(1.0, 0.2, 0.3), geom.V(0.5, 0.5, 0.5)}},
+		{name: "origin-on-voxel-boundary", origin: geom.V(0, 0, 0),
+			points: []geom.Vec3{geom.V(1.55, 0.75, 0.35)}},
+		{name: "maxrange-truncated", origin: geom.V(0.05, 0.05, 0.05),
+			points:   []geom.Vec3{geom.V(10.05, 0.05, 0.05), geom.V(0.05, 12.05, 3.05)},
+			maxRange: 2.5, truncated: true},
+		{name: "zero-length", origin: geom.V(0.25, 0.25, 0.25),
+			points: []geom.Vec3{geom.V(0.25, 0.25, 0.25)}},
+		{name: "same-voxel", origin: geom.V(0.21, 0.22, 0.23),
+			points: []geom.Vec3{geom.V(0.27, 0.28, 0.29)}},
+		{name: "grid-edge-grazing", origin: geom.V(half-0.45, half-0.45, 0.05),
+			points: []geom.Vec3{
+				geom.V(half-0.05, half-0.05, 0.05), // ends in the outermost voxel
+				geom.V(half+5, half+5, 0.05),       // leaves the cube: skipped
+			}},
+		{name: "near-corner-diagonal", origin: geom.V(-half+0.15, -half+0.15, -half+0.15),
+			points: []geom.Vec3{geom.V(-half+2.05, -half+1.55, -half+0.95)}},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := Config{Resolution: res, Depth: depth, MaxRange: tc.maxRange}
+			dda := NewTracer(c)
+			boundary := NewBoundary(c, 1)
+
+			raw := dda.Trace(tc.origin, tc.points)
+			limit := uint16(1) << depth
+			for i, v := range raw {
+				if v.Key.X >= limit || v.Key.Y >= limit || v.Key.Z >= limit {
+					t.Fatalf("DDA emitted out-of-grid key %v at %d", v.Key, i)
+				}
+			}
+
+			// Endpoint occupancy: every in-cube, untruncated endpoint must
+			// be observed occupied; truncated rays must observe nothing
+			// occupied at all.
+			want := batchSet(raw)
+			if tc.truncated {
+				for k, occ := range want {
+					if occ {
+						t.Fatalf("truncated scan observed occupied voxel %v", k)
+					}
+				}
+			} else {
+				for _, p := range tc.points {
+					ek, ok := voxel.CoordToKey(p, res, depth)
+					if !ok {
+						continue
+					}
+					if !want[ek] {
+						t.Fatalf("endpoint voxel %v not observed occupied", ek)
+					}
+				}
+			}
+
+			got := boundary.TraceRT(tc.origin, tc.points)
+			for i, v := range got {
+				if v.Key.X >= limit || v.Key.Y >= limit || v.Key.Z >= limit {
+					t.Fatalf("boundary emitted out-of-grid key %v at %d", v.Key, i)
+				}
+			}
+			if CountDistinct(got) != len(got) {
+				t.Fatal("boundary batch contains duplicates")
+			}
+			sameSet(t, want, batchSet(got), "boundary vs DDA")
+
+			// And the deduplicated DDA stream agrees too.
+			rt := NewTracer(c).TraceRT(tc.origin, tc.points)
+			sameSet(t, want, batchSet(rt), "TraceRT vs raw")
+		})
+	}
+}
+
+// TestBoundaryMatchesTraceRT is the core differential property: on
+// random conical scans the boundary rasterization and the deduplicated
+// per-ray march must produce the same observation set, at any worker
+// count.
+func TestBoundaryMatchesTraceRT(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		c := Config{Resolution: 0.1, Depth: 16, MaxRange: 6}
+		dda := NewTracer(c)
+		boundary := NewBoundary(c, workers)
+		rng := rand.New(rand.NewSource(77))
+		for trial := 0; trial < 40; trial++ {
+			origin := geom.V(rng.Float64()*8-4, rng.Float64()*8-4, rng.Float64()*2)
+			pts := make([]geom.Vec3, 0, 120)
+			for i := 0; i < 120; i++ {
+				yaw := rng.Float64() * 2 * math.Pi
+				pitch := (rng.Float64() - 0.5) * math.Pi / 3
+				r := 0.5 + rng.Float64()*7 // some rays exceed MaxRange
+				pts = append(pts, origin.Add(geom.V(
+					r*math.Cos(pitch)*math.Cos(yaw),
+					r*math.Cos(pitch)*math.Sin(yaw),
+					r*math.Sin(pitch))))
+			}
+			want := batchSet(dda.TraceRT(origin, pts))
+			got := boundary.TraceRT(origin, pts)
+			if CountDistinct(got) != len(got) {
+				t.Fatalf("workers=%d trial %d: boundary batch has duplicates", workers, trial)
+			}
+			sameSet(t, want, batchSet(got), "boundary")
+		}
+	}
+}
+
+// TestBoundaryScanlineOrder pins the sweep order: within a batch, keys
+// ascend in (Z, Y, X) — the deterministic order the consistency matrix
+// and the shard router's stable partition see.
+func TestBoundaryScanlineOrder(t *testing.T) {
+	c := Config{Resolution: 0.1, Depth: 16}
+	b := NewBoundary(c, 1)
+	batch := b.TraceRT(geom.V(0.05, 0.05, 1.05), coneScan(geom.V(0.05, 0.05, 1.05), 90, 3))
+	if len(batch) == 0 {
+		t.Fatal("empty batch")
+	}
+	for i := 1; i < len(batch); i++ {
+		p, q := batch[i-1].Key, batch[i].Key
+		pk := uint64(p.Z)<<32 | uint64(p.Y)<<16 | uint64(p.X)
+		qk := uint64(q.Z)<<32 | uint64(q.Y)<<16 | uint64(q.X)
+		if qk <= pk {
+			t.Fatalf("batch not in scanline order at %d: %v then %v", i, p, q)
+		}
+	}
+}
+
+// TestBoundaryBufferReuse re-traces different scans through one Boundary
+// and checks nothing bleeds between calls: each batch equals a fresh
+// tracer's answer for the same scan.
+func TestBoundaryBufferReuse(t *testing.T) {
+	c := Config{Resolution: 0.1, Depth: 16, MaxRange: 8}
+	b := NewBoundary(c, 1)
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		origin := geom.V(rng.Float64()*20-10, rng.Float64()*20-10, 1)
+		pts := coneScan(origin, 30+trial*11, 0.5+rng.Float64()*4)
+		got := batchSet(b.TraceRT(origin, pts))
+		want := batchSet(NewBoundary(c, 1).TraceRT(origin, pts))
+		sameSet(t, want, got, "reused tracer")
+	}
+}
+
+// TestBoundaryOversizedBoxFallback forces the scan's bounding box past
+// the rasterization cap (a sparse scan spanning kilometers) and checks
+// the fallback path still produces the deduplicated set.
+func TestBoundaryOversizedBoxFallback(t *testing.T) {
+	c := Config{Resolution: 0.1, Depth: 16} // no MaxRange: endpoints keep full spread
+	dda := NewTracer(c)
+	b := NewBoundary(c, 1)
+	origin := geom.V(0.05, 0.05, 0.05)
+	pts := []geom.Vec3{
+		geom.V(900.05, 0.05, 0.05),
+		geom.V(0.05, 900.05, 0.05),
+		geom.V(0.05, 0.05, 900.05),
+		geom.V(-700.05, -700.05, 0.05),
+	}
+	got := b.TraceRT(origin, pts)
+	if len(got) == 0 {
+		t.Fatal("fallback produced an empty batch")
+	}
+	sameSet(t, batchSet(dda.TraceRT(origin, pts)), batchSet(got), "fallback")
+}
+
+// TestBoundaryOutOfCube mirrors the DDA's skip rules: an origin outside
+// the mapped cube yields nothing, and out-of-cube endpoints drop only
+// their own rays.
+func TestBoundaryOutOfCube(t *testing.T) {
+	c := Config{Resolution: 0.1, Depth: 10}
+	b := NewBoundary(c, 1)
+	if batch := b.TraceRT(geom.V(1e5, 0, 0), coneScan(geom.V(1e5, 0, 0), 10, 2)); len(batch) != 0 {
+		t.Errorf("out-of-cube origin produced %d voxels", len(batch))
+	}
+	if batch := b.TraceRT(geom.V(0, 0, 0), nil); len(batch) != 0 {
+		t.Errorf("empty cloud produced %d voxels", len(batch))
+	}
+	mixed := b.TraceRT(geom.V(0.05, 0.05, 0.05),
+		[]geom.Vec3{geom.V(1e5, 0, 0), geom.V(1.05, 0.05, 0.05)})
+	want := batchSet(NewTracer(c).TraceRT(geom.V(0.05, 0.05, 0.05),
+		[]geom.Vec3{geom.V(1e5, 0, 0), geom.V(1.05, 0.05, 0.05)}))
+	sameSet(t, want, batchSet(mixed), "mixed in/out-of-cube scan")
+}
+
+// TestFanTracerMatchesSerial checks the worker fan is invisible: the
+// concatenated chunk batches equal the serial Tracer's stream exactly —
+// duplicates, ordering, occupancy — and the deduplicated stream too.
+func TestFanTracerMatchesSerial(t *testing.T) {
+	c := Config{Resolution: 0.1, Depth: 16, MaxRange: 6}
+	serial := NewTracer(c)
+	fan := newFanTracer(c, 4)
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 20; trial++ {
+		origin := geom.V(rng.Float64()*4-2, rng.Float64()*4-2, 1)
+		pts := coneScan(origin, 3+trial*17, 0.5+rng.Float64()*6)
+		want := serial.Trace(origin, pts)
+		got := fan.Trace(origin, pts)
+		if len(want) != len(got) {
+			t.Fatalf("trial %d: fan batch %d voxels, serial %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("trial %d: batches differ at %d: %v vs %v", trial, i, got[i], want[i])
+			}
+		}
+		wantRT := serial.TraceRT(origin, pts)
+		gotRT := fan.TraceRT(origin, pts)
+		if len(wantRT) != len(gotRT) {
+			t.Fatalf("trial %d: fan RT %d voxels, serial %d", trial, len(gotRT), len(wantRT))
+		}
+		for i := range wantRT {
+			if wantRT[i] != gotRT[i] {
+				t.Fatalf("trial %d: RT batches differ at %d", trial, i)
+			}
+		}
+	}
+}
+
+// TestNewScannerSelection pins New's dispatch.
+func TestNewScannerSelection(t *testing.T) {
+	c := Config{Resolution: 0.1, Depth: 16}
+	if _, ok := New(c, ModeDDA, 0).(*Tracer); !ok {
+		t.Error("ModeDDA workers=0 should be a serial Tracer")
+	}
+	if _, ok := New(c, ModeDDA, 4).(*fanTracer); !ok {
+		t.Error("ModeDDA workers=4 should be a fanTracer")
+	}
+	if _, ok := New(c, ModeBoundary, 0).(*Boundary); !ok {
+		t.Error("ModeBoundary should be a Boundary")
+	}
+	if ModeDDA.String() != "dda" || ModeBoundary.String() != "boundary" {
+		t.Error("mode names wrong")
+	}
+}
+
+// FuzzTraceModes is the DDA-vs-boundary differential fuzz: any scan the
+// fuzzer invents must produce the same deduplicated observation set from
+// both algorithms.
+func FuzzTraceModes(f *testing.F) {
+	f.Add(0.0, 0.0, 1.0, int64(1), uint8(30), 4.0)
+	f.Add(2.5, -1.5, 0.5, int64(99), uint8(90), 0.0)
+	f.Add(-4.0, 4.0, 2.0, int64(7), uint8(1), 1.5)
+	f.Add(50.0, -50.0, 0.0, int64(1234), uint8(200), 8.0)
+	f.Fuzz(func(t *testing.T, ox, oy, oz float64, seed int64, n uint8, maxRange float64) {
+		if math.IsNaN(ox) || math.IsInf(ox, 0) ||
+			math.IsNaN(oy) || math.IsInf(oy, 0) ||
+			math.IsNaN(oz) || math.IsInf(oz, 0) ||
+			math.IsNaN(maxRange) || math.IsInf(maxRange, 0) {
+			t.Skip()
+		}
+		c := Config{Resolution: 0.1, Depth: 12, MaxRange: maxRange}
+		origin := geom.V(ox, oy, oz)
+		rng := rand.New(rand.NewSource(seed))
+		pts := make([]geom.Vec3, 0, int(n))
+		for i := 0; i < int(n); i++ {
+			// Mostly local structure with occasional wild endpoints so both
+			// the rasterized and fallback paths get exercised.
+			r := rng.Float64() * 6
+			if rng.Intn(16) == 0 {
+				r = rng.Float64() * 1000
+			}
+			yaw := rng.Float64() * 2 * math.Pi
+			pitch := (rng.Float64() - 0.5) * math.Pi
+			pts = append(pts, origin.Add(geom.V(
+				r*math.Cos(pitch)*math.Cos(yaw),
+				r*math.Cos(pitch)*math.Sin(yaw),
+				r*math.Sin(pitch))))
+		}
+		want := batchSet(NewTracer(c).TraceRT(origin, pts))
+		got := NewBoundary(c, 1).TraceRT(origin, pts)
+		if CountDistinct(got) != len(got) {
+			t.Fatal("boundary batch contains duplicates")
+		}
+		gotSet := batchSet(got)
+		if len(want) != len(gotSet) {
+			t.Fatalf("boundary set %d voxels, DDA-RT %d", len(gotSet), len(want))
+		}
+		for k, occ := range want {
+			g, ok := gotSet[k]
+			if !ok || g != occ {
+				t.Fatalf("voxel %v: boundary (%v,%v) vs DDA (%v,true)", k, g, ok, occ)
+			}
+		}
+	})
+}
+
+func BenchmarkTraceBoundary(b *testing.B) {
+	tr := NewBoundary(cfg(0.1), 1)
+	origin := geom.V(0, 0, 1)
+	var pts []geom.Vec3
+	for i := 0; i < 500; i++ {
+		ang := float64(i) / 500 * math.Pi
+		pts = append(pts, geom.V(5*math.Cos(ang), 5*math.Sin(ang), 1))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.TraceRT(origin, pts)
+	}
+}

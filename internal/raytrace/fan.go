@@ -1,0 +1,78 @@
+package raytrace
+
+import (
+	"sync"
+
+	"octocache/internal/geom"
+	"octocache/internal/voxel"
+)
+
+// fanTracer fans the per-ray DDA across workers: the scan is split into
+// contiguous point chunks, each traced by its own sub-Tracer, and the
+// per-chunk batches are concatenated in chunk order. Because traceRay
+// appends rays strictly in point order, the concatenation is
+// bit-identical to a serial Tracer's batch — duplicates, ordering, and
+// all — so every downstream consumer (dedup, cache admission, shard
+// routing) sees exactly the serial stream.
+//
+// The fan allocates its join state (goroutines, closures) per call; it
+// backs TraceWorkers > 1, which the allocation-gated default path does
+// not use.
+type fanTracer struct {
+	cfg     Config
+	workers int
+	sub     []*Tracer
+	out     []Voxel
+	seen    map[voxel.Key]int
+}
+
+func newFanTracer(cfg Config, workers int) *fanTracer {
+	ft := &fanTracer{
+		cfg:     cfg,
+		workers: workers,
+		sub:     make([]*Tracer, workers),
+		seen:    make(map[voxel.Key]int),
+	}
+	for i := range ft.sub {
+		ft.sub[i] = NewTracer(cfg)
+	}
+	return ft
+}
+
+// Config returns the tracer's configuration.
+func (t *fanTracer) Config() Config { return t.cfg }
+
+// Trace converts a point cloud into a voxel batch, preserving duplicate
+// observations exactly as the serial Tracer does.
+func (t *fanTracer) Trace(origin geom.Vec3, points []geom.Vec3) []Voxel {
+	if len(points) < 2*t.workers {
+		return t.sub[0].Trace(origin, points)
+	}
+	chunk := (len(points) + t.workers - 1) / t.workers
+	var wg sync.WaitGroup
+	n := 0
+	for w := 0; w*chunk < len(points); w++ {
+		part := points[w*chunk : min((w+1)*chunk, len(points))]
+		tr := t.sub[w]
+		n = w + 1
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tr.Trace(origin, part)
+		}()
+	}
+	wg.Wait()
+	out := t.out[:0]
+	for _, tr := range t.sub[:n] {
+		out = append(out, tr.buf...)
+	}
+	t.out = out
+	return out
+}
+
+// TraceRT converts a point cloud into a deduplicated batch, occupied
+// observations winning, in first-observation order — identical to the
+// serial Tracer's TraceRT because the raw stream is.
+func (t *fanTracer) TraceRT(origin geom.Vec3, points []geom.Vec3) []Voxel {
+	return dedupRT(t.seen, t.Trace(origin, points))
+}

@@ -9,14 +9,24 @@
 // the heavy intra-batch duplication (2.78–31.32× in §3.1) that OctoCache
 // exploits.
 //
-// The package offers two tracers:
+// The package offers two tracing algorithms behind the Scanner
+// interface, selected by Mode:
 //
-//   - Tracer.Trace preserves duplicates, matching vanilla OctoMap's
-//     per-ray update stream.
-//   - Tracer.TraceRT eliminates duplicates within the batch (occupied
-//     observations win over free, OctoMap's discrete-update rule). This
-//     stands in for OctoMap-RT's deduplicating GPU ray tracer, which the
-//     paper itself re-implemented on the CPU for its -RT comparisons.
+//   - ModeDDA (Tracer): every ray is marched voxel-by-voxel with an
+//     Amanatides–Woo DDA. Tracer.Trace preserves duplicates, matching
+//     vanilla OctoMap's per-ray update stream; Tracer.TraceRT
+//     eliminates duplicates within the batch (occupied observations win
+//     over free, OctoMap's discrete-update rule), standing in for
+//     OctoMap-RT's deduplicating GPU ray tracer.
+//   - ModeBoundary (Boundary): the scan's free space is rasterized once
+//     per batch from the measured surface (D-BDM style): endpoints are
+//     binned into per-scan occupancy bitmaps, the region bounded by the
+//     origin and the surface is marked free, and the result is swept
+//     out in scanline order. The emitted batch is inherently
+//     deduplicated and set-equal to Tracer.TraceRT's.
+//
+// New(cfg, mode, workers) picks the implementation; workers > 1 fans
+// the per-ray work of either mode across goroutines.
 package raytrace
 
 import (
@@ -43,6 +53,58 @@ type Config struct {
 	// endpoint is recorded free (no obstacle evidence), following
 	// OctoMap's maxrange handling. Zero or negative disables truncation.
 	MaxRange float64
+}
+
+// Mode selects the tracing algorithm a Scanner uses.
+type Mode int
+
+const (
+	// ModeDDA marches every ray voxel-by-voxel (Amanatides–Woo); the
+	// default, matching vanilla OctoMap's update stream.
+	ModeDDA Mode = iota
+	// ModeBoundary rasterizes the scan's free space once per batch from
+	// the measured surface and sweeps it out in scanline order; the
+	// batch is inherently deduplicated (occupied-wins), set-equal to
+	// ModeDDA's TraceRT output.
+	ModeBoundary
+)
+
+// String names the mode the way pipeline names and flags spell it.
+func (m Mode) String() string {
+	if m == ModeBoundary {
+		return "boundary"
+	}
+	return "dda"
+}
+
+// Scanner converts sensor scans into voxel observation batches. All
+// implementations share the Tracer's reuse contract: a Scanner is not
+// safe for concurrent use and the returned batch aliases internal
+// buffers that the next call overwrites.
+type Scanner interface {
+	// Trace converts one scan into a voxel batch. ModeDDA preserves
+	// duplicate observations; ModeBoundary cannot (deduplication is the
+	// point of rasterizing), so its Trace equals its TraceRT.
+	Trace(origin geom.Vec3, points []geom.Vec3) []Voxel
+	// TraceRT converts one scan into a deduplicated batch: each voxel
+	// at most once, occupied observations outranking free ones.
+	TraceRT(origin geom.Vec3, points []geom.Vec3) []Voxel
+	// Config returns the discretization the scanner targets.
+	Config() Config
+}
+
+// New constructs the Scanner for a mode. workers > 1 fans the per-ray
+// work across that many goroutines per call (the fan allocates its
+// join state per call, so leave workers at 0 or 1 on allocation-gated
+// paths); 0 and 1 both mean serial.
+func New(cfg Config, mode Mode, workers int) Scanner {
+	if mode == ModeBoundary {
+		return NewBoundary(cfg, workers)
+	}
+	if workers > 1 {
+		return newFanTracer(cfg, workers)
+	}
+	return NewTracer(cfg)
 }
 
 // Tracer casts point-cloud rays into voxel batches. The zero value is not
@@ -88,17 +150,23 @@ func (t *Tracer) Trace(origin geom.Vec3, points []geom.Vec3) []Voxel {
 // batch outranks free observations of the same voxel. Batch order follows
 // first observation, matching the paper's description of OctoMap-RT.
 func (t *Tracer) TraceRT(origin geom.Vec3, points []geom.Vec3) []Voxel {
-	raw := t.Trace(origin, points)
-	clear(t.seen)
+	return dedupRT(t.seen, t.Trace(origin, points))
+}
+
+// dedupRT compacts raw in place to one entry per voxel, occupied
+// observations winning, preserving first-observation order. seen is the
+// caller's recycled scratch index.
+func dedupRT(seen map[voxel.Key]int, raw []Voxel) []Voxel {
+	clear(seen)
 	out := raw[:0]
 	for _, v := range raw {
-		if i, ok := t.seen[v.Key]; ok {
+		if i, ok := seen[v.Key]; ok {
 			if v.Occupied {
 				out[i].Occupied = true
 			}
 			continue
 		}
-		t.seen[v.Key] = len(out)
+		seen[v.Key] = len(out)
 		out = append(out, v)
 	}
 	return out
@@ -165,9 +233,14 @@ func (t *Tracer) traceRay(batch []Voxel, origin, point geom.Vec3) []Voxel {
 
 	// March. The step bound guards against pathological float behaviour:
 	// a straight ray can cross at most one voxel boundary per axis per
-	// resolution step plus slack.
+	// resolution step plus slack. Checking cur != last at the top keeps
+	// the endpoint voxel out of the free marks and guarantees it is
+	// emitted exactly once, however the loop exits; the bounds bail
+	// mirrors CastRayKeys so a pathological step past the grid edge can
+	// never wrap uint16(cur[i]) into a corrupted in-grid key.
 	maxSteps := (abs(last[0]-cur[0]) + abs(last[1]-cur[1]) + abs(last[2]-cur[2])) + 6
-	for steps := 0; steps < maxSteps; steps++ {
+	limit := 1 << t.cfg.Depth
+	for steps := 0; steps < maxSteps && cur != last; steps++ {
 		batch = append(batch, Voxel{
 			Key: voxel.Key{X: uint16(cur[0]), Y: uint16(cur[1]), Z: uint16(cur[2])},
 		})
@@ -180,7 +253,7 @@ func (t *Tracer) traceRay(batch []Voxel, origin, point geom.Vec3) []Voxel {
 		}
 		cur[axis] += step[axis]
 		tMax[axis] += tDelta[axis]
-		if cur == last {
+		if cur[axis] < 0 || cur[axis] >= limit {
 			break
 		}
 	}

@@ -207,7 +207,9 @@ func New(cfg Config) (*Map, error) {
 		Depth:      shardCfg.Octree.Depth,
 		MaxRange:   shardCfg.MaxRange,
 	}
-	m.tracers.New = func() any { return raytrace.NewTracer(tracerCfg) }
+	m.tracers.New = func() any {
+		return raytrace.New(tracerCfg, shardCfg.Trace, shardCfg.TraceWorkers)
+	}
 	m.routes.New = func() any {
 		return &routeScratch{ends: make([]int, n)}
 	}
@@ -297,7 +299,7 @@ func (m *Map) Insert(origin geom.Vec3, points []geom.Vec3) error {
 	}
 	start := time.Now()
 
-	tracer := m.tracers.Get().(*raytrace.Tracer)
+	tracer := m.tracers.Get().(raytrace.Scanner)
 	t0 := time.Now()
 	var batch []raytrace.Voxel
 	if m.cfg.RT {

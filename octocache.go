@@ -167,6 +167,24 @@ const (
 	BackendGrid = core.BackendGrid
 )
 
+// TraceMode selects the scan-tracing algorithm behind Insert.
+type TraceMode = core.TraceMode
+
+const (
+	// TraceDDA marches every sensor ray voxel-by-voxel (Amanatides–Woo),
+	// matching vanilla OctoMap's per-ray update stream. The default.
+	TraceDDA = core.TraceDDA
+	// TraceBoundary rasterizes each scan's free space once per batch
+	// from the measured surface (D-BDM style): endpoints are binned into
+	// bit planes over the scan's bounding box, the region bounded by the
+	// origin and the surface is marked free, and the batch is swept out
+	// in scanline order. Batches come out deduplicated — each voxel at
+	// most once, occupied observations winning — so map state is
+	// bit-identical to TraceDDA with DedupRays enabled, at a fraction of
+	// the per-ray marching and cache-admission work.
+	TraceBoundary = core.TraceBoundary
+)
+
 // Mode selects the pipeline variant.
 type Mode int
 
@@ -211,7 +229,19 @@ type Options struct {
 	// paper's default of 4.
 	CacheTau int
 	// DedupRays enables OctoMap-RT-style deduplicating ray tracing.
+	// TraceBoundary batches are deduplicated regardless of this flag.
 	DedupRays bool
+	// Trace selects the scan-tracing algorithm: TraceDDA (the zero
+	// value) marches per ray, TraceBoundary rasterizes free space per
+	// batch. Map state is identical across modes once DedupRays is
+	// enabled for TraceDDA (TraceBoundary output is inherently
+	// deduplicated).
+	Trace TraceMode
+	// TraceWorkers fans the trace stage of each Insert across this many
+	// goroutines; 0 or 1 traces on the calling goroutine. Results are
+	// bit-identical at any worker count. The fan allocates per call, so
+	// leave it at 0 on allocation-sensitive paths.
+	TraceWorkers int
 	// Backend selects the voxel store behind the map; the zero value is
 	// BackendOctree. Query answers and serialized bytes are independent
 	// of the choice; speed, memory shape, and compaction support are not.
@@ -396,10 +426,18 @@ func buildConfig(opts Options) (core.Config, error) {
 	if err := opts.Compaction.Validate(); err != nil {
 		return core.Config{}, err
 	}
+	if opts.TraceWorkers < 0 {
+		return core.Config{}, fmt.Errorf("octocache: TraceWorkers must be >= 0, got %d", opts.TraceWorkers)
+	}
+	if opts.Trace != TraceDDA && opts.Trace != TraceBoundary {
+		return core.Config{}, fmt.Errorf("octocache: unknown trace mode %v", opts.Trace)
+	}
 	cfg := core.DefaultConfig(opts.Resolution)
 	cfg.Backend = opts.Backend
 	cfg.MaxRange = opts.MaxRange
 	cfg.RT = opts.DedupRays
+	cfg.Trace = opts.Trace
+	cfg.TraceWorkers = opts.TraceWorkers
 	cfg.Compaction = opts.Compaction
 	if opts.CacheBuckets > 0 {
 		cfg.CacheBuckets = opts.CacheBuckets

@@ -1,0 +1,183 @@
+package octocache
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestTraceModeConsistency is the map-level gate on the boundary trace
+// mode: every backend × pipeline mode × shard count × trace
+// configuration fed the same scan stream must answer Occupancy,
+// OccupiedKey, and CastRay bit-identically to a serial DDA reference
+// after every batch, and serialize to the exact same bytes once closed.
+//
+// The reference runs TraceDDA with DedupRays: boundary batches are
+// inherently deduplicated (occupied-wins), so deduplicated DDA is the
+// stream they are observation-set-equal to — per-voxel map state then
+// matches exactly, whatever order the observations arrive in. The DDA
+// fan rows (TraceWorkers > 1) check the parallel trace stage reproduces
+// the serial stream bit-for-bit.
+func TestTraceModeConsistency(t *testing.T) {
+	ref := MustNew(Options{
+		Resolution: 0.1, Mode: ModeSerial,
+		DedupRays: true, CacheBuckets: 1 << 10,
+	})
+
+	type entry struct {
+		name string
+		m    *Map
+	}
+	var maps []entry
+	for _, backend := range []Backend{BackendOctree, BackendGrid} {
+		for _, mode := range []Mode{ModeSerial, ModeParallel, ModeOctoMap} {
+			for _, shards := range []int{0, 1, 4} {
+				for _, tc := range []struct {
+					label   string
+					trace   TraceMode
+					workers int
+					dedup   bool
+				}{
+					{"boundary", TraceBoundary, 0, false},
+					{"boundary-w3", TraceBoundary, 3, false},
+					{"boundary-rt", TraceBoundary, 0, true},
+					{"dda-fan3", TraceDDA, 3, true},
+				} {
+					opts := Options{
+						Resolution: 0.1, Mode: mode, Shards: shards,
+						Backend: backend, CacheBuckets: 1 << 10,
+						Trace: tc.trace, TraceWorkers: tc.workers, DedupRays: tc.dedup,
+					}
+					maps = append(maps, entry{
+						name: fmt.Sprintf("%v/mode=%d/shards=%d/%s", backend, mode, shards, tc.label),
+						m:    MustNew(opts),
+					})
+				}
+			}
+		}
+	}
+
+	// A drifting origin shifts the boundary tracer's per-scan bounding
+	// box every batch, exercising plane reuse across differing extents.
+	rng := rand.New(rand.NewSource(29))
+	var probes []Vec3
+	for batch := 0; batch < 4; batch++ {
+		origin := V(0.4*float64(batch), 0.3*float64(batch), 0.5)
+		var pts []Vec3
+		for j := 0; j < 120; j++ {
+			ang := rng.Float64() * 2 * math.Pi
+			r := 1 + rng.Float64()*2.5
+			pts = append(pts, origin.Add(V(r*math.Cos(ang), r*math.Sin(ang), rng.Float64()-0.5)))
+		}
+		if err := ref.Insert(origin, pts); err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range maps {
+			if err := e.m.Insert(origin, pts); err != nil {
+				t.Fatalf("%s: Insert: %v", e.name, err)
+			}
+		}
+		probes = append(probes, pts[:20]...)
+		probes = append(probes, origin)
+		for _, p := range probes {
+			lw, kw := ref.Occupancy(p)
+			kref, inMap := ref.CoordToKey(p)
+			for _, e := range maps {
+				if lg, kg := e.m.Occupancy(p); lg != lw || kg != kw {
+					t.Fatalf("batch %d %s: Occupancy(%v) = (%v,%v), ref (%v,%v)",
+						batch, e.name, p, lg, kg, lw, kw)
+				}
+				if inMap && e.m.OccupiedKey(kref) != ref.OccupiedKey(kref) {
+					t.Fatalf("batch %d %s: OccupiedKey(%v) disagrees", batch, e.name, kref)
+				}
+			}
+		}
+		for _, dir := range []Vec3{V(1, 0.2, 0), V(-0.7, 1, 0.1), V(0, -1, -0.2)} {
+			hw, okw := ref.CastRay(origin, dir, 8, true)
+			for _, e := range maps {
+				if hg, okg := e.m.CastRay(origin, dir, 8, true); okg != okw || hg != hw {
+					t.Fatalf("batch %d %s: CastRay(%v) = (%v,%v), ref (%v,%v)",
+						batch, e.name, dir, hg, okg, hw, okw)
+				}
+			}
+		}
+	}
+
+	if err := ref.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if _, err := ref.WriteTo(&want); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range maps {
+		if err := e.m.Close(); err != nil {
+			t.Fatalf("%s: Close: %v", e.name, err)
+		}
+		var got bytes.Buffer
+		if _, err := e.m.WriteTo(&got); err != nil {
+			t.Fatalf("%s: WriteTo: %v", e.name, err)
+		}
+		if !bytes.Equal(got.Bytes(), want.Bytes()) {
+			t.Errorf("%s: serialization differs from serial DDA+dedup reference", e.name)
+		}
+	}
+}
+
+// TestTraceModeWindowedDurable composes the boundary tracer with the
+// orthogonal persistence machinery: a windowed map and a durable map in
+// boundary mode must serialize bit-identically to the DDA+dedup
+// reference over a drifting traverse.
+func TestTraceModeWindowedDurable(t *testing.T) {
+	ref := MustNew(Options{
+		Resolution: 0.1, Mode: ModeSerial,
+		DedupRays: true, CacheBuckets: 1 << 10,
+	})
+	win := MustNew(Options{
+		Resolution: 0.1, Mode: ModeSerial, Trace: TraceBoundary,
+		CacheBuckets: 1 << 10,
+		Window:       Window{Radius: 2, TileDepth: 12, Dir: t.TempDir()},
+	})
+	dur := MustNew(Options{
+		Resolution: 0.1, Mode: ModeSerial, Trace: TraceBoundary,
+		CacheBuckets: 1 << 10,
+		Durable:      Durable{Dir: t.TempDir()},
+	})
+
+	rng := rand.New(rand.NewSource(41))
+	for i := 0; i < 10; i++ {
+		origin := V(1.5*float64(i), 0, 0.8)
+		var pts []Vec3
+		for j := 0; j < 100; j++ {
+			ang := rng.Float64() * 2 * math.Pi
+			r := 0.5 + rng.Float64()*2
+			pts = append(pts, origin.Add(V(r*math.Cos(ang), r*math.Sin(ang), rng.Float64()-0.5)))
+		}
+		for _, m := range []*Map{ref, win, dur} {
+			if err := m.Insert(origin, pts); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	var want bytes.Buffer
+	if err := ref.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ref.WriteTo(&want); err != nil {
+		t.Fatal(err)
+	}
+	for name, m := range map[string]*Map{"windowed": win, "durable": dur} {
+		if err := m.Close(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		var got bytes.Buffer
+		if _, err := m.WriteTo(&got); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !bytes.Equal(got.Bytes(), want.Bytes()) {
+			t.Errorf("%s boundary map serializes differently from DDA+dedup reference", name)
+		}
+	}
+}
