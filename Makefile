@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint-imports race bench bench-json verify
+.PHONY: build test vet lint-imports race bench bench-json smoke-service verify
 
 build:
 	$(GO) build ./...
@@ -37,6 +37,14 @@ lint-imports:
 		echo "internal/durable imported outside internal/core and the backends in:"; \
 		echo "$$bad"; exit 1; \
 	fi
+	@bad=$$(grep -rl '"octocache/internal/wire"' --include='*.go' . \
+		| grep -v '^\./server/' \
+		| grep -v '^\./client/' \
+		| grep -v '^\./internal/wire/' || true); \
+	if [ -n "$$bad" ]; then \
+		echo "internal/wire imported outside server and client in:"; \
+		echo "$$bad"; exit 1; \
+	fi
 
 # The concurrency gate: the sharded map service and the core pipelines
 # under the race detector (the shard tests drive >= 4 producers). nav
@@ -61,6 +69,12 @@ lint-imports:
 # tracer's worker goroutines) plus the map-level trace-mode consistency
 # matrix, twice — trace output is deterministic by construction, so any
 # second-run divergence is a real race, not noise.
+# The final line gates the network layer: the frame codec, the
+# multi-tenant server, and the client library at -count=2 — the e2e
+# test multiplexes concurrent producers, queriers, and a snapshot
+# download per tenant and then demands the downloaded bytes match
+# Map.WriteTo bit for bit, so any wire-level race shows up as a
+# divergence even when the race detector misses it.
 race:
 	$(GO) test -race ./internal/shard/... ./internal/core/...
 	$(GO) test -race -count=2 ./internal/nav/... ./internal/clock/... ./internal/spsc/...
@@ -71,6 +85,7 @@ race:
 	$(GO) test -race -run 'Window|Recenter' ./internal/core/... .
 	$(GO) test -race -run 'Durable|Recover' ./internal/core/... .
 	$(GO) test -race -count=2 -run 'Trace|Boundary|Fan' ./internal/raytrace/... ./internal/core/... .
+	$(GO) test -race -count=2 ./internal/wire/... ./server/... ./client/...
 
 bench:
 	$(GO) test -bench . -benchtime 1x ./...
@@ -80,6 +95,12 @@ bench:
 BENCHTIME ?= 1s
 bench-json:
 	$(GO) run ./cmd/benchjson -benchtime $(BENCHTIME) -o BENCH_core.json
+
+# End-to-end service smoke: loopback server, wire-protocol ingest, and
+# a bit-identical diff of the streamed snapshot against an offline
+# mapbuilder run of the same dataset.
+smoke-service:
+	GO="$(GO)" sh scripts/smoke_service.sh
 
 verify: vet lint-imports race
 	$(GO) build ./... && $(GO) test ./...

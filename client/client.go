@@ -1,0 +1,744 @@
+// Package client is the typed Go client for the octocache map service
+// (octocache/server): it dials the server's frame protocol and exposes
+// the familiar map verbs — Insert, Occupied, Occupancy, CastRay,
+// Snapshot — against a named remote tenant.
+//
+// One Client owns one connection and one attached tenant. Requests
+// multiplex on the connection: a demultiplexing reader routes each
+// response to its caller by request ID, so queries from many
+// goroutines and a stream of inserts share the socket safely.
+//
+// Insert is pipelined: it sends the batch and returns as soon as the
+// in-flight window (Config.Window) has room, without waiting for the
+// server's ack. When the window is full — the server's applier is a
+// full window behind — Insert blocks. That is the protocol's
+// backpressure showing up where it belongs: a slow map slows the
+// producer instead of growing a buffer. Flush waits for every
+// outstanding batch to be acked; any batch the server failed is
+// reported by the next Insert/Flush call as a sticky error.
+//
+// Snapshot downloads the tenant chunk-by-chunk and rebuilds it into
+// the repo's canonical snapshot form: the reassembled bytes
+// (WriteSnapshot, or Snapshot().WriteTo) are bit-identical to what
+// Map.WriteTo would produce on the server.
+package client
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"octocache"
+	"octocache/internal/core"
+	"octocache/internal/wire"
+)
+
+// DefaultWindow is the insert pipelining depth when Config.Window is
+// zero: how many scan batches may be on the wire awaiting ack before
+// Insert blocks.
+const DefaultWindow = 32
+
+// Config configures a Client. The zero value is usable.
+type Config struct {
+	// Window caps unacknowledged Insert batches in flight. 0 means
+	// DefaultWindow; 1 degenerates to fully synchronous inserts.
+	Window int
+}
+
+// MapOptions selects the shape of a tenant created through the client —
+// the remote subset of octocache.Options. Zero values mean the server
+// defaults (parallel mode, octree backend, DDA tracing, one shard).
+type MapOptions struct {
+	// Resolution is the voxel edge length in meters. Required on
+	// Create.
+	Resolution float64
+	// MaxRange truncates rays longer than this; 0 disables.
+	MaxRange float64
+	// Mode selects the ingestion pipeline.
+	Mode octocache.Mode
+	// Backend selects the voxel store.
+	Backend octocache.Backend
+	// Trace selects the ray discretization.
+	Trace octocache.TraceMode
+	// Shards is the parallelism degree (rounded up to a power of two;
+	// the server enforces at least 1).
+	Shards int
+	// CacheBuckets and CacheTau shape the voxel cache, as in
+	// octocache.Options.
+	CacheBuckets int
+	CacheTau     int
+	// Durable asks the server to keep the tenant on disk (WAL +
+	// snapshots under the server's data dir) so it survives restarts.
+	Durable bool
+	// Sync is the WAL sync policy for durable tenants.
+	Sync octocache.SyncPolicy
+	// SnapshotEvery checkpoints durable tenants every N admitted
+	// batches; 0 means WAL-only between explicit Checkpoint calls.
+	SnapshotEvery int
+}
+
+func (o MapOptions) wire() wire.TenantOptions {
+	return wire.TenantOptions{
+		Resolution:    o.Resolution,
+		MaxRange:      o.MaxRange,
+		Mode:          o.Mode.String(),
+		Backend:       o.Backend.String(),
+		Trace:         o.Trace.String(),
+		Sync:          o.Sync.String(),
+		Shards:        uint16(max(o.Shards, 0)),
+		CacheBuckets:  uint32(max(o.CacheBuckets, 0)),
+		CacheTau:      uint16(max(o.CacheTau, 0)),
+		Durable:       o.Durable,
+		SnapshotEvery: uint32(max(o.SnapshotEvery, 0)),
+	}
+}
+
+// TenantInfo describes the attached tenant as the server actually runs
+// it: effective options (defaults resolved, shards rounded) and the
+// occupancy model.
+type TenantInfo struct {
+	Name       string
+	Resolution float64
+	Shards     int
+	Mode       string
+	Backend    string
+	Trace      string
+	Durable    bool
+}
+
+// ServerError is a failure the server reported for a request.
+type ServerError struct {
+	Code uint16
+	Msg  string
+}
+
+func (e *ServerError) Error() string { return fmt.Sprintf("server: %s (code %d)", e.Msg, e.Code) }
+
+// Error codes a ServerError may carry, mirroring the wire protocol.
+const (
+	CodeInternal     = wire.CodeInternal
+	CodeBadRequest   = wire.CodeBadRequest
+	CodeNoTenant     = wire.CodeNoTenant
+	CodeTenantExists = wire.CodeTenantExists
+	CodeNotAttached  = wire.CodeNotAttached
+	CodeTenantBusy   = wire.CodeTenantBusy
+	CodeVersion      = wire.CodeVersion
+)
+
+// Client is a connection to one octocache map service, attached to at
+// most one tenant at a time. Methods are safe for concurrent use.
+type Client struct {
+	nc net.Conn
+	br *bufio.Reader
+
+	wmu  sync.Mutex // serializes frame writes
+	wbuf []byte
+
+	reqID atomic.Uint64
+
+	// pending routes responses to waiting callers by request ID.
+	pmu     sync.Mutex
+	pending map[uint64]*waiter
+	dead    error // set once the reader exits; all calls fail fast
+
+	// tokens implements the insert window: Insert takes a token,
+	// the ack (or failure) returns it.
+	tokens chan struct{}
+	// insertErr latches the first failed insert ack; Insert and Flush
+	// report and clear it.
+	emu       sync.Mutex
+	insertErr error
+	// outstanding counts unacked inserts; Flush waits for zero.
+	omu         sync.Mutex
+	ocond       *sync.Cond
+	outstanding int
+
+	info atomic.Pointer[TenantInfo]
+
+	closeOnce sync.Once
+	readerWG  sync.WaitGroup
+}
+
+// Dial connects to an octocache map service and performs the protocol
+// handshake. The client is not attached to any tenant yet; follow with
+// Create, Open, or Attach.
+func Dial(addr string, cfg Config) (*Client, error) {
+	if cfg.Window < 0 {
+		return nil, fmt.Errorf("client: Window must be >= 0, got %d", cfg.Window)
+	}
+	if cfg.Window == 0 {
+		cfg.Window = DefaultWindow
+	}
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		nc:      nc,
+		br:      bufio.NewReaderSize(nc, 64<<10),
+		pending: make(map[uint64]*waiter),
+		tokens:  make(chan struct{}, cfg.Window),
+	}
+	c.ocond = sync.NewCond(&c.omu)
+	for i := 0; i < cfg.Window; i++ {
+		c.tokens <- struct{}{}
+	}
+	if err := c.handshake(); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	c.readerWG.Add(1)
+	go c.reader()
+	return c, nil
+}
+
+func (c *Client) handshake() error {
+	if err := c.writeFrame(wire.AppendHello(nil)); err != nil {
+		return fmt.Errorf("client: handshake: %w", err)
+	}
+	payload, _, err := wire.ReadFrame(c.br, nil)
+	if err != nil {
+		return fmt.Errorf("client: handshake: %w", err)
+	}
+	t, err := wire.PayloadType(payload)
+	if err != nil {
+		return fmt.Errorf("client: handshake: %w", err)
+	}
+	if t == wire.TErr {
+		e, derr := wire.DecodeErr(payload)
+		if derr != nil {
+			return fmt.Errorf("client: handshake: %w", derr)
+		}
+		return &ServerError{Code: e.Code, Msg: e.Msg}
+	}
+	w, err := wire.DecodeWelcome(payload)
+	if err != nil {
+		return fmt.Errorf("client: handshake: %w", err)
+	}
+	if w.Version != wire.Version {
+		return fmt.Errorf("client: server speaks protocol %d, want %d", w.Version, wire.Version)
+	}
+	return nil
+}
+
+func (c *Client) writeFrame(payload []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	c.wbuf = wire.AppendFrame(c.wbuf[:0], payload)
+	_, err := c.nc.Write(c.wbuf)
+	return err
+}
+
+// waiter is one pending request's response mailbox. gone is closed at
+// unregistration so a delivery blocked on a full mailbox (a snapshot
+// stream outrunning its consumer — that backpressure is intended) can
+// never wedge the reader after the caller gives up.
+type waiter struct {
+	ch   chan any
+	gone chan struct{}
+}
+
+// register allocates a request ID and its response mailbox. Snapshot
+// streams push several messages, hence the small buffer; the reader
+// blocks on overflow, bounding client-side buffering per stream.
+func (c *Client) register() (uint64, *waiter, error) {
+	id := c.reqID.Add(1)
+	w := &waiter{ch: make(chan any, 4), gone: make(chan struct{})}
+	c.pmu.Lock()
+	defer c.pmu.Unlock()
+	if c.dead != nil {
+		return 0, nil, c.dead
+	}
+	c.pending[id] = w
+	return id, w, nil
+}
+
+func (c *Client) unregister(id uint64) {
+	c.pmu.Lock()
+	w := c.pending[id]
+	delete(c.pending, id)
+	c.pmu.Unlock()
+	if w != nil {
+		close(w.gone)
+	}
+}
+
+// deliver hands a response to its waiter. Unmatched IDs are dropped:
+// they belong to requests whose callers already gave up.
+func (c *Client) deliver(id uint64, msg any) {
+	c.pmu.Lock()
+	w := c.pending[id]
+	c.pmu.Unlock()
+	if w == nil {
+		return
+	}
+	select {
+	case w.ch <- msg:
+	case <-w.gone:
+	}
+}
+
+// fail marks the connection dead and wakes every waiter.
+func (c *Client) fail(err error) {
+	c.pmu.Lock()
+	if c.dead == nil {
+		c.dead = err
+	}
+	for id, w := range c.pending {
+		close(w.ch)
+		delete(c.pending, id)
+	}
+	c.pmu.Unlock()
+	// Unstick Insert/Flush waiters too: latch the error, refill the
+	// token window so a blocked Insert wakes (it re-checks dead), and
+	// zero the outstanding count for Flush.
+	c.setInsertErr(err)
+refill:
+	for {
+		select {
+		case c.tokens <- struct{}{}:
+		default:
+			break refill
+		}
+	}
+	c.omu.Lock()
+	c.outstanding = 0
+	c.ocond.Broadcast()
+	c.omu.Unlock()
+}
+
+func (c *Client) setInsertErr(err error) {
+	c.emu.Lock()
+	if c.insertErr == nil {
+		c.insertErr = err
+	}
+	c.emu.Unlock()
+}
+
+// takeInsertErr returns and clears the sticky insert error.
+func (c *Client) takeInsertErr() error {
+	c.emu.Lock()
+	err := c.insertErr
+	c.insertErr = nil
+	c.emu.Unlock()
+	return err
+}
+
+// insertDone retires one in-flight insert: returns its token, drops
+// the outstanding count, wakes Flush.
+func (c *Client) insertDone() {
+	select {
+	case c.tokens <- struct{}{}:
+	default: // fail() may have already refilled; never block the reader
+	}
+	c.omu.Lock()
+	if c.outstanding > 0 {
+		c.outstanding--
+	}
+	if c.outstanding == 0 {
+		c.ocond.Broadcast()
+	}
+	c.omu.Unlock()
+}
+
+// reader demultiplexes every inbound frame until the connection dies.
+func (c *Client) reader() {
+	defer c.readerWG.Done()
+	var buf []byte
+	for {
+		payload, nbuf, err := wire.ReadFrame(c.br, buf)
+		buf = nbuf
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				err = io.ErrUnexpectedEOF
+			}
+			c.fail(fmt.Errorf("client: connection lost: %w", err))
+			return
+		}
+		t, err := wire.PayloadType(payload)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		switch t {
+		case wire.TOK:
+			m, err := wire.DecodeOK(payload)
+			if err != nil {
+				c.fail(err)
+				return
+			}
+			if c.isInsertID(m.ID) {
+				c.insertDone()
+			} else {
+				c.deliver(m.ID, m)
+			}
+		case wire.TErr:
+			m, err := wire.DecodeErr(payload)
+			if err != nil {
+				c.fail(err)
+				return
+			}
+			serr := &ServerError{Code: m.Code, Msg: m.Msg}
+			if c.isInsertID(m.ID) {
+				c.setInsertErr(serr)
+				c.insertDone()
+			} else {
+				c.deliver(m.ID, serr)
+			}
+		case wire.TTenantInfo:
+			m, err := wire.DecodeTenantInfo(payload)
+			if err != nil {
+				c.fail(err)
+				return
+			}
+			c.deliver(m.ID, m)
+		case wire.TOccupiedResp:
+			id, m, err := wire.DecodeOccupiedResp(payload)
+			if err != nil {
+				c.fail(err)
+				return
+			}
+			c.deliver(id, m)
+		case wire.TOccupancyResp:
+			id, cells, err := wire.DecodeOccupancyResp(payload)
+			if err != nil {
+				c.fail(err)
+				return
+			}
+			c.deliver(id, cells)
+		case wire.TCastRayResp:
+			id, m, err := wire.DecodeCastRayResp(payload)
+			if err != nil {
+				c.fail(err)
+				return
+			}
+			c.deliver(id, m)
+		case wire.TSnapBegin:
+			id, p, err := wire.DecodeSnapBegin(payload)
+			if err != nil {
+				c.fail(err)
+				return
+			}
+			c.deliver(id, snapBegin{params: p})
+		case wire.TSnapChunk:
+			id, leaves, err := wire.DecodeSnapChunk(payload, nil)
+			if err != nil {
+				c.fail(err)
+				return
+			}
+			c.deliver(id, snapChunk{leaves: leaves})
+		case wire.TSnapEnd:
+			id, total, err := wire.DecodeSnapEnd(payload)
+			if err != nil {
+				c.fail(err)
+				return
+			}
+			c.deliver(id, snapEnd{total: total})
+		default:
+			c.fail(fmt.Errorf("client: unexpected frame type 0x%02x", uint8(t)))
+			return
+		}
+	}
+}
+
+type (
+	snapBegin struct{ params wire.Params }
+	snapChunk struct{ leaves []wire.Leaf }
+	snapEnd   struct{ total uint64 }
+)
+
+// Insert request IDs live in their own half of the ID space so the
+// reader can retire them without a pending-table entry per batch.
+const insertIDBit = uint64(1) << 63
+
+func (c *Client) isInsertID(id uint64) bool { return id&insertIDBit != 0 }
+
+// call sends one request and waits for its single response.
+func (c *Client) call(build func(id uint64) []byte) (any, error) {
+	id, w, err := c.register()
+	if err != nil {
+		return nil, err
+	}
+	defer c.unregister(id)
+	if err := c.writeFrame(build(id)); err != nil {
+		return nil, err
+	}
+	msg, ok := <-w.ch
+	if !ok {
+		c.pmu.Lock()
+		err := c.dead
+		c.pmu.Unlock()
+		return nil, err
+	}
+	if serr, isErr := msg.(*ServerError); isErr {
+		return nil, serr
+	}
+	return msg, nil
+}
+
+func (c *Client) noteInfo(m wire.TenantInfo) TenantInfo {
+	info := TenantInfo{
+		Name:       m.Name,
+		Resolution: m.Params.Resolution,
+		Shards:     int(m.Opts.Shards),
+		Mode:       m.Opts.Mode,
+		Backend:    m.Opts.Backend,
+		Trace:      m.Opts.Trace,
+		Durable:    m.Opts.Durable,
+	}
+	c.info.Store(&info)
+	return info
+}
+
+// Create creates the named tenant and attaches to it. It fails with
+// CodeTenantExists if the name is taken; use Open for
+// create-or-attach.
+func (c *Client) Create(name string, opts MapOptions) (TenantInfo, error) {
+	return c.create(name, false, opts)
+}
+
+// Open attaches to the named tenant, creating it with opts if it does
+// not exist. When the tenant already exists its shape wins; inspect
+// the returned TenantInfo.
+func (c *Client) Open(name string, opts MapOptions) (TenantInfo, error) {
+	return c.create(name, true, opts)
+}
+
+func (c *Client) create(name string, ifAbsent bool, opts MapOptions) (TenantInfo, error) {
+	msg, err := c.call(func(id uint64) []byte {
+		return wire.AppendCreate(nil, id, name, ifAbsent, opts.wire())
+	})
+	if err != nil {
+		return TenantInfo{}, err
+	}
+	return c.noteInfo(msg.(wire.TenantInfo)), nil
+}
+
+// Attach attaches to an existing tenant; CodeNoTenant if absent.
+func (c *Client) Attach(name string) (TenantInfo, error) {
+	msg, err := c.call(func(id uint64) []byte {
+		return wire.AppendAttach(nil, id, name)
+	})
+	if err != nil {
+		return TenantInfo{}, err
+	}
+	return c.noteInfo(msg.(wire.TenantInfo)), nil
+}
+
+// Drop closes and deletes the named tenant. The server refuses
+// (CodeTenantBusy) while other connections are attached.
+func (c *Client) Drop(name string) error {
+	_, err := c.call(func(id uint64) []byte {
+		return wire.AppendDrop(nil, id, name)
+	})
+	if err == nil {
+		if info := c.info.Load(); info != nil && info.Name == name {
+			c.info.Store(nil)
+		}
+	}
+	return err
+}
+
+// Info returns the attached tenant's description, or false if the
+// client is not attached.
+func (c *Client) Info() (TenantInfo, bool) {
+	info := c.info.Load()
+	if info == nil {
+		return TenantInfo{}, false
+	}
+	return *info, true
+}
+
+// Insert streams one scan batch into the attached tenant. It returns
+// once the batch is on the wire and the in-flight window has room —
+// not once it is applied; call Flush for that barrier. When the server
+// lags a full window, Insert blocks: that is backpressure, not a bug.
+// A failed batch surfaces as an error from a later Insert or Flush.
+func (c *Client) Insert(origin octocache.Vec3, points []octocache.Vec3) error {
+	if err := c.takeInsertErr(); err != nil {
+		return err
+	}
+	<-c.tokens
+	c.pmu.Lock()
+	dead := c.dead
+	c.pmu.Unlock()
+	if dead != nil {
+		return dead
+	}
+	c.omu.Lock()
+	c.outstanding++
+	c.omu.Unlock()
+	id := c.reqID.Add(1) | insertIDBit
+	if err := c.writeFrame(wire.AppendInsert(nil, id, origin, points)); err != nil {
+		c.insertDone()
+		return err
+	}
+	return nil
+}
+
+// Flush blocks until every in-flight Insert has been acknowledged and
+// returns the sticky error if any batch failed.
+func (c *Client) Flush() error {
+	c.omu.Lock()
+	for c.outstanding > 0 {
+		c.ocond.Wait()
+	}
+	c.omu.Unlock()
+	return c.takeInsertErr()
+}
+
+// Occupied reports whether the voxel containing p crosses the
+// occupancy threshold.
+func (c *Client) Occupied(p octocache.Vec3) (bool, error) {
+	r, err := c.OccupiedBatch([]octocache.Vec3{p})
+	if err != nil {
+		return false, err
+	}
+	return r.Occupied(0), nil
+}
+
+// OccupiedSet is a batched Occupied answer: a bitmask over the queried
+// points, read with Occupied(i).
+type OccupiedSet = wire.OccupiedResp
+
+// OccupiedBatch answers Occupied for many points in one round trip.
+func (c *Client) OccupiedBatch(points []octocache.Vec3) (OccupiedSet, error) {
+	msg, err := c.call(func(id uint64) []byte {
+		return wire.AppendQueryOccupied(nil, id, points)
+	})
+	if err != nil {
+		return OccupiedSet{}, err
+	}
+	return msg.(wire.OccupiedResp), nil
+}
+
+// Occupancy returns the accumulated log-odds of the voxel key k.
+func (c *Client) Occupancy(k octocache.Key) (octocache.CellState, error) {
+	cells, err := c.OccupancyKeys([]octocache.Key{k})
+	if err != nil {
+		return octocache.CellState{}, err
+	}
+	return cells[0], nil
+}
+
+// OccupancyKeys answers key-space occupancy for many voxels in one
+// round trip, mirroring Map.OccupancyBatch.
+func (c *Client) OccupancyKeys(keys []octocache.Key) ([]octocache.CellState, error) {
+	msg, err := c.call(func(id uint64) []byte {
+		return wire.AppendQueryOccupancy(nil, id, keys)
+	})
+	if err != nil {
+		return nil, err
+	}
+	wcells := msg.([]wire.CellState)
+	cells := make([]octocache.CellState, len(wcells))
+	for i, w := range wcells {
+		cells[i] = octocache.CellState{LogOdds: w.LogOdds, Known: w.Known}
+	}
+	return cells, nil
+}
+
+// CastRay casts a ray through the attached tenant, mirroring
+// Map.CastRay.
+func (c *Client) CastRay(origin, dir octocache.Vec3, maxRange float64, ignoreUnknown bool) (hit octocache.Vec3, ok bool, err error) {
+	msg, err := c.call(func(id uint64) []byte {
+		return wire.AppendCastRay(nil, id, origin, dir, maxRange, ignoreUnknown)
+	})
+	if err != nil {
+		return octocache.Vec3{}, false, err
+	}
+	r := msg.(wire.CastRayResp)
+	return r.Hit, r.OK, nil
+}
+
+// Checkpoint forces a consistent-cut snapshot of a durable tenant.
+func (c *Client) Checkpoint() error {
+	_, err := c.call(func(id uint64) []byte {
+		return wire.AppendCheckpoint(nil, id)
+	})
+	return err
+}
+
+// Snapshot downloads the attached tenant as a consistent snapshot,
+// reassembled into the canonical form: its WriteTo bytes are
+// bit-identical to Map.WriteTo on the server at the moment the stream
+// began. The download is chunked; neither side ever holds the whole
+// serialized stream in memory.
+func (c *Client) Snapshot() (*octocache.Snapshot, error) {
+	id, w, err := c.register()
+	if err != nil {
+		return nil, err
+	}
+	defer c.unregister(id)
+	if err := c.writeFrame(wire.AppendSnapshotReq(nil, id)); err != nil {
+		return nil, err
+	}
+	recv := func() (any, error) {
+		msg, ok := <-w.ch
+		if !ok {
+			c.pmu.Lock()
+			defer c.pmu.Unlock()
+			return nil, c.dead
+		}
+		if serr, isErr := msg.(*ServerError); isErr {
+			return nil, serr
+		}
+		return msg, nil
+	}
+	msg, err := recv()
+	if err != nil {
+		return nil, err
+	}
+	begin, ok := msg.(snapBegin)
+	if !ok {
+		return nil, fmt.Errorf("client: snapshot stream opened with %T", msg)
+	}
+	snap := core.NewSnapshot(begin.params.ToVoxel())
+	var total uint64
+	for {
+		msg, err := recv()
+		if err != nil {
+			return nil, err
+		}
+		switch m := msg.(type) {
+		case snapChunk:
+			for _, l := range m.leaves {
+				snap.Add(octocache.Leaf{Key: l.Key, Depth: int(l.Depth), LogOdds: l.LogOdds})
+			}
+			total += uint64(len(m.leaves))
+		case snapEnd:
+			if m.total != total {
+				return nil, fmt.Errorf("client: snapshot truncated: got %d leaves, server sent %d", total, m.total)
+			}
+			return snap, nil
+		default:
+			return nil, fmt.Errorf("client: unexpected %T in snapshot stream", msg)
+		}
+	}
+}
+
+// WriteSnapshot downloads the tenant and writes its serialized form to
+// w — the bytes Map.WriteTo would produce on the server.
+func (c *Client) WriteSnapshot(w io.Writer) (int64, error) {
+	snap, err := c.Snapshot()
+	if err != nil {
+		return 0, err
+	}
+	return snap.WriteTo(w)
+}
+
+// Close flushes in-flight inserts (best effort) and closes the
+// connection.
+func (c *Client) Close() error {
+	var err error
+	c.closeOnce.Do(func() {
+		err = c.Flush()
+		c.nc.Close()
+		c.readerWG.Wait()
+	})
+	return err
+}

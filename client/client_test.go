@@ -1,0 +1,85 @@
+package client
+
+import (
+	"errors"
+	"net"
+	"testing"
+
+	"octocache"
+	"octocache/internal/wire"
+)
+
+// TestMapOptionsWireMapping pins the client-side enum spelling: every
+// MapOptions enum must cross the wire as its canonical flag string.
+func TestMapOptionsWireMapping(t *testing.T) {
+	o := MapOptions{
+		Resolution: 0.2,
+		Mode:       octocache.ModeOctoMap,
+		Backend:    octocache.BackendGrid,
+		Trace:      octocache.TraceBoundary,
+		Sync:       octocache.SyncEveryBatch,
+		Shards:     3,
+		Durable:    true,
+	}
+	w := o.wire()
+	if w.Mode != "octomap" || w.Backend != "grid" || w.Trace != "boundary" || w.Sync != "batch" {
+		t.Fatalf("enum spellings wrong: %+v", w)
+	}
+	if w.Shards != 3 || !w.Durable || w.Resolution != 0.2 {
+		t.Fatalf("fields dropped: %+v", w)
+	}
+	// The zero value must spell the defaults, never empty garbage.
+	z := MapOptions{}.wire()
+	if z.Mode != "parallel" || z.Backend != "octree" || z.Trace != "dda" || z.Sync != "none" {
+		t.Fatalf("zero-value spellings wrong: %+v", z)
+	}
+}
+
+// TestDialVersionRejection pins the client's handling of a handshake
+// refusal: a server speaking another protocol version must surface as
+// ServerError{CodeVersion}, not a hang or a decode panic.
+func TestDialVersionRejection(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		nc, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer nc.Close()
+		if _, _, err := wire.ReadFrame(nc, nil); err != nil {
+			return
+		}
+		nc.Write(wire.AppendFrame(nil, wire.AppendErr(nil, 0, wire.CodeVersion, "too old")))
+	}()
+
+	_, err = Dial(ln.Addr().String(), Config{})
+	var serr *ServerError
+	if !errors.As(err, &serr) || serr.Code != CodeVersion {
+		t.Fatalf("got %v, want ServerError with CodeVersion", err)
+	}
+}
+
+// TestDialGarbageServer pins that a non-protocol peer fails the
+// handshake with an error rather than hanging.
+func TestDialGarbageServer(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		nc, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		nc.Write([]byte("HTTP/1.1 400 Bad Request\r\n\r\n"))
+		nc.Close()
+	}()
+	if _, err := Dial(ln.Addr().String(), Config{}); err == nil {
+		t.Fatal("handshake against a garbage server succeeded")
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"os"
 	"time"
 
+	"octocache"
 	"octocache/internal/core"
 	"octocache/internal/dataset"
 	"octocache/internal/viz"
@@ -64,20 +65,16 @@ func main() {
 	fmt.Printf("  %d scans, %d points\n", len(ds.Scans), ds.TotalPoints())
 
 	cfg := core.DefaultConfig(*res)
-	cfg.Backend, err = core.ParseBackendKind(*backend)
+	cfg.Backend, err = octocache.ParseBackend(*backend)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mapbuilder:", err)
 		os.Exit(1)
 	}
 	cfg.MaxRange = ds.Sensor.MaxRange
 	cfg.RT = *rt
-	switch *trace {
-	case "dda":
-		cfg.Trace = core.TraceDDA
-	case "boundary":
-		cfg.Trace = core.TraceBoundary
-	default:
-		fmt.Fprintf(os.Stderr, "mapbuilder: unknown -trace %q (want dda or boundary)\n", *trace)
+	cfg.Trace, err = octocache.ParseTraceMode(*trace)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mapbuilder:", err)
 		os.Exit(1)
 	}
 	cfg.TraceWorkers = *traceW
@@ -101,17 +98,14 @@ func main() {
 		fmt.Printf("bounded-memory window: radius %d tiles, spilling to %s\n", *winRadius, dir)
 	}
 	if *durDir != "" {
-		switch *syncPol {
-		case "none":
-			cfg.Durable = core.Durable{Dir: *durDir, Sync: core.SyncNone}
-		case "batch":
-			cfg.Durable = core.Durable{Dir: *durDir, Sync: core.SyncEveryBatch}
-		default:
-			fmt.Fprintf(os.Stderr, "mapbuilder: unknown -sync %q (want none or batch)\n", *syncPol)
+		sp, err := octocache.ParseSyncPolicy(*syncPol)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mapbuilder:", err)
 			os.Exit(1)
 		}
+		cfg.Durable = core.Durable{Dir: *durDir, Sync: sp}
 		// Resume the log if one is already there, else start fresh.
-		single, _, err := core.ScanDurableDir(*durDir)
+		single, _, err := octocache.ScanDurableDir(*durDir)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "mapbuilder:", err)
 			os.Exit(1)

@@ -1,13 +1,23 @@
-// Command mapserver demonstrates the sharded concurrent map service: a
-// single octocache.Map shared by several producer goroutines feeding
-// scan streams and several querier goroutines probing occupancy and
-// casting rays — the multi-client deployment the redesigned public API
-// (Options.Shards, Insert, Close) exists for. It prints aggregate and
-// per-shard statistics and optionally serializes the merged octree.
+// Command mapserver runs the octocache map service — or drives one.
+//
+// Three modes:
+//
+//   - -listen <addr> serves the multi-tenant wire protocol on a TCP
+//     address: clients create named map tenants, stream scans, query,
+//     and download snapshots (see octocache/server and DESIGN.md §16).
+//     -metrics exposes per-tenant statistics as JSON over HTTP and
+//     -data-dir makes durable tenants survive restarts.
+//   - -connect <addr> drives a remote service with a synthetic dataset:
+//     it creates (or joins) a tenant, streams scans from -producers
+//     concurrent client connections, runs -queriers query loops against
+//     it, and can download the finished snapshot with -out.
+//   - neither flag runs the original in-process demo: one sharded map,
+//     local producer and querier goroutines, full statistics dump.
 //
 // Usage:
 //
-//	mapserver -dataset fr079 -shards 8 -producers 4 -queriers 2
+//	mapserver -listen :7331 -metrics :7332 -data-dir /var/lib/octocache
+//	mapserver -connect localhost:7331 -tenant fr079 -dataset fr079 -out fr079.ot
 //	mapserver -dataset campus -shards 4 -res 0.4 -out campus.ot
 package main
 
@@ -15,152 +25,378 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"path/filepath"
+	"os/signal"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"octocache"
+	"octocache/client"
 	"octocache/internal/dataset"
+	"octocache/server"
 )
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mapserver:", err)
+	os.Exit(1)
+}
 
 func main() {
 	var (
+		// Service mode.
+		listen  = flag.String("listen", "", "serve the map service on this TCP address (e.g. :7331)")
+		metrics = flag.String("metrics", "", "serve JSON statistics on this HTTP address at /metrics")
+		dataDir = flag.String("data-dir", "", "directory for durable tenants (WAL + snapshots + manifests); empty disables them")
+		window  = flag.Int("window", 0, "per-connection in-flight insert batches before backpressure (0 = default)")
+
+		// Client mode.
+		connect   = flag.String("connect", "", "drive a remote map service at this address instead of running locally")
+		tenant    = flag.String("tenant", "demo", "tenant name to create or join on the remote service")
+		durable   = flag.Bool("durable", false, "ask the remote service to keep the tenant on disk")
+		snapEvery = flag.Int("snapshot-every", 64, "background snapshot cadence in batches per shard (0 = only on close)")
+
+		// Workload shape (client mode and in-process demo).
 		dsName    = flag.String("dataset", "fr079", "dataset: fr079, campus, or newcollege")
 		shards    = flag.Int("shards", 8, "shard count (rounded up to a power of two)")
 		mode      = flag.String("mode", "parallel", "per-shard pipeline: parallel (background octree applier), serial, or octomap")
-		producers = flag.Int("producers", 4, "concurrent scan-inserting goroutines")
+		producers = flag.Int("producers", 4, "concurrent scan-inserting goroutines (client mode: connections)")
 		queriers  = flag.Int("queriers", 2, "concurrent query goroutines")
 		res       = flag.Float64("res", 0.1, "mapping resolution in meters")
 		scale     = flag.Float64("scale", 0.5, "dataset scale (1.0 = paper-sized)")
 		backend   = flag.String("backend", "octree", "voxel store backend: octree or grid")
 		trace     = flag.String("trace", "dda", "scan tracing: dda (per-ray marching) or boundary (per-batch rasterization)")
-		traceW    = flag.Int("trace-workers", 0, "goroutines per scan for the trace stage (0 = serial)")
+		traceW    = flag.Int("trace-workers", 0, "goroutines per scan for the trace stage (0 = serial, in-process demo only)")
 		out       = flag.String("out", "", "write the merged octree to this file")
-		winRadius = flag.Int("window-radius", 0, "bounded-memory window radius in tiles (0 = unbounded)")
+		winRadius = flag.Int("window-radius", 0, "bounded-memory window radius in tiles (0 = unbounded, in-process demo only)")
 		winDir    = flag.String("window-dir", "", "spill directory for evicted tiles (default: a temp dir)")
-		durDir    = flag.String("durable-dir", "", "write-ahead log + snapshot directory; recovers any map found there (empty = not durable)")
+		durDir    = flag.String("durable-dir", "", "in-process demo: WAL + snapshot directory; recovers any map found there")
 		syncPol   = flag.String("sync", "none", "WAL sync policy: none (page cache) or batch (fsync per scan)")
-		snapEvery = flag.Int("snapshot-every", 64, "background snapshot cadence in batches per shard (0 = only on close)")
 	)
 	flag.Parse()
-	if *producers < 1 || *queriers < 0 {
-		fmt.Fprintln(os.Stderr, "mapserver: need producers >= 1 and queriers >= 0")
-		os.Exit(1)
+
+	switch {
+	case *listen != "":
+		runService(*listen, *metrics, *dataDir, *window)
+	case *connect != "":
+		runClient(clientRun{
+			addr: *connect, tenant: *tenant, durable: *durable,
+			dsName: *dsName, scale: *scale, out: *out,
+			producers: *producers, queriers: *queriers,
+			opts: client.MapOptions{
+				Resolution:    *res,
+				Shards:        *shards,
+				Mode:          parseMode(*mode),
+				Backend:       parseBackend(*backend),
+				Trace:         parseTrace(*trace),
+				Sync:          parseSync(*syncPol),
+				Durable:       *durable,
+				SnapshotEvery: *snapEvery,
+			},
+		})
+	default:
+		runLocal(localRun{
+			dsName: *dsName, scale: *scale, out: *out,
+			producers: *producers, queriers: *queriers,
+			shards: *shards, res: *res, traceWorkers: *traceW,
+			mode: parseMode(*mode), backend: parseBackend(*backend),
+			trace: parseTrace(*trace), sync: parseSync(*syncPol),
+			winRadius: *winRadius, winDir: *winDir,
+			durDir: *durDir, snapshotEvery: *snapEvery,
+		})
+	}
+}
+
+// The flag surface leans entirely on the public enum round-trip —
+// parse errors print the canonical spellings straight from the parser.
+
+func parseMode(s string) octocache.Mode {
+	v, err := octocache.ParseMode(s)
+	if err != nil {
+		fatal(err)
+	}
+	return v
+}
+
+func parseBackend(s string) octocache.Backend {
+	v, err := octocache.ParseBackend(s)
+	if err != nil {
+		fatal(err)
+	}
+	return v
+}
+
+func parseTrace(s string) octocache.TraceMode {
+	v, err := octocache.ParseTraceMode(s)
+	if err != nil {
+		fatal(err)
+	}
+	return v
+}
+
+func parseSync(s string) octocache.SyncPolicy {
+	v, err := octocache.ParseSyncPolicy(s)
+	if err != nil {
+		fatal(err)
+	}
+	return v
+}
+
+// runService hosts the network service until SIGINT/SIGTERM.
+func runService(addr, metricsAddr, dataDir string, window int) {
+	s, err := server.New(server.Config{DataDir: dataDir, Window: window})
+	if err != nil {
+		fatal(err)
+	}
+	if metricsAddr != "" {
+		stop, err := s.ServeMetrics(metricsAddr)
+		if err != nil {
+			fatal(err)
+		}
+		defer stop()
+		fmt.Printf("metrics on http://%s/metrics\n", metricsAddr)
+	}
+	if dataDir != "" {
+		m := s.Metrics()
+		fmt.Printf("durable tenants under %s: %d recovered\n", dataDir, len(m.Tenants))
+		for name := range m.Tenants {
+			fmt.Printf("  %s\n", name)
+		}
 	}
 
-	fmt.Printf("generating dataset %s (scale %.2f)...\n", *dsName, *scale)
-	ds, err := dataset.Named(*dsName, *scale)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		fmt.Println("\nshutting down...")
+		s.Close()
+	}()
+
+	fmt.Printf("map service listening on %s\n", addr)
+	if err := s.ListenAndServe(addr); err != nil {
+		fatal(err)
+	}
+}
+
+type clientRun struct {
+	addr, tenant        string
+	durable             bool
+	dsName              string
+	scale               float64
+	out                 string
+	producers, queriers int
+	opts                client.MapOptions
+}
+
+// runClient streams a synthetic dataset into a remote tenant from
+// several connections and reports what the service did with it.
+func runClient(r clientRun) {
+	if r.producers < 1 || r.queriers < 0 {
+		fatal(fmt.Errorf("need producers >= 1 and queriers >= 0"))
+	}
+	fmt.Printf("generating dataset %s (scale %.2f)...\n", r.dsName, r.scale)
+	ds, err := dataset.Named(r.dsName, r.scale)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "mapserver:", err)
-		os.Exit(1)
+		fatal(err)
+	}
+	fmt.Printf("  %d scans, %d points\n", len(ds.Scans), ds.TotalPoints())
+	r.opts.MaxRange = ds.Sensor.MaxRange
+
+	admin, err := client.Dial(r.addr, client.Config{})
+	if err != nil {
+		fatal(err)
+	}
+	defer admin.Close()
+	info, err := admin.Open(r.tenant, r.opts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("tenant %q on %s: %d shards, %s/%s pipeline, res %.2fm, durable=%v\n",
+		info.Name, r.addr, info.Shards, info.Mode, info.Backend, info.Resolution, info.Durable)
+
+	// Queriers probe through the admin connection — queries multiplex
+	// with the producers' insert streams on the server side.
+	var queries, rays atomic.Int64
+	stop := make(chan struct{})
+	var qwg sync.WaitGroup
+	for q := 0; q < r.queriers; q++ {
+		qwg.Add(1)
+		go func(q int) {
+			defer qwg.Done()
+			i := q
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := ds.Scans[i%len(ds.Scans)]
+				n := min(32, len(s.Points))
+				if n > 0 {
+					if _, err := admin.OccupiedBatch(s.Points[:n]); err != nil {
+						return
+					}
+					queries.Add(int64(n))
+					if _, _, err := admin.CastRay(s.Origin, s.Points[0].Sub(s.Origin), 0, true); err != nil {
+						return
+					}
+					rays.Add(1)
+				}
+				i++
+			}
+		}(q)
+	}
+
+	start := time.Now()
+	var pwg sync.WaitGroup
+	perr := make(chan error, r.producers)
+	for w := 0; w < r.producers; w++ {
+		pwg.Add(1)
+		go func(w int) {
+			defer pwg.Done()
+			c, err := client.Dial(r.addr, client.Config{})
+			if err != nil {
+				perr <- err
+				return
+			}
+			defer c.Close()
+			if _, err := c.Attach(r.tenant); err != nil {
+				perr <- err
+				return
+			}
+			for i := w; i < len(ds.Scans); i += r.producers {
+				s := ds.Scans[i]
+				if err := c.Insert(s.Origin, s.Points); err != nil {
+					perr <- err
+					return
+				}
+			}
+			if err := c.Flush(); err != nil {
+				perr <- err
+			}
+		}(w)
+	}
+	pwg.Wait()
+	ingestWall := time.Since(start)
+	close(stop)
+	qwg.Wait()
+	close(perr)
+	for err := range perr {
+		fatal(err)
+	}
+
+	fmt.Printf("\nstreamed %d scans over %d connections in %.3fs (%.1f scans/s)\n",
+		len(ds.Scans), r.producers, ingestWall.Seconds(),
+		float64(len(ds.Scans))/ingestWall.Seconds())
+	fmt.Printf("served %d point queries and %d ray casts concurrently\n",
+		queries.Load(), rays.Load())
+
+	if r.out != "" {
+		f, err := os.Create(r.out)
+		if err != nil {
+			fatal(err)
+		}
+		n, err := admin.WriteSnapshot(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("downloaded snapshot to %s (%d bytes)\n", r.out, n)
+	}
+}
+
+type localRun struct {
+	dsName              string
+	scale               float64
+	out                 string
+	producers, queriers int
+	shards              int
+	res                 float64
+	traceWorkers        int
+	mode                octocache.Mode
+	backend             octocache.Backend
+	trace               octocache.TraceMode
+	sync                octocache.SyncPolicy
+	winRadius           int
+	winDir              string
+	durDir              string
+	snapshotEvery       int
+}
+
+// runLocal is the original in-process demo: one sharded map shared by
+// producer and querier goroutines, with the full statistics dump.
+func runLocal(r localRun) {
+	if r.producers < 1 || r.queriers < 0 {
+		fatal(fmt.Errorf("need producers >= 1 and queriers >= 0"))
+	}
+	fmt.Printf("generating dataset %s (scale %.2f)...\n", r.dsName, r.scale)
+	ds, err := dataset.Named(r.dsName, r.scale)
+	if err != nil {
+		fatal(err)
 	}
 	fmt.Printf("  %d scans, %d points\n", len(ds.Scans), ds.TotalPoints())
 
-	var bk octocache.Backend
-	switch *backend {
-	case "octree":
-		bk = octocache.BackendOctree
-	case "grid":
-		bk = octocache.BackendGrid
-	default:
-		fmt.Fprintf(os.Stderr, "mapserver: unknown -backend %q (want octree or grid)\n", *backend)
-		os.Exit(1)
-	}
-
-	var md octocache.Mode
-	switch *mode {
-	case "parallel":
-		md = octocache.ModeParallel
-	case "serial":
-		md = octocache.ModeSerial
-	case "octomap":
-		md = octocache.ModeOctoMap
-	default:
-		fmt.Fprintf(os.Stderr, "mapserver: unknown -mode %q (want parallel, serial, or octomap)\n", *mode)
-		os.Exit(1)
-	}
-
 	var window octocache.Window
-	if *winRadius > 0 {
-		dir := *winDir
+	if r.winRadius > 0 {
+		dir := r.winDir
 		if dir == "" {
 			dir, err = os.MkdirTemp("", "mapserver-window")
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "mapserver:", err)
-				os.Exit(1)
+				fatal(err)
 			}
 			defer os.RemoveAll(dir)
 		}
-		window = octocache.Window{Radius: *winRadius, Dir: dir}
-		fmt.Printf("bounded-memory window: radius %d tiles, spilling to %s\n", *winRadius, dir)
-	}
-
-	var tm octocache.TraceMode
-	switch *trace {
-	case "dda":
-		tm = octocache.TraceDDA
-	case "boundary":
-		tm = octocache.TraceBoundary
-	default:
-		fmt.Fprintf(os.Stderr, "mapserver: unknown -trace %q (want dda or boundary)\n", *trace)
-		os.Exit(1)
+		window = octocache.Window{Radius: r.winRadius, Dir: dir}
+		fmt.Printf("bounded-memory window: radius %d tiles, spilling to %s\n", r.winRadius, dir)
 	}
 
 	opts := octocache.Options{
-		Resolution:   *res,
-		Mode:         md,
-		Shards:       *shards,
-		Backend:      bk,
+		Resolution:   r.res,
+		Mode:         r.mode,
+		Shards:       r.shards,
+		Backend:      r.backend,
 		MaxRange:     ds.Sensor.MaxRange,
-		Trace:        tm,
-		TraceWorkers: *traceW,
+		Trace:        r.trace,
+		TraceWorkers: r.traceWorkers,
 		Compaction:   octocache.CompactionPolicy{MinFreeFraction: 0.25, MinFreeSlots: 1024},
 		Window:       window,
 	}
 	var m *octocache.Map
-	if *durDir != "" {
-		var sp octocache.SyncPolicy
-		switch *syncPol {
-		case "none":
-			sp = octocache.SyncNone
-		case "batch":
-			sp = octocache.SyncEveryBatch
-		default:
-			fmt.Fprintf(os.Stderr, "mapserver: unknown -sync %q (want none or batch)\n", *syncPol)
-			os.Exit(1)
-		}
-		opts.Durable = octocache.Durable{Sync: sp, SnapshotEvery: *snapEvery}
-		existing := hasLogs(*durDir)
-		m, err = octocache.Recover(*durDir, opts)
+	if r.durDir != "" {
+		opts.Durable = octocache.Durable{Sync: r.sync, SnapshotEvery: r.snapshotEvery}
+		_, shardLogs, err := octocache.ScanDurableDir(r.durDir)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "mapserver:", err)
-			os.Exit(1)
+			fatal(err)
 		}
-		if existing {
+		m, err = octocache.Recover(r.durDir, opts)
+		if err != nil {
+			fatal(err)
+		}
+		if shardLogs > 0 {
 			dst := m.Stats().Durable
 			fmt.Printf("recovered durable map from %s: replayed %d WAL batches, last snapshot cut %d\n",
-				*durDir, dst.ReplayedBatches, dst.LastSnapshotSeq)
+				r.durDir, dst.ReplayedBatches, dst.LastSnapshotSeq)
 		} else {
 			fmt.Printf("durable map: logging to %s (sync=%s, snapshot every %d batches)\n",
-				*durDir, *syncPol, *snapEvery)
+				r.durDir, r.sync, r.snapshotEvery)
 		}
 	} else {
 		m, err = octocache.New(opts)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "mapserver:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 	}
 	fmt.Printf("serving %d %s-pipeline shards (%s backend) to %d producers and %d queriers...\n",
-		m.Shards(), *mode, m.Backend(), *producers, *queriers)
+		m.Shards(), r.mode, m.Backend(), r.producers, r.queriers)
 
 	// Queriers probe scan endpoints (mix of occupied surfaces and not-yet
 	// -mapped space) and cast rays from scan origins until producers stop.
 	var queries, rays atomic.Int64
 	stop := make(chan struct{})
 	var qwg sync.WaitGroup
-	for q := 0; q < *queriers; q++ {
+	for q := 0; q < r.queriers; q++ {
 		qwg.Add(1)
 		go func(q int) {
 			defer qwg.Done()
@@ -187,11 +423,11 @@ func main() {
 
 	start := time.Now()
 	var pwg sync.WaitGroup
-	for w := 0; w < *producers; w++ {
+	for w := 0; w < r.producers; w++ {
 		pwg.Add(1)
 		go func(w int) {
 			defer pwg.Done()
-			for i := w; i < len(ds.Scans); i += *producers {
+			for i := w; i < len(ds.Scans); i += r.producers {
 				s := ds.Scans[i]
 				if err := m.Insert(s.Origin, s.Points); err != nil {
 					fmt.Fprintln(os.Stderr, "mapserver: insert:", err)
@@ -206,8 +442,7 @@ func main() {
 	qwg.Wait()
 
 	if err := m.Close(); err != nil {
-		fmt.Fprintln(os.Stderr, "mapserver:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 
 	st := m.Stats()
@@ -241,21 +476,19 @@ func main() {
 			s.Window.ResidentTiles, s.Window.SpilledTiles, s.Window.Evictions, s.Durable.Seq)
 	}
 
-	if *out != "" {
-		f, err := os.Create(*out)
+	if r.out != "" {
+		f, err := os.Create(r.out)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "mapserver:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		n, err := m.WriteTo(f)
 		if cerr := f.Close(); err == nil {
 			err = cerr
 		}
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "mapserver:", err)
-			os.Exit(1)
+			fatal(err)
 		}
-		fmt.Printf("wrote merged octree %s (%d bytes)\n", *out, n)
+		fmt.Printf("wrote merged octree %s (%d bytes)\n", r.out, n)
 	}
 }
 
@@ -264,19 +497,4 @@ func min(a, b int) int {
 		return a
 	}
 	return b
-}
-
-// hasLogs reports whether dir already holds a durable map's log files,
-// purely for the startup banner — Recover itself validates the layout.
-func hasLogs(dir string) bool {
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		return false
-	}
-	for _, e := range entries {
-		if filepath.Ext(e.Name()) == ".log" {
-			return true
-		}
-	}
-	return false
 }

@@ -19,8 +19,8 @@ import (
 	"strings"
 	"time"
 
+	"octocache"
 	"octocache/internal/bench"
-	"octocache/internal/core"
 )
 
 func main() {
@@ -58,19 +58,14 @@ func main() {
 		}
 	}
 
-	bk, err := core.ParseBackendKind(*backend)
+	bk, err := octocache.ParseBackend(*backend)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "octobench:", err)
 		os.Exit(1)
 	}
-	var tm core.TraceMode
-	switch *trace {
-	case "dda":
-		tm = core.TraceDDA
-	case "boundary":
-		tm = core.TraceBoundary
-	default:
-		fmt.Fprintf(os.Stderr, "octobench: unknown -trace %q (want dda or boundary)\n", *trace)
+	tm, err := octocache.ParseTraceMode(*trace)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "octobench:", err)
 		os.Exit(1)
 	}
 	opt := bench.Options{

@@ -1,0 +1,73 @@
+package octocache
+
+import (
+	"fmt"
+
+	"octocache/internal/core"
+)
+
+// This file is the one home of the public enums' string forms: every
+// Parse* constructor and String() round-trip exactly
+// (Parse*(v.String()) == v), the cmd/ flag surfaces use them, and the
+// network handshake (octocache/server, octocache/client) carries the
+// same spellings — no tool or protocol hand-rolls its own switch.
+
+// String returns the flag spelling of the mode: "parallel", "serial",
+// or "octomap".
+func (m Mode) String() string {
+	switch m {
+	case ModeParallel:
+		return "parallel"
+	case ModeSerial:
+		return "serial"
+	case ModeOctoMap:
+		return "octomap"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// ParseMode maps the flag spellings "parallel", "serial", and
+// "octomap" to modes.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "parallel":
+		return ModeParallel, nil
+	case "serial":
+		return ModeSerial, nil
+	case "octomap":
+		return ModeOctoMap, nil
+	default:
+		return 0, fmt.Errorf("octocache: unknown mode %q (want parallel, serial, or octomap)", s)
+	}
+}
+
+// ParseBackend maps the flag spellings "octree" and "grid" to backends
+// — the inverse of Backend.String.
+func ParseBackend(s string) (Backend, error) { return core.ParseBackendKind(s) }
+
+// ParseTraceMode maps the flag spellings "dda" and "boundary" to trace
+// modes — the inverse of TraceMode.String.
+func ParseTraceMode(s string) (TraceMode, error) {
+	switch s {
+	case "dda":
+		return TraceDDA, nil
+	case "boundary":
+		return TraceBoundary, nil
+	default:
+		return 0, fmt.Errorf("octocache: unknown trace mode %q (want dda or boundary)", s)
+	}
+}
+
+// ParseSyncPolicy maps the flag spellings "none" and "batch" to WAL
+// sync policies — the inverse of SyncPolicy.String.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "none":
+		return SyncNone, nil
+	case "batch":
+		return SyncEveryBatch, nil
+	default:
+		return 0, fmt.Errorf("octocache: unknown sync policy %q (want none or batch)", s)
+	}
+}

@@ -53,6 +53,25 @@ func ParseBackendKind(s string) (BackendKind, error) {
 	}
 }
 
+// MarshalJSON encodes the kind as its flag spelling, so stats payloads
+// read "octree"/"grid" instead of bare integers.
+func (b BackendKind) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + b.String() + `"`), nil
+}
+
+// UnmarshalJSON is the inverse of MarshalJSON.
+func (b *BackendKind) UnmarshalJSON(data []byte) error {
+	if len(data) < 2 || data[0] != '"' || data[len(data)-1] != '"' {
+		return fmt.Errorf("core: backend must be a JSON string, got %s", data)
+	}
+	k, err := ParseBackendKind(string(data[1 : len(data)-1]))
+	if err != nil {
+		return err
+	}
+	*b = k
+	return nil
+}
+
 // Backend is the narrow storage surface the mapping pipelines drive: the
 // apply stage's two writes, the query stage's lookup, and the leaf-walk
 // pair serialization and loading are built on. Everything else a store

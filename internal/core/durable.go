@@ -78,27 +78,27 @@ func (d Durable) Validate() error {
 type DurableStats struct {
 	// Enabled mirrors the policy: false means the map is not durable and
 	// every other field is zero.
-	Enabled bool
+	Enabled bool `json:"enabled"`
 	// Seq is the sequence number of the last admitted-and-logged batch.
 	// For a sharded map Add reports the minimum across shards — the
 	// sequence the whole map is guaranteed durable through.
-	Seq uint64
+	Seq uint64 `json:"seq"`
 	// LastSnapshotSeq is the cut the last committed snapshot covers (0
 	// before the first); minimum across shards under Add.
-	LastSnapshotSeq uint64
+	LastSnapshotSeq uint64 `json:"last_snapshot_seq"`
 	// WALBytes is the log space held by batches not yet covered by a
 	// snapshot — what recovery would replay.
-	WALBytes int64
+	WALBytes int64 `json:"wal_bytes"`
 	// WALBatches counts batches appended over the map's lifetime.
-	WALBatches int64
+	WALBatches int64 `json:"wal_batches"`
 	// Snapshots counts committed snapshots.
-	Snapshots int64
+	Snapshots int64 `json:"snapshots"`
 	// ReplayedBatches counts batches replayed when this map was
 	// recovered (0 for a fresh map).
-	ReplayedBatches int64
+	ReplayedBatches int64 `json:"replayed_batches"`
 	// BytesOnDisk is the log's file size. With a window armed the log
 	// also carries spill frames, so this equals WindowStats.BytesOnDisk.
-	BytesOnDisk int64
+	BytesOnDisk int64 `json:"bytes_on_disk"`
 }
 
 // Add returns the aggregate of two snapshots: counters sum; the sequence

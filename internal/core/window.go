@@ -108,18 +108,21 @@ func (w Window) withDefaults(depth int) Window {
 type WindowStats struct {
 	// Enabled mirrors the policy: false means the map is unwindowed and
 	// every other field is zero.
-	Enabled bool
+	Enabled bool `json:"enabled"`
 	// ResidentTiles and SpilledTiles split the map's observed tiles by
 	// where they live right now.
-	ResidentTiles, SpilledTiles int
+	ResidentTiles int `json:"resident_tiles"`
+	SpilledTiles  int `json:"spilled_tiles"`
 	// Evictions and Reloads count tile spills and transparent page-ins
 	// over the map's lifetime.
-	Evictions, Reloads int64
+	Evictions int64 `json:"evictions"`
+	Reloads   int64 `json:"reloads"`
 	// BytesOnDisk is the tile file's current size.
-	BytesOnDisk int64
+	BytesOnDisk int64 `json:"bytes_on_disk"`
 	// MaxPause is the longest single eviction stop-the-world window —
 	// the quiesce-protocol pause bound MaxEvictPerCycle trades against.
-	MaxPause time.Duration
+	// It marshals as nanoseconds.
+	MaxPause time.Duration `json:"max_pause_ns"`
 }
 
 // Add returns the field-wise aggregate of two snapshots (sums, with

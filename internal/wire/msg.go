@@ -1,0 +1,988 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"octocache/internal/geom"
+	"octocache/internal/voxel"
+)
+
+// Type is the first payload byte of every frame.
+type Type uint8
+
+// Frame types. Requests flow client→server, responses server→client;
+// every request carries a client-chosen ID echoed by its response(s),
+// so responses multiplex freely on one connection.
+const (
+	// THello opens a connection (client→server): magic + version.
+	THello Type = 0x01
+	// TWelcome accepts the handshake (server→client).
+	TWelcome Type = 0x02
+	// TErr reports a failed request: ID, machine code, human message.
+	TErr Type = 0x03
+	// TOK acknowledges a request with no other payload (Drop,
+	// Checkpoint).
+	TOK Type = 0x04
+
+	// TCreate creates (or, with IfAbsent, attaches to) a named tenant.
+	TCreate Type = 0x10
+	// TAttach attaches the connection to an existing tenant.
+	TAttach Type = 0x11
+	// TDrop closes and forgets a tenant.
+	TDrop Type = 0x12
+	// TTenantInfo answers TCreate/TAttach with the tenant's effective
+	// shape.
+	TTenantInfo Type = 0x13
+
+	// TInsert streams one scan batch into the attached tenant; the ID is
+	// the client's insert sequence, acked by TOK (or failed by TErr)
+	// once the batch has been applied.
+	TInsert Type = 0x20
+
+	// TQueryOccupied asks point-space occupied/not for a batch of world
+	// coordinates; answered by TOccupiedResp.
+	TQueryOccupied Type = 0x30
+	// TOccupiedResp carries one bit per queried point.
+	TOccupiedResp Type = 0x31
+	// TQueryOccupancy asks key-space log-odds occupancy for a batch of
+	// voxel keys; answered by TOccupancyResp.
+	TQueryOccupancy Type = 0x32
+	// TOccupancyResp carries (logOdds, known) per queried key.
+	TOccupancyResp Type = 0x33
+	// TCastRay casts one ray; answered by TCastRayResp.
+	TCastRay Type = 0x34
+	// TCastRayResp carries the hit voxel center, if any.
+	TCastRayResp Type = 0x35
+
+	// TSnapshotReq asks for a chunked snapshot stream; answered by one
+	// TSnapBegin, zero or more TSnapChunk, and one TSnapEnd, all
+	// carrying the request ID.
+	TSnapshotReq Type = 0x40
+	// TSnapBegin opens the stream with the map's occupancy model.
+	TSnapBegin Type = 0x41
+	// TSnapChunk carries a run of leaves in ascending Morton order.
+	TSnapChunk Type = 0x42
+	// TSnapEnd closes the stream with the total leaf count, so a
+	// truncated download can never pass for a complete one.
+	TSnapEnd Type = 0x43
+
+	// TCheckpoint takes a consistent-cut snapshot of a durable tenant;
+	// answered by TOK.
+	TCheckpoint Type = 0x50
+)
+
+// Error codes carried by TErr.
+const (
+	// CodeInternal is a server-side failure applying the request.
+	CodeInternal uint16 = 1
+	// CodeBadRequest is a malformed or out-of-protocol request.
+	CodeBadRequest uint16 = 2
+	// CodeNoTenant means the named tenant does not exist.
+	CodeNoTenant uint16 = 3
+	// CodeTenantExists means TCreate hit an existing name without
+	// IfAbsent.
+	CodeTenantExists uint16 = 4
+	// CodeNotAttached means a data request arrived before Create/Attach.
+	CodeNotAttached uint16 = 5
+	// CodeTenantBusy means TDrop hit a tenant other connections are
+	// attached to.
+	CodeTenantBusy uint16 = 6
+	// CodeVersion means the handshake versions are incompatible.
+	CodeVersion uint16 = 7
+)
+
+// TenantOptions is the wire shape of a tenant's map configuration — the
+// subset of octocache.Options that makes sense to choose remotely.
+// Directories are the server's business: Durable says "make it
+// durable", and the server places the log under its own data dir.
+//
+// The enum fields carry the public package's canonical flag spellings
+// (octocache.ParseMode/ParseBackend/ParseTraceMode/ParseSyncPolicy and
+// the matching String methods), not numeric values: the handshake stays
+// self-describing, and an enum renumbering can never silently change
+// what a stored manifest or an old client means. Empty strings mean
+// "the default".
+type TenantOptions struct {
+	Resolution    float64
+	MaxRange      float64
+	Mode          string // octocache.Mode spelling ("parallel", ...)
+	Backend       string // octocache.Backend spelling ("octree", ...)
+	Trace         string // octocache.TraceMode spelling ("dda", ...)
+	Sync          string // octocache.SyncPolicy spelling ("none", ...)
+	Shards        uint16
+	CacheBuckets  uint32
+	CacheTau      uint16
+	Durable       bool
+	SnapshotEvery uint32
+}
+
+// Params is the wire shape of the occupancy model a snapshot stream is
+// built under (voxel.Params).
+type Params struct {
+	Resolution         float64
+	Depth              uint8
+	LogOddsHit         float32
+	LogOddsMiss        float32
+	ClampMin           float32
+	ClampMax           float32
+	OccupancyThreshold float32
+}
+
+// ToVoxel converts to the map-layer parameter struct.
+func (p Params) ToVoxel() voxel.Params {
+	return voxel.Params{
+		Resolution:         p.Resolution,
+		Depth:              int(p.Depth),
+		LogOddsHit:         p.LogOddsHit,
+		LogOddsMiss:        p.LogOddsMiss,
+		ClampMin:           p.ClampMin,
+		ClampMax:           p.ClampMax,
+		OccupancyThreshold: p.OccupancyThreshold,
+	}
+}
+
+// ParamsFromVoxel converts from the map-layer parameter struct.
+func ParamsFromVoxel(p voxel.Params) Params {
+	return Params{
+		Resolution:         p.Resolution,
+		Depth:              uint8(p.Depth),
+		LogOddsHit:         p.LogOddsHit,
+		LogOddsMiss:        p.LogOddsMiss,
+		ClampMin:           p.ClampMin,
+		ClampMax:           p.ClampMax,
+		OccupancyThreshold: p.OccupancyThreshold,
+	}
+}
+
+// Leaf is the wire shape of one snapshot leaf: minimum-corner key,
+// depth, accumulated log-odds.
+type Leaf struct {
+	Key     voxel.Key
+	Depth   uint8
+	LogOdds float32
+}
+
+// leafSize is the encoded byte width of one Leaf.
+const leafSize = 3*2 + 1 + 4
+
+// SnapChunkLeaves sizes snapshot chunks: enough leaves per frame to
+// amortize framing, small enough that a chunk stays far under MaxFrame
+// and the sender never holds more than one chunk of encoded bytes.
+const SnapChunkLeaves = 8192
+
+// ---------------------------------------------------------------------
+// Encoding. All encoders append to dst and return the payload starting
+// with the type byte; wrap with AppendFrame to put it on a wire.
+
+func appendU16(dst []byte, v uint16) []byte { return binary.LittleEndian.AppendUint16(dst, v) }
+func appendU32(dst []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(dst, v) }
+func appendU64(dst []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(dst, v) }
+func appendF32(dst []byte, v float32) []byte {
+	return binary.LittleEndian.AppendUint32(dst, math.Float32bits(v))
+}
+func appendF64(dst []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+}
+func appendVec(dst []byte, v geom.Vec3) []byte {
+	dst = appendF64(dst, v.X)
+	dst = appendF64(dst, v.Y)
+	return appendF64(dst, v.Z)
+}
+func appendKey(dst []byte, k voxel.Key) []byte {
+	dst = appendU16(dst, k.X)
+	dst = appendU16(dst, k.Y)
+	return appendU16(dst, k.Z)
+}
+func appendStr(dst []byte, s string) []byte {
+	if len(s) > math.MaxUint16 {
+		s = s[:math.MaxUint16]
+	}
+	dst = appendU16(dst, uint16(len(s)))
+	return append(dst, s...)
+}
+
+// AppendHello encodes the client's opening frame.
+func AppendHello(dst []byte) []byte {
+	dst = append(dst, byte(THello))
+	dst = appendU32(dst, Magic)
+	return appendU16(dst, Version)
+}
+
+// AppendWelcome encodes the server's handshake acceptance.
+func AppendWelcome(dst []byte) []byte {
+	dst = append(dst, byte(TWelcome))
+	return appendU16(dst, Version)
+}
+
+// AppendErr encodes a failure response.
+func AppendErr(dst []byte, id uint64, code uint16, msg string) []byte {
+	dst = append(dst, byte(TErr))
+	dst = appendU64(dst, id)
+	dst = appendU16(dst, code)
+	return appendStr(dst, msg)
+}
+
+// AppendOK encodes a bare acknowledgment.
+func AppendOK(dst []byte, id uint64) []byte {
+	dst = append(dst, byte(TOK))
+	return appendU64(dst, id)
+}
+
+func appendTenantOptions(dst []byte, o TenantOptions) []byte {
+	dst = appendF64(dst, o.Resolution)
+	dst = appendF64(dst, o.MaxRange)
+	dst = appendStr(dst, o.Mode)
+	dst = appendStr(dst, o.Backend)
+	dst = appendStr(dst, o.Trace)
+	dst = appendStr(dst, o.Sync)
+	dst = appendU16(dst, o.Shards)
+	dst = appendU32(dst, o.CacheBuckets)
+	dst = appendU16(dst, o.CacheTau)
+	var dur uint8
+	if o.Durable {
+		dur = 1
+	}
+	dst = append(dst, dur)
+	return appendU32(dst, o.SnapshotEvery)
+}
+
+// AppendCreate encodes a tenant-creation request.
+func AppendCreate(dst []byte, id uint64, name string, ifAbsent bool, o TenantOptions) []byte {
+	dst = append(dst, byte(TCreate))
+	dst = appendU64(dst, id)
+	dst = appendStr(dst, name)
+	var fl uint8
+	if ifAbsent {
+		fl = 1
+	}
+	dst = append(dst, fl)
+	return appendTenantOptions(dst, o)
+}
+
+// AppendAttach encodes an attach request.
+func AppendAttach(dst []byte, id uint64, name string) []byte {
+	dst = append(dst, byte(TAttach))
+	dst = appendU64(dst, id)
+	return appendStr(dst, name)
+}
+
+// AppendDrop encodes a drop request.
+func AppendDrop(dst []byte, id uint64, name string) []byte {
+	dst = append(dst, byte(TDrop))
+	dst = appendU64(dst, id)
+	return appendStr(dst, name)
+}
+
+// AppendTenantInfo encodes the response to Create/Attach: the tenant's
+// effective options (shard count rounded, defaults resolved) and its
+// occupancy model.
+func AppendTenantInfo(dst []byte, id uint64, name string, o TenantOptions, p Params) []byte {
+	dst = append(dst, byte(TTenantInfo))
+	dst = appendU64(dst, id)
+	dst = appendStr(dst, name)
+	dst = appendTenantOptions(dst, o)
+	return appendParams(dst, p)
+}
+
+// AppendInsert encodes one scan batch.
+func AppendInsert(dst []byte, id uint64, origin geom.Vec3, points []geom.Vec3) []byte {
+	dst = append(dst, byte(TInsert))
+	dst = appendU64(dst, id)
+	dst = appendVec(dst, origin)
+	dst = appendU32(dst, uint32(len(points)))
+	for _, p := range points {
+		dst = appendVec(dst, p)
+	}
+	return dst
+}
+
+// AppendQueryOccupied encodes a point-space occupied batch query.
+func AppendQueryOccupied(dst []byte, id uint64, points []geom.Vec3) []byte {
+	dst = append(dst, byte(TQueryOccupied))
+	dst = appendU64(dst, id)
+	dst = appendU32(dst, uint32(len(points)))
+	for _, p := range points {
+		dst = appendVec(dst, p)
+	}
+	return dst
+}
+
+// AppendOccupiedResp encodes the bitmask answer: bit i of bits[i/8] is
+// point i's occupancy.
+func AppendOccupiedResp(dst []byte, id uint64, n int, bits []byte) []byte {
+	dst = append(dst, byte(TOccupiedResp))
+	dst = appendU64(dst, id)
+	dst = appendU32(dst, uint32(n))
+	return append(dst, bits...)
+}
+
+// AppendQueryOccupancy encodes a key-space occupancy batch query.
+func AppendQueryOccupancy(dst []byte, id uint64, keys []voxel.Key) []byte {
+	dst = append(dst, byte(TQueryOccupancy))
+	dst = appendU64(dst, id)
+	dst = appendU32(dst, uint32(len(keys)))
+	for _, k := range keys {
+		dst = appendKey(dst, k)
+	}
+	return dst
+}
+
+// CellState is one key's occupancy answer.
+type CellState struct {
+	LogOdds float32
+	Known   bool
+}
+
+// AppendOccupancyResp encodes the per-key answers.
+func AppendOccupancyResp(dst []byte, id uint64, cells []CellState) []byte {
+	dst = append(dst, byte(TOccupancyResp))
+	dst = appendU64(dst, id)
+	dst = appendU32(dst, uint32(len(cells)))
+	for _, c := range cells {
+		dst = appendF32(dst, c.LogOdds)
+		var k uint8
+		if c.Known {
+			k = 1
+		}
+		dst = append(dst, k)
+	}
+	return dst
+}
+
+// AppendCastRay encodes a ray-cast request.
+func AppendCastRay(dst []byte, id uint64, origin, dir geom.Vec3, maxRange float64, ignoreUnknown bool) []byte {
+	dst = append(dst, byte(TCastRay))
+	dst = appendU64(dst, id)
+	dst = appendVec(dst, origin)
+	dst = appendVec(dst, dir)
+	dst = appendF64(dst, maxRange)
+	var ig uint8
+	if ignoreUnknown {
+		ig = 1
+	}
+	return append(dst, ig)
+}
+
+// AppendCastRayResp encodes a ray-cast answer.
+func AppendCastRayResp(dst []byte, id uint64, hit geom.Vec3, ok bool) []byte {
+	dst = append(dst, byte(TCastRayResp))
+	dst = appendU64(dst, id)
+	var okb uint8
+	if ok {
+		okb = 1
+	}
+	dst = append(dst, okb)
+	return appendVec(dst, hit)
+}
+
+// AppendSnapshotReq encodes a snapshot-stream request.
+func AppendSnapshotReq(dst []byte, id uint64) []byte {
+	dst = append(dst, byte(TSnapshotReq))
+	return appendU64(dst, id)
+}
+
+func appendParams(dst []byte, p Params) []byte {
+	dst = appendF64(dst, p.Resolution)
+	dst = append(dst, p.Depth)
+	dst = appendF32(dst, p.LogOddsHit)
+	dst = appendF32(dst, p.LogOddsMiss)
+	dst = appendF32(dst, p.ClampMin)
+	dst = appendF32(dst, p.ClampMax)
+	return appendF32(dst, p.OccupancyThreshold)
+}
+
+// AppendSnapBegin opens a snapshot stream.
+func AppendSnapBegin(dst []byte, id uint64, p Params) []byte {
+	dst = append(dst, byte(TSnapBegin))
+	dst = appendU64(dst, id)
+	return appendParams(dst, p)
+}
+
+// AppendSnapChunk encodes one leaf run.
+func AppendSnapChunk(dst []byte, id uint64, leaves []Leaf) []byte {
+	dst = append(dst, byte(TSnapChunk))
+	dst = appendU64(dst, id)
+	dst = appendU32(dst, uint32(len(leaves)))
+	for _, l := range leaves {
+		dst = appendKey(dst, l.Key)
+		dst = append(dst, l.Depth)
+		dst = appendF32(dst, l.LogOdds)
+	}
+	return dst
+}
+
+// AppendSnapEnd closes a snapshot stream with the total leaf count.
+func AppendSnapEnd(dst []byte, id uint64, leaves uint64) []byte {
+	dst = append(dst, byte(TSnapEnd))
+	dst = appendU64(dst, id)
+	return appendU64(dst, leaves)
+}
+
+// AppendCheckpoint encodes a checkpoint request.
+func AppendCheckpoint(dst []byte, id uint64) []byte {
+	dst = append(dst, byte(TCheckpoint))
+	return appendU64(dst, id)
+}
+
+// ---------------------------------------------------------------------
+// Decoding. A cursor consumes the payload after the type byte; any
+// overrun, short field, or trailing garbage fails with an ErrCorrupt
+// wrap and never panics (the fuzz suite pins that).
+
+type cursor struct {
+	b   []byte
+	off int
+	bad bool
+}
+
+func (c *cursor) take(n int) []byte {
+	if c.bad || n < 0 || len(c.b)-c.off < n {
+		c.bad = true
+		return nil
+	}
+	s := c.b[c.off : c.off+n]
+	c.off += n
+	return s
+}
+
+func (c *cursor) u8() uint8 {
+	s := c.take(1)
+	if s == nil {
+		return 0
+	}
+	return s[0]
+}
+
+func (c *cursor) u16() uint16 {
+	s := c.take(2)
+	if s == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(s)
+}
+
+func (c *cursor) u32() uint32 {
+	s := c.take(4)
+	if s == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(s)
+}
+
+func (c *cursor) u64() uint64 {
+	s := c.take(8)
+	if s == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(s)
+}
+
+func (c *cursor) f32() float32 { return math.Float32frombits(c.u32()) }
+func (c *cursor) f64() float64 { return math.Float64frombits(c.u64()) }
+
+func (c *cursor) vec() geom.Vec3 {
+	return geom.Vec3{X: c.f64(), Y: c.f64(), Z: c.f64()}
+}
+
+func (c *cursor) key() voxel.Key {
+	return voxel.Key{X: c.u16(), Y: c.u16(), Z: c.u16()}
+}
+
+func (c *cursor) str() string {
+	n := int(c.u16())
+	s := c.take(n)
+	if s == nil {
+		return ""
+	}
+	return string(s)
+}
+
+func (c *cursor) bool() bool { return c.u8() != 0 }
+
+// count validates a declared element count against the bytes actually
+// present, so a corrupt count can never drive a huge allocation.
+func (c *cursor) count(elemSize int) (int, bool) {
+	n := int(c.u32())
+	if c.bad || n < 0 || len(c.b)-c.off < n*elemSize {
+		c.bad = true
+		return 0, false
+	}
+	return n, true
+}
+
+// done fails unless the payload was consumed exactly.
+func (c *cursor) done(what string) error {
+	if c.bad {
+		return fmt.Errorf("%w: truncated %s payload", ErrCorrupt, what)
+	}
+	if c.off != len(c.b) {
+		return fmt.Errorf("%w: %d trailing bytes after %s payload", ErrCorrupt, len(c.b)-c.off, what)
+	}
+	return nil
+}
+
+// PayloadType returns the frame type of a raw payload.
+func PayloadType(payload []byte) (Type, error) {
+	if len(payload) == 0 {
+		return 0, fmt.Errorf("%w: empty payload", ErrCorrupt)
+	}
+	return Type(payload[0]), nil
+}
+
+func open(payload []byte, want Type) (*cursor, error) {
+	t, err := PayloadType(payload)
+	if err != nil {
+		return nil, err
+	}
+	if t != want {
+		return nil, fmt.Errorf("%w: frame type 0x%02x, want 0x%02x", ErrCorrupt, uint8(t), uint8(want))
+	}
+	return &cursor{b: payload, off: 1}, nil
+}
+
+// Hello is the decoded THello payload.
+type Hello struct {
+	Magic   uint32
+	Version uint16
+}
+
+// DecodeHello parses a THello payload.
+func DecodeHello(payload []byte) (Hello, error) {
+	c, err := open(payload, THello)
+	if err != nil {
+		return Hello{}, err
+	}
+	h := Hello{Magic: c.u32(), Version: c.u16()}
+	return h, c.done("hello")
+}
+
+// Welcome is the decoded TWelcome payload.
+type Welcome struct {
+	Version uint16
+}
+
+// DecodeWelcome parses a TWelcome payload.
+func DecodeWelcome(payload []byte) (Welcome, error) {
+	c, err := open(payload, TWelcome)
+	if err != nil {
+		return Welcome{}, err
+	}
+	w := Welcome{Version: c.u16()}
+	return w, c.done("welcome")
+}
+
+// ErrMsg is the decoded TErr payload.
+type ErrMsg struct {
+	ID   uint64
+	Code uint16
+	Msg  string
+}
+
+// DecodeErr parses a TErr payload.
+func DecodeErr(payload []byte) (ErrMsg, error) {
+	c, err := open(payload, TErr)
+	if err != nil {
+		return ErrMsg{}, err
+	}
+	e := ErrMsg{ID: c.u64(), Code: c.u16(), Msg: c.str()}
+	return e, c.done("err")
+}
+
+// OK is the decoded TOK payload.
+type OK struct {
+	ID uint64
+}
+
+// DecodeOK parses a TOK payload.
+func DecodeOK(payload []byte) (OK, error) {
+	c, err := open(payload, TOK)
+	if err != nil {
+		return OK{}, err
+	}
+	o := OK{ID: c.u64()}
+	return o, c.done("ok")
+}
+
+func decodeTenantOptions(c *cursor) TenantOptions {
+	return TenantOptions{
+		Resolution:    c.f64(),
+		MaxRange:      c.f64(),
+		Mode:          c.str(),
+		Backend:       c.str(),
+		Trace:         c.str(),
+		Sync:          c.str(),
+		Shards:        c.u16(),
+		CacheBuckets:  c.u32(),
+		CacheTau:      c.u16(),
+		Durable:       c.bool(),
+		SnapshotEvery: c.u32(),
+	}
+}
+
+// Create is the decoded TCreate payload.
+type Create struct {
+	ID       uint64
+	Name     string
+	IfAbsent bool
+	Opts     TenantOptions
+}
+
+// DecodeCreate parses a TCreate payload.
+func DecodeCreate(payload []byte) (Create, error) {
+	c, err := open(payload, TCreate)
+	if err != nil {
+		return Create{}, err
+	}
+	m := Create{ID: c.u64(), Name: c.str(), IfAbsent: c.bool(), Opts: decodeTenantOptions(c)}
+	return m, c.done("create")
+}
+
+// Attach is the decoded TAttach payload.
+type Attach struct {
+	ID   uint64
+	Name string
+}
+
+// DecodeAttach parses a TAttach payload.
+func DecodeAttach(payload []byte) (Attach, error) {
+	c, err := open(payload, TAttach)
+	if err != nil {
+		return Attach{}, err
+	}
+	m := Attach{ID: c.u64(), Name: c.str()}
+	return m, c.done("attach")
+}
+
+// Drop is the decoded TDrop payload.
+type Drop struct {
+	ID   uint64
+	Name string
+}
+
+// DecodeDrop parses a TDrop payload.
+func DecodeDrop(payload []byte) (Drop, error) {
+	c, err := open(payload, TDrop)
+	if err != nil {
+		return Drop{}, err
+	}
+	m := Drop{ID: c.u64(), Name: c.str()}
+	return m, c.done("drop")
+}
+
+// TenantInfo is the decoded TTenantInfo payload.
+type TenantInfo struct {
+	ID     uint64
+	Name   string
+	Opts   TenantOptions
+	Params Params
+}
+
+func decodeParams(c *cursor) Params {
+	return Params{
+		Resolution:         c.f64(),
+		Depth:              c.u8(),
+		LogOddsHit:         c.f32(),
+		LogOddsMiss:        c.f32(),
+		ClampMin:           c.f32(),
+		ClampMax:           c.f32(),
+		OccupancyThreshold: c.f32(),
+	}
+}
+
+// DecodeTenantInfo parses a TTenantInfo payload.
+func DecodeTenantInfo(payload []byte) (TenantInfo, error) {
+	c, err := open(payload, TTenantInfo)
+	if err != nil {
+		return TenantInfo{}, err
+	}
+	m := TenantInfo{ID: c.u64(), Name: c.str(), Opts: decodeTenantOptions(c), Params: decodeParams(c)}
+	return m, c.done("tenant-info")
+}
+
+// Insert is the decoded TInsert payload. Points aliases the frame
+// buffer's decoded copy and is owned by the caller.
+type Insert struct {
+	ID     uint64
+	Origin geom.Vec3
+	Points []geom.Vec3
+}
+
+// DecodeInsert parses a TInsert payload.
+func DecodeInsert(payload []byte) (Insert, error) {
+	c, err := open(payload, TInsert)
+	if err != nil {
+		return Insert{}, err
+	}
+	m := Insert{ID: c.u64(), Origin: c.vec()}
+	n, ok := c.count(24)
+	if !ok {
+		return Insert{}, c.done("insert")
+	}
+	m.Points = make([]geom.Vec3, n)
+	for i := range m.Points {
+		m.Points[i] = c.vec()
+	}
+	return m, c.done("insert")
+}
+
+// QueryOccupied is the decoded TQueryOccupied payload.
+type QueryOccupied struct {
+	ID     uint64
+	Points []geom.Vec3
+}
+
+// DecodeQueryOccupied parses a TQueryOccupied payload.
+func DecodeQueryOccupied(payload []byte) (QueryOccupied, error) {
+	c, err := open(payload, TQueryOccupied)
+	if err != nil {
+		return QueryOccupied{}, err
+	}
+	m := QueryOccupied{ID: c.u64()}
+	n, ok := c.count(24)
+	if !ok {
+		return QueryOccupied{}, c.done("query-occupied")
+	}
+	m.Points = make([]geom.Vec3, n)
+	for i := range m.Points {
+		m.Points[i] = c.vec()
+	}
+	return m, c.done("query-occupied")
+}
+
+// OccupiedResp is the decoded TOccupiedResp payload.
+type OccupiedResp struct {
+	N    int
+	Bits []byte
+}
+
+// Occupied reports bit i of the mask.
+func (r OccupiedResp) Occupied(i int) bool {
+	return i >= 0 && i < r.N && r.Bits[i/8]&(1<<(i%8)) != 0
+}
+
+// DecodeOccupiedResp parses a TOccupiedResp payload.
+func DecodeOccupiedResp(payload []byte) (uint64, OccupiedResp, error) {
+	c, err := open(payload, TOccupiedResp)
+	if err != nil {
+		return 0, OccupiedResp{}, err
+	}
+	id := c.u64()
+	n := int(c.u32())
+	if c.bad || n < 0 {
+		return 0, OccupiedResp{}, c.done("occupied-resp")
+	}
+	bits := c.take((n + 7) / 8)
+	m := OccupiedResp{N: n, Bits: append([]byte(nil), bits...)}
+	return id, m, c.done("occupied-resp")
+}
+
+// QueryOccupancy is the decoded TQueryOccupancy payload.
+type QueryOccupancy struct {
+	ID   uint64
+	Keys []voxel.Key
+}
+
+// DecodeQueryOccupancy parses a TQueryOccupancy payload.
+func DecodeQueryOccupancy(payload []byte) (QueryOccupancy, error) {
+	c, err := open(payload, TQueryOccupancy)
+	if err != nil {
+		return QueryOccupancy{}, err
+	}
+	m := QueryOccupancy{ID: c.u64()}
+	n, ok := c.count(6)
+	if !ok {
+		return QueryOccupancy{}, c.done("query-occupancy")
+	}
+	m.Keys = make([]voxel.Key, n)
+	for i := range m.Keys {
+		m.Keys[i] = c.key()
+	}
+	return m, c.done("query-occupancy")
+}
+
+// DecodeOccupancyResp parses a TOccupancyResp payload.
+func DecodeOccupancyResp(payload []byte) (uint64, []CellState, error) {
+	c, err := open(payload, TOccupancyResp)
+	if err != nil {
+		return 0, nil, err
+	}
+	id := c.u64()
+	n, ok := c.count(5)
+	if !ok {
+		return 0, nil, c.done("occupancy-resp")
+	}
+	cells := make([]CellState, n)
+	for i := range cells {
+		cells[i] = CellState{LogOdds: c.f32(), Known: c.bool()}
+	}
+	return id, cells, c.done("occupancy-resp")
+}
+
+// CastRay is the decoded TCastRay payload.
+type CastRay struct {
+	ID            uint64
+	Origin, Dir   geom.Vec3
+	MaxRange      float64
+	IgnoreUnknown bool
+}
+
+// DecodeCastRay parses a TCastRay payload.
+func DecodeCastRay(payload []byte) (CastRay, error) {
+	c, err := open(payload, TCastRay)
+	if err != nil {
+		return CastRay{}, err
+	}
+	m := CastRay{ID: c.u64(), Origin: c.vec(), Dir: c.vec(), MaxRange: c.f64(), IgnoreUnknown: c.bool()}
+	return m, c.done("cast-ray")
+}
+
+// CastRayResp is the decoded TCastRayResp payload.
+type CastRayResp struct {
+	Hit geom.Vec3
+	OK  bool
+}
+
+// DecodeCastRayResp parses a TCastRayResp payload.
+func DecodeCastRayResp(payload []byte) (uint64, CastRayResp, error) {
+	c, err := open(payload, TCastRayResp)
+	if err != nil {
+		return 0, CastRayResp{}, err
+	}
+	id := c.u64()
+	m := CastRayResp{OK: c.bool(), Hit: c.vec()}
+	return id, m, c.done("cast-ray-resp")
+}
+
+// SnapshotReq is the decoded TSnapshotReq payload.
+type SnapshotReq struct {
+	ID uint64
+}
+
+// DecodeSnapshotReq parses a TSnapshotReq payload.
+func DecodeSnapshotReq(payload []byte) (SnapshotReq, error) {
+	c, err := open(payload, TSnapshotReq)
+	if err != nil {
+		return SnapshotReq{}, err
+	}
+	m := SnapshotReq{ID: c.u64()}
+	return m, c.done("snapshot-req")
+}
+
+// DecodeSnapBegin parses a TSnapBegin payload.
+func DecodeSnapBegin(payload []byte) (uint64, Params, error) {
+	c, err := open(payload, TSnapBegin)
+	if err != nil {
+		return 0, Params{}, err
+	}
+	id := c.u64()
+	p := decodeParams(c)
+	return id, p, c.done("snap-begin")
+}
+
+// DecodeSnapChunk parses a TSnapChunk payload, appending its leaves to
+// dst.
+func DecodeSnapChunk(payload []byte, dst []Leaf) (uint64, []Leaf, error) {
+	c, err := open(payload, TSnapChunk)
+	if err != nil {
+		return 0, dst, err
+	}
+	id := c.u64()
+	n, ok := c.count(leafSize)
+	if !ok {
+		return 0, dst, c.done("snap-chunk")
+	}
+	for i := 0; i < n; i++ {
+		dst = append(dst, Leaf{Key: c.key(), Depth: c.u8(), LogOdds: c.f32()})
+	}
+	return id, dst, c.done("snap-chunk")
+}
+
+// DecodeSnapEnd parses a TSnapEnd payload.
+func DecodeSnapEnd(payload []byte) (id, leaves uint64, err error) {
+	c, err := open(payload, TSnapEnd)
+	if err != nil {
+		return 0, 0, err
+	}
+	id = c.u64()
+	leaves = c.u64()
+	return id, leaves, c.done("snap-end")
+}
+
+// Checkpoint is the decoded TCheckpoint payload.
+type Checkpoint struct {
+	ID uint64
+}
+
+// DecodeCheckpoint parses a TCheckpoint payload.
+func DecodeCheckpoint(payload []byte) (Checkpoint, error) {
+	c, err := open(payload, TCheckpoint)
+	if err != nil {
+		return Checkpoint{}, err
+	}
+	m := Checkpoint{ID: c.u64()}
+	return m, c.done("checkpoint")
+}
+
+// DecodeAny parses whichever message the payload carries, returning it
+// as one of the typed structs above (responses come back as the
+// response struct with the ID folded in where the decoder returns one).
+// It exists for the fuzz suite and for generic logging; protocol loops
+// switch on PayloadType and call the specific decoder.
+func DecodeAny(payload []byte) (any, error) {
+	t, err := PayloadType(payload)
+	if err != nil {
+		return nil, err
+	}
+	switch t {
+	case THello:
+		return DecodeHello(payload)
+	case TWelcome:
+		return DecodeWelcome(payload)
+	case TErr:
+		return DecodeErr(payload)
+	case TOK:
+		return DecodeOK(payload)
+	case TCreate:
+		return DecodeCreate(payload)
+	case TAttach:
+		return DecodeAttach(payload)
+	case TDrop:
+		return DecodeDrop(payload)
+	case TTenantInfo:
+		return DecodeTenantInfo(payload)
+	case TInsert:
+		return DecodeInsert(payload)
+	case TQueryOccupied:
+		return DecodeQueryOccupied(payload)
+	case TOccupiedResp:
+		_, m, err := DecodeOccupiedResp(payload)
+		return m, err
+	case TQueryOccupancy:
+		return DecodeQueryOccupancy(payload)
+	case TOccupancyResp:
+		_, m, err := DecodeOccupancyResp(payload)
+		return m, err
+	case TCastRay:
+		return DecodeCastRay(payload)
+	case TCastRayResp:
+		_, m, err := DecodeCastRayResp(payload)
+		return m, err
+	case TSnapshotReq:
+		return DecodeSnapshotReq(payload)
+	case TSnapBegin:
+		_, p, err := DecodeSnapBegin(payload)
+		return p, err
+	case TSnapChunk:
+		_, leaves, err := DecodeSnapChunk(payload, nil)
+		return leaves, err
+	case TSnapEnd:
+		_, n, err := DecodeSnapEnd(payload)
+		return n, err
+	case TCheckpoint:
+		return DecodeCheckpoint(payload)
+	default:
+		return nil, fmt.Errorf("%w: unknown frame type 0x%02x", ErrCorrupt, uint8(t))
+	}
+}

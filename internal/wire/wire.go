@@ -1,0 +1,114 @@
+// Package wire is the binary frame protocol spoken between the
+// octocache map service (octocache/server) and its typed client
+// (octocache/client) — and by nothing else; the Makefile's lint-imports
+// gate enforces that boundary.
+//
+// A connection carries a stream of self-delimiting frames:
+//
+//	uint32  length   — payload byte count, little-endian, 1..MaxFrame
+//	payload          — length bytes; payload[0] is the frame Type
+//	uint32  checksum — CRC-32C (Castagnoli) of the payload
+//
+// The length prefix makes frames skippable without understanding them;
+// the trailing CRC turns line noise, truncation, and framing bugs into
+// typed errors instead of silently corrupt maps. Every multi-byte
+// integer anywhere in the protocol is little-endian; strings are a
+// uint16 length followed by raw bytes; world coordinates are float64
+// bits (coordinate discretization must agree bit-for-bit across the
+// wire, so nothing is ever narrowed to float32 except log-odds values,
+// which are float32 end-to-end in the map itself).
+//
+// The protocol is versioned by the Hello/Welcome handshake (Version);
+// a server refuses clients it cannot speak with rather than guessing.
+// Decoding never panics on corrupt input — the fuzz suite holds the
+// codec to that — and fails with errors wrapping ErrCorrupt so callers
+// can distinguish a poisoned stream from ordinary I/O errors.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Version is the protocol revision carried by the handshake. Bump it on
+// any incompatible frame-format or message-layout change.
+const Version uint16 = 1
+
+// Magic opens every Hello frame — a cheap guard against pointing the
+// client at something that is not an octocache server (and vice versa).
+const Magic uint32 = 0x4f43_4d50 // "OCMP"
+
+// MaxFrame bounds a single frame's payload: large enough for a dense
+// scan batch (≈700k points at 24 bytes each) or a fat snapshot chunk,
+// small enough that a corrupt length prefix cannot make a peer try to
+// allocate gigabytes.
+const MaxFrame = 16 << 20
+
+// ErrCorrupt marks a stream that can no longer be trusted: a bad CRC, a
+// malformed payload, an out-of-range length prefix. Peers close the
+// connection on it — frame boundaries are unrecoverable once framing is
+// in doubt. Test with errors.Is.
+var ErrCorrupt = errors.New("wire: corrupt stream")
+
+// ErrTooLarge marks a length prefix beyond MaxFrame. It wraps
+// ErrCorrupt: an oversized frame is indistinguishable from framing
+// desync.
+var ErrTooLarge = fmt.Errorf("%w: frame exceeds %d bytes", ErrCorrupt, MaxFrame)
+
+// crcTable is the Castagnoli polynomial, hardware-accelerated on
+// everything this is likely to run on.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// AppendFrame appends one complete frame carrying payload to dst and
+// returns the extended slice. payload must be non-empty (payload[0] is
+// the type byte) and at most MaxFrame bytes.
+func AppendFrame(dst, payload []byte) []byte {
+	if len(payload) == 0 || len(payload) > MaxFrame {
+		// Caller bug, not wire data: all payloads are built by this
+		// package's encoders.
+		panic(fmt.Sprintf("wire: invalid payload length %d", len(payload)))
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = append(dst, payload...)
+	return binary.LittleEndian.AppendUint32(dst, crc32.Checksum(payload, crcTable))
+}
+
+// ReadFrame reads one frame from r, reusing buf when it is large
+// enough, and returns the verified payload (valid until the next call
+// that reuses buf). io.EOF is returned untouched at a clean frame
+// boundary; a stream that ends mid-frame fails with
+// io.ErrUnexpectedEOF; CRC and length violations fail with errors
+// wrapping ErrCorrupt.
+func ReadFrame(r io.Reader, buf []byte) (payload, newBuf []byte, err error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, buf, err // io.EOF here is a clean close
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n == 0 {
+		return nil, buf, fmt.Errorf("%w: zero-length frame", ErrCorrupt)
+	}
+	if n > MaxFrame {
+		return nil, buf, ErrTooLarge
+	}
+	need := int(n) + 4 // payload + trailing CRC
+	if cap(buf) < need {
+		buf = make([]byte, need)
+	}
+	buf = buf[:need]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, buf, err
+	}
+	payload = buf[:n]
+	want := binary.LittleEndian.Uint32(buf[n:])
+	if got := crc32.Checksum(payload, crcTable); got != want {
+		return nil, buf, fmt.Errorf("%w: frame CRC mismatch (got %08x, want %08x)", ErrCorrupt, got, want)
+	}
+	return payload, buf, nil
+}

@@ -1,0 +1,308 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"octocache/internal/geom"
+	"octocache/internal/voxel"
+)
+
+// frame round-trips one payload through AppendFrame/ReadFrame.
+func frame(t *testing.T, payload []byte) []byte {
+	t.Helper()
+	return AppendFrame(nil, payload)
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	payloads := [][]byte{
+		AppendHello(nil),
+		AppendWelcome(nil),
+		AppendOK(nil, 42),
+		AppendErr(nil, 7, CodeNoTenant, "no such tenant"),
+		AppendInsert(nil, 3, geom.V(1, 2, 3), []geom.Vec3{{X: 4, Y: 5, Z: 6}, {X: 7, Y: 8, Z: 9}}),
+		AppendSnapEnd(nil, 9, 12345),
+	}
+	var stream []byte
+	for _, p := range payloads {
+		stream = AppendFrame(stream, p)
+	}
+	r := bytes.NewReader(stream)
+	var buf []byte
+	for i, want := range payloads {
+		var got []byte
+		var err error
+		got, buf, err = ReadFrame(r, buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame %d: payload mismatch", i)
+		}
+	}
+	if _, _, err := ReadFrame(r, buf); err != io.EOF {
+		t.Fatalf("after last frame: got %v, want io.EOF", err)
+	}
+}
+
+func TestFrameCorruption(t *testing.T) {
+	good := frame(t, AppendOK(nil, 1))
+
+	t.Run("flipped byte", func(t *testing.T) {
+		for i := range good {
+			bad := append([]byte(nil), good...)
+			bad[i] ^= 0x40
+			_, _, err := ReadFrame(bytes.NewReader(bad), nil)
+			// A flipped length byte may also surface as an unexpected
+			// EOF (the reader waits for bytes that never come) or as a
+			// too-large frame; a clean read of a corrupted frame is the
+			// only failure.
+			if err == nil {
+				t.Fatalf("byte %d flipped: frame still decoded", i)
+			}
+		}
+	})
+
+	t.Run("truncation", func(t *testing.T) {
+		for n := 1; n < len(good); n++ {
+			_, _, err := ReadFrame(bytes.NewReader(good[:n]), nil)
+			if err == nil {
+				t.Fatalf("truncated at %d: no error", n)
+			}
+			if errors.Is(err, ErrCorrupt) {
+				continue // a mangled tail CRC read is fine too
+			}
+			if err != io.ErrUnexpectedEOF {
+				t.Fatalf("truncated at %d: got %v", n, err)
+			}
+		}
+	})
+
+	t.Run("oversized", func(t *testing.T) {
+		var hdr [4]byte
+		hdr[3] = 0xff // length prefix far beyond MaxFrame
+		_, _, err := ReadFrame(bytes.NewReader(append(hdr[:], good...)), nil)
+		if !errors.Is(err, ErrTooLarge) || !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("oversized frame: got %v", err)
+		}
+	})
+
+	t.Run("zero length", func(t *testing.T) {
+		_, _, err := ReadFrame(bytes.NewReader(make([]byte, 8)), nil)
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("zero-length frame: got %v", err)
+		}
+	})
+}
+
+func TestMessageRoundTrips(t *testing.T) {
+	opts := TenantOptions{
+		Resolution: 0.25, MaxRange: 12.5, Mode: "octomap", Backend: "grid",
+		Trace: "boundary", Sync: "batch", Shards: 8, CacheBuckets: 4096,
+		CacheTau: 4, Durable: true, SnapshotEvery: 64,
+	}
+	params := ParamsFromVoxel(voxel.DefaultParams(0.25))
+
+	t.Run("create", func(t *testing.T) {
+		m, err := DecodeCreate(AppendCreate(nil, 11, "alpha", true, opts))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.ID != 11 || m.Name != "alpha" || !m.IfAbsent || m.Opts != opts {
+			t.Fatalf("round trip mismatch: %+v", m)
+		}
+	})
+
+	t.Run("tenant info", func(t *testing.T) {
+		m, err := DecodeTenantInfo(AppendTenantInfo(nil, 12, "alpha", opts, params))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Opts != opts || m.Params != params || m.Name != "alpha" {
+			t.Fatalf("round trip mismatch: %+v", m)
+		}
+		if m.Params.ToVoxel() != voxel.DefaultParams(0.25) {
+			t.Fatalf("params conversion not lossless: %+v", m.Params.ToVoxel())
+		}
+	})
+
+	t.Run("insert", func(t *testing.T) {
+		pts := []geom.Vec3{{X: 1.5, Y: -2, Z: 3}, {X: 0, Y: 0, Z: 0}, {X: -9, Y: 9, Z: 0.125}}
+		m, err := DecodeInsert(AppendInsert(nil, 77, geom.V(1, 2, 3), pts))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.ID != 77 || m.Origin != geom.V(1, 2, 3) || len(m.Points) != len(pts) {
+			t.Fatalf("round trip mismatch: %+v", m)
+		}
+		for i := range pts {
+			if m.Points[i] != pts[i] {
+				t.Fatalf("point %d: got %v, want %v", i, m.Points[i], pts[i])
+			}
+		}
+	})
+
+	t.Run("occupancy", func(t *testing.T) {
+		keys := []voxel.Key{{X: 1, Y: 2, Z: 3}, {X: 65535, Y: 0, Z: 32768}}
+		q, err := DecodeQueryOccupancy(AppendQueryOccupancy(nil, 5, keys))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q.ID != 5 || len(q.Keys) != 2 || q.Keys[1] != keys[1] {
+			t.Fatalf("query mismatch: %+v", q)
+		}
+		cells := []CellState{{LogOdds: 1.25, Known: true}, {LogOdds: 0, Known: false}}
+		id, got, err := DecodeOccupancyResp(AppendOccupancyResp(nil, 5, cells))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id != 5 || len(got) != 2 || got[0] != cells[0] || got[1] != cells[1] {
+			t.Fatalf("resp mismatch: %v %+v", id, got)
+		}
+	})
+
+	t.Run("occupied bitmask", func(t *testing.T) {
+		bits := []byte{0b0000_0101, 0b0000_0001}
+		id, m, err := DecodeOccupiedResp(AppendOccupiedResp(nil, 4, 9, bits))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id != 4 || m.N != 9 {
+			t.Fatalf("resp mismatch: %v %+v", id, m)
+		}
+		for i, want := range []bool{true, false, true, false, false, false, false, false, true} {
+			if m.Occupied(i) != want {
+				t.Fatalf("bit %d: got %v, want %v", i, m.Occupied(i), want)
+			}
+		}
+	})
+
+	t.Run("cast ray", func(t *testing.T) {
+		m, err := DecodeCastRay(AppendCastRay(nil, 6, geom.V(0, 0, 1), geom.V(1, 0, 0), 30, true))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.ID != 6 || !m.IgnoreUnknown || m.MaxRange != 30 {
+			t.Fatalf("cast-ray mismatch: %+v", m)
+		}
+		id, r, err := DecodeCastRayResp(AppendCastRayResp(nil, 6, geom.V(2, 0, 1), true))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id != 6 || !r.OK || r.Hit != geom.V(2, 0, 1) {
+			t.Fatalf("cast-ray-resp mismatch: %v %+v", id, r)
+		}
+	})
+
+	t.Run("snapshot stream", func(t *testing.T) {
+		id, p, err := DecodeSnapBegin(AppendSnapBegin(nil, 8, params))
+		if err != nil || id != 8 || p != params {
+			t.Fatalf("snap-begin mismatch: %v %v %+v", err, id, p)
+		}
+		leaves := []Leaf{
+			{Key: voxel.Key{X: 1, Y: 2, Z: 3}, Depth: 16, LogOdds: 2.5},
+			{Key: voxel.Key{X: 8, Y: 8, Z: 8}, Depth: 13, LogOdds: -1},
+		}
+		id, got, err := DecodeSnapChunk(AppendSnapChunk(nil, 8, leaves), nil)
+		if err != nil || id != 8 || len(got) != 2 || got[0] != leaves[0] || got[1] != leaves[1] {
+			t.Fatalf("snap-chunk mismatch: %v %v %+v", err, id, got)
+		}
+		id, n, err := DecodeSnapEnd(AppendSnapEnd(nil, 8, 2))
+		if err != nil || id != 8 || n != 2 {
+			t.Fatalf("snap-end mismatch: %v %v %v", err, id, n)
+		}
+	})
+}
+
+// TestDecodeRejectsTrailingGarbage pins the strict-length discipline:
+// extra bytes after a well-formed message are corruption, not slack.
+func TestDecodeRejectsTrailingGarbage(t *testing.T) {
+	payload := append(AppendOK(nil, 1), 0xee)
+	if _, err := DecodeOK(payload); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("trailing byte: got %v", err)
+	}
+	if _, err := DecodeAny(payload); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("DecodeAny trailing byte: got %v", err)
+	}
+}
+
+// TestDecodeWrongType pins that decoders refuse other messages' frames.
+func TestDecodeWrongType(t *testing.T) {
+	if _, err := DecodeAttach(AppendDrop(nil, 1, "x")); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("wrong type: got %v", err)
+	}
+}
+
+// FuzzFrameDecode feeds arbitrary bytes through the frame reader and
+// every message decoder: nothing may panic, allocate absurdly, or
+// return success for garbage the encoders could not have produced.
+func FuzzFrameDecode(f *testing.F) {
+	seed := [][]byte{
+		frameBytes(AppendHello(nil)),
+		frameBytes(AppendWelcome(nil)),
+		frameBytes(AppendErr(nil, 1, CodeInternal, "boom")),
+		frameBytes(AppendCreate(nil, 2, "tenant", false, TenantOptions{Resolution: 0.1, Shards: 4})),
+		frameBytes(AppendInsert(nil, 3, geom.V(0, 0, 0), []geom.Vec3{{X: 1, Y: 1, Z: 1}})),
+		frameBytes(AppendQueryOccupancy(nil, 4, []voxel.Key{{X: 5, Y: 6, Z: 7}})),
+		frameBytes(AppendSnapChunk(nil, 5, []Leaf{{Key: voxel.Key{X: 1}, Depth: 16, LogOdds: 1}})),
+		frameBytes(AppendSnapEnd(nil, 6, 1)),
+		{0, 0, 0, 0},
+		{0xff, 0xff, 0xff, 0xff},
+	}
+	for _, s := range seed {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		var buf []byte
+		for {
+			payload, nb, err := ReadFrame(r, buf)
+			buf = nb
+			if err != nil {
+				// Every failure must be a typed corruption error or a
+				// (possibly unexpected) EOF — never anything else and
+				// never a panic.
+				if !errors.Is(err, ErrCorrupt) && err != io.EOF && err != io.ErrUnexpectedEOF {
+					t.Fatalf("unexpected error class: %v", err)
+				}
+				return
+			}
+			// A structurally valid frame: every decoder must either
+			// parse it or fail with a typed corruption error.
+			if _, err := DecodeAny(payload); err != nil && !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("DecodeAny error class: %v", err)
+			}
+			decoders := []func([]byte) error{
+				func(p []byte) error { _, err := DecodeHello(p); return err },
+				func(p []byte) error { _, err := DecodeWelcome(p); return err },
+				func(p []byte) error { _, err := DecodeErr(p); return err },
+				func(p []byte) error { _, err := DecodeOK(p); return err },
+				func(p []byte) error { _, err := DecodeCreate(p); return err },
+				func(p []byte) error { _, err := DecodeAttach(p); return err },
+				func(p []byte) error { _, err := DecodeDrop(p); return err },
+				func(p []byte) error { _, err := DecodeTenantInfo(p); return err },
+				func(p []byte) error { _, err := DecodeInsert(p); return err },
+				func(p []byte) error { _, err := DecodeQueryOccupied(p); return err },
+				func(p []byte) error { _, _, err := DecodeOccupiedResp(p); return err },
+				func(p []byte) error { _, err := DecodeQueryOccupancy(p); return err },
+				func(p []byte) error { _, _, err := DecodeOccupancyResp(p); return err },
+				func(p []byte) error { _, err := DecodeCastRay(p); return err },
+				func(p []byte) error { _, _, err := DecodeCastRayResp(p); return err },
+				func(p []byte) error { _, err := DecodeSnapshotReq(p); return err },
+				func(p []byte) error { _, _, err := DecodeSnapBegin(p); return err },
+				func(p []byte) error { _, _, err := DecodeSnapChunk(p, nil); return err },
+				func(p []byte) error { _, _, err := DecodeSnapEnd(p); return err },
+				func(p []byte) error { _, err := DecodeCheckpoint(p); return err },
+			}
+			for i, dec := range decoders {
+				if err := dec(payload); err != nil && !errors.Is(err, ErrCorrupt) {
+					t.Fatalf("decoder %d error class: %v", i, err)
+				}
+			}
+		}
+	})
+}
+
+func frameBytes(payload []byte) []byte { return AppendFrame(nil, payload) }

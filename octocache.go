@@ -412,6 +412,16 @@ func Recover(dir string, opts Options) (*Map, error) {
 	return newMap(opts, cfg)
 }
 
+// ScanDurableDir reports which durable-map logs dir holds: whether a
+// single-driver log exists, and how many per-shard logs were found. A
+// missing or empty directory reports none. It is the layout probe
+// Recover itself uses, exported so services and tools can tell "fresh
+// directory" from "existing map" before (or without) opening one —
+// never by globbing log files themselves.
+func ScanDurableDir(dir string) (single bool, shards int, err error) {
+	return core.ScanDurableDir(dir)
+}
+
 // buildConfig validates the options and derives the pipeline config.
 func buildConfig(opts Options) (core.Config, error) {
 	if opts.CacheBuckets < 0 {
@@ -532,6 +542,43 @@ func (m *Map) OccupiedKey(k Key) bool {
 	return m.mapper.OccupiedKey(k)
 }
 
+// OccupancyKey is the key-space variant of Occupancy, for consumers
+// that discretize once and probe many voxels.
+func (m *Map) OccupancyKey(k Key) (logOdds float32, known bool) {
+	if m.sharded != nil {
+		return m.sharded.OccupancyKey(k)
+	}
+	if kq, ok := m.mapper.(interface {
+		OccupancyKey(voxel.Key) (float32, bool)
+	}); ok {
+		return kq.OccupancyKey(k)
+	}
+	return m.mapper.Occupancy(m.KeyToCoord(k))
+}
+
+// CellState is one voxel's occupancy answer in a batched query: the
+// accumulated log-odds and whether the voxel has ever been observed.
+type CellState struct {
+	// LogOdds is the accumulated occupancy; meaningful only when Known.
+	LogOdds float32 `json:"log_odds"`
+	// Known is false for never-observed voxels.
+	Known bool `json:"known"`
+}
+
+// OccupancyBatch answers one occupancy query per key, appending to dst
+// (pass nil to allocate) and returning the extended slice with
+// dst[i] answering keys[i]. It is the amortized form of OccupancyKey
+// for batch consumers — the network query protocol, bulk exporters,
+// planners probing a corridor — and, like the point queries, is safe
+// for concurrent use on sharded maps.
+func (m *Map) OccupancyBatch(keys []Key, dst []CellState) []CellState {
+	for _, k := range keys {
+		l, known := m.OccupancyKey(k)
+		dst = append(dst, CellState{LogOdds: l, Known: known})
+	}
+	return dst
+}
+
 // CoordToKey discretizes a world coordinate into the map's key space; ok
 // is false when p lies outside the mapped volume.
 func (m *Map) CoordToKey(p Vec3) (k Key, ok bool) {
@@ -560,6 +607,16 @@ func Probability(logOdds float32) float64 { return voxel.Probability(logOdds) }
 
 // Resolution returns the voxel edge length in meters.
 func (m *Map) Resolution() float64 { return m.cfg.Octree.Resolution }
+
+// Params is the resolved occupancy model a map runs under: resolution,
+// tree depth, the sensor's log-odds deltas, the clamping bounds, and
+// the occupancy threshold.
+type Params = voxel.Params
+
+// Model returns the map's effective occupancy model — the parameters a
+// snapshot of this map is built under. Unlike Snapshot().Params() it
+// does not materialize anything.
+func (m *Map) Model() Params { return m.cfg.Octree }
 
 // Backend reports which voxel store backs the map.
 func (m *Map) Backend() Backend { return m.cfg.Backend }
@@ -675,50 +732,54 @@ func (m *Map) Compact() error {
 	return m.mapper.Compact()
 }
 
-// Stats reports map behaviour counters, grouped by subsystem.
+// Stats reports map behaviour counters, grouped by subsystem. The
+// struct marshals to a stable JSON encoding (the json tags below are
+// the canonical field names the server's /metrics endpoint serves and
+// dashboards may rely on; a shape-locking test pins them).
 type Stats struct {
 	// Cache summarizes the voxel cache in front of the octree.
-	Cache CacheStats
+	Cache CacheStats `json:"cache"`
 	// Pipeline summarizes ingest volume.
-	Pipeline PipelineStats
+	Pipeline PipelineStats `json:"pipeline"`
 	// Arena summarizes octree arena occupancy (summed over shards).
-	Arena ArenaStats
+	Arena ArenaStats `json:"arena"`
 	// Compaction summarizes arena-compaction activity (summed over
 	// shards; LastDuration is the worst shard's most recent pause).
-	Compaction CompactionStats
+	Compaction CompactionStats `json:"compaction"`
 	// Shards is the effective shard count (1 for single-driver maps).
-	Shards int
-	// Backend identifies the voxel store behind the map.
-	Backend Backend
+	Shards int `json:"shards"`
+	// Backend identifies the voxel store behind the map. It marshals as
+	// its flag spelling ("octree", "grid").
+	Backend Backend `json:"backend"`
 	// Window summarizes the bounded-memory window's paging activity
 	// (summed over shards); Window.Enabled is false for unwindowed maps.
-	Window WindowStats
+	Window WindowStats `json:"window"`
 	// Durable summarizes the write-ahead log and snapshot activity
 	// (counters summed over shards, sequences the minimum across them);
 	// Durable.Enabled is false for non-durable maps.
-	Durable DurableStats
+	Durable DurableStats `json:"durable"`
 }
 
 // CacheStats summarizes cache behaviour.
 type CacheStats struct {
 	// HitRate is the fraction of voxel updates absorbed by the cache.
-	HitRate float64
+	HitRate float64 `json:"hit_rate"`
 	// Hits counts voxel updates absorbed by an existing cache cell.
-	Hits int64
+	Hits int64 `json:"hits"`
 	// Inserts counts all voxel updates offered to the cache.
-	Inserts int64
+	Inserts int64 `json:"inserts"`
 	// Evicted counts cells evicted from the cache into the octree.
-	Evicted int64
+	Evicted int64 `json:"evicted"`
 }
 
 // PipelineStats summarizes ingest volume.
 type PipelineStats struct {
 	// Batches counts inserted point clouds.
-	Batches int64
+	Batches int64 `json:"batches"`
 	// VoxelsTraced counts voxel observations produced by ray tracing.
-	VoxelsTraced int64
+	VoxelsTraced int64 `json:"voxels_traced"`
 	// VoxelsToOctree counts voxel writes that reached the octree.
-	VoxelsToOctree int64
+	VoxelsToOctree int64 `json:"voxels_to_octree"`
 }
 
 // ArenaStats describes octree arena occupancy: the octree stores nodes
@@ -727,13 +788,13 @@ type PipelineStats struct {
 // pruning churn — the fragmentation Compact reclaims.
 type ArenaStats struct {
 	// LiveNodes is the octree's current node count.
-	LiveNodes int
+	LiveNodes int `json:"live_nodes"`
 	// FreeSlots counts recycled arena slots awaiting reuse.
-	FreeSlots int
+	FreeSlots int `json:"free_slots"`
 	// Capacity is the arena's total node slots: LiveNodes + FreeSlots.
-	Capacity int
+	Capacity int `json:"capacity"`
 	// Bytes estimates the octree's heap footprint.
-	Bytes int64
+	Bytes int64 `json:"bytes"`
 }
 
 // Occupancy is the live fraction of the arena, 1 for a dense (or empty)
@@ -757,12 +818,13 @@ func (a ArenaStats) Fragmentation() float64 {
 // CompactionStats summarizes arena-compaction activity.
 type CompactionStats struct {
 	// Runs counts completed compactions, automatic and explicit.
-	Runs int64
+	Runs int64 `json:"runs"`
 	// SlotsReclaimed totals the arena slots released across all runs.
-	SlotsReclaimed int64
+	SlotsReclaimed int64 `json:"slots_reclaimed"`
 	// LastDuration is the wall time of the most recent run — the pause
-	// producers on the compacted shard experienced.
-	LastDuration time.Duration
+	// producers on the compacted shard experienced. It marshals as
+	// nanoseconds.
+	LastDuration time.Duration `json:"last_duration_ns"`
 }
 
 func publicArena(a core.ArenaStats) ArenaStats {
@@ -824,27 +886,28 @@ func (m *Map) Stats() Stats {
 	}
 }
 
-// ShardStat describes one shard of a sharded map.
+// ShardStat describes one shard of a sharded map. Like Stats it
+// marshals to a stable JSON encoding.
 type ShardStat struct {
 	// Shard is the shard index (its Morton prefix).
-	Shard int
+	Shard int `json:"shard"`
 	// Backend identifies the voxel store behind the shard's pipeline.
-	Backend Backend
+	Backend Backend `json:"backend"`
 	// Arena is the shard store's arena snapshot.
-	Arena ArenaStats
+	Arena ArenaStats `json:"arena"`
 	// QueueDepth is the number of cells parked in the shard's cache
 	// awaiting eviction or the Close flush.
-	QueueDepth int
+	QueueDepth int `json:"queue_depth"`
 	// Cache summarizes the shard's cache behaviour.
-	Cache CacheStats
+	Cache CacheStats `json:"cache"`
 	// Compaction summarizes the shard's arena-compaction activity.
-	Compaction CompactionStats
+	Compaction CompactionStats `json:"compaction"`
 	// Window summarizes the shard's paging activity (zero when the map
 	// is unwindowed).
-	Window WindowStats
+	Window WindowStats `json:"window"`
 	// Durable summarizes the shard's WAL and snapshot activity (zero
 	// when the map is not durable).
-	Durable DurableStats
+	Durable DurableStats `json:"durable"`
 }
 
 // ShardStats snapshots every shard of a sharded map; it returns nil for

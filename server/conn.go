@@ -1,0 +1,453 @@
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"octocache"
+	"octocache/internal/wire"
+)
+
+// serverConn handles one client connection: the read loop decodes and
+// dispatches frames; an applier goroutine drains the bounded insert
+// queue into the attached tenant and acks each batch. Queries and
+// snapshot streams are answered on the read loop itself — they
+// multiplex with the applier's acks on the shared writer, and sharded
+// tenant maps make them safe against in-flight inserts.
+type serverConn struct {
+	s  *Server
+	nc net.Conn
+	br *bufio.Reader
+
+	// wmu serializes frame writes from the read loop and the applier;
+	// wbuf is the shared framing scratch it guards.
+	wmu  sync.Mutex
+	wbuf []byte
+
+	// insertQ is the backpressure boundary: capacity Config.Window.
+	// When the applier lags by a full window the read loop blocks here,
+	// the kernel's receive buffer fills, and TCP flow control stalls
+	// the client — bounded memory no matter how fast the client sends.
+	insertQ chan insertJob
+	applied sync.WaitGroup
+
+	// cur is the tenant this connection is attached to. Only the read
+	// loop touches it; the applier learns the tenant from each job.
+	cur *tenant
+
+	quit     chan struct{}
+	quitOnce sync.Once
+	done     chan struct{}
+}
+
+type insertJob struct {
+	t      *tenant
+	id     uint64
+	origin octocache.Vec3
+	points []octocache.Vec3
+}
+
+func newServerConn(s *Server, nc net.Conn) *serverConn {
+	return &serverConn{
+		s:       s,
+		nc:      nc,
+		br:      bufio.NewReaderSize(nc, 64<<10),
+		insertQ: make(chan insertJob, s.cfg.Window),
+		quit:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+}
+
+// shutdown unblocks the connection's goroutines; safe to call many
+// times and from any goroutine.
+func (c *serverConn) shutdown() {
+	c.quitOnce.Do(func() {
+		close(c.quit)
+		c.nc.Close()
+	})
+}
+
+// wait blocks until run has returned.
+func (c *serverConn) wait() { <-c.done }
+
+// writeFrame frames and writes one payload. Errors are returned but
+// callers on the egress path may ignore them: a dead connection is
+// discovered by the read loop as well.
+func (c *serverConn) writeFrame(payload []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	c.wbuf = wire.AppendFrame(c.wbuf[:0], payload)
+	_, err := c.nc.Write(c.wbuf)
+	return err
+}
+
+func (c *serverConn) writeErr(scratch []byte, id uint64, code uint16, err error) []byte {
+	payload := wire.AppendErr(scratch[:0], id, code, err.Error())
+	c.writeFrame(payload)
+	return payload
+}
+
+func (c *serverConn) writeOK(scratch []byte, id uint64) []byte {
+	payload := wire.AppendOK(scratch[:0], id)
+	c.writeFrame(payload)
+	return payload
+}
+
+// run owns the connection lifecycle: handshake, applier start, read
+// loop, teardown.
+func (c *serverConn) run() {
+	defer func() {
+		c.shutdown()
+		close(c.insertQ) // read loop is done; let the applier drain out
+		c.applied.Wait()
+		if c.cur != nil {
+			c.cur.refs.Add(-1)
+			c.cur = nil
+		}
+		c.s.forget(c)
+		close(c.done)
+	}()
+
+	if !c.handshake() {
+		return
+	}
+
+	c.applied.Add(1)
+	go c.applier()
+
+	c.readLoop()
+}
+
+// handshake expects exactly one THello and answers TWelcome, or TErr
+// with CodeVersion when the client speaks another protocol or version.
+func (c *serverConn) handshake() bool {
+	var scratch []byte
+	payload, buf, err := wire.ReadFrame(c.br, nil)
+	if err != nil {
+		return false
+	}
+	h, err := wire.DecodeHello(payload)
+	if err != nil || h.Magic != wire.Magic {
+		c.writeErr(scratch, 0, wire.CodeVersion, fmt.Errorf("bad handshake"))
+		return false
+	}
+	if h.Version != wire.Version {
+		c.writeErr(scratch, 0, wire.CodeVersion,
+			fmt.Errorf("protocol version %d not supported (server speaks %d)", h.Version, wire.Version))
+		return false
+	}
+	c.wbuf = buf // recycle the read scratch for framing
+	return c.writeFrame(wire.AppendWelcome(nil)) == nil
+}
+
+// applier drains the insert queue, applying each batch to its tenant
+// and acking it. One applier per connection keeps a client's batches
+// in order; separate connections proceed in parallel.
+func (c *serverConn) applier() {
+	defer c.applied.Done()
+	var scratch []byte
+	for job := range c.insertQ {
+		err := job.t.m.Insert(job.origin, job.points)
+		job.t.inFlight.Add(-1)
+		if err != nil {
+			scratch = c.writeErr(scratch, job.id, wire.CodeInternal, err)
+			continue
+		}
+		job.t.acked.Add(1)
+		scratch = c.writeOK(scratch, job.id)
+	}
+}
+
+// readLoop decodes and dispatches frames until the connection fails, a
+// protocol violation is detected, or the server shuts down.
+func (c *serverConn) readLoop() {
+	var (
+		buf     []byte // frame read scratch, recycled across frames
+		scratch []byte // response payload scratch for read-loop replies
+	)
+	for {
+		payload, nbuf, err := wire.ReadFrame(c.br, buf)
+		buf = nbuf
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+				c.writeErr(scratch, 0, wire.CodeBadRequest, err)
+			}
+			return
+		}
+		t, err := wire.PayloadType(payload)
+		if err != nil {
+			c.writeErr(scratch, 0, wire.CodeBadRequest, err)
+			return
+		}
+		ok := false
+		switch t {
+		case wire.TCreate:
+			ok, scratch = c.onCreate(payload, scratch)
+		case wire.TAttach:
+			ok, scratch = c.onAttach(payload, scratch)
+		case wire.TDrop:
+			ok, scratch = c.onDrop(payload, scratch)
+		case wire.TInsert:
+			ok = c.onInsert(payload, &scratch)
+		case wire.TQueryOccupied:
+			ok, scratch = c.onQueryOccupied(payload, scratch)
+		case wire.TQueryOccupancy:
+			ok, scratch = c.onQueryOccupancy(payload, scratch)
+		case wire.TCastRay:
+			ok, scratch = c.onCastRay(payload, scratch)
+		case wire.TSnapshotReq:
+			ok, scratch = c.onSnapshot(payload, scratch)
+		case wire.TCheckpoint:
+			ok, scratch = c.onCheckpoint(payload, scratch)
+		default:
+			c.writeErr(scratch, 0, wire.CodeBadRequest,
+				fmt.Errorf("unexpected frame type 0x%02x", uint8(t)))
+			return
+		}
+		if !ok {
+			return
+		}
+	}
+}
+
+// errCode maps tenant-registry errors to wire codes.
+func errCode(err error) uint16 {
+	switch {
+	case errors.Is(err, errTenantExists):
+		return wire.CodeTenantExists
+	case errors.Is(err, errNoTenant):
+		return wire.CodeNoTenant
+	case errors.Is(err, errTenantBusy):
+		return wire.CodeTenantBusy
+	case errors.Is(err, errServerClosed):
+		return wire.CodeInternal
+	default:
+		return wire.CodeBadRequest
+	}
+}
+
+// setCur re-points the connection's attachment.
+func (c *serverConn) setCur(t *tenant) {
+	if c.cur == t {
+		return
+	}
+	if c.cur != nil {
+		c.cur.refs.Add(-1)
+	}
+	t.refs.Add(1)
+	c.cur = t
+}
+
+func (c *serverConn) tenantInfo(scratch []byte, id uint64, t *tenant) []byte {
+	payload := wire.AppendTenantInfo(scratch[:0], id, t.name, t.opts,
+		wire.ParamsFromVoxel(t.m.Model()))
+	c.writeFrame(payload)
+	return payload
+}
+
+func (c *serverConn) onCreate(payload, scratch []byte) (bool, []byte) {
+	m, err := wire.DecodeCreate(payload)
+	if err != nil {
+		return false, c.writeErr(scratch, 0, wire.CodeBadRequest, err)
+	}
+	t, err := c.s.createTenant(m.Name, m.IfAbsent, m.Opts)
+	if err != nil {
+		return true, c.writeErr(scratch, m.ID, errCode(err), err)
+	}
+	c.setCur(t)
+	return true, c.tenantInfo(scratch, m.ID, t)
+}
+
+func (c *serverConn) onAttach(payload, scratch []byte) (bool, []byte) {
+	m, err := wire.DecodeAttach(payload)
+	if err != nil {
+		return false, c.writeErr(scratch, 0, wire.CodeBadRequest, err)
+	}
+	t, err := c.s.attachTenant(m.Name)
+	if err != nil {
+		return true, c.writeErr(scratch, m.ID, errCode(err), err)
+	}
+	c.setCur(t)
+	return true, c.tenantInfo(scratch, m.ID, t)
+}
+
+func (c *serverConn) onDrop(payload, scratch []byte) (bool, []byte) {
+	m, err := wire.DecodeDrop(payload)
+	if err != nil {
+		return false, c.writeErr(scratch, 0, wire.CodeBadRequest, err)
+	}
+	var own int64
+	if c.cur != nil && c.cur.name == m.Name {
+		own = 1
+	}
+	if err := c.s.dropTenant(m.Name, own); err != nil {
+		return true, c.writeErr(scratch, m.ID, errCode(err), err)
+	}
+	if own == 1 {
+		c.cur = nil // dropped with it; the tenant's counters are gone
+	}
+	return true, c.writeOK(scratch, m.ID)
+}
+
+// onInsert enqueues a scan batch for the applier. This is the one
+// dispatch arm that can block: when the window is full it counts a
+// stall and waits, which is exactly the backpressure the protocol
+// promises. scratch is passed by pointer because the error path may
+// grow it.
+func (c *serverConn) onInsert(payload []byte, scratch *[]byte) bool {
+	m, err := wire.DecodeInsert(payload)
+	if err != nil {
+		*scratch = c.writeErr(*scratch, 0, wire.CodeBadRequest, err)
+		return false
+	}
+	t := c.cur
+	if t == nil {
+		*scratch = c.writeErr(*scratch, m.ID, wire.CodeNotAttached,
+			errors.New("insert before create/attach"))
+		return true
+	}
+	job := insertJob{t: t, id: m.ID, origin: m.Origin, points: m.Points}
+	t.inFlight.Add(1)
+	select {
+	case c.insertQ <- job:
+	default:
+		c.s.stalls.Add(1)
+		select {
+		case c.insertQ <- job:
+		case <-c.quit:
+			t.inFlight.Add(-1)
+			return false
+		}
+	}
+	return true
+}
+
+func (c *serverConn) attached(scratch []byte, id uint64) (*tenant, bool) {
+	if c.cur == nil {
+		c.writeErr(scratch, id, wire.CodeNotAttached,
+			errors.New("query before create/attach"))
+		return nil, false
+	}
+	return c.cur, true
+}
+
+func (c *serverConn) onQueryOccupied(payload, scratch []byte) (bool, []byte) {
+	m, err := wire.DecodeQueryOccupied(payload)
+	if err != nil {
+		return false, c.writeErr(scratch, 0, wire.CodeBadRequest, err)
+	}
+	t, ok := c.attached(scratch, m.ID)
+	if !ok {
+		return true, scratch
+	}
+	bits := make([]byte, (len(m.Points)+7)/8)
+	for i, p := range m.Points {
+		if t.m.Occupied(p) {
+			bits[i/8] |= 1 << (i % 8)
+		}
+	}
+	payload = wire.AppendOccupiedResp(scratch[:0], m.ID, len(m.Points), bits)
+	c.writeFrame(payload)
+	return true, payload
+}
+
+func (c *serverConn) onQueryOccupancy(payload, scratch []byte) (bool, []byte) {
+	m, err := wire.DecodeQueryOccupancy(payload)
+	if err != nil {
+		return false, c.writeErr(scratch, 0, wire.CodeBadRequest, err)
+	}
+	t, ok := c.attached(scratch, m.ID)
+	if !ok {
+		return true, scratch
+	}
+	states := t.m.OccupancyBatch(m.Keys, nil)
+	cells := make([]wire.CellState, len(states))
+	for i, s := range states {
+		cells[i] = wire.CellState{LogOdds: s.LogOdds, Known: s.Known}
+	}
+	payload = wire.AppendOccupancyResp(scratch[:0], m.ID, cells)
+	c.writeFrame(payload)
+	return true, payload
+}
+
+func (c *serverConn) onCastRay(payload, scratch []byte) (bool, []byte) {
+	m, err := wire.DecodeCastRay(payload)
+	if err != nil {
+		return false, c.writeErr(scratch, 0, wire.CodeBadRequest, err)
+	}
+	t, ok := c.attached(scratch, m.ID)
+	if !ok {
+		return true, scratch
+	}
+	hit, hitOK := t.m.CastRay(m.Origin, m.Dir, m.MaxRange, m.IgnoreUnknown)
+	payload = wire.AppendCastRayResp(scratch[:0], m.ID, hit, hitOK)
+	c.writeFrame(payload)
+	return true, payload
+}
+
+// onSnapshot streams a consistent snapshot chunk-wise: TSnapBegin with
+// the occupancy model, runs of wire.SnapChunkLeaves leaves, TSnapEnd
+// with the total. The server never holds more than one chunk of
+// encoded bytes — downloads of arbitrarily large maps run in constant
+// memory here.
+func (c *serverConn) onSnapshot(payload, scratch []byte) (bool, []byte) {
+	m, err := wire.DecodeSnapshotReq(payload)
+	if err != nil {
+		return false, c.writeErr(scratch, 0, wire.CodeBadRequest, err)
+	}
+	t, ok := c.attached(scratch, m.ID)
+	if !ok {
+		return true, scratch
+	}
+	snap := t.m.Snapshot()
+	payload = wire.AppendSnapBegin(scratch[:0], m.ID, wire.ParamsFromVoxel(snap.Params()))
+	if c.writeFrame(payload) != nil {
+		return false, payload
+	}
+	var (
+		run   = make([]wire.Leaf, 0, wire.SnapChunkLeaves)
+		total uint64
+		werr  error
+	)
+	flush := func() bool {
+		payload = wire.AppendSnapChunk(payload[:0], m.ID, run)
+		werr = c.writeFrame(payload)
+		total += uint64(len(run))
+		run = run[:0]
+		return werr == nil
+	}
+	snap.Walk(func(l octocache.Leaf) bool {
+		run = append(run, wire.Leaf{Key: l.Key, Depth: uint8(l.Depth), LogOdds: l.LogOdds})
+		if len(run) == wire.SnapChunkLeaves {
+			return flush()
+		}
+		return true
+	})
+	if werr == nil && len(run) > 0 {
+		flush()
+	}
+	if werr != nil {
+		return false, payload
+	}
+	payload = wire.AppendSnapEnd(payload[:0], m.ID, total)
+	return c.writeFrame(payload) == nil, payload
+}
+
+func (c *serverConn) onCheckpoint(payload, scratch []byte) (bool, []byte) {
+	m, err := wire.DecodeCheckpoint(payload)
+	if err != nil {
+		return false, c.writeErr(scratch, 0, wire.CodeBadRequest, err)
+	}
+	t, ok := c.attached(scratch, m.ID)
+	if !ok {
+		return true, scratch
+	}
+	if err := t.m.Checkpoint(); err != nil {
+		return true, c.writeErr(scratch, m.ID, wire.CodeInternal, err)
+	}
+	return true, c.writeOK(scratch, m.ID)
+}

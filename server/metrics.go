@@ -1,0 +1,105 @@
+package server
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"sort"
+	"time"
+
+	"octocache"
+)
+
+// MetricsSnapshot is the JSON document the /metrics endpoint serves:
+// server-wide counters plus per-tenant map statistics. Field names are
+// locked by TestMetricsShape; dashboards may rely on them.
+type MetricsSnapshot struct {
+	// UptimeSeconds is how long the server has been up.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Connections is the number of currently open client connections.
+	Connections int64 `json:"connections"`
+	// InsertWindow is the per-connection in-flight insert bound.
+	InsertWindow int `json:"insert_window"`
+	// BackpressureStalls counts insert frames that found their
+	// connection's window full and had to wait — each one is a moment
+	// the service pushed back on a client instead of buffering.
+	BackpressureStalls int64 `json:"backpressure_stalls"`
+	// Tenants maps tenant name to its metrics.
+	Tenants map[string]TenantMetrics `json:"tenants"`
+}
+
+// TenantMetrics is one tenant's slice of the metrics document.
+type TenantMetrics struct {
+	// Attached is the number of connections currently attached.
+	Attached int64 `json:"attached"`
+	// BatchesInFlight is the number of insert batches accepted off the
+	// wire but not yet applied, summed over connections. It can never
+	// exceed attached connections × the insert window.
+	BatchesInFlight int64 `json:"batches_in_flight"`
+	// BatchesAcked is the number of insert batches applied and
+	// acknowledged since the tenant was created (or recovered).
+	BatchesAcked int64 `json:"batches_acked"`
+	// Stats is the map's own statistics surface.
+	Stats octocache.Stats `json:"stats"`
+	// Shards is the per-shard breakdown.
+	Shards []octocache.ShardStat `json:"shards"`
+}
+
+// Metrics collects a consistent-enough snapshot of the server's
+// counters and every tenant's map statistics.
+func (s *Server) Metrics() MetricsSnapshot {
+	s.mu.Lock()
+	tenants := make([]*tenant, 0, len(s.tenants))
+	for _, t := range s.tenants {
+		tenants = append(tenants, t)
+	}
+	s.mu.Unlock()
+	sort.Slice(tenants, func(i, j int) bool { return tenants[i].name < tenants[j].name })
+
+	m := MetricsSnapshot{
+		UptimeSeconds:      time.Since(s.start).Seconds(),
+		Connections:        s.nconns.Load(),
+		InsertWindow:       s.cfg.Window,
+		BackpressureStalls: s.stalls.Load(),
+		Tenants:            make(map[string]TenantMetrics, len(tenants)),
+	}
+	for _, t := range tenants {
+		m.Tenants[t.name] = TenantMetrics{
+			Attached:        t.refs.Load(),
+			BatchesInFlight: t.inFlight.Load(),
+			BatchesAcked:    t.acked.Load(),
+			Stats:           t.m.Stats(),
+			Shards:          t.m.ShardStats(),
+		}
+	}
+	return m
+}
+
+// MetricsHandler serves Metrics as JSON; mount it wherever the
+// operational surface lives (cmd/mapserver mounts it at /metrics).
+func (s *Server) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(s.Metrics())
+	})
+}
+
+// ServeMetrics starts an HTTP listener serving the metrics document at
+// /metrics (and a bare 200 at /healthz). It returns once the listener
+// is accepting, with a shutdown function.
+func (s *Server) ServeMetrics(addr string) (shutdown func(), err error) {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", s.MetricsHandler())
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	srv := &http.Server{Handler: mux}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	go srv.Serve(ln)
+	return func() { srv.Close() }, nil
+}

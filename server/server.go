@@ -1,0 +1,477 @@
+// Package server hosts octocache maps as a multi-tenant network
+// service: one Server owns any number of named map instances (tenants),
+// each an independently configured octocache.Map, and speaks the
+// internal/wire frame protocol over plain TCP to the typed client in
+// octocache/client.
+//
+// The service model:
+//
+//   - Tenants are created, attached, and dropped over the wire. Each
+//     tenant is a sharded octocache.Map (the server rounds Shards up to
+//     at least 1 so every tenant is safe under concurrent connections),
+//     with the backend, pipeline mode, trace mode, cache shape, and
+//     durability the creating client chose.
+//   - Clients stream scan batches in. Each connection runs one applier
+//     goroutine behind a bounded queue (Config.Window batches): when
+//     the applier falls behind, the queue fills, the connection's read
+//     loop blocks, TCP flow control pushes back, and the client's own
+//     insert window makes Insert block — backpressure end to end, with
+//     no unbounded server-side buffering. Queue-full events are counted
+//     and exposed on /metrics.
+//   - Queries (point occupancy, key-batch occupancy, ray casts) are
+//     answered on the read loop and multiplex with in-flight inserts on
+//     the same connection; sharded maps make them safe against every
+//     other connection's traffic.
+//   - Snapshots stream out chunk-wise: the server walks a consistent
+//     snapshot leaf-run by leaf-run, so a download never materializes
+//     the serialized byte stream in memory, and the client's
+//     canonical rebuild yields bytes bit-identical to Map.WriteTo.
+//   - Durable tenants (created with Durable=true and a server DataDir)
+//     survive server restarts: each keeps a manifest next to its WAL,
+//     and New recovers every manifested tenant via octocache.Recover.
+//
+// Per-tenant Stats/ShardStats plus server counters are served as JSON
+// by the /metrics handler (MetricsHandler / ServeMetrics).
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"octocache"
+	"octocache/internal/wire"
+)
+
+// DefaultWindow is the per-connection in-flight insert bound when
+// Config.Window is zero.
+const DefaultWindow = 32
+
+// Config configures a Server. The zero value serves non-durable
+// tenants with the default window.
+type Config struct {
+	// DataDir is where durable tenants keep their WAL, snapshots, and
+	// manifest (one subdirectory per tenant). Empty disables durable
+	// tenants; creating one then fails.
+	DataDir string
+	// Window bounds each connection's queued-but-unapplied insert
+	// batches; the read loop blocks when the queue is full, pushing
+	// back on the client. 0 means DefaultWindow.
+	Window int
+}
+
+// Server is a multi-tenant octocache map service. Create with New,
+// serve with Serve/ListenAndServe, inspect with MetricsSnapshot or the
+// /metrics HTTP handler, and stop with Close.
+type Server struct {
+	cfg   Config
+	start time.Time
+
+	mu      sync.Mutex
+	tenants map[string]*tenant
+	lns     []net.Listener
+	conns   map[*serverConn]struct{}
+	closed  bool
+
+	nconns atomic.Int64
+	stalls atomic.Int64 // insert-queue-full events (backpressure)
+}
+
+// tenant is one named map instance plus its service-side counters.
+type tenant struct {
+	name string
+	m    *octocache.Map
+	opts wire.TenantOptions // effective (defaults resolved), as manifested
+
+	refs     atomic.Int64 // attached connections
+	inFlight atomic.Int64 // queued-but-unapplied insert batches
+	acked    atomic.Int64 // applied-and-acknowledged insert batches
+}
+
+// New creates a Server and, when cfg.DataDir holds tenant manifests
+// from a previous run, recovers every durable tenant it finds — the
+// restart path: recovery replays each tenant's WAL over its last
+// consistent-cut snapshot before the listener ever accepts a client.
+func New(cfg Config) (*Server, error) {
+	if cfg.Window < 0 {
+		return nil, fmt.Errorf("server: Window must be >= 0, got %d", cfg.Window)
+	}
+	if cfg.Window == 0 {
+		cfg.Window = DefaultWindow
+	}
+	s := &Server{
+		cfg:     cfg,
+		start:   time.Now(),
+		tenants: make(map[string]*tenant),
+		conns:   make(map[*serverConn]struct{}),
+	}
+	if cfg.DataDir != "" {
+		if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
+			return nil, fmt.Errorf("server: data dir: %w", err)
+		}
+		if err := s.recoverTenants(); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// recoverTenants restores every tenant manifested under DataDir.
+func (s *Server) recoverTenants() error {
+	entries, err := os.ReadDir(s.cfg.DataDir)
+	if err != nil {
+		return fmt.Errorf("server: scanning data dir: %w", err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		wopts, err := readManifest(s.tenantDir(name))
+		if errors.Is(err, os.ErrNotExist) {
+			continue // not a tenant dir
+		}
+		if err != nil {
+			return fmt.Errorf("server: tenant %q: %w", name, err)
+		}
+		t, err := s.openTenant(name, wopts)
+		if err != nil {
+			return fmt.Errorf("server: recovering tenant %q: %w", name, err)
+		}
+		s.tenants[name] = t
+	}
+	return nil
+}
+
+func (s *Server) tenantDir(name string) string { return filepath.Join(s.cfg.DataDir, name) }
+
+// manifestName holds a durable tenant's creation options next to its
+// WAL, so a restarted server knows how to recover it.
+const manifestName = "tenant.json"
+
+func readManifest(dir string) (wire.TenantOptions, error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return wire.TenantOptions{}, err
+	}
+	var o wire.TenantOptions
+	if err := json.Unmarshal(data, &o); err != nil {
+		return wire.TenantOptions{}, fmt.Errorf("manifest: %w", err)
+	}
+	return o, nil
+}
+
+func writeManifest(dir string, o wire.TenantOptions) error {
+	data, err := json.MarshalIndent(o, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, manifestName+".tmp")
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dir, manifestName))
+}
+
+// validTenantName keeps tenant names usable as directory names and log
+// keys: non-empty, at most 128 bytes, letters/digits/dot/dash/
+// underscore, not starting with a dot.
+func validTenantName(name string) error {
+	if name == "" || len(name) > 128 {
+		return fmt.Errorf("tenant name must be 1..128 bytes")
+	}
+	if name[0] == '.' {
+		return fmt.Errorf("tenant name must not start with a dot")
+	}
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '-', r == '_':
+		default:
+			return fmt.Errorf("tenant name %q contains %q (want [A-Za-z0-9._-])", name, r)
+		}
+	}
+	return nil
+}
+
+// resolveOptions turns wire options into validated octocache.Options,
+// filling defaults and parsing the enum spellings through the public
+// round-trip constructors.
+func (s *Server) resolveOptions(name string, o wire.TenantOptions) (octocache.Options, wire.TenantOptions, error) {
+	fail := func(err error) (octocache.Options, wire.TenantOptions, error) {
+		return octocache.Options{}, wire.TenantOptions{}, err
+	}
+	if o.Mode == "" {
+		o.Mode = octocache.ModeParallel.String()
+	}
+	if o.Backend == "" {
+		o.Backend = octocache.BackendOctree.String()
+	}
+	if o.Trace == "" {
+		o.Trace = octocache.TraceDDA.String()
+	}
+	if o.Sync == "" {
+		o.Sync = octocache.SyncNone.String()
+	}
+	mode, err := octocache.ParseMode(o.Mode)
+	if err != nil {
+		return fail(err)
+	}
+	backend, err := octocache.ParseBackend(o.Backend)
+	if err != nil {
+		return fail(err)
+	}
+	trace, err := octocache.ParseTraceMode(o.Trace)
+	if err != nil {
+		return fail(err)
+	}
+	sync, err := octocache.ParseSyncPolicy(o.Sync)
+	if err != nil {
+		return fail(err)
+	}
+	// Every tenant must be safe under concurrent connections, so the
+	// single-driver pipelines (Shards == 0) are not offered remotely.
+	if o.Shards < 1 {
+		o.Shards = 1
+	}
+	opts := octocache.Options{
+		Resolution:   o.Resolution,
+		MaxRange:     o.MaxRange,
+		Mode:         mode,
+		Backend:      backend,
+		Trace:        trace,
+		Shards:       int(o.Shards),
+		CacheBuckets: int(o.CacheBuckets),
+		CacheTau:     int(o.CacheTau),
+	}
+	if o.Durable {
+		if s.cfg.DataDir == "" {
+			return fail(fmt.Errorf("durable tenants need a server -data-dir"))
+		}
+		opts.Durable = octocache.Durable{
+			Dir:           s.tenantDir(name),
+			Sync:          sync,
+			SnapshotEvery: int(o.SnapshotEvery),
+		}
+	}
+	return opts, o, nil
+}
+
+// openTenant builds (or, durable, recovers) the tenant's map.
+func (s *Server) openTenant(name string, wopts wire.TenantOptions) (*tenant, error) {
+	opts, wopts, err := s.resolveOptions(name, wopts)
+	if err != nil {
+		return nil, err
+	}
+	var m *octocache.Map
+	if wopts.Durable {
+		m, err = octocache.Recover(s.tenantDir(name), opts)
+	} else {
+		m, err = octocache.New(opts)
+	}
+	if err != nil {
+		return nil, err
+	}
+	wopts.Shards = uint16(m.Shards()) // effective (rounded) count
+	return &tenant{name: name, m: m, opts: wopts}, nil
+}
+
+// createTenant implements TCreate. Under ifAbsent an existing tenant is
+// returned as-is (its options win; the caller learns them from the
+// TenantInfo response).
+func (s *Server) createTenant(name string, ifAbsent bool, wopts wire.TenantOptions) (*tenant, error) {
+	if err := validTenantName(name); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, errServerClosed
+	}
+	if t, ok := s.tenants[name]; ok {
+		if ifAbsent {
+			return t, nil
+		}
+		return nil, errTenantExists
+	}
+	if wopts.Durable {
+		if s.cfg.DataDir == "" {
+			return nil, fmt.Errorf("durable tenants need a server -data-dir")
+		}
+		dir := s.tenantDir(name)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
+		if err := writeManifest(dir, wopts); err != nil {
+			return nil, err
+		}
+	}
+	t, err := s.openTenant(name, wopts)
+	if err != nil {
+		if wopts.Durable {
+			os.RemoveAll(s.tenantDir(name))
+		}
+		return nil, err
+	}
+	// Persist the effective options (defaults resolved, shards rounded)
+	// so recovery reopens the map with exactly the shape it has now.
+	if wopts.Durable {
+		if err := writeManifest(s.tenantDir(name), t.opts); err != nil {
+			t.m.Close()
+			return nil, err
+		}
+	}
+	s.tenants[name] = t
+	return t, nil
+}
+
+var (
+	errServerClosed = errors.New("server is shutting down")
+	errTenantExists = errors.New("tenant already exists")
+	errNoTenant     = errors.New("no such tenant")
+	errTenantBusy   = errors.New("tenant is attached by other connections")
+)
+
+// attachTenant implements TAttach.
+func (s *Server) attachTenant(name string) (*tenant, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tenants[name]
+	if !ok {
+		return nil, errNoTenant
+	}
+	return t, nil
+}
+
+// dropTenant implements TDrop: the tenant is closed, forgotten, and —
+// durable — its directory deleted. ownRefs is how many attachments the
+// requesting connection itself holds on the tenant (those don't count
+// as "busy").
+func (s *Server) dropTenant(name string, ownRefs int64) error {
+	s.mu.Lock()
+	t, ok := s.tenants[name]
+	if !ok {
+		s.mu.Unlock()
+		return errNoTenant
+	}
+	if t.refs.Load() > ownRefs {
+		s.mu.Unlock()
+		return errTenantBusy
+	}
+	delete(s.tenants, name)
+	s.mu.Unlock()
+
+	t.m.Close()
+	if t.opts.Durable && s.cfg.DataDir != "" {
+		if err := os.RemoveAll(s.tenantDir(name)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ListenAndServe listens on a TCP address and serves until Close.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections on ln until Close (or a permanent accept
+// failure) and handles each on its own goroutines. It blocks; run it on
+// a dedicated goroutine to serve several listeners.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return errServerClosed
+	}
+	s.lns = append(s.lns, ln)
+	s.mu.Unlock()
+
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				continue
+			}
+			return err
+		}
+		cn := newServerConn(s, nc)
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			nc.Close()
+			return nil
+		}
+		s.conns[cn] = struct{}{}
+		s.mu.Unlock()
+		s.nconns.Add(1)
+		go cn.run()
+	}
+}
+
+// forget removes a finished connection from the registry.
+func (s *Server) forget(cn *serverConn) {
+	s.mu.Lock()
+	delete(s.conns, cn)
+	s.mu.Unlock()
+	s.nconns.Add(-1)
+}
+
+// Close stops the listeners, closes every connection, and closes every
+// tenant map (durable tenants checkpoint on Close, so a restarted
+// server replays nothing after a clean shutdown). Close is idempotent.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	lns := s.lns
+	s.lns = nil
+	conns := make([]*serverConn, 0, len(s.conns))
+	for cn := range s.conns {
+		conns = append(conns, cn)
+	}
+	tenants := make([]*tenant, 0, len(s.tenants))
+	for _, t := range s.tenants {
+		tenants = append(tenants, t)
+	}
+	s.mu.Unlock()
+
+	var first error
+	for _, ln := range lns {
+		if err := ln.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	for _, cn := range conns {
+		cn.shutdown()
+	}
+	for _, cn := range conns {
+		cn.wait()
+	}
+	for _, t := range tenants {
+		if err := t.m.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,452 @@
+package server_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"octocache"
+	"octocache/client"
+	"octocache/server"
+)
+
+// startServer brings up a service on a loopback port and returns its
+// dial address.
+func startServer(t *testing.T, cfg server.Config) (*server.Server, string) {
+	t.Helper()
+	s, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(ln)
+	t.Cleanup(func() { s.Close() })
+	return s, ln.Addr().String()
+}
+
+// clusterScans builds deterministic scan batches around a center: each
+// batch is one origin plus points scattered within ~2m. Distinct
+// centers far enough apart give spatially disjoint voxel footprints,
+// which makes concurrent ingest order-independent (clamped log-odds
+// accumulation commutes only per voxel).
+func clusterScans(seed int64, center octocache.Vec3, batches, pts int) [][]octocache.Vec3 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]octocache.Vec3, batches)
+	for b := range out {
+		scan := make([]octocache.Vec3, pts)
+		for i := range scan {
+			scan[i] = octocache.V(
+				center.X+rng.Float64()*4-2,
+				center.Y+rng.Float64()*4-2,
+				center.Z+rng.Float64()*2,
+			)
+		}
+		out[b] = scan
+	}
+	return out
+}
+
+// TestServiceEndToEnd is the protocol's acceptance test: two tenants,
+// two concurrent producers per tenant (spatially disjoint halves),
+// concurrent queriers, a mid-stream snapshot download — and the final
+// downloaded snapshot must be bit-identical to Map.WriteTo of a local
+// map fed the same scans. Run it under -race: the point is that all of
+// this multiplexes safely.
+func TestServiceEndToEnd(t *testing.T) {
+	_, addr := startServer(t, server.Config{Window: 8})
+
+	tenants := []struct {
+		name string
+		opts client.MapOptions
+	}{
+		{"warehouse", client.MapOptions{Resolution: 0.1, Shards: 2, CacheBuckets: 1 << 10}},
+		{"yard", client.MapOptions{Resolution: 0.1, Shards: 2, Backend: octocache.BackendGrid, Mode: octocache.ModeSerial}},
+	}
+	centers := []octocache.Vec3{octocache.V(0, 0, 1), octocache.V(8, 8, 1)}
+	const batches, pts = 12, 120
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for ti, tn := range tenants {
+		for half, center := range centers {
+			wg.Add(1)
+			go func(ti, half int, tn struct {
+				name string
+				opts client.MapOptions
+			}, center octocache.Vec3) {
+				defer wg.Done()
+				c, err := client.Dial(addr, client.Config{Window: 4})
+				if err != nil {
+					errs <- err
+					return
+				}
+				defer c.Close()
+				if _, err := c.Open(tn.name, tn.opts); err != nil {
+					errs <- fmt.Errorf("open %s: %w", tn.name, err)
+					return
+				}
+				scans := clusterScans(int64(100*ti+half), center, batches, pts)
+				for _, scan := range scans {
+					if err := c.Insert(center, scan); err != nil {
+						errs <- fmt.Errorf("insert %s: %w", tn.name, err)
+						return
+					}
+				}
+				if err := c.Flush(); err != nil {
+					errs <- fmt.Errorf("flush %s: %w", tn.name, err)
+				}
+			}(ti, half, tn, center)
+		}
+	}
+	// Concurrent queriers: correctness of the answers is covered by the
+	// final snapshot comparison; here they must simply never error or
+	// race while producers stream.
+	for _, tn := range tenants {
+		wg.Add(1)
+		go func(name string, opts client.MapOptions) {
+			defer wg.Done()
+			c, err := client.Dial(addr, client.Config{})
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			if _, err := c.Open(name, opts); err != nil {
+				errs <- err
+				return
+			}
+			probes := clusterScans(7, centers[0], 1, 32)[0]
+			for i := 0; i < 25; i++ {
+				if _, err := c.OccupiedBatch(probes); err != nil {
+					errs <- fmt.Errorf("query %s: %w", name, err)
+					return
+				}
+				if _, _, err := c.CastRay(octocache.V(0, 0, 1), octocache.V(1, 0, 0), 5, false); err != nil {
+					errs <- fmt.Errorf("castray %s: %w", name, err)
+					return
+				}
+			}
+			// Mid-stream download: must parse as a consistent snapshot
+			// whatever subset of batches it observes.
+			if _, err := c.Snapshot(); err != nil {
+				errs <- fmt.Errorf("mid-stream snapshot %s: %w", name, err)
+			}
+		}(tn.name, tn.opts)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Rebuild each tenant locally from the same scans and require the
+	// downloaded snapshot bytes to match Map.WriteTo bit for bit.
+	for ti, tn := range tenants {
+		local := octocache.MustNew(octocache.Options{
+			Resolution:   tn.opts.Resolution,
+			Shards:       tn.opts.Shards,
+			Backend:      tn.opts.Backend,
+			Mode:         tn.opts.Mode,
+			CacheBuckets: tn.opts.CacheBuckets,
+		})
+		for half, center := range centers {
+			for _, scan := range clusterScans(int64(100*ti+half), center, batches, pts) {
+				if err := local.Insert(center, scan); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		var want bytes.Buffer
+		if _, err := local.WriteTo(&want); err != nil {
+			t.Fatal(err)
+		}
+		local.Close()
+
+		c, err := client.Dial(addr, client.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Attach(tn.name); err != nil {
+			t.Fatal(err)
+		}
+		var got bytes.Buffer
+		if _, err := c.WriteSnapshot(&got); err != nil {
+			t.Fatal(err)
+		}
+		c.Close()
+		if !bytes.Equal(got.Bytes(), want.Bytes()) {
+			t.Fatalf("tenant %s: downloaded snapshot differs from local build (%d vs %d bytes)",
+				tn.name, got.Len(), want.Len())
+		}
+	}
+}
+
+// TestBackpressure pins the protocol's flow-control promise: with a
+// server window of 1 and a client window larger than it, a fast sender
+// observably stalls the server's read loop (the /metrics counter), and
+// the tenant's in-flight gauge never exceeds what the window permits.
+func TestBackpressure(t *testing.T) {
+	const window = 1
+	s, addr := startServer(t, server.Config{Window: window})
+
+	c, err := client.Dial(addr, client.Config{Window: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// OctoMap mode applies every voxel straight to the octree — the
+	// slowest pipeline, so the applier reliably lags the read loop.
+	if _, err := c.Create("slow", client.MapOptions{Resolution: 0.05, Mode: octocache.ModeOctoMap}); err != nil {
+		t.Fatal(err)
+	}
+	scans := clusterScans(3, octocache.V(0, 0, 1), 24, 400)
+	maxInFlight := int64(0)
+	for _, scan := range scans {
+		if err := c.Insert(octocache.V(0, 0, 1), scan); err != nil {
+			t.Fatal(err)
+		}
+		if got := s.Metrics().Tenants["slow"].BatchesInFlight; got > maxInFlight {
+			maxInFlight = got
+		}
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	m := s.Metrics()
+	if m.BackpressureStalls == 0 {
+		t.Fatal("no backpressure stalls recorded; the insert window is not exerting backpressure")
+	}
+	// Queue capacity + the batch being applied + the one the read loop
+	// is holding while it waits.
+	if limit := int64(window + 2); maxInFlight > limit {
+		t.Fatalf("in-flight batches reached %d, window bounds it to %d", maxInFlight, limit)
+	}
+	if got := m.Tenants["slow"].BatchesAcked; got != int64(len(scans)) {
+		t.Fatalf("acked %d batches, sent %d", got, len(scans))
+	}
+}
+
+// TestDurableRestart exercises the service restart path: a durable
+// tenant's scans must survive server shutdown and be recovered —
+// bit-identically — by a fresh server on the same data dir.
+func TestDurableRestart(t *testing.T) {
+	dir := t.TempDir()
+	s, addr := startServer(t, server.Config{DataDir: dir})
+
+	opts := client.MapOptions{Resolution: 0.1, Durable: true, Sync: octocache.SyncEveryBatch}
+	c, err := client.Dial(addr, client.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Create("persist", opts); err != nil {
+		t.Fatal(err)
+	}
+	center := octocache.V(0, 0, 1)
+	scans := clusterScans(5, center, 6, 80)
+	for _, scan := range scans {
+		if err := c.Insert(center, scan); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var before bytes.Buffer
+	if _, err := c.WriteSnapshot(&before); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh server on the same data dir must recover the tenant.
+	_, addr2 := startServer(t, server.Config{DataDir: dir})
+	c2, err := client.Dial(addr2, client.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	info, err := c2.Attach("persist")
+	if err != nil {
+		t.Fatalf("recovered server lost tenant: %v", err)
+	}
+	if !info.Durable || info.Resolution != 0.1 {
+		t.Fatalf("recovered tenant shape wrong: %+v", info)
+	}
+	var after bytes.Buffer
+	if _, err := c2.WriteSnapshot(&after); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before.Bytes(), after.Bytes()) {
+		t.Fatalf("recovered snapshot differs: %d vs %d bytes", after.Len(), before.Len())
+	}
+	// Drop must delete the tenant's directory.
+	if err := c2.Drop("persist"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.Attach("persist"); err == nil {
+		t.Fatal("dropped tenant still attachable")
+	}
+	if matches, _ := filepath.Glob(filepath.Join(dir, "persist", "*")); len(matches) != 0 {
+		t.Fatalf("dropped tenant left files: %v", matches)
+	}
+}
+
+// TestTenantLifecycleErrors pins the error codes of the tenant verbs.
+func TestTenantLifecycleErrors(t *testing.T) {
+	_, addr := startServer(t, server.Config{})
+	c, err := client.Dial(addr, client.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	wantCode := func(err error, code uint16, what string) {
+		t.Helper()
+		var serr *client.ServerError
+		if !errors.As(err, &serr) || serr.Code != code {
+			t.Fatalf("%s: got %v, want server error code %d", what, err, code)
+		}
+	}
+
+	// Data verbs before attach.
+	if err := c.Insert(octocache.V(0, 0, 0), []octocache.Vec3{octocache.V(1, 0, 0)}); err != nil {
+		t.Fatal(err)
+	}
+	wantCode(c.Flush(), client.CodeNotAttached, "insert before attach")
+	_, err = c.OccupiedBatch([]octocache.Vec3{octocache.V(0, 0, 0)})
+	wantCode(err, client.CodeNotAttached, "query before attach")
+
+	// Attach to a tenant that does not exist.
+	_, err = c.Attach("ghost")
+	wantCode(err, client.CodeNoTenant, "attach missing")
+
+	// Create, then create again without if-absent.
+	if _, err := c.Create("a", client.MapOptions{Resolution: 0.1}); err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Create("a", client.MapOptions{Resolution: 0.1})
+	wantCode(err, client.CodeTenantExists, "duplicate create")
+
+	// Durable tenants need a data dir on this server.
+	_, err = c.Create("d", client.MapOptions{Resolution: 0.1, Durable: true})
+	wantCode(err, client.CodeBadRequest, "durable without data dir")
+
+	// Bad names and bad options are rejected.
+	_, err = c.Create("../escape", client.MapOptions{Resolution: 0.1})
+	wantCode(err, client.CodeBadRequest, "path-escaping name")
+	_, err = c.Create("nores", client.MapOptions{})
+	wantCode(err, client.CodeBadRequest, "zero resolution")
+
+	// Drop while another connection is attached.
+	c2, err := client.Dial(addr, client.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if _, err := c2.Attach("a"); err != nil {
+		t.Fatal(err)
+	}
+	wantCode(c.Drop("a"), client.CodeTenantBusy, "drop busy tenant")
+	c2.Close()
+	// The server detaches c2 asynchronously when its connection dies;
+	// retry until the drop goes through.
+	for i := 0; ; i++ {
+		err := c.Drop("a")
+		if err == nil {
+			break
+		}
+		var serr *client.ServerError
+		if !errors.As(err, &serr) || serr.Code != client.CodeTenantBusy || i > 200 {
+			t.Fatalf("drop after detach: %v", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestOpenAttachesExisting pins Open's create-or-attach contract: the
+// existing tenant's shape wins over the caller's options.
+func TestOpenAttachesExisting(t *testing.T) {
+	_, addr := startServer(t, server.Config{})
+	c, err := client.Dial(addr, client.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Create("m", client.MapOptions{Resolution: 0.25, Shards: 4}); err != nil {
+		t.Fatal(err)
+	}
+	info, err := c.Open("m", client.MapOptions{Resolution: 0.5, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Resolution != 0.25 || info.Shards != 4 {
+		t.Fatalf("Open did not surface the existing shape: %+v", info)
+	}
+}
+
+// TestMetricsEndpoint exercises the HTTP surface end to end and pins
+// the top-level JSON field names.
+func TestMetricsEndpoint(t *testing.T) {
+	s, addr := startServer(t, server.Config{})
+	c, err := client.Dial(addr, client.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Create("obs", client.MapOptions{Resolution: 0.1, Shards: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Insert(octocache.V(0, 0, 1), []octocache.Vec3{octocache.V(2, 0, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	rec := httptest.NewRecorder()
+	s.MetricsHandler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("metrics status %d", rec.Code)
+	}
+	var doc struct {
+		UptimeSeconds      float64 `json:"uptime_seconds"`
+		Connections        int64   `json:"connections"`
+		InsertWindow       int     `json:"insert_window"`
+		BackpressureStalls int64   `json:"backpressure_stalls"`
+		Tenants            map[string]struct {
+			Attached     int64           `json:"attached"`
+			BatchesAcked int64           `json:"batches_acked"`
+			Stats        octocache.Stats `json:"stats"`
+		} `json:"tenants"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("metrics JSON: %v\n%s", err, rec.Body.Bytes())
+	}
+	obs, ok := doc.Tenants["obs"]
+	if !ok {
+		t.Fatalf("tenant missing from metrics: %s", rec.Body.Bytes())
+	}
+	if obs.BatchesAcked != 1 || obs.Attached != 1 {
+		t.Fatalf("tenant counters wrong: %+v", obs)
+	}
+	if doc.InsertWindow != server.DefaultWindow || doc.Connections != 1 {
+		t.Fatalf("server counters wrong: %s", rec.Body.Bytes())
+	}
+	if obs.Stats.Shards != 2 {
+		t.Fatalf("tenant stats not surfaced: %+v", obs.Stats)
+	}
+}

@@ -1,0 +1,170 @@
+package octocache
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestStatsJSONShape locks the marshaled encoding of the nested Stats
+// surface: the server's /metrics endpoint and any dashboard built on it
+// read exactly these field names. A failure here means a wire-visible
+// breaking change — rename deliberately or not at all.
+func TestStatsJSONShape(t *testing.T) {
+	s := Stats{
+		Cache:      CacheStats{HitRate: 0.5, Hits: 10, Inserts: 20, Evicted: 5},
+		Pipeline:   PipelineStats{Batches: 2, VoxelsTraced: 100, VoxelsToOctree: 50},
+		Arena:      ArenaStats{LiveNodes: 9, FreeSlots: 1, Capacity: 10, Bytes: 240},
+		Compaction: CompactionStats{Runs: 1, SlotsReclaimed: 3, LastDuration: 2 * time.Microsecond},
+		Shards:     4,
+		Backend:    BackendGrid,
+		Window: WindowStats{
+			Enabled: true, ResidentTiles: 7, SpilledTiles: 3,
+			Evictions: 11, Reloads: 4, BytesOnDisk: 4096, MaxPause: time.Millisecond,
+		},
+		Durable: DurableStats{
+			Enabled: true, Seq: 42, LastSnapshotSeq: 40, WALBytes: 128,
+			WALBatches: 42, Snapshots: 2, ReplayedBatches: 0, BytesOnDisk: 8192,
+		},
+	}
+	got, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{` +
+		`"cache":{"hit_rate":0.5,"hits":10,"inserts":20,"evicted":5},` +
+		`"pipeline":{"batches":2,"voxels_traced":100,"voxels_to_octree":50},` +
+		`"arena":{"live_nodes":9,"free_slots":1,"capacity":10,"bytes":240},` +
+		`"compaction":{"runs":1,"slots_reclaimed":3,"last_duration_ns":2000},` +
+		`"shards":4,` +
+		`"backend":"grid",` +
+		`"window":{"enabled":true,"resident_tiles":7,"spilled_tiles":3,"evictions":11,"reloads":4,"bytes_on_disk":4096,"max_pause_ns":1000000},` +
+		`"durable":{"enabled":true,"seq":42,"last_snapshot_seq":40,"wal_bytes":128,"wal_batches":42,"snapshots":2,"replayed_batches":0,"bytes_on_disk":8192}` +
+		`}`
+	if string(got) != want {
+		t.Fatalf("Stats JSON shape changed:\n got: %s\nwant: %s", got, want)
+	}
+}
+
+// TestShardStatJSONShape locks the per-shard encoding the same way.
+func TestShardStatJSONShape(t *testing.T) {
+	s := ShardStat{Shard: 3, Backend: BackendOctree, QueueDepth: 12}
+	got, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{` +
+		`"shard":3,` +
+		`"backend":"octree",` +
+		`"arena":{"live_nodes":0,"free_slots":0,"capacity":0,"bytes":0},` +
+		`"queue_depth":12,` +
+		`"cache":{"hit_rate":0,"hits":0,"inserts":0,"evicted":0},` +
+		`"compaction":{"runs":0,"slots_reclaimed":0,"last_duration_ns":0},` +
+		`"window":{"enabled":false,"resident_tiles":0,"spilled_tiles":0,"evictions":0,"reloads":0,"bytes_on_disk":0,"max_pause_ns":0},` +
+		`"durable":{"enabled":false,"seq":0,"last_snapshot_seq":0,"wal_bytes":0,"wal_batches":0,"snapshots":0,"replayed_batches":0,"bytes_on_disk":0}` +
+		`}`
+	if string(got) != want {
+		t.Fatalf("ShardStat JSON shape changed:\n got: %s\nwant: %s", got, want)
+	}
+}
+
+// TestBackendJSONRoundTrip pins the string form both ways.
+func TestBackendJSONRoundTrip(t *testing.T) {
+	for _, b := range []Backend{BackendOctree, BackendGrid} {
+		data, err := json.Marshal(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got Backend
+		if err := json.Unmarshal(data, &got); err != nil {
+			t.Fatalf("unmarshal %s: %v", data, err)
+		}
+		if got != b {
+			t.Fatalf("round trip: %v -> %s -> %v", b, data, got)
+		}
+	}
+	var b Backend
+	if err := json.Unmarshal([]byte(`"voxelhash"`), &b); err == nil {
+		t.Fatal("unknown backend string unmarshaled without error")
+	}
+	if err := json.Unmarshal([]byte(`1`), &b); err == nil {
+		t.Fatal("numeric backend unmarshaled without error")
+	}
+}
+
+// TestEnumRoundTrips pins Parse*(v.String()) == v for all four public
+// enums, and that parsers reject junk — the property the wire handshake
+// and every cmd/ flag surface rely on.
+func TestEnumRoundTrips(t *testing.T) {
+	for _, b := range []Backend{BackendOctree, BackendGrid} {
+		got, err := ParseBackend(b.String())
+		if err != nil || got != b {
+			t.Fatalf("backend %v: ParseBackend(%q) = %v, %v", b, b.String(), got, err)
+		}
+	}
+	for _, m := range []Mode{ModeParallel, ModeSerial, ModeOctoMap} {
+		got, err := ParseMode(m.String())
+		if err != nil || got != m {
+			t.Fatalf("mode %v: ParseMode(%q) = %v, %v", m, m.String(), got, err)
+		}
+	}
+	for _, tr := range []TraceMode{TraceDDA, TraceBoundary} {
+		got, err := ParseTraceMode(tr.String())
+		if err != nil || got != tr {
+			t.Fatalf("trace %v: ParseTraceMode(%q) = %v, %v", tr, tr.String(), got, err)
+		}
+	}
+	for _, sp := range []SyncPolicy{SyncNone, SyncEveryBatch} {
+		got, err := ParseSyncPolicy(sp.String())
+		if err != nil || got != sp {
+			t.Fatalf("sync %v: ParseSyncPolicy(%q) = %v, %v", sp, sp.String(), got, err)
+		}
+	}
+	if _, err := ParseBackend("vdb"); err == nil {
+		t.Fatal("ParseBackend accepted junk")
+	}
+	if _, err := ParseMode("async"); err == nil {
+		t.Fatal("ParseMode accepted junk")
+	}
+	if _, err := ParseTraceMode("bresenham"); err == nil {
+		t.Fatal("ParseTraceMode accepted junk")
+	}
+	if _, err := ParseSyncPolicy("always"); err == nil {
+		t.Fatal("ParseSyncPolicy accepted junk")
+	}
+}
+
+// TestOccupancyBatch pins the batched key query against the scalar
+// path, on both a sharded and a single-driver map.
+func TestOccupancyBatch(t *testing.T) {
+	for _, shards := range []int{0, 4} {
+		m := MustNew(Options{Resolution: 0.1, Shards: shards, Mode: ModeSerial})
+		origin := V(0, 0, 0)
+		pts := []Vec3{V(1, 0, 0), V(0, 1, 0), V(0.5, 0.5, 0.5), V(-1, -1, 0)}
+		if err := m.Insert(origin, pts); err != nil {
+			t.Fatal(err)
+		}
+		var keys []Key
+		for _, p := range append(pts, V(9, 9, 9)) { // last one never observed
+			k, ok := m.CoordToKey(p)
+			if !ok {
+				t.Fatalf("CoordToKey(%v) out of range", p)
+			}
+			keys = append(keys, k)
+		}
+		got := m.OccupancyBatch(keys, nil)
+		if len(got) != len(keys) {
+			t.Fatalf("shards=%d: got %d answers for %d keys", shards, len(got), len(keys))
+		}
+		for i, k := range keys {
+			l, known := m.OccupancyKey(k)
+			if got[i] != (CellState{LogOdds: l, Known: known}) {
+				t.Fatalf("shards=%d key %d: batch %+v, scalar (%v,%v)", shards, i, got[i], l, known)
+			}
+		}
+		if !got[0].Known || got[len(got)-1].Known {
+			t.Fatalf("shards=%d: endpoint should be known, far voxel unknown: %+v", shards, got)
+		}
+		m.Close()
+	}
+}
